@@ -1,0 +1,105 @@
+// Figure 6: performance under data scarcity. Users are ranked by training
+// interaction count (and separately by social degree) and split into four
+// equal-size groups; HR@10 is reported per group for DGNN and baselines.
+// Shape to check: DGNN leads in every group, with visible gains on the
+// sparsest groups (where the heterogeneous side information matters most).
+//
+//   ./bench_fig6_sparsity [--dataset=yelp] [--models=DiffNet,NGCF,...]
+
+#include <algorithm>
+#include <numeric>
+
+#include "bench_common.h"
+#include "train/evaluator.h"
+
+namespace {
+
+// Equal-size quartile assignment by ascending key; returns group id per
+// user and the mean key per group.
+std::pair<std::vector<int>, std::vector<double>> Quartiles(
+    const std::vector<int64_t>& key) {
+  const size_t n = key.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return key[a] < key[b]; });
+  std::vector<int> group(n, 0);
+  std::vector<double> mean(4, 0.0);
+  std::vector<int64_t> count(4, 0);
+  for (size_t rank = 0; rank < n; ++rank) {
+    const int g = static_cast<int>(rank * 4 / n);
+    group[static_cast<size_t>(order[rank])] = g;
+    mean[static_cast<size_t>(g)] += static_cast<double>(
+        key[static_cast<size_t>(order[rank])]);
+    ++count[static_cast<size_t>(g)];
+  }
+  for (int g = 0; g < 4; ++g) {
+    if (count[g] > 0) mean[g] /= static_cast<double>(count[g]);
+  }
+  return {group, mean};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dgnn;
+  util::Flags flags(argc, argv);
+  bench::BenchOptions options = bench::BenchOptions::FromFlags(flags);
+  options.cutoffs = {10};
+  const std::string dataset_name = flags.GetString("dataset", "yelp");
+  std::vector<std::string> model_names = util::Split(
+      flags.GetString("models", "DiffNet,NGCF,DGCF,HGT,DGNN"), ',');
+
+  data::Dataset dataset = data::GenerateSynthetic(
+      data::SyntheticConfig::Preset(dataset_name));
+  graph::HeteroGraph graph(dataset);
+  train::Evaluator evaluator(dataset);
+
+  // Group keys.
+  std::vector<int64_t> interaction_count(dataset.num_users, 0);
+  for (const auto& it : dataset.train) ++interaction_count[it.user];
+  std::vector<int64_t> social_degree(dataset.num_users, 0);
+  for (const auto& [u, v] : dataset.social) {
+    ++social_degree[u];
+    ++social_degree[v];
+  }
+  auto [inter_group, inter_mean] = Quartiles(interaction_count);
+  auto [social_group, social_mean] = Quartiles(social_degree);
+
+  util::Table table({"Model", "Grouping", "0-25%", "25-50%", "50-75%",
+                     "75-100%"});
+  std::vector<std::string> header_rows;
+  auto mean_row = [&](const char* label, const std::vector<double>& mean) {
+    table.AddRow({"(avg/group)", label, util::StrFormat("%.1f", mean[0]),
+                  util::StrFormat("%.1f", mean[1]),
+                  util::StrFormat("%.1f", mean[2]),
+                  util::StrFormat("%.1f", mean[3])});
+  };
+  mean_row("interactions", inter_mean);
+  mean_row("social degree", social_mean);
+
+  for (const auto& model_name : model_names) {
+    std::fprintf(stderr, "[fig6] %s ...\n", model_name.c_str());
+    auto model = core::CreateModelByName(model_name, dataset, graph,
+                                         options.zoo);
+    train::Trainer trainer(model.get(), dataset, options.ToTrainConfig());
+    trainer.Fit();
+    ag::Tape tape;
+    auto fwd = model->Forward(tape, /*training=*/false);
+    for (const auto& [label, group] :
+         {std::pair<const char*, const std::vector<int>*>{
+              "interactions", &inter_group},
+          {"social degree", &social_group}}) {
+      auto per_group = evaluator.EvaluateGroups(
+          tape.val(fwd.users), tape.val(fwd.items), *group, 4, {10});
+      table.AddRow({model_name, label, bench::Fmt4(per_group[0].hr[10]),
+                    bench::Fmt4(per_group[1].hr[10]),
+                    bench::Fmt4(per_group[2].hr[10]),
+                    bench::Fmt4(per_group[3].hr[10])});
+    }
+  }
+  std::printf("Figure 6 (HR@10 by user sparsity group, dataset '%s'):\n",
+              dataset_name.c_str());
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 7: hyper-parameter study — hidden dimensionality d in
+// {4, 8, 16, 32}, graph depth L in {0..3}, and memory units |M| in
+// {2, 4, 8, 16}. Reported as performance degradation ratio versus the
+// best setting per sweep (the paper's y-axis). Shape to check: d=16 is
+// near-optimal with larger d degrading; L=2 beats L=0/1 with L=3
+// over-smoothing; |M|=8 is the sweet spot.
+//
+//   ./bench_fig7_hyperparams [--datasets=ciao,epinions,yelp]
+
+#include <map>
+
+#include "bench_common.h"
+
+namespace {
+
+struct SweepPoint {
+  std::string setting;
+  double hr = 0.0;
+  double ndcg = 0.0;
+};
+
+void PrintSweep(const std::string& title, const std::string& dataset,
+                const std::vector<SweepPoint>& points,
+                dgnn::util::Table& table) {
+  double best_hr = 0.0;
+  double best_ndcg = 0.0;
+  for (const auto& p : points) {
+    best_hr = std::max(best_hr, p.hr);
+    best_ndcg = std::max(best_ndcg, p.ndcg);
+  }
+  for (const auto& p : points) {
+    table.AddRow({dataset, title, p.setting, dgnn::bench::Fmt4(p.hr),
+                  dgnn::util::StrFormat(
+                      "%.2f%%", best_hr > 0
+                                    ? (best_hr - p.hr) / best_hr * 100.0
+                                    : 0.0),
+                  dgnn::bench::Fmt4(p.ndcg),
+                  dgnn::util::StrFormat(
+                      "%.2f%%",
+                      best_ndcg > 0
+                          ? (best_ndcg - p.ndcg) / best_ndcg * 100.0
+                          : 0.0)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dgnn;
+  util::Flags flags(argc, argv);
+  bench::BenchOptions base = bench::BenchOptions::FromFlags(flags);
+  base.cutoffs = {10};
+
+  std::vector<std::string> datasets =
+      util::Split(flags.GetString("datasets", "ciao,epinions,yelp"), ',');
+
+  util::Table table({"Dataset", "Sweep", "Setting", "HR@10", "HR degr.",
+                     "NDCG@10", "NDCG degr."});
+  for (const auto& dataset_name : datasets) {
+    data::Dataset dataset = data::GenerateSynthetic(
+        data::SyntheticConfig::Preset(dataset_name));
+    graph::HeteroGraph graph(dataset);
+
+    auto run = [&](const bench::BenchOptions& o) {
+      auto result = bench::RunModel("DGNN", dataset, graph, o);
+      return std::pair<double, double>(result.final_metrics.hr[10],
+                                       result.final_metrics.ndcg[10]);
+    };
+
+    // Hidden state size d.
+    std::vector<SweepPoint> d_points;
+    for (int64_t d : {4, 8, 16, 32}) {
+      std::fprintf(stderr, "[fig7] %s d=%lld ...\n", dataset_name.c_str(),
+                   static_cast<long long>(d));
+      bench::BenchOptions o = base;
+      o.zoo.embedding_dim = d;
+      auto [hr, ndcg] = run(o);
+      d_points.push_back({"d=" + std::to_string(d), hr, ndcg});
+    }
+    PrintSweep("hidden dim d", dataset_name, d_points, table);
+
+    // Graph layers L.
+    std::vector<SweepPoint> l_points;
+    for (int layers : {0, 1, 2, 3}) {
+      std::fprintf(stderr, "[fig7] %s L=%d ...\n", dataset_name.c_str(),
+                   layers);
+      bench::BenchOptions o = base;
+      o.zoo.num_layers = layers;
+      auto [hr, ndcg] = run(o);
+      l_points.push_back({"L=" + std::to_string(layers), hr, ndcg});
+    }
+    PrintSweep("graph layers L", dataset_name, l_points, table);
+
+    // Memory units |M|.
+    std::vector<SweepPoint> m_points;
+    for (int memory : {2, 4, 8, 16}) {
+      std::fprintf(stderr, "[fig7] %s M=%d ...\n", dataset_name.c_str(),
+                   memory);
+      bench::BenchOptions o = base;
+      o.zoo.num_memory_units = memory;
+      auto [hr, ndcg] = run(o);
+      m_points.push_back({"M=" + std::to_string(memory), hr, ndcg});
+    }
+    PrintSweep("memory units M", dataset_name, m_points, table);
+  }
+  std::printf("Figure 7 (hyper-parameter study; degr. = degradation vs the "
+              "sweep's best):\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Knowledge-aware item relations: demonstrates the item-relation matrix T
+// (Section III) end to end. Compares DGNN against its "-T" ablation on
+// *item*-side sparsity: items with few interactions can only be placed
+// through their relation (category) nodes, so the gap concentrates on
+// rarely-interacted items.
+//
+//   ./build/examples/knowledge_relations [--dataset=yelp] [--epochs=20]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/model_zoo.h"
+#include "data/synthetic.h"
+#include "train/trainer.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dgnn;
+  util::Flags flags(argc, argv);
+  auto dataset = data::GenerateSynthetic(
+      data::SyntheticConfig::Preset(flags.GetString("dataset", "yelp")));
+  graph::HeteroGraph graph(dataset);
+  train::Evaluator evaluator(dataset);
+
+  // Item interaction counts (training only).
+  std::vector<int64_t> item_count(dataset.num_items, 0);
+  for (const auto& it : dataset.train) ++item_count[it.item];
+  // A test case is "cold-item" when its positive has <= 2 training
+  // interactions.
+  auto split_ranks = [&](const std::vector<int>& ranks) {
+    std::vector<int> cold, warm;
+    for (size_t t = 0; t < dataset.test.size(); ++t) {
+      (item_count[dataset.test[t].item] <= 2 ? cold : warm)
+          .push_back(ranks[t]);
+    }
+    return std::pair<train::Metrics, train::Metrics>(
+        train::MetricsFromRanks(cold, {10}),
+        train::MetricsFromRanks(warm, {10}));
+  };
+
+  util::Table table({"Model", "cold items HR@10", "warm items HR@10",
+                     "overall HR@10"});
+  for (const char* name : {"DGNN-T", "DGNN"}) {
+    core::ZooConfig zoo;
+    auto model = core::CreateModelByName(name, dataset, graph, zoo);
+    train::TrainConfig tc;
+    tc.epochs = static_cast<int>(flags.GetInt("epochs", 20));
+    tc.weight_decay = 0.01f;
+    train::Trainer trainer(model.get(), dataset, tc);
+    auto result = trainer.Fit();
+    ag::Tape tape;
+    auto fwd = model->Forward(tape, false);
+    auto ranks = evaluator.Ranks(tape.val(fwd.users), tape.val(fwd.items));
+    auto [cold, warm] = split_ranks(ranks);
+    table.AddRow({name, util::StrFormat("%.4f", cold.hr[10]),
+                  util::StrFormat("%.4f", warm.hr[10]),
+                  util::StrFormat("%.4f", result.final_metrics.hr[10])});
+    std::printf("%s: %lld cold-item test cases, %lld warm\n", name,
+                (long long)cold.num_users, (long long)warm.num_users);
+  }
+  std::printf("\nItem relations and the items they connect (first 3 "
+              "relation nodes):\n");
+  for (int32_t r = 0; r < std::min(dataset.num_relations, 3); ++r) {
+    std::printf("  relation %d <- items:", r);
+    int shown = 0;
+    for (const auto& [item, rel] : dataset.item_relations) {
+      if (rel == r && shown < 8) {
+        std::printf(" %d", item);
+        ++shown;
+      }
+    }
+    std::printf("\n");
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Social cold-start: shows how DGNN's social relations rescue users with
+// very few interactions. Trains the full model and its "-S" ablation (no
+// social matrix) on the same data, then compares HR@10 across user groups
+// bucketed by interaction count — the Fig. 6 effect, packaged as an
+// API walkthrough.
+//
+//   ./build/examples/social_cold_start [--dataset=ciao] [--epochs=20]
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/dgnn_model.h"
+#include "core/model_zoo.h"
+#include "data/synthetic.h"
+#include "train/trainer.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dgnn;
+  util::Flags flags(argc, argv);
+  auto dataset = data::GenerateSynthetic(
+      data::SyntheticConfig::Preset(flags.GetString("dataset", "ciao")));
+  graph::HeteroGraph graph(dataset);
+  train::Evaluator evaluator(dataset);
+
+  // Quartiles of users by training interaction count.
+  std::vector<int64_t> count(dataset.num_users, 0);
+  for (const auto& it : dataset.train) ++count[it.user];
+  std::vector<int32_t> order(dataset.num_users);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return count[a] < count[b];
+  });
+  std::vector<int> group(dataset.num_users);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    group[order[rank]] = static_cast<int>(rank * 4 / order.size());
+  }
+
+  util::Table table({"Model", "coldest 25%", "25-50%", "50-75%",
+                     "most active 25%", "overall HR@10"});
+  for (const char* name : {"DGNN-S", "DGNN"}) {
+    core::ZooConfig zoo;
+    auto model = core::CreateModelByName(name, dataset, graph, zoo);
+    train::TrainConfig tc;
+    tc.epochs = static_cast<int>(flags.GetInt("epochs", 20));
+    tc.weight_decay = 0.01f;
+    train::Trainer trainer(model.get(), dataset, tc);
+    auto result = trainer.Fit();
+    ag::Tape tape;
+    auto fwd = model->Forward(tape, false);
+    auto per_group = evaluator.EvaluateGroups(
+        tape.val(fwd.users), tape.val(fwd.items), group, 4, {10});
+    table.AddRow({name,
+                  util::StrFormat("%.4f", per_group[0].hr[10]),
+                  util::StrFormat("%.4f", per_group[1].hr[10]),
+                  util::StrFormat("%.4f", per_group[2].hr[10]),
+                  util::StrFormat("%.4f", per_group[3].hr[10]),
+                  util::StrFormat("%.4f", result.final_metrics.hr[10])});
+  }
+  std::printf("Effect of the social graph on sparse users (HR@10 per "
+              "activity quartile):\n");
+  table.Print();
+  std::printf("\nThe gap between rows is largest for the coldest users: "
+              "when a user has few\ninteractions of their own, the "
+              "socially-recalibrated embedding (Eqs. 9-10)\nand social "
+              "message passing (Eq. 4) substitute for the missing "
+              "history.\n");
+  return 0;
+}

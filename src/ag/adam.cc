@@ -1,0 +1,45 @@
+#include "ag/adam.h"
+
+#include <cmath>
+
+namespace dgnn::ag {
+
+AdamOptimizer::AdamOptimizer(ParamStore* store, AdamConfig config)
+    : store_(store), config_(config) {
+  DGNN_CHECK(store != nullptr);
+}
+
+void AdamOptimizer::Step() {
+  ++step_;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  for (auto& p : store_->params()) {
+    if (p->adam_m.empty()) {
+      p->adam_m = Tensor(p->value.rows(), p->value.cols());
+      p->adam_v = Tensor(p->value.rows(), p->value.cols());
+    }
+    float* val = p->value.data();
+    float* grad = p->grad.data();
+    float* m = p->adam_m.data();
+    float* v = p->adam_v.data();
+    const float* anchor = p->anchor.empty() ? nullptr : p->anchor.data();
+    const float lr = config_.learning_rate * p->lr_scale;
+    const int64_t n = p->value.size();
+    for (int64_t i = 0; i < n; ++i) {
+      const float g = grad[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      const float mhat = m[i] / bias1;
+      const float vhat = v[i] / bias2;
+      // Decoupled weight decay, toward the L2-SP anchor when present.
+      const float decay_target = anchor != nullptr ? anchor[i] : 0.0f;
+      val[i] -= lr * (mhat / (std::sqrt(vhat) + config_.epsilon) +
+                      config_.weight_decay * (val[i] - decay_target));
+    }
+  }
+  store_->ZeroGrad();
+}
+
+}  // namespace dgnn::ag

@@ -1,0 +1,38 @@
+// Adam optimizer over a ParamStore (the paper trains every model with Adam).
+
+#ifndef DGNN_AG_ADAM_H_
+#define DGNN_AG_ADAM_H_
+
+#include "ag/tape.h"
+
+namespace dgnn::ag {
+
+struct AdamConfig {
+  float learning_rate = 0.01f;  // the paper's setting
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  // Decoupled weight decay (AdamW style); the BPR trainer usually applies
+  // L2 on the touched embedding rows instead and leaves this at 0.
+  float weight_decay = 0.0f;
+};
+
+class AdamOptimizer {
+ public:
+  AdamOptimizer(ParamStore* store, AdamConfig config);
+
+  // Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  int64_t step_count() const { return step_; }
+  AdamConfig& config() { return config_; }
+
+ private:
+  ParamStore* store_;
+  AdamConfig config_;
+  int64_t step_ = 0;
+};
+
+}  // namespace dgnn::ag
+
+#endif  // DGNN_AG_ADAM_H_

@@ -1,0 +1,63 @@
+#include "ag/grad_check.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace dgnn::ag {
+
+GradCheckResult CheckGradients(const std::vector<Parameter*>& params,
+                               const std::function<VarId(Tape&)>& build,
+                               float h, float atol, float rtol) {
+  GradCheckResult result;
+  result.ok = true;
+
+  // Analytic gradients.
+  for (Parameter* p : params) p->grad.Zero();
+  {
+    Tape tape;
+    VarId loss = build(tape);
+    tape.Backward(loss);
+  }
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (Parameter* p : params) analytic.push_back(p->grad);
+
+  auto eval = [&]() -> float {
+    Tape tape;
+    VarId loss = build(tape);
+    return tape.val(loss).scalar();
+  };
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter* p = params[pi];
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + h;
+      const float f_plus = eval();
+      p->value.data()[i] = orig - h;
+      const float f_minus = eval();
+      p->value.data()[i] = orig;
+      const float numeric = (f_plus - f_minus) / (2.0f * h);
+      const float a = analytic[pi].data()[i];
+      const float abs_err = std::fabs(a - numeric);
+      const float rel_err = abs_err / (std::fabs(numeric) + 1e-8f);
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (abs_err > atol + rtol * std::fabs(numeric)) {
+        result.ok = false;
+        if (result.detail.empty()) {
+          result.detail = util::StrFormat(
+              "param '%s' entry %lld: analytic=%g numeric=%g",
+              p->name.c_str(), static_cast<long long>(i),
+              static_cast<double>(a), static_cast<double>(numeric));
+        }
+      }
+    }
+  }
+  // Leave analytic gradients cleared for subsequent use.
+  for (Parameter* p : params) p->grad.Zero();
+  return result;
+}
+
+}  // namespace dgnn::ag

@@ -1,0 +1,35 @@
+// Numerical gradient checking: compares reverse-mode gradients against
+// central finite differences. Used by the op tests and available to model
+// tests to validate whole forward graphs.
+
+#ifndef DGNN_AG_GRAD_CHECK_H_
+#define DGNN_AG_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ag/tape.h"
+
+namespace dgnn::ag {
+
+struct GradCheckResult {
+  bool ok = false;
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  std::string detail;  // first offending entry, when !ok
+};
+
+// `build` must construct a fresh forward graph on the given tape, using the
+// current values of `params`, and return the scalar loss VarId. The checker
+// perturbs every entry of every parameter (central differences, step `h`)
+// and compares the numerical derivative against the analytic gradient.
+// An entry passes if |analytic - numeric| <= atol + rtol * |numeric|.
+GradCheckResult CheckGradients(
+    const std::vector<Parameter*>& params,
+    const std::function<VarId(Tape&)>& build, float h = 1e-3f,
+    float atol = 2e-3f, float rtol = 2e-2f);
+
+}  // namespace dgnn::ag
+
+#endif  // DGNN_AG_GRAD_CHECK_H_

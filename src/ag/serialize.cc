@@ -1,0 +1,93 @@
+#include "ag/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace dgnn::ag {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'G', 'N', 'N', 'P', 'A', 'R', '1'};
+
+using util::Status;
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveParameters(const ParamStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint64_t>(out, store.params().size());
+  for (const auto& p : store.params()) {
+    WritePod<uint32_t>(out, static_cast<uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    WritePod<int64_t>(out, p->value.rows());
+    WritePod<int64_t>(out, p->value.cols());
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() *
+                                           sizeof(float)));
+  }
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(ParamStore& store, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) {
+    return Status::InvalidArgument("truncated header in " + path);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > 4096) {
+      return Status::InvalidArgument("bad parameter name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    int64_t rows = 0;
+    int64_t cols = 0;
+    if (!in.good() || !ReadPod(in, &rows) || !ReadPod(in, &cols) ||
+        rows < 0 || cols < 0) {
+      return Status::InvalidArgument("truncated parameter record for '" +
+                                     name + "'");
+    }
+    Parameter* p = store.Find(name);
+    if (p == nullptr) {
+      return Status::InvalidArgument("unknown parameter in file: '" + name +
+                                     "'");
+    }
+    if (p->value.rows() != rows || p->value.cols() != cols) {
+      return Status::FailedPrecondition(
+          "shape mismatch for '" + name + "': file has " +
+          std::to_string(rows) + "x" + std::to_string(cols) +
+          ", model has " + p->value.ShapeString());
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!in.good()) {
+      return Status::InvalidArgument("truncated values for '" + name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dgnn::ag

@@ -1,0 +1,36 @@
+// Parameter persistence: save/load a ParamStore to a single binary file so
+// trained models survive process restarts (examples train once, serve
+// many times). Format (little-endian):
+//
+//   magic "DGNNPAR1"
+//   uint64 param_count
+//   per parameter:
+//     uint32 name_len, name bytes
+//     int64 rows, int64 cols
+//     float32 values (row-major)
+//
+// Optimizer state (Adam moments) is not persisted — loading yields a
+// model ready for inference or fresh fine-tuning.
+
+#ifndef DGNN_AG_SERIALIZE_H_
+#define DGNN_AG_SERIALIZE_H_
+
+#include <string>
+
+#include "ag/tape.h"
+#include "util/status.h"
+
+namespace dgnn::ag {
+
+util::Status SaveParameters(const ParamStore& store,
+                            const std::string& path);
+
+// Loads values into an ALREADY-CONSTRUCTED store: every parameter in the
+// file must exist in `store` with a matching shape (construct the model
+// with the same config first). Parameters missing from the file are left
+// untouched; unknown names in the file are an error.
+util::Status LoadParameters(ParamStore& store, const std::string& path);
+
+}  // namespace dgnn::ag
+
+#endif  // DGNN_AG_SERIALIZE_H_

@@ -1,0 +1,1202 @@
+#include "ag/tape.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dgnn::ag {
+namespace {
+
+// out += op(A) @ op(B) where op optionally transposes. Naive kernel; the
+// matrices in this library are (nodes x d) with d <= 64, so cache blocking
+// is not worth the complexity.
+void GemmAcc(const Tensor& a, bool ta, const Tensor& b, bool tb,
+             Tensor& out) {
+  const int64_t m = ta ? a.cols() : a.rows();
+  const int64_t k = ta ? a.rows() : a.cols();
+  const int64_t k2 = tb ? b.cols() : b.rows();
+  const int64_t n = tb ? b.rows() : b.cols();
+  DGNN_CHECK_EQ(k, k2) << "GemmAcc inner dims";
+  DGNN_CHECK_EQ(out.rows(), m);
+  DGNN_CHECK_EQ(out.cols(), n);
+
+  if (!ta && !tb) {
+    // ikj ordering: streams through b and out rows.
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out.row(i);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b.row(p);
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  auto a_at = [&](int64_t i, int64_t p) { return ta ? a.at(p, i) : a.at(i, p); };
+  auto b_at = [&](int64_t p, int64_t j) { return tb ? b.at(j, p) : b.at(p, j); };
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = out.row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_at(i, p) * b_at(p, j);
+      orow[j] += acc;
+    }
+  }
+}
+
+float StableSoftplus(float z) {
+  // log(1 + exp(z)) without overflow.
+  if (z > 0.0f) return z + std::log1p(std::exp(-z));
+  return std::log1p(std::exp(z));
+}
+
+float SigmoidF(float z) {
+  if (z >= 0.0f) {
+    const float e = std::exp(-z);
+    return 1.0f / (1.0f + e);
+  }
+  const float e = std::exp(z);
+  return e / (1.0f + e);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ParamStore
+// ---------------------------------------------------------------------------
+
+Parameter* ParamStore::Create(const std::string& name, Tensor init) {
+  auto p = std::make_unique<Parameter>();
+  p->name = name;
+  p->grad = Tensor(init.rows(), init.cols());
+  p->value = std::move(init);
+  params_.push_back(std::move(p));
+  return params_.back().get();
+}
+
+Parameter* ParamStore::CreateXavier(const std::string& name, int64_t rows,
+                                    int64_t cols, util::Rng& rng) {
+  return Create(name, Tensor::XavierUniform(rows, cols, rng));
+}
+
+Parameter* ParamStore::CreateZero(const std::string& name, int64_t rows,
+                                  int64_t cols) {
+  return Create(name, Tensor(rows, cols));
+}
+
+Parameter* ParamStore::CreateFull(const std::string& name, int64_t rows,
+                                  int64_t cols, float value) {
+  return Create(name, Tensor::Full(rows, cols, value));
+}
+
+void ParamStore::ZeroGrad() {
+  for (auto& p : params_) p->grad.Zero();
+}
+
+int64_t ParamStore::TotalParameterCount() const {
+  int64_t n = 0;
+  for (const auto& p : params_) n += p->value.size();
+  return n;
+}
+
+Parameter* ParamStore::Find(const std::string& name) {
+  for (auto& p : params_) {
+    if (p->name == name) return p.get();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Tape plumbing
+// ---------------------------------------------------------------------------
+
+VarId Tape::Emit(Tensor value, bool requires_grad,
+                 std::function<void()> backward) {
+  auto n = std::make_unique<Node>();
+  n->value = std::move(value);
+  n->requires_grad = requires_grad;
+  n->backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+Tape::Node& Tape::node(VarId id) {
+  DGNN_DCHECK_GE(id, 0);
+  DGNN_DCHECK_LT(id, static_cast<VarId>(nodes_.size()));
+  return *nodes_[static_cast<size_t>(id)];
+}
+
+const Tape::Node& Tape::node(VarId id) const {
+  return const_cast<Tape*>(this)->node(id);
+}
+
+Tensor& Tape::grad_buf(VarId id) {
+  Node& n = node(id);
+  if (n.grad.empty() && n.value.size() > 0) {
+    n.grad = Tensor(n.value.rows(), n.value.cols());
+  }
+  return n.grad;
+}
+
+const Tensor& Tape::val(VarId id) const { return node(id).value; }
+
+const Tensor& Tape::grad(VarId id) const {
+  // Lazily materialize zeros so callers can read grads of unused vars.
+  return const_cast<Tape*>(this)->grad_buf(id);
+}
+
+bool Tape::requires_grad(VarId id) const { return node(id).requires_grad; }
+
+VarId Tape::Constant(Tensor value) {
+  return Emit(std::move(value), /*requires_grad=*/false, nullptr);
+}
+
+VarId Tape::Param(Parameter* p) {
+  DGNN_CHECK(p != nullptr);
+  Tensor copy = p->value;
+  VarId id = Emit(std::move(copy), /*requires_grad=*/true, nullptr);
+  node(id).param = p;
+  node(id).backward = [this, id, p]() {
+    DGNN_CHECK(p->grad.SameShape(node(id).grad));
+    p->grad.Add(node(id).grad);
+  };
+  return id;
+}
+
+void Tape::Backward(VarId root) {
+  Node& r = node(root);
+  DGNN_CHECK_EQ(r.value.size(), 1) << "Backward root must be scalar";
+  DGNN_CHECK(r.requires_grad) << "Backward root does not depend on params";
+  grad_buf(root).Fill(1.0f);
+  for (VarId id = root; id >= 0; --id) {
+    Node& n = node(id);
+    if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
+    n.backward();
+  }
+}
+
+void Tape::Reset() { nodes_.clear(); }
+
+// ---------------------------------------------------------------------------
+// Elementwise & linear algebra
+// ---------------------------------------------------------------------------
+
+VarId Tape::MatMul(VarId a, VarId b, bool trans_a, bool trans_b) {
+  const Tensor& av = val(a);
+  const Tensor& bv = val(b);
+  const int64_t m = trans_a ? av.cols() : av.rows();
+  const int64_t n = trans_b ? bv.rows() : bv.cols();
+  Tensor out(m, n);
+  GemmAcc(av, trans_a, bv, trans_b, out);
+  bool rg = requires_grad(a) || requires_grad(b);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, b, trans_a, trans_b]() {
+      const Tensor& g = node(id).grad;
+      if (requires_grad(a)) {
+        if (!trans_a) {
+          GemmAcc(g, false, val(b), !trans_b, grad_buf(a));
+        } else {
+          GemmAcc(val(b), trans_b, g, true, grad_buf(a));
+        }
+      }
+      if (requires_grad(b)) {
+        if (!trans_b) {
+          GemmAcc(val(a), !trans_a, g, false, grad_buf(b));
+        } else {
+          GemmAcc(g, true, val(a), trans_a, grad_buf(b));
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::Add(VarId a, VarId b) { return AddN({a, b}); }
+
+VarId Tape::Sub(VarId a, VarId b) {
+  const Tensor& av = val(a);
+  const Tensor& bv = val(b);
+  DGNN_CHECK(av.SameShape(bv));
+  Tensor out = av;
+  out.Axpy(-1.0f, bv);
+  bool rg = requires_grad(a) || requires_grad(b);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, b]() {
+      const Tensor& g = node(id).grad;
+      if (requires_grad(a)) grad_buf(a).Add(g);
+      if (requires_grad(b)) grad_buf(b).Axpy(-1.0f, g);
+    };
+  }
+  return id;
+}
+
+VarId Tape::AddN(const std::vector<VarId>& xs) {
+  DGNN_CHECK(!xs.empty());
+  Tensor out = val(xs[0]);
+  bool rg = requires_grad(xs[0]);
+  for (size_t i = 1; i < xs.size(); ++i) {
+    out.Add(val(xs[i]));
+    rg = rg || requires_grad(xs[i]);
+  }
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    std::vector<VarId> inputs = xs;
+    node(id).backward = [this, id, inputs]() {
+      const Tensor& g = node(id).grad;
+      for (VarId x : inputs) {
+        if (requires_grad(x)) grad_buf(x).Add(g);
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::AddRowBroadcast(VarId a, VarId b) {
+  const Tensor& av = val(a);
+  const Tensor& bv = val(b);
+  DGNN_CHECK_EQ(bv.rows(), 1);
+  DGNN_CHECK_EQ(bv.cols(), av.cols());
+  Tensor out = av;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    float* orow = out.row(r);
+    const float* brow = bv.row(0);
+    for (int64_t c = 0; c < out.cols(); ++c) orow[c] += brow[c];
+  }
+  bool rg = requires_grad(a) || requires_grad(b);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, b]() {
+      const Tensor& g = node(id).grad;
+      if (requires_grad(a)) grad_buf(a).Add(g);
+      if (requires_grad(b)) {
+        Tensor& gb = grad_buf(b);
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float* grow = g.row(r);
+          float* brow = gb.row(0);
+          for (int64_t c = 0; c < g.cols(); ++c) brow[c] += grow[c];
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::Mul(VarId a, VarId b) {
+  const Tensor& av = val(a);
+  const Tensor& bv = val(b);
+  DGNN_CHECK(av.SameShape(bv));
+  Tensor out = av;
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] *= bv.data()[i];
+  bool rg = requires_grad(a) || requires_grad(b);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, b]() {
+      const Tensor& g = node(id).grad;
+      if (requires_grad(a)) {
+        Tensor& ga = grad_buf(a);
+        const Tensor& bv2 = val(b);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          ga.data()[i] += g.data()[i] * bv2.data()[i];
+        }
+      }
+      if (requires_grad(b)) {
+        Tensor& gb = grad_buf(b);
+        const Tensor& av2 = val(a);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          gb.data()[i] += g.data()[i] * av2.data()[i];
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::MulRowBroadcast(VarId a, VarId b) {
+  const Tensor& av = val(a);
+  const Tensor& bv = val(b);
+  DGNN_CHECK_EQ(bv.rows(), 1);
+  DGNN_CHECK_EQ(bv.cols(), av.cols());
+  Tensor out = av;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    float* orow = out.row(r);
+    const float* brow = bv.row(0);
+    for (int64_t c = 0; c < out.cols(); ++c) orow[c] *= brow[c];
+  }
+  bool rg = requires_grad(a) || requires_grad(b);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, b]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& av2 = val(a);
+      const Tensor& bv2 = val(b);
+      if (requires_grad(a)) {
+        Tensor& ga = grad_buf(a);
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float* grow = g.row(r);
+          const float* brow = bv2.row(0);
+          float* garow = ga.row(r);
+          for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c] * brow[c];
+        }
+      }
+      if (requires_grad(b)) {
+        Tensor& gb = grad_buf(b);
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float* grow = g.row(r);
+          const float* arow = av2.row(r);
+          float* gbrow = gb.row(0);
+          for (int64_t c = 0; c < g.cols(); ++c) gbrow[c] += grow[c] * arow[c];
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::RowScale(VarId a, VarId s) {
+  const Tensor& av = val(a);
+  const Tensor& sv = val(s);
+  DGNN_CHECK_EQ(sv.rows(), av.rows());
+  DGNN_CHECK_EQ(sv.cols(), 1);
+  Tensor out = av;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    const float f = sv.at(r, 0);
+    float* orow = out.row(r);
+    for (int64_t c = 0; c < out.cols(); ++c) orow[c] *= f;
+  }
+  bool rg = requires_grad(a) || requires_grad(s);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, s]() {
+      const Tensor& g = node(id).grad;
+      if (requires_grad(a)) {
+        Tensor& ga = grad_buf(a);
+        const Tensor& sv2 = val(s);
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float f = sv2.at(r, 0);
+          const float* grow = g.row(r);
+          float* garow = ga.row(r);
+          for (int64_t c = 0; c < g.cols(); ++c) garow[c] += f * grow[c];
+        }
+      }
+      if (requires_grad(s)) {
+        Tensor& gs = grad_buf(s);
+        const Tensor& av2 = val(a);
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float* grow = g.row(r);
+          const float* arow = av2.row(r);
+          float acc = 0.0f;
+          for (int64_t c = 0; c < g.cols(); ++c) acc += grow[c] * arow[c];
+          gs.at(r, 0) += acc;
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::ScalarMul(VarId a, float c) {
+  Tensor out = val(a);
+  out.Scale(c);
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, c]() {
+      grad_buf(a).Axpy(c, node(id).grad);
+    };
+  }
+  return id;
+}
+
+VarId Tape::MulScalarVar(VarId a, VarId s) {
+  const Tensor& av = val(a);
+  const Tensor& sv = val(s);
+  DGNN_CHECK_EQ(sv.size(), 1);
+  Tensor out = av;
+  out.Scale(sv.scalar());
+  bool rg = requires_grad(a) || requires_grad(s);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, s]() {
+      const Tensor& g = node(id).grad;
+      if (requires_grad(a)) grad_buf(a).Axpy(val(s).scalar(), g);
+      if (requires_grad(s)) {
+        const Tensor& av2 = val(a);
+        float acc = 0.0f;
+        for (int64_t i = 0; i < g.size(); ++i) {
+          acc += g.data()[i] * av2.data()[i];
+        }
+        grad_buf(s).at(0, 0) += acc;
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::LeakyRelu(VarId a, float negative_slope) {
+  const Tensor& av = val(a);
+  Tensor out = av;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] *= negative_slope;
+  }
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, negative_slope]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& x = val(a);
+      Tensor& ga = grad_buf(a);
+      for (int64_t i = 0; i < g.size(); ++i) {
+        ga.data()[i] +=
+            g.data()[i] * (x.data()[i] >= 0.0f ? 1.0f : negative_slope);
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::Relu(VarId a) { return LeakyRelu(a, 0.0f); }
+
+VarId Tape::Sigmoid(VarId a) {
+  const Tensor& av = val(a);
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = SigmoidF(av.data()[i]);
+  }
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& y = node(id).value;
+      Tensor& ga = grad_buf(a);
+      for (int64_t i = 0; i < g.size(); ++i) {
+        const float yi = y.data()[i];
+        ga.data()[i] += g.data()[i] * yi * (1.0f - yi);
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::Tanh(VarId a) {
+  const Tensor& av = val(a);
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(av.data()[i]);
+  }
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& y = node(id).value;
+      Tensor& ga = grad_buf(a);
+      for (int64_t i = 0; i < g.size(); ++i) {
+        const float yi = y.data()[i];
+        ga.data()[i] += g.data()[i] * (1.0f - yi * yi);
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::Exp(VarId a) {
+  const Tensor& av = val(a);
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::exp(av.data()[i]);
+  }
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& y = node(id).value;
+      Tensor& ga = grad_buf(a);
+      for (int64_t i = 0; i < g.size(); ++i) {
+        ga.data()[i] += g.data()[i] * y.data()[i];
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::Log(VarId a, float eps) {
+  const Tensor& av = val(a);
+  Tensor out(av.rows(), av.cols());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::log(av.data()[i] + eps);
+  }
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, eps]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& x = val(a);
+      Tensor& ga = grad_buf(a);
+      for (int64_t i = 0; i < g.size(); ++i) {
+        ga.data()[i] += g.data()[i] / (x.data()[i] + eps);
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::Dropout(VarId a, float rate, util::Rng& rng, bool training) {
+  if (!training || rate <= 0.0f) return a;
+  DGNN_CHECK_LT(rate, 1.0f);
+  const Tensor& av = val(a);
+  const float scale = 1.0f / (1.0f - rate);
+  auto mask = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(av.size()));
+  Tensor out = av;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    const float keep = rng.Bernoulli(rate) ? 0.0f : scale;
+    (*mask)[static_cast<size_t>(i)] = keep;
+    out.data()[i] *= keep;
+  }
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, mask]() {
+      const Tensor& g = node(id).grad;
+      Tensor& ga = grad_buf(a);
+      for (int64_t i = 0; i < g.size(); ++i) {
+        ga.data()[i] += g.data()[i] * (*mask)[static_cast<size_t>(i)];
+      }
+    };
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Graph / sparse ops
+// ---------------------------------------------------------------------------
+
+VarId Tape::SpMM(const graph::CsrMatrix* adj, const graph::CsrMatrix* adj_t,
+                 VarId b) {
+  DGNN_CHECK(adj != nullptr);
+  const Tensor& bv = val(b);
+  DGNN_CHECK_EQ(adj->cols(), bv.rows());
+  Tensor out(adj->rows(), bv.cols());
+  adj->Multiply(bv.data(), bv.cols(), out.data());
+  bool rg = requires_grad(b);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    DGNN_CHECK(adj_t != nullptr)
+        << "SpMM over a differentiable input needs the transposed CSR";
+    DGNN_CHECK_EQ(adj_t->rows(), adj->cols());
+    DGNN_CHECK_EQ(adj_t->cols(), adj->rows());
+    node(id).backward = [this, id, adj_t, b]() {
+      const Tensor& g = node(id).grad;
+      Tensor tmp(adj_t->rows(), g.cols());
+      adj_t->Multiply(g.data(), g.cols(), tmp.data());
+      grad_buf(b).Add(tmp);
+    };
+  }
+  return id;
+}
+
+VarId Tape::GatherRows(VarId a, std::vector<int32_t> index) {
+  const Tensor& av = val(a);
+  Tensor out(static_cast<int64_t>(index.size()), av.cols());
+  for (size_t i = 0; i < index.size(); ++i) {
+    const int32_t r = index[i];
+    DGNN_DCHECK_GE(r, 0);
+    DGNN_DCHECK_LT(r, av.rows());
+    std::copy(av.row(r), av.row(r) + av.cols(),
+              out.row(static_cast<int64_t>(i)));
+  }
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    auto idx = std::make_shared<std::vector<int32_t>>(std::move(index));
+    node(id).backward = [this, id, a, idx]() {
+      const Tensor& g = node(id).grad;
+      Tensor& ga = grad_buf(a);
+      for (size_t i = 0; i < idx->size(); ++i) {
+        const float* grow = g.row(static_cast<int64_t>(i));
+        float* garow = ga.row((*idx)[i]);
+        for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c];
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::SegmentSum(VarId a, std::vector<int32_t> segment_ids,
+                       int64_t num_segments) {
+  const Tensor& av = val(a);
+  DGNN_CHECK_EQ(static_cast<int64_t>(segment_ids.size()), av.rows());
+  Tensor out(num_segments, av.cols());
+  for (size_t e = 0; e < segment_ids.size(); ++e) {
+    const int32_t s = segment_ids[e];
+    DGNN_DCHECK_GE(s, 0);
+    DGNN_DCHECK_LT(s, num_segments);
+    const float* arow = av.row(static_cast<int64_t>(e));
+    float* orow = out.row(s);
+    for (int64_t c = 0; c < av.cols(); ++c) orow[c] += arow[c];
+  }
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    auto seg = std::make_shared<std::vector<int32_t>>(std::move(segment_ids));
+    node(id).backward = [this, id, a, seg]() {
+      const Tensor& g = node(id).grad;
+      Tensor& ga = grad_buf(a);
+      for (size_t e = 0; e < seg->size(); ++e) {
+        const float* grow = g.row((*seg)[e]);
+        float* garow = ga.row(static_cast<int64_t>(e));
+        for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c];
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::SegmentSoftmax(VarId scores, std::vector<int32_t> segment_ids,
+                           int64_t num_segments) {
+  const Tensor& sv = val(scores);
+  DGNN_CHECK_EQ(sv.cols(), 1);
+  DGNN_CHECK_EQ(static_cast<int64_t>(segment_ids.size()), sv.rows());
+  // Per-segment max for numerical stability.
+  std::vector<float> seg_max(static_cast<size_t>(num_segments),
+                             -std::numeric_limits<float>::infinity());
+  for (size_t e = 0; e < segment_ids.size(); ++e) {
+    const int32_t s = segment_ids[e];
+    DGNN_DCHECK_GE(s, 0);
+    DGNN_DCHECK_LT(s, num_segments);
+    seg_max[static_cast<size_t>(s)] =
+        std::max(seg_max[static_cast<size_t>(s)], sv.at(static_cast<int64_t>(e), 0));
+  }
+  std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
+  Tensor out(sv.rows(), 1);
+  for (size_t e = 0; e < segment_ids.size(); ++e) {
+    const int32_t s = segment_ids[e];
+    const float ex =
+        std::exp(sv.at(static_cast<int64_t>(e), 0) - seg_max[static_cast<size_t>(s)]);
+    out.at(static_cast<int64_t>(e), 0) = ex;
+    seg_sum[static_cast<size_t>(s)] += ex;
+  }
+  for (size_t e = 0; e < segment_ids.size(); ++e) {
+    const int32_t s = segment_ids[e];
+    out.at(static_cast<int64_t>(e), 0) /= seg_sum[static_cast<size_t>(s)];
+  }
+  bool rg = requires_grad(scores);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    auto seg = std::make_shared<std::vector<int32_t>>(std::move(segment_ids));
+    node(id).backward = [this, id, scores, seg, num_segments]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& y = node(id).value;
+      Tensor& gs = grad_buf(scores);
+      std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
+      for (size_t e = 0; e < seg->size(); ++e) {
+        seg_dot[static_cast<size_t>((*seg)[e])] +=
+            g.at(static_cast<int64_t>(e), 0) * y.at(static_cast<int64_t>(e), 0);
+      }
+      for (size_t e = 0; e < seg->size(); ++e) {
+        const float ye = y.at(static_cast<int64_t>(e), 0);
+        gs.at(static_cast<int64_t>(e), 0) +=
+            ye * (g.at(static_cast<int64_t>(e), 0) -
+                  seg_dot[static_cast<size_t>((*seg)[e])]);
+      }
+    };
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops
+// ---------------------------------------------------------------------------
+
+VarId Tape::ConcatCols(const std::vector<VarId>& xs) {
+  DGNN_CHECK(!xs.empty());
+  const int64_t rows = val(xs[0]).rows();
+  int64_t total_cols = 0;
+  bool rg = false;
+  for (VarId x : xs) {
+    DGNN_CHECK_EQ(val(x).rows(), rows);
+    total_cols += val(x).cols();
+    rg = rg || requires_grad(x);
+  }
+  Tensor out(rows, total_cols);
+  int64_t offset = 0;
+  for (VarId x : xs) {
+    const Tensor& xv = val(x);
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(xv.row(r), xv.row(r) + xv.cols(), out.row(r) + offset);
+    }
+    offset += xv.cols();
+  }
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    std::vector<VarId> inputs = xs;
+    node(id).backward = [this, id, inputs]() {
+      const Tensor& g = node(id).grad;
+      int64_t off = 0;
+      for (VarId x : inputs) {
+        const int64_t c = val(x).cols();
+        if (requires_grad(x)) {
+          Tensor& gx = grad_buf(x);
+          for (int64_t r = 0; r < g.rows(); ++r) {
+            const float* grow = g.row(r) + off;
+            float* xrow = gx.row(r);
+            for (int64_t j = 0; j < c; ++j) xrow[j] += grow[j];
+          }
+        }
+        off += c;
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::ConcatRows(const std::vector<VarId>& xs) {
+  DGNN_CHECK(!xs.empty());
+  const int64_t cols = val(xs[0]).cols();
+  int64_t total_rows = 0;
+  bool rg = false;
+  for (VarId x : xs) {
+    DGNN_CHECK_EQ(val(x).cols(), cols);
+    total_rows += val(x).rows();
+    rg = rg || requires_grad(x);
+  }
+  Tensor out(total_rows, cols);
+  int64_t offset = 0;
+  for (VarId x : xs) {
+    const Tensor& xv = val(x);
+    std::copy(xv.data(), xv.data() + xv.size(), out.row(offset));
+    offset += xv.rows();
+  }
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    std::vector<VarId> inputs = xs;
+    node(id).backward = [this, id, inputs]() {
+      const Tensor& g = node(id).grad;
+      int64_t off = 0;
+      for (VarId x : inputs) {
+        const int64_t r = val(x).rows();
+        if (requires_grad(x)) {
+          Tensor& gx = grad_buf(x);
+          for (int64_t i = 0; i < r * g.cols(); ++i) {
+            gx.data()[i] += g.row(off)[i];
+          }
+        }
+        off += r;
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::Col(VarId a, int64_t c) {
+  const Tensor& av = val(a);
+  DGNN_CHECK_GE(c, 0);
+  DGNN_CHECK_LT(c, av.cols());
+  Tensor out(av.rows(), 1);
+  for (int64_t r = 0; r < av.rows(); ++r) out.at(r, 0) = av.at(r, c);
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, c]() {
+      const Tensor& g = node(id).grad;
+      Tensor& ga = grad_buf(a);
+      for (int64_t r = 0; r < g.rows(); ++r) ga.at(r, c) += g.at(r, 0);
+    };
+  }
+  return id;
+}
+
+VarId Tape::SliceRows(VarId a, int64_t begin, int64_t count) {
+  const Tensor& av = val(a);
+  DGNN_CHECK_GE(begin, 0);
+  DGNN_CHECK_LE(begin + count, av.rows());
+  Tensor out(count, av.cols());
+  std::copy(av.row(begin), av.row(begin) + count * av.cols(), out.data());
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, begin]() {
+      const Tensor& g = node(id).grad;
+      Tensor& ga = grad_buf(a);
+      float* base = ga.row(begin);
+      for (int64_t i = 0; i < g.size(); ++i) base[i] += g.data()[i];
+    };
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Reductions, norms, losses
+// ---------------------------------------------------------------------------
+
+VarId Tape::LayerNorm(VarId a, VarId gamma, VarId beta, float eps) {
+  const Tensor& x = val(a);
+  const Tensor& gm = val(gamma);
+  const Tensor& bt = val(beta);
+  DGNN_CHECK_EQ(gm.rows(), 1);
+  DGNN_CHECK_EQ(gm.cols(), x.cols());
+  DGNN_CHECK_EQ(bt.rows(), 1);
+  DGNN_CHECK_EQ(bt.cols(), x.cols());
+  const int64_t n = x.rows();
+  const int64_t d = x.cols();
+
+  auto xhat = std::make_shared<Tensor>(n, d);
+  auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
+  Tensor out(n, d);
+  for (int64_t r = 0; r < n; ++r) {
+    const float* xr = x.row(r);
+    float mean = 0.0f;
+    for (int64_t c = 0; c < d; ++c) mean += xr[c];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int64_t c = 0; c < d; ++c) {
+      const float dv = xr[c] - mean;
+      var += dv * dv;
+    }
+    var /= static_cast<float>(d);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[static_cast<size_t>(r)] = istd;
+    float* hr = xhat->row(r);
+    float* orow = out.row(r);
+    for (int64_t c = 0; c < d; ++c) {
+      hr[c] = (xr[c] - mean) * istd;
+      orow[c] = gm.at(0, c) * hr[c] + bt.at(0, c);
+    }
+  }
+  bool rg = requires_grad(a) || requires_grad(gamma) || requires_grad(beta);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, gamma, beta, xhat, inv_std]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& gm2 = val(gamma);
+      const int64_t n2 = g.rows();
+      const int64_t d2 = g.cols();
+      if (requires_grad(gamma)) {
+        Tensor& gg = grad_buf(gamma);
+        for (int64_t r = 0; r < n2; ++r) {
+          const float* grow = g.row(r);
+          const float* hrow = xhat->row(r);
+          for (int64_t c = 0; c < d2; ++c) gg.at(0, c) += grow[c] * hrow[c];
+        }
+      }
+      if (requires_grad(beta)) {
+        Tensor& gb = grad_buf(beta);
+        for (int64_t r = 0; r < n2; ++r) {
+          const float* grow = g.row(r);
+          for (int64_t c = 0; c < d2; ++c) gb.at(0, c) += grow[c];
+        }
+      }
+      if (requires_grad(a)) {
+        Tensor& ga = grad_buf(a);
+        for (int64_t r = 0; r < n2; ++r) {
+          const float* grow = g.row(r);
+          const float* hrow = xhat->row(r);
+          // dxhat = dy * gamma
+          float mean_dxhat = 0.0f;
+          float mean_dxhat_h = 0.0f;
+          for (int64_t c = 0; c < d2; ++c) {
+            const float dxh = grow[c] * gm2.at(0, c);
+            mean_dxhat += dxh;
+            mean_dxhat_h += dxh * hrow[c];
+          }
+          mean_dxhat /= static_cast<float>(d2);
+          mean_dxhat_h /= static_cast<float>(d2);
+          const float istd = (*inv_std)[static_cast<size_t>(r)];
+          float* garow = ga.row(r);
+          for (int64_t c = 0; c < d2; ++c) {
+            const float dxh = grow[c] * gm2.at(0, c);
+            garow[c] += istd * (dxh - mean_dxhat - hrow[c] * mean_dxhat_h);
+          }
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::FeatureNorm(VarId a, VarId gamma, VarId beta, float eps) {
+  const Tensor& x = val(a);
+  const Tensor& gm = val(gamma);
+  const Tensor& bt = val(beta);
+  DGNN_CHECK_EQ(gm.rows(), 1);
+  DGNN_CHECK_EQ(gm.cols(), x.cols());
+  DGNN_CHECK_EQ(bt.rows(), 1);
+  DGNN_CHECK_EQ(bt.cols(), x.cols());
+  const int64_t n = x.rows();
+  const int64_t d = x.cols();
+  DGNN_CHECK_GT(n, 0);
+
+  auto xhat = std::make_shared<Tensor>(n, d);
+  auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(d));
+  Tensor out(n, d);
+  for (int64_t c = 0; c < d; ++c) {
+    float mean = 0.0f;
+    for (int64_t r = 0; r < n; ++r) mean += x.at(r, c);
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t r = 0; r < n; ++r) {
+      const float dv = x.at(r, c) - mean;
+      var += dv * dv;
+    }
+    var /= static_cast<float>(n);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[static_cast<size_t>(c)] = istd;
+    for (int64_t r = 0; r < n; ++r) {
+      const float h = (x.at(r, c) - mean) * istd;
+      xhat->at(r, c) = h;
+      out.at(r, c) = gm.at(0, c) * h + bt.at(0, c);
+    }
+  }
+  bool rg = requires_grad(a) || requires_grad(gamma) || requires_grad(beta);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, gamma, beta, xhat, inv_std]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& gm2 = val(gamma);
+      const int64_t n2 = g.rows();
+      const int64_t d2 = g.cols();
+      for (int64_t c = 0; c < d2; ++c) {
+        float sum_g = 0.0f;
+        float sum_gh = 0.0f;
+        for (int64_t r = 0; r < n2; ++r) {
+          sum_g += g.at(r, c);
+          sum_gh += g.at(r, c) * xhat->at(r, c);
+        }
+        if (requires_grad(gamma)) grad_buf(gamma).at(0, c) += sum_gh;
+        if (requires_grad(beta)) grad_buf(beta).at(0, c) += sum_g;
+        if (requires_grad(a)) {
+          Tensor& ga = grad_buf(a);
+          const float istd = (*inv_std)[static_cast<size_t>(c)];
+          const float gc = gm2.at(0, c);
+          const float mean_g = sum_g / static_cast<float>(n2);
+          const float mean_gh = sum_gh / static_cast<float>(n2);
+          for (int64_t r = 0; r < n2; ++r) {
+            ga.at(r, c) += gc * istd *
+                           (g.at(r, c) - mean_g -
+                            xhat->at(r, c) * mean_gh);
+          }
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::RowL2Normalize(VarId a, float eps) {
+  const Tensor& x = val(a);
+  const int64_t n = x.rows();
+  const int64_t d = x.cols();
+  auto inv_norm = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
+  Tensor out(n, d);
+  for (int64_t r = 0; r < n; ++r) {
+    const float* xr = x.row(r);
+    float sq = 0.0f;
+    for (int64_t c = 0; c < d; ++c) sq += xr[c] * xr[c];
+    const float inv = 1.0f / std::sqrt(sq + eps);
+    (*inv_norm)[static_cast<size_t>(r)] = inv;
+    float* orow = out.row(r);
+    for (int64_t c = 0; c < d; ++c) orow[c] = xr[c] * inv;
+  }
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, inv_norm]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& y = node(id).value;
+      Tensor& ga = grad_buf(a);
+      for (int64_t r = 0; r < g.rows(); ++r) {
+        const float* grow = g.row(r);
+        const float* yrow = y.row(r);
+        float dot = 0.0f;
+        for (int64_t c = 0; c < g.cols(); ++c) dot += grow[c] * yrow[c];
+        const float inv = (*inv_norm)[static_cast<size_t>(r)];
+        float* garow = ga.row(r);
+        for (int64_t c = 0; c < g.cols(); ++c) {
+          garow[c] += inv * (grow[c] - yrow[c] * dot);
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::RowDot(VarId a, VarId b) {
+  const Tensor& av = val(a);
+  const Tensor& bv = val(b);
+  DGNN_CHECK(av.SameShape(bv));
+  Tensor out(av.rows(), 1);
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    const float* ar = av.row(r);
+    const float* br = bv.row(r);
+    float acc = 0.0f;
+    for (int64_t c = 0; c < av.cols(); ++c) acc += ar[c] * br[c];
+    out.at(r, 0) = acc;
+  }
+  bool rg = requires_grad(a) || requires_grad(b);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, b]() {
+      const Tensor& g = node(id).grad;
+      if (requires_grad(a)) {
+        Tensor& ga = grad_buf(a);
+        const Tensor& bv2 = val(b);
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float gr = g.at(r, 0);
+          const float* br = bv2.row(r);
+          float* gar = ga.row(r);
+          for (int64_t c = 0; c < ga.cols(); ++c) gar[c] += gr * br[c];
+        }
+      }
+      if (requires_grad(b)) {
+        Tensor& gb = grad_buf(b);
+        const Tensor& av2 = val(a);
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float gr = g.at(r, 0);
+          const float* ar = av2.row(r);
+          float* gbr = gb.row(r);
+          for (int64_t c = 0; c < gb.cols(); ++c) gbr[c] += gr * ar[c];
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::RowSoftmax(VarId a) {
+  const Tensor& x = val(a);
+  Tensor out(x.rows(), x.cols());
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* xr = x.row(r);
+    float mx = xr[0];
+    for (int64_t c = 1; c < x.cols(); ++c) mx = std::max(mx, xr[c]);
+    float sum = 0.0f;
+    float* orow = out.row(r);
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      orow[c] = std::exp(xr[c] - mx);
+      sum += orow[c];
+    }
+    for (int64_t c = 0; c < x.cols(); ++c) orow[c] /= sum;
+  }
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a]() {
+      const Tensor& g = node(id).grad;
+      const Tensor& y = node(id).value;
+      Tensor& ga = grad_buf(a);
+      for (int64_t r = 0; r < g.rows(); ++r) {
+        const float* grow = g.row(r);
+        const float* yrow = y.row(r);
+        float dot = 0.0f;
+        for (int64_t c = 0; c < g.cols(); ++c) dot += grow[c] * yrow[c];
+        float* garow = ga.row(r);
+        for (int64_t c = 0; c < g.cols(); ++c) {
+          garow[c] += yrow[c] * (grow[c] - dot);
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::SumAll(VarId a) {
+  const Tensor& av = val(a);
+  float s = 0.0f;
+  for (int64_t i = 0; i < av.size(); ++i) s += av.data()[i];
+  bool rg = requires_grad(a);
+  VarId id = Emit(Tensor::Scalar(s), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a]() {
+      const float g = node(id).grad.scalar();
+      Tensor& ga = grad_buf(a);
+      for (int64_t i = 0; i < ga.size(); ++i) ga.data()[i] += g;
+    };
+  }
+  return id;
+}
+
+VarId Tape::MeanAll(VarId a) {
+  const int64_t n = val(a).size();
+  DGNN_CHECK_GT(n, 0);
+  return ScalarMul(SumAll(a), 1.0f / static_cast<float>(n));
+}
+
+VarId Tape::MeanRows(VarId a) {
+  const Tensor& av = val(a);
+  DGNN_CHECK_GT(av.rows(), 0);
+  Tensor out(1, av.cols());
+  for (int64_t r = 0; r < av.rows(); ++r) {
+    const float* ar = av.row(r);
+    for (int64_t c = 0; c < av.cols(); ++c) out.at(0, c) += ar[c];
+  }
+  const float inv = 1.0f / static_cast<float>(av.rows());
+  out.Scale(inv);
+  bool rg = requires_grad(a);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a, inv]() {
+      const Tensor& g = node(id).grad;
+      Tensor& ga = grad_buf(a);
+      for (int64_t r = 0; r < ga.rows(); ++r) {
+        float* garow = ga.row(r);
+        for (int64_t c = 0; c < ga.cols(); ++c) {
+          garow[c] += g.at(0, c) * inv;
+        }
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::L2(VarId a) {
+  const Tensor& av = val(a);
+  bool rg = requires_grad(a);
+  VarId id = Emit(Tensor::Scalar(av.SquaredL2()), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, a]() {
+      const float g = node(id).grad.scalar();
+      const Tensor& x = val(a);
+      Tensor& ga = grad_buf(a);
+      for (int64_t i = 0; i < ga.size(); ++i) {
+        ga.data()[i] += 2.0f * g * x.data()[i];
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::BprLoss(VarId pos, VarId neg) {
+  const Tensor& pv = val(pos);
+  const Tensor& nv = val(neg);
+  DGNN_CHECK(pv.SameShape(nv));
+  DGNN_CHECK_EQ(pv.cols(), 1);
+  const int64_t n = pv.rows();
+  DGNN_CHECK_GT(n, 0);
+  float loss = 0.0f;
+  for (int64_t r = 0; r < n; ++r) {
+    loss += StableSoftplus(nv.at(r, 0) - pv.at(r, 0));
+  }
+  loss /= static_cast<float>(n);
+  bool rg = requires_grad(pos) || requires_grad(neg);
+  VarId id = Emit(Tensor::Scalar(loss), rg, nullptr);
+  if (rg) {
+    node(id).backward = [this, id, pos, neg, n]() {
+      const float g = node(id).grad.scalar() / static_cast<float>(n);
+      const Tensor& pv2 = val(pos);
+      const Tensor& nv2 = val(neg);
+      for (int64_t r = 0; r < n; ++r) {
+        const float s = SigmoidF(nv2.at(r, 0) - pv2.at(r, 0));
+        if (requires_grad(pos)) grad_buf(pos).at(r, 0) -= g * s;
+        if (requires_grad(neg)) grad_buf(neg).at(r, 0) += g * s;
+      }
+    };
+  }
+  return id;
+}
+
+}  // namespace dgnn::ag

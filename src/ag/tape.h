@@ -1,0 +1,203 @@
+// Reverse-mode automatic differentiation over dense float32 matrices,
+// plus the sparse/graph ops (SpMM, gather/scatter, segment softmax) that
+// GNN message passing needs and that off-the-shelf C++ tensor libraries
+// lack.
+//
+// Usage pattern (one Tape per forward/backward pass):
+//
+//   ag::Tape t;
+//   ag::VarId e = t.Param(&embeddings);         // leaf bound to a Parameter
+//   ag::VarId h = t.LeakyRelu(t.SpMM(&adj, &adj_t, e), 0.2f);
+//   ag::VarId loss = t.BprLoss(pos_scores, neg_scores);
+//   t.Backward(loss);                           // grads land in Parameters
+//
+// All ops allocate a new node; values are computed eagerly so intermediate
+// results can be inspected. Gradients never flow into CSR values or index
+// vectors. CSR pointers passed to SpMM must outlive the Tape.
+
+#ifndef DGNN_AG_TAPE_H_
+#define DGNN_AG_TAPE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ag/tensor.h"
+#include "graph/csr.h"
+#include "util/rng.h"
+
+namespace dgnn::ag {
+
+using VarId = int32_t;
+
+// A trainable tensor with its gradient accumulator and optimizer slots.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  // Adam moment estimates, sized lazily by the optimizer.
+  Tensor adam_m;
+  Tensor adam_v;
+  // Optional L2-SP anchor: when non-empty, decoupled weight decay pulls
+  // the value toward this tensor instead of toward zero. Used by modules
+  // whose initialization encodes a meaningful prior (e.g. the memory
+  // encoder's near-identity transforms).
+  Tensor anchor;
+  // Per-parameter learning-rate multiplier. Adam's normalized steps move
+  // every parameter ~lr per iteration regardless of its natural scale;
+  // small structural parameters (gates, factor masks) live on scales of
+  // 1/|M| and need proportionally smaller steps than embeddings.
+  float lr_scale = 1.0f;
+};
+
+// Owns and creates Parameters; one store per model.
+class ParamStore {
+ public:
+  ParamStore() = default;
+  ParamStore(const ParamStore&) = delete;
+  ParamStore& operator=(const ParamStore&) = delete;
+
+  Parameter* Create(const std::string& name, Tensor init);
+  Parameter* CreateXavier(const std::string& name, int64_t rows,
+                          int64_t cols, util::Rng& rng);
+  Parameter* CreateZero(const std::string& name, int64_t rows, int64_t cols);
+  Parameter* CreateFull(const std::string& name, int64_t rows, int64_t cols,
+                        float value);
+
+  void ZeroGrad();
+  int64_t TotalParameterCount() const;
+  // nullptr when absent.
+  Parameter* Find(const std::string& name);
+
+  const std::vector<std::unique_ptr<Parameter>>& params() const {
+    return params_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+};
+
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // ----- graph construction ---------------------------------------------
+
+  // Leaf holding a constant (no gradient).
+  VarId Constant(Tensor value);
+  // Leaf bound to a Parameter; Backward accumulates into p->grad.
+  VarId Param(Parameter* p);
+
+  const Tensor& val(VarId id) const;
+  // Gradient of a node (zeros until Backward has run through it).
+  const Tensor& grad(VarId id) const;
+  bool requires_grad(VarId id) const;
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+  // Runs reverse-mode accumulation from a 1x1 root.
+  void Backward(VarId root);
+
+  // Drops all nodes; Parameters keep their values and grads.
+  void Reset();
+
+  // ----- elementwise & linear algebra ------------------------------------
+
+  // a @ b with optional transposes.
+  VarId MatMul(VarId a, VarId b, bool trans_a = false, bool trans_b = false);
+  VarId Add(VarId a, VarId b);
+  VarId Sub(VarId a, VarId b);
+  // Sum of same-shaped vars.
+  VarId AddN(const std::vector<VarId>& xs);
+  // a (n x d) + row vector b (1 x d) broadcast over rows.
+  VarId AddRowBroadcast(VarId a, VarId b);
+  VarId Mul(VarId a, VarId b);
+  // a (n x d) * row vector b (1 x d), broadcast over rows.
+  VarId MulRowBroadcast(VarId a, VarId b);
+  // a (n x d) scaled per-row by s (n x 1).
+  VarId RowScale(VarId a, VarId s);
+  VarId ScalarMul(VarId a, float c);
+  // a scaled by a differentiable 1 x 1 scalar variable s.
+  VarId MulScalarVar(VarId a, VarId s);
+  VarId LeakyRelu(VarId a, float negative_slope);
+  VarId Relu(VarId a);
+  VarId Sigmoid(VarId a);
+  VarId Tanh(VarId a);
+  VarId Exp(VarId a);
+  // Natural log of (a + eps); inputs must keep a + eps > 0.
+  VarId Log(VarId a, float eps = 0.0f);
+  VarId Dropout(VarId a, float rate, util::Rng& rng, bool training);
+
+  // ----- graph / sparse ops ----------------------------------------------
+
+  // adj (n x m CSR) times b (m x d). adj_t must be adj.Transposed() — the
+  // backward pass needs it; pass nullptr only if no gradient will flow.
+  VarId SpMM(const graph::CsrMatrix* adj, const graph::CsrMatrix* adj_t,
+             VarId b);
+  // out[i] = a[index[i]]; backward scatter-adds.
+  VarId GatherRows(VarId a, std::vector<int32_t> index);
+  // Sums edge rows into segment rows: out[seg[e]] += a[e].
+  VarId SegmentSum(VarId a, std::vector<int32_t> segment_ids,
+                   int64_t num_segments);
+  // Softmax of scores (E x 1) within each segment. Empty segments are fine.
+  VarId SegmentSoftmax(VarId scores, std::vector<int32_t> segment_ids,
+                       int64_t num_segments);
+
+  // ----- shape ops --------------------------------------------------------
+
+  VarId ConcatCols(const std::vector<VarId>& xs);
+  VarId ConcatRows(const std::vector<VarId>& xs);
+  // Column c of a as an (n x 1) var.
+  VarId Col(VarId a, int64_t c);
+  // Contiguous row range [begin, begin + count) of a.
+  VarId SliceRows(VarId a, int64_t begin, int64_t count);
+
+  // ----- reductions, norms, losses ----------------------------------------
+
+  // Per-row layer normalization with learned affine (gamma, beta are 1 x d).
+  VarId LayerNorm(VarId a, VarId gamma, VarId beta, float eps = 1e-5f);
+  // Per-feature (column) standardization across rows with learned affine —
+  // full-batch BatchNorm. Unlike LayerNorm it preserves the relative
+  // magnitudes of different rows within each feature, so degree/popularity
+  // signals survive into dot-product scores.
+  VarId FeatureNorm(VarId a, VarId gamma, VarId beta, float eps = 1e-5f);
+  // Rows scaled to unit L2 norm (rows with tiny norm pass through scaled by
+  // 1/eps-capped factor).
+  VarId RowL2Normalize(VarId a, float eps = 1e-12f);
+  // Per-row dot product of same-shaped a, b -> (n x 1).
+  VarId RowDot(VarId a, VarId b);
+  // Softmax along each row.
+  VarId RowSoftmax(VarId a);
+  VarId SumAll(VarId a);
+  VarId MeanAll(VarId a);
+  // Column-wise mean -> (1 x d).
+  VarId MeanRows(VarId a);
+  // Sum of squares -> scalar. The L2 regularizer.
+  VarId L2(VarId a);
+  // mean(softplus(neg - pos)): the BPR pairwise ranking loss (Eq. 11),
+  // numerically stable.
+  VarId BprLoss(VarId pos, VarId neg);
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;  // allocated lazily
+    bool requires_grad = false;
+    Parameter* param = nullptr;
+    std::function<void()> backward;  // may be empty for leaves
+  };
+
+  VarId Emit(Tensor value, bool requires_grad, std::function<void()> backward);
+  Node& node(VarId id);
+  const Node& node(VarId id) const;
+  // Gradient accumulator of `id`, allocated on first use.
+  Tensor& grad_buf(VarId id);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace dgnn::ag
+
+#endif  // DGNN_AG_TAPE_H_

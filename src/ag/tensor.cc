@@ -1,0 +1,87 @@
+#include "ag/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace dgnn::ag {
+
+Tensor Tensor::FromVector(int64_t rows, int64_t cols,
+                          std::vector<float> values) {
+  DGNN_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::Scalar(float v) { return FromVector(1, 1, {v}); }
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float v) {
+  Tensor t(rows, cols);
+  t.Fill(v);
+  return t;
+}
+
+Tensor Tensor::XavierUniform(int64_t rows, int64_t cols, util::Rng& rng) {
+  Tensor t(rows, cols);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data_[static_cast<size_t>(i)] = rng.UniformFloat(-bound, bound);
+  }
+  return t;
+}
+
+Tensor Tensor::GaussianInit(int64_t rows, int64_t cols, float stddev,
+                            util::Rng& rng) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data_[static_cast<size_t>(i)] =
+        static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::Add(const Tensor& other) {
+  DGNN_CHECK(SameShape(other)) << ShapeString() << " vs "
+                               << other.ShapeString();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  DGNN_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::Scale(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+float Tensor::SquaredL2() const {
+  float s = 0.0f;
+  for (float v : data_) s += v * v;
+  return s;
+}
+
+float Tensor::MaxAbsDiff(const Tensor& other) const {
+  DGNN_CHECK(SameShape(other));
+  float m = 0.0f;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+std::string Tensor::ShapeString() const {
+  return util::StrFormat("[%lld x %lld]", static_cast<long long>(rows_),
+                         static_cast<long long>(cols_));
+}
+
+}  // namespace dgnn::ag

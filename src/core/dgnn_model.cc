@@ -1,0 +1,299 @@
+#include "core/dgnn_model.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace dgnn::core {
+namespace {
+
+ag::Parameter* MakeBeta(ag::ParamStore* store, const std::string& name,
+                        int64_t dim) {
+  return store->CreateZero(name, 1, dim);
+}
+
+}  // namespace
+
+DgnnModel::DgnnModel(const graph::HeteroGraph& graph, DgnnConfig config)
+    : graph_(&graph), config_(config) {
+  name_ = "DGNN" + config_.VariantSuffix();
+  has_relations_ =
+      config_.use_item_relations && graph.num_relations() > 0;
+  const int64_t d = config_.embedding_dim;
+  util::Rng rng(config_.seed);
+
+  const float emb_std = config_.embedding_init_stddev;
+  user_emb_ = params_.Create(
+      "user_emb", ag::Tensor::GaussianInit(graph.num_users(), d, emb_std, rng));
+  item_emb_ = params_.Create(
+      "item_emb", ag::Tensor::GaussianInit(graph.num_items(), d, emb_std, rng));
+  rel_emb_ = has_relations_
+                 ? params_.Create("rel_emb",
+                                  ag::Tensor::GaussianInit(
+                                      graph.num_relations(), d, emb_std, rng))
+                 : nullptr;
+
+  // --- normalized adjacency views (Eqs. 4-6) -----------------------------
+  user_item_adj_ = graph.user_item();
+  item_user_adj_ = graph.item_user();
+  if (config_.use_sym_norm) {
+    user_item_adj_.SymNormalize();
+    item_user_adj_.SymNormalize();
+    if (config_.use_social) {
+      user_social_adj_ = graph.social();
+      user_social_adj_.SymNormalize();
+      user_social_adj_t_ = user_social_adj_.Transposed();
+    }
+    if (has_relations_) {
+      item_rel_adj_ = graph.item_rel();
+      item_rel_adj_.SymNormalize();
+      item_rel_adj_t_ = item_rel_adj_.Transposed();
+      rel_item_adj_ = graph.rel_item();
+      rel_item_adj_.SymNormalize();
+      rel_item_adj_t_ = rel_item_adj_.Transposed();
+    }
+  } else {
+    if (config_.use_social) {
+      user_social_adj_ = graph.social();
+      // Joint 1/(|N_S| + |N_Y|) normalization over both user-side edge
+      // sets.
+      graph::HeteroGraph::JointRowNormalize(user_social_adj_,
+                                            user_item_adj_);
+      user_social_adj_t_ = user_social_adj_.Transposed();
+    } else {
+      user_item_adj_.RowNormalize();
+    }
+    if (has_relations_) {
+      item_rel_adj_ = graph.item_rel();
+      graph::HeteroGraph::JointRowNormalize(item_user_adj_, item_rel_adj_);
+      item_rel_adj_t_ = item_rel_adj_.Transposed();
+      rel_item_adj_ = graph.rel_item();
+      rel_item_adj_.RowNormalize();
+      rel_item_adj_t_ = rel_item_adj_.Transposed();
+    } else {
+      item_user_adj_.RowNormalize();
+    }
+  }
+  user_item_adj_t_ = user_item_adj_.Transposed();
+  item_user_adj_t_ = item_user_adj_.Transposed();
+
+  if (config_.use_social && config_.use_social_recalibration) {
+    tau_adj_ = graph.SocialRecalibration();
+    tau_adj_t_ = tau_adj_.Transposed();
+  }
+
+  // --- per-layer modules ---------------------------------------------------
+  auto make_encoder = [&](const std::string& name) {
+    return std::make_unique<MemoryEncoder>(
+        name, d, config_.num_memory_units, config_.gate_side,
+        config_.leaky_slope, &params_, &rng, config_.use_memory_encoder,
+        config_.transform_kind, config_.encoder_lr_scale,
+        config_.gate_lr_scale);
+  };
+  layers_.resize(static_cast<size_t>(config_.num_layers));
+  for (int l = 0; l < config_.num_layers; ++l) {
+    LayerModules& mods = layers_[static_cast<size_t>(l)];
+    const std::string p = util::StrFormat("l%d.", l);
+    if (config_.use_social) mods.user_from_user = make_encoder(p + "u_from_u");
+    mods.user_from_item = make_encoder(p + "u_from_i");
+    mods.item_from_user = make_encoder(p + "i_from_u");
+    if (has_relations_) {
+      mods.item_from_rel = make_encoder(p + "i_from_r");
+      mods.rel_from_item = make_encoder(p + "r_from_i");
+      mods.self_rel = make_encoder(p + "self_r");
+    }
+    mods.self_user = make_encoder(p + "self_u");
+    mods.self_item = make_encoder(p + "self_i");
+    if (config_.use_layer_norm) {
+      mods.ln_gamma_user = params_.CreateFull(p + "ln_g_u", 1, d,
+                                              config_.layer_norm_gain_init);
+      mods.ln_beta_user = MakeBeta(&params_, p + "ln_b_u", d);
+      mods.ln_gamma_item = params_.CreateFull(p + "ln_g_i", 1, d,
+                                              config_.layer_norm_gain_init);
+      mods.ln_beta_item = MakeBeta(&params_, p + "ln_b_i", d);
+      if (has_relations_) {
+        mods.ln_gamma_rel = params_.CreateFull(p + "ln_g_r", 1, d,
+                                               config_.layer_norm_gain_init);
+        mods.ln_beta_rel = MakeBeta(&params_, p + "ln_b_r", d);
+      }
+    }
+  }
+
+  const int64_t final_dim = embedding_dim();
+  if (config_.use_layer_norm && config_.use_final_layer_norm) {
+    final_ln_gamma_user_ =
+        params_.CreateFull("final_ln_g_u", 1, final_dim, 1.0f);
+    final_ln_beta_user_ = MakeBeta(&params_, "final_ln_b_u", final_dim);
+    final_ln_gamma_item_ =
+        params_.CreateFull("final_ln_g_i", 1, final_dim, 1.0f);
+    final_ln_beta_item_ = MakeBeta(&params_, "final_ln_b_i", final_dim);
+  } else {
+    final_ln_gamma_user_ = nullptr;
+    final_ln_beta_user_ = nullptr;
+    final_ln_gamma_item_ = nullptr;
+    final_ln_beta_item_ = nullptr;
+  }
+}
+
+ag::VarId DgnnModel::NormalizeAndSelfPropagate(
+    ag::Tape& tape, ag::VarId aggregated, ag::VarId h_prev,
+    const MemoryEncoder& self_encoder, ag::Parameter* gamma,
+    ag::Parameter* beta) const {
+  ag::VarId normalized = aggregated;
+  if (config_.use_layer_norm) {
+    switch (config_.norm_kind) {
+      case DgnnConfig::NormKind::kFeature:
+        normalized = tape.FeatureNorm(aggregated, tape.Param(gamma),
+                                      tape.Param(beta));
+        break;
+      case DgnnConfig::NormKind::kLayer:
+        normalized = tape.LayerNorm(aggregated, tape.Param(gamma),
+                                    tape.Param(beta));
+        break;
+      case DgnnConfig::NormKind::kRms: {
+        // Per-feature RMS rescale with the statistic treated as constant
+        // (stop-gradient): y = x .* (gamma / rms(x_col)) + beta.
+        const ag::Tensor& v = tape.val(aggregated);
+        ag::Tensor inv_rms(1, v.cols());
+        for (int64_t c = 0; c < v.cols(); ++c) {
+          float sq = 0.0f;
+          for (int64_t r = 0; r < v.rows(); ++r) sq += v.at(r, c) * v.at(r, c);
+          inv_rms.at(0, c) =
+              1.0f / std::sqrt(sq / static_cast<float>(v.rows()) + 1e-8f);
+        }
+        ag::VarId scale = tape.Mul(tape.Param(gamma),
+                                   tape.Constant(std::move(inv_rms)));
+        normalized = tape.AddRowBroadcast(
+            tape.MulRowBroadcast(aggregated, scale), tape.Param(beta));
+        break;
+      }
+    }
+  }
+  ag::VarId activated =
+      config_.use_eq7_activation
+          ? tape.LeakyRelu(normalized, config_.leaky_slope)
+          : normalized;
+  if (!config_.use_self_loop) return activated;
+  ag::VarId self = config_.use_self_encoder
+                       ? self_encoder.SelfPropagate(tape, h_prev)
+                       : h_prev;
+  return tape.Add(activated, self);
+}
+
+models::ForwardResult DgnnModel::Forward(ag::Tape& tape, bool /*training*/) {
+  ag::VarId h_user = tape.Param(user_emb_);
+  ag::VarId h_item = tape.Param(item_emb_);
+  ag::VarId h_rel = has_relations_ ? tape.Param(rel_emb_) : -1;
+
+  std::vector<ag::VarId> user_layers = {h_user};
+  std::vector<ag::VarId> item_layers = {h_item};
+  last_layer_user_input_ = h_user;
+
+  // Message propagation for one typed edge set; with use_transforms off,
+  // falls back to the raw (normalized) neighborhood aggregation.
+  auto propagate = [&](const MemoryEncoder& enc, ag::VarId h_src,
+                       ag::VarId h_tgt, const graph::CsrMatrix* adj,
+                       const graph::CsrMatrix* adj_t) {
+    if (!config_.use_transforms) return tape.SpMM(adj, adj_t, h_src);
+    return enc.Propagate(tape, h_src, h_tgt, adj, adj_t);
+  };
+
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const LayerModules& mods = layers_[static_cast<size_t>(l)];
+    last_layer_user_input_ = h_user;
+
+    // Eq. 4: user aggregation over social + interaction neighborhoods
+    // (adjacency values already carry the joint 1/(|N_S|+|N_Y|) factor).
+    ag::VarId user_agg =
+        propagate(*mods.user_from_item, h_item, h_user, &user_item_adj_,
+                  &user_item_adj_t_);
+    if (config_.use_social) {
+      user_agg = tape.Add(
+          user_agg, propagate(*mods.user_from_user, h_user, h_user,
+                              &user_social_adj_, &user_social_adj_t_));
+    }
+
+    // Eq. 5: item aggregation over interaction + item-relation edges.
+    ag::VarId item_agg =
+        propagate(*mods.item_from_user, h_user, h_item, &item_user_adj_,
+                  &item_user_adj_t_);
+    if (has_relations_) {
+      item_agg = tape.Add(
+          item_agg, propagate(*mods.item_from_rel, h_rel, h_item,
+                              &item_rel_adj_, &item_rel_adj_t_));
+    }
+
+    // Eq. 6: relation-node aggregation from linked items.
+    ag::VarId rel_agg = -1;
+    if (has_relations_) {
+      rel_agg = propagate(*mods.rel_from_item, h_item, h_rel,
+                          &rel_item_adj_, &rel_item_adj_t_);
+    }
+
+    // Eq. 7 per node type.
+    h_user = NormalizeAndSelfPropagate(tape, user_agg, h_user,
+                                       *mods.self_user, mods.ln_gamma_user,
+                                       mods.ln_beta_user);
+    h_item = NormalizeAndSelfPropagate(tape, item_agg, h_item,
+                                       *mods.self_item, mods.ln_gamma_item,
+                                       mods.ln_beta_item);
+    if (has_relations_) {
+      h_rel = NormalizeAndSelfPropagate(tape, rel_agg, h_rel,
+                                        *mods.self_rel, mods.ln_gamma_rel,
+                                        mods.ln_beta_rel);
+    }
+
+    user_layers.push_back(h_user);
+    item_layers.push_back(h_item);
+  }
+
+  // Eq. 8: cross-layer aggregation.
+  ag::VarId user_final;
+  ag::VarId item_final;
+  if (config_.cross_layer == DgnnConfig::CrossLayer::kConcat) {
+    user_final = tape.ConcatCols(user_layers);
+    item_final = tape.ConcatCols(item_layers);
+  } else {
+    user_final = tape.AddN(user_layers);
+    item_final = tape.AddN(item_layers);
+  }
+  if (config_.use_layer_norm && config_.use_final_layer_norm) {
+    user_final = tape.LayerNorm(user_final, tape.Param(final_ln_gamma_user_),
+                                tape.Param(final_ln_beta_user_));
+    item_final = tape.LayerNorm(item_final, tape.Param(final_ln_gamma_item_),
+                                tape.Param(final_ln_beta_item_));
+  }
+
+  // Eqs. 9-10: fold the social recalibration tau into the scoring-side
+  // user embedding: H*[u] + mean over {u} ∪ N_S(u) of H*.
+  models::ForwardResult out;
+  if (config_.use_social && config_.use_social_recalibration) {
+    out.users = tape.Add(
+        user_final,
+        tape.ScalarMul(tape.SpMM(&tau_adj_, &tau_adj_t_, user_final),
+                       config_.tau_scale));
+  } else {
+    out.users = user_final;
+  }
+  out.items = item_final;
+  return out;
+}
+
+DgnnModel::UserGateSnapshot DgnnModel::ComputeUserGates() {
+  UserGateSnapshot snap;
+  DGNN_CHECK(config_.use_memory_encoder)
+      << "memory gates require the memory encoder";
+  DGNN_CHECK(!layers_.empty());
+  ag::Tape tape;
+  Forward(tape, /*training=*/false);
+  const LayerModules& last = layers_.back();
+  if (config_.use_social) {
+    snap.social_gates =
+        tape.val(last.user_from_user->Gates(tape, last_layer_user_input_));
+  }
+  snap.interaction_gates =
+      tape.val(last.user_from_item->Gates(tape, last_layer_user_input_));
+  return snap;
+}
+
+}  // namespace dgnn::core

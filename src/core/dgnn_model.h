@@ -1,0 +1,117 @@
+// DgnnModel — the full Disentangled Graph Neural Network of Section IV:
+// memory-augmented heterogeneous message passing (Eqs. 3-6), layer
+// normalization with self-propagation (Eq. 7), cross-layer aggregation
+// (Eq. 8) and social recalibration at scoring time (Eqs. 9-10). Trains
+// under the shared BPR trainer (Eq. 11) like every baseline.
+
+#ifndef DGNN_CORE_DGNN_MODEL_H_
+#define DGNN_CORE_DGNN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dgnn_config.h"
+#include "core/memory_encoder.h"
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::core {
+
+class DgnnModel : public models::RecModel {
+ public:
+  // Keeps a reference to `graph`; it must outlive the model.
+  DgnnModel(const graph::HeteroGraph& graph, DgnnConfig config);
+
+  const std::string& name() const override { return name_; }
+  models::ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  // Final embedding width after the Eq. 8 cross-layer aggregation.
+  int64_t embedding_dim() const override {
+    return config_.cross_layer == DgnnConfig::CrossLayer::kConcat
+               ? config_.embedding_dim * (config_.num_layers + 1)
+               : config_.embedding_dim;
+  }
+
+  const DgnnConfig& config() const { return config_; }
+
+  // Embedding-table handles for the relational pre-training stage
+  // (core/pretrain.h). relation_embedding() is null when the model runs
+  // without item relations.
+  ag::Parameter* user_embedding() { return user_emb_; }
+  ag::Parameter* item_embedding() { return item_emb_; }
+  ag::Parameter* relation_embedding() { return rel_emb_; }
+
+  // --- Fig. 10 case-study hooks -------------------------------------------
+
+  // The learned memory attention vectors [eta(H^(L)[u], m)]_m of every
+  // user, for the social (user<-user) and the interaction (user<-item)
+  // encoders of the last layer. Rows are users, columns memory units.
+  struct UserGateSnapshot {
+    ag::Tensor social_gates;       // empty when the model runs without S
+    ag::Tensor interaction_gates;
+  };
+  UserGateSnapshot ComputeUserGates();
+
+ private:
+  struct LayerModules {
+    std::unique_ptr<MemoryEncoder> user_from_user;
+    std::unique_ptr<MemoryEncoder> user_from_item;
+    std::unique_ptr<MemoryEncoder> item_from_user;
+    std::unique_ptr<MemoryEncoder> item_from_rel;
+    std::unique_ptr<MemoryEncoder> rel_from_item;
+    std::unique_ptr<MemoryEncoder> self_user;
+    std::unique_ptr<MemoryEncoder> self_item;
+    std::unique_ptr<MemoryEncoder> self_rel;
+    // Eq. 7 affine layer-norm parameters per node type.
+    ag::Parameter* ln_gamma_user = nullptr;
+    ag::Parameter* ln_beta_user = nullptr;
+    ag::Parameter* ln_gamma_item = nullptr;
+    ag::Parameter* ln_beta_item = nullptr;
+    ag::Parameter* ln_gamma_rel = nullptr;
+    ag::Parameter* ln_beta_rel = nullptr;
+  };
+
+  // Applies Eq. 7 to one node type's aggregated messages.
+  ag::VarId NormalizeAndSelfPropagate(ag::Tape& tape, ag::VarId aggregated,
+                                      ag::VarId h_prev,
+                                      const MemoryEncoder& self_encoder,
+                                      ag::Parameter* gamma,
+                                      ag::Parameter* beta) const;
+
+  const graph::HeteroGraph* graph_;
+  DgnnConfig config_;
+  std::string name_;
+  ag::ParamStore params_;
+  bool has_relations_;  // T present and enabled
+
+  // Initial embeddings H^(0).
+  ag::Parameter* user_emb_;
+  ag::Parameter* item_emb_;
+  ag::Parameter* rel_emb_;
+
+  std::vector<LayerModules> layers_;
+
+  // Eq. 8 cross-layer layer-norm parameters.
+  ag::Parameter* final_ln_gamma_user_;
+  ag::Parameter* final_ln_beta_user_;
+  ag::Parameter* final_ln_gamma_item_;
+  ag::Parameter* final_ln_beta_item_;
+
+  // Normalized adjacency views (Eqs. 4-6) and their transposes, owned so
+  // SpMM pointers stay valid.
+  graph::CsrMatrix user_social_adj_, user_social_adj_t_;
+  graph::CsrMatrix user_item_adj_, user_item_adj_t_;
+  graph::CsrMatrix item_user_adj_, item_user_adj_t_;
+  graph::CsrMatrix item_rel_adj_, item_rel_adj_t_;
+  graph::CsrMatrix rel_item_adj_, rel_item_adj_t_;
+  graph::CsrMatrix tau_adj_, tau_adj_t_;  // Eq. 9 recalibration operator
+
+  // Set by Forward for ComputeUserGates: the user embedding var feeding the
+  // last layer on the tape most recently used.
+  ag::VarId last_layer_user_input_ = -1;
+};
+
+}  // namespace dgnn::core
+
+#endif  // DGNN_CORE_DGNN_MODEL_H_

@@ -1,0 +1,175 @@
+#include "core/model_zoo.h"
+
+#include "core/dgnn_model.h"
+#include "models/bpr_mf.h"
+#include "models/dgcf.h"
+#include "models/dgrec.h"
+#include "models/diffnet.h"
+#include "models/disenhan.h"
+#include "models/eatnn.h"
+#include "models/gccf.h"
+#include "models/graphrec.h"
+#include "models/han.h"
+#include "models/herec.h"
+#include "models/hgt.h"
+#include "models/kgat.h"
+#include "models/lightgcn.h"
+#include "models/mhcn.h"
+#include "models/ngcf.h"
+#include "models/samn.h"
+#include "util/check.h"
+
+namespace dgnn::core {
+
+const std::vector<std::string>& TableIIModelNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{
+          "SAMN", "EATNN", "DiffNet", "GraphRec", "NGCF", "GCCF", "DGRec",
+          "KGAT", "DGCF", "DisenHAN", "HAN", "HGT", "HERec", "MHCN",
+          "DGNN"};
+  return *names;
+}
+
+DgnnConfig DgnnVariantConfig(const std::string& name,
+                             const ZooConfig& config) {
+  DgnnConfig c;
+  c.embedding_dim = config.embedding_dim;
+  c.num_layers = config.num_layers;
+  c.num_memory_units = config.num_memory_units;
+  c.seed = config.seed;
+  if (name == "DGNN") return c;
+  if (name == "DGNN-M") {
+    c.use_memory_encoder = false;
+  } else if (name == "DGNN-tau") {
+    c.use_social_recalibration = false;
+  } else if (name == "DGNN-LN") {
+    c.use_layer_norm = false;
+  } else if (name == "DGNN-S") {
+    c.use_social = false;
+  } else if (name == "DGNN-T") {
+    c.use_item_relations = false;
+  } else if (name == "DGNN-ST") {
+    c.use_social = false;
+    c.use_item_relations = false;
+  } else if (name == "DGNN-srcgate") {
+    c.gate_side = MemoryGateSide::kSource;
+  } else {
+    DGNN_CHECK(false) << "unknown DGNN variant: " << name;
+  }
+  return c;
+}
+
+std::unique_ptr<models::RecModel> CreateModelByName(
+    const std::string& name, const data::Dataset& dataset,
+    const graph::HeteroGraph& graph, const ZooConfig& config) {
+  const int64_t d = config.embedding_dim;
+  const uint64_t seed = config.seed;
+  if (name == "BPR-MF") {
+    return std::make_unique<models::BprMf>(graph, d, seed);
+  }
+  if (name == "LightGCN") {
+    models::LightGcnConfig c;
+    c.embedding_dim = d;
+    c.num_layers = config.num_layers;
+    c.seed = seed;
+    return std::make_unique<models::LightGcn>(graph, c);
+  }
+  if (name == "SAMN") {
+    models::SamnConfig c;
+    c.embedding_dim = d;
+    c.num_memory_slices = config.num_memory_units;
+    c.seed = seed;
+    return std::make_unique<models::Samn>(graph, c);
+  }
+  if (name == "EATNN") {
+    models::EatnnConfig c;
+    c.embedding_dim = d;
+    c.seed = seed;
+    return std::make_unique<models::Eatnn>(graph, c);
+  }
+  if (name == "DiffNet") {
+    models::DiffNetConfig c;
+    c.embedding_dim = d;
+    c.num_layers = config.num_layers;
+    c.seed = seed;
+    return std::make_unique<models::DiffNet>(graph, c);
+  }
+  if (name == "GraphRec") {
+    models::GraphRecConfig c;
+    c.embedding_dim = d;
+    c.seed = seed;
+    return std::make_unique<models::GraphRec>(graph, c);
+  }
+  if (name == "NGCF") {
+    models::NgcfConfig c;
+    c.embedding_dim = d;
+    c.num_layers = config.num_layers;
+    c.seed = seed;
+    return std::make_unique<models::Ngcf>(graph, c);
+  }
+  if (name == "GCCF") {
+    models::GccfConfig c;
+    c.embedding_dim = d;
+    c.num_layers = config.num_layers;
+    c.seed = seed;
+    return std::make_unique<models::Gccf>(graph, c);
+  }
+  if (name == "DGRec") {
+    models::DgRecConfig c;
+    c.embedding_dim = d;
+    c.seed = seed;
+    return std::make_unique<models::DgRec>(dataset, graph, c);
+  }
+  if (name == "KGAT") {
+    models::KgatConfig c;
+    c.embedding_dim = d;
+    c.num_layers = config.num_layers;
+    c.seed = seed;
+    return std::make_unique<models::Kgat>(graph, c);
+  }
+  if (name == "DGCF") {
+    models::DgcfConfig c;
+    c.embedding_dim = d;
+    c.seed = seed;
+    return std::make_unique<models::Dgcf>(graph, c);
+  }
+  if (name == "DisenHAN") {
+    models::DisenHanConfig c;
+    c.embedding_dim = d;
+    c.seed = seed;
+    return std::make_unique<models::DisenHan>(graph, c);
+  }
+  if (name == "HAN") {
+    models::HanConfig c;
+    c.embedding_dim = d;
+    c.seed = seed;
+    return std::make_unique<models::Han>(graph, c);
+  }
+  if (name == "HGT") {
+    models::HgtConfig c;
+    c.embedding_dim = d;
+    c.num_layers = config.num_layers;
+    c.seed = seed;
+    return std::make_unique<models::Hgt>(graph, c);
+  }
+  if (name == "HERec") {
+    models::HerecConfig c;
+    c.embedding_dim = d;
+    c.seed = seed;
+    return std::make_unique<models::Herec>(graph, c);
+  }
+  if (name == "MHCN") {
+    models::MhcnConfig c;
+    c.embedding_dim = d;
+    c.seed = seed;
+    return std::make_unique<models::Mhcn>(graph, c);
+  }
+  if (name.rfind("DGNN", 0) == 0) {
+    return std::make_unique<DgnnModel>(graph,
+                                       DgnnVariantConfig(name, config));
+  }
+  DGNN_CHECK(false) << "unknown model name: " << name;
+  return nullptr;
+}
+
+}  // namespace dgnn::core

@@ -1,0 +1,47 @@
+// Model zoo: constructs any of the paper's Table II models by name, under
+// shared hyperparameters, so the bench harnesses can sweep the whole
+// model roster uniformly.
+
+#ifndef DGNN_CORE_MODEL_ZOO_H_
+#define DGNN_CORE_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dgnn_config.h"
+#include "data/dataset.h"
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::core {
+
+struct ZooConfig {
+  int64_t embedding_dim = 16;
+  int num_layers = 2;
+  int num_memory_units = 8;
+  uint64_t seed = 42;
+};
+
+// Names in the paper's Table II column order (DGNN last).
+const std::vector<std::string>& TableIIModelNames();
+
+// Builds a model by Table II name ("SAMN", "EATNN", "DiffNet", "GraphRec",
+// "NGCF", "GCCF", "DGRec", "KGAT", "DGCF", "DisenHAN", "HAN", "HGT",
+// "HERec", "MHCN", "DGNN"), plus the extra references "BPR-MF" and
+// "LightGCN". The DGNN ablation variants ("DGNN-M", "DGNN-tau", "DGNN-LN",
+// "DGNN-S", "DGNN-T", "DGNN-ST", "DGNN-srcgate") are also accepted.
+// CHECK-fails on unknown names. `dataset` and `graph` must outlive the
+// returned model.
+std::unique_ptr<models::RecModel> CreateModelByName(
+    const std::string& name, const data::Dataset& dataset,
+    const graph::HeteroGraph& graph, const ZooConfig& config);
+
+// DgnnConfig for a named variant ("DGNN", "DGNN-M", ...), used by the
+// ablation benches.
+DgnnConfig DgnnVariantConfig(const std::string& name,
+                             const ZooConfig& config);
+
+}  // namespace dgnn::core
+
+#endif  // DGNN_CORE_MODEL_ZOO_H_

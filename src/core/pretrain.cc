@@ -1,0 +1,96 @@
+#include "core/pretrain.h"
+
+#include <algorithm>
+
+#include "ag/adam.h"
+#include "util/check.h"
+
+namespace dgnn::core {
+namespace {
+
+// One relation's link-prediction loss: observed (src, dst) pairs must
+// outscore (src, random-dst) corruptions under dot-product scoring.
+ag::VarId RelationLoss(ag::Tape& tape, ag::Parameter* src_emb,
+                       ag::Parameter* dst_emb,
+                       const graph::EdgeList& edges, int64_t max_edges,
+                       util::Rng& rng) {
+  const int64_t total = edges.size();
+  const int64_t take = std::min(total, max_edges);
+  std::vector<int32_t> src, dst, neg;
+  src.reserve(static_cast<size_t>(take));
+  dst.reserve(static_cast<size_t>(take));
+  neg.reserve(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    const int64_t e = take == total ? i : rng.UniformInt(total);
+    src.push_back(edges.src[static_cast<size_t>(e)]);
+    dst.push_back(edges.dst[static_cast<size_t>(e)]);
+    neg.push_back(static_cast<int32_t>(
+        rng.UniformInt(dst_emb->value.rows())));
+  }
+  ag::VarId src_rows = tape.GatherRows(tape.Param(src_emb), std::move(src));
+  ag::VarId dst_var = tape.Param(dst_emb);
+  ag::VarId pos_rows = tape.GatherRows(dst_var, std::move(dst));
+  ag::VarId neg_rows = tape.GatherRows(dst_var, std::move(neg));
+  return tape.BprLoss(tape.RowDot(src_rows, pos_rows),
+                      tape.RowDot(src_rows, neg_rows));
+}
+
+}  // namespace
+
+PretrainResult PretrainEmbeddings(ag::ParamStore& params,
+                                  ag::Parameter* user_emb,
+                                  ag::Parameter* item_emb,
+                                  ag::Parameter* rel_emb,
+                                  const graph::HeteroGraph& graph,
+                                  const PretrainConfig& config) {
+  DGNN_CHECK(user_emb != nullptr);
+  DGNN_CHECK(item_emb != nullptr);
+  util::Rng rng(config.seed);
+  ag::AdamConfig adam_config;
+  adam_config.learning_rate = config.learning_rate;
+  ag::AdamOptimizer optimizer(&params, adam_config);
+
+  const graph::EdgeList interactions = graph.ItemToUserEdges();
+  const graph::EdgeList social = graph.UserToUserEdges();
+  const graph::EdgeList item_rel = graph.RelToItemEdges();
+
+  PretrainResult result;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    ag::Tape tape;
+    std::vector<ag::VarId> losses;
+    if (interactions.size() > 0) {
+      // user <-> item (scored as user . item, matching the recommender).
+      losses.push_back(RelationLoss(tape, user_emb, item_emb,
+                                    graph.UserToItemEdges(),
+                                    config.max_edges_per_relation, rng));
+    }
+    if (social.size() > 0) {
+      losses.push_back(RelationLoss(tape, user_emb, user_emb, social,
+                                    config.max_edges_per_relation, rng));
+    }
+    if (rel_emb != nullptr && item_rel.size() > 0) {
+      losses.push_back(RelationLoss(tape, item_emb, rel_emb,
+                                    graph.ItemToRelEdges(),
+                                    config.max_edges_per_relation, rng));
+    }
+    if (losses.empty()) break;
+    ag::VarId loss = tape.ScalarMul(
+        tape.AddN(losses), 1.0f / static_cast<float>(losses.size()));
+    const double loss_value = tape.val(loss).scalar();
+    if (epoch == 0) result.first_epoch_loss = loss_value;
+    result.last_epoch_loss = loss_value;
+    tape.Backward(loss);
+    optimizer.Step();
+  }
+
+  // Leave fine-tuning with clean optimizer state: the trainer's Adam must
+  // not inherit the pre-text task's moment estimates.
+  for (auto& p : params.params()) {
+    p->adam_m = ag::Tensor();
+    p->adam_v = ag::Tensor();
+    p->grad.Zero();
+  }
+  return result;
+}
+
+}  // namespace dgnn::core

@@ -1,0 +1,47 @@
+// Heterogeneous relational pre-training — the paper's stated future-work
+// direction ("explore the heterogeneous relational data under a
+// pre-trained framework"). Before BPR fine-tuning, the embedding tables
+// are warm-started with a link-prediction objective on each relation of
+// the collaborative heterogeneous graph: observed edges (user-item,
+// user-user, item-relation) must outscore random corruptions. No
+// propagation parameters are touched — the pre-text task aligns the raw
+// embedding geometry with all three relational structures, which the
+// downstream GNN then refines.
+
+#ifndef DGNN_CORE_PRETRAIN_H_
+#define DGNN_CORE_PRETRAIN_H_
+
+#include "ag/tape.h"
+#include "graph/hetero_graph.h"
+
+namespace dgnn::core {
+
+struct PretrainConfig {
+  int epochs = 20;
+  float learning_rate = 0.01f;
+  // Per relation per epoch, at most this many edges are sampled.
+  int64_t max_edges_per_relation = 8192;
+  uint64_t seed = 99;
+};
+
+struct PretrainResult {
+  // Mean link-prediction loss of the first and last epoch, per the
+  // caller's curiosity; pretraining succeeded when last < first.
+  double first_epoch_loss = 0.0;
+  double last_epoch_loss = 0.0;
+};
+
+// Warm-starts the three embedding tables in-place. `rel_emb` may be null
+// (no item-relation data). Tables must live in `params` (their gradients
+// and Adam state are managed through it); all other parameters in the
+// store are left untouched.
+PretrainResult PretrainEmbeddings(ag::ParamStore& params,
+                                  ag::Parameter* user_emb,
+                                  ag::Parameter* item_emb,
+                                  ag::Parameter* rel_emb,
+                                  const graph::HeteroGraph& graph,
+                                  const PretrainConfig& config);
+
+}  // namespace dgnn::core
+
+#endif  // DGNN_CORE_PRETRAIN_H_

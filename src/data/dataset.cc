@@ -1,0 +1,140 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace dgnn::data {
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats s;
+  s.num_users = num_users;
+  s.num_items = num_items;
+  s.num_relations = num_relations;
+  s.num_interactions =
+      static_cast<int64_t>(train.size()) + static_cast<int64_t>(test.size());
+  s.num_social_ties = static_cast<int64_t>(social.size());
+  s.num_item_relation_links = static_cast<int64_t>(item_relations.size());
+  if (num_users > 0 && num_items > 0) {
+    s.interaction_density =
+        static_cast<double>(s.num_interactions) /
+        (static_cast<double>(num_users) * static_cast<double>(num_items));
+  }
+  if (num_users > 1) {
+    s.social_density = 2.0 * static_cast<double>(s.num_social_ties) /
+                       (static_cast<double>(num_users) *
+                        static_cast<double>(num_users - 1));
+  }
+  return s;
+}
+
+std::vector<std::vector<int32_t>> Dataset::TrainItemsByUser() const {
+  std::vector<std::vector<int32_t>> out(static_cast<size_t>(num_users));
+  for (const auto& it : train) {
+    out[static_cast<size_t>(it.user)].push_back(it.item);
+  }
+  for (auto& v : out) std::sort(v.begin(), v.end());
+  return out;
+}
+
+std::vector<std::vector<int32_t>> Dataset::SocialNeighbors() const {
+  std::vector<std::vector<int32_t>> out(static_cast<size_t>(num_users));
+  for (const auto& [u, v] : social) {
+    out[static_cast<size_t>(u)].push_back(v);
+    out[static_cast<size_t>(v)].push_back(u);
+  }
+  for (auto& v : out) std::sort(v.begin(), v.end());
+  return out;
+}
+
+void Dataset::SplitLeaveOneOut(int min_train, int num_negatives,
+                               util::Rng& rng) {
+  DGNN_CHECK(test.empty()) << "SplitLeaveOneOut called twice";
+  // Bucket by user, keeping interaction order by time.
+  std::vector<std::vector<Interaction>> by_user(
+      static_cast<size_t>(num_users));
+  for (const auto& it : train) {
+    by_user[static_cast<size_t>(it.user)].push_back(it);
+  }
+  train.clear();
+  for (auto& list : by_user) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Interaction& a, const Interaction& b) {
+                       return a.time < b.time;
+                     });
+    if (static_cast<int>(list.size()) >= min_train + 1) {
+      test.push_back(list.back());
+      list.pop_back();
+    }
+    for (const auto& it : list) train.push_back(it);
+  }
+
+  // Sample negatives against the user's full (train + test) item set.
+  auto items_by_user = TrainItemsByUser();
+  for (const auto& t : test) {
+    items_by_user[static_cast<size_t>(t.user)].push_back(t.item);
+  }
+  for (auto& v : items_by_user) std::sort(v.begin(), v.end());
+
+  eval_negatives.clear();
+  eval_negatives.reserve(test.size());
+  for (const auto& t : test) {
+    const auto& seen = items_by_user[static_cast<size_t>(t.user)];
+    std::vector<int32_t> negs;
+    negs.reserve(static_cast<size_t>(num_negatives));
+    std::unordered_set<int32_t> chosen;
+    const int64_t available =
+        static_cast<int64_t>(num_items) - static_cast<int64_t>(seen.size());
+    const int64_t want =
+        std::min<int64_t>(num_negatives, std::max<int64_t>(available, 0));
+    while (static_cast<int64_t>(negs.size()) < want) {
+      int32_t cand = static_cast<int32_t>(rng.UniformInt(num_items));
+      if (std::binary_search(seen.begin(), seen.end(), cand)) continue;
+      if (!chosen.insert(cand).second) continue;
+      negs.push_back(cand);
+    }
+    eval_negatives.push_back(std::move(negs));
+  }
+}
+
+void Dataset::Validate() const {
+  auto check_interaction = [&](const Interaction& it) {
+    DGNN_CHECK_GE(it.user, 0);
+    DGNN_CHECK_LT(it.user, num_users);
+    DGNN_CHECK_GE(it.item, 0);
+    DGNN_CHECK_LT(it.item, num_items);
+  };
+  for (const auto& it : train) check_interaction(it);
+  for (const auto& it : test) check_interaction(it);
+  for (const auto& [u, v] : social) {
+    DGNN_CHECK_GE(u, 0);
+    DGNN_CHECK_LT(u, num_users);
+    DGNN_CHECK_GE(v, 0);
+    DGNN_CHECK_LT(v, num_users);
+    DGNN_CHECK_LT(u, v) << "social ties must be stored once with u < v";
+  }
+  for (const auto& [i, r] : item_relations) {
+    DGNN_CHECK_GE(i, 0);
+    DGNN_CHECK_LT(i, num_items);
+    DGNN_CHECK_GE(r, 0);
+    DGNN_CHECK_LT(r, num_relations);
+  }
+  DGNN_CHECK_EQ(eval_negatives.size(), test.size());
+
+  // No train/test duplication and negatives are true negatives.
+  auto items = TrainItemsByUser();
+  for (size_t i = 0; i < test.size(); ++i) {
+    const auto& t = test[i];
+    const auto& seen = items[static_cast<size_t>(t.user)];
+    DGNN_CHECK(!std::binary_search(seen.begin(), seen.end(), t.item))
+        << "test item leaked into train for user " << t.user;
+    for (int32_t neg : eval_negatives[i]) {
+      DGNN_CHECK(neg != t.item);
+      DGNN_CHECK(!std::binary_search(seen.begin(), seen.end(), neg))
+          << "negative " << neg << " was interacted by user " << t.user;
+    }
+  }
+}
+
+}  // namespace dgnn::data

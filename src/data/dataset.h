@@ -1,0 +1,87 @@
+// The in-memory dataset for knowledge-enhanced social recommendation
+// (Section III of the paper): user-item interactions Y, user-user social
+// ties S, and item-relation links T, plus the leave-one-out evaluation
+// split with sampled negatives.
+
+#ifndef DGNN_DATA_DATASET_H_
+#define DGNN_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dgnn::data {
+
+struct Interaction {
+  int32_t user = 0;
+  int32_t item = 0;
+  // Ordinal timestamp (per-user interaction order); lets session-based
+  // baselines (DGRec) form sequences.
+  int32_t time = 0;
+};
+
+struct DatasetStats {
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_relations = 0;
+  int64_t num_interactions = 0;
+  int64_t num_social_ties = 0;       // undirected pair count
+  int64_t num_item_relation_links = 0;
+  double interaction_density = 0.0;  // interactions / (users * items)
+  double social_density = 0.0;       // 2 * ties / (users * (users - 1))
+};
+
+struct Dataset {
+  std::string name;
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  int32_t num_relations = 0;
+
+  std::vector<Interaction> train;
+  // Leave-one-out test set: at most one interaction per user.
+  std::vector<Interaction> test;
+  // Undirected social ties stored once with u < v.
+  std::vector<std::pair<int32_t, int32_t>> social;
+  // (item, relation-node) links — the matrix T.
+  std::vector<std::pair<int32_t, int32_t>> item_relations;
+  // Parallel to `test`: 100 (by default) non-interacted items per test
+  // user; the paper's ranking protocol scores the positive against these.
+  std::vector<std::vector<int32_t>> eval_negatives;
+
+  // Ground-truth latent factors when the dataset is synthetic (empty for
+  // loaded data). Used only by diagnostics and the Fig. 9/10 case-study
+  // benches, never by models. `user_community` is the taste factor,
+  // `user_social_group` the (partially overlapping) friendship factor,
+  // `user_social_influence` the per-user fraction of friend-driven
+  // interactions.
+  std::vector<int32_t> user_community;
+  std::vector<int32_t> user_social_group;
+  std::vector<float> user_social_influence;
+  std::vector<int32_t> item_community;
+
+  DatasetStats ComputeStats() const;
+
+  // Items each user interacted with in training, sorted ascending.
+  std::vector<std::vector<int32_t>> TrainItemsByUser() const;
+  // Social adjacency as symmetric neighbor lists.
+  std::vector<std::vector<int32_t>> SocialNeighbors() const;
+
+  // Moves each user's chronologically-last training interaction into
+  // `test` (users with fewer than `min_train` + 1 interactions keep all of
+  // theirs for training) and samples `num_negatives` eval negatives per
+  // test user. Call once, after `train` is fully populated and `test` is
+  // empty.
+  void SplitLeaveOneOut(int min_train, int num_negatives, util::Rng& rng);
+
+  // Internal consistency (index ranges, no test leakage into train,
+  // negatives truly negative). CHECK-fails on violation; cheap enough to
+  // run in tests and at bench startup.
+  void Validate() const;
+};
+
+}  // namespace dgnn::data
+
+#endif  // DGNN_DATA_DATASET_H_

@@ -1,0 +1,195 @@
+#include "data/io.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace dgnn::data {
+namespace {
+
+using util::ParseInt;
+using util::Split;
+using util::Status;
+using util::StatusOr;
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  out << content;
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Parses "a \t b [\t c]" integer rows, skipping blank lines.
+Status ForEachRow(const std::string& content, size_t min_fields,
+                  const std::function<Status(const std::vector<std::string>&)>&
+                      fn) {
+  for (const std::string& line : Split(content, '\n')) {
+    if (util::Trim(line).empty()) continue;
+    auto fields = Split(line, '\t');
+    if (fields.size() < min_fields) {
+      return Status::InvalidArgument("short row: '" + line + "'");
+    }
+    DGNN_RETURN_IF_ERROR(fn(fields));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& ds, const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create directory: " + dir);
+  }
+  {
+    std::string meta = util::StrFormat("%s\t%d\t%d\t%d\n", ds.name.c_str(),
+                                       ds.num_users, ds.num_items,
+                                       ds.num_relations);
+    DGNN_RETURN_IF_ERROR(WriteFile(dir + "/meta.tsv", meta));
+  }
+  auto dump_interactions = [&](const std::vector<Interaction>& list,
+                               const std::string& file) {
+    std::string out;
+    for (const auto& it : list) {
+      out += util::StrFormat("%d\t%d\t%d\n", it.user, it.item, it.time);
+    }
+    return WriteFile(dir + "/" + file, out);
+  };
+  DGNN_RETURN_IF_ERROR(dump_interactions(ds.train, "train.tsv"));
+  DGNN_RETURN_IF_ERROR(dump_interactions(ds.test, "test.tsv"));
+  {
+    std::string out;
+    for (const auto& [u, v] : ds.social) {
+      out += util::StrFormat("%d\t%d\n", u, v);
+    }
+    DGNN_RETURN_IF_ERROR(WriteFile(dir + "/social.tsv", out));
+  }
+  {
+    std::string out;
+    for (const auto& [i, r] : ds.item_relations) {
+      out += util::StrFormat("%d\t%d\n", i, r);
+    }
+    DGNN_RETURN_IF_ERROR(WriteFile(dir + "/item_relations.tsv", out));
+  }
+  {
+    std::string out;
+    for (const auto& negs : ds.eval_negatives) {
+      for (size_t i = 0; i < negs.size(); ++i) {
+        if (i > 0) out += '\t';
+        out += std::to_string(negs[i]);
+      }
+      out += '\n';
+    }
+    DGNN_RETURN_IF_ERROR(WriteFile(dir + "/eval_negatives.tsv", out));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& dir) {
+  Dataset ds;
+  {
+    auto content = ReadFile(dir + "/meta.tsv");
+    if (!content.ok()) return content.status();
+    auto fields = Split(std::string(util::Trim(content.value())), '\t');
+    if (fields.size() != 4) {
+      return Status::InvalidArgument("bad meta.tsv in " + dir);
+    }
+    ds.name = fields[0];
+    auto u = ParseInt(fields[1]);
+    auto i = ParseInt(fields[2]);
+    auto r = ParseInt(fields[3]);
+    if (!u.ok()) return u.status();
+    if (!i.ok()) return i.status();
+    if (!r.ok()) return r.status();
+    ds.num_users = static_cast<int32_t>(u.value());
+    ds.num_items = static_cast<int32_t>(i.value());
+    ds.num_relations = static_cast<int32_t>(r.value());
+  }
+  auto load_interactions = [&](const std::string& file,
+                               std::vector<Interaction>* out) -> Status {
+    auto content = ReadFile(dir + "/" + file);
+    if (!content.ok()) return content.status();
+    return ForEachRow(
+        content.value(), 3,
+        [&](const std::vector<std::string>& f) -> Status {
+          auto u = ParseInt(f[0]);
+          auto i = ParseInt(f[1]);
+          auto t = ParseInt(f[2]);
+          if (!u.ok()) return u.status();
+          if (!i.ok()) return i.status();
+          if (!t.ok()) return t.status();
+          out->push_back(Interaction{static_cast<int32_t>(u.value()),
+                                     static_cast<int32_t>(i.value()),
+                                     static_cast<int32_t>(t.value())});
+          return Status::Ok();
+        });
+  };
+  DGNN_RETURN_IF_ERROR(load_interactions("train.tsv", &ds.train));
+  DGNN_RETURN_IF_ERROR(load_interactions("test.tsv", &ds.test));
+  {
+    auto content = ReadFile(dir + "/social.tsv");
+    if (!content.ok()) return content.status();
+    DGNN_RETURN_IF_ERROR(ForEachRow(
+        content.value(), 2, [&](const std::vector<std::string>& f) -> Status {
+          auto u = ParseInt(f[0]);
+          auto v = ParseInt(f[1]);
+          if (!u.ok()) return u.status();
+          if (!v.ok()) return v.status();
+          ds.social.emplace_back(static_cast<int32_t>(u.value()),
+                                 static_cast<int32_t>(v.value()));
+          return Status::Ok();
+        }));
+  }
+  {
+    auto content = ReadFile(dir + "/item_relations.tsv");
+    if (!content.ok()) return content.status();
+    DGNN_RETURN_IF_ERROR(ForEachRow(
+        content.value(), 2, [&](const std::vector<std::string>& f) -> Status {
+          auto i = ParseInt(f[0]);
+          auto r = ParseInt(f[1]);
+          if (!i.ok()) return i.status();
+          if (!r.ok()) return r.status();
+          ds.item_relations.emplace_back(static_cast<int32_t>(i.value()),
+                                         static_cast<int32_t>(r.value()));
+          return Status::Ok();
+        }));
+  }
+  {
+    auto content = ReadFile(dir + "/eval_negatives.tsv");
+    if (!content.ok()) return content.status();
+    DGNN_RETURN_IF_ERROR(ForEachRow(
+        content.value(), 1, [&](const std::vector<std::string>& f) -> Status {
+          std::vector<int32_t> negs;
+          negs.reserve(f.size());
+          for (const auto& field : f) {
+            auto v = ParseInt(field);
+            if (!v.ok()) return v.status();
+            negs.push_back(static_cast<int32_t>(v.value()));
+          }
+          ds.eval_negatives.push_back(std::move(negs));
+          return Status::Ok();
+        }));
+  }
+  if (ds.eval_negatives.size() != ds.test.size()) {
+    return Status::InvalidArgument(
+        "eval_negatives.tsv row count does not match test.tsv");
+  }
+  return ds;
+}
+
+}  // namespace dgnn::data

@@ -1,0 +1,27 @@
+// TSV persistence for datasets, so users can bring their own data and so
+// the synthetic presets can be inspected offline.
+//
+// On-disk layout under a directory:
+//   meta.tsv            name \t num_users \t num_items \t num_relations
+//   train.tsv           user \t item \t time
+//   test.tsv            user \t item \t time
+//   social.tsv          u \t v              (u < v)
+//   item_relations.tsv  item \t relation
+//   eval_negatives.tsv  one row per test interaction: items joined by \t
+
+#ifndef DGNN_DATA_IO_H_
+#define DGNN_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace dgnn::data {
+
+util::Status SaveDataset(const Dataset& ds, const std::string& dir);
+util::StatusOr<Dataset> LoadDataset(const std::string& dir);
+
+}  // namespace dgnn::data
+
+#endif  // DGNN_DATA_IO_H_

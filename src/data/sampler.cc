@@ -1,0 +1,50 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dgnn::data {
+
+BprSampler::BprSampler(const Dataset& dataset, uint64_t seed)
+    : dataset_(&dataset), rng_(seed) {
+  items_by_user_ = dataset.TrainItemsByUser();
+  order_.resize(dataset.train.size());
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+int32_t BprSampler::SampleNegative(int32_t user) {
+  const auto& seen = items_by_user_[static_cast<size_t>(user)];
+  DGNN_DCHECK_LT(static_cast<int64_t>(seen.size()), dataset_->num_items)
+      << "user interacted with every item; cannot sample a negative";
+  while (true) {
+    int32_t cand = static_cast<int32_t>(rng_.UniformInt(dataset_->num_items));
+    if (!std::binary_search(seen.begin(), seen.end(), cand)) return cand;
+  }
+}
+
+std::vector<BprBatch> BprSampler::SampleEpoch(int batch_size) {
+  DGNN_CHECK_GT(batch_size, 0);
+  rng_.Shuffle(order_);
+  std::vector<BprBatch> batches;
+  const int64_t n = static_cast<int64_t>(order_.size());
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min<int64_t>(start + batch_size, n);
+    BprBatch batch;
+    batch.users.reserve(static_cast<size_t>(end - start));
+    batch.pos_items.reserve(static_cast<size_t>(end - start));
+    batch.neg_items.reserve(static_cast<size_t>(end - start));
+    for (int64_t i = start; i < end; ++i) {
+      const Interaction& it =
+          dataset_->train[static_cast<size_t>(order_[static_cast<size_t>(i)])];
+      batch.users.push_back(it.user);
+      batch.pos_items.push_back(it.item);
+      batch.neg_items.push_back(SampleNegative(it.user));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace dgnn::data

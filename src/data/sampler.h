@@ -1,0 +1,48 @@
+// BPR training batch sampling: (user, positive item, negative item)
+// triples drawn from the training interactions (Eq. 11's set O).
+
+#ifndef DGNN_DATA_SAMPLER_H_
+#define DGNN_DATA_SAMPLER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace dgnn::data {
+
+struct BprBatch {
+  std::vector<int32_t> users;
+  std::vector<int32_t> pos_items;
+  std::vector<int32_t> neg_items;
+
+  size_t size() const { return users.size(); }
+};
+
+class BprSampler {
+ public:
+  // Keeps a reference to `dataset`; the dataset must outlive the sampler.
+  BprSampler(const Dataset& dataset, uint64_t seed);
+
+  // One epoch = one pass over all training interactions in shuffled order,
+  // chunked into batches of `batch_size` (last batch may be smaller).
+  // Negatives are uniform over items the user never interacted with in
+  // training.
+  std::vector<BprBatch> SampleEpoch(int batch_size);
+
+  int64_t num_train() const {
+    return static_cast<int64_t>(dataset_->train.size());
+  }
+
+ private:
+  int32_t SampleNegative(int32_t user);
+
+  const Dataset* dataset_;
+  util::Rng rng_;
+  std::vector<std::vector<int32_t>> items_by_user_;  // sorted
+  std::vector<int32_t> order_;  // shuffled index into dataset_->train
+};
+
+}  // namespace dgnn::data
+
+#endif  // DGNN_DATA_SAMPLER_H_

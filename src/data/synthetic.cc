@@ -1,0 +1,304 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <set>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace dgnn::data {
+namespace {
+
+// Pareto-like draw with mean roughly `mean`, floor `min_v`, capped so a
+// single node cannot swallow the dataset.
+int32_t PowerLawCount(double mean, int32_t min_v, double power,
+                      util::Rng& rng) {
+  // Inverse-CDF sampling of a Pareto with x_m chosen to hit the mean:
+  // E[X] = x_m * power / (power - 1) for power > 1.
+  const double xm = mean * (power - 1.0) / power;
+  double u = rng.UniformDouble();
+  if (u < 1e-12) u = 1e-12;
+  double x = xm / std::pow(u, 1.0 / power);
+  x = std::min(x, mean * 12.0);
+  return std::max<int32_t>(min_v, static_cast<int32_t>(std::lround(x)));
+}
+
+}  // namespace
+
+SyntheticConfig SyntheticConfig::CiaoSmall() {
+  SyntheticConfig c;
+  c.name = "ciao";
+  c.num_users = 300;
+  c.num_items = 1400;
+  c.num_relations = 16;
+  c.num_communities = 8;
+  c.mean_interactions_per_user = 16.0;
+  c.mean_social_degree = 14.0;  // Ciao has by far the densest social graph
+  c.social_homophily = 0.85;
+  c.seed = 11;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::EpinionsSmall() {
+  SyntheticConfig c;
+  c.name = "epinions";
+  c.num_users = 600;
+  c.num_items = 2400;
+  c.num_relations = 24;
+  c.num_communities = 12;
+  c.mean_interactions_per_user = 13.0;
+  c.mean_social_degree = 7.0;
+  c.social_homophily = 0.8;
+  c.seed = 12;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::YelpSmall() {
+  SyntheticConfig c;
+  c.name = "yelp";
+  c.num_users = 900;
+  c.num_items = 1800;
+  c.num_relations = 24;
+  c.num_communities = 12;
+  c.mean_interactions_per_user = 9.0;
+  c.mean_social_degree = 3.5;  // Yelp's social graph is the sparsest
+  c.social_homophily = 0.8;
+  c.seed = 13;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::Tiny() {
+  SyntheticConfig c;
+  c.name = "tiny";
+  c.num_users = 60;
+  c.num_items = 150;
+  c.num_relations = 6;
+  c.num_communities = 3;
+  c.mean_interactions_per_user = 10.0;
+  c.mean_social_degree = 4.0;
+  c.num_eval_negatives = 50;
+  c.seed = 5;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::Preset(const std::string& name) {
+  if (name == "ciao") return CiaoSmall();
+  if (name == "epinions") return EpinionsSmall();
+  if (name == "yelp") return YelpSmall();
+  if (name == "tiny") return Tiny();
+  DGNN_CHECK(false) << "unknown dataset preset: " << name;
+  return SyntheticConfig();
+}
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  DGNN_CHECK_GT(config.num_communities, 0);
+  DGNN_CHECK_GE(config.num_relations, config.num_communities);
+  util::Rng rng(config.seed);
+
+  Dataset ds;
+  ds.name = config.name;
+  ds.num_users = config.num_users;
+  ds.num_items = config.num_items;
+  ds.num_relations = config.num_relations;
+
+  const int32_t k = config.num_communities;
+
+  // Community assignments.
+  ds.user_community.resize(static_cast<size_t>(config.num_users));
+  for (auto& c : ds.user_community) {
+    c = static_cast<int32_t>(rng.UniformInt(k));
+  }
+  ds.item_community.resize(static_cast<size_t>(config.num_items));
+  for (auto& c : ds.item_community) {
+    c = static_cast<int32_t>(rng.UniformInt(k));
+  }
+
+  // Items grouped by community, each with a Zipf-ish popularity weight so
+  // item degree is power-law too.
+  std::vector<std::vector<int32_t>> items_in_community(
+      static_cast<size_t>(k));
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    items_in_community[static_cast<size_t>(ds.item_community
+                                               [static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+  std::vector<double> item_weight(static_cast<size_t>(config.num_items));
+  for (auto& community : items_in_community) {
+    rng.Shuffle(community);
+    for (size_t rank = 0; rank < community.size(); ++rank) {
+      item_weight[static_cast<size_t>(community[rank])] =
+          1.0 / std::pow(static_cast<double>(rank + 1), 0.8);
+    }
+  }
+  std::vector<std::vector<double>> community_weights(static_cast<size_t>(k));
+  for (int32_t c = 0; c < k; ++c) {
+    for (int32_t item : items_in_community[static_cast<size_t>(c)]) {
+      community_weights[static_cast<size_t>(c)].push_back(
+          item_weight[static_cast<size_t>(item)]);
+    }
+  }
+
+  // Social groups: the friendship factor. It matches the taste community
+  // for `social_taste_overlap` of the users and is independent otherwise
+  // (the paper's "social polysemy" — users befriend colleagues and family
+  // as well as taste-mates).
+  ds.user_social_group.resize(static_cast<size_t>(config.num_users));
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    ds.user_social_group[static_cast<size_t>(u)] =
+        rng.UniformDouble() < config.social_taste_overlap
+            ? ds.user_community[static_cast<size_t>(u)]
+            : static_cast<int32_t>(rng.UniformInt(k));
+  }
+
+  // Per-user social influence level.
+  ds.user_social_influence.resize(static_cast<size_t>(config.num_users));
+  for (auto& b : ds.user_social_influence) {
+    b = static_cast<float>(rng.UniformDouble() * config.max_social_influence);
+  }
+
+  // Social ties: homophilous on the social group.
+  std::vector<std::vector<int32_t>> users_in_group(static_cast<size_t>(k));
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    users_in_group[static_cast<size_t>(
+                       ds.user_social_group[static_cast<size_t>(u)])]
+        .push_back(u);
+  }
+  std::set<std::pair<int32_t, int32_t>> ties;
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    const int32_t gu = ds.user_social_group[static_cast<size_t>(u)];
+    // Half the expected degree initiated by each endpoint.
+    const int32_t want = PowerLawCount(config.mean_social_degree / 2.0, 1,
+                                       config.degree_power, rng);
+    int attempts = 0;
+    int made = 0;
+    while (made < want && attempts < want * 20) {
+      ++attempts;
+      int32_t v;
+      if (rng.UniformDouble() < config.social_homophily &&
+          users_in_group[static_cast<size_t>(gu)].size() > 1) {
+        const auto& pool = users_in_group[static_cast<size_t>(gu)];
+        v = pool[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(pool.size())))];
+      } else {
+        v = static_cast<int32_t>(rng.UniformInt(config.num_users));
+      }
+      if (v == u) continue;
+      auto key = std::minmax(u, v);
+      if (ties.insert({key.first, key.second}).second) ++made;
+    }
+  }
+  ds.social.assign(ties.begin(), ties.end());
+  auto friends_of = ds.SocialNeighbors();
+
+  // Interactions, pass 1: taste-driven picks (per-user counts power-law).
+  std::vector<int32_t> taste_count(static_cast<size_t>(config.num_users));
+  std::vector<int32_t> social_count(static_cast<size_t>(config.num_users));
+  std::vector<std::vector<int32_t>> picked(
+      static_cast<size_t>(config.num_users));
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    const int32_t cu = ds.user_community[static_cast<size_t>(u)];
+    const int32_t want = PowerLawCount(config.mean_interactions_per_user,
+                                       config.min_interactions_per_user,
+                                       config.degree_power, rng);
+    const float beta = ds.user_social_influence[static_cast<size_t>(u)];
+    social_count[static_cast<size_t>(u)] =
+        static_cast<int32_t>(std::lround(want * beta));
+    taste_count[static_cast<size_t>(u)] =
+        want - social_count[static_cast<size_t>(u)];
+    std::unordered_set<int32_t> seen;
+    int attempts = 0;
+    while (static_cast<int32_t>(seen.size()) <
+               taste_count[static_cast<size_t>(u)] &&
+           attempts < want * 20) {
+      ++attempts;
+      int32_t item;
+      if (rng.UniformDouble() < config.preference_strength &&
+          !items_in_community[static_cast<size_t>(cu)].empty()) {
+        const auto& pool = items_in_community[static_cast<size_t>(cu)];
+        const auto& w = community_weights[static_cast<size_t>(cu)];
+        item = pool[static_cast<size_t>(rng.Categorical(w))];
+      } else {
+        item = static_cast<int32_t>(rng.UniformInt(config.num_items));
+      }
+      if (seen.insert(item).second) {
+        picked[static_cast<size_t>(u)].push_back(item);
+      }
+    }
+  }
+
+  // Interactions, pass 2: socially-driven picks copied from friends'
+  // taste-driven histories (falling back to own taste when isolated).
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    const auto& friends = friends_of[static_cast<size_t>(u)];
+    std::unordered_set<int32_t> seen(picked[static_cast<size_t>(u)].begin(),
+                                     picked[static_cast<size_t>(u)].end());
+    const int32_t cu = ds.user_community[static_cast<size_t>(u)];
+    int attempts = 0;
+    int made = 0;
+    const int32_t want = social_count[static_cast<size_t>(u)];
+    while (made < want && attempts < want * 20 + 20) {
+      ++attempts;
+      int32_t item = -1;
+      if (!friends.empty()) {
+        const int32_t f = friends[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(friends.size())))];
+        const auto& flist = picked[static_cast<size_t>(f)];
+        if (!flist.empty()) {
+          item = flist[static_cast<size_t>(
+              rng.UniformInt(static_cast<int64_t>(flist.size())))];
+        }
+      }
+      if (item < 0) {
+        const auto& pool = items_in_community[static_cast<size_t>(cu)];
+        if (pool.empty()) continue;
+        const auto& w = community_weights[static_cast<size_t>(cu)];
+        item = pool[static_cast<size_t>(rng.Categorical(w))];
+      }
+      if (seen.insert(item).second) {
+        picked[static_cast<size_t>(u)].push_back(item);
+        ++made;
+      }
+    }
+  }
+
+  // Emit interactions in a per-user random order (the held-out last item
+  // is then a fair draw from the user's taste/social mixture).
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    auto& items = picked[static_cast<size_t>(u)];
+    rng.Shuffle(items);
+    int32_t t = 0;
+    for (int32_t item : items) {
+      ds.train.push_back(Interaction{u, item, t++});
+    }
+  }
+
+  // Item-relation links: categories are partitioned across communities;
+  // every item links to one category of its community, plus occasional
+  // extra links (cross-category products).
+  const int32_t cats_per_community = config.num_relations / k;
+  DGNN_CHECK_GT(cats_per_community, 0);
+  std::set<std::pair<int32_t, int32_t>> links;
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    const int32_t ci = ds.item_community[static_cast<size_t>(i)];
+    const int32_t base = ci * cats_per_community;
+    const int32_t own =
+        base + static_cast<int32_t>(rng.UniformInt(cats_per_community));
+    links.insert({i, own});
+    double extra = config.extra_relations_per_item;
+    while (extra > 0 && rng.UniformDouble() < extra) {
+      links.insert(
+          {i, static_cast<int32_t>(rng.UniformInt(config.num_relations))});
+      extra -= 1.0;
+    }
+  }
+  ds.item_relations.assign(links.begin(), links.end());
+
+  ds.SplitLeaveOneOut(config.min_train_interactions,
+                      config.num_eval_negatives, rng);
+  ds.Validate();
+  return ds;
+}
+
+}  // namespace dgnn::data

@@ -1,0 +1,34 @@
+// Coordinate-format sparse matrix: an edge list with optional values.
+// Used as the construction format; convert to CsrMatrix for compute.
+
+#ifndef DGNN_GRAPH_COO_H_
+#define DGNN_GRAPH_COO_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dgnn::graph {
+
+struct CooMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int32_t> row_indices;
+  std::vector<int32_t> col_indices;
+  // Empty means "all ones".
+  std::vector<float> values;
+
+  int64_t nnz() const { return static_cast<int64_t>(row_indices.size()); }
+
+  void Add(int32_t r, int32_t c, float v = 1.0f) {
+    row_indices.push_back(r);
+    col_indices.push_back(c);
+    if (!values.empty() || v != 1.0f) {
+      if (values.empty()) values.assign(row_indices.size() - 1, 1.0f);
+      values.push_back(v);
+    }
+  }
+};
+
+}  // namespace dgnn::graph
+
+#endif  // DGNN_GRAPH_COO_H_

@@ -1,0 +1,68 @@
+// Compressed sparse row matrix — the compute format for all graph
+// propagation in the library. Values are fixed at construction time (edge
+// weights / normalization coefficients); gradients never flow into them.
+
+#ifndef DGNN_GRAPH_CSR_H_
+#define DGNN_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coo.h"
+
+namespace dgnn::graph {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  // Builds from COO; duplicate (r, c) entries have their values summed.
+  static CsrMatrix FromCoo(const CooMatrix& coo);
+
+  // Identity of size n.
+  static CsrMatrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(indices_.size()); }
+
+  const std::vector<int64_t>& indptr() const { return indptr_; }
+  const std::vector<int32_t>& indices() const { return indices_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  int64_t RowDegree(int64_t r) const { return indptr_[r + 1] - indptr_[r]; }
+
+  CsrMatrix Transposed() const;
+
+  // Scales every stored value so each row sums to 1 (empty rows stay zero).
+  void RowNormalize();
+
+  // Symmetric normalization D^-1/2 A D^-1/2 computed from row/col sums of
+  // absolute values; standard GCN normalizer.
+  void SymNormalize();
+
+  // C = this * other, both sparse. Used to precompute meta-path adjacency
+  // (e.g. U-I-U) for HAN/HERec. `max_nnz_per_row`, if > 0, keeps only the
+  // largest entries per row to bound density.
+  CsrMatrix Multiply(const CsrMatrix& other, int64_t max_nnz_per_row = 0) const;
+
+  // Drops diagonal entries (self-loops).
+  void RemoveDiagonal();
+
+  // y = A * x for dense row-major x (n_cols x d), writing into y
+  // (n_rows x d). Caller guarantees sizes. The kernel the autograd SpMM op
+  // calls; also used directly by non-differentiable propagation.
+  void Multiply(const float* x, int64_t d, float* y) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> indptr_;    // size rows_ + 1
+  std::vector<int32_t> indices_;   // column ids
+  std::vector<float> values_;
+};
+
+}  // namespace dgnn::graph
+
+#endif  // DGNN_GRAPH_CSR_H_

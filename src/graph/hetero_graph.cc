@@ -1,0 +1,176 @@
+#include "graph/hetero_graph.h"
+
+#include "util/check.h"
+
+namespace dgnn::graph {
+
+HeteroGraph::HeteroGraph(const data::Dataset& dataset)
+    : num_users_(dataset.num_users),
+      num_items_(dataset.num_items),
+      num_relations_(dataset.num_relations) {
+  CooMatrix ui;
+  ui.rows = num_users_;
+  ui.cols = num_items_;
+  for (const auto& it : dataset.train) ui.Add(it.user, it.item);
+  user_item_ = CsrMatrix::FromCoo(ui);
+  item_user_ = user_item_.Transposed();
+
+  CooMatrix s;
+  s.rows = num_users_;
+  s.cols = num_users_;
+  for (const auto& [u, v] : dataset.social) {
+    s.Add(u, v);
+    s.Add(v, u);
+  }
+  social_ = CsrMatrix::FromCoo(s);
+
+  CooMatrix t;
+  t.rows = num_items_;
+  t.cols = num_relations_;
+  for (const auto& [i, r] : dataset.item_relations) t.Add(i, r);
+  item_rel_ = CsrMatrix::FromCoo(t);
+  rel_item_ = item_rel_.Transposed();
+}
+
+CsrMatrix HeteroGraph::RowNormalized(const CsrMatrix& a) {
+  CsrMatrix out = a;
+  out.RowNormalize();
+  return out;
+}
+
+void HeteroGraph::JointRowNormalize(CsrMatrix& a, CsrMatrix& b) {
+  DGNN_CHECK_EQ(a.rows(), b.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float deg = static_cast<float>(a.RowDegree(r) + b.RowDegree(r));
+    if (deg == 0.0f) continue;
+    const float inv = 1.0f / deg;
+    for (int64_t i = a.indptr()[static_cast<size_t>(r)];
+         i < a.indptr()[static_cast<size_t>(r) + 1]; ++i) {
+      a.mutable_values()[static_cast<size_t>(i)] *= inv;
+    }
+    for (int64_t i = b.indptr()[static_cast<size_t>(r)];
+         i < b.indptr()[static_cast<size_t>(r) + 1]; ++i) {
+      b.mutable_values()[static_cast<size_t>(i)] *= inv;
+    }
+  }
+}
+
+CsrMatrix HeteroGraph::SocialRecalibration() const {
+  CooMatrix coo;
+  coo.rows = num_users_;
+  coo.cols = num_users_;
+  for (int64_t u = 0; u < num_users_; ++u) {
+    coo.Add(static_cast<int32_t>(u), static_cast<int32_t>(u));
+    for (int64_t i = social_.indptr()[static_cast<size_t>(u)];
+         i < social_.indptr()[static_cast<size_t>(u) + 1]; ++i) {
+      coo.Add(static_cast<int32_t>(u),
+              social_.indices()[static_cast<size_t>(i)]);
+    }
+  }
+  CsrMatrix out = CsrMatrix::FromCoo(coo);
+  out.RowNormalize();
+  return out;
+}
+
+CsrMatrix HeteroGraph::BipartiteNormalized() const {
+  CooMatrix coo;
+  coo.rows = num_users_ + num_items_;
+  coo.cols = num_users_ + num_items_;
+  for (int64_t u = 0; u < num_users_; ++u) {
+    for (int64_t i = user_item_.indptr()[static_cast<size_t>(u)];
+         i < user_item_.indptr()[static_cast<size_t>(u) + 1]; ++i) {
+      const int32_t item = user_item_.indices()[static_cast<size_t>(i)];
+      coo.Add(static_cast<int32_t>(u), num_users_ + item);
+      coo.Add(num_users_ + item, static_cast<int32_t>(u));
+    }
+  }
+  CsrMatrix out = CsrMatrix::FromCoo(coo);
+  out.SymNormalize();
+  return out;
+}
+
+CsrMatrix HeteroGraph::UnifiedNormalized(bool include_social,
+                                         bool include_relations) const {
+  CooMatrix coo;
+  const int32_t n = num_users_ + num_items_ + num_relations_;
+  coo.rows = n;
+  coo.cols = n;
+  auto add_sym = [&](int32_t a, int32_t b) {
+    coo.Add(a, b);
+    coo.Add(b, a);
+  };
+  for (int64_t u = 0; u < num_users_; ++u) {
+    for (int64_t i = user_item_.indptr()[static_cast<size_t>(u)];
+         i < user_item_.indptr()[static_cast<size_t>(u) + 1]; ++i) {
+      add_sym(static_cast<int32_t>(u),
+              num_users_ + user_item_.indices()[static_cast<size_t>(i)]);
+    }
+  }
+  if (include_social) {
+    for (int64_t u = 0; u < num_users_; ++u) {
+      for (int64_t i = social_.indptr()[static_cast<size_t>(u)];
+           i < social_.indptr()[static_cast<size_t>(u) + 1]; ++i) {
+        // social_ is already symmetric; add each stored arc once.
+        coo.Add(static_cast<int32_t>(u),
+                social_.indices()[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  if (include_relations) {
+    for (int64_t it = 0; it < num_items_; ++it) {
+      for (int64_t i = item_rel_.indptr()[static_cast<size_t>(it)];
+           i < item_rel_.indptr()[static_cast<size_t>(it) + 1]; ++i) {
+        add_sym(num_users_ + static_cast<int32_t>(it),
+                num_users_ + num_items_ +
+                    item_rel_.indices()[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  CsrMatrix out = CsrMatrix::FromCoo(coo);
+  out.SymNormalize();
+  return out;
+}
+
+CsrMatrix HeteroGraph::MetaPathUIU(int64_t cap) const {
+  CsrMatrix m = user_item_.Multiply(item_user_, cap);
+  m.RemoveDiagonal();
+  m.RowNormalize();
+  return m;
+}
+
+CsrMatrix HeteroGraph::MetaPathIUI(int64_t cap) const {
+  CsrMatrix m = item_user_.Multiply(user_item_, cap);
+  m.RemoveDiagonal();
+  m.RowNormalize();
+  return m;
+}
+
+CsrMatrix HeteroGraph::MetaPathIRI(int64_t cap) const {
+  CsrMatrix m = item_rel_.Multiply(rel_item_, cap);
+  m.RemoveDiagonal();
+  m.RowNormalize();
+  return m;
+}
+
+EdgeList HeteroGraph::CsrToEdges(const CsrMatrix& a) {
+  // Row r of the CSR is the *destination*; columns are sources.
+  EdgeList edges;
+  edges.src.reserve(static_cast<size_t>(a.nnz()));
+  edges.dst.reserve(static_cast<size_t>(a.nnz()));
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t i = a.indptr()[static_cast<size_t>(r)];
+         i < a.indptr()[static_cast<size_t>(r) + 1]; ++i) {
+      edges.dst.push_back(static_cast<int32_t>(r));
+      edges.src.push_back(a.indices()[static_cast<size_t>(i)]);
+    }
+  }
+  return edges;
+}
+
+EdgeList HeteroGraph::ItemToUserEdges() const { return CsrToEdges(user_item_); }
+EdgeList HeteroGraph::UserToItemEdges() const { return CsrToEdges(item_user_); }
+EdgeList HeteroGraph::UserToUserEdges() const { return CsrToEdges(social_); }
+EdgeList HeteroGraph::ItemToRelEdges() const { return CsrToEdges(rel_item_); }
+EdgeList HeteroGraph::RelToItemEdges() const { return CsrToEdges(item_rel_); }
+
+}  // namespace dgnn::graph

@@ -1,0 +1,101 @@
+// The collaborative heterogeneous graph G = (D, E) of Section IV-A:
+// vertices are users, items and relation nodes; edges are the training
+// interactions Y, social ties S and item-relation links T. Built once from
+// a Dataset (training interactions only — the test set never enters the
+// graph) and shared, by const reference, by every model.
+//
+// Models that need differentiable propagation own transposed/normalized
+// CSR copies built from these views so the pointers handed to Tape::SpMM
+// stay valid for the model's lifetime.
+
+#ifndef DGNN_GRAPH_HETERO_GRAPH_H_
+#define DGNN_GRAPH_HETERO_GRAPH_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/csr.h"
+
+namespace dgnn::graph {
+
+// Directed typed edges as parallel arrays; the format attention-based
+// models (GraphRec, HGT, HAN, KGAT, DisenHAN) consume.
+struct EdgeList {
+  std::vector<int32_t> src;
+  std::vector<int32_t> dst;
+
+  int64_t size() const { return static_cast<int64_t>(src.size()); }
+};
+
+class HeteroGraph {
+ public:
+  explicit HeteroGraph(const data::Dataset& dataset);
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+  int32_t num_relations() const { return num_relations_; }
+
+  // Raw binary adjacency (values all 1).
+  const CsrMatrix& user_item() const { return user_item_; }      // U x I
+  const CsrMatrix& item_user() const { return item_user_; }      // I x U
+  const CsrMatrix& social() const { return social_; }            // U x U, sym
+  const CsrMatrix& item_rel() const { return item_rel_; }        // I x R
+  const CsrMatrix& rel_item() const { return rel_item_; }        // R x I
+
+  // --- derived views ------------------------------------------------------
+
+  // Row-normalized copy of any CSR.
+  static CsrMatrix RowNormalized(const CsrMatrix& a);
+
+  // Scales rows of `a` and `b` (same row count) by 1 / (deg_a + deg_b):
+  // the joint normalizer of Eqs. 4-5, where a node averages over the union
+  // of its typed neighbor sets.
+  static void JointRowNormalize(CsrMatrix& a, CsrMatrix& b);
+
+  // (S + I) row-normalized — the social recalibration operator tau of
+  // Eq. 9 (mean over the user's social neighbors and itself).
+  CsrMatrix SocialRecalibration() const;
+
+  // Symmetrically normalized bipartite propagation matrix over the stacked
+  // [users; items] index space — the standard LightGCN/NGCF operator.
+  CsrMatrix BipartiteNormalized() const;
+
+  // Symmetrically normalized adjacency over the stacked [users; items;
+  // relation nodes] index space, optionally including the social and
+  // item-relation edge sets. This is the "enhanced" interaction graph the
+  // paper gives the graph-CF baselines (NGCF, GCCF) for fair comparison.
+  CsrMatrix UnifiedNormalized(bool include_social,
+                              bool include_relations) const;
+
+  // Meta-path adjacencies (HAN / HERec). Row-normalized, diagonal removed,
+  // capped at `cap` strongest entries per row to bound density.
+  CsrMatrix MetaPathUIU(int64_t cap = 32) const;  // U-I-U co-interaction
+  CsrMatrix MetaPathIUI(int64_t cap = 32) const;  // I-U-I co-consumption
+  CsrMatrix MetaPathIRI(int64_t cap = 32) const;  // I-R-I shared category
+
+  // Directed edge lists per type. Naming: <SrcType>To<DstType>; messages
+  // flow src -> dst.
+  EdgeList ItemToUserEdges() const;  // interaction, item side -> user
+  EdgeList UserToItemEdges() const;
+  EdgeList UserToUserEdges() const;  // social, both directions
+  EdgeList ItemToRelEdges() const;
+  EdgeList RelToItemEdges() const;
+
+  // Edge list of any CSR (rows are destinations, columns sources) — used
+  // to turn meta-path adjacency into attention edges (HAN).
+  static EdgeList CsrToEdges(const CsrMatrix& a);
+
+ private:
+  int32_t num_users_;
+  int32_t num_items_;
+  int32_t num_relations_;
+  CsrMatrix user_item_;
+  CsrMatrix item_user_;
+  CsrMatrix social_;
+  CsrMatrix item_rel_;
+  CsrMatrix rel_item_;
+};
+
+}  // namespace dgnn::graph
+
+#endif  // DGNN_GRAPH_HETERO_GRAPH_H_

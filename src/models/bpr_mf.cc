@@ -1,0 +1,19 @@
+#include "models/bpr_mf.h"
+
+namespace dgnn::models {
+
+BprMf::BprMf(const graph::HeteroGraph& graph, int64_t dim, uint64_t seed)
+    : dim_(dim) {
+  util::Rng rng(seed);
+  user_emb_ = params_.CreateXavier("user_emb", graph.num_users(), dim, rng);
+  item_emb_ = params_.CreateXavier("item_emb", graph.num_items(), dim, rng);
+}
+
+ForwardResult BprMf::Forward(ag::Tape& tape, bool /*training*/) {
+  ForwardResult out;
+  out.users = tape.Param(user_emb_);
+  out.items = tape.Param(item_emb_);
+  return out;
+}
+
+}  // namespace dgnn::models

@@ -1,0 +1,34 @@
+// BPR-MF: plain matrix factorization trained with the BPR loss — the
+// common ancestor of every graph model here and a sanity baseline for the
+// examples and tests (not part of the paper's Table II).
+
+#ifndef DGNN_MODELS_BPR_MF_H_
+#define DGNN_MODELS_BPR_MF_H_
+
+#include <string>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+class BprMf : public RecModel {
+ public:
+  BprMf(const graph::HeteroGraph& graph, int64_t dim, uint64_t seed);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return dim_; }
+
+ private:
+  std::string name_ = "BPR-MF";
+  int64_t dim_;
+  ag::ParamStore params_;
+  ag::Parameter* user_emb_;
+  ag::Parameter* item_emb_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_BPR_MF_H_

@@ -1,0 +1,29 @@
+#include "models/common.h"
+
+namespace dgnn::models {
+
+EdgeFeatures GatherEdgeFeatures(ag::Tape& tape, ag::VarId h_src,
+                                ag::VarId h_dst,
+                                const graph::EdgeList& edges) {
+  EdgeFeatures out;
+  out.src = tape.GatherRows(h_src, edges.src);
+  out.dst = tape.GatherRows(h_dst, edges.dst);
+  return out;
+}
+
+ag::VarId EdgeSoftmaxAggregate(ag::Tape& tape, ag::VarId messages,
+                               ag::VarId scores,
+                               const std::vector<int32_t>& dst,
+                               int64_t num_dst) {
+  ag::VarId attn = tape.SegmentSoftmax(scores, dst, num_dst);
+  return tape.SegmentSum(tape.RowScale(messages, attn), dst, num_dst);
+}
+
+ag::VarId AdditiveAttentionScores(ag::Tape& tape, ag::VarId src_feat,
+                                  ag::VarId dst_feat, ag::Parameter* v) {
+  ag::VarId joint = tape.Tanh(tape.Add(src_feat, dst_feat));
+  // (E x d) @ (1 x d)^T -> (E x 1)
+  return tape.MatMul(joint, tape.Param(v), false, true);
+}
+
+}  // namespace dgnn::models

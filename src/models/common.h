@@ -1,0 +1,41 @@
+// Building blocks shared by the baseline implementations: embedding-table
+// creation and the edge-level attention primitive (gather endpoint
+// features -> score -> per-target softmax -> weighted aggregation) that
+// GraphRec, KGAT, HGT, HAN, DGRec and DisenHAN all instantiate.
+
+#ifndef DGNN_MODELS_COMMON_H_
+#define DGNN_MODELS_COMMON_H_
+
+#include <vector>
+
+#include "ag/tape.h"
+#include "graph/hetero_graph.h"
+
+namespace dgnn::models {
+
+// Per-edge endpoint features gathered from node embedding matrices.
+struct EdgeFeatures {
+  ag::VarId src = -1;  // (E x d) rows of the source nodes
+  ag::VarId dst = -1;  // (E x d) rows of the destination nodes
+};
+
+EdgeFeatures GatherEdgeFeatures(ag::Tape& tape, ag::VarId h_src,
+                                ag::VarId h_dst,
+                                const graph::EdgeList& edges);
+
+// Softmax-normalizes `scores` (E x 1) over each destination's incoming
+// edges, then sums `messages` (E x d) into destinations (num_dst x d).
+ag::VarId EdgeSoftmaxAggregate(ag::Tape& tape, ag::VarId messages,
+                               ag::VarId scores,
+                               const std::vector<int32_t>& dst,
+                               int64_t num_dst);
+
+// GAT-style additive attention score per edge:
+//   score_e = <tanh(src_feat W_s + dst_feat W_d), v>
+// where the caller supplies already-projected per-edge features.
+ag::VarId AdditiveAttentionScores(ag::Tape& tape, ag::VarId src_feat,
+                                  ag::VarId dst_feat, ag::Parameter* v);
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_COMMON_H_

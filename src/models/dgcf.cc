@@ -1,0 +1,98 @@
+#include "models/dgcf.h"
+
+#include "util/strings.h"
+
+namespace dgnn::models {
+
+Dgcf::Dgcf(const graph::HeteroGraph& graph, DgcfConfig config)
+    : config_(config),
+      num_users_(graph.num_users()),
+      num_items_(graph.num_items()) {
+  DGNN_CHECK_EQ(config.embedding_dim % config.num_intents, 0)
+      << "embedding_dim must divide evenly across intents";
+  util::Rng rng(config.seed);
+  const int64_t dk = config.embedding_dim / config.num_intents;
+  for (int k = 0; k < config.num_intents; ++k) {
+    user_chunks_.push_back(params_.CreateXavier(
+        util::StrFormat("user_chunk_%d", k), graph.num_users(), dk, rng));
+    item_chunks_.push_back(params_.CreateXavier(
+        util::StrFormat("item_chunk_%d", k), graph.num_items(), dk, rng));
+  }
+  item_to_user_ = graph.ItemToUserEdges();
+  inv_user_deg_ = ag::Tensor(graph.num_users(), 1);
+  for (int64_t u = 0; u < graph.num_users(); ++u) {
+    const int64_t deg = graph.user_item().RowDegree(u);
+    inv_user_deg_.at(u, 0) = deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+  }
+  inv_item_deg_ = ag::Tensor(graph.num_items(), 1);
+  for (int64_t i = 0; i < graph.num_items(); ++i) {
+    const int64_t deg = graph.item_user().RowDegree(i);
+    inv_item_deg_.at(i, 0) = deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+  }
+}
+
+ForwardResult Dgcf::Forward(ag::Tape& tape, bool /*training*/) {
+  const int K = config_.num_intents;
+  std::vector<ag::VarId> u_k(static_cast<size_t>(K));
+  std::vector<ag::VarId> i_k(static_cast<size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    u_k[static_cast<size_t>(k)] = tape.Param(user_chunks_[static_cast<size_t>(k)]);
+    i_k[static_cast<size_t>(k)] = tape.Param(item_chunks_[static_cast<size_t>(k)]);
+  }
+  ag::VarId inv_udeg = tape.Constant(inv_user_deg_);
+  ag::VarId inv_ideg = tape.Constant(inv_item_deg_);
+
+  for (int layer = 0; layer < config_.num_layers; ++layer) {
+    std::vector<ag::VarId> u_next = u_k;
+    std::vector<ag::VarId> i_next = i_k;
+    for (int iter = 0; iter < config_.routing_iterations; ++iter) {
+      // Edge-intent affinity: score_ek = <norm u_k[dst], norm i_k[src]>.
+      std::vector<ag::VarId> score_cols;
+      score_cols.reserve(static_cast<size_t>(K));
+      std::vector<ag::VarId> un(static_cast<size_t>(K)),
+          in(static_cast<size_t>(K));
+      for (int k = 0; k < K; ++k) {
+        un[static_cast<size_t>(k)] =
+            tape.RowL2Normalize(u_next[static_cast<size_t>(k)]);
+        in[static_cast<size_t>(k)] =
+            tape.RowL2Normalize(i_next[static_cast<size_t>(k)]);
+        ag::VarId ue =
+            tape.GatherRows(un[static_cast<size_t>(k)], item_to_user_.dst);
+        ag::VarId ie =
+            tape.GatherRows(in[static_cast<size_t>(k)], item_to_user_.src);
+        score_cols.push_back(tape.RowDot(ue, ie));
+      }
+      // Softmax across intents per edge.
+      ag::VarId attn = tape.RowSoftmax(tape.ConcatCols(score_cols));
+      // Per-intent degree-normalized propagation in both directions.
+      for (int k = 0; k < K; ++k) {
+        ag::VarId w = tape.Col(attn, k);
+        ag::VarId msg_to_user = tape.RowScale(
+            tape.GatherRows(in[static_cast<size_t>(k)], item_to_user_.src),
+            w);
+        ag::VarId agg_u = tape.RowScale(
+            tape.SegmentSum(msg_to_user, item_to_user_.dst, num_users_),
+            inv_udeg);
+        ag::VarId msg_to_item = tape.RowScale(
+            tape.GatherRows(un[static_cast<size_t>(k)], item_to_user_.dst),
+            w);
+        ag::VarId agg_i = tape.RowScale(
+            tape.SegmentSum(msg_to_item, item_to_user_.src, num_items_),
+            inv_ideg);
+        u_next[static_cast<size_t>(k)] =
+            tape.Add(u_k[static_cast<size_t>(k)], agg_u);
+        i_next[static_cast<size_t>(k)] =
+            tape.Add(i_k[static_cast<size_t>(k)], agg_i);
+      }
+    }
+    u_k = u_next;
+    i_k = i_next;
+  }
+
+  ForwardResult out;
+  out.users = tape.ConcatCols(u_k);
+  out.items = tape.ConcatCols(i_k);
+  return out;
+}
+
+}  // namespace dgnn::models

@@ -1,0 +1,52 @@
+// DGCF (Wang et al., SIGIR'20): disentangled graph collaborative
+// filtering. User/item embeddings are split into K intent chunks; an
+// iterative routing mechanism softmax-distributes every interaction edge
+// over the K intents (an edge that matches intent k strengthens the
+// k-intent coupling of its endpoints) and propagates per-intent graph
+// convolutions. Final embeddings concatenate the intent chunks.
+
+#ifndef DGNN_MODELS_DGCF_H_
+#define DGNN_MODELS_DGCF_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct DgcfConfig {
+  int64_t embedding_dim = 16;  // total, split across intents
+  int num_intents = 4;
+  int num_layers = 1;
+  int routing_iterations = 2;
+  uint64_t seed = 42;
+};
+
+class Dgcf : public RecModel {
+ public:
+  Dgcf(const graph::HeteroGraph& graph, DgcfConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  std::string name_ = "DGCF";
+  DgcfConfig config_;
+  int32_t num_users_, num_items_;
+  ag::ParamStore params_;
+  // Per-intent chunk tables (d / K wide each).
+  std::vector<ag::Parameter*> user_chunks_;
+  std::vector<ag::Parameter*> item_chunks_;
+  graph::EdgeList item_to_user_;  // src item, dst user (one edge list;
+                                  // the reverse direction reuses it)
+  ag::Tensor inv_user_deg_;       // 1/deg normalizers (U x 1)
+  ag::Tensor inv_item_deg_;       // (I x 1)
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_DGCF_H_

@@ -1,0 +1,129 @@
+#include "models/dgrec.h"
+
+#include <algorithm>
+
+#include "models/common.h"
+
+namespace dgnn::models {
+
+DgRec::DgRec(const data::Dataset& dataset, const graph::HeteroGraph& graph,
+             DgRecConfig config)
+    : config_(config), num_users_(graph.num_users()) {
+  util::Rng rng(config.seed);
+  const int64_t d = config.embedding_dim;
+  user_emb_ = params_.CreateXavier("user_emb", graph.num_users(), d, rng);
+  item_emb_ = params_.CreateXavier("item_emb", graph.num_items(), d, rng);
+  w_z_ = params_.CreateXavier("w_z", d, d, rng);
+  u_z_ = params_.CreateXavier("u_z", d, d, rng);
+  b_z_ = params_.CreateZero("b_z", 1, d);
+  w_r_ = params_.CreateXavier("w_r", d, d, rng);
+  u_r_ = params_.CreateXavier("u_r", d, d, rng);
+  b_r_ = params_.CreateZero("b_r", 1, d);
+  w_n_ = params_.CreateXavier("w_n", d, d, rng);
+  u_n_ = params_.CreateXavier("u_n", d, d, rng);
+  b_n_ = params_.CreateZero("b_n", 1, d);
+  att_w_ = params_.CreateXavier("att_w", d, d, rng);
+  att_v_ = params_.CreateXavier("att_v", 1, d, rng);
+  fuse_w_ = params_.CreateXavier("fuse_w", 2 * d, d, rng);
+  social_ = graph.UserToUserEdges();
+
+  // Build padded sessions: the last `session_length` training interactions
+  // of every user, oldest first.
+  std::vector<std::vector<int32_t>> per_user(
+      static_cast<size_t>(dataset.num_users));
+  {
+    std::vector<std::vector<data::Interaction>> tmp(
+        static_cast<size_t>(dataset.num_users));
+    for (const auto& it : dataset.train) {
+      tmp[static_cast<size_t>(it.user)].push_back(it);
+    }
+    for (size_t u = 0; u < tmp.size(); ++u) {
+      std::stable_sort(tmp[u].begin(), tmp[u].end(),
+                       [](const auto& a, const auto& b) {
+                         return a.time < b.time;
+                       });
+      const size_t keep = std::min<size_t>(
+          tmp[u].size(), static_cast<size_t>(config.session_length));
+      for (size_t i = tmp[u].size() - keep; i < tmp[u].size(); ++i) {
+        per_user[u].push_back(tmp[u][i].item);
+      }
+    }
+  }
+  const int t_max = config.session_length;
+  session_items_.assign(static_cast<size_t>(t_max),
+                        std::vector<int32_t>(
+                            static_cast<size_t>(dataset.num_users), 0));
+  session_masks_.assign(static_cast<size_t>(t_max),
+                        ag::Tensor(dataset.num_users, 1));
+  for (int32_t u = 0; u < dataset.num_users; ++u) {
+    const auto& items = per_user[static_cast<size_t>(u)];
+    // Right-align so the newest interaction is the last GRU step.
+    const int offset = t_max - static_cast<int>(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      const int t = offset + static_cast<int>(i);
+      session_items_[static_cast<size_t>(t)][static_cast<size_t>(u)] =
+          items[i];
+      session_masks_[static_cast<size_t>(t)].at(u, 0) = 1.0f;
+    }
+  }
+}
+
+ag::VarId DgRec::GruStep(ag::Tape& tape, ag::VarId x, ag::VarId h,
+                         ag::VarId mask) const {
+  ag::VarId z = tape.Sigmoid(tape.AddRowBroadcast(
+      tape.Add(tape.MatMul(x, tape.Param(w_z_)),
+               tape.MatMul(h, tape.Param(u_z_))),
+      tape.Param(b_z_)));
+  ag::VarId r = tape.Sigmoid(tape.AddRowBroadcast(
+      tape.Add(tape.MatMul(x, tape.Param(w_r_)),
+               tape.MatMul(h, tape.Param(u_r_))),
+      tape.Param(b_r_)));
+  ag::VarId n = tape.Tanh(tape.AddRowBroadcast(
+      tape.Add(tape.MatMul(x, tape.Param(w_n_)),
+               tape.MatMul(tape.Mul(r, h), tape.Param(u_n_))),
+      tape.Param(b_n_)));
+  // h' = (1 - z) .* n + z .* h, applied only where the step is valid.
+  ag::VarId candidate = tape.Add(tape.Sub(n, tape.Mul(z, n)),
+                                 tape.Mul(z, h));
+  ag::VarId keep_new = tape.RowScale(candidate, mask);
+  ag::VarId ones = tape.Constant(
+      ag::Tensor::Full(tape.val(mask).rows(), 1, 1.0f));
+  ag::VarId keep_old = tape.RowScale(h, tape.Sub(ones, mask));
+  return tape.Add(keep_new, keep_old);
+}
+
+ForwardResult DgRec::Forward(ag::Tape& tape, bool /*training*/) {
+  ag::VarId h_item = tape.Param(item_emb_);
+  ag::VarId h_user_long = tape.Param(user_emb_);
+
+  // Short-term interest: GRU over the session.
+  ag::VarId state = tape.Constant(
+      ag::Tensor(num_users_, config_.embedding_dim));
+  for (size_t t = 0; t < session_items_.size(); ++t) {
+    ag::VarId x = tape.GatherRows(h_item, session_items_[t]);
+    ag::VarId mask = tape.Constant(session_masks_[t]);
+    state = GruStep(tape, x, state, mask);
+  }
+
+  // Friend representation: short-term state + long-term embedding.
+  ag::VarId friend_repr = tape.Add(state, h_user_long);
+
+  // Social graph attention over friends.
+  ag::VarId social_ctx = friend_repr;
+  if (social_.size() > 0) {
+    EdgeFeatures ef =
+        GatherEdgeFeatures(tape, friend_repr, friend_repr, social_);
+    ag::VarId proj = tape.MatMul(ef.src, tape.Param(att_w_));
+    ag::VarId scores = AdditiveAttentionScores(tape, proj, ef.dst, att_v_);
+    social_ctx =
+        EdgeSoftmaxAggregate(tape, proj, scores, social_.dst, num_users_);
+  }
+
+  ForwardResult out;
+  out.users = tape.MatMul(tape.ConcatCols({friend_repr, social_ctx}),
+                          tape.Param(fuse_w_));
+  out.items = h_item;
+  return out;
+}
+
+}  // namespace dgnn::models

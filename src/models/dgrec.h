@@ -1,0 +1,70 @@
+// DGRec (Song et al., WSDM'19): session-based social recommendation with
+// dynamic graph attention. Each user's short-term interest is a GRU over
+// their most recent interactions (the synthetic data carries per-user
+// interaction order, so sessions exist); friends' interests — short-term
+// state plus long-term embedding — are combined by graph attention; a
+// final projection fuses the user's own state with the social context.
+
+#ifndef DGNN_MODELS_DGREC_H_
+#define DGNN_MODELS_DGREC_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct DgRecConfig {
+  int64_t embedding_dim = 16;
+  // Session length: number of most-recent interactions fed to the GRU.
+  int session_length = 5;
+  uint64_t seed = 42;
+};
+
+class DgRec : public RecModel {
+ public:
+  DgRec(const data::Dataset& dataset, const graph::HeteroGraph& graph,
+        DgRecConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  // One GRU cell step with validity masking.
+  ag::VarId GruStep(ag::Tape& tape, ag::VarId x, ag::VarId h,
+                    ag::VarId mask) const;
+
+  std::string name_ = "DGRec";
+  DgRecConfig config_;
+  int32_t num_users_;
+  ag::ParamStore params_;
+  ag::Parameter* user_emb_;
+  ag::Parameter* item_emb_;
+  // GRU parameters.
+  ag::Parameter* w_z_;
+  ag::Parameter* u_z_;
+  ag::Parameter* b_z_;
+  ag::Parameter* w_r_;
+  ag::Parameter* u_r_;
+  ag::Parameter* b_r_;
+  ag::Parameter* w_n_;
+  ag::Parameter* u_n_;
+  ag::Parameter* b_n_;
+  // Social attention + fusion.
+  ag::Parameter* att_w_;
+  ag::Parameter* att_v_;
+  ag::Parameter* fuse_w_;  // (2d x d)
+  // Per-step item ids (index 0 = oldest) and validity masks.
+  std::vector<std::vector<int32_t>> session_items_;
+  std::vector<ag::Tensor> session_masks_;
+  graph::EdgeList social_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_DGREC_H_

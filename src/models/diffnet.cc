@@ -1,0 +1,43 @@
+#include "models/diffnet.h"
+
+#include "util/strings.h"
+
+namespace dgnn::models {
+
+DiffNet::DiffNet(const graph::HeteroGraph& graph, DiffNetConfig config)
+    : config_(config) {
+  util::Rng rng(config.seed);
+  user_emb_ = params_.CreateXavier("user_emb", graph.num_users(),
+                                   config.embedding_dim, rng);
+  item_emb_ = params_.CreateXavier("item_emb", graph.num_items(),
+                                   config.embedding_dim, rng);
+  for (int l = 0; l < config.num_layers; ++l) {
+    w_.push_back(params_.CreateXavier(util::StrFormat("w_%d", l),
+                                      2 * config.embedding_dim,
+                                      config.embedding_dim, rng));
+  }
+  social_norm_ = graph::HeteroGraph::RowNormalized(graph.social());
+  social_norm_t_ = social_norm_.Transposed();
+  ui_norm_ = graph::HeteroGraph::RowNormalized(graph.user_item());
+  ui_norm_t_ = ui_norm_.Transposed();
+}
+
+ForwardResult DiffNet::Forward(ag::Tape& tape, bool /*training*/) {
+  ag::VarId h_user = tape.Param(user_emb_);
+  ag::VarId h_item = tape.Param(item_emb_);
+  for (int l = 0; l < config_.num_layers; ++l) {
+    ag::VarId diffused = tape.SpMM(&social_norm_, &social_norm_t_, h_user);
+    ag::VarId joint = tape.ConcatCols({diffused, h_user});
+    h_user = tape.LeakyRelu(
+        tape.MatMul(joint, tape.Param(w_[static_cast<size_t>(l)])),
+        config_.leaky_slope);
+  }
+  // Fuse with the mean of interacted item embeddings.
+  ag::VarId item_pref = tape.SpMM(&ui_norm_, &ui_norm_t_, h_item);
+  ForwardResult out;
+  out.users = tape.Add(h_user, item_pref);
+  out.items = h_item;
+  return out;
+}
+
+}  // namespace dgnn::models

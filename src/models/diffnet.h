@@ -1,0 +1,51 @@
+// DiffNet (Wu et al., SIGIR'19): layer-wise social influence diffusion.
+// User embeddings diffuse over the social graph for L layers,
+//
+//   h_u^(l+1) = sigma( W_l [ mean_{f in N_S(u)} h_f^l ; h_u^l ] )
+//
+// and the final user representation adds the mean of interacted items'
+// free embeddings; items keep free embeddings. This follows the original
+// "influence diffusion + fusion" design with the user/item feature inputs
+// dropped (no side features in the ranking protocol).
+
+#ifndef DGNN_MODELS_DIFFNET_H_
+#define DGNN_MODELS_DIFFNET_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct DiffNetConfig {
+  int64_t embedding_dim = 16;
+  int num_layers = 2;
+  float leaky_slope = 0.2f;
+  uint64_t seed = 42;
+};
+
+class DiffNet : public RecModel {
+ public:
+  DiffNet(const graph::HeteroGraph& graph, DiffNetConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  std::string name_ = "DiffNet";
+  DiffNetConfig config_;
+  ag::ParamStore params_;
+  ag::Parameter* user_emb_;
+  ag::Parameter* item_emb_;
+  std::vector<ag::Parameter*> w_;  // per layer, (2d x d)
+  graph::CsrMatrix social_norm_, social_norm_t_;
+  graph::CsrMatrix ui_norm_, ui_norm_t_;  // row-normalized user-item
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_DIFFNET_H_

@@ -1,0 +1,102 @@
+#include "models/disenhan.h"
+
+#include "util/strings.h"
+
+namespace dgnn::models {
+
+DisenHan::DisenHan(const graph::HeteroGraph& graph, DisenHanConfig config)
+    : config_(config), has_relations_(graph.num_relations() > 0) {
+  DGNN_CHECK_EQ(config.embedding_dim % config.num_facets, 0)
+      << "embedding_dim must divide evenly across facets";
+  util::Rng rng(config.seed);
+  const int64_t d = config.embedding_dim;
+  const int64_t df = d / config.num_facets;
+  user_emb_ = params_.CreateXavier("user_emb", graph.num_users(), d, rng);
+  item_emb_ = params_.CreateXavier("item_emb", graph.num_items(), d, rng);
+  rel_emb_ = has_relations_
+                 ? params_.CreateXavier("rel_emb", graph.num_relations(), d,
+                                        rng)
+                 : nullptr;
+  for (int k = 0; k < config.num_facets; ++k) {
+    user_proj_.push_back(params_.CreateXavier(
+        util::StrFormat("user_proj_%d", k), d, df, rng));
+    item_proj_.push_back(params_.CreateXavier(
+        util::StrFormat("item_proj_%d", k), d, df, rng));
+    rel_proj_.push_back(params_.CreateXavier(
+        util::StrFormat("rel_proj_%d", k), d, df, rng));
+    att_w_.push_back(params_.CreateXavier(util::StrFormat("att_w_%d", k),
+                                          df, df, rng));
+    att_q_.push_back(params_.CreateXavier(util::StrFormat("att_q_%d", k),
+                                          1, df, rng));
+  }
+  social_norm_ = graph::HeteroGraph::RowNormalized(graph.social());
+  social_norm_t_ = social_norm_.Transposed();
+  ui_norm_ = graph::HeteroGraph::RowNormalized(graph.user_item());
+  ui_norm_t_ = ui_norm_.Transposed();
+  iu_norm_ = graph::HeteroGraph::RowNormalized(graph.item_user());
+  iu_norm_t_ = iu_norm_.Transposed();
+  if (has_relations_) {
+    ir_norm_ = graph::HeteroGraph::RowNormalized(graph.item_rel());
+    ir_norm_t_ = ir_norm_.Transposed();
+  }
+}
+
+ForwardResult DisenHan::Forward(ag::Tape& tape, bool /*training*/) {
+  ag::VarId h_user = tape.Param(user_emb_);
+  ag::VarId h_item = tape.Param(item_emb_);
+  ag::VarId h_rel = has_relations_ ? tape.Param(rel_emb_) : -1;
+
+  // Combines relation-specific facet contexts via relation-level
+  // attention: alpha = softmax_rel <tanh(c_rel W), q>.
+  auto combine = [&](int facet, ag::VarId self,
+                     const std::vector<ag::VarId>& contexts) {
+    std::vector<ag::VarId> scores;
+    scores.reserve(contexts.size());
+    for (ag::VarId c : contexts) {
+      ag::VarId keyed = tape.Tanh(
+          tape.MatMul(c, tape.Param(att_w_[static_cast<size_t>(facet)])));
+      scores.push_back(tape.MatMul(
+          keyed, tape.Param(att_q_[static_cast<size_t>(facet)]), false,
+          true));
+    }
+    ag::VarId attn = tape.RowSoftmax(tape.ConcatCols(scores));
+    std::vector<ag::VarId> weighted = {self};
+    for (size_t r = 0; r < contexts.size(); ++r) {
+      weighted.push_back(tape.RowScale(
+          contexts[r], tape.Col(attn, static_cast<int64_t>(r))));
+    }
+    return tape.AddN(weighted);
+  };
+
+  std::vector<ag::VarId> user_facets, item_facets;
+  for (int k = 0; k < config_.num_facets; ++k) {
+    ag::VarId u_k = tape.MatMul(
+        h_user, tape.Param(user_proj_[static_cast<size_t>(k)]));
+    ag::VarId i_k = tape.MatMul(
+        h_item, tape.Param(item_proj_[static_cast<size_t>(k)]));
+
+    // User facet: contexts from social ties and interacted items.
+    std::vector<ag::VarId> user_ctx = {
+        tape.SpMM(&ui_norm_, &ui_norm_t_, i_k),
+        tape.SpMM(&social_norm_, &social_norm_t_, u_k),
+    };
+    user_facets.push_back(combine(k, u_k, user_ctx));
+
+    // Item facet: contexts from interacting users and relation nodes.
+    std::vector<ag::VarId> item_ctx = {
+        tape.SpMM(&iu_norm_, &iu_norm_t_, u_k)};
+    if (has_relations_) {
+      ag::VarId r_k = tape.MatMul(
+          h_rel, tape.Param(rel_proj_[static_cast<size_t>(k)]));
+      item_ctx.push_back(tape.SpMM(&ir_norm_, &ir_norm_t_, r_k));
+    }
+    item_facets.push_back(combine(k, i_k, item_ctx));
+  }
+
+  ForwardResult out;
+  out.users = tape.ConcatCols(user_facets);
+  out.items = tape.ConcatCols(item_facets);
+  return out;
+}
+
+}  // namespace dgnn::models

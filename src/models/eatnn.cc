@@ -1,0 +1,57 @@
+#include "models/eatnn.h"
+
+namespace dgnn::models {
+
+Eatnn::Eatnn(const graph::HeteroGraph& graph, EatnnConfig config)
+    : config_(config),
+      num_users_(graph.num_users()),
+      neg_rng_(config.seed ^ 0xabcdULL) {
+  util::Rng rng(config.seed);
+  const int64_t d = config.embedding_dim;
+  shared_emb_ = params_.CreateXavier("shared_emb", graph.num_users(), d, rng);
+  consume_emb_ =
+      params_.CreateXavier("consume_emb", graph.num_users(), d, rng);
+  social_emb_ = params_.CreateXavier("social_emb", graph.num_users(), d, rng);
+  gate_w_ = params_.CreateXavier("gate_w", d, d, rng);
+  item_emb_ = params_.CreateXavier("item_emb", graph.num_items(), d, rng);
+  social_edges_ = graph.UserToUserEdges();
+}
+
+ForwardResult Eatnn::Forward(ag::Tape& tape, bool training) {
+  ag::VarId shared = tape.Param(shared_emb_);
+  ag::VarId gate = tape.Sigmoid(tape.MatMul(shared, tape.Param(gate_w_)));
+  ag::VarId one_minus_gate =
+      tape.Sub(tape.Constant(ag::Tensor::Full(num_users_,
+                                              config_.embedding_dim, 1.0f)),
+               gate);
+  ag::VarId user_item_view =
+      tape.Add(shared, tape.Mul(gate, tape.Param(consume_emb_)));
+  ag::VarId user_social_view =
+      tape.Add(shared, tape.Mul(one_minus_gate, tape.Param(social_emb_)));
+
+  ForwardResult out;
+  out.users = user_item_view;
+  out.items = tape.Param(item_emb_);
+
+  // Auxiliary social task: rank each friend above a random non-friend.
+  if (training && config_.social_task_weight > 0.0f &&
+      social_edges_.size() > 0) {
+    std::vector<int32_t> negatives;
+    negatives.reserve(static_cast<size_t>(social_edges_.size()));
+    for (int64_t e = 0; e < social_edges_.size(); ++e) {
+      negatives.push_back(static_cast<int32_t>(neg_rng_.UniformInt(
+          num_users_)));
+    }
+    ag::VarId u_rows = tape.GatherRows(user_social_view, social_edges_.dst);
+    ag::VarId pos_rows = tape.GatherRows(user_social_view, social_edges_.src);
+    ag::VarId neg_rows =
+        tape.GatherRows(user_social_view, std::move(negatives));
+    ag::VarId pos_scores = tape.RowDot(u_rows, pos_rows);
+    ag::VarId neg_scores = tape.RowDot(u_rows, neg_rows);
+    out.aux_loss = tape.ScalarMul(tape.BprLoss(pos_scores, neg_scores),
+                                  config_.social_task_weight);
+  }
+  return out;
+}
+
+}  // namespace dgnn::models

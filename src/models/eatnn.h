@@ -1,0 +1,57 @@
+// EATNN (Chen et al., SIGIR'19): efficient adaptive transfer network.
+// Users hold a shared embedding plus two domain-specific ones
+// (consumption, social); a per-user adaptive gate transfers knowledge
+// between domains:
+//
+//   g_u   = sigmoid(e_u W_g)
+//   u_itm = e_u + g_u .* c_u           (item-domain view, used for scoring)
+//   u_soc = e_u + (1 - g_u) .* s_u     (social-domain view)
+//
+// Faithful simplification (documented in DESIGN.md): the original's
+// whole-data efficient multi-task optimizer is replaced by the shared BPR
+// trainer, with the social task expressed as an auxiliary BPR loss over
+// social ties (friend vs. random non-friend) on the social-domain view.
+
+#ifndef DGNN_MODELS_EATNN_H_
+#define DGNN_MODELS_EATNN_H_
+
+#include <string>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct EatnnConfig {
+  int64_t embedding_dim = 16;
+  // Weight of the auxiliary social-prediction task.
+  float social_task_weight = 0.2f;
+  uint64_t seed = 42;
+};
+
+class Eatnn : public RecModel {
+ public:
+  Eatnn(const graph::HeteroGraph& graph, EatnnConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  std::string name_ = "EATNN";
+  EatnnConfig config_;
+  int32_t num_users_;
+  ag::ParamStore params_;
+  util::Rng neg_rng_;
+  ag::Parameter* shared_emb_;
+  ag::Parameter* consume_emb_;
+  ag::Parameter* social_emb_;
+  ag::Parameter* gate_w_;  // d x d
+  ag::Parameter* item_emb_;
+  graph::EdgeList social_edges_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_EATNN_H_

@@ -1,0 +1,40 @@
+#include "models/gccf.h"
+
+#include "util/strings.h"
+
+namespace dgnn::models {
+
+Gccf::Gccf(const graph::HeteroGraph& graph, GccfConfig config)
+    : config_(config),
+      num_users_(graph.num_users()),
+      num_items_(graph.num_items()) {
+  util::Rng rng(config.seed);
+  const int64_t n =
+      graph.num_users() + graph.num_items() + graph.num_relations();
+  node_emb_ = params_.CreateXavier("node_emb", n, config.embedding_dim, rng);
+  for (int l = 0; l < config.num_layers; ++l) {
+    w_.push_back(params_.CreateXavier(util::StrFormat("w_%d", l),
+                                      config.embedding_dim,
+                                      config.embedding_dim, rng));
+  }
+  adj_ = graph.UnifiedNormalized(/*include_social=*/true,
+                                 /*include_relations=*/true);
+  adj_t_ = adj_.Transposed();
+}
+
+ForwardResult Gccf::Forward(ag::Tape& tape, bool /*training*/) {
+  ag::VarId h = tape.Param(node_emb_);
+  std::vector<ag::VarId> layers = {h};
+  for (int l = 0; l < config_.num_layers; ++l) {
+    h = tape.MatMul(tape.SpMM(&adj_, &adj_t_, h),
+                    tape.Param(w_[static_cast<size_t>(l)]));
+    layers.push_back(h);
+  }
+  ag::VarId all = tape.ConcatCols(layers);
+  ForwardResult out;
+  out.users = tape.SliceRows(all, 0, num_users_);
+  out.items = tape.SliceRows(all, num_users_, num_items_);
+  return out;
+}
+
+}  // namespace dgnn::models

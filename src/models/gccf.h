@@ -1,0 +1,51 @@
+// GCCF / LR-GCCF (Chen et al., AAAI'20): linear residual graph
+// convolutional collaborative filtering. The non-linear transformation is
+// removed ("revisiting graph based CF"):
+//
+//   H^(l+1) = A H^l W_l        (linear, no activation)
+//
+// with residual concatenation of all layers. Like NGCF, it runs on the
+// context-enhanced unified adjacency (social + item-relation edges added)
+// per the reproduced paper's fair-comparison setup.
+
+#ifndef DGNN_MODELS_GCCF_H_
+#define DGNN_MODELS_GCCF_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct GccfConfig {
+  int64_t embedding_dim = 16;
+  int num_layers = 2;
+  uint64_t seed = 42;
+};
+
+class Gccf : public RecModel {
+ public:
+  Gccf(const graph::HeteroGraph& graph, GccfConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override {
+    return config_.embedding_dim * (config_.num_layers + 1);
+  }
+
+ private:
+  std::string name_ = "GCCF";
+  GccfConfig config_;
+  int32_t num_users_, num_items_;
+  ag::ParamStore params_;
+  ag::Parameter* node_emb_;
+  std::vector<ag::Parameter*> w_;
+  graph::CsrMatrix adj_, adj_t_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_GCCF_H_

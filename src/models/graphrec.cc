@@ -1,0 +1,80 @@
+#include "models/graphrec.h"
+
+#include "models/common.h"
+
+namespace dgnn::models {
+
+GraphRec::GraphRec(const graph::HeteroGraph& graph, GraphRecConfig config)
+    : config_(config),
+      num_users_(graph.num_users()),
+      num_items_(graph.num_items()) {
+  util::Rng rng(config.seed);
+  const int64_t d = config.embedding_dim;
+  user_emb_ = params_.CreateXavier("user_emb", graph.num_users(), d, rng);
+  item_emb_ = params_.CreateXavier("item_emb", graph.num_items(), d, rng);
+  item_agg_w_ = params_.CreateXavier("item_agg_w", d, d, rng);
+  item_agg_v_ = params_.CreateXavier("item_agg_v", 1, d, rng);
+  social_agg_w_ = params_.CreateXavier("social_agg_w", d, d, rng);
+  social_agg_v_ = params_.CreateXavier("social_agg_v", 1, d, rng);
+  user_agg_w_ = params_.CreateXavier("user_agg_w", d, d, rng);
+  user_agg_v_ = params_.CreateXavier("user_agg_v", 1, d, rng);
+  fuse_w_ = params_.CreateXavier("fuse_w", 2 * d, d, rng);
+  item_to_user_ = graph.ItemToUserEdges();
+  user_to_item_ = graph.UserToItemEdges();
+  social_ = graph.UserToUserEdges();
+}
+
+ForwardResult GraphRec::Forward(ag::Tape& tape, bool /*training*/) {
+  ag::VarId h_user = tape.Param(user_emb_);
+  ag::VarId h_item = tape.Param(item_emb_);
+
+  // Item aggregation: user's item-space latent from interacted items.
+  ag::VarId item_space = h_user;
+  if (item_to_user_.size() > 0) {
+    EdgeFeatures ef = GatherEdgeFeatures(tape, h_item, h_user, item_to_user_);
+    ag::VarId proj = tape.MatMul(ef.src, tape.Param(item_agg_w_));
+    ag::VarId scores = AdditiveAttentionScores(tape, proj, ef.dst,
+                                               item_agg_v_);
+    item_space = tape.Add(
+        h_user,
+        EdgeSoftmaxAggregate(tape, proj, scores, item_to_user_.dst,
+                             num_users_));
+  }
+
+  // Social aggregation: attention over friends' item-space latents.
+  ag::VarId social_space = h_user;
+  if (social_.size() > 0) {
+    EdgeFeatures ef =
+        GatherEdgeFeatures(tape, item_space, h_user, social_);
+    ag::VarId proj = tape.MatMul(ef.src, tape.Param(social_agg_w_));
+    ag::VarId scores =
+        AdditiveAttentionScores(tape, proj, ef.dst, social_agg_v_);
+    social_space = tape.Add(
+        h_user,
+        EdgeSoftmaxAggregate(tape, proj, scores, social_.dst, num_users_));
+  }
+
+  // Fuse the two user latents.
+  ag::VarId user_final = tape.Tanh(tape.MatMul(
+      tape.ConcatCols({item_space, social_space}), tape.Param(fuse_w_)));
+
+  // User aggregation on the item side.
+  ag::VarId item_final = h_item;
+  if (user_to_item_.size() > 0) {
+    EdgeFeatures ef = GatherEdgeFeatures(tape, h_user, h_item, user_to_item_);
+    ag::VarId proj = tape.MatMul(ef.src, tape.Param(user_agg_w_));
+    ag::VarId scores =
+        AdditiveAttentionScores(tape, proj, ef.dst, user_agg_v_);
+    item_final = tape.Add(
+        h_item,
+        EdgeSoftmaxAggregate(tape, proj, scores, user_to_item_.dst,
+                             num_items_));
+  }
+
+  ForwardResult out;
+  out.users = user_final;
+  out.items = item_final;
+  return out;
+}
+
+}  // namespace dgnn::models

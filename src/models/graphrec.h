@@ -1,0 +1,56 @@
+// GraphRec (Fan et al., WWW'19): graph attention over both the social
+// network and the interaction graph.
+//   * item aggregation: user latent = attention over interacted items;
+//   * social aggregation: attention over friends' item-space latents;
+//   * user aggregation: item latent = attention over interacting users.
+// The original predicts ratings through an MLP; under the reproduced
+// paper's top-N ranking protocol scoring is the dot product of the final
+// user/item latents (a standard adaptation, noted in DESIGN.md).
+
+#ifndef DGNN_MODELS_GRAPHREC_H_
+#define DGNN_MODELS_GRAPHREC_H_
+
+#include <string>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct GraphRecConfig {
+  int64_t embedding_dim = 16;
+  uint64_t seed = 42;
+};
+
+class GraphRec : public RecModel {
+ public:
+  GraphRec(const graph::HeteroGraph& graph, GraphRecConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  std::string name_ = "GraphRec";
+  GraphRecConfig config_;
+  int32_t num_users_, num_items_;
+  ag::ParamStore params_;
+  ag::Parameter* user_emb_;
+  ag::Parameter* item_emb_;
+  // Attention parameters per aggregation (projection + scoring vector).
+  ag::Parameter* item_agg_w_;
+  ag::Parameter* item_agg_v_;
+  ag::Parameter* social_agg_w_;
+  ag::Parameter* social_agg_v_;
+  ag::Parameter* user_agg_w_;
+  ag::Parameter* user_agg_v_;
+  ag::Parameter* fuse_w_;  // (2d x d) fusing item-space and social latents
+  graph::EdgeList item_to_user_;
+  graph::EdgeList user_to_item_;
+  graph::EdgeList social_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_GRAPHREC_H_

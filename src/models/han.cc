@@ -1,0 +1,96 @@
+#include "models/han.h"
+
+#include "models/common.h"
+#include "util/strings.h"
+
+namespace dgnn::models {
+
+Han::Han(const graph::HeteroGraph& graph, HanConfig config)
+    : config_(config),
+      num_users_(graph.num_users()),
+      num_items_(graph.num_items()) {
+  util::Rng rng(config.seed);
+  const int64_t d = config.embedding_dim;
+  user_emb_ = params_.CreateXavier("user_emb", num_users_, d, rng);
+  item_emb_ = params_.CreateXavier("item_emb", num_items_, d, rng);
+
+  auto make_path = [&](const graph::CsrMatrix& adj, const std::string& nm) {
+    PathModules p;
+    p.edges = graph::HeteroGraph::CsrToEdges(adj);
+    p.w = params_.CreateXavier(nm + "_w", d, d, rng);
+    p.att_v = params_.CreateXavier(nm + "_v", 1, d, rng);
+    return p;
+  };
+  user_paths_.push_back(make_path(graph.social(), "uu"));
+  user_paths_.push_back(make_path(graph.MetaPathUIU(config.metapath_cap),
+                                  "uiu"));
+  item_paths_.push_back(make_path(graph.MetaPathIUI(config.metapath_cap),
+                                  "iui"));
+  if (graph.num_relations() > 0) {
+    item_paths_.push_back(make_path(graph.MetaPathIRI(config.metapath_cap),
+                                    "iri"));
+  }
+  sem_w_user_ = params_.CreateXavier("sem_w_user", d, d, rng);
+  sem_q_user_ = params_.CreateXavier("sem_q_user", 1, d, rng);
+  sem_w_item_ = params_.CreateXavier("sem_w_item", d, d, rng);
+  sem_q_item_ = params_.CreateXavier("sem_q_item", 1, d, rng);
+}
+
+ag::VarId Han::PathEmbedding(ag::Tape& tape, ag::VarId h,
+                             const PathModules& path,
+                             int64_t num_nodes) const {
+  ag::VarId projected = tape.MatMul(h, tape.Param(path.w));
+  if (path.edges.size() == 0) return projected;
+  ag::VarId src = tape.GatherRows(projected, path.edges.src);
+  ag::VarId dst = tape.GatherRows(projected, path.edges.dst);
+  ag::VarId scores = AdditiveAttentionScores(tape, src, dst, path.att_v);
+  ag::VarId agg =
+      EdgeSoftmaxAggregate(tape, src, scores, path.edges.dst, num_nodes);
+  // Nodes with no meta-path neighbor keep their projected embedding.
+  return tape.LeakyRelu(tape.Add(projected, agg), 0.2f);
+}
+
+ag::VarId Han::SemanticCombine(ag::Tape& tape,
+                               const std::vector<ag::VarId>& paths,
+                               ag::Parameter* w, ag::Parameter* q) const {
+  DGNN_CHECK(!paths.empty());
+  if (paths.size() == 1) return paths[0];
+  // Path importance: mean over nodes of <tanh(h W), q>.
+  std::vector<ag::VarId> scores;
+  scores.reserve(paths.size());
+  for (ag::VarId p : paths) {
+    ag::VarId keyed = tape.Tanh(tape.MatMul(p, tape.Param(w)));
+    scores.push_back(tape.MeanAll(
+        tape.MatMul(keyed, tape.Param(q), false, true)));
+  }
+  // Softmax over the (few) meta-paths.
+  ag::VarId weights = tape.RowSoftmax(tape.ConcatCols(scores));
+  std::vector<ag::VarId> weighted;
+  weighted.reserve(paths.size());
+  for (size_t p = 0; p < paths.size(); ++p) {
+    weighted.push_back(tape.MulScalarVar(
+        paths[p], tape.Col(weights, static_cast<int64_t>(p))));
+  }
+  return tape.AddN(weighted);
+}
+
+ForwardResult Han::Forward(ag::Tape& tape, bool /*training*/) {
+  ag::VarId h_user = tape.Param(user_emb_);
+  ag::VarId h_item = tape.Param(item_emb_);
+
+  std::vector<ag::VarId> user_path_embs;
+  for (const auto& p : user_paths_) {
+    user_path_embs.push_back(PathEmbedding(tape, h_user, p, num_users_));
+  }
+  std::vector<ag::VarId> item_path_embs;
+  for (const auto& p : item_paths_) {
+    item_path_embs.push_back(PathEmbedding(tape, h_item, p, num_items_));
+  }
+
+  ForwardResult out;
+  out.users = SemanticCombine(tape, user_path_embs, sem_w_user_, sem_q_user_);
+  out.items = SemanticCombine(tape, item_path_embs, sem_w_item_, sem_q_item_);
+  return out;
+}
+
+}  // namespace dgnn::models

@@ -1,0 +1,71 @@
+// HAN (Wang et al., WWW'19): heterogeneous graph attention network with
+// meta-path-guided hierarchical attention. Following the reproduced
+// paper's setup, HAN encodes the collaborative heterogeneous graph with
+// hand-constructed meta-paths:
+//   users: U-U (social) and U-I-U (co-interaction),
+//   items: I-U-I (co-consumption) and I-R-I (shared category).
+// Node-level GAT attention aggregates within each meta-path; semantic
+// attention (a global softmax over meta-paths) fuses the per-path
+// embeddings. This is the baseline the paper criticizes for requiring
+// domain-specific meta-path engineering.
+
+#ifndef DGNN_MODELS_HAN_H_
+#define DGNN_MODELS_HAN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct HanConfig {
+  int64_t embedding_dim = 16;
+  // Max retained neighbors per node in composed meta-path adjacency.
+  int64_t metapath_cap = 16;
+  uint64_t seed = 42;
+};
+
+class Han : public RecModel {
+ public:
+  Han(const graph::HeteroGraph& graph, HanConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  struct PathModules {
+    graph::EdgeList edges;
+    ag::Parameter* w = nullptr;      // node-level projection
+    ag::Parameter* att_v = nullptr;  // node-level attention vector
+  };
+
+  // Node-level attention over one meta-path, then returns the path
+  // embedding (num_nodes x d).
+  ag::VarId PathEmbedding(ag::Tape& tape, ag::VarId h,
+                          const PathModules& path, int64_t num_nodes) const;
+  // Semantic attention across path embeddings.
+  ag::VarId SemanticCombine(ag::Tape& tape,
+                            const std::vector<ag::VarId>& paths,
+                            ag::Parameter* w, ag::Parameter* q) const;
+
+  std::string name_ = "HAN";
+  HanConfig config_;
+  int32_t num_users_, num_items_;
+  ag::ParamStore params_;
+  ag::Parameter* user_emb_;
+  ag::Parameter* item_emb_;
+  std::vector<PathModules> user_paths_;
+  std::vector<PathModules> item_paths_;
+  ag::Parameter* sem_w_user_;
+  ag::Parameter* sem_q_user_;
+  ag::Parameter* sem_w_item_;
+  ag::Parameter* sem_q_item_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_HAN_H_

@@ -1,0 +1,146 @@
+#include "models/herec.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace dgnn::models {
+namespace {
+
+float SigmoidF(float z) {
+  if (z >= 0.0f) return 1.0f / (1.0f + std::exp(-z));
+  const float e = std::exp(z);
+  return e / (1.0f + e);
+}
+
+// Weighted next-hop choice from a CSR row; -1 for dangling nodes.
+int32_t Step(const graph::CsrMatrix& adj, int32_t node, util::Rng& rng) {
+  const int64_t begin = adj.indptr()[static_cast<size_t>(node)];
+  const int64_t end = adj.indptr()[static_cast<size_t>(node) + 1];
+  if (begin == end) return -1;
+  float total = 0.0f;
+  for (int64_t i = begin; i < end; ++i) {
+    total += adj.values()[static_cast<size_t>(i)];
+  }
+  float x = static_cast<float>(rng.UniformDouble()) * total;
+  for (int64_t i = begin; i < end; ++i) {
+    x -= adj.values()[static_cast<size_t>(i)];
+    if (x < 0.0f) return adj.indices()[static_cast<size_t>(i)];
+  }
+  return adj.indices()[static_cast<size_t>(end - 1)];
+}
+
+}  // namespace
+
+ag::Tensor TrainWalkEmbeddings(const graph::CsrMatrix& adj,
+                               const HerecConfig& config, uint64_t seed) {
+  const int64_t n = adj.rows();
+  const int64_t d = config.embedding_dim;
+  util::Rng rng(seed);
+  ag::Tensor emb = ag::Tensor::GaussianInit(n, d, 0.1f, rng);
+  ag::Tensor ctx = ag::Tensor::GaussianInit(n, d, 0.1f, rng);
+
+  // Generate walks and collect skip-gram (center, context) pairs.
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  std::vector<int32_t> walk;
+  for (int w = 0; w < config.walks_per_node; ++w) {
+    for (int32_t start = 0; start < n; ++start) {
+      walk.clear();
+      int32_t cur = start;
+      for (int step = 0; step < config.walk_length && cur >= 0; ++step) {
+        walk.push_back(cur);
+        cur = Step(adj, cur, rng);
+      }
+      for (size_t i = 0; i < walk.size(); ++i) {
+        for (int off = 1; off <= config.window; ++off) {
+          if (i + static_cast<size_t>(off) < walk.size()) {
+            pairs.emplace_back(walk[i], walk[i + static_cast<size_t>(off)]);
+          }
+        }
+      }
+    }
+  }
+
+  // SGNS updates.
+  const float lr = config.sgns_learning_rate;
+  std::vector<float> grad_center(static_cast<size_t>(d));
+  for (int epoch = 0; epoch < config.sgns_epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    for (const auto& [center, context] : pairs) {
+      float* ec = emb.row(center);
+      std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+      // Positive pair plus sampled negatives.
+      for (int s = 0; s <= config.negatives; ++s) {
+        const bool positive = s == 0;
+        const int32_t target =
+            positive ? context : static_cast<int32_t>(rng.UniformInt(n));
+        float* ct = ctx.row(target);
+        float dot = 0.0f;
+        for (int64_t c = 0; c < d; ++c) dot += ec[c] * ct[c];
+        const float label = positive ? 1.0f : 0.0f;
+        const float coeff = lr * (label - SigmoidF(dot));
+        for (int64_t c = 0; c < d; ++c) {
+          grad_center[static_cast<size_t>(c)] += coeff * ct[c];
+          ct[c] += coeff * ec[c];
+        }
+      }
+      for (int64_t c = 0; c < d; ++c) {
+        ec[c] += grad_center[static_cast<size_t>(c)];
+      }
+    }
+  }
+  return emb;
+}
+
+Herec::Herec(const graph::HeteroGraph& graph, HerecConfig config)
+    : config_(config) {
+  util::Rng rng(config.seed);
+  const int64_t d = config.embedding_dim;
+  user_emb_ = params_.CreateXavier("user_emb", graph.num_users(), d, rng);
+  item_emb_ = params_.CreateXavier("item_emb", graph.num_items(), d, rng);
+
+  // Stage 1: frozen meta-path walk embeddings.
+  std::vector<graph::CsrMatrix> user_adjs;
+  user_adjs.push_back(graph::HeteroGraph::RowNormalized(graph.social()));
+  user_adjs.push_back(graph.MetaPathUIU(config.metapath_cap));
+  std::vector<graph::CsrMatrix> item_adjs;
+  item_adjs.push_back(graph.MetaPathIUI(config.metapath_cap));
+  if (graph.num_relations() > 0) {
+    item_adjs.push_back(graph.MetaPathIRI(config.metapath_cap));
+  }
+  uint64_t walk_seed = config.seed ^ 0x5151ULL;
+  for (size_t p = 0; p < user_adjs.size(); ++p) {
+    user_walk_embs_.push_back(
+        TrainWalkEmbeddings(user_adjs[p], config, walk_seed++));
+    user_fuse_w_.push_back(params_.CreateXavier(
+        util::StrFormat("user_fuse_%zu", p), d, d, rng));
+  }
+  for (size_t p = 0; p < item_adjs.size(); ++p) {
+    item_walk_embs_.push_back(
+        TrainWalkEmbeddings(item_adjs[p], config, walk_seed++));
+    item_fuse_w_.push_back(params_.CreateXavier(
+        util::StrFormat("item_fuse_%zu", p), d, d, rng));
+  }
+}
+
+ForwardResult Herec::Forward(ag::Tape& tape, bool /*training*/) {
+  // Stage 2: personalized fusion of frozen walk embeddings into MF.
+  std::vector<ag::VarId> user_terms = {tape.Param(user_emb_)};
+  for (size_t p = 0; p < user_walk_embs_.size(); ++p) {
+    user_terms.push_back(tape.Tanh(
+        tape.MatMul(tape.Constant(user_walk_embs_[p]),
+                    tape.Param(user_fuse_w_[p]))));
+  }
+  std::vector<ag::VarId> item_terms = {tape.Param(item_emb_)};
+  for (size_t p = 0; p < item_walk_embs_.size(); ++p) {
+    item_terms.push_back(tape.Tanh(
+        tape.MatMul(tape.Constant(item_walk_embs_[p]),
+                    tape.Param(item_fuse_w_[p]))));
+  }
+  ForwardResult out;
+  out.users = tape.AddN(user_terms);
+  out.items = tape.AddN(item_terms);
+  return out;
+}
+
+}  // namespace dgnn::models

@@ -1,0 +1,65 @@
+// HERec (Shi et al., TKDE'18): heterogeneous network embedding for
+// recommendation. Meta-path-guided random walks (U-U, U-I-U for users;
+// I-U-I, I-R-I for items) are embedded with skip-gram negative sampling
+// (own SGNS implementation, trained at construction time); the frozen walk
+// embeddings are fused into an MF scoring model through learned per-path
+// non-linear transforms:
+//
+//   final_u = e_u + sum_p tanh( walk_emb_p(u) W_p )
+//
+// Only e_u / e_i / W_p train under BPR, mirroring the original's
+// two-stage embed-then-fuse design.
+
+#ifndef DGNN_MODELS_HEREC_H_
+#define DGNN_MODELS_HEREC_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct HerecConfig {
+  int64_t embedding_dim = 16;
+  int walks_per_node = 4;
+  int walk_length = 8;
+  int window = 2;
+  int negatives = 2;
+  int sgns_epochs = 2;
+  float sgns_learning_rate = 0.05f;
+  int64_t metapath_cap = 16;
+  uint64_t seed = 42;
+};
+
+// Skip-gram-with-negative-sampling embeddings of random walks over a
+// weighted graph. Exposed for testing.
+ag::Tensor TrainWalkEmbeddings(const graph::CsrMatrix& adj,
+                               const HerecConfig& config, uint64_t seed);
+
+class Herec : public RecModel {
+ public:
+  Herec(const graph::HeteroGraph& graph, HerecConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  std::string name_ = "HERec";
+  HerecConfig config_;
+  ag::ParamStore params_;
+  ag::Parameter* user_emb_;
+  ag::Parameter* item_emb_;
+  // Frozen SGNS embeddings per meta-path, plus their fusion transforms.
+  std::vector<ag::Tensor> user_walk_embs_;
+  std::vector<ag::Parameter*> user_fuse_w_;
+  std::vector<ag::Tensor> item_walk_embs_;
+  std::vector<ag::Parameter*> item_fuse_w_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_HEREC_H_

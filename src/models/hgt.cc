@@ -1,0 +1,174 @@
+#include "models/hgt.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace dgnn::models {
+
+Hgt::Hgt(const graph::HeteroGraph& graph, HgtConfig config)
+    : config_(config),
+      num_users_(graph.num_users()),
+      num_items_(graph.num_items()),
+      num_rels_(graph.num_relations()) {
+  DGNN_CHECK_GT(config.num_heads, 0);
+  DGNN_CHECK_EQ(config.embedding_dim % config.num_heads, 0)
+      << "embedding_dim must divide evenly across heads";
+  util::Rng rng(config.seed);
+  const int64_t d = config.embedding_dim;
+  const int64_t dh = d / config.num_heads;
+  user_emb_ = params_.CreateXavier("user_emb", num_users_, d, rng);
+  item_emb_ = params_.CreateXavier("item_emb", num_items_, d, rng);
+  rel_emb_ = num_rels_ > 0
+                 ? params_.CreateXavier("rel_emb", num_rels_, d, rng)
+                 : nullptr;
+  layers_.resize(static_cast<size_t>(config.num_layers));
+  for (int l = 0; l < config.num_layers; ++l) {
+    LayerParams& lp = layers_[static_cast<size_t>(l)];
+    lp.q.resize(kNumNodeTypes);
+    lp.k.resize(kNumNodeTypes);
+    lp.v.resize(kNumNodeTypes);
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      for (int h = 0; h < config.num_heads; ++h) {
+        lp.q[static_cast<size_t>(t)].push_back(params_.CreateXavier(
+            util::StrFormat("l%d.q_%d_h%d", l, t, h), d, dh, rng));
+        lp.k[static_cast<size_t>(t)].push_back(params_.CreateXavier(
+            util::StrFormat("l%d.k_%d_h%d", l, t, h), d, dh, rng));
+        lp.v[static_cast<size_t>(t)].push_back(params_.CreateXavier(
+            util::StrFormat("l%d.v_%d_h%d", l, t, h), d, dh, rng));
+      }
+      lp.out.push_back(params_.CreateXavier(
+          util::StrFormat("l%d.out_%d", l, t), d, d, rng));
+    }
+    lp.w_att.resize(kNumEdgeTypes);
+    lp.w_msg.resize(kNumEdgeTypes);
+    for (int e = 0; e < kNumEdgeTypes; ++e) {
+      for (int h = 0; h < config.num_heads; ++h) {
+        lp.w_att[static_cast<size_t>(e)].push_back(params_.CreateXavier(
+            util::StrFormat("l%d.watt_%d_h%d", l, e, h), dh, dh, rng));
+        lp.w_msg[static_cast<size_t>(e)].push_back(params_.CreateXavier(
+            util::StrFormat("l%d.wmsg_%d_h%d", l, e, h), dh, dh, rng));
+      }
+    }
+  }
+  edges_.resize(kNumEdgeTypes);
+  edges_[kItemToUser] = graph.ItemToUserEdges();
+  edges_[kUserToItem] = graph.UserToItemEdges();
+  edges_[kUserToUser] = graph.UserToUserEdges();
+  edges_[kRelToItem] = graph.RelToItemEdges();
+  edges_[kItemToRel] = graph.ItemToRelEdges();
+}
+
+ForwardResult Hgt::Forward(ag::Tape& tape, bool /*training*/) {
+  const int heads = config_.num_heads;
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(
+                                config_.embedding_dim / heads));
+  std::vector<ag::VarId> h(kNumNodeTypes, -1);
+  h[kUser] = tape.Param(user_emb_);
+  h[kItem] = tape.Param(item_emb_);
+  if (rel_emb_ != nullptr) h[kRel] = tape.Param(rel_emb_);
+
+  const int src_type_of[] = {kItem, kUser, kUser, kRel, kItem};
+  const int dst_type_of[] = {kUser, kItem, kUser, kItem, kRel};
+  const int64_t count_of[] = {num_users_, num_items_,
+                              static_cast<int64_t>(num_rels_)};
+
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const LayerParams& lp = layers_[static_cast<size_t>(l)];
+    // Per node type, per head projections.
+    std::vector<std::vector<ag::VarId>> q(kNumNodeTypes), k(kNumNodeTypes),
+        v(kNumNodeTypes);
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      if (h[static_cast<size_t>(t)] < 0) continue;
+      for (int head = 0; head < heads; ++head) {
+        q[static_cast<size_t>(t)].push_back(tape.MatMul(
+            h[static_cast<size_t>(t)],
+            tape.Param(lp.q[static_cast<size_t>(t)][static_cast<size_t>(
+                head)])));
+        k[static_cast<size_t>(t)].push_back(tape.MatMul(
+            h[static_cast<size_t>(t)],
+            tape.Param(lp.k[static_cast<size_t>(t)][static_cast<size_t>(
+                head)])));
+        v[static_cast<size_t>(t)].push_back(tape.MatMul(
+            h[static_cast<size_t>(t)],
+            tape.Param(lp.v[static_cast<size_t>(t)][static_cast<size_t>(
+                head)])));
+      }
+    }
+
+    // Per destination type, per head: edge scores + messages collected
+    // across all incoming edge types, softmaxed jointly per target.
+    std::vector<std::vector<std::vector<ag::VarId>>> score_parts(
+        kNumNodeTypes,
+        std::vector<std::vector<ag::VarId>>(static_cast<size_t>(heads)));
+    std::vector<std::vector<std::vector<ag::VarId>>> msg_parts(
+        kNumNodeTypes,
+        std::vector<std::vector<ag::VarId>>(static_cast<size_t>(heads)));
+    std::vector<std::vector<int32_t>> dst_parts(kNumNodeTypes);
+    for (int e = 0; e < kNumEdgeTypes; ++e) {
+      const graph::EdgeList& el = edges_[static_cast<size_t>(e)];
+      if (el.size() == 0) continue;
+      const int st = src_type_of[e];
+      const int dt = dst_type_of[e];
+      if (h[static_cast<size_t>(st)] < 0 || h[static_cast<size_t>(dt)] < 0) {
+        continue;
+      }
+      for (int head = 0; head < heads; ++head) {
+        ag::VarId k_att = tape.MatMul(
+            k[static_cast<size_t>(st)][static_cast<size_t>(head)],
+            tape.Param(
+                lp.w_att[static_cast<size_t>(e)][static_cast<size_t>(
+                    head)]));
+        ag::VarId msg_all = tape.MatMul(
+            v[static_cast<size_t>(st)][static_cast<size_t>(head)],
+            tape.Param(
+                lp.w_msg[static_cast<size_t>(e)][static_cast<size_t>(
+                    head)]));
+        ag::VarId k_e = tape.GatherRows(k_att, el.src);
+        ag::VarId q_e = tape.GatherRows(
+            q[static_cast<size_t>(dt)][static_cast<size_t>(head)], el.dst);
+        score_parts[static_cast<size_t>(dt)][static_cast<size_t>(head)]
+            .push_back(
+                tape.ScalarMul(tape.RowDot(k_e, q_e), inv_sqrt_dh));
+        msg_parts[static_cast<size_t>(dt)][static_cast<size_t>(head)]
+            .push_back(tape.GatherRows(msg_all, el.src));
+      }
+      auto& dst_ids = dst_parts[static_cast<size_t>(dt)];
+      dst_ids.insert(dst_ids.end(), el.dst.begin(), el.dst.end());
+    }
+
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      if (h[static_cast<size_t>(t)] < 0 ||
+          score_parts[static_cast<size_t>(t)][0].empty()) {
+        continue;
+      }
+      std::vector<ag::VarId> head_outputs;
+      head_outputs.reserve(static_cast<size_t>(heads));
+      for (int head = 0; head < heads; ++head) {
+        ag::VarId scores = tape.ConcatRows(
+            score_parts[static_cast<size_t>(t)][static_cast<size_t>(head)]);
+        ag::VarId msgs = tape.ConcatRows(
+            msg_parts[static_cast<size_t>(t)][static_cast<size_t>(head)]);
+        ag::VarId attn = tape.SegmentSoftmax(
+            scores, dst_parts[static_cast<size_t>(t)], count_of[t]);
+        head_outputs.push_back(
+            tape.SegmentSum(tape.RowScale(msgs, attn),
+                            dst_parts[static_cast<size_t>(t)],
+                            count_of[t]));
+      }
+      ag::VarId agg = tape.ConcatCols(head_outputs);
+      ag::VarId projected = tape.MatMul(
+          tape.LeakyRelu(agg, 0.2f),
+          tape.Param(lp.out[static_cast<size_t>(t)]));
+      h[static_cast<size_t>(t)] =
+          tape.Add(projected, h[static_cast<size_t>(t)]);
+    }
+  }
+
+  ForwardResult out;
+  out.users = h[kUser];
+  out.items = h[kItem];
+  return out;
+}
+
+}  // namespace dgnn::models

@@ -1,0 +1,81 @@
+// HGT (Hu et al., WWW'20): heterogeneous graph transformer. Node-type
+// specific Q/K/V projections, edge-type specific attention and message
+// matrices, and per-target softmax across ALL incoming heterogeneous
+// edges:
+//
+//   att(e)  = < K(h_src) W_att^type , Q(h_dst) > / sqrt(d)
+//   msg(e)  = V(h_src) W_msg^type
+//   agg(v)  = sum_e softmax_v(att) * msg
+//   h'(v)   = A_out^type(agg) + h(v)           (residual)
+//
+// applied to the collaborative heterogeneous graph's five directed edge
+// sets (item->user, user->item, user->user, rel->item, item->rel).
+
+#ifndef DGNN_MODELS_HGT_H_
+#define DGNN_MODELS_HGT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct HgtConfig {
+  int64_t embedding_dim = 16;
+  int num_layers = 2;
+  // Attention heads; embedding_dim must divide evenly. Each head owns its
+  // own Q/K/V and edge-type attention/message projections into a
+  // d/heads-wide subspace; head outputs are concatenated (the original's
+  // multi-head dot-product attention). The default single head matches
+  // the benchmark configuration.
+  int num_heads = 1;
+  uint64_t seed = 42;
+};
+
+class Hgt : public RecModel {
+ public:
+  Hgt(const graph::HeteroGraph& graph, HgtConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  // Node types.
+  enum NodeType { kUser = 0, kItem = 1, kRel = 2, kNumNodeTypes = 3 };
+  // Directed edge sets.
+  enum EdgeType {
+    kItemToUser = 0,
+    kUserToItem = 1,
+    kUserToUser = 2,
+    kRelToItem = 3,
+    kItemToRel = 4,
+    kNumEdgeTypes = 5,
+  };
+
+  struct LayerParams {
+    // Indexed by [node type][head].
+    std::vector<std::vector<ag::Parameter*>> q, k, v;
+    // Output projection per node type (d x d, applied after head concat).
+    std::vector<ag::Parameter*> out;
+    // Indexed by [edge type][head].
+    std::vector<std::vector<ag::Parameter*>> w_att, w_msg;
+  };
+
+  std::string name_ = "HGT";
+  HgtConfig config_;
+  int32_t num_users_, num_items_, num_rels_;
+  ag::ParamStore params_;
+  ag::Parameter* user_emb_;
+  ag::Parameter* item_emb_;
+  ag::Parameter* rel_emb_;
+  std::vector<LayerParams> layers_;
+  std::vector<graph::EdgeList> edges_;  // indexed by EdgeType
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_HGT_H_

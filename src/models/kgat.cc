@@ -1,0 +1,74 @@
+#include "models/kgat.h"
+
+#include "models/common.h"
+#include "util/strings.h"
+
+namespace dgnn::models {
+
+Kgat::Kgat(const graph::HeteroGraph& graph, KgatConfig config)
+    : config_(config),
+      num_users_(graph.num_users()),
+      num_items_(graph.num_items()),
+      num_nodes_(static_cast<int64_t>(graph.num_users()) +
+                 graph.num_items() + graph.num_relations()) {
+  util::Rng rng(config.seed);
+  const int64_t d = config.embedding_dim;
+  node_emb_ = params_.CreateXavier("node_emb", num_nodes_, d, rng);
+  rel_type_emb_ = params_.CreateXavier("rel_type_emb", 4, d, rng);
+  for (int l = 0; l < config.num_layers; ++l) {
+    w_.push_back(params_.CreateXavier(util::StrFormat("w_%d", l), d, d, rng));
+    w1_.push_back(
+        params_.CreateXavier(util::StrFormat("w1_%d", l), d, d, rng));
+    w2_.push_back(
+        params_.CreateXavier(util::StrFormat("w2_%d", l), d, d, rng));
+  }
+
+  const int32_t item_base = graph.num_users();
+  const int32_t rel_base = graph.num_users() + graph.num_items();
+  auto append = [&](const graph::EdgeList& edges, int32_t src_off,
+                    int32_t dst_off, int32_t type) {
+    for (int64_t e = 0; e < edges.size(); ++e) {
+      edge_src_.push_back(edges.src[static_cast<size_t>(e)] + src_off);
+      edge_dst_.push_back(edges.dst[static_cast<size_t>(e)] + dst_off);
+      edge_type_.push_back(type);
+    }
+  };
+  append(graph.ItemToUserEdges(), item_base, 0, 0);   // interact
+  append(graph.UserToItemEdges(), 0, item_base, 1);   // interacted-by
+  append(graph.UserToUserEdges(), 0, 0, 2);           // social tie
+  append(graph.RelToItemEdges(), rel_base, item_base, 3);  // category-of
+  append(graph.ItemToRelEdges(), item_base, rel_base, 3);  // has-category
+}
+
+ForwardResult Kgat::Forward(ag::Tape& tape, bool /*training*/) {
+  ag::VarId h = tape.Param(node_emb_);
+  std::vector<ag::VarId> layers = {h};
+  for (int l = 0; l < config_.num_layers; ++l) {
+    ag::VarId wl = tape.Param(w_[static_cast<size_t>(l)]);
+    ag::VarId projected = tape.MatMul(h, wl);
+    ag::VarId msg = tape.GatherRows(projected, edge_src_);
+    ag::VarId dst_proj = tape.GatherRows(projected, edge_dst_);
+    ag::VarId e_r = tape.GatherRows(tape.Param(rel_type_emb_), edge_type_);
+    // pi(e) = <W h_src, tanh(W h_dst + e_r)>
+    ag::VarId scores = tape.RowDot(msg, tape.Tanh(tape.Add(dst_proj, e_r)));
+    ag::VarId agg =
+        EdgeSoftmaxAggregate(tape, msg, scores, edge_dst_, num_nodes_);
+    // Bi-interaction aggregator.
+    ag::VarId sum_path = tape.LeakyRelu(
+        tape.MatMul(tape.Add(h, agg), tape.Param(w1_[static_cast<size_t>(l)])),
+        config_.leaky_slope);
+    ag::VarId prod_path = tape.LeakyRelu(
+        tape.MatMul(tape.Mul(h, agg), tape.Param(w2_[static_cast<size_t>(l)])),
+        config_.leaky_slope);
+    h = tape.Add(sum_path, prod_path);
+    h = tape.RowL2Normalize(h);
+    layers.push_back(h);
+  }
+  ag::VarId all = tape.ConcatCols(layers);
+  ForwardResult out;
+  out.users = tape.SliceRows(all, 0, num_users_);
+  out.items = tape.SliceRows(all, num_users_, num_items_);
+  return out;
+}
+
+}  // namespace dgnn::models

@@ -1,0 +1,61 @@
+// KGAT (Wang et al., KDD'19): knowledge graph attention network over the
+// unified user-item-entity graph. Here the knowledge graph is the paper's
+// item-relation structure T: relation nodes act as entities, giving four
+// typed edge sets (interact / interacted-by / has-category / category-of),
+// each with its own relation embedding. Per layer:
+//
+//   pi(e)  = < W h_src , tanh(W h_dst + e_r) >        (TransR-style score)
+//   att    = softmax of pi over each node's incoming edges (all types)
+//   agg(v) = sum_e att_e * (W h_src)
+//   h'     = LeakyReLU(W1 (h + agg)) + LeakyReLU(W2 (h .* agg))
+//
+// with cross-layer concatenation (the original's bi-interaction
+// aggregator and layer combination).
+
+#ifndef DGNN_MODELS_KGAT_H_
+#define DGNN_MODELS_KGAT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct KgatConfig {
+  int64_t embedding_dim = 16;
+  int num_layers = 2;
+  float leaky_slope = 0.2f;
+  uint64_t seed = 42;
+};
+
+class Kgat : public RecModel {
+ public:
+  Kgat(const graph::HeteroGraph& graph, KgatConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override {
+    return config_.embedding_dim * (config_.num_layers + 1);
+  }
+
+ private:
+  std::string name_ = "KGAT";
+  KgatConfig config_;
+  int32_t num_users_, num_items_;
+  int64_t num_nodes_;
+  ag::ParamStore params_;
+  ag::Parameter* node_emb_;
+  ag::Parameter* rel_type_emb_;  // 4 x d, one row per typed edge set
+  std::vector<ag::Parameter*> w_;   // attention/message transform per layer
+  std::vector<ag::Parameter*> w1_;  // bi-interaction sum path
+  std::vector<ag::Parameter*> w2_;  // bi-interaction product path
+  // All typed edges concatenated, in unified node ids.
+  std::vector<int32_t> edge_src_, edge_dst_, edge_type_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_KGAT_H_

@@ -1,0 +1,36 @@
+#include "models/lightgcn.h"
+
+namespace dgnn::models {
+
+LightGcn::LightGcn(const graph::HeteroGraph& graph, LightGcnConfig config)
+    : config_(config),
+      num_users_(graph.num_users()),
+      num_items_(graph.num_items()) {
+  util::Rng rng(config.seed);
+  if (config.use_side_context) {
+    adj_ = graph.UnifiedNormalized(true, true);
+  } else {
+    adj_ = graph.BipartiteNormalized();
+  }
+  node_emb_ = params_.CreateXavier("node_emb", adj_.rows(),
+                                   config.embedding_dim, rng);
+  adj_t_ = adj_.Transposed();
+}
+
+ForwardResult LightGcn::Forward(ag::Tape& tape, bool /*training*/) {
+  ag::VarId h = tape.Param(node_emb_);
+  std::vector<ag::VarId> layers = {h};
+  for (int l = 0; l < config_.num_layers; ++l) {
+    h = tape.SpMM(&adj_, &adj_t_, h);
+    layers.push_back(h);
+  }
+  // Mean pooling across layers.
+  ag::VarId pooled = tape.ScalarMul(
+      tape.AddN(layers), 1.0f / static_cast<float>(layers.size()));
+  ForwardResult out;
+  out.users = tape.SliceRows(pooled, 0, num_users_);
+  out.items = tape.SliceRows(pooled, num_users_, num_items_);
+  return out;
+}
+
+}  // namespace dgnn::models

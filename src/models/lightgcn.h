@@ -1,0 +1,45 @@
+// LightGCN (He et al., SIGIR'20): parameter-free propagation
+// H^(l+1) = A H^l with mean pooling across layers. Not one of the
+// reproduced paper's Table II baselines — included as the de-facto
+// reference CF model for the examples and as a sanity anchor in tests.
+
+#ifndef DGNN_MODELS_LIGHTGCN_H_
+#define DGNN_MODELS_LIGHTGCN_H_
+
+#include <string>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct LightGcnConfig {
+  int64_t embedding_dim = 16;
+  int num_layers = 2;
+  // When true, propagate over the unified graph (social + relations);
+  // when false, the classic user-item bipartite graph.
+  bool use_side_context = true;
+  uint64_t seed = 42;
+};
+
+class LightGcn : public RecModel {
+ public:
+  LightGcn(const graph::HeteroGraph& graph, LightGcnConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  std::string name_ = "LightGCN";
+  LightGcnConfig config_;
+  int32_t num_users_, num_items_;
+  ag::ParamStore params_;
+  ag::Parameter* node_emb_;
+  graph::CsrMatrix adj_, adj_t_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_LIGHTGCN_H_

@@ -1,0 +1,141 @@
+#include "models/mhcn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/strings.h"
+
+namespace dgnn::models {
+namespace {
+
+// Entrywise product with the sparsity pattern of a binary mask: keeps the
+// entries of `a` whose (row, col) also appears in `mask`.
+graph::CsrMatrix MaskBy(const graph::CsrMatrix& a,
+                        const graph::CsrMatrix& mask) {
+  graph::CooMatrix out;
+  out.rows = a.rows();
+  out.cols = a.cols();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const auto mb = mask.indices().begin() +
+                    static_cast<int64_t>(mask.indptr()[static_cast<size_t>(r)]);
+    const auto me =
+        mask.indices().begin() +
+        static_cast<int64_t>(mask.indptr()[static_cast<size_t>(r) + 1]);
+    for (int64_t i = a.indptr()[static_cast<size_t>(r)];
+         i < a.indptr()[static_cast<size_t>(r) + 1]; ++i) {
+      const int32_t c = a.indices()[static_cast<size_t>(i)];
+      if (std::binary_search(mb, me, c)) {
+        out.Add(static_cast<int32_t>(r), c,
+                a.values()[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  return graph::CsrMatrix::FromCoo(out);
+}
+
+}  // namespace
+
+Mhcn::Mhcn(const graph::HeteroGraph& graph, MhcnConfig config)
+    : config_(config),
+      num_users_(graph.num_users()),
+      shuffle_rng_(config.seed ^ 0x77aaULL) {
+  util::Rng rng(config.seed);
+  const int64_t d = config.embedding_dim;
+  user_emb_ = params_.CreateXavier("user_emb", graph.num_users(), d, rng);
+  item_emb_ = params_.CreateXavier("item_emb", graph.num_items(), d, rng);
+  att_q_ = params_.CreateXavier("att_q", 1, d, rng);
+
+  // Motif-induced channel adjacencies.
+  const graph::CsrMatrix& s = graph.social();
+  graph::CsrMatrix ss = s.Multiply(s);
+  graph::CsrMatrix social_motif = MaskBy(ss, s);
+  graph::CsrMatrix co = graph.user_item().Multiply(graph.item_user(),
+                                                   config.purchase_cap);
+  co.RemoveDiagonal();
+  graph::CsrMatrix joint_motif = MaskBy(co, s);
+  graph::CsrMatrix purchase = co;
+
+  for (graph::CsrMatrix* m : {&social_motif, &joint_motif, &purchase}) {
+    m->RowNormalize();
+    channels_.push_back(*m);
+  }
+  for (const auto& c : channels_) channels_t_.push_back(c.Transposed());
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    gate_w_.push_back(params_.CreateXavier(
+        util::StrFormat("gate_w_%zu", c), d, d, rng));
+  }
+  ui_norm_ = graph::HeteroGraph::RowNormalized(graph.user_item());
+  ui_norm_t_ = ui_norm_.Transposed();
+  iu_norm_ = graph::HeteroGraph::RowNormalized(graph.item_user());
+  iu_norm_t_ = iu_norm_.Transposed();
+}
+
+ForwardResult Mhcn::Forward(ag::Tape& tape, bool training) {
+  ag::VarId h_user = tape.Param(user_emb_);
+  ag::VarId h_item = tape.Param(item_emb_);
+
+  // Per-channel self-gated inputs and hypergraph convolutions.
+  std::vector<ag::VarId> channel_out;
+  channel_out.reserve(channels_.size());
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    ag::VarId gate =
+        tape.Sigmoid(tape.MatMul(h_user, tape.Param(gate_w_[c])));
+    ag::VarId h = tape.Mul(h_user, gate);
+    std::vector<ag::VarId> layers = {h};
+    for (int l = 0; l < config_.num_layers; ++l) {
+      h = tape.SpMM(&channels_[c], &channels_t_[c], h);
+      layers.push_back(h);
+    }
+    channel_out.push_back(tape.ScalarMul(
+        tape.AddN(layers), 1.0f / static_cast<float>(layers.size())));
+  }
+
+  // Channel attention: score_c(u) = <h_c(u), q>, softmax across channels.
+  std::vector<ag::VarId> scores;
+  scores.reserve(channel_out.size());
+  for (ag::VarId h : channel_out) {
+    scores.push_back(tape.MatMul(h, tape.Param(att_q_), false, true));
+  }
+  ag::VarId attn = tape.RowSoftmax(tape.ConcatCols(scores));
+  std::vector<ag::VarId> weighted;
+  weighted.reserve(channel_out.size());
+  for (size_t c = 0; c < channel_out.size(); ++c) {
+    weighted.push_back(tape.RowScale(
+        channel_out[c], tape.Col(attn, static_cast<int64_t>(c))));
+  }
+  ag::VarId user_social = tape.AddN(weighted);
+
+  // Fuse with the interaction view (one bipartite propagation hop).
+  ag::VarId user_final =
+      tape.Add(user_social, tape.SpMM(&ui_norm_, &ui_norm_t_, h_item));
+  ag::VarId item_final =
+      tape.Add(h_item, tape.SpMM(&iu_norm_, &iu_norm_t_, user_social));
+
+  ForwardResult out;
+  out.users = user_final;
+  out.items = item_final;
+
+  // Self-supervised channel discrimination: each user's channel embedding
+  // should score higher against the channel readout than a corrupted
+  // (permuted) embedding does.
+  if (training && config_.ssl_weight > 0.0f) {
+    std::vector<int32_t> perm(static_cast<size_t>(num_users_));
+    std::iota(perm.begin(), perm.end(), 0);
+    shuffle_rng_.Shuffle(perm);
+    std::vector<ag::VarId> ssl_terms;
+    for (ag::VarId h : channel_out) {
+      ag::VarId readout = tape.MeanRows(h);  // 1 x d graph summary
+      ag::VarId pos = tape.MatMul(h, readout, false, true);       // U x 1
+      ag::VarId corrupted = tape.GatherRows(h, perm);
+      ag::VarId neg = tape.MatMul(corrupted, readout, false, true);
+      ssl_terms.push_back(tape.BprLoss(pos, neg));
+    }
+    out.aux_loss =
+        tape.ScalarMul(tape.AddN(ssl_terms),
+                       config_.ssl_weight /
+                           static_cast<float>(ssl_terms.size()));
+  }
+  return out;
+}
+
+}  // namespace dgnn::models

@@ -1,0 +1,57 @@
+// MHCN (Yu et al., WWW'21): multi-channel hypergraph convolutional network
+// for social recommendation. Three motif-induced hypergraph channels over
+// users —
+//   social channel:   triangles in the social graph      (S*S) .* S
+//   joint channel:    friends with co-interactions       (Y*Y^T) .* S
+//   purchase channel: co-interaction neighborhoods       top-k of Y*Y^T
+// — each with self-gated inputs and LightGCN-style convolutions, fused by
+// channel attention. The hierarchical mutual-information maximization is
+// simplified to a per-channel node-vs-graph-readout discrimination
+// auxiliary loss (see DESIGN.md).
+
+#ifndef DGNN_MODELS_MHCN_H_
+#define DGNN_MODELS_MHCN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct MhcnConfig {
+  int64_t embedding_dim = 16;
+  int num_layers = 2;
+  float ssl_weight = 0.1f;
+  int64_t purchase_cap = 16;
+  uint64_t seed = 42;
+};
+
+class Mhcn : public RecModel {
+ public:
+  Mhcn(const graph::HeteroGraph& graph, MhcnConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  std::string name_ = "MHCN";
+  MhcnConfig config_;
+  int32_t num_users_;
+  ag::ParamStore params_;
+  util::Rng shuffle_rng_;
+  ag::Parameter* user_emb_;
+  ag::Parameter* item_emb_;
+  std::vector<ag::Parameter*> gate_w_;  // self-gating per channel (d x d)
+  ag::Parameter* att_q_;                // channel attention query (1 x d)
+  std::vector<graph::CsrMatrix> channels_, channels_t_;
+  graph::CsrMatrix ui_norm_, ui_norm_t_;
+  graph::CsrMatrix iu_norm_, iu_norm_t_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_MHCN_H_

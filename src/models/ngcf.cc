@@ -1,0 +1,53 @@
+#include "models/ngcf.h"
+
+#include "util/strings.h"
+
+namespace dgnn::models {
+
+Ngcf::Ngcf(const graph::HeteroGraph& graph, NgcfConfig config)
+    : config_(config),
+      num_users_(graph.num_users()),
+      num_items_(graph.num_items()),
+      dropout_rng_(config.seed ^ 0x9e37ULL) {
+  util::Rng rng(config.seed);
+  const int64_t n =
+      graph.num_users() + graph.num_items() + graph.num_relations();
+  node_emb_ = params_.CreateXavier("node_emb", n, config.embedding_dim, rng);
+  for (int l = 0; l < config.num_layers; ++l) {
+    w1_.push_back(params_.CreateXavier(util::StrFormat("w1_%d", l),
+                                       config.embedding_dim,
+                                       config.embedding_dim, rng));
+    w2_.push_back(params_.CreateXavier(util::StrFormat("w2_%d", l),
+                                       config.embedding_dim,
+                                       config.embedding_dim, rng));
+  }
+  adj_ = graph.UnifiedNormalized(/*include_social=*/true,
+                                 /*include_relations=*/true);
+  adj_t_ = adj_.Transposed();
+}
+
+ForwardResult Ngcf::Forward(ag::Tape& tape, bool training) {
+  ag::VarId h = tape.Param(node_emb_);
+  std::vector<ag::VarId> layers = {h};
+  for (int l = 0; l < config_.num_layers; ++l) {
+    ag::VarId side = tape.SpMM(&adj_, &adj_t_, h);  // A H
+    // (A + I) H W1 + (A H .* H) W2
+    ag::VarId sum_term =
+        tape.MatMul(tape.Add(side, h), tape.Param(w1_[static_cast<size_t>(l)]));
+    ag::VarId bi_term = tape.MatMul(
+        tape.Mul(side, h), tape.Param(w2_[static_cast<size_t>(l)]));
+    h = tape.LeakyRelu(tape.Add(sum_term, bi_term), config_.leaky_slope);
+    if (training && config_.node_dropout > 0.0f) {
+      h = tape.Dropout(h, config_.node_dropout, dropout_rng_, training);
+    }
+    h = tape.RowL2Normalize(h);
+    layers.push_back(h);
+  }
+  ag::VarId all = tape.ConcatCols(layers);
+  ForwardResult out;
+  out.users = tape.SliceRows(all, 0, num_users_);
+  out.items = tape.SliceRows(all, num_users_, num_items_);
+  return out;
+}
+
+}  // namespace dgnn::models

@@ -1,0 +1,55 @@
+// NGCF (Wang et al., SIGIR'19): neural graph collaborative filtering.
+// Layer rule over a normalized adjacency A (Eqs. 7-8 of that paper):
+//
+//   H^(l+1) = LeakyReLU( (A + I) H^l W1_l + (A H^l) .* H^l W2_l )
+//
+// final embeddings concatenate all layers. Per the paper under
+// reproduction, the graph-CF baselines are "enhanced by incorporating the
+// diverse context into the interaction graph": A here is the unified
+// sym-normalized adjacency over users, items and relation nodes including
+// the social and item-relation edges.
+
+#ifndef DGNN_MODELS_NGCF_H_
+#define DGNN_MODELS_NGCF_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct NgcfConfig {
+  int64_t embedding_dim = 16;
+  int num_layers = 2;
+  float leaky_slope = 0.2f;
+  float node_dropout = 0.0f;
+  uint64_t seed = 42;
+};
+
+class Ngcf : public RecModel {
+ public:
+  Ngcf(const graph::HeteroGraph& graph, NgcfConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override {
+    return config_.embedding_dim * (config_.num_layers + 1);
+  }
+
+ private:
+  std::string name_ = "NGCF";
+  NgcfConfig config_;
+  int32_t num_users_, num_items_;
+  ag::ParamStore params_;
+  util::Rng dropout_rng_;
+  ag::Parameter* node_emb_;  // users, items and relation nodes stacked
+  std::vector<ag::Parameter*> w1_, w2_;
+  graph::CsrMatrix adj_, adj_t_;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_NGCF_H_

@@ -1,0 +1,47 @@
+// RecModel — the interface every recommender in the library implements:
+// the paper's DGNN (src/core) and all fourteen comparison baselines
+// (src/models). The trainer and evaluator only speak this interface, so
+// every model trains under the identical BPR protocol the paper uses.
+
+#ifndef DGNN_MODELS_REC_MODEL_H_
+#define DGNN_MODELS_REC_MODEL_H_
+
+#include <string>
+
+#include "ag/tape.h"
+
+namespace dgnn::models {
+
+// Result of one forward pass. `users` / `items` are the *final scoring*
+// embeddings: the trainer and evaluator compute scores as row dot products
+// of these, so any model-specific scoring-time augmentation (e.g. DGNN's
+// social recalibration tau, Eq. 10) must already be folded into `users`.
+// `aux_loss` is an optional model-specific training objective added to the
+// BPR loss (e.g. MHCN's self-supervised term); -1 when absent.
+struct ForwardResult {
+  ag::VarId users = -1;
+  ag::VarId items = -1;
+  ag::VarId aux_loss = -1;
+};
+
+class RecModel {
+ public:
+  virtual ~RecModel() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Builds the model's computation graph on `tape` and returns the final
+  // embeddings. Called once per training batch (gradients flow) and once
+  // per evaluation (training=false; dropout etc. disabled).
+  virtual ForwardResult Forward(ag::Tape& tape, bool training) = 0;
+
+  // Trainable state; the trainer owns the optimizer over this store.
+  virtual ag::ParamStore& params() = 0;
+
+  // Embedding width of the final representations.
+  virtual int64_t embedding_dim() const = 0;
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_REC_MODEL_H_

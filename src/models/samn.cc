@@ -1,0 +1,62 @@
+#include "models/samn.h"
+
+#include "models/common.h"
+#include "util/strings.h"
+
+namespace dgnn::models {
+
+Samn::Samn(const graph::HeteroGraph& graph, SamnConfig config)
+    : config_(config), num_users_(graph.num_users()) {
+  util::Rng rng(config.seed);
+  user_emb_ = params_.CreateXavier("user_emb", graph.num_users(),
+                                   config.embedding_dim, rng);
+  item_emb_ = params_.CreateXavier("item_emb", graph.num_items(),
+                                   config.embedding_dim, rng);
+  key_ = params_.CreateXavier("key", config.num_memory_slices,
+                              config.embedding_dim, rng);
+  memory_ = params_.CreateXavier("memory", config.num_memory_slices,
+                                 config.embedding_dim, rng);
+  att_w_ = params_.CreateXavier("att_w", config.embedding_dim,
+                                config.embedding_dim, rng);
+  att_v_ = params_.CreateXavier("att_v", 1, config.embedding_dim, rng);
+  social_edges_ = graph.UserToUserEdges();
+}
+
+ForwardResult Samn::Forward(ag::Tape& tape, bool /*training*/) {
+  ag::VarId h_user = tape.Param(user_emb_);
+  ForwardResult out;
+  out.items = tape.Param(item_emb_);
+
+  if (social_edges_.size() == 0) {
+    out.users = h_user;
+    return out;
+  }
+
+  // Aspect (memory) stage.
+  EdgeFeatures ef = GatherEdgeFeatures(tape, h_user, h_user, social_edges_);
+  ag::VarId joint = tape.Mul(ef.src, ef.dst);  // relation vector, E x d
+  // Attention over memory slices: (E x d) @ (K x d)^T -> E x K.
+  ag::VarId slice_attn =
+      tape.RowSoftmax(tape.MatMul(joint, tape.Param(key_), false, true));
+  ag::VarId memory = tape.Param(memory_);
+  std::vector<ag::VarId> friend_vec_terms;
+  friend_vec_terms.reserve(static_cast<size_t>(config_.num_memory_slices));
+  for (int k = 0; k < config_.num_memory_slices; ++k) {
+    // e_f .* M_k, weighted by the k-th slice attention.
+    ag::VarId modulated =
+        tape.MulRowBroadcast(ef.src, tape.SliceRows(memory, k, 1));
+    friend_vec_terms.push_back(
+        tape.RowScale(modulated, tape.Col(slice_attn, k)));
+  }
+  ag::VarId friend_vec = tape.AddN(friend_vec_terms);  // E x d
+
+  // Friend-level attention stage.
+  ag::VarId proj = tape.MatMul(friend_vec, tape.Param(att_w_));
+  ag::VarId scores = AdditiveAttentionScores(tape, proj, ef.dst, att_v_);
+  ag::VarId social = EdgeSoftmaxAggregate(tape, friend_vec, scores,
+                                          social_edges_.dst, num_users_);
+  out.users = tape.Add(h_user, social);
+  return out;
+}
+
+}  // namespace dgnn::models

@@ -1,0 +1,52 @@
+// SAMN (Chen et al., WSDM'19): social attentional memory network.
+// Two attention stages over each user's friends:
+//   1. aspect stage: the user-friend relation vector (e_u .* e_f) attends
+//      over a shared memory matrix M (K slices), producing a
+//      relation-specific friend vector f~ = sum_k a_k (e_f .* M_k);
+//   2. friend stage: additive attention over friends, aggregated into a
+//      social complement added to the user embedding.
+// Items keep free embeddings; scoring is the dot product as in the
+// reproduced paper's ranking protocol.
+
+#ifndef DGNN_MODELS_SAMN_H_
+#define DGNN_MODELS_SAMN_H_
+
+#include <string>
+
+#include "graph/hetero_graph.h"
+#include "models/rec_model.h"
+
+namespace dgnn::models {
+
+struct SamnConfig {
+  int64_t embedding_dim = 16;
+  int num_memory_slices = 8;
+  uint64_t seed = 42;
+};
+
+class Samn : public RecModel {
+ public:
+  Samn(const graph::HeteroGraph& graph, SamnConfig config);
+
+  const std::string& name() const override { return name_; }
+  ForwardResult Forward(ag::Tape& tape, bool training) override;
+  ag::ParamStore& params() override { return params_; }
+  int64_t embedding_dim() const override { return config_.embedding_dim; }
+
+ private:
+  std::string name_ = "SAMN";
+  SamnConfig config_;
+  int32_t num_users_;
+  ag::ParamStore params_;
+  ag::Parameter* user_emb_;
+  ag::Parameter* item_emb_;
+  ag::Parameter* key_;       // K x d attention keys
+  ag::Parameter* memory_;    // K x d memory slices
+  ag::Parameter* att_w_;     // d x d friend-attention projection
+  ag::Parameter* att_v_;     // 1 x d friend-attention vector
+  graph::EdgeList social_edges_;  // friend -> user
+};
+
+}  // namespace dgnn::models
+
+#endif  // DGNN_MODELS_SAMN_H_

@@ -1,0 +1,78 @@
+#include "train/beyond_accuracy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dgnn::train {
+
+BeyondAccuracy ComputeBeyondAccuracy(const Recommender& recommender,
+                                     const data::Dataset& dataset, int k) {
+  DGNN_CHECK_GT(k, 0);
+  BeyondAccuracy out;
+  out.top_k = k;
+  const int64_t num_items = dataset.num_items;
+  DGNN_CHECK_GT(num_items, 0);
+
+  // Popularity percentile of each item from training interaction counts:
+  // percentile 1.0 = most interacted.
+  std::vector<int64_t> train_count(static_cast<size_t>(num_items), 0);
+  for (const auto& it : dataset.train) {
+    ++train_count[static_cast<size_t>(it.item)];
+  }
+  std::vector<int32_t> by_popularity(static_cast<size_t>(num_items));
+  std::iota(by_popularity.begin(), by_popularity.end(), 0);
+  std::stable_sort(by_popularity.begin(), by_popularity.end(),
+                   [&](int32_t a, int32_t b) {
+                     return train_count[static_cast<size_t>(a)] <
+                            train_count[static_cast<size_t>(b)];
+                   });
+  std::vector<double> percentile(static_cast<size_t>(num_items), 0.0);
+  for (size_t rank = 0; rank < by_popularity.size(); ++rank) {
+    percentile[static_cast<size_t>(by_popularity[rank])] =
+        num_items > 1 ? static_cast<double>(rank) /
+                            static_cast<double>(num_items - 1)
+                      : 1.0;
+  }
+
+  std::vector<int64_t> exposure(static_cast<size_t>(num_items), 0);
+  double percentile_sum = 0.0;
+  int64_t recommended_total = 0;
+  for (int32_t u = 0; u < dataset.num_users; ++u) {
+    for (const auto& scored : recommender.TopK(u, k)) {
+      ++exposure[static_cast<size_t>(scored.item)];
+      percentile_sum += percentile[static_cast<size_t>(scored.item)];
+      ++recommended_total;
+    }
+  }
+
+  int64_t covered = 0;
+  for (int64_t count : exposure) covered += count > 0;
+  out.catalog_coverage =
+      static_cast<double>(covered) / static_cast<double>(num_items);
+  out.mean_popularity_percentile =
+      recommended_total > 0
+          ? percentile_sum / static_cast<double>(recommended_total)
+          : 0.0;
+
+  // Gini over exposure counts (sorted-weights formula).
+  std::vector<int64_t> sorted = exposure;
+  std::sort(sorted.begin(), sorted.end());
+  const double total =
+      static_cast<double>(std::accumulate(sorted.begin(), sorted.end(),
+                                          int64_t{0}));
+  if (total > 0.0) {
+    double weighted = 0.0;
+    const double n = static_cast<double>(sorted.size());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) *
+                  static_cast<double>(sorted[i]);
+    }
+    out.exposure_gini =
+        weighted / (n * total);
+  }
+  return out;
+}
+
+}  // namespace dgnn::train

@@ -1,0 +1,32 @@
+// Beyond-accuracy evaluation: the qualities of a top-K recommender that
+// HR/NDCG cannot see. Production teams track these alongside ranking
+// accuracy — a model can win HR@10 by recommending the same popular
+// hundred items to everyone.
+
+#ifndef DGNN_TRAIN_BEYOND_ACCURACY_H_
+#define DGNN_TRAIN_BEYOND_ACCURACY_H_
+
+#include "data/dataset.h"
+#include "train/recommender.h"
+
+namespace dgnn::train {
+
+struct BeyondAccuracy {
+  // Fraction of the catalog that appears in at least one user's top-K.
+  double catalog_coverage = 0.0;
+  // Mean training-popularity percentile of recommended items (0 = only
+  // the long tail, 1 = only the most popular items). Lower = more novel.
+  double mean_popularity_percentile = 0.0;
+  // Gini coefficient of per-item recommendation counts (0 = perfectly
+  // even exposure, 1 = all exposure on one item).
+  double exposure_gini = 0.0;
+  int top_k = 0;
+};
+
+// Computes the metrics over every user's top-K list.
+BeyondAccuracy ComputeBeyondAccuracy(const Recommender& recommender,
+                                     const data::Dataset& dataset, int k);
+
+}  // namespace dgnn::train
+
+#endif  // DGNN_TRAIN_BEYOND_ACCURACY_H_

@@ -1,0 +1,77 @@
+#include "train/evaluator.h"
+
+#include "util/check.h"
+
+namespace dgnn::train {
+namespace {
+
+float Dot(const float* a, const float* b, int64_t d) {
+  float acc = 0.0f;
+  for (int64_t c = 0; c < d; ++c) acc += a[c] * b[c];
+  return acc;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const data::Dataset& dataset) : dataset_(&dataset) {}
+
+std::vector<int> Evaluator::Ranks(const ag::Tensor& user_emb,
+                                  const ag::Tensor& item_emb) const {
+  DGNN_CHECK_EQ(user_emb.rows(), dataset_->num_users);
+  DGNN_CHECK_EQ(item_emb.rows(), dataset_->num_items);
+  DGNN_CHECK_EQ(user_emb.cols(), item_emb.cols());
+  const int64_t d = user_emb.cols();
+  std::vector<int> ranks;
+  ranks.reserve(dataset_->test.size());
+  std::vector<float> neg_scores;
+  for (size_t t = 0; t < dataset_->test.size(); ++t) {
+    const auto& pos = dataset_->test[t];
+    const float* u = user_emb.row(pos.user);
+    const float pos_score = Dot(u, item_emb.row(pos.item), d);
+    const auto& negs = dataset_->eval_negatives[t];
+    neg_scores.clear();
+    neg_scores.reserve(negs.size());
+    for (int32_t item : negs) {
+      neg_scores.push_back(Dot(u, item_emb.row(item), d));
+    }
+    ranks.push_back(RankOfPositive(pos_score, neg_scores));
+  }
+  return ranks;
+}
+
+Metrics Evaluator::Evaluate(const ag::Tensor& user_emb,
+                            const ag::Tensor& item_emb,
+                            const std::vector<int>& cutoffs) const {
+  return MetricsFromRanks(Ranks(user_emb, item_emb), cutoffs);
+}
+
+Metrics Evaluator::EvaluateModel(models::RecModel& model,
+                                 const std::vector<int>& cutoffs) const {
+  ag::Tape tape;
+  models::ForwardResult fwd = model.Forward(tape, /*training=*/false);
+  return Evaluate(tape.val(fwd.users), tape.val(fwd.items), cutoffs);
+}
+
+std::vector<Metrics> Evaluator::EvaluateGroups(
+    const ag::Tensor& user_emb, const ag::Tensor& item_emb,
+    const std::vector<int>& user_group, int num_groups,
+    const std::vector<int>& cutoffs) const {
+  DGNN_CHECK_EQ(static_cast<int64_t>(user_group.size()),
+                dataset_->num_users);
+  std::vector<int> all_ranks = Ranks(user_emb, item_emb);
+  std::vector<std::vector<int>> by_group(static_cast<size_t>(num_groups));
+  for (size_t t = 0; t < dataset_->test.size(); ++t) {
+    const int g = user_group[static_cast<size_t>(dataset_->test[t].user)];
+    if (g < 0) continue;
+    DGNN_CHECK_LT(g, num_groups);
+    by_group[static_cast<size_t>(g)].push_back(all_ranks[t]);
+  }
+  std::vector<Metrics> out;
+  out.reserve(static_cast<size_t>(num_groups));
+  for (const auto& ranks : by_group) {
+    out.push_back(MetricsFromRanks(ranks, cutoffs));
+  }
+  return out;
+}
+
+}  // namespace dgnn::train

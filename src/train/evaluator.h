@@ -1,0 +1,47 @@
+// Evaluation under the paper's ranking protocol: for each test user, score
+// the held-out positive against its pre-sampled negatives using the
+// model's final embeddings and accumulate HR@N / NDCG@N.
+
+#ifndef DGNN_TRAIN_EVALUATOR_H_
+#define DGNN_TRAIN_EVALUATOR_H_
+
+#include <vector>
+
+#include "ag/tensor.h"
+#include "data/dataset.h"
+#include "models/rec_model.h"
+#include "train/metrics.h"
+
+namespace dgnn::train {
+
+class Evaluator {
+ public:
+  // Keeps a reference; the dataset must outlive the evaluator.
+  explicit Evaluator(const data::Dataset& dataset);
+
+  // Per-test-user rank of the positive, given final scoring embeddings.
+  std::vector<int> Ranks(const ag::Tensor& user_emb,
+                         const ag::Tensor& item_emb) const;
+
+  Metrics Evaluate(const ag::Tensor& user_emb, const ag::Tensor& item_emb,
+                   const std::vector<int>& cutoffs) const;
+
+  // Runs the model's forward pass (training=false) and evaluates.
+  Metrics EvaluateModel(models::RecModel& model,
+                        const std::vector<int>& cutoffs) const;
+
+  // Group-wise evaluation (Fig. 6): `user_group[u]` in [0, num_groups) or
+  // -1 to skip; returns one Metrics per group over that group's test users.
+  std::vector<Metrics> EvaluateGroups(const ag::Tensor& user_emb,
+                                      const ag::Tensor& item_emb,
+                                      const std::vector<int>& user_group,
+                                      int num_groups,
+                                      const std::vector<int>& cutoffs) const;
+
+ private:
+  const data::Dataset* dataset_;
+};
+
+}  // namespace dgnn::train
+
+#endif  // DGNN_TRAIN_EVALUATOR_H_

@@ -1,0 +1,55 @@
+#include "train/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace dgnn::train {
+
+std::string Metrics::ToString() const {
+  std::string out;
+  for (const auto& [n, v] : hr) {
+    out += util::StrFormat("HR@%d=%.4f ", n, v);
+  }
+  for (const auto& [n, v] : ndcg) {
+    out += util::StrFormat("NDCG@%d=%.4f ", n, v);
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+int RankOfPositive(float pos_score, const std::vector<float>& neg_scores) {
+  int rank = 1;
+  for (float s : neg_scores) {
+    if (s >= pos_score) ++rank;
+  }
+  return rank;
+}
+
+Metrics MetricsFromRanks(const std::vector<int>& ranks,
+                         const std::vector<int>& cutoffs) {
+  Metrics m;
+  m.num_users = static_cast<int64_t>(ranks.size());
+  for (int n : cutoffs) {
+    m.hr[n] = 0.0;
+    m.ndcg[n] = 0.0;
+  }
+  if (ranks.empty()) return m;
+  for (int rank : ranks) {
+    DGNN_CHECK_GE(rank, 1);
+    for (int n : cutoffs) {
+      if (rank <= n) {
+        m.hr[n] += 1.0;
+        m.ndcg[n] += 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+      }
+    }
+  }
+  for (int n : cutoffs) {
+    m.hr[n] /= static_cast<double>(ranks.size());
+    m.ndcg[n] /= static_cast<double>(ranks.size());
+  }
+  return m;
+}
+
+}  // namespace dgnn::train

@@ -1,0 +1,35 @@
+// Ranking metrics of Eq. 12: Hit Rate (HR@N) and Normalized Discounted
+// Cumulative Gain (NDCG@N) under the paper's protocol — for each test user
+// the positive item is ranked against 100 sampled negatives.
+
+#ifndef DGNN_TRAIN_METRICS_H_
+#define DGNN_TRAIN_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dgnn::train {
+
+struct Metrics {
+  // Keyed by cutoff N.
+  std::map<int, double> hr;
+  std::map<int, double> ndcg;
+  int64_t num_users = 0;
+
+  std::string ToString() const;
+};
+
+// Rank of the positive among {positive} + negatives, 1-based. Ties are
+// broken pessimistically (equal scores count as ranked above the
+// positive), making the metric deterministic and slightly conservative.
+int RankOfPositive(float pos_score, const std::vector<float>& neg_scores);
+
+// Accumulates per-user ranks into HR/NDCG at the given cutoffs. With one
+// positive per user, DCG = 1/log2(rank+1) and IDCG = 1, matching Eq. 12.
+Metrics MetricsFromRanks(const std::vector<int>& ranks,
+                         const std::vector<int>& cutoffs);
+
+}  // namespace dgnn::train
+
+#endif  // DGNN_TRAIN_METRICS_H_

@@ -1,0 +1,91 @@
+#include "train/recommender.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ag/tape.h"
+#include "util/check.h"
+
+namespace dgnn::train {
+namespace {
+
+float Dot(const float* a, const float* b, int64_t d) {
+  float acc = 0.0f;
+  for (int64_t c = 0; c < d; ++c) acc += a[c] * b[c];
+  return acc;
+}
+
+bool ScoreGreater(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+}  // namespace
+
+Recommender::Recommender(models::RecModel& model,
+                         const data::Dataset& dataset)
+    : dataset_(&dataset) {
+  ag::Tape tape;
+  models::ForwardResult fwd = model.Forward(tape, /*training=*/false);
+  users_ = tape.val(fwd.users);
+  items_ = tape.val(fwd.items);
+  DGNN_CHECK_EQ(users_.rows(), dataset.num_users);
+  DGNN_CHECK_EQ(items_.rows(), dataset.num_items);
+  seen_ = dataset.TrainItemsByUser();
+}
+
+float Recommender::Score(int32_t user, int32_t item) const {
+  DGNN_CHECK_GE(user, 0);
+  DGNN_CHECK_LT(user, users_.rows());
+  DGNN_CHECK_GE(item, 0);
+  DGNN_CHECK_LT(item, items_.rows());
+  return Dot(users_.row(user), items_.row(item), users_.cols());
+}
+
+std::vector<ScoredItem> Recommender::TopK(int32_t user, int k) const {
+  DGNN_CHECK_GE(user, 0);
+  DGNN_CHECK_LT(user, users_.rows());
+  DGNN_CHECK_GT(k, 0);
+  const auto& seen = seen_[static_cast<size_t>(user)];
+  std::vector<ScoredItem> scored;
+  scored.reserve(static_cast<size_t>(items_.rows()));
+  const float* u = users_.row(user);
+  for (int32_t i = 0; i < items_.rows(); ++i) {
+    if (std::binary_search(seen.begin(), seen.end(), i)) continue;
+    scored.push_back({i, Dot(u, items_.row(i), users_.cols())});
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(k),
+                                       scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<int64_t>(keep),
+                    scored.end(), ScoreGreater);
+  scored.resize(keep);
+  return scored;
+}
+
+std::vector<ScoredItem> Recommender::SimilarUsers(int32_t user,
+                                                  int k) const {
+  DGNN_CHECK_GE(user, 0);
+  DGNN_CHECK_LT(user, users_.rows());
+  const float* u = users_.row(user);
+  const float u_norm = std::sqrt(Dot(u, u, users_.cols()));
+  std::vector<ScoredItem> scored;
+  scored.reserve(static_cast<size_t>(users_.rows()) - 1);
+  for (int32_t v = 0; v < users_.rows(); ++v) {
+    if (v == user) continue;
+    const float* w = users_.row(v);
+    const float w_norm = std::sqrt(Dot(w, w, users_.cols()));
+    const float denom = u_norm * w_norm;
+    scored.push_back(
+        {v, denom > 1e-12f ? Dot(u, w, users_.cols()) / denom : 0.0f});
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(k),
+                                       scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<int64_t>(keep),
+                    scored.end(), ScoreGreater);
+  scored.resize(keep);
+  return scored;
+}
+
+}  // namespace dgnn::train

@@ -1,0 +1,130 @@
+#include "train/trainer.h"
+
+#include <cstdio>
+
+#include "util/stopwatch.h"
+
+namespace dgnn::train {
+namespace {
+
+ag::AdamConfig MakeAdamConfig(const TrainConfig& c) {
+  ag::AdamConfig a;
+  a.learning_rate = c.learning_rate;
+  a.weight_decay = c.weight_decay;
+  return a;
+}
+
+}  // namespace
+
+Trainer::Trainer(models::RecModel* model, const data::Dataset& dataset,
+                 TrainConfig config)
+    : model_(model),
+      dataset_(&dataset),
+      config_(config),
+      sampler_(dataset, config.seed),
+      optimizer_(&model->params(), MakeAdamConfig(config)),
+      evaluator_(dataset) {
+  DGNN_CHECK(model != nullptr);
+}
+
+double Trainer::TrainBatch(const data::BprBatch& batch) {
+  ag::Tape tape;
+  models::ForwardResult fwd = model_->Forward(tape, /*training=*/true);
+
+  std::vector<int32_t> users(batch.users.begin(), batch.users.end());
+  std::vector<int32_t> pos(batch.pos_items.begin(), batch.pos_items.end());
+  std::vector<int32_t> neg(batch.neg_items.begin(), batch.neg_items.end());
+
+  ag::VarId u_rows = tape.GatherRows(fwd.users, std::move(users));
+  ag::VarId p_rows = tape.GatherRows(fwd.items, std::move(pos));
+  ag::VarId n_rows = tape.GatherRows(fwd.items, std::move(neg));
+
+  ag::VarId pos_scores = tape.RowDot(u_rows, p_rows);
+  ag::VarId neg_scores = tape.RowDot(u_rows, n_rows);
+  ag::VarId loss = tape.BprLoss(pos_scores, neg_scores);
+
+  if (config_.l2_reg > 0.0f) {
+    ag::VarId reg = tape.AddN(
+        {tape.L2(u_rows), tape.L2(p_rows), tape.L2(n_rows)});
+    loss = tape.Add(
+        loss, tape.ScalarMul(
+                  reg, config_.l2_reg / static_cast<float>(batch.size())));
+  }
+  if (fwd.aux_loss >= 0) {
+    loss = tape.Add(loss, fwd.aux_loss);
+  }
+
+  const double loss_value = tape.val(loss).scalar();
+  tape.Backward(loss);
+  optimizer_.Step();
+  return loss_value;
+}
+
+double Trainer::TrainEpoch() {
+  double loss_sum = 0.0;
+  int batches = 0;
+  for (const auto& batch : sampler_.SampleEpoch(config_.batch_size)) {
+    loss_sum += TrainBatch(batch);
+    ++batches;
+  }
+  return batches > 0 ? loss_sum / batches : 0.0;
+}
+
+TrainResult Trainer::Fit() {
+  TrainResult result;
+  util::Stopwatch total;
+  double best_metric = -1.0;
+  int evals_without_improvement = 0;
+  const int primary_cutoff =
+      config_.eval_cutoffs.empty() ? 10 : config_.eval_cutoffs.front();
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    EpochTrace trace;
+    trace.epoch = epoch;
+    util::Stopwatch sw;
+    trace.loss = TrainEpoch();
+    trace.train_seconds = sw.ElapsedSeconds();
+    result.total_train_seconds += trace.train_seconds;
+
+    const bool eval_now =
+        config_.eval_every > 0 && epoch % config_.eval_every == 0;
+    if (eval_now) {
+      util::Stopwatch esw;
+      trace.metrics = evaluator_.EvaluateModel(*model_, config_.eval_cutoffs);
+      trace.eval_seconds = esw.ElapsedSeconds();
+      trace.evaluated = true;
+    }
+    if (config_.verbose) {
+      std::printf("[%s] epoch %3d loss %.4f (%.2fs)%s%s\n",
+                  model_->name().c_str(), epoch, trace.loss,
+                  trace.train_seconds, trace.evaluated ? " " : "",
+                  trace.evaluated ? trace.metrics.ToString().c_str() : "");
+      std::fflush(stdout);
+    }
+    const bool evaluated = trace.evaluated;
+    const double metric =
+        evaluated ? trace.metrics.hr[primary_cutoff] : 0.0;
+    result.epochs.push_back(std::move(trace));
+    if (evaluated && config_.early_stop_patience > 0) {
+      if (metric > best_metric) {
+        best_metric = metric;
+        evals_without_improvement = 0;
+      } else if (++evals_without_improvement >=
+                 config_.early_stop_patience) {
+        result.stopped_early = true;
+        break;
+      }
+    }
+  }
+  util::Stopwatch esw;
+  result.final_metrics =
+      evaluator_.EvaluateModel(*model_, config_.eval_cutoffs);
+  result.final_eval_seconds = esw.ElapsedSeconds();
+  if (!result.epochs.empty()) {
+    result.mean_epoch_train_seconds =
+        result.total_train_seconds /
+        static_cast<double>(result.epochs.size());
+  }
+  return result;
+}
+
+}  // namespace dgnn::train

@@ -1,0 +1,88 @@
+// BPR trainer (Eq. 11): mini-batch pairwise ranking loss over sampled
+// (user, pos, neg) triples, L2 regularization on the embeddings touched by
+// the batch, Adam updates. Model-agnostic — anything implementing
+// models::RecModel trains here, which is how the paper's Table II compares
+// fifteen models under one protocol.
+
+#ifndef DGNN_TRAIN_TRAINER_H_
+#define DGNN_TRAIN_TRAINER_H_
+
+#include <vector>
+
+#include "ag/adam.h"
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "models/rec_model.h"
+#include "train/evaluator.h"
+
+namespace dgnn::train {
+
+struct TrainConfig {
+  int epochs = 20;
+  int batch_size = 2048;
+  float learning_rate = 0.01f;  // paper setting
+  float l2_reg = 1e-4f;         // lambda, tuned in {1e-3, 1e-4, 1e-5}
+  // Decoupled (AdamW-style) weight decay on ALL parameters — the knob
+  // that regularizes transformation weights, which the per-batch BPR L2
+  // term (embedding rows only) cannot reach.
+  float weight_decay = 0.0f;
+  uint64_t seed = 42;
+  // Evaluate every k epochs (0 = only at the end).
+  int eval_every = 0;
+  std::vector<int> eval_cutoffs = {10};
+  // Stop when HR at the first cutoff has not improved for this many
+  // consecutive evaluations (0 = train the full schedule). Requires
+  // eval_every > 0.
+  int early_stop_patience = 0;
+  bool verbose = false;
+};
+
+struct EpochTrace {
+  int epoch = 0;
+  double loss = 0.0;
+  double train_seconds = 0.0;
+  // Populated when this epoch was evaluated.
+  bool evaluated = false;
+  Metrics metrics;
+  double eval_seconds = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochTrace> epochs;
+  Metrics final_metrics;
+  // True when early stopping ended training before the full schedule.
+  bool stopped_early = false;
+  double total_train_seconds = 0.0;
+  double final_eval_seconds = 0.0;
+  // Mean wall-clock per epoch — the quantity Table IV reports.
+  double mean_epoch_train_seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  // Keeps references; model and dataset must outlive the trainer.
+  Trainer(models::RecModel* model, const data::Dataset& dataset,
+          TrainConfig config);
+
+  // Runs the full schedule and a final evaluation.
+  TrainResult Fit();
+
+  // One epoch over the training triples; returns the mean batch loss.
+  double TrainEpoch();
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  double TrainBatch(const data::BprBatch& batch);
+
+  models::RecModel* model_;
+  const data::Dataset* dataset_;
+  TrainConfig config_;
+  data::BprSampler sampler_;
+  ag::AdamOptimizer optimizer_;
+  Evaluator evaluator_;
+};
+
+}  // namespace dgnn::train
+
+#endif  // DGNN_TRAIN_TRAINER_H_

@@ -1,0 +1,13 @@
+#include "util/check.h"
+
+namespace dgnn::util::internal_check {
+
+void CheckFailure(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::fprintf(stderr, "[CHECK FAILED] %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dgnn::util::internal_check

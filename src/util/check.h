@@ -1,0 +1,82 @@
+// Lightweight CHECK macros for internal invariants.
+//
+// Per the project's error-handling convention (Google style, no exceptions):
+// CHECK-family macros are for programmer errors and broken invariants that
+// make continuing meaningless; they print a message and abort. Fallible
+// operations whose failure is an expected runtime outcome (file I/O, parsing
+// user input) return util::Status instead — see util/status.h.
+
+#ifndef DGNN_UTIL_CHECK_H_
+#define DGNN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dgnn::util {
+namespace internal_check {
+
+// Terminates the process after printing `expr` and the streamed message.
+// Kept out-of-line so the macro expansion stays small.
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+// Collects an optional streamed message for a failing CHECK.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailure(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace dgnn::util
+
+#define DGNN_CHECK(cond)                                               \
+  while (!(cond))                                                      \
+  ::dgnn::util::internal_check::CheckMessageBuilder(__FILE__, __LINE__, \
+                                                    #cond)
+
+#define DGNN_CHECK_OP(a, b, op) DGNN_CHECK((a)op(b))                    \
+    << "(" << (a) << " vs " << (b) << ") "
+
+#define DGNN_CHECK_EQ(a, b) DGNN_CHECK_OP(a, b, ==)
+#define DGNN_CHECK_NE(a, b) DGNN_CHECK_OP(a, b, !=)
+#define DGNN_CHECK_LT(a, b) DGNN_CHECK_OP(a, b, <)
+#define DGNN_CHECK_LE(a, b) DGNN_CHECK_OP(a, b, <=)
+#define DGNN_CHECK_GT(a, b) DGNN_CHECK_OP(a, b, >)
+#define DGNN_CHECK_GE(a, b) DGNN_CHECK_OP(a, b, >=)
+
+// DCHECKs compile to nothing in NDEBUG builds; use them on hot paths.
+#ifdef NDEBUG
+#define DGNN_DCHECK(cond) \
+  while (false) ::dgnn::util::internal_check::CheckMessageBuilder("", 0, "")
+#define DGNN_DCHECK_EQ(a, b) DGNN_DCHECK((a) == (b))
+#define DGNN_DCHECK_LT(a, b) DGNN_DCHECK((a) < (b))
+#define DGNN_DCHECK_LE(a, b) DGNN_DCHECK((a) <= (b))
+#define DGNN_DCHECK_GE(a, b) DGNN_DCHECK((a) >= (b))
+#else
+#define DGNN_DCHECK(cond) DGNN_CHECK(cond)
+#define DGNN_DCHECK_EQ(a, b) DGNN_CHECK_EQ(a, b)
+#define DGNN_DCHECK_LT(a, b) DGNN_CHECK_LT(a, b)
+#define DGNN_DCHECK_LE(a, b) DGNN_CHECK_LE(a, b)
+#define DGNN_DCHECK_GE(a, b) DGNN_CHECK_GE(a, b)
+#endif
+
+#endif  // DGNN_UTIL_CHECK_H_

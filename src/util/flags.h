@@ -1,0 +1,32 @@
+// Minimal --key=value command-line flag parsing for the bench and example
+// binaries (no external dependencies).
+
+#ifndef DGNN_UTIL_FLAGS_H_
+#define DGNN_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dgnn::util {
+
+class Flags {
+ public:
+  // Accepts "--key=value" and bare "--key" (value "true"). Unrecognized
+  // positional arguments abort with a usage message.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dgnn::util
+
+#endif  // DGNN_UTIL_FLAGS_H_

@@ -1,0 +1,131 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace dgnn::util {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t n) {
+  DGNN_CHECK_GT(n, 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t x;
+  do {
+    x = NextUint64();
+  } while (x >= limit);
+  return static_cast<int64_t>(x % un);
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+float Rng::UniformFloat(float lo, float hi) {
+  return static_cast<float>(UniformDouble(lo, hi));
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  // Avoid log(0).
+  while (u1 <= 1e-300) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = radius * std::sin(theta);
+  has_spare_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  DGNN_CHECK_GE(n, k);
+  DGNN_CHECK_GE(k, 0);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  if (k == 0) return out;
+  if (k * 3 < n) {
+    std::unordered_set<int64_t> seen;
+    seen.reserve(static_cast<size_t>(k) * 2);
+    while (static_cast<int64_t>(out.size()) < k) {
+      int64_t x = UniformInt(n);
+      if (seen.insert(x).second) out.push_back(x);
+    }
+    return out;
+  }
+  // Dense draw: partial Fisher-Yates over [0, n).
+  std::vector<int64_t> all(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t j = i + UniformInt(n - i);
+    std::swap(all[static_cast<size_t>(i)], all[static_cast<size_t>(j)]);
+    out.push_back(all[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  DGNN_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DGNN_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  DGNN_CHECK_GT(total, 0.0);
+  double x = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace dgnn::util

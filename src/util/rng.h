@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (data synthesis, parameter
+// initialization, negative sampling, dropout) draws from an explicitly
+// seeded Rng so experiments are reproducible run-to-run. The generator is
+// xoshiro256**, seeded through splitmix64 as its authors recommend.
+
+#ifndef DGNN_UTIL_RNG_H_
+#define DGNN_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dgnn::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform over [0, n). n must be > 0.
+  int64_t UniformInt(int64_t n);
+
+  // Uniform over [0, 1).
+  double UniformDouble();
+
+  // Uniform over [lo, hi).
+  double UniformDouble(double lo, double hi);
+  float UniformFloat(float lo, float hi);
+
+  // Standard normal via Box-Muller.
+  double Gaussian();
+  double Gaussian(double mean, double stddev);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (int64_t i = static_cast<int64_t>(v.size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(i + 1);
+      using std::swap;
+      swap(v[i], v[static_cast<size_t>(j)]);
+    }
+  }
+
+  // k distinct values from [0, n). Requires k <= n. O(k) expected time for
+  // sparse draws, O(n) fallback when k is a large fraction of n.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  // Index drawn proportionally to non-negative weights (at least one > 0).
+  int64_t Categorical(const std::vector<double>& weights);
+
+  // A new Rng whose stream is decorrelated from this one; use to hand
+  // independent streams to sub-components.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace dgnn::util
+
+#endif  // DGNN_UTIL_RNG_H_

@@ -1,0 +1,107 @@
+// Status / StatusOr: exception-free error propagation for fallible paths.
+//
+// The project follows the Google style guide's "no exceptions" rule. Any
+// operation whose failure is a legitimate runtime outcome (loading a dataset
+// file, parsing a TSV row) returns Status or StatusOr<T>. Invariant
+// violations use DGNN_CHECK instead (util/check.h).
+
+#ifndef DGNN_UTIL_STATUS_H_
+#define DGNN_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dgnn::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+};
+
+// Name of the code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value or an error Status. `value()` CHECK-fails on error;
+// callers must test `ok()` first on fallible paths.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    DGNN_CHECK(!status_.ok()) << "StatusOr constructed from OK status "
+                                 "without a value";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DGNN_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    DGNN_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    DGNN_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace dgnn::util
+
+// Propagates a non-OK status to the caller.
+#define DGNN_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::dgnn::util::Status _status = (expr);        \
+    if (!_status.ok()) return _status;            \
+  } while (false)
+
+#endif  // DGNN_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the trainer and the runtime benches.
+
+#ifndef DGNN_UTIL_STOPWATCH_H_
+#define DGNN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dgnn::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dgnn::util
+
+#endif  // DGNN_UTIL_STOPWATCH_H_

@@ -1,0 +1,34 @@
+// Small string helpers shared by the data loaders and bench output code.
+
+#ifndef DGNN_UTIL_STRINGS_H_
+#define DGNN_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dgnn::util {
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+// Strict integer / float parsing; the whole string must be consumed.
+StatusOr<int64_t> ParseInt(std::string_view s);
+StatusOr<double> ParseDouble(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace dgnn::util
+
+#endif  // DGNN_UTIL_STRINGS_H_

@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dgnn::util {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != '%' && c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  DGNN_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+
+  auto append_cell = [&](std::string& out, const std::string& cell,
+                         size_t c) {
+    size_t pad = width[c] - cell.size();
+    if (LooksNumeric(cell)) {
+      out.append(pad, ' ');
+      out += cell;
+    } else {
+      out += cell;
+      out.append(pad, ' ');
+    }
+  };
+
+  std::string out;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out += " | ";
+    append_cell(out, header_[c], c);
+  }
+  out += '\n';
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out += "-+-";
+    out.append(width[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += " | ";
+      append_cell(out, row[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace dgnn::util

@@ -1,0 +1,32 @@
+// Console table printer used by the bench harnesses to emit rows shaped
+// like the paper's tables.
+
+#ifndef DGNN_UTIL_TABLE_H_
+#define DGNN_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dgnn::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with per-column widths, a header separator, and right-aligned
+  // numeric-looking cells.
+  std::string ToString() const;
+
+  // Convenience: ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dgnn::util
+
+#endif  // DGNN_UTIL_TABLE_H_

@@ -1,0 +1,126 @@
+#include "viz/cluster_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dgnn::viz {
+namespace {
+
+double SquaredDistance(const ag::Tensor& points, int64_t i, int64_t j) {
+  const float* a = points.row(i);
+  const float* b = points.row(j);
+  double s = 0.0;
+  for (int64_t c = 0; c < points.cols(); ++c) {
+    const double diff = static_cast<double>(a[c]) - b[c];
+    s += diff * diff;
+  }
+  return s;
+}
+
+double Cosine(const float* a, const float* b, int64_t d) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (int64_t c = 0; c < d; ++c) {
+    dot += static_cast<double>(a[c]) * b[c];
+    na += static_cast<double>(a[c]) * a[c];
+    nb += static_cast<double>(b[c]) * b[c];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 1e-12 ? dot / denom : 0.0;
+}
+
+}  // namespace
+
+double IntraInterDistanceRatio(const ag::Tensor& points,
+                               const std::vector<int32_t>& labels) {
+  DGNN_CHECK_EQ(static_cast<int64_t>(labels.size()), points.rows());
+  double intra_sum = 0.0;
+  int64_t intra_n = 0;
+  double inter_sum = 0.0;
+  int64_t inter_n = 0;
+  for (int64_t i = 0; i < points.rows(); ++i) {
+    for (int64_t j = i + 1; j < points.rows(); ++j) {
+      const double dist = std::sqrt(SquaredDistance(points, i, j));
+      if (labels[static_cast<size_t>(i)] == labels[static_cast<size_t>(j)]) {
+        intra_sum += dist;
+        ++intra_n;
+      } else {
+        inter_sum += dist;
+        ++inter_n;
+      }
+    }
+  }
+  if (intra_n == 0 || inter_n == 0) return 1.0;
+  const double intra = intra_sum / static_cast<double>(intra_n);
+  const double inter = inter_sum / static_cast<double>(inter_n);
+  return inter > 1e-12 ? intra / inter : 1.0;
+}
+
+double NeighborPurity(const ag::Tensor& points,
+                      const std::vector<int32_t>& labels, int k) {
+  DGNN_CHECK_EQ(static_cast<int64_t>(labels.size()), points.rows());
+  const int64_t n = points.rows();
+  DGNN_CHECK_GT(n, k);
+  double purity_sum = 0.0;
+  std::vector<std::pair<double, int64_t>> dists;
+  for (int64_t i = 0; i < n; ++i) {
+    dists.clear();
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dists.emplace_back(SquaredDistance(points, i, j), j);
+    }
+    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+    int same = 0;
+    for (int t = 0; t < k; ++t) {
+      if (labels[static_cast<size_t>(dists[static_cast<size_t>(t)].second)] ==
+          labels[static_cast<size_t>(i)]) {
+        ++same;
+      }
+    }
+    purity_sum += static_cast<double>(same) / k;
+  }
+  return purity_sum / static_cast<double>(n);
+}
+
+double MeanPairCosine(const ag::Tensor& vectors,
+                      const std::vector<std::pair<int32_t, int32_t>>& pairs) {
+  if (pairs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [a, b] : pairs) {
+    sum += Cosine(vectors.row(a), vectors.row(b), vectors.cols());
+  }
+  return sum / static_cast<double>(pairs.size());
+}
+
+ag::Tensor CenterColumns(const ag::Tensor& m) {
+  ag::Tensor out = m;
+  for (int64_t c = 0; c < m.cols(); ++c) {
+    double mean = 0.0;
+    for (int64_t r = 0; r < m.rows(); ++r) mean += m.at(r, c);
+    mean /= static_cast<double>(m.rows() > 0 ? m.rows() : 1);
+    for (int64_t r = 0; r < m.rows(); ++r) {
+      out.at(r, c) = static_cast<float>(m.at(r, c) - mean);
+    }
+  }
+  return out;
+}
+
+double MeanRandomPairCosine(const ag::Tensor& vectors, int num_samples,
+                            uint64_t seed) {
+  DGNN_CHECK_GT(vectors.rows(), 1);
+  util::Rng rng(seed);
+  double sum = 0.0;
+  for (int s = 0; s < num_samples; ++s) {
+    const int64_t a = rng.UniformInt(vectors.rows());
+    int64_t b = rng.UniformInt(vectors.rows());
+    while (b == a) b = rng.UniformInt(vectors.rows());
+    sum += Cosine(vectors.row(a), vectors.row(b), vectors.cols());
+  }
+  return num_samples > 0 ? sum / num_samples : 0.0;
+}
+
+}  // namespace dgnn::viz

@@ -1,0 +1,44 @@
+// Quantitative stand-ins for "better node separation" in the Fig. 9/10
+// case studies: instead of eyeballing scatter plots, the benches report
+// these scores for each model's embedding.
+
+#ifndef DGNN_VIZ_CLUSTER_METRICS_H_
+#define DGNN_VIZ_CLUSTER_METRICS_H_
+
+#include <vector>
+
+#include "ag/tensor.h"
+
+namespace dgnn::viz {
+
+// Mean intra-label distance divided by mean inter-label distance over all
+// point pairs; lower is better separation. Labels partition the rows of
+// `points`.
+double IntraInterDistanceRatio(const ag::Tensor& points,
+                               const std::vector<int32_t>& labels);
+
+// Fraction of each point's k nearest neighbors (Euclidean) sharing its
+// label, averaged over points; higher is better separation.
+double NeighborPurity(const ag::Tensor& points,
+                      const std::vector<int32_t>& labels, int k);
+
+// Mean cosine similarity between the rows of `vectors` over the given
+// pairs. Used by the Fig. 10 study: socially-tied user pairs should have
+// similar user-user memory-gate vectors.
+double MeanPairCosine(const ag::Tensor& vectors,
+                      const std::vector<std::pair<int32_t, int32_t>>& pairs);
+
+// Subtracts each column's mean. Applied to gate matrices before cosine
+// comparison (a Pearson-style centering): raw memory gates share a large
+// bias component that makes every pair look similar; similarities of the
+// centered vectors reflect relative gate *patterns*.
+ag::Tensor CenterColumns(const ag::Tensor& m);
+
+// Mean cosine similarity over `num_samples` random row pairs — the
+// baseline MeanPairCosine is compared against.
+double MeanRandomPairCosine(const ag::Tensor& vectors, int num_samples,
+                            uint64_t seed);
+
+}  // namespace dgnn::viz
+
+#endif  // DGNN_VIZ_CLUSTER_METRICS_H_

@@ -1,0 +1,165 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dgnn::viz {
+namespace {
+
+// Binary-searches the Gaussian bandwidth of row i so the conditional
+// distribution's perplexity matches the target; writes p_{j|i}.
+void ComputeRowAffinities(const std::vector<double>& sq_dist_row, size_t i,
+                          double perplexity, std::vector<double>& p_row) {
+  const size_t n = sq_dist_row.size();
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;
+  double beta_lo = 0.0;
+  double beta_hi = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 60; ++iter) {
+    double sum = 0.0;
+    double dot = 0.0;  // sum p * d^2 (unnormalized)
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        p_row[j] = 0.0;
+        continue;
+      }
+      const double p = std::exp(-beta * sq_dist_row[j]);
+      p_row[j] = p;
+      sum += p;
+      dot += p * sq_dist_row[j];
+    }
+    if (sum <= 1e-300) {
+      beta /= 2.0;
+      continue;
+    }
+    // Entropy of the normalized distribution.
+    const double entropy = std::log(sum) + beta * dot / sum;
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0) {
+      beta_lo = beta;
+      beta = std::isinf(beta_hi) ? beta * 2.0 : (beta + beta_hi) / 2.0;
+    } else {
+      beta_hi = beta;
+      beta = beta_lo > 0.0 ? (beta + beta_lo) / 2.0 : beta / 2.0;
+    }
+  }
+  double sum = 0.0;
+  for (size_t j = 0; j < n; ++j) sum += p_row[j];
+  if (sum > 0) {
+    for (size_t j = 0; j < n; ++j) p_row[j] /= sum;
+  }
+}
+
+}  // namespace
+
+ag::Tensor Tsne(const ag::Tensor& points, const TsneConfig& config) {
+  const int64_t n = points.rows();
+  const int64_t d = points.cols();
+  const int64_t out_d = config.output_dim;
+  DGNN_CHECK_GT(n, 1);
+  DGNN_CHECK_GT(out_d, 0);
+
+  const size_t un = static_cast<size_t>(n);
+  // Pairwise squared distances in the input space.
+  std::vector<std::vector<double>> sq_dist(un, std::vector<double>(un, 0.0));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      const float* a = points.row(i);
+      const float* b = points.row(j);
+      for (int64_t c = 0; c < d; ++c) {
+        const double diff = static_cast<double>(a[c]) - b[c];
+        s += diff * diff;
+      }
+      sq_dist[static_cast<size_t>(i)][static_cast<size_t>(j)] = s;
+      sq_dist[static_cast<size_t>(j)][static_cast<size_t>(i)] = s;
+    }
+  }
+
+  // Symmetrized joint affinities P.
+  const double perplexity =
+      std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
+  std::vector<std::vector<double>> p(un, std::vector<double>(un, 0.0));
+  {
+    std::vector<double> row(un);
+    for (size_t i = 0; i < un; ++i) {
+      ComputeRowAffinities(sq_dist[i], i, perplexity, row);
+      for (size_t j = 0; j < un; ++j) p[i][j] = row[j];
+    }
+  }
+  for (size_t i = 0; i < un; ++i) {
+    for (size_t j = i + 1; j < un; ++j) {
+      const double v =
+          std::max((p[i][j] + p[j][i]) / (2.0 * static_cast<double>(n)),
+                   1e-12);
+      p[i][j] = v;
+      p[j][i] = v;
+    }
+    p[i][i] = 1e-12;
+  }
+
+  // Gradient descent on the output layout.
+  util::Rng rng(config.seed);
+  std::vector<std::vector<double>> y(un, std::vector<double>(
+                                            static_cast<size_t>(out_d)));
+  for (auto& row : y) {
+    for (auto& v : row) v = rng.Gaussian(0.0, 1e-2);
+  }
+  std::vector<std::vector<double>> velocity(
+      un, std::vector<double>(static_cast<size_t>(out_d), 0.0));
+  std::vector<std::vector<double>> q(un, std::vector<double>(un, 0.0));
+
+  const int exaggeration_end = config.iterations / 4;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_end ? config.exaggeration : 1.0;
+    // Student-t affinities Q (unnormalized), then normalizer.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < un; ++i) {
+      for (size_t j = i + 1; j < un; ++j) {
+        double s = 0.0;
+        for (size_t c = 0; c < static_cast<size_t>(out_d); ++c) {
+          const double diff = y[i][c] - y[j][c];
+          s += diff * diff;
+        }
+        const double v = 1.0 / (1.0 + s);
+        q[i][j] = v;
+        q[j][i] = v;
+        q_sum += 2.0 * v;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    for (size_t i = 0; i < un; ++i) {
+      std::vector<double> grad(static_cast<size_t>(out_d), 0.0);
+      for (size_t j = 0; j < un; ++j) {
+        if (j == i) continue;
+        const double coeff =
+            4.0 * (exaggeration * p[i][j] - q[i][j] / q_sum) * q[i][j];
+        for (size_t c = 0; c < static_cast<size_t>(out_d); ++c) {
+          grad[c] += coeff * (y[i][c] - y[j][c]);
+        }
+      }
+      for (size_t c = 0; c < static_cast<size_t>(out_d); ++c) {
+        velocity[i][c] = config.momentum * velocity[i][c] -
+                         config.learning_rate * grad[c];
+        y[i][c] += velocity[i][c];
+      }
+    }
+  }
+
+  ag::Tensor out(n, out_d);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < out_d; ++c) {
+      out.at(i, c) = static_cast<float>(y[static_cast<size_t>(i)]
+                                         [static_cast<size_t>(c)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace dgnn::viz

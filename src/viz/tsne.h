@@ -1,0 +1,32 @@
+// Exact (O(n^2)) t-SNE for the Fig. 9 embedding visualization. The case
+// study projects a few hundred sampled users/items, where the exact
+// gradient is fast and avoids Barnes-Hut approximation error.
+
+#ifndef DGNN_VIZ_TSNE_H_
+#define DGNN_VIZ_TSNE_H_
+
+#include "ag/tensor.h"
+#include "util/rng.h"
+
+namespace dgnn::viz {
+
+struct TsneConfig {
+  int output_dim = 2;
+  double perplexity = 20.0;
+  int iterations = 350;
+  double learning_rate = 10.0;
+  double momentum = 0.5;
+  // Early exaggeration factor applied for the first quarter of the run.
+  // With this implementation's plain momentum descent (no per-parameter
+  // gains), exaggeration > ~2 combined with large learning rates diverges;
+  // the default disables it.
+  double exaggeration = 1.0;
+  uint64_t seed = 1;
+};
+
+// Embeds the rows of `points` (n x d) into `config.output_dim` dimensions.
+ag::Tensor Tsne(const ag::Tensor& points, const TsneConfig& config);
+
+}  // namespace dgnn::viz
+
+#endif  // DGNN_VIZ_TSNE_H_

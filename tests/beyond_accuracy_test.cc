@@ -1,0 +1,63 @@
+#include "train/beyond_accuracy.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/bpr_mf.h"
+#include "train/trainer.h"
+
+namespace dgnn::train {
+namespace {
+
+class BeyondAccuracyTest : public ::testing::Test {
+ protected:
+  BeyondAccuracyTest()
+      : dataset_(data::GenerateSynthetic(data::SyntheticConfig::Tiny())),
+        graph_(dataset_), model_(graph_, 8, 3) {}
+  data::Dataset dataset_;
+  graph::HeteroGraph graph_;
+  models::BprMf model_;
+};
+
+TEST_F(BeyondAccuracyTest, MetricsWithinBounds) {
+  Recommender recommender(model_, dataset_);
+  auto m = ComputeBeyondAccuracy(recommender, dataset_, 10);
+  EXPECT_EQ(m.top_k, 10);
+  EXPECT_GT(m.catalog_coverage, 0.0);
+  EXPECT_LE(m.catalog_coverage, 1.0);
+  EXPECT_GE(m.mean_popularity_percentile, 0.0);
+  EXPECT_LE(m.mean_popularity_percentile, 1.0);
+  EXPECT_GE(m.exposure_gini, 0.0);
+  EXPECT_LE(m.exposure_gini, 1.0);
+}
+
+TEST_F(BeyondAccuracyTest, FullCatalogKCoversEverything) {
+  Recommender recommender(model_, dataset_);
+  auto m = ComputeBeyondAccuracy(recommender, dataset_,
+                                 dataset_.num_items);
+  // With k = catalog size, each user is recommended every unseen item, so
+  // coverage must be 1 (every item is unseen for some user in this data).
+  EXPECT_DOUBLE_EQ(m.catalog_coverage, 1.0);
+}
+
+TEST_F(BeyondAccuracyTest, TrainedModelPrefersPopularItems) {
+  // Untrained embeddings recommend uniformly; after BPR training the mean
+  // popularity percentile of recommendations must rise (the model learns
+  // the Zipfian skew of the synthetic world).
+  Recommender before(model_, dataset_);
+  auto cold = ComputeBeyondAccuracy(before, dataset_, 10);
+  TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 128;
+  Trainer trainer(&model_, dataset_, tc);
+  trainer.Fit();
+  Recommender after(model_, dataset_);
+  auto warm = ComputeBeyondAccuracy(after, dataset_, 10);
+  EXPECT_GT(warm.mean_popularity_percentile,
+            cold.mean_popularity_percentile);
+  // Exposure concentrates once the model has opinions.
+  EXPECT_GT(warm.exposure_gini, cold.exposure_gini);
+}
+
+}  // namespace
+}  // namespace dgnn::train

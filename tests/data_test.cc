@@ -1,0 +1,187 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+#include "data/sampler.h"
+#include "data/synthetic.h"
+
+namespace dgnn::data {
+namespace {
+
+TEST(SyntheticTest, PresetsResolve) {
+  EXPECT_EQ(SyntheticConfig::Preset("ciao").name, "ciao");
+  EXPECT_EQ(SyntheticConfig::Preset("epinions").name, "epinions");
+  EXPECT_EQ(SyntheticConfig::Preset("yelp").name, "yelp");
+  EXPECT_EQ(SyntheticConfig::Preset("tiny").name, "tiny");
+}
+
+TEST(SyntheticTest, GenerationIsDeterministic) {
+  Dataset a = GenerateSynthetic(SyntheticConfig::Tiny());
+  Dataset b = GenerateSynthetic(SyntheticConfig::Tiny());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].user, b.train[i].user);
+    EXPECT_EQ(a.train[i].item, b.train[i].item);
+  }
+  ASSERT_EQ(a.social.size(), b.social.size());
+  ASSERT_EQ(a.eval_negatives.size(), b.eval_negatives.size());
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  SyntheticConfig c = SyntheticConfig::Tiny();
+  Dataset a = GenerateSynthetic(c);
+  c.seed += 1;
+  Dataset b = GenerateSynthetic(c);
+  bool any_diff = a.train.size() != b.train.size();
+  for (size_t i = 0; !any_diff && i < a.train.size(); ++i) {
+    any_diff = a.train[i].item != b.train[i].item;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, DensityOrderingMatchesTableI) {
+  auto ciao = GenerateSynthetic(SyntheticConfig::CiaoSmall()).ComputeStats();
+  auto epin =
+      GenerateSynthetic(SyntheticConfig::EpinionsSmall()).ComputeStats();
+  auto yelp = GenerateSynthetic(SyntheticConfig::YelpSmall()).ComputeStats();
+  // Table I shape: ciao densest, yelp sparsest, in both relations.
+  EXPECT_GT(ciao.interaction_density, epin.interaction_density);
+  EXPECT_GT(epin.interaction_density, yelp.interaction_density);
+  EXPECT_GT(ciao.social_density, epin.social_density);
+  EXPECT_GT(epin.social_density, yelp.social_density);
+}
+
+TEST(SyntheticTest, InteractionsFollowCommunities) {
+  Dataset ds = GenerateSynthetic(SyntheticConfig::Tiny());
+  int64_t within = 0;
+  int64_t total = 0;
+  for (const auto& it : ds.train) {
+    within += ds.user_community[it.user] == ds.item_community[it.item];
+    ++total;
+  }
+  // preference_strength is 0.88; allow generous slack but require strong
+  // community alignment (random would be 1/3 here).
+  EXPECT_GT(static_cast<double>(within) / total, 0.6);
+}
+
+TEST(SyntheticTest, SocialTiesAreHomophilous) {
+  Dataset ds = GenerateSynthetic(SyntheticConfig::Tiny());
+  int64_t within = 0;
+  for (const auto& [u, v] : ds.social) {
+    within += ds.user_community[u] == ds.user_community[v];
+  }
+  EXPECT_GT(static_cast<double>(within) / ds.social.size(), 0.5);
+}
+
+TEST(SyntheticTest, EveryItemHasARelation) {
+  Dataset ds = GenerateSynthetic(SyntheticConfig::Tiny());
+  std::set<int32_t> covered;
+  for (const auto& [i, r] : ds.item_relations) covered.insert(i);
+  EXPECT_EQ(static_cast<int32_t>(covered.size()), ds.num_items);
+}
+
+TEST(SplitTest, LeaveOneOutHoldsOutLastInteraction) {
+  Dataset ds;
+  ds.num_users = 2;
+  ds.num_items = 10;
+  ds.train = {{0, 1, 0}, {0, 2, 1}, {0, 3, 2}, {1, 4, 0}};
+  util::Rng rng(1);
+  ds.SplitLeaveOneOut(/*min_train=*/2, /*num_negatives=*/5, rng);
+  // User 0 had 3 interactions -> last (item 3) held out; user 1 had only
+  // one -> keeps it in train.
+  ASSERT_EQ(ds.test.size(), 1u);
+  EXPECT_EQ(ds.test[0].user, 0);
+  EXPECT_EQ(ds.test[0].item, 3);
+  EXPECT_EQ(ds.train.size(), 3u);
+  ASSERT_EQ(ds.eval_negatives.size(), 1u);
+  EXPECT_EQ(ds.eval_negatives[0].size(), 5u);
+  ds.Validate();
+}
+
+TEST(SplitTest, NegativesExcludeAllUserItems) {
+  Dataset ds = GenerateSynthetic(SyntheticConfig::Tiny());
+  auto items = ds.TrainItemsByUser();
+  for (size_t t = 0; t < ds.test.size(); ++t) {
+    const auto& seen = items[ds.test[t].user];
+    for (int32_t neg : ds.eval_negatives[t]) {
+      EXPECT_FALSE(std::binary_search(seen.begin(), seen.end(), neg));
+      EXPECT_NE(neg, ds.test[t].item);
+    }
+    // Paper protocol: 100 sampled negatives (tiny preset uses 50).
+    EXPECT_EQ(ds.eval_negatives[t].size(), 50u);
+  }
+}
+
+TEST(SamplerTest, EpochCoversAllTrainInteractions) {
+  Dataset ds = GenerateSynthetic(SyntheticConfig::Tiny());
+  BprSampler sampler(ds, 7);
+  auto batches = sampler.SampleEpoch(64);
+  size_t total = 0;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.size(), 64u);
+    total += b.size();
+  }
+  EXPECT_EQ(total, ds.train.size());
+}
+
+TEST(SamplerTest, NegativesAreNeverTrainPositives) {
+  Dataset ds = GenerateSynthetic(SyntheticConfig::Tiny());
+  auto items = ds.TrainItemsByUser();
+  BprSampler sampler(ds, 7);
+  for (const auto& b : sampler.SampleEpoch(128)) {
+    for (size_t i = 0; i < b.size(); ++i) {
+      const auto& seen = items[b.users[i]];
+      EXPECT_TRUE(std::binary_search(seen.begin(), seen.end(),
+                                     b.pos_items[i]));
+      EXPECT_FALSE(std::binary_search(seen.begin(), seen.end(),
+                                      b.neg_items[i]));
+    }
+  }
+}
+
+TEST(IoTest, SaveLoadRoundTrips) {
+  Dataset ds = GenerateSynthetic(SyntheticConfig::Tiny());
+  const std::string dir = ::testing::TempDir() + "/dgnn_io_test";
+  auto saved = SaveDataset(ds, dir);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& l = loaded.value();
+  EXPECT_EQ(l.name, ds.name);
+  EXPECT_EQ(l.num_users, ds.num_users);
+  EXPECT_EQ(l.num_items, ds.num_items);
+  EXPECT_EQ(l.num_relations, ds.num_relations);
+  ASSERT_EQ(l.train.size(), ds.train.size());
+  for (size_t i = 0; i < ds.train.size(); ++i) {
+    EXPECT_EQ(l.train[i].user, ds.train[i].user);
+    EXPECT_EQ(l.train[i].item, ds.train[i].item);
+    EXPECT_EQ(l.train[i].time, ds.train[i].time);
+  }
+  EXPECT_EQ(l.test.size(), ds.test.size());
+  EXPECT_EQ(l.social, ds.social);
+  EXPECT_EQ(l.item_relations, ds.item_relations);
+  EXPECT_EQ(l.eval_negatives, ds.eval_negatives);
+  l.Validate();
+}
+
+TEST(IoTest, LoadMissingDirectoryFails) {
+  auto loaded = LoadDataset("/nonexistent/dgnn");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(DatasetTest, StatsCountInteractionsAcrossSplits) {
+  Dataset ds = GenerateSynthetic(SyntheticConfig::Tiny());
+  auto stats = ds.ComputeStats();
+  EXPECT_EQ(stats.num_interactions,
+            static_cast<int64_t>(ds.train.size() + ds.test.size()));
+  EXPECT_GT(stats.interaction_density, 0.0);
+  EXPECT_GT(stats.social_density, 0.0);
+}
+
+}  // namespace
+}  // namespace dgnn::data

@@ -1,0 +1,154 @@
+// Failure-injection tests: malformed inputs and contract violations must
+// fail loudly (Status for runtime data, CHECK death for API misuse) —
+// never silently corrupt.
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "ag/tape.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "train/metrics.h"
+
+namespace dgnn {
+namespace {
+
+// ----- data loading: malformed files produce Status errors ----------------
+
+class IoFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/dgnn_io_failure";
+    data::Dataset ds = data::GenerateSynthetic(data::SyntheticConfig::Tiny());
+    ASSERT_TRUE(data::SaveDataset(ds, dir_).ok());
+  }
+
+  void Corrupt(const std::string& file, const std::string& content) {
+    std::ofstream out(dir_ + "/" + file, std::ios::trunc);
+    out << content;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(IoFailureTest, BadMetaHeader) {
+  Corrupt("meta.tsv", "only_two_fields\t3\n");
+  auto loaded = data::LoadDataset(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoFailureTest, NonNumericInteraction) {
+  Corrupt("train.tsv", "1\tnotanumber\t0\n");
+  auto loaded = data::LoadDataset(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoFailureTest, ShortRow) {
+  Corrupt("social.tsv", "5\n");
+  auto loaded = data::LoadDataset(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("short row"), std::string::npos);
+}
+
+TEST_F(IoFailureTest, NegativesCountMismatch) {
+  Corrupt("eval_negatives.tsv", "1\t2\t3\n");  // one row, many test users
+  auto loaded = data::LoadDataset(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("does not match"),
+            std::string::npos);
+}
+
+TEST_F(IoFailureTest, MissingFile) {
+  ASSERT_EQ(::remove((dir_ + "/item_relations.tsv").c_str()), 0);
+  auto loaded = data::LoadDataset(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+// ----- Validate() catches corrupted in-memory datasets --------------------
+
+using DataValidateDeathTest = ::testing::Test;
+
+TEST(DataValidateDeathTest, OutOfRangeUser) {
+  data::Dataset ds = data::GenerateSynthetic(data::SyntheticConfig::Tiny());
+  ds.train.push_back({ds.num_users + 5, 0, 0});
+  EXPECT_DEATH(ds.Validate(), "CHECK FAILED");
+}
+
+TEST(DataValidateDeathTest, UnsortedSocialPair) {
+  data::Dataset ds = data::GenerateSynthetic(data::SyntheticConfig::Tiny());
+  ds.social.push_back({5, 2});  // violates u < v
+  EXPECT_DEATH(ds.Validate(), "u < v");
+}
+
+TEST(DataValidateDeathTest, NegativeThatWasInteracted) {
+  data::Dataset ds = data::GenerateSynthetic(data::SyntheticConfig::Tiny());
+  ASSERT_FALSE(ds.test.empty());
+  // Replace a negative with an item the user interacted with in training.
+  const int32_t user = ds.test[0].user;
+  int32_t seen_item = -1;
+  for (const auto& it : ds.train) {
+    if (it.user == user) {
+      seen_item = it.item;
+      break;
+    }
+  }
+  ASSERT_GE(seen_item, 0);
+  ds.eval_negatives[0][0] = seen_item;
+  EXPECT_DEATH(ds.Validate(), "interacted");
+}
+
+// ----- Tape API misuse dies with CHECK -------------------------------------
+
+using TapeDeathTest = ::testing::Test;
+
+TEST(TapeDeathTest, BackwardRequiresScalarRoot) {
+  ag::ParamStore store;
+  auto* p = store.Create("p", ag::Tensor(2, 2));
+  ag::Tape t;
+  ag::VarId v = t.Param(p);
+  EXPECT_DEATH(t.Backward(v), "scalar");
+}
+
+TEST(TapeDeathTest, BackwardRequiresGradPath) {
+  ag::Tape t;
+  ag::VarId c = t.Constant(ag::Tensor::Scalar(1.0f));
+  EXPECT_DEATH(t.Backward(c), "depend");
+}
+
+TEST(TapeDeathTest, ShapeMismatchInAdd) {
+  ag::Tape t;
+  ag::VarId a = t.Constant(ag::Tensor(2, 3));
+  ag::VarId b = t.Constant(ag::Tensor(3, 2));
+  EXPECT_DEATH(t.Add(a, b), "CHECK FAILED");
+}
+
+TEST(TapeDeathTest, SpMMWithoutTransposeForGradient) {
+  graph::CooMatrix coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  coo.Add(0, 1);
+  graph::CsrMatrix adj = graph::CsrMatrix::FromCoo(coo);
+  ag::ParamStore store;
+  auto* p = store.Create("p", ag::Tensor(2, 3));
+  ag::Tape t;
+  EXPECT_DEATH(t.SpMM(&adj, nullptr, t.Param(p)), "transposed");
+}
+
+TEST(TapeDeathTest, ColOutOfRange) {
+  ag::Tape t;
+  ag::VarId a = t.Constant(ag::Tensor(2, 3));
+  EXPECT_DEATH(t.Col(a, 3), "CHECK FAILED");
+}
+
+// ----- metrics misuse -------------------------------------------------------
+
+TEST(MetricsDeathTest, RanksMustBePositive) {
+  EXPECT_DEATH(train::MetricsFromRanks({0}, {10}), "CHECK FAILED");
+}
+
+}  // namespace
+}  // namespace dgnn

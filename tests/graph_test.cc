@@ -1,0 +1,247 @@
+#include "graph/hetero_graph.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "graph/csr.h"
+
+namespace dgnn::graph {
+namespace {
+
+CooMatrix SmallCoo() {
+  CooMatrix coo;
+  coo.rows = 3;
+  coo.cols = 4;
+  coo.Add(0, 1, 2.0f);
+  coo.Add(2, 0, 1.0f);
+  coo.Add(0, 3, 1.0f);
+  coo.Add(2, 2, 4.0f);
+  return coo;
+}
+
+TEST(CsrTest, FromCooSortsColumnsWithinRows) {
+  CsrMatrix m = CsrMatrix::FromCoo(SmallCoo());
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 4);
+  ASSERT_EQ(m.RowDegree(0), 2);
+  EXPECT_EQ(m.indices()[0], 1);
+  EXPECT_EQ(m.indices()[1], 3);
+  EXPECT_EQ(m.RowDegree(1), 0);
+  EXPECT_EQ(m.RowDegree(2), 2);
+}
+
+TEST(CsrTest, FromCooMergesDuplicates) {
+  CooMatrix coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  coo.Add(0, 1, 1.0f);
+  coo.Add(0, 1, 2.5f);
+  CsrMatrix m = CsrMatrix::FromCoo(coo);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_FLOAT_EQ(m.values()[0], 3.5f);
+}
+
+TEST(CsrTest, IdentityMultiplyIsNoOp) {
+  CsrMatrix id = CsrMatrix::Identity(3);
+  float x[6] = {1, 2, 3, 4, 5, 6};
+  float y[6];
+  id.Multiply(x, 2, y);
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(CsrTest, TransposedSwapsDims) {
+  CsrMatrix m = CsrMatrix::FromCoo(SmallCoo());
+  CsrMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.nnz(), m.nnz());
+  // Spot check: (0,1)=2 becomes (1,0)=2.
+  float x[3] = {1, 0, 0};
+  float y[4];
+  t.Multiply(x, 1, y);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 1.0f);
+}
+
+TEST(CsrTest, RowNormalizeMakesRowsSumToOne) {
+  CsrMatrix m = CsrMatrix::FromCoo(SmallCoo());
+  m.RowNormalize();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    float sum = 0.0f;
+    for (int64_t i = m.indptr()[r]; i < m.indptr()[r + 1]; ++i) {
+      sum += m.values()[i];
+    }
+    if (m.RowDegree(r) > 0) {
+      EXPECT_NEAR(sum, 1.0f, 1e-6);
+    }
+  }
+}
+
+TEST(CsrTest, SymNormalizeSymmetricMatrixRowSumsBounded) {
+  CooMatrix coo;
+  coo.rows = 3;
+  coo.cols = 3;
+  coo.Add(0, 1);
+  coo.Add(1, 0);
+  coo.Add(1, 2);
+  coo.Add(2, 1);
+  CsrMatrix m = CsrMatrix::FromCoo(coo);
+  m.SymNormalize();
+  // Node 1 has degree 2, nodes 0 and 2 degree 1: entry (0,1) should be
+  // 1/sqrt(1*2).
+  EXPECT_NEAR(m.values()[0], 1.0f / std::sqrt(2.0f), 1e-6);
+}
+
+TEST(CsrTest, MultiplyComposesAdjacency) {
+  // A: 2x2 path 0->1; B: 2x2 path 1->0. A*B connects 0->0.
+  CooMatrix a;
+  a.rows = a.cols = 2;
+  a.Add(0, 1, 2.0f);
+  CooMatrix b;
+  b.rows = b.cols = 2;
+  b.Add(1, 0, 3.0f);
+  CsrMatrix prod = CsrMatrix::FromCoo(a).Multiply(CsrMatrix::FromCoo(b));
+  EXPECT_EQ(prod.nnz(), 1);
+  EXPECT_FLOAT_EQ(prod.values()[0], 6.0f);
+  EXPECT_EQ(prod.indices()[0], 0);
+}
+
+TEST(CsrTest, MultiplyCapKeepsStrongestEntries) {
+  CooMatrix a;
+  a.rows = 1;
+  a.cols = 3;
+  a.Add(0, 0, 1.0f);
+  a.Add(0, 1, 1.0f);
+  a.Add(0, 2, 1.0f);
+  CooMatrix b;
+  b.rows = 3;
+  b.cols = 3;
+  b.Add(0, 0, 1.0f);
+  b.Add(1, 1, 5.0f);
+  b.Add(2, 2, 3.0f);
+  CsrMatrix prod =
+      CsrMatrix::FromCoo(a).Multiply(CsrMatrix::FromCoo(b), /*cap=*/2);
+  EXPECT_EQ(prod.nnz(), 2);
+  // Kept: columns 1 (5.0) and 2 (3.0).
+  EXPECT_EQ(prod.indices()[0], 1);
+  EXPECT_EQ(prod.indices()[1], 2);
+}
+
+TEST(CsrTest, RemoveDiagonal) {
+  CooMatrix coo;
+  coo.rows = coo.cols = 2;
+  coo.Add(0, 0);
+  coo.Add(0, 1);
+  coo.Add(1, 1);
+  CsrMatrix m = CsrMatrix::FromCoo(coo);
+  m.RemoveDiagonal();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.indices()[0], 1);
+}
+
+class HeteroGraphTest : public ::testing::Test {
+ protected:
+  HeteroGraphTest()
+      : dataset_(data::GenerateSynthetic(data::SyntheticConfig::Tiny())),
+        graph_(dataset_) {}
+  data::Dataset dataset_;
+  HeteroGraph graph_;
+};
+
+TEST_F(HeteroGraphTest, DimensionsMatchDataset) {
+  EXPECT_EQ(graph_.num_users(), dataset_.num_users);
+  EXPECT_EQ(graph_.num_items(), dataset_.num_items);
+  EXPECT_EQ(graph_.num_relations(), dataset_.num_relations);
+  EXPECT_EQ(graph_.user_item().nnz(),
+            static_cast<int64_t>(dataset_.train.size()));
+  // Social matrix is symmetric: nnz = 2 * tie count.
+  EXPECT_EQ(graph_.social().nnz(),
+            2 * static_cast<int64_t>(dataset_.social.size()));
+}
+
+TEST_F(HeteroGraphTest, TestInteractionsExcluded) {
+  // The held-out (user, item) pair must not be an edge.
+  const auto& ui = graph_.user_item();
+  for (const auto& t : dataset_.test) {
+    bool found = false;
+    for (int64_t i = ui.indptr()[t.user]; i < ui.indptr()[t.user + 1]; ++i) {
+      if (ui.indices()[i] == t.item) found = true;
+    }
+    EXPECT_FALSE(found) << "test interaction leaked into the graph";
+  }
+}
+
+TEST_F(HeteroGraphTest, JointRowNormalizeUsesCombinedDegree) {
+  CsrMatrix s = graph_.social();
+  CsrMatrix y = graph_.user_item();
+  HeteroGraph::JointRowNormalize(s, y);
+  for (int64_t u = 0; u < graph_.num_users(); ++u) {
+    float sum = 0.0f;
+    for (int64_t i = s.indptr()[u]; i < s.indptr()[u + 1]; ++i) {
+      sum += s.values()[i];
+    }
+    for (int64_t i = y.indptr()[u]; i < y.indptr()[u + 1]; ++i) {
+      sum += y.values()[i];
+    }
+    if (s.RowDegree(u) + y.RowDegree(u) > 0) {
+      EXPECT_NEAR(sum, 1.0f, 1e-5) << "user " << u;
+    }
+  }
+}
+
+TEST_F(HeteroGraphTest, SocialRecalibrationRowsSumToOne) {
+  CsrMatrix tau = graph_.SocialRecalibration();
+  EXPECT_EQ(tau.rows(), graph_.num_users());
+  for (int64_t u = 0; u < tau.rows(); ++u) {
+    float sum = 0.0f;
+    for (int64_t i = tau.indptr()[u]; i < tau.indptr()[u + 1]; ++i) {
+      sum += tau.values()[i];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);  // self-loop guarantees non-empty rows
+  }
+}
+
+TEST_F(HeteroGraphTest, UnifiedNormalizedCoversAllNodeTypes) {
+  CsrMatrix a = graph_.UnifiedNormalized(true, true);
+  const int64_t n = graph_.num_users() + graph_.num_items() +
+                    graph_.num_relations();
+  EXPECT_EQ(a.rows(), n);
+  EXPECT_EQ(a.cols(), n);
+  EXPECT_EQ(a.nnz(), graph_.user_item().nnz() * 2 + graph_.social().nnz() +
+                         graph_.item_rel().nnz() * 2);
+  CsrMatrix without = graph_.UnifiedNormalized(false, false);
+  EXPECT_EQ(without.nnz(), graph_.user_item().nnz() * 2);
+}
+
+TEST_F(HeteroGraphTest, EdgeListsMatchAdjacency) {
+  auto edges = graph_.ItemToUserEdges();
+  EXPECT_EQ(edges.size(), graph_.user_item().nnz());
+  for (int64_t e = 0; e < edges.size(); ++e) {
+    EXPECT_GE(edges.src[e], 0);
+    EXPECT_LT(edges.src[e], graph_.num_items());
+    EXPECT_GE(edges.dst[e], 0);
+    EXPECT_LT(edges.dst[e], graph_.num_users());
+  }
+}
+
+TEST_F(HeteroGraphTest, MetaPathUIUHasNoDiagonalAndNormalizedRows) {
+  CsrMatrix uiu = graph_.MetaPathUIU(8);
+  EXPECT_EQ(uiu.rows(), graph_.num_users());
+  for (int64_t r = 0; r < uiu.rows(); ++r) {
+    EXPECT_LE(uiu.RowDegree(r), 8);
+    float sum = 0.0f;
+    for (int64_t i = uiu.indptr()[r]; i < uiu.indptr()[r + 1]; ++i) {
+      EXPECT_NE(uiu.indices()[i], r);
+      sum += uiu.values()[i];
+    }
+    if (uiu.RowDegree(r) > 0) {
+      EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgnn::graph

@@ -1,0 +1,132 @@
+#include "train/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/bpr_mf.h"
+#include "train/evaluator.h"
+
+namespace dgnn::train {
+namespace {
+
+TEST(MetricsTest, RankOfPositiveCountsGreaterAndEqual) {
+  EXPECT_EQ(RankOfPositive(5.0f, {1, 2, 3}), 1);
+  EXPECT_EQ(RankOfPositive(2.5f, {1, 2, 3}), 2);
+  EXPECT_EQ(RankOfPositive(0.0f, {1, 2, 3}), 4);
+  // Ties count against the positive (pessimistic, deterministic).
+  EXPECT_EQ(RankOfPositive(2.0f, {1, 2, 3}), 3);
+  EXPECT_EQ(RankOfPositive(1.0f, {}), 1);
+}
+
+TEST(MetricsTest, HrIsFractionWithinCutoff) {
+  Metrics m = MetricsFromRanks({1, 3, 11, 2}, {10});
+  EXPECT_DOUBLE_EQ(m.hr[10], 3.0 / 4.0);
+  EXPECT_EQ(m.num_users, 4);
+}
+
+TEST(MetricsTest, NdcgUsesLogDiscount) {
+  Metrics m = MetricsFromRanks({1}, {10});
+  EXPECT_DOUBLE_EQ(m.ndcg[10], 1.0);
+  Metrics m2 = MetricsFromRanks({2}, {10});
+  EXPECT_NEAR(m2.ndcg[10], 1.0 / std::log2(3.0), 1e-9);
+  Metrics m3 = MetricsFromRanks({11}, {10});
+  EXPECT_DOUBLE_EQ(m3.ndcg[10], 0.0);
+}
+
+TEST(MetricsTest, MultipleCutoffsAreMonotone) {
+  Metrics m = MetricsFromRanks({1, 4, 7, 15, 30}, {5, 10, 20});
+  EXPECT_LE(m.hr[5], m.hr[10]);
+  EXPECT_LE(m.hr[10], m.hr[20]);
+  EXPECT_LE(m.ndcg[5], m.ndcg[10]);
+  EXPECT_LE(m.ndcg[10], m.ndcg[20]);
+}
+
+TEST(MetricsTest, EmptyRanksYieldZeroes) {
+  Metrics m = MetricsFromRanks({}, {10});
+  EXPECT_DOUBLE_EQ(m.hr[10], 0.0);
+  EXPECT_EQ(m.num_users, 0);
+}
+
+TEST(MetricsTest, ToStringMentionsEachCutoff) {
+  Metrics m = MetricsFromRanks({1, 2}, {5, 10});
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("HR@5"), std::string::npos);
+  EXPECT_NE(s.find("NDCG@10"), std::string::npos);
+}
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest()
+      : dataset_(data::GenerateSynthetic(data::SyntheticConfig::Tiny())),
+        evaluator_(dataset_) {}
+  data::Dataset dataset_;
+  Evaluator evaluator_;
+};
+
+TEST_F(EvaluatorTest, PerfectEmbeddingsRankPositiveFirst) {
+  // Hand-craft embeddings where each test user's positive item is its
+  // nearest neighbor: user vector = positive item one-hot direction.
+  const int64_t d = 8;
+  ag::Tensor users(dataset_.num_users, d);
+  ag::Tensor items(dataset_.num_items, d);
+  util::Rng rng(3);
+  for (int64_t i = 0; i < items.rows(); ++i) {
+    double norm = 0.0;
+    for (int64_t c = 0; c < d; ++c) {
+      items.at(i, c) = static_cast<float>(rng.Gaussian(0.0, 1.0));
+      norm += items.at(i, c) * items.at(i, c);
+    }
+    // Unit-norm rows: the positive's self dot product strictly dominates
+    // any cross dot product (Cauchy-Schwarz), so rank 1 is guaranteed.
+    for (int64_t c = 0; c < d; ++c) {
+      items.at(i, c) /= static_cast<float>(std::sqrt(norm));
+    }
+  }
+  for (size_t t = 0; t < dataset_.test.size(); ++t) {
+    const auto& pos = dataset_.test[t];
+    for (int64_t c = 0; c < d; ++c) {
+      users.at(pos.user, c) = items.at(pos.item, c);
+    }
+  }
+  Metrics m = evaluator_.Evaluate(users, items, {1, 10});
+  EXPECT_DOUBLE_EQ(m.hr[1], 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg[10], 1.0);
+}
+
+TEST_F(EvaluatorTest, RandomEmbeddingsNearChance) {
+  util::Rng rng(4);
+  ag::Tensor users = ag::Tensor::GaussianInit(dataset_.num_users, 8, 1.0f,
+                                              rng);
+  ag::Tensor items = ag::Tensor::GaussianInit(dataset_.num_items, 8, 1.0f,
+                                              rng);
+  Metrics m = evaluator_.Evaluate(users, items, {10});
+  // 50 negatives + 1 positive -> chance HR@10 = 10/51 ~ 0.196.
+  EXPECT_NEAR(m.hr[10], 10.0 / 51.0, 0.12);
+}
+
+TEST_F(EvaluatorTest, GroupEvaluationPartitionsUsers) {
+  util::Rng rng(5);
+  ag::Tensor users = ag::Tensor::GaussianInit(dataset_.num_users, 8, 1.0f,
+                                              rng);
+  ag::Tensor items = ag::Tensor::GaussianInit(dataset_.num_items, 8, 1.0f,
+                                              rng);
+  std::vector<int> group(dataset_.num_users);
+  for (int32_t u = 0; u < dataset_.num_users; ++u) group[u] = u % 3;
+  auto per_group = evaluator_.EvaluateGroups(users, items, group, 3, {10});
+  ASSERT_EQ(per_group.size(), 3u);
+  int64_t total = 0;
+  for (const auto& m : per_group) total += m.num_users;
+  EXPECT_EQ(total, static_cast<int64_t>(dataset_.test.size()));
+}
+
+TEST_F(EvaluatorTest, EvaluateModelRunsForward) {
+  graph::HeteroGraph graph(dataset_);
+  models::BprMf model(graph, 8, 11);
+  Metrics m = evaluator_.EvaluateModel(model, {10});
+  EXPECT_EQ(m.num_users, static_cast<int64_t>(dataset_.test.size()));
+}
+
+}  // namespace
+}  // namespace dgnn::train

@@ -1,0 +1,268 @@
+// Behavioral tests for model-specific components that the zoo-wide smoke
+// tests cannot see: auxiliary losses, walk embeddings, session handling,
+// degenerate graphs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/model_zoo.h"
+#include "data/synthetic.h"
+#include "models/dgcf.h"
+#include "models/dgrec.h"
+#include "models/eatnn.h"
+#include "models/herec.h"
+#include "models/hgt.h"
+#include "models/lightgcn.h"
+#include "models/mhcn.h"
+
+namespace dgnn::models {
+namespace {
+
+data::Dataset TinyData() {
+  return data::GenerateSynthetic(data::SyntheticConfig::Tiny());
+}
+
+// A dataset with no item-relation links and no social ties: the degenerate
+// graph every model must survive.
+data::Dataset BareData() {
+  data::Dataset ds = TinyData();
+  ds.item_relations.clear();
+  ds.num_relations = 0;
+  ds.social.clear();
+  ds.Validate();
+  return ds;
+}
+
+TEST(MhcnTest, AuxLossOnlyDuringTraining) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  MhcnConfig c;
+  c.embedding_dim = 8;
+  Mhcn model(g, c);
+  ag::Tape t1;
+  auto train_fwd = model.Forward(t1, /*training=*/true);
+  EXPECT_GE(train_fwd.aux_loss, 0);
+  EXPECT_TRUE(std::isfinite(t1.val(train_fwd.aux_loss).scalar()));
+  ag::Tape t2;
+  auto eval_fwd = model.Forward(t2, /*training=*/false);
+  EXPECT_EQ(eval_fwd.aux_loss, -1);
+}
+
+TEST(MhcnTest, SslWeightZeroDisablesAuxLoss) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  MhcnConfig c;
+  c.embedding_dim = 8;
+  c.ssl_weight = 0.0f;
+  Mhcn model(g, c);
+  ag::Tape t;
+  EXPECT_EQ(model.Forward(t, true).aux_loss, -1);
+}
+
+TEST(EatnnTest, SocialTaskLossPresentWithTies) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  EatnnConfig c;
+  c.embedding_dim = 8;
+  Eatnn model(g, c);
+  ag::Tape t;
+  auto fwd = model.Forward(t, true);
+  ASSERT_GE(fwd.aux_loss, 0);
+  // BPR-style loss scaled by the task weight; starts near w * log 2.
+  EXPECT_NEAR(t.val(fwd.aux_loss).scalar(),
+              c.social_task_weight * std::log(2.0f), 0.1);
+}
+
+TEST(EatnnTest, NoSocialTiesMeansNoAuxLoss) {
+  data::Dataset ds = BareData();
+  graph::HeteroGraph g(ds);
+  EatnnConfig c;
+  c.embedding_dim = 8;
+  Eatnn model(g, c);
+  ag::Tape t;
+  EXPECT_EQ(model.Forward(t, true).aux_loss, -1);
+}
+
+TEST(DgcfTest, RejectsIndivisibleIntentSplit) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  DgcfConfig c;
+  c.embedding_dim = 10;  // not divisible by 4 intents
+  EXPECT_DEATH(Dgcf(g, c), "divide evenly");
+}
+
+TEST(DgcfTest, IntentChunksConcatenateToFullDim) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  DgcfConfig c;
+  c.embedding_dim = 16;
+  c.num_intents = 4;
+  Dgcf model(g, c);
+  ag::Tape t;
+  auto fwd = model.Forward(t, false);
+  EXPECT_EQ(t.val(fwd.users).cols(), 16);
+  EXPECT_EQ(t.val(fwd.items).cols(), 16);
+}
+
+TEST(DgRecTest, HandlesShortSessions) {
+  // Users with fewer interactions than the session length must still get
+  // well-defined states (masked GRU steps).
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  DgRecConfig c;
+  c.embedding_dim = 8;
+  c.session_length = 50;  // longer than any user's history
+  DgRec model(ds, g, c);
+  ag::Tape t;
+  auto fwd = model.Forward(t, false);
+  for (int64_t i = 0; i < t.val(fwd.users).size(); ++i) {
+    ASSERT_TRUE(std::isfinite(t.val(fwd.users).data()[i]));
+  }
+}
+
+TEST(HerecTest, WalkEmbeddingsReflectGraphStructure) {
+  // Two disconnected cliques: walk embeddings of same-clique nodes must be
+  // more similar than cross-clique ones.
+  graph::CooMatrix coo;
+  const int n = 12;
+  coo.rows = coo.cols = n;
+  for (int a = 0; a < n / 2; ++a) {
+    for (int b = 0; b < n / 2; ++b) {
+      if (a == b) continue;
+      coo.Add(a, b);
+      coo.Add(a + n / 2, b + n / 2);
+    }
+  }
+  graph::CsrMatrix adj = graph::CsrMatrix::FromCoo(coo);
+  HerecConfig c;
+  c.embedding_dim = 8;
+  c.sgns_epochs = 4;
+  c.walks_per_node = 8;
+  ag::Tensor emb = TrainWalkEmbeddings(adj, c, 7);
+  auto cosine = [&](int a, int b) {
+    double dot = 0, na = 0, nb = 0;
+    for (int64_t k = 0; k < 8; ++k) {
+      dot += emb.at(a, k) * emb.at(b, k);
+      na += emb.at(a, k) * emb.at(a, k);
+      nb += emb.at(b, k) * emb.at(b, k);
+    }
+    return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+  };
+  double same = 0, cross = 0;
+  int same_n = 0, cross_n = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const bool same_clique = (a < n / 2) == (b < n / 2);
+      (same_clique ? same : cross) += cosine(a, b);
+      ++(same_clique ? same_n : cross_n);
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n + 0.2);
+}
+
+TEST(HgtTest, MultiHeadForwardShapesAndHeadCountMatters) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  HgtConfig one;
+  one.embedding_dim = 8;
+  one.num_heads = 1;
+  HgtConfig four = one;
+  four.num_heads = 4;
+  Hgt m1(g, one);
+  Hgt m4(g, four);
+  ag::Tape t1, t4;
+  auto f1 = m1.Forward(t1, false);
+  auto f4 = m4.Forward(t4, false);
+  EXPECT_EQ(t1.val(f1.users).cols(), 8);
+  EXPECT_EQ(t4.val(f4.users).cols(), 8);
+  // Q/K/V budgets match across head counts; the per-edge-type attention
+  // and message matrices are (d/h)^2 per head, so more heads means fewer
+  // edge parameters.
+  EXPECT_GT(m1.params().TotalParameterCount(),
+            m4.params().TotalParameterCount());
+  // And a genuinely different function.
+  EXPECT_GT(t1.val(f1.users).MaxAbsDiff(t4.val(f4.users)), 1e-6f);
+}
+
+TEST(HgtDeathTest, RejectsIndivisibleHeads) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  HgtConfig c;
+  c.embedding_dim = 10;
+  c.num_heads = 4;
+  EXPECT_DEATH(Hgt(g, c), "divide evenly");
+}
+
+TEST(LightGcnTest, SideContextChangesEmbeddings) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  LightGcnConfig with;
+  with.embedding_dim = 8;
+  LightGcnConfig without = with;
+  without.use_side_context = false;
+  LightGcn m1(g, with);
+  LightGcn m2(g, without);
+  ag::Tape t1, t2;
+  auto f1 = m1.Forward(t1, false);
+  auto f2 = m2.Forward(t2, false);
+  EXPECT_GT(t1.val(f1.users).MaxAbsDiff(t2.val(f2.users)), 1e-6f);
+}
+
+// Every model must survive the degenerate graph (no social, no relations)
+// and keep finite outputs.
+class BareGraphTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BareGraphTest, ForwardFiniteWithoutSideRelations) {
+  static data::Dataset* ds = new data::Dataset(BareData());
+  static graph::HeteroGraph* g = new graph::HeteroGraph(*ds);
+  core::ZooConfig zc;
+  zc.embedding_dim = 8;
+  zc.num_memory_units = 4;
+  auto model = core::CreateModelByName(GetParam(), *ds, *g, zc);
+  ag::Tape t;
+  auto fwd = model->Forward(t, true);
+  for (int64_t i = 0; i < t.val(fwd.users).size(); ++i) {
+    ASSERT_TRUE(std::isfinite(t.val(fwd.users).data()[i])) << GetParam();
+  }
+  for (int64_t i = 0; i < t.val(fwd.items).size(); ++i) {
+    ASSERT_TRUE(std::isfinite(t.val(fwd.items).data()[i])) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, BareGraphTest,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> names = core::TableIIModelNames();
+      names.push_back("BPR-MF");
+      names.push_back("LightGCN");
+      return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// Forward must not mutate parameters (pure function of the store).
+TEST(ModelPurityTest, ForwardDoesNotMutateParameters) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  core::ZooConfig zc;
+  zc.embedding_dim = 8;
+  auto model = core::CreateModelByName("DGNN", ds, g, zc);
+  std::vector<ag::Tensor> before;
+  for (const auto& p : model->params().params()) before.push_back(p->value);
+  ag::Tape t;
+  model->Forward(t, true);
+  size_t i = 0;
+  for (const auto& p : model->params().params()) {
+    EXPECT_EQ(p->value.MaxAbsDiff(before[i]), 0.0f) << p->name;
+    ++i;
+  }
+}
+
+}  // namespace
+}  // namespace dgnn::models

@@ -1,0 +1,113 @@
+#include "core/pretrain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dgnn_model.h"
+#include "data/synthetic.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+
+namespace dgnn::core {
+namespace {
+
+class PretrainTest : public ::testing::Test {
+ protected:
+  PretrainTest()
+      : dataset_(data::GenerateSynthetic(data::SyntheticConfig::Tiny())),
+        graph_(dataset_) {}
+  data::Dataset dataset_;
+  graph::HeteroGraph graph_;
+};
+
+TEST_F(PretrainTest, LinkPredictionLossDecreases) {
+  DgnnConfig c;
+  c.embedding_dim = 8;
+  c.num_memory_units = 2;
+  DgnnModel model(graph_, c);
+  PretrainConfig pc;
+  pc.epochs = 15;
+  auto result = PretrainEmbeddings(model.params(), model.user_embedding(),
+                                   model.item_embedding(),
+                                   model.relation_embedding(), graph_, pc);
+  EXPECT_LT(result.last_epoch_loss, result.first_epoch_loss);
+}
+
+TEST_F(PretrainTest, OnlyEmbeddingTablesChange) {
+  DgnnConfig c;
+  c.embedding_dim = 8;
+  c.num_memory_units = 2;
+  DgnnModel model(graph_, c);
+  std::vector<ag::Tensor> before;
+  for (const auto& p : model.params().params()) before.push_back(p->value);
+  PretrainConfig pc;
+  pc.epochs = 5;
+  PretrainEmbeddings(model.params(), model.user_embedding(),
+                     model.item_embedding(), model.relation_embedding(),
+                     graph_, pc);
+  size_t i = 0;
+  for (const auto& p : model.params().params()) {
+    const bool is_embedding = p->name == "user_emb" ||
+                              p->name == "item_emb" || p->name == "rel_emb";
+    if (is_embedding) {
+      EXPECT_GT(p->value.MaxAbsDiff(before[i]), 0.0f) << p->name;
+    } else {
+      EXPECT_EQ(p->value.MaxAbsDiff(before[i]), 0.0f) << p->name;
+    }
+    ++i;
+  }
+}
+
+TEST_F(PretrainTest, OptimizerStateResetAfterPretrain) {
+  DgnnConfig c;
+  c.embedding_dim = 8;
+  c.num_memory_units = 2;
+  DgnnModel model(graph_, c);
+  PretrainConfig pc;
+  pc.epochs = 3;
+  PretrainEmbeddings(model.params(), model.user_embedding(),
+                     model.item_embedding(), model.relation_embedding(),
+                     graph_, pc);
+  for (const auto& p : model.params().params()) {
+    EXPECT_TRUE(p->adam_m.empty()) << p->name;
+    EXPECT_TRUE(p->adam_v.empty()) << p->name;
+    EXPECT_EQ(p->grad.SquaredL2(), 0.0f) << p->name;
+  }
+}
+
+TEST_F(PretrainTest, ImprovesShortBudgetFineTuning) {
+  auto run = [&](bool pretrain) {
+    DgnnConfig c;
+    c.embedding_dim = 8;
+    c.num_memory_units = 2;
+    DgnnModel model(graph_, c);
+    if (pretrain) {
+      PretrainConfig pc;
+      PretrainEmbeddings(model.params(), model.user_embedding(),
+                         model.item_embedding(),
+                         model.relation_embedding(), graph_, pc);
+    }
+    train::TrainConfig tc;
+    tc.epochs = 4;
+    train::Trainer trainer(&model, dataset_, tc);
+    return trainer.Fit().final_metrics.hr[10];
+  };
+  EXPECT_GT(run(true), run(false) - 1e-9);
+}
+
+TEST_F(PretrainTest, WorksWithoutRelationTable) {
+  DgnnConfig c;
+  c.embedding_dim = 8;
+  c.num_memory_units = 2;
+  c.use_item_relations = false;
+  DgnnModel model(graph_, c);
+  ASSERT_EQ(model.relation_embedding(), nullptr);
+  PretrainConfig pc;
+  pc.epochs = 3;
+  auto result = PretrainEmbeddings(model.params(), model.user_embedding(),
+                                   model.item_embedding(), nullptr, graph_,
+                                   pc);
+  EXPECT_LE(result.last_epoch_loss, result.first_epoch_loss + 1e-6);
+}
+
+}  // namespace
+}  // namespace dgnn::core

@@ -1,0 +1,207 @@
+// Property-style sweeps over randomized instances: invariants that must
+// hold for any input, checked across a parameter grid (TEST_P).
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ag/tape.h"
+#include "data/synthetic.h"
+#include "graph/hetero_graph.h"
+#include "train/metrics.h"
+
+namespace dgnn {
+namespace {
+
+// ----- SpMM vs dense reference across random sparse matrices ------------
+
+struct SpmmCase {
+  int64_t rows, cols, feature_dim;
+  double density;
+  uint64_t seed;
+};
+
+class SpmmPropertyTest : public ::testing::TestWithParam<SpmmCase> {};
+
+TEST_P(SpmmPropertyTest, MatchesDenseReference) {
+  const SpmmCase& pc = GetParam();
+  util::Rng rng(pc.seed);
+  graph::CooMatrix coo;
+  coo.rows = pc.rows;
+  coo.cols = pc.cols;
+  ag::Tensor dense(pc.rows, pc.cols);
+  for (int64_t r = 0; r < pc.rows; ++r) {
+    for (int64_t c = 0; c < pc.cols; ++c) {
+      if (rng.UniformDouble() < pc.density) {
+        const float v = rng.UniformFloat(-2.0f, 2.0f);
+        coo.Add(static_cast<int32_t>(r), static_cast<int32_t>(c), v);
+        dense.at(r, c) = v;
+      }
+    }
+  }
+  graph::CsrMatrix adj = graph::CsrMatrix::FromCoo(coo);
+  ag::Tensor x =
+      ag::Tensor::GaussianInit(pc.cols, pc.feature_dim, 1.0f, rng);
+
+  ag::Tensor sparse_out(pc.rows, pc.feature_dim);
+  adj.Multiply(x.data(), pc.feature_dim, sparse_out.data());
+
+  ag::Tensor dense_out(pc.rows, pc.feature_dim);
+  for (int64_t r = 0; r < pc.rows; ++r) {
+    for (int64_t k = 0; k < pc.cols; ++k) {
+      const float v = dense.at(r, k);
+      if (v == 0.0f) continue;
+      for (int64_t c = 0; c < pc.feature_dim; ++c) {
+        dense_out.at(r, c) += v * x.at(k, c);
+      }
+    }
+  }
+  EXPECT_LT(sparse_out.MaxAbsDiff(dense_out), 1e-4f);
+
+  // Transpose consistency: (A^T)^T == A behaviorally.
+  graph::CsrMatrix att = adj.Transposed().Transposed();
+  ag::Tensor round_trip(pc.rows, pc.feature_dim);
+  att.Multiply(x.data(), pc.feature_dim, round_trip.data());
+  EXPECT_LT(round_trip.MaxAbsDiff(sparse_out), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpmmPropertyTest,
+    ::testing::Values(SpmmCase{1, 1, 1, 1.0, 1}, SpmmCase{5, 9, 3, 0.3, 2},
+                      SpmmCase{20, 10, 8, 0.1, 3},
+                      SpmmCase{13, 13, 4, 0.5, 4},
+                      SpmmCase{30, 7, 2, 0.05, 5},
+                      SpmmCase{8, 40, 16, 0.2, 6}),
+    [](const ::testing::TestParamInfo<SpmmCase>& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+// ----- Segment softmax invariants across random segmentations -----------
+
+class SegmentSoftmaxPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(SegmentSoftmaxPropertyTest, SumsToOnePerNonEmptySegment) {
+  util::Rng rng(GetParam());
+  const int64_t num_edges = 5 + rng.UniformInt(60);
+  const int64_t num_segments = 1 + rng.UniformInt(10);
+  std::vector<int32_t> seg;
+  ag::Tensor scores(num_edges, 1);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    seg.push_back(static_cast<int32_t>(rng.UniformInt(num_segments)));
+    scores.at(e, 0) = rng.UniformFloat(-30.0f, 30.0f);
+  }
+  ag::Tape tape;
+  ag::VarId out =
+      tape.SegmentSoftmax(tape.Constant(scores), seg, num_segments);
+  std::vector<double> sums(static_cast<size_t>(num_segments), 0.0);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const float v = tape.val(out).at(e, 0);
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+    sums[static_cast<size_t>(seg[static_cast<size_t>(e)])] += v;
+  }
+  std::vector<bool> touched(static_cast<size_t>(num_segments), false);
+  for (int32_t s : seg) touched[static_cast<size_t>(s)] = true;
+  for (int64_t s = 0; s < num_segments; ++s) {
+    if (touched[static_cast<size_t>(s)]) {
+      EXPECT_NEAR(sums[static_cast<size_t>(s)], 1.0, 1e-5);
+    } else {
+      EXPECT_EQ(sums[static_cast<size_t>(s)], 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentSoftmaxPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ----- Metrics invariants across random rank lists ----------------------
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, BoundsAndMonotonicity) {
+  util::Rng rng(GetParam());
+  std::vector<int> ranks;
+  const int n = 1 + static_cast<int>(rng.UniformInt(200));
+  for (int i = 0; i < n; ++i) {
+    ranks.push_back(1 + static_cast<int>(rng.UniformInt(101)));
+  }
+  auto m = train::MetricsFromRanks(ranks, {1, 5, 10, 20, 101});
+  double prev_hr = 0.0;
+  double prev_ndcg = 0.0;
+  for (int cutoff : {1, 5, 10, 20, 101}) {
+    EXPECT_GE(m.hr[cutoff], 0.0);
+    EXPECT_LE(m.hr[cutoff], 1.0);
+    EXPECT_GE(m.ndcg[cutoff], 0.0);
+    EXPECT_LE(m.ndcg[cutoff], 1.0);
+    // Monotone in the cutoff.
+    EXPECT_GE(m.hr[cutoff], prev_hr);
+    EXPECT_GE(m.ndcg[cutoff], prev_ndcg);
+    // NDCG never exceeds HR (per-user gain <= 1).
+    EXPECT_LE(m.ndcg[cutoff], m.hr[cutoff] + 1e-12);
+    prev_hr = m.hr[cutoff];
+    prev_ndcg = m.ndcg[cutoff];
+  }
+  // Every rank is within [1, 101], so HR@101 is exactly 1.
+  EXPECT_DOUBLE_EQ(m.hr[101], 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ----- Generator invariants across presets and seeds --------------------
+
+struct GenCase {
+  const char* preset;
+  uint64_t seed;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorPropertyTest, StructuralInvariants) {
+  auto config = data::SyntheticConfig::Preset(GetParam().preset);
+  config.seed = GetParam().seed;
+  // Shrink the big presets so the sweep stays fast.
+  config.num_users = std::min(config.num_users, 150);
+  config.num_items = std::min(config.num_items, 500);
+  data::Dataset ds = data::GenerateSynthetic(config);
+  ds.Validate();  // CHECK-based invariants
+
+  // Every user kept at least min_train interactions in train.
+  std::vector<int> count(static_cast<size_t>(ds.num_users), 0);
+  for (const auto& it : ds.train) ++count[static_cast<size_t>(it.user)];
+  for (const auto& t : ds.test) {
+    EXPECT_GE(count[static_cast<size_t>(t.user)],
+              config.min_train_interactions);
+  }
+  // No duplicate (user, item) pairs in train.
+  std::set<std::pair<int32_t, int32_t>> seen;
+  for (const auto& it : ds.train) {
+    EXPECT_TRUE(seen.insert({it.user, it.item}).second)
+        << "duplicate interaction";
+  }
+  // Latent factor annotations cover every user.
+  EXPECT_EQ(ds.user_community.size(), static_cast<size_t>(ds.num_users));
+  EXPECT_EQ(ds.user_social_group.size(), static_cast<size_t>(ds.num_users));
+  EXPECT_EQ(ds.user_social_influence.size(),
+            static_cast<size_t>(ds.num_users));
+  for (float b : ds.user_social_influence) {
+    EXPECT_GE(b, 0.0f);
+    EXPECT_LE(b, static_cast<float>(config.max_social_influence));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorPropertyTest,
+    ::testing::Values(GenCase{"tiny", 1}, GenCase{"tiny", 2},
+                      GenCase{"ciao", 3}, GenCase{"epinions", 4},
+                      GenCase{"yelp", 5}),
+    [](const ::testing::TestParamInfo<GenCase>& info) {
+      return std::string(info.param.preset) + "_" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace dgnn

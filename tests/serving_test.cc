@@ -1,0 +1,193 @@
+// Tests for the serving-side surface: parameter serialization, the
+// Recommender top-K API, and trainer early stopping.
+
+#include <algorithm>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "ag/serialize.h"
+#include "core/dgnn_model.h"
+#include "data/synthetic.h"
+#include "models/bpr_mf.h"
+#include "train/recommender.h"
+#include "train/trainer.h"
+
+namespace dgnn {
+namespace {
+
+data::Dataset TinyData() {
+  return data::GenerateSynthetic(data::SyntheticConfig::Tiny());
+}
+
+// ----- serialization ------------------------------------------------------
+
+TEST(SerializeTest, RoundTripsAllParameters) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  core::DgnnConfig c;
+  c.embedding_dim = 8;
+  c.num_memory_units = 2;
+  core::DgnnModel trained(g, c);
+  // Perturb so values differ from a fresh model.
+  for (auto& p : trained.params().params()) {
+    p->value.Scale(1.5f);
+  }
+  const std::string path = ::testing::TempDir() + "/dgnn_params.bin";
+  ASSERT_TRUE(ag::SaveParameters(trained.params(), path).ok());
+
+  core::DgnnModel fresh(g, c);
+  ag::Tensor before = fresh.params().params()[0]->value;
+  auto loaded = ag::LoadParameters(fresh.params(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  for (size_t i = 0; i < fresh.params().params().size(); ++i) {
+    EXPECT_EQ(fresh.params().params()[i]->value.MaxAbsDiff(
+                  trained.params().params()[i]->value),
+              0.0f)
+        << fresh.params().params()[i]->name;
+  }
+  // And the values actually changed from the fresh init.
+  EXPECT_GT(fresh.params().params()[0]->value.MaxAbsDiff(before), 0.0f);
+}
+
+TEST(SerializeTest, LoadRejectsShapeMismatch) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  models::BprMf small(g, 8, 1);
+  const std::string path = ::testing::TempDir() + "/dgnn_params8.bin";
+  ASSERT_TRUE(ag::SaveParameters(small.params(), path).ok());
+  models::BprMf bigger(g, 16, 1);
+  auto status = ag::LoadParameters(bigger.params(), path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializeTest, LoadRejectsMissingFileAndGarbage) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  models::BprMf model(g, 8, 1);
+  EXPECT_EQ(ag::LoadParameters(model.params(), "/nonexistent/params").code(),
+            util::StatusCode::kNotFound);
+  const std::string path = ::testing::TempDir() + "/dgnn_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a parameter file";
+  }
+  EXPECT_EQ(ag::LoadParameters(model.params(), path).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, InferenceIdenticalAfterReload) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  core::DgnnConfig c;
+  c.embedding_dim = 8;
+  c.num_memory_units = 2;
+  core::DgnnModel model(g, c);
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  train::Trainer trainer(&model, ds, tc);
+  trainer.Fit();
+  const std::string path = ::testing::TempDir() + "/dgnn_trained.bin";
+  ASSERT_TRUE(ag::SaveParameters(model.params(), path).ok());
+
+  core::DgnnModel reloaded(g, c);
+  ASSERT_TRUE(ag::LoadParameters(reloaded.params(), path).ok());
+  ag::Tape t1, t2;
+  auto f1 = model.Forward(t1, false);
+  auto f2 = reloaded.Forward(t2, false);
+  EXPECT_EQ(t1.val(f1.users).MaxAbsDiff(t2.val(f2.users)), 0.0f);
+  EXPECT_EQ(t1.val(f1.items).MaxAbsDiff(t2.val(f2.items)), 0.0f);
+}
+
+// ----- Recommender ----------------------------------------------------------
+
+class RecommenderTest : public ::testing::Test {
+ protected:
+  RecommenderTest()
+      : dataset_(TinyData()), graph_(dataset_),
+        model_(graph_, 8, 5),
+        recommender_(model_, dataset_) {}
+  data::Dataset dataset_;
+  graph::HeteroGraph graph_;
+  models::BprMf model_;
+  train::Recommender recommender_;
+};
+
+TEST_F(RecommenderTest, TopKExcludesSeenItems) {
+  auto seen = dataset_.TrainItemsByUser();
+  for (int32_t u = 0; u < std::min(dataset_.num_users, 10); ++u) {
+    auto top = recommender_.TopK(u, 20);
+    EXPECT_LE(top.size(), 20u);
+    for (const auto& s : top) {
+      EXPECT_FALSE(std::binary_search(seen[u].begin(), seen[u].end(),
+                                      s.item))
+          << "recommended an already-seen item";
+    }
+  }
+}
+
+TEST_F(RecommenderTest, TopKScoresDescending) {
+  auto top = recommender_.TopK(0, 15);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+TEST_F(RecommenderTest, TopKMatchesScore) {
+  auto top = recommender_.TopK(2, 5);
+  ASSERT_FALSE(top.empty());
+  for (const auto& s : top) {
+    EXPECT_FLOAT_EQ(s.score, recommender_.Score(2, s.item));
+  }
+}
+
+TEST_F(RecommenderTest, KLargerThanCatalogClamped) {
+  auto top = recommender_.TopK(0, dataset_.num_items * 2);
+  auto seen = dataset_.TrainItemsByUser();
+  EXPECT_EQ(top.size(), static_cast<size_t>(dataset_.num_items) -
+                            seen[0].size());
+}
+
+TEST_F(RecommenderTest, SimilarUsersExcludesSelfAndIsBounded) {
+  auto similar = recommender_.SimilarUsers(3, 5);
+  EXPECT_EQ(similar.size(), 5u);
+  for (const auto& s : similar) {
+    EXPECT_NE(s.item, 3);
+    EXPECT_GE(s.score, -1.0001f);
+    EXPECT_LE(s.score, 1.0001f);
+  }
+}
+
+// ----- early stopping ------------------------------------------------------
+
+TEST(EarlyStopTest, StopsWhenMetricPlateaus) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  models::BprMf model(g, 8, 3);
+  train::TrainConfig tc;
+  tc.epochs = 200;  // far more than needed
+  tc.batch_size = 128;
+  tc.eval_every = 2;
+  tc.early_stop_patience = 3;
+  train::Trainer trainer(&model, ds, tc);
+  auto result = trainer.Fit();
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_LT(result.epochs.size(), 200u);
+}
+
+TEST(EarlyStopTest, DisabledByDefault) {
+  data::Dataset ds = TinyData();
+  graph::HeteroGraph g(ds);
+  models::BprMf model(g, 8, 3);
+  train::TrainConfig tc;
+  tc.epochs = 6;
+  tc.eval_every = 1;
+  train::Trainer trainer(&model, ds, tc);
+  auto result = trainer.Fit();
+  EXPECT_FALSE(result.stopped_early);
+  EXPECT_EQ(result.epochs.size(), 6u);
+}
+
+}  // namespace
+}  // namespace dgnn

@@ -1,0 +1,274 @@
+// Forward-value correctness of the autograd ops (gradients are covered by
+// grad_check_test.cc).
+
+#include "ag/tape.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/coo.h"
+
+namespace dgnn::ag {
+namespace {
+
+TEST(TapeTest, ConstantHoldsValue) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(1, 2, {1, 2}));
+  EXPECT_FALSE(t.requires_grad(a));
+  EXPECT_EQ(t.val(a).at(0, 1), 2.0f);
+}
+
+TEST(TapeTest, ParamCopiesValueAndRequiresGrad) {
+  ParamStore store;
+  Parameter* p = store.Create("p", Tensor::FromVector(1, 2, {3, 4}));
+  Tape t;
+  VarId a = t.Param(p);
+  EXPECT_TRUE(t.requires_grad(a));
+  EXPECT_EQ(t.val(a).at(0, 0), 3.0f);
+}
+
+TEST(TapeTest, MatMulPlain) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6}));
+  VarId b = t.Constant(Tensor::FromVector(3, 2, {7, 8, 9, 10, 11, 12}));
+  VarId c = t.MatMul(a, b);
+  EXPECT_EQ(t.val(c).rows(), 2);
+  EXPECT_EQ(t.val(c).cols(), 2);
+  EXPECT_FLOAT_EQ(t.val(c).at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(t.val(c).at(1, 1), 154.0f);
+}
+
+TEST(TapeTest, MatMulTransposeFlagsAgree) {
+  Tape t;
+  Tensor a = Tensor::FromVector(2, 3, {1, -2, 3, 0.5f, 5, -6});
+  Tensor b = Tensor::FromVector(2, 3, {7, 8, -9, 1, -1, 2});
+  // a @ b^T computed two ways: with the flag, and with manual transpose.
+  VarId va = t.Constant(a);
+  VarId vb = t.Constant(b);
+  VarId c1 = t.MatMul(va, vb, false, true);
+  Tensor bt(3, 2);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) bt.at(c, r) = b.at(r, c);
+  }
+  VarId c2 = t.MatMul(va, t.Constant(bt));
+  EXPECT_LT(t.val(c1).MaxAbsDiff(t.val(c2)), 1e-6f);
+  // a^T @ b likewise.
+  VarId c3 = t.MatMul(va, vb, true, false);
+  Tensor at(3, 2);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) at.at(c, r) = a.at(r, c);
+  }
+  VarId c4 = t.MatMul(t.Constant(at), vb);
+  EXPECT_LT(t.val(c3).MaxAbsDiff(t.val(c4)), 1e-6f);
+}
+
+TEST(TapeTest, AddSubMul) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(1, 3, {1, 2, 3}));
+  VarId b = t.Constant(Tensor::FromVector(1, 3, {4, 5, 6}));
+  EXPECT_FLOAT_EQ(t.val(t.Add(a, b)).at(0, 2), 9.0f);
+  EXPECT_FLOAT_EQ(t.val(t.Sub(a, b)).at(0, 0), -3.0f);
+  EXPECT_FLOAT_EQ(t.val(t.Mul(a, b)).at(0, 1), 10.0f);
+}
+
+TEST(TapeTest, AddRowBroadcast) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  VarId b = t.Constant(Tensor::FromVector(1, 2, {10, 20}));
+  const Tensor& out = t.val(t.AddRowBroadcast(a, b));
+  EXPECT_FLOAT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 24.0f);
+}
+
+TEST(TapeTest, RowScale) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  VarId s = t.Constant(Tensor::FromVector(2, 1, {2, -1}));
+  const Tensor& out = t.val(t.RowScale(a, s));
+  EXPECT_FLOAT_EQ(out.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), -3.0f);
+}
+
+TEST(TapeTest, Activations) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(1, 2, {-1, 2}));
+  EXPECT_FLOAT_EQ(t.val(t.LeakyRelu(a, 0.2f)).at(0, 0), -0.2f);
+  EXPECT_FLOAT_EQ(t.val(t.LeakyRelu(a, 0.2f)).at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(t.val(t.Relu(a)).at(0, 0), 0.0f);
+  EXPECT_NEAR(t.val(t.Sigmoid(a)).at(0, 1), 1.0 / (1.0 + std::exp(-2.0)),
+              1e-6);
+  EXPECT_NEAR(t.val(t.Tanh(a)).at(0, 0), std::tanh(-1.0), 1e-6);
+  EXPECT_NEAR(t.val(t.Exp(a)).at(0, 1), std::exp(2.0), 1e-4);
+}
+
+TEST(TapeTest, SpMMMatchesDense) {
+  graph::CooMatrix coo;
+  coo.rows = 2;
+  coo.cols = 3;
+  coo.Add(0, 0, 1.0f);
+  coo.Add(0, 2, 2.0f);
+  coo.Add(1, 1, -1.0f);
+  graph::CsrMatrix adj = graph::CsrMatrix::FromCoo(coo);
+  Tape t;
+  VarId b = t.Constant(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}));
+  const Tensor& out = t.val(t.SpMM(&adj, nullptr, b));
+  // Row 0: 1*[1,2] + 2*[5,6] = [11,14]; row 1: -1*[3,4].
+  EXPECT_FLOAT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 14.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), -3.0f);
+}
+
+TEST(TapeTest, GatherRows) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}));
+  const Tensor& out = t.val(t.GatherRows(a, {2, 0, 2}));
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(2, 1), 6.0f);
+}
+
+TEST(TapeTest, SegmentSum) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(3, 2, {1, 2, 3, 4, 5, 6}));
+  const Tensor& out = t.val(t.SegmentSum(a, {1, 1, 0}, 2));
+  EXPECT_FLOAT_EQ(out.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 6.0f);
+}
+
+TEST(TapeTest, SegmentSoftmaxNormalizesWithinSegments) {
+  Tape t;
+  VarId s = t.Constant(Tensor::FromVector(4, 1, {1, 2, 3, 100}));
+  const Tensor& out = t.val(t.SegmentSoftmax(s, {0, 0, 1, 1}, 2));
+  EXPECT_NEAR(out.at(0, 0) + out.at(1, 0), 1.0, 1e-6);
+  EXPECT_NEAR(out.at(2, 0) + out.at(3, 0), 1.0, 1e-6);
+  EXPECT_GT(out.at(1, 0), out.at(0, 0));
+  // Large score dominates without overflowing.
+  EXPECT_NEAR(out.at(3, 0), 1.0, 1e-6);
+}
+
+TEST(TapeTest, ConcatColsAndRows) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(2, 1, {1, 2}));
+  VarId b = t.Constant(Tensor::FromVector(2, 2, {3, 4, 5, 6}));
+  const Tensor& cc = t.val(t.ConcatCols({a, b}));
+  EXPECT_EQ(cc.cols(), 3);
+  EXPECT_FLOAT_EQ(cc.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cc.at(1, 2), 6.0f);
+  VarId c = t.Constant(Tensor::FromVector(1, 1, {9}));
+  const Tensor& cr = t.val(t.ConcatRows({a, c}));
+  EXPECT_EQ(cr.rows(), 3);
+  EXPECT_FLOAT_EQ(cr.at(2, 0), 9.0f);
+}
+
+TEST(TapeTest, ColExtracts) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6}));
+  const Tensor& out = t.val(t.Col(a, 1));
+  EXPECT_EQ(out.cols(), 1);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 5.0f);
+}
+
+TEST(TapeTest, LayerNormRowsAreStandardized) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(1, 4, {1, 2, 3, 4}));
+  VarId gamma = t.Constant(Tensor::Full(1, 4, 1.0f));
+  VarId beta = t.Constant(Tensor(1, 4));
+  const Tensor& out = t.val(t.LayerNorm(a, gamma, beta));
+  float mean = 0.0f;
+  for (int c = 0; c < 4; ++c) mean += out.at(0, c);
+  EXPECT_NEAR(mean, 0.0f, 1e-5);
+  float var = 0.0f;
+  for (int c = 0; c < 4; ++c) var += out.at(0, c) * out.at(0, c);
+  EXPECT_NEAR(var / 4.0f, 1.0f, 1e-3);
+}
+
+TEST(TapeTest, RowL2NormalizeUnitNorm) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(2, 2, {3, 4, 0.1f, 0}));
+  const Tensor& out = t.val(t.RowL2Normalize(a));
+  EXPECT_NEAR(out.at(0, 0), 0.6f, 1e-5);
+  EXPECT_NEAR(out.at(0, 1), 0.8f, 1e-5);
+}
+
+TEST(TapeTest, RowDotAndReductions) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(2, 2, {1, 2, 3, 4}));
+  VarId b = t.Constant(Tensor::FromVector(2, 2, {5, 6, 7, 8}));
+  const Tensor& dot = t.val(t.RowDot(a, b));
+  EXPECT_FLOAT_EQ(dot.at(0, 0), 17.0f);
+  EXPECT_FLOAT_EQ(dot.at(1, 0), 53.0f);
+  EXPECT_FLOAT_EQ(t.val(t.SumAll(a)).scalar(), 10.0f);
+  EXPECT_FLOAT_EQ(t.val(t.MeanAll(a)).scalar(), 2.5f);
+  EXPECT_FLOAT_EQ(t.val(t.L2(a)).scalar(), 30.0f);
+  const Tensor& mr = t.val(t.MeanRows(a));
+  EXPECT_FLOAT_EQ(mr.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(mr.at(0, 1), 3.0f);
+}
+
+TEST(TapeTest, RowSoftmaxSumsToOne) {
+  Tape t;
+  VarId a = t.Constant(Tensor::FromVector(2, 3, {1, 2, 3, -50, 0, 50}));
+  const Tensor& out = t.val(t.RowSoftmax(a));
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) sum += out.at(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  EXPECT_NEAR(out.at(1, 2), 1.0f, 1e-5);
+}
+
+TEST(TapeTest, BprLossValue) {
+  Tape t;
+  VarId pos = t.Constant(Tensor::FromVector(2, 1, {2, 1}));
+  VarId neg = t.Constant(Tensor::FromVector(2, 1, {1, 1}));
+  const float expected =
+      0.5f * (std::log(1 + std::exp(-1.0f)) + std::log(2.0f));
+  EXPECT_NEAR(t.val(t.BprLoss(pos, neg)).scalar(), expected, 1e-5);
+}
+
+TEST(TapeTest, BackwardAccumulatesIntoParams) {
+  ParamStore store;
+  Parameter* p = store.Create("p", Tensor::FromVector(1, 2, {1, 2}));
+  Tape t;
+  VarId a = t.Param(p);
+  VarId loss = t.SumAll(t.Mul(a, a));  // d/dp sum(p^2) = 2p
+  t.Backward(loss);
+  EXPECT_FLOAT_EQ(p->grad.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(p->grad.at(0, 1), 4.0f);
+  // Second pass accumulates.
+  Tape t2;
+  VarId a2 = t2.Param(p);
+  t2.Backward(t2.SumAll(a2));
+  EXPECT_FLOAT_EQ(p->grad.at(0, 0), 3.0f);
+}
+
+TEST(TapeTest, DropoutDisabledOutsideTraining) {
+  util::Rng rng(3);
+  Tape t;
+  VarId a = t.Constant(Tensor::Full(10, 10, 1.0f));
+  VarId out = t.Dropout(a, 0.5f, rng, /*training=*/false);
+  EXPECT_EQ(out, a);
+}
+
+TEST(TapeTest, DropoutMasksAndRescales) {
+  util::Rng rng(3);
+  Tape t;
+  VarId a = t.Constant(Tensor::Full(50, 50, 1.0f));
+  const Tensor& out = t.val(t.Dropout(a, 0.4f, rng, /*training=*/true));
+  int zeros = 0;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(out.data()[i], 1.0f / 0.6f, 1e-5);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / out.size(), 0.4, 0.05);
+}
+
+}  // namespace
+}  // namespace dgnn::ag

@@ -1,0 +1,113 @@
+#include "ag/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dgnn::ag {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rows(), 0);
+  EXPECT_EQ(t.cols(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, ConstructionZeroFills) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 4; ++c) EXPECT_EQ(t.at(r, c), 0.0f);
+  }
+}
+
+TEST(TensorTest, FromVectorRoundTrips) {
+  Tensor t = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(TensorTest, ScalarAccessor) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.rows(), 1);
+  EXPECT_EQ(s.cols(), 1);
+  EXPECT_FLOAT_EQ(s.scalar(), 2.5f);
+}
+
+TEST(TensorTest, FillAndZero) {
+  Tensor t(2, 2);
+  t.Fill(3.0f);
+  EXPECT_EQ(t.at(1, 1), 3.0f);
+  t.Zero();
+  EXPECT_EQ(t.at(1, 1), 0.0f);
+}
+
+TEST(TensorTest, AddAndAxpy) {
+  Tensor a = Tensor::FromVector(1, 3, {1, 2, 3});
+  Tensor b = Tensor::FromVector(1, 3, {10, 20, 30});
+  a.Add(b);
+  EXPECT_EQ(a.at(0, 1), 22.0f);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a.at(0, 2), 33.0f + 15.0f);
+}
+
+TEST(TensorTest, ScaleAndSquaredL2) {
+  Tensor a = Tensor::FromVector(1, 2, {3, 4});
+  EXPECT_FLOAT_EQ(a.SquaredL2(), 25.0f);
+  a.Scale(2.0f);
+  EXPECT_FLOAT_EQ(a.SquaredL2(), 100.0f);
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a = Tensor::FromVector(1, 3, {1, 2, 3});
+  Tensor b = Tensor::FromVector(1, 3, {1, 2.5f, 2});
+  EXPECT_FLOAT_EQ(a.MaxAbsDiff(b), 1.0f);
+}
+
+TEST(TensorTest, XavierUniformBounds) {
+  util::Rng rng(1);
+  Tensor t = Tensor::XavierUniform(50, 30, rng);
+  const float bound = std::sqrt(6.0f / (50 + 30));
+  float min_v = 1e9f;
+  float max_v = -1e9f;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    min_v = std::min(min_v, t.data()[i]);
+    max_v = std::max(max_v, t.data()[i]);
+  }
+  EXPECT_GE(min_v, -bound);
+  EXPECT_LE(max_v, bound);
+  // Should actually use the range, not collapse to a constant.
+  EXPECT_GT(max_v - min_v, bound);
+}
+
+TEST(TensorTest, GaussianInitHasSpread) {
+  util::Rng rng(2);
+  Tensor t = Tensor::GaussianInit(100, 10, 0.1f, rng);
+  double mean = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) mean += t.data()[i];
+  mean /= static_cast<double>(t.size());
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    var += (t.data()[i] - mean) * (t.data()[i] - mean);
+  }
+  var /= static_cast<double>(t.size());
+  EXPECT_NEAR(var, 0.01, 0.004);
+}
+
+TEST(TensorTest, RowAccessorMatchesAt) {
+  Tensor t = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t.row(1)[0], t.at(1, 0));
+  EXPECT_EQ(t.row(1)[1], t.at(1, 1));
+}
+
+}  // namespace
+}  // namespace dgnn::ag

@@ -1,0 +1,162 @@
+#include "train/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ag/adam.h"
+#include "data/synthetic.h"
+#include "models/bpr_mf.h"
+
+namespace dgnn::train {
+namespace {
+
+// ----- Adam ---------------------------------------------------------------
+
+TEST(AdamTest, MinimizesQuadratic) {
+  ag::ParamStore store;
+  ag::Parameter* x = store.Create("x", ag::Tensor::FromVector(1, 2, {5, -3}));
+  ag::AdamConfig cfg;
+  cfg.learning_rate = 0.1f;
+  ag::AdamOptimizer adam(&store, cfg);
+  for (int step = 0; step < 300; ++step) {
+    ag::Tape tape;
+    ag::VarId v = tape.Param(x);
+    // loss = |x - (1, 2)|^2
+    ag::VarId target = tape.Constant(ag::Tensor::FromVector(1, 2, {1, 2}));
+    ag::VarId diff = tape.Sub(v, target);
+    tape.Backward(tape.L2(diff));
+    adam.Step();
+  }
+  EXPECT_NEAR(x->value.at(0, 0), 1.0f, 1e-2);
+  EXPECT_NEAR(x->value.at(0, 1), 2.0f, 1e-2);
+}
+
+TEST(AdamTest, WeightDecayShrinksUnusedParams) {
+  ag::ParamStore store;
+  ag::Parameter* used = store.Create("used", ag::Tensor::FromVector(1, 1, {1}));
+  ag::Parameter* unused =
+      store.Create("unused", ag::Tensor::FromVector(1, 1, {1}));
+  ag::AdamConfig cfg;
+  cfg.learning_rate = 0.05f;
+  cfg.weight_decay = 0.5f;
+  ag::AdamOptimizer adam(&store, cfg);
+  for (int step = 0; step < 100; ++step) {
+    ag::Tape tape;
+    tape.Backward(tape.L2(tape.Param(used)));
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(unused->value.at(0, 0)), 0.2f);
+}
+
+TEST(AdamTest, AnchoredDecayPullsTowardAnchor) {
+  ag::ParamStore store;
+  ag::Parameter* p = store.Create("p", ag::Tensor::FromVector(1, 1, {5}));
+  p->anchor = ag::Tensor::FromVector(1, 1, {2});
+  ag::AdamConfig cfg;
+  cfg.learning_rate = 0.05f;
+  cfg.weight_decay = 0.5f;
+  ag::AdamOptimizer adam(&store, cfg);
+  for (int step = 0; step < 300; ++step) {
+    ag::Tape tape;
+    tape.Param(p);  // no gradient: pure decay
+    store.ZeroGrad();
+    adam.Step();
+  }
+  EXPECT_NEAR(p->value.at(0, 0), 2.0f, 0.2f);
+}
+
+TEST(AdamTest, LrScaleSlowsParameter) {
+  ag::ParamStore store;
+  ag::Parameter* fast = store.Create("fast", ag::Tensor::FromVector(1, 1, {5}));
+  ag::Parameter* slow = store.Create("slow", ag::Tensor::FromVector(1, 1, {5}));
+  slow->lr_scale = 0.1f;
+  ag::AdamConfig cfg;
+  cfg.learning_rate = 0.05f;
+  ag::AdamOptimizer adam(&store, cfg);
+  for (int step = 0; step < 20; ++step) {
+    ag::Tape tape;
+    ag::VarId loss =
+        tape.Add(tape.L2(tape.Param(fast)), tape.L2(tape.Param(slow)));
+    tape.Backward(loss);
+    adam.Step();
+  }
+  // The scaled parameter stays much closer to its starting point.
+  EXPECT_LT(std::fabs(slow->value.at(0, 0) - 5.0f),
+            0.5f * std::fabs(fast->value.at(0, 0) - 5.0f));
+}
+
+// ----- Trainer --------------------------------------------------------------
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  TrainerTest()
+      : dataset_(data::GenerateSynthetic(data::SyntheticConfig::Tiny())),
+        graph_(dataset_) {}
+  data::Dataset dataset_;
+  graph::HeteroGraph graph_;
+};
+
+TEST_F(TrainerTest, FitProducesTracesAndMetrics) {
+  models::BprMf model(graph_, 8, 3);
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 128;
+  tc.eval_every = 2;
+  tc.eval_cutoffs = {5, 10};
+  Trainer trainer(&model, dataset_, tc);
+  auto result = trainer.Fit();
+  ASSERT_EQ(result.epochs.size(), 5u);
+  EXPECT_TRUE(result.epochs[1].evaluated);   // epoch 2
+  EXPECT_FALSE(result.epochs[0].evaluated);  // epoch 1
+  EXPECT_GT(result.final_metrics.num_users, 0);
+  EXPECT_GT(result.total_train_seconds, 0.0);
+  EXPECT_NEAR(result.mean_epoch_train_seconds * 5.0,
+              result.total_train_seconds, 1e-9);
+  // Metrics exist for both cutoffs.
+  EXPECT_TRUE(result.final_metrics.hr.count(5));
+  EXPECT_TRUE(result.final_metrics.hr.count(10));
+}
+
+TEST_F(TrainerTest, LossDecreasesOverTraining) {
+  models::BprMf model(graph_, 8, 3);
+  TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 128;
+  Trainer trainer(&model, dataset_, tc);
+  auto result = trainer.Fit();
+  EXPECT_LT(result.epochs.back().loss, result.epochs.front().loss);
+  // BPR starts near log(2).
+  EXPECT_NEAR(result.epochs.front().loss, std::log(2.0), 0.2);
+}
+
+TEST_F(TrainerTest, DeterministicGivenSeed) {
+  auto run = [&]() {
+    models::BprMf model(graph_, 8, 3);
+    TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 128;
+    tc.seed = 99;
+    Trainer trainer(&model, dataset_, tc);
+    return trainer.Fit().final_metrics.hr[10];
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(TrainerTest, L2RegularizationShrinksLossLess) {
+  // With heavy L2 the effective ranking objective is dominated by the
+  // penalty, so the BPR loss decreases less than without.
+  auto final_loss = [&](float l2) {
+    models::BprMf model(graph_, 8, 3);
+    TrainConfig tc;
+    tc.epochs = 10;
+    tc.batch_size = 128;
+    tc.l2_reg = l2;
+    Trainer trainer(&model, dataset_, tc);
+    return trainer.Fit().epochs.back().loss;
+  };
+  EXPECT_LT(final_loss(0.0f), final_loss(10.0f));
+}
+
+}  // namespace
+}  // namespace dgnn::train

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace dgnn::util {
+namespace {
+
+// ----- Rng ------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    any_diff = any_diff || (a.NextUint64() != b.NextUint64());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  double sum = 0.0, sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.06);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 5000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 5000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(6);
+  for (int64_t k : {0L, 3L, 50L, 100L}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    std::set<int64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(static_cast<int64_t>(unique.size()), k);
+    for (int64_t v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(7);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 4000.0, 0.75, 0.04);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(8);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(9);
+  Rng b = a.Fork();
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+// ----- strings ---------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a\t\tb\t", '\t');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, ParseIntStrict) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt(" -7 ").value(), -7);
+  EXPECT_FALSE(ParseInt("4x").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("1.5").ok());
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringsTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// ----- Status ------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing file");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing file");
+}
+
+TEST(StatusTest, StatusOrHoldsValue) {
+  StatusOr<int> v = 42;
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  StatusOr<int> e = Status::InvalidArgument("bad");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fn = [](bool fail) -> Status {
+    DGNN_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::Ok());
+    return Status::Ok();
+  };
+  EXPECT_TRUE(fn(false).ok());
+  EXPECT_EQ(fn(true).code(), StatusCode::kInternal);
+}
+
+// ----- Flags ---------------------------------------------------------------
+
+TEST(FlagsTest, ParsesKeyValueAndBare) {
+  const char* argv[] = {"prog", "--epochs=12", "--verbose",
+                        "--name=foo bar"};
+  Flags flags(4, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("epochs", 0), 12);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetString("name", ""), "foo bar");
+  EXPECT_EQ(flags.GetInt("absent", 5), 5);
+  EXPECT_FALSE(flags.Has("absent"));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("absent", 1.5), 1.5);
+}
+
+// ----- Table ---------------------------------------------------------------
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"Model", "HR"});
+  t.AddRow({"DGNN", "0.70"});
+  t.AddRow({"LightGCN", "0.63"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("DGNN"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Every line has the same width.
+  auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].size(), lines[1].size());
+  EXPECT_EQ(lines[1].size(), lines[2].size());
+}
+
+}  // namespace
+}  // namespace dgnn::util

@@ -1,0 +1,109 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "viz/cluster_metrics.h"
+#include "viz/tsne.h"
+
+namespace dgnn::viz {
+namespace {
+
+// Two well-separated Gaussian blobs in 8-D with labels.
+struct Blobs {
+  Blobs() : points(40, 8), labels(40) {
+    util::Rng rng(11);
+    for (int64_t i = 0; i < 40; ++i) {
+      const int label = i < 20 ? 0 : 1;
+      labels[static_cast<size_t>(i)] = label;
+      for (int64_t c = 0; c < 8; ++c) {
+        points.at(i, c) = static_cast<float>(
+            rng.Gaussian(label == 0 ? -3.0 : 3.0, 0.5));
+      }
+    }
+  }
+  ag::Tensor points;
+  std::vector<int32_t> labels;
+};
+
+TEST(TsneTest, OutputShape) {
+  Blobs blobs;
+  TsneConfig cfg;
+  cfg.iterations = 100;
+  ag::Tensor out = Tsne(blobs.points, cfg);
+  EXPECT_EQ(out.rows(), 40);
+  EXPECT_EQ(out.cols(), 2);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.data()[i]));
+  }
+}
+
+TEST(TsneTest, SeparatesBlobs) {
+  Blobs blobs;
+  TsneConfig cfg;
+  cfg.iterations = 250;
+  ag::Tensor out = Tsne(blobs.points, cfg);
+  // The embedding should keep the two blobs apart: intra distances much
+  // smaller than inter distances, and near-perfect neighbor purity.
+  EXPECT_LT(IntraInterDistanceRatio(out, blobs.labels), 0.5);
+  EXPECT_GT(NeighborPurity(out, blobs.labels, 5), 0.9);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  Blobs blobs;
+  TsneConfig cfg;
+  cfg.iterations = 60;
+  ag::Tensor a = Tsne(blobs.points, cfg);
+  ag::Tensor b = Tsne(blobs.points, cfg);
+  EXPECT_EQ(a.MaxAbsDiff(b), 0.0f);
+}
+
+TEST(ClusterMetricsTest, RatioOrdersSeparations) {
+  Blobs blobs;
+  // Raw high-dimensional blobs are already separated.
+  const double separated = IntraInterDistanceRatio(blobs.points, blobs.labels);
+  // Random labels should give ratio ~1.
+  std::vector<int32_t> random_labels(40);
+  util::Rng rng(3);
+  for (auto& l : random_labels) l = static_cast<int32_t>(rng.UniformInt(2));
+  const double shuffled =
+      IntraInterDistanceRatio(blobs.points, random_labels);
+  EXPECT_LT(separated, 0.4);
+  EXPECT_GT(shuffled, 0.8);
+}
+
+TEST(ClusterMetricsTest, NeighborPurityBounds) {
+  Blobs blobs;
+  const double purity = NeighborPurity(blobs.points, blobs.labels, 3);
+  EXPECT_GT(purity, 0.95);
+  EXPECT_LE(purity, 1.0);
+}
+
+TEST(ClusterMetricsTest, MeanPairCosineIdenticalRows) {
+  ag::Tensor v(4, 3);
+  for (int64_t r = 0; r < 4; ++r) {
+    v.at(r, 0) = 1.0f;
+    v.at(r, 1) = 2.0f;
+  }
+  EXPECT_NEAR(MeanPairCosine(v, {{0, 1}, {2, 3}}), 1.0, 1e-6);
+  EXPECT_EQ(MeanPairCosine(v, {}), 0.0);
+}
+
+TEST(ClusterMetricsTest, CenterColumnsZeroesMeans) {
+  util::Rng rng(5);
+  ag::Tensor v = ag::Tensor::GaussianInit(30, 4, 1.0f, rng);
+  ag::Tensor centered = CenterColumns(v);
+  for (int64_t c = 0; c < 4; ++c) {
+    double mean = 0.0;
+    for (int64_t r = 0; r < 30; ++r) mean += centered.at(r, c);
+    EXPECT_NEAR(mean / 30.0, 0.0, 1e-5);
+  }
+}
+
+TEST(ClusterMetricsTest, RandomPairCosineNearZeroForRandomVectors) {
+  util::Rng rng(6);
+  ag::Tensor v = ag::Tensor::GaussianInit(200, 16, 1.0f, rng);
+  EXPECT_NEAR(MeanRandomPairCosine(v, 500, 1), 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace dgnn::viz
