@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_module_ablation.cc" "bench/CMakeFiles/bench_fig4_module_ablation.dir/bench_fig4_module_ablation.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_module_ablation.dir/bench_fig4_module_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dgnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dgnn_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/dgnn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/dgnn_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/ag/CMakeFiles/dgnn_ag.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dgnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dgnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hyperparams.dir/bench_fig7_hyperparams.cc.o"
+  "CMakeFiles/bench_fig7_hyperparams.dir/bench_fig7_hyperparams.cc.o.d"
+  "bench_fig7_hyperparams"
+  "bench_fig7_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

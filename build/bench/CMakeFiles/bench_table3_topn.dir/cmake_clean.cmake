@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_topn.dir/bench_table3_topn.cc.o"
+  "CMakeFiles/bench_table3_topn.dir/bench_table3_topn.cc.o.d"
+  "bench_table3_topn"
+  "bench_table3_topn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_topn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

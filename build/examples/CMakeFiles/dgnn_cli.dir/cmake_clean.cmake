@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgnn_cli.dir/dgnn_cli.cpp.o"
+  "CMakeFiles/dgnn_cli.dir/dgnn_cli.cpp.o.d"
+  "dgnn_cli"
+  "dgnn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgnn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_relations.dir/knowledge_relations.cpp.o"
+  "CMakeFiles/knowledge_relations.dir/knowledge_relations.cpp.o.d"
+  "knowledge_relations"
+  "knowledge_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

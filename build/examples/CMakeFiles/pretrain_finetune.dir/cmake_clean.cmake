@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrain_finetune.dir/pretrain_finetune.cpp.o"
+  "CMakeFiles/pretrain_finetune.dir/pretrain_finetune.cpp.o.d"
+  "pretrain_finetune"
+  "pretrain_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrain_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

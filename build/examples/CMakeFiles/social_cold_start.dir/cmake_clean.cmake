@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_cold_start.dir/social_cold_start.cpp.o"
+  "CMakeFiles/social_cold_start.dir/social_cold_start.cpp.o.d"
+  "social_cold_start"
+  "social_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

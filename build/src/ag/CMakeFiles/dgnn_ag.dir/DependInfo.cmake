@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ag/adam.cc" "src/ag/CMakeFiles/dgnn_ag.dir/adam.cc.o" "gcc" "src/ag/CMakeFiles/dgnn_ag.dir/adam.cc.o.d"
+  "/root/repo/src/ag/grad_check.cc" "src/ag/CMakeFiles/dgnn_ag.dir/grad_check.cc.o" "gcc" "src/ag/CMakeFiles/dgnn_ag.dir/grad_check.cc.o.d"
+  "/root/repo/src/ag/serialize.cc" "src/ag/CMakeFiles/dgnn_ag.dir/serialize.cc.o" "gcc" "src/ag/CMakeFiles/dgnn_ag.dir/serialize.cc.o.d"
+  "/root/repo/src/ag/tape.cc" "src/ag/CMakeFiles/dgnn_ag.dir/tape.cc.o" "gcc" "src/ag/CMakeFiles/dgnn_ag.dir/tape.cc.o.d"
+  "/root/repo/src/ag/tensor.cc" "src/ag/CMakeFiles/dgnn_ag.dir/tensor.cc.o" "gcc" "src/ag/CMakeFiles/dgnn_ag.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dgnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dgnn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgnn_ag.dir/adam.cc.o"
+  "CMakeFiles/dgnn_ag.dir/adam.cc.o.d"
+  "CMakeFiles/dgnn_ag.dir/grad_check.cc.o"
+  "CMakeFiles/dgnn_ag.dir/grad_check.cc.o.d"
+  "CMakeFiles/dgnn_ag.dir/serialize.cc.o"
+  "CMakeFiles/dgnn_ag.dir/serialize.cc.o.d"
+  "CMakeFiles/dgnn_ag.dir/tape.cc.o"
+  "CMakeFiles/dgnn_ag.dir/tape.cc.o.d"
+  "CMakeFiles/dgnn_ag.dir/tensor.cc.o"
+  "CMakeFiles/dgnn_ag.dir/tensor.cc.o.d"
+  "libdgnn_ag.a"
+  "libdgnn_ag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgnn_ag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dgnn_model.cc" "src/core/CMakeFiles/dgnn_core.dir/dgnn_model.cc.o" "gcc" "src/core/CMakeFiles/dgnn_core.dir/dgnn_model.cc.o.d"
+  "/root/repo/src/core/memory_encoder.cc" "src/core/CMakeFiles/dgnn_core.dir/memory_encoder.cc.o" "gcc" "src/core/CMakeFiles/dgnn_core.dir/memory_encoder.cc.o.d"
+  "/root/repo/src/core/model_zoo.cc" "src/core/CMakeFiles/dgnn_core.dir/model_zoo.cc.o" "gcc" "src/core/CMakeFiles/dgnn_core.dir/model_zoo.cc.o.d"
+  "/root/repo/src/core/pretrain.cc" "src/core/CMakeFiles/dgnn_core.dir/pretrain.cc.o" "gcc" "src/core/CMakeFiles/dgnn_core.dir/pretrain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ag/CMakeFiles/dgnn_ag.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dgnn_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dgnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dgnn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

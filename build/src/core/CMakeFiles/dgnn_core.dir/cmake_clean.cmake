@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgnn_core.dir/dgnn_model.cc.o"
+  "CMakeFiles/dgnn_core.dir/dgnn_model.cc.o.d"
+  "CMakeFiles/dgnn_core.dir/memory_encoder.cc.o"
+  "CMakeFiles/dgnn_core.dir/memory_encoder.cc.o.d"
+  "CMakeFiles/dgnn_core.dir/model_zoo.cc.o"
+  "CMakeFiles/dgnn_core.dir/model_zoo.cc.o.d"
+  "CMakeFiles/dgnn_core.dir/pretrain.cc.o"
+  "CMakeFiles/dgnn_core.dir/pretrain.cc.o.d"
+  "libdgnn_core.a"
+  "libdgnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

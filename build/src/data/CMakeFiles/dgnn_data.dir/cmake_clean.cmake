@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgnn_data.dir/dataset.cc.o"
+  "CMakeFiles/dgnn_data.dir/dataset.cc.o.d"
+  "CMakeFiles/dgnn_data.dir/io.cc.o"
+  "CMakeFiles/dgnn_data.dir/io.cc.o.d"
+  "CMakeFiles/dgnn_data.dir/sampler.cc.o"
+  "CMakeFiles/dgnn_data.dir/sampler.cc.o.d"
+  "CMakeFiles/dgnn_data.dir/synthetic.cc.o"
+  "CMakeFiles/dgnn_data.dir/synthetic.cc.o.d"
+  "libdgnn_data.a"
+  "libdgnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgnn_graph.dir/csr.cc.o"
+  "CMakeFiles/dgnn_graph.dir/csr.cc.o.d"
+  "CMakeFiles/dgnn_graph.dir/hetero_graph.cc.o"
+  "CMakeFiles/dgnn_graph.dir/hetero_graph.cc.o.d"
+  "libdgnn_graph.a"
+  "libdgnn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

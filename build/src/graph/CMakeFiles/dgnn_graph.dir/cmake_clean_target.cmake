@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgnn_graph.a"
+)

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bpr_mf.cc" "src/models/CMakeFiles/dgnn_models.dir/bpr_mf.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/bpr_mf.cc.o.d"
+  "/root/repo/src/models/common.cc" "src/models/CMakeFiles/dgnn_models.dir/common.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/common.cc.o.d"
+  "/root/repo/src/models/dgcf.cc" "src/models/CMakeFiles/dgnn_models.dir/dgcf.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/dgcf.cc.o.d"
+  "/root/repo/src/models/dgrec.cc" "src/models/CMakeFiles/dgnn_models.dir/dgrec.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/dgrec.cc.o.d"
+  "/root/repo/src/models/diffnet.cc" "src/models/CMakeFiles/dgnn_models.dir/diffnet.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/diffnet.cc.o.d"
+  "/root/repo/src/models/disenhan.cc" "src/models/CMakeFiles/dgnn_models.dir/disenhan.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/disenhan.cc.o.d"
+  "/root/repo/src/models/eatnn.cc" "src/models/CMakeFiles/dgnn_models.dir/eatnn.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/eatnn.cc.o.d"
+  "/root/repo/src/models/gccf.cc" "src/models/CMakeFiles/dgnn_models.dir/gccf.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/gccf.cc.o.d"
+  "/root/repo/src/models/graphrec.cc" "src/models/CMakeFiles/dgnn_models.dir/graphrec.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/graphrec.cc.o.d"
+  "/root/repo/src/models/han.cc" "src/models/CMakeFiles/dgnn_models.dir/han.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/han.cc.o.d"
+  "/root/repo/src/models/herec.cc" "src/models/CMakeFiles/dgnn_models.dir/herec.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/herec.cc.o.d"
+  "/root/repo/src/models/hgt.cc" "src/models/CMakeFiles/dgnn_models.dir/hgt.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/hgt.cc.o.d"
+  "/root/repo/src/models/kgat.cc" "src/models/CMakeFiles/dgnn_models.dir/kgat.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/kgat.cc.o.d"
+  "/root/repo/src/models/lightgcn.cc" "src/models/CMakeFiles/dgnn_models.dir/lightgcn.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/lightgcn.cc.o.d"
+  "/root/repo/src/models/mhcn.cc" "src/models/CMakeFiles/dgnn_models.dir/mhcn.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/mhcn.cc.o.d"
+  "/root/repo/src/models/ngcf.cc" "src/models/CMakeFiles/dgnn_models.dir/ngcf.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/ngcf.cc.o.d"
+  "/root/repo/src/models/samn.cc" "src/models/CMakeFiles/dgnn_models.dir/samn.cc.o" "gcc" "src/models/CMakeFiles/dgnn_models.dir/samn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ag/CMakeFiles/dgnn_ag.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dgnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dgnn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

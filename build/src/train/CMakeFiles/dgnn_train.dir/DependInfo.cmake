@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/beyond_accuracy.cc" "src/train/CMakeFiles/dgnn_train.dir/beyond_accuracy.cc.o" "gcc" "src/train/CMakeFiles/dgnn_train.dir/beyond_accuracy.cc.o.d"
+  "/root/repo/src/train/evaluator.cc" "src/train/CMakeFiles/dgnn_train.dir/evaluator.cc.o" "gcc" "src/train/CMakeFiles/dgnn_train.dir/evaluator.cc.o.d"
+  "/root/repo/src/train/metrics.cc" "src/train/CMakeFiles/dgnn_train.dir/metrics.cc.o" "gcc" "src/train/CMakeFiles/dgnn_train.dir/metrics.cc.o.d"
+  "/root/repo/src/train/recommender.cc" "src/train/CMakeFiles/dgnn_train.dir/recommender.cc.o" "gcc" "src/train/CMakeFiles/dgnn_train.dir/recommender.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/train/CMakeFiles/dgnn_train.dir/trainer.cc.o" "gcc" "src/train/CMakeFiles/dgnn_train.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ag/CMakeFiles/dgnn_ag.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dgnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dgnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dgnn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgnn_train.dir/beyond_accuracy.cc.o"
+  "CMakeFiles/dgnn_train.dir/beyond_accuracy.cc.o.d"
+  "CMakeFiles/dgnn_train.dir/evaluator.cc.o"
+  "CMakeFiles/dgnn_train.dir/evaluator.cc.o.d"
+  "CMakeFiles/dgnn_train.dir/metrics.cc.o"
+  "CMakeFiles/dgnn_train.dir/metrics.cc.o.d"
+  "CMakeFiles/dgnn_train.dir/recommender.cc.o"
+  "CMakeFiles/dgnn_train.dir/recommender.cc.o.d"
+  "CMakeFiles/dgnn_train.dir/trainer.cc.o"
+  "CMakeFiles/dgnn_train.dir/trainer.cc.o.d"
+  "libdgnn_train.a"
+  "libdgnn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgnn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgnn_util.dir/check.cc.o"
+  "CMakeFiles/dgnn_util.dir/check.cc.o.d"
+  "CMakeFiles/dgnn_util.dir/flags.cc.o"
+  "CMakeFiles/dgnn_util.dir/flags.cc.o.d"
+  "CMakeFiles/dgnn_util.dir/rng.cc.o"
+  "CMakeFiles/dgnn_util.dir/rng.cc.o.d"
+  "CMakeFiles/dgnn_util.dir/status.cc.o"
+  "CMakeFiles/dgnn_util.dir/status.cc.o.d"
+  "CMakeFiles/dgnn_util.dir/strings.cc.o"
+  "CMakeFiles/dgnn_util.dir/strings.cc.o.d"
+  "CMakeFiles/dgnn_util.dir/table.cc.o"
+  "CMakeFiles/dgnn_util.dir/table.cc.o.d"
+  "libdgnn_util.a"
+  "libdgnn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgnn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgnn_viz.dir/cluster_metrics.cc.o"
+  "CMakeFiles/dgnn_viz.dir/cluster_metrics.cc.o.d"
+  "CMakeFiles/dgnn_viz.dir/tsne.cc.o"
+  "CMakeFiles/dgnn_viz.dir/tsne.cc.o.d"
+  "libdgnn_viz.a"
+  "libdgnn_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgnn_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

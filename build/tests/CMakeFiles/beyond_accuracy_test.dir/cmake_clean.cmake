@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_accuracy_test.dir/beyond_accuracy_test.cc.o"
+  "CMakeFiles/beyond_accuracy_test.dir/beyond_accuracy_test.cc.o.d"
+  "beyond_accuracy_test"
+  "beyond_accuracy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgnn_model_test.dir/dgnn_model_test.cc.o"
+  "CMakeFiles/dgnn_model_test.dir/dgnn_model_test.cc.o.d"
+  "dgnn_model_test"
+  "dgnn_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgnn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

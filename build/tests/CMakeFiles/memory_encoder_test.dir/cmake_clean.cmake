@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_encoder_test.dir/memory_encoder_test.cc.o"
+  "CMakeFiles/memory_encoder_test.dir/memory_encoder_test.cc.o.d"
+  "memory_encoder_test"
+  "memory_encoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

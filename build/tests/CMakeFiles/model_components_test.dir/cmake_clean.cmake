@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_components_test.dir/model_components_test.cc.o"
+  "CMakeFiles/model_components_test.dir/model_components_test.cc.o.d"
+  "model_components_test"
+  "model_components_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
