@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# ThreadSanitizer job for the parallel hot paths.
+#
+# Configures a dedicated build tree with -DDGNN_SANITIZE=thread, builds the
+# thread-pool and equivalence suites plus the serving suite (which has the
+# concurrent-readers test), and runs them under CTest. Any data race makes
+# TSan abort the test, so a green run certifies the pool and every
+# ParallelFor call site race-free.
+#
+# Usage: ci/run_tsan.sh [build-dir]   (default: build-tsan)
+#
+# DGNN_SANITIZE=address works the same way for an ASan job:
+#   cmake -B build-asan -S . -DDGNN_SANITIZE=address
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDGNN_SANITIZE=thread
+
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target thread_pool_test parallel_equivalence_test serving_test
+
+# halt_on_error: fail fast on the first race instead of drowning in reports.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'thread_pool_test|parallel_equivalence_test|serving_test'
+
+echo "TSan job passed: no data races detected."

@@ -14,6 +14,10 @@
 //                    [--topk=10]
 //       Print the top-K items (and most similar users) for one user.
 //
+// All modes accept --threads=N to size the worker pool (default: the
+// DGNN_NUM_THREADS environment variable, else hardware concurrency).
+// Outputs are bit-identical for every thread count.
+//
 // Examples:
 //   dgnn_cli --mode=generate --data_dir=/tmp/d
 //   dgnn_cli --mode=train --data_dir=/tmp/d --params=/tmp/d/dgnn.bin
@@ -32,6 +36,7 @@
 #include "train/recommender.h"
 #include "train/trainer.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -178,12 +183,23 @@ int Recommend(const util::Flags& flags, const std::string& data_dir) {
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  // Worker-pool width for every mode; results are bit-identical across
+  // settings (see README "Threads & determinism"). Falls back to
+  // DGNN_NUM_THREADS, then hardware concurrency.
+  if (flags.Has("threads")) {
+    const int threads = static_cast<int>(flags.GetInt("threads", 0));
+    if (threads < 1) {
+      std::fprintf(stderr, "--threads must be >= 1\n");
+      return 2;
+    }
+    util::SetNumThreads(threads);
+  }
   const std::string mode = flags.GetString("mode", "");
   const std::string data_dir = flags.GetString("data_dir", "");
   if (data_dir.empty()) {
     std::fprintf(stderr,
                  "usage: dgnn_cli --mode=generate|train|evaluate|recommend "
-                 "--data_dir=DIR [options]\n");
+                 "--data_dir=DIR [--threads=N] [options]\n");
     return 2;
   }
   if (mode == "generate") return Generate(flags, data_dir);

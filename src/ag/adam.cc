@@ -2,7 +2,16 @@
 
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace dgnn::ag {
+namespace {
+
+// Elements per ParallelFor chunk; fixed so the update (elementwise, no
+// cross-element reductions) is bit-identical for any thread count.
+constexpr int64_t kAdamGrain = 4096;
+
+}  // namespace
 
 AdamOptimizer::AdamOptimizer(ParamStore* store, AdamConfig config)
     : store_(store), config_(config) {
@@ -27,17 +36,19 @@ void AdamOptimizer::Step() {
     const float* anchor = p->anchor.empty() ? nullptr : p->anchor.data();
     const float lr = config_.learning_rate * p->lr_scale;
     const int64_t n = p->value.size();
-    for (int64_t i = 0; i < n; ++i) {
-      const float g = grad[i];
-      m[i] = b1 * m[i] + (1.0f - b1) * g;
-      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
-      const float mhat = m[i] / bias1;
-      const float vhat = v[i] / bias2;
-      // Decoupled weight decay, toward the L2-SP anchor when present.
-      const float decay_target = anchor != nullptr ? anchor[i] : 0.0f;
-      val[i] -= lr * (mhat / (std::sqrt(vhat) + config_.epsilon) +
-                      config_.weight_decay * (val[i] - decay_target));
-    }
+    util::ParallelFor(0, n, kAdamGrain, [&](int64_t ib, int64_t ie) {
+      for (int64_t i = ib; i < ie; ++i) {
+        const float g = grad[i];
+        m[i] = b1 * m[i] + (1.0f - b1) * g;
+        v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+        const float mhat = m[i] / bias1;
+        const float vhat = v[i] / bias2;
+        // Decoupled weight decay, toward the L2-SP anchor when present.
+        const float decay_target = anchor != nullptr ? anchor[i] : 0.0f;
+        val[i] -= lr * (mhat / (std::sqrt(vhat) + config_.epsilon) +
+                        config_.weight_decay * (val[i] - decay_target));
+      }
+    });
   }
   store_->ZeroGrad();
 }

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+
+#include "util/thread_pool.h"
 
 namespace dgnn::ag {
 namespace {
+
+// ParallelFor grains for the tape kernels. Fixed constants (independent
+// of the thread count) keep the chunk decomposition — and therefore the
+// float accumulation order of every output element — identical for any
+// DGNN_NUM_THREADS, which is what the parallel-vs-serial equivalence
+// suite asserts bit-exactly.
+constexpr int64_t kRowGrain = 64;     // chunks of matrix rows
+constexpr int64_t kEltGrain = 4096;   // chunks of flat elements
 
 // out += op(A) @ op(B) where op optionally transposes. Naive kernel; the
 // matrices in this library are (nodes x d) with d <= 64, so cache blocking
@@ -19,30 +30,37 @@ void GemmAcc(const Tensor& a, bool ta, const Tensor& b, bool tb,
   DGNN_CHECK_EQ(out.rows(), m);
   DGNN_CHECK_EQ(out.cols(), n);
 
+  // Both orderings parallelize over output rows: each row of `out` is
+  // accumulated by one thread in the serial p-order, so results match the
+  // single-threaded kernel bit for bit.
   if (!ta && !tb) {
     // ikj ordering: streams through b and out rows.
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = a.row(i);
-      float* orow = out.row(i);
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b.row(p);
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    util::ParallelFor(0, m, kRowGrain, [&](int64_t ib, int64_t ie) {
+      for (int64_t i = ib; i < ie; ++i) {
+        const float* arow = a.row(i);
+        float* orow = out.row(i);
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(p);
+          for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
       }
-    }
+    });
     return;
   }
   auto a_at = [&](int64_t i, int64_t p) { return ta ? a.at(p, i) : a.at(i, p); };
   auto b_at = [&](int64_t p, int64_t j) { return tb ? b.at(j, p) : b.at(p, j); };
-  for (int64_t i = 0; i < m; ++i) {
-    float* orow = out.row(i);
-    for (int64_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += a_at(i, p) * b_at(p, j);
-      orow[j] += acc;
+  util::ParallelFor(0, m, kRowGrain, [&](int64_t ib, int64_t ie) {
+    for (int64_t i = ib; i < ie; ++i) {
+      float* orow = out.row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a_at(i, p) * b_at(p, j);
+        orow[j] += acc;
+      }
     }
-  }
+  });
 }
 
 float StableSoftplus(float z) {
@@ -238,8 +256,17 @@ VarId Tape::AddN(const std::vector<VarId>& xs) {
   Tensor out = val(xs[0]);
   bool rg = requires_grad(xs[0]);
   for (size_t i = 1; i < xs.size(); ++i) {
-    out.Add(val(xs[i]));
+    DGNN_CHECK(out.SameShape(val(xs[i])));
     rg = rg || requires_grad(xs[i]);
+  }
+  if (xs.size() > 1) {
+    util::ParallelFor(0, out.size(), kEltGrain, [&](int64_t b, int64_t e) {
+      float* o = out.data();
+      for (size_t i = 1; i < xs.size(); ++i) {
+        const float* x = val(xs[i]).data();
+        for (int64_t j = b; j < e; ++j) o[j] += x[j];
+      }
+    });
   }
   VarId id = Emit(std::move(out), rg, nullptr);
   if (rg) {
@@ -247,7 +274,11 @@ VarId Tape::AddN(const std::vector<VarId>& xs) {
     node(id).backward = [this, id, inputs]() {
       const Tensor& g = node(id).grad;
       for (VarId x : inputs) {
-        if (requires_grad(x)) grad_buf(x).Add(g);
+        if (!requires_grad(x)) continue;
+        Tensor& gx = grad_buf(x);
+        util::ParallelFor(0, g.size(), kEltGrain, [&](int64_t b, int64_t e) {
+          for (int64_t j = b; j < e; ++j) gx.data()[j] += g.data()[j];
+        });
       }
     };
   }
@@ -438,9 +469,11 @@ VarId Tape::MulScalarVar(VarId a, VarId s) {
 VarId Tape::LeakyRelu(VarId a, float negative_slope) {
   const Tensor& av = val(a);
   Tensor out = av;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] < 0.0f) out.data()[i] *= negative_slope;
-  }
+  util::ParallelFor(0, out.size(), kEltGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      if (out.data()[i] < 0.0f) out.data()[i] *= negative_slope;
+    }
+  });
   bool rg = requires_grad(a);
   VarId id = Emit(std::move(out), rg, nullptr);
   if (rg) {
@@ -448,10 +481,12 @@ VarId Tape::LeakyRelu(VarId a, float negative_slope) {
       const Tensor& g = node(id).grad;
       const Tensor& x = val(a);
       Tensor& ga = grad_buf(a);
-      for (int64_t i = 0; i < g.size(); ++i) {
-        ga.data()[i] +=
-            g.data()[i] * (x.data()[i] >= 0.0f ? 1.0f : negative_slope);
-      }
+      util::ParallelFor(0, g.size(), kEltGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          ga.data()[i] +=
+              g.data()[i] * (x.data()[i] >= 0.0f ? 1.0f : negative_slope);
+        }
+      });
     };
   }
   return id;
@@ -603,13 +638,16 @@ VarId Tape::SpMM(const graph::CsrMatrix* adj, const graph::CsrMatrix* adj_t,
 VarId Tape::GatherRows(VarId a, std::vector<int32_t> index) {
   const Tensor& av = val(a);
   Tensor out(static_cast<int64_t>(index.size()), av.cols());
-  for (size_t i = 0; i < index.size(); ++i) {
-    const int32_t r = index[i];
-    DGNN_DCHECK_GE(r, 0);
-    DGNN_DCHECK_LT(r, av.rows());
-    std::copy(av.row(r), av.row(r) + av.cols(),
-              out.row(static_cast<int64_t>(i)));
-  }
+  util::ParallelFor(
+      0, static_cast<int64_t>(index.size()), kRowGrain,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          const int32_t r = index[static_cast<size_t>(i)];
+          DGNN_DCHECK_GE(r, 0);
+          DGNN_DCHECK_LT(r, av.rows());
+          std::copy(av.row(r), av.row(r) + av.cols(), out.row(i));
+        }
+      });
   bool rg = requires_grad(a);
   VarId id = Emit(std::move(out), rg, nullptr);
   if (rg) {
@@ -617,11 +655,32 @@ VarId Tape::GatherRows(VarId a, std::vector<int32_t> index) {
     node(id).backward = [this, id, a, idx]() {
       const Tensor& g = node(id).grad;
       Tensor& ga = grad_buf(a);
-      for (size_t i = 0; i < idx->size(); ++i) {
-        const float* grow = g.row(static_cast<int64_t>(i));
-        float* garow = ga.row((*idx)[i]);
-        for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c];
-      }
+      // Scatter-add with the destination rows partitioned across chunks:
+      // gather positions are visited sorted by (destination row, position),
+      // so each destination row accumulates its contributions in ascending
+      // position order — exactly the serial loop's order — while chunks
+      // write disjoint row ranges of ga.
+      std::vector<int32_t> order(idx->size());
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](int32_t x, int32_t y) {
+                         return (*idx)[static_cast<size_t>(x)] <
+                                (*idx)[static_cast<size_t>(y)];
+                       });
+      util::ParallelFor(0, ga.rows(), kRowGrain, [&](int64_t rb, int64_t re) {
+        auto lo = std::lower_bound(
+            order.begin(), order.end(), rb, [&](int32_t pos, int64_t row) {
+              return (*idx)[static_cast<size_t>(pos)] < row;
+            });
+        for (auto it = lo; it != order.end() &&
+                           (*idx)[static_cast<size_t>(*it)] < re;
+             ++it) {
+          const int64_t i = static_cast<int64_t>(*it);
+          const float* grow = g.row(i);
+          float* garow = ga.row((*idx)[static_cast<size_t>(i)]);
+          for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c];
+        }
+      });
     };
   }
   return id;
@@ -848,26 +907,28 @@ VarId Tape::LayerNorm(VarId a, VarId gamma, VarId beta, float eps) {
   auto xhat = std::make_shared<Tensor>(n, d);
   auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
   Tensor out(n, d);
-  for (int64_t r = 0; r < n; ++r) {
-    const float* xr = x.row(r);
-    float mean = 0.0f;
-    for (int64_t c = 0; c < d; ++c) mean += xr[c];
-    mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (int64_t c = 0; c < d; ++c) {
-      const float dv = xr[c] - mean;
-      var += dv * dv;
+  util::ParallelFor(0, n, kRowGrain, [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const float* xr = x.row(r);
+      float mean = 0.0f;
+      for (int64_t c = 0; c < d; ++c) mean += xr[c];
+      mean /= static_cast<float>(d);
+      float var = 0.0f;
+      for (int64_t c = 0; c < d; ++c) {
+        const float dv = xr[c] - mean;
+        var += dv * dv;
+      }
+      var /= static_cast<float>(d);
+      const float istd = 1.0f / std::sqrt(var + eps);
+      (*inv_std)[static_cast<size_t>(r)] = istd;
+      float* hr = xhat->row(r);
+      float* orow = out.row(r);
+      for (int64_t c = 0; c < d; ++c) {
+        hr[c] = (xr[c] - mean) * istd;
+        orow[c] = gm.at(0, c) * hr[c] + bt.at(0, c);
+      }
     }
-    var /= static_cast<float>(d);
-    const float istd = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[static_cast<size_t>(r)] = istd;
-    float* hr = xhat->row(r);
-    float* orow = out.row(r);
-    for (int64_t c = 0; c < d; ++c) {
-      hr[c] = (xr[c] - mean) * istd;
-      orow[c] = gm.at(0, c) * hr[c] + bt.at(0, c);
-    }
-  }
+  });
   bool rg = requires_grad(a) || requires_grad(gamma) || requires_grad(beta);
   VarId id = Emit(std::move(out), rg, nullptr);
   if (rg) {
@@ -1030,38 +1091,43 @@ VarId Tape::RowDot(VarId a, VarId b) {
   const Tensor& bv = val(b);
   DGNN_CHECK(av.SameShape(bv));
   Tensor out(av.rows(), 1);
-  for (int64_t r = 0; r < av.rows(); ++r) {
-    const float* ar = av.row(r);
-    const float* br = bv.row(r);
-    float acc = 0.0f;
-    for (int64_t c = 0; c < av.cols(); ++c) acc += ar[c] * br[c];
-    out.at(r, 0) = acc;
-  }
+  util::ParallelFor(0, av.rows(), kRowGrain, [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const float* ar = av.row(r);
+      const float* br = bv.row(r);
+      float acc = 0.0f;
+      for (int64_t c = 0; c < av.cols(); ++c) acc += ar[c] * br[c];
+      out.at(r, 0) = acc;
+    }
+  });
   bool rg = requires_grad(a) || requires_grad(b);
   VarId id = Emit(std::move(out), rg, nullptr);
   if (rg) {
     node(id).backward = [this, id, a, b]() {
       const Tensor& g = node(id).grad;
-      if (requires_grad(a)) {
-        Tensor& ga = grad_buf(a);
-        const Tensor& bv2 = val(b);
-        for (int64_t r = 0; r < g.rows(); ++r) {
-          const float gr = g.at(r, 0);
-          const float* br = bv2.row(r);
-          float* gar = ga.row(r);
-          for (int64_t c = 0; c < ga.cols(); ++c) gar[c] += gr * br[c];
+      // grad_buf materializes lazily — resolve outside the parallel region.
+      Tensor* ga = requires_grad(a) ? &grad_buf(a) : nullptr;
+      Tensor* gb = requires_grad(b) ? &grad_buf(b) : nullptr;
+      util::ParallelFor(0, g.rows(), kRowGrain, [&](int64_t rb, int64_t re) {
+        if (ga != nullptr) {
+          const Tensor& bv2 = val(b);
+          for (int64_t r = rb; r < re; ++r) {
+            const float gr = g.at(r, 0);
+            const float* br = bv2.row(r);
+            float* gar = ga->row(r);
+            for (int64_t c = 0; c < ga->cols(); ++c) gar[c] += gr * br[c];
+          }
         }
-      }
-      if (requires_grad(b)) {
-        Tensor& gb = grad_buf(b);
-        const Tensor& av2 = val(a);
-        for (int64_t r = 0; r < g.rows(); ++r) {
-          const float gr = g.at(r, 0);
-          const float* ar = av2.row(r);
-          float* gbr = gb.row(r);
-          for (int64_t c = 0; c < gb.cols(); ++c) gbr[c] += gr * ar[c];
+        if (gb != nullptr) {
+          const Tensor& av2 = val(a);
+          for (int64_t r = rb; r < re; ++r) {
+            const float gr = g.at(r, 0);
+            const float* ar = av2.row(r);
+            float* gbr = gb->row(r);
+            for (int64_t c = 0; c < gb->cols(); ++c) gbr[c] += gr * ar[c];
+          }
         }
-      }
+      });
     };
   }
   return id;
@@ -1189,11 +1255,15 @@ VarId Tape::BprLoss(VarId pos, VarId neg) {
       const float g = node(id).grad.scalar() / static_cast<float>(n);
       const Tensor& pv2 = val(pos);
       const Tensor& nv2 = val(neg);
-      for (int64_t r = 0; r < n; ++r) {
-        const float s = SigmoidF(nv2.at(r, 0) - pv2.at(r, 0));
-        if (requires_grad(pos)) grad_buf(pos).at(r, 0) -= g * s;
-        if (requires_grad(neg)) grad_buf(neg).at(r, 0) += g * s;
-      }
+      Tensor* gp = requires_grad(pos) ? &grad_buf(pos) : nullptr;
+      Tensor* gn = requires_grad(neg) ? &grad_buf(neg) : nullptr;
+      util::ParallelFor(0, n, kRowGrain, [&](int64_t rb, int64_t re) {
+        for (int64_t r = rb; r < re; ++r) {
+          const float s = SigmoidF(nv2.at(r, 0) - pv2.at(r, 0));
+          if (gp != nullptr) gp->at(r, 0) -= g * s;
+          if (gn != nullptr) gn->at(r, 0) += g * s;
+        }
+      });
     };
   }
   return id;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace dgnn::core {
 namespace {
@@ -155,12 +156,18 @@ ag::VarId DgnnModel::NormalizeAndSelfPropagate(
         // (stop-gradient): y = x .* (gamma / rms(x_col)) + beta.
         const ag::Tensor& v = tape.val(aggregated);
         ag::Tensor inv_rms(1, v.cols());
-        for (int64_t c = 0; c < v.cols(); ++c) {
-          float sq = 0.0f;
-          for (int64_t r = 0; r < v.rows(); ++r) sq += v.at(r, c) * v.at(r, c);
-          inv_rms.at(0, c) =
-              1.0f / std::sqrt(sq / static_cast<float>(v.rows()) + 1e-8f);
-        }
+        // Per-column statistic: each column is reduced serially by one
+        // chunk (fixed grain), so the result is thread-count independent.
+        util::ParallelFor(0, v.cols(), 8, [&](int64_t cb, int64_t ce) {
+          for (int64_t c = cb; c < ce; ++c) {
+            float sq = 0.0f;
+            for (int64_t r = 0; r < v.rows(); ++r) {
+              sq += v.at(r, c) * v.at(r, c);
+            }
+            inv_rms.at(0, c) =
+                1.0f / std::sqrt(sq / static_cast<float>(v.rows()) + 1e-8f);
+          }
+        });
         ag::VarId scale = tape.Mul(tape.Param(gamma),
                                    tape.Constant(std::move(inv_rms)));
         normalized = tape.AddRowBroadcast(

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace dgnn::train {
 
@@ -36,11 +37,22 @@ BeyondAccuracy ComputeBeyondAccuracy(const Recommender& recommender,
                       : 1.0;
   }
 
+  // Per-user top-K lists computed in parallel into disjoint slots; the
+  // exposure / percentile accumulation stays serial in user order so the
+  // double-precision sums match the single-threaded pass exactly.
+  std::vector<std::vector<ScoredItem>> top_lists(
+      static_cast<size_t>(dataset.num_users));
+  util::ParallelFor(0, dataset.num_users, 16, [&](int64_t ub, int64_t ue) {
+    for (int64_t u = ub; u < ue; ++u) {
+      top_lists[static_cast<size_t>(u)] =
+          recommender.TopK(static_cast<int32_t>(u), k);
+    }
+  });
   std::vector<int64_t> exposure(static_cast<size_t>(num_items), 0);
   double percentile_sum = 0.0;
   int64_t recommended_total = 0;
   for (int32_t u = 0; u < dataset.num_users; ++u) {
-    for (const auto& scored : recommender.TopK(u, k)) {
+    for (const auto& scored : top_lists[static_cast<size_t>(u)]) {
       ++exposure[static_cast<size_t>(scored.item)];
       percentile_sum += percentile[static_cast<size_t>(scored.item)];
       ++recommended_total;

@@ -1,6 +1,7 @@
 #include "train/evaluator.h"
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace dgnn::train {
 namespace {
@@ -21,21 +22,26 @@ std::vector<int> Evaluator::Ranks(const ag::Tensor& user_emb,
   DGNN_CHECK_EQ(item_emb.rows(), dataset_->num_items);
   DGNN_CHECK_EQ(user_emb.cols(), item_emb.cols());
   const int64_t d = user_emb.cols();
-  std::vector<int> ranks;
-  ranks.reserve(dataset_->test.size());
-  std::vector<float> neg_scores;
-  for (size_t t = 0; t < dataset_->test.size(); ++t) {
-    const auto& pos = dataset_->test[t];
-    const float* u = user_emb.row(pos.user);
-    const float pos_score = Dot(u, item_emb.row(pos.item), d);
-    const auto& negs = dataset_->eval_negatives[t];
-    neg_scores.clear();
-    neg_scores.reserve(negs.size());
-    for (int32_t item : negs) {
-      neg_scores.push_back(Dot(u, item_emb.row(item), d));
-    }
-    ranks.push_back(RankOfPositive(pos_score, neg_scores));
-  }
+  // One independent ranking task per test instance; every ranks[t] slot is
+  // written by exactly one chunk, so output is thread-count independent.
+  std::vector<int> ranks(dataset_->test.size());
+  util::ParallelFor(
+      0, static_cast<int64_t>(dataset_->test.size()), 16,
+      [&](int64_t tb, int64_t te) {
+        std::vector<float> neg_scores;
+        for (int64_t t = tb; t < te; ++t) {
+          const auto& pos = dataset_->test[static_cast<size_t>(t)];
+          const float* u = user_emb.row(pos.user);
+          const float pos_score = Dot(u, item_emb.row(pos.item), d);
+          const auto& negs = dataset_->eval_negatives[static_cast<size_t>(t)];
+          neg_scores.clear();
+          neg_scores.reserve(negs.size());
+          for (int32_t item : negs) {
+            neg_scores.push_back(Dot(u, item_emb.row(item), d));
+          }
+          ranks[static_cast<size_t>(t)] = RankOfPositive(pos_score, neg_scores);
+        }
+      });
   return ranks;
 }
 

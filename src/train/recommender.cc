@@ -5,9 +5,14 @@
 
 #include "ag/tape.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace dgnn::train {
 namespace {
+
+// Candidate rows scored per ParallelFor chunk in the TopK/SimilarUsers
+// scans; fixed so scores are computed identically for any thread count.
+constexpr int64_t kScanGrain = 256;
 
 float Dot(const float* a, const float* b, int64_t d) {
   float acc = 0.0f;
@@ -47,12 +52,20 @@ std::vector<ScoredItem> Recommender::TopK(int32_t user, int k) const {
   DGNN_CHECK_LT(user, users_.rows());
   DGNN_CHECK_GT(k, 0);
   const auto& seen = seen_[static_cast<size_t>(user)];
+  const float* u = users_.row(user);
+  // Score the whole catalog in parallel (disjoint slots), then filter and
+  // select serially — same scores and ordering as the serial scan.
+  std::vector<float> scores(static_cast<size_t>(items_.rows()));
+  util::ParallelFor(0, items_.rows(), kScanGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      scores[static_cast<size_t>(i)] = Dot(u, items_.row(i), users_.cols());
+    }
+  });
   std::vector<ScoredItem> scored;
   scored.reserve(static_cast<size_t>(items_.rows()));
-  const float* u = users_.row(user);
   for (int32_t i = 0; i < items_.rows(); ++i) {
     if (std::binary_search(seen.begin(), seen.end(), i)) continue;
-    scored.push_back({i, Dot(u, items_.row(i), users_.cols())});
+    scored.push_back({i, scores[static_cast<size_t>(i)]});
   }
   const size_t keep = std::min<size_t>(static_cast<size_t>(k),
                                        scored.size());
@@ -69,15 +82,21 @@ std::vector<ScoredItem> Recommender::SimilarUsers(int32_t user,
   DGNN_CHECK_LT(user, users_.rows());
   const float* u = users_.row(user);
   const float u_norm = std::sqrt(Dot(u, u, users_.cols()));
+  std::vector<float> scores(static_cast<size_t>(users_.rows()));
+  util::ParallelFor(0, users_.rows(), kScanGrain, [&](int64_t b, int64_t e) {
+    for (int64_t v = b; v < e; ++v) {
+      const float* w = users_.row(v);
+      const float w_norm = std::sqrt(Dot(w, w, users_.cols()));
+      const float denom = u_norm * w_norm;
+      scores[static_cast<size_t>(v)] =
+          denom > 1e-12f ? Dot(u, w, users_.cols()) / denom : 0.0f;
+    }
+  });
   std::vector<ScoredItem> scored;
   scored.reserve(static_cast<size_t>(users_.rows()) - 1);
   for (int32_t v = 0; v < users_.rows(); ++v) {
     if (v == user) continue;
-    const float* w = users_.row(v);
-    const float w_norm = std::sqrt(Dot(w, w, users_.cols()));
-    const float denom = u_norm * w_norm;
-    scored.push_back(
-        {v, denom > 1e-12f ? Dot(u, w, users_.cols()) / denom : 0.0f});
+    scored.push_back({v, scores[static_cast<size_t>(v)]});
   }
   const size_t keep = std::min<size_t>(static_cast<size_t>(k),
                                        scored.size());

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace dgnn::train {
 namespace {
@@ -72,6 +73,7 @@ double Trainer::TrainEpoch() {
 
 TrainResult Trainer::Fit() {
   TrainResult result;
+  result.num_threads = util::NumThreads();
   util::Stopwatch total;
   double best_metric = -1.0;
   int evals_without_improvement = 0;

@@ -56,6 +56,9 @@ struct TrainResult {
   double final_eval_seconds = 0.0;
   // Mean wall-clock per epoch — the quantity Table IV reports.
   double mean_epoch_train_seconds = 0.0;
+  // Thread-pool width the run executed with (util::NumThreads()); recorded
+  // so runtime tables can report timings alongside their parallelism.
+  int num_threads = 1;
 };
 
 class Trainer {

@@ -1,0 +1,198 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "util/check.h"
+
+namespace dgnn::util {
+namespace {
+
+// Set while a thread executes chunks of some region; nested ParallelFor
+// calls see it and degrade to serial chunk execution instead of trying to
+// re-enter the pool (which would deadlock the region they are part of).
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
+  DGNN_CHECK_GT(grain, 0);
+  if (end <= begin) return 0;
+  return (end - begin + grain - 1) / grain;
+}
+
+// Shared state of one ParallelFor region. Held by shared_ptr so a worker
+// that wakes late (or re-checks the chunk counter after the last chunk
+// finished) never touches freed memory even though the submitting caller
+// has already returned.
+struct ThreadPool::Region {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  void (*fn)(void*, int64_t, int64_t) = nullptr;
+  void* ctx = nullptr;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> done_chunks{0};
+  std::mutex mu;  // guards error and the done_cv wait/notify handshake
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  DGNN_CHECK_GT(num_threads, 0);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int t = 0; t < num_threads - 1; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Region> region;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || (region_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      region = region_;
+    }
+    RunChunks(*region);
+  }
+}
+
+void ThreadPool::RunChunks(Region& region) {
+  tls_in_parallel_region = true;
+  for (;;) {
+    const int64_t c = region.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= region.num_chunks) break;
+    const int64_t chunk_begin = region.begin + c * region.grain;
+    const int64_t chunk_end = std::min(region.end, chunk_begin + region.grain);
+    try {
+      region.fn(region.ctx, chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region.mu);
+      if (!region.error) region.error = std::current_exception();
+    }
+    if (region.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        region.num_chunks) {
+      std::lock_guard<std::mutex> lock(region.mu);
+      region.done_cv.notify_all();
+    }
+  }
+  tls_in_parallel_region = false;
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             void (*fn)(void*, int64_t, int64_t), void* ctx) {
+  const int64_t num_chunks = NumChunks(begin, end, grain);
+  if (num_chunks == 0) return;
+  const bool can_go_parallel =
+      num_threads_ > 1 && num_chunks > 1 && !tls_in_parallel_region;
+  if (can_go_parallel && submit_mu_.try_lock()) {
+    std::lock_guard<std::mutex> submit(submit_mu_, std::adopt_lock);
+    auto region = std::make_shared<Region>();
+    region->begin = begin;
+    region->end = end;
+    region->grain = grain;
+    region->num_chunks = num_chunks;
+    region->fn = fn;
+    region->ctx = ctx;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      region_ = region;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    RunChunks(*region);  // the caller is a full work lane
+    {
+      std::unique_lock<std::mutex> lock(region->mu);
+      region->done_cv.wait(lock, [&] {
+        return region->done_chunks.load(std::memory_order_acquire) ==
+               region->num_chunks;
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      region_.reset();
+    }
+    if (region->error) std::rethrow_exception(region->error);
+    return;
+  }
+  // Serial execution on the caller: same chunk boundaries, in chunk order.
+  // Covers num_threads == 1, nested calls, single-chunk ranges, and a pool
+  // already busy with a region submitted by another thread.
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t chunk_begin = begin + c * grain;
+    const int64_t chunk_end = std::min(end, chunk_begin + grain);
+    fn(ctx, chunk_begin, chunk_end);
+  }
+}
+
+namespace {
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("DGNN_NUM_THREADS")) {
+    char* parse_end = nullptr;
+    const long v = std::strtol(env, &parse_end, 10);
+    if (parse_end != env && *parse_end == '\0' && v > 0 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex g_pool_mu;
+int g_num_threads = 0;  // 0 = not yet resolved
+std::shared_ptr<ThreadPool> g_pool;
+
+std::shared_ptr<ThreadPool> GetPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_num_threads == 0) g_num_threads = DefaultNumThreads();
+  if (!g_pool) g_pool = std::make_shared<ThreadPool>(g_num_threads);
+  return g_pool;
+}
+
+}  // namespace
+
+void SetNumThreads(int num_threads) {
+  DGNN_CHECK_GT(num_threads, 0);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (num_threads == g_num_threads && g_pool) return;
+  g_num_threads = num_threads;
+  // Rebuilt lazily; in-flight users keep the old pool alive via shared_ptr.
+  g_pool.reset();
+}
+
+int NumThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_num_threads == 0) g_num_threads = DefaultNumThreads();
+  return g_num_threads;
+}
+
+namespace internal {
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     void (*fn)(void*, int64_t, int64_t), void* ctx) {
+  GetPool()->ParallelFor(begin, end, grain, fn, ctx);
+}
+
+}  // namespace internal
+
+}  // namespace dgnn::util

@@ -1,0 +1,97 @@
+// Fixed-size worker thread pool behind the library's ParallelFor
+// primitive. Every parallelized hot path (SpMM message passing, dense
+// transforms, BPR batch gradients, evaluation, top-K serving scans) is
+// expressed as ParallelFor over an index range.
+//
+// Determinism contract: the range [begin, end) is split into chunks of
+// exactly `grain` indices (the last chunk may be shorter). Chunk
+// boundaries depend only on (begin, end, grain) — never on the thread
+// count or on scheduling — so a kernel whose chunks write disjoint
+// outputs (or whose per-chunk partials are merged in chunk-index order)
+// produces bit-identical results for any number of threads. With
+// num_threads == 1 the chunks run in order on the calling thread with no
+// worker handoff at all.
+
+#ifndef DGNN_UTIL_THREAD_POOL_H_
+#define DGNN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dgnn::util {
+
+// Number of chunks ParallelFor will create for the given range; chunk c
+// covers [begin + c * grain, min(end, begin + (c + 1) * grain)).
+int64_t NumChunks(int64_t begin, int64_t end, int64_t grain);
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers; the thread calling ParallelFor is the
+  // num_threads-th lane. num_threads == 1 spawns no workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(chunk_begin, chunk_end) for every chunk of [begin, end).
+  // Blocks until all chunks completed. The first exception thrown by any
+  // chunk is rethrown on the calling thread after the region drains.
+  // Calls from inside a running chunk (nested parallelism) and calls
+  // arriving while another region is active run serially on the caller —
+  // same chunk boundaries, no deadlock.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   void (*fn)(void*, int64_t, int64_t), void* ctx);
+
+ private:
+  struct Region;
+
+  void WorkerLoop();
+  static void RunChunks(Region& region);
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::shared_ptr<Region> region_;  // non-null while a region is active
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  // Serializes region submission; contenders fall back to serial.
+  std::mutex submit_mu_;
+  std::vector<std::thread> workers_;
+};
+
+// Process-wide thread-count knob. The first use reads DGNN_NUM_THREADS
+// (falling back to std::thread::hardware_concurrency()); SetNumThreads
+// overrides it and rebuilds the shared pool lazily. Not meant to be
+// called concurrently with in-flight ParallelFor work.
+void SetNumThreads(int num_threads);
+int NumThreads();
+
+namespace internal {
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     void (*fn)(void*, int64_t, int64_t), void* ctx);
+}  // namespace internal
+
+// ParallelFor over the process-wide pool. fn is any callable taking
+// (int64_t chunk_begin, int64_t chunk_end).
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  using Decayed = std::decay_t<Fn>;
+  Decayed local(std::forward<Fn>(fn));
+  internal::ParallelForImpl(
+      begin, end, grain,
+      [](void* ctx, int64_t b, int64_t e) { (*static_cast<Decayed*>(ctx))(b, e); },
+      &local);
+}
+
+}  // namespace dgnn::util
+
+#endif  // DGNN_UTIL_THREAD_POOL_H_

@@ -2,7 +2,10 @@
 // Recommender top-K API, and trainer early stopping.
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -12,6 +15,7 @@
 #include "models/bpr_mf.h"
 #include "train/recommender.h"
 #include "train/trainer.h"
+#include "util/thread_pool.h"
 
 namespace dgnn {
 namespace {
@@ -157,6 +161,48 @@ TEST_F(RecommenderTest, SimilarUsersExcludesSelfAndIsBounded) {
     EXPECT_GE(s.score, -1.0001f);
     EXPECT_LE(s.score, 1.0001f);
   }
+}
+
+TEST_F(RecommenderTest, ConcurrentReadersGetIdenticalResults) {
+  // The Recommender's const API must be safe to call from many threads at
+  // once — the serving scenario. Run with a multi-thread pool so reader
+  // threads also contend for the shared ParallelFor pool (the busy-pool
+  // serial fallback path) and verify every reader sees the serial answer.
+  const int saved_threads = util::NumThreads();
+  util::SetNumThreads(4);
+
+  const int k = 10;
+  const int32_t num_probe_users = std::min<int32_t>(dataset_.num_users, 16);
+  std::vector<std::vector<train::ScoredItem>> expected_top;
+  std::vector<float> expected_score;
+  for (int32_t u = 0; u < num_probe_users; ++u) {
+    expected_top.push_back(recommender_.TopK(u, k));
+    expected_score.push_back(recommender_.Score(u, u % dataset_.num_items));
+  }
+
+  constexpr int kReaders = 8;
+  constexpr int kItersPerReader = 20;
+  std::vector<std::thread> readers;
+  std::atomic<int> mismatches{0};
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      for (int iter = 0; iter < kItersPerReader; ++iter) {
+        const int32_t u = (r + iter) % num_probe_users;
+        const auto top = recommender_.TopK(u, k);
+        const auto& want = expected_top[static_cast<size_t>(u)];
+        bool ok = top.size() == want.size();
+        for (size_t i = 0; ok && i < top.size(); ++i) {
+          ok = top[i].item == want[i].item && top[i].score == want[i].score;
+        }
+        ok = ok && recommender_.Score(u, u % dataset_.num_items) ==
+                       expected_score[static_cast<size_t>(u)];
+        if (!ok) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  util::SetNumThreads(saved_threads);
 }
 
 // ----- early stopping ------------------------------------------------------

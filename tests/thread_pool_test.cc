@@ -1,0 +1,190 @@
+// Tests for the fixed-size worker pool behind ParallelFor: lifecycle,
+// chunk decomposition, exception propagation, the nested-call guard, and
+// a stress run with many small regions.
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace dgnn::util {
+namespace {
+
+// Restores the process-wide thread count after each test so suites do not
+// leak a knob setting into one another.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  ThreadPoolTest() : saved_threads_(NumThreads()) {}
+  ~ThreadPoolTest() override { SetNumThreads(saved_threads_); }
+  const int saved_threads_;
+};
+
+TEST_F(ThreadPoolTest, ConstructionAndTeardown) {
+  for (int n : {1, 2, 4, 8}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+    // Destruction with no region ever submitted must not hang.
+  }
+  // Teardown immediately after a region drains must not hang either.
+  for (int n : {2, 4}) {
+    ThreadPool pool(n);
+    std::atomic<int64_t> sum{0};
+    auto fn = +[](void* ctx, int64_t b, int64_t e) {
+      static_cast<std::atomic<int64_t>*>(ctx)->fetch_add(e - b);
+    };
+    pool.ParallelFor(0, 1000, 7, fn, &sum);
+    EXPECT_EQ(sum.load(), 1000);
+  }
+}
+
+TEST_F(ThreadPoolTest, NumChunksHelper) {
+  EXPECT_EQ(NumChunks(0, 0, 4), 0);
+  EXPECT_EQ(NumChunks(5, 3, 4), 0);
+  EXPECT_EQ(NumChunks(0, 1, 4), 1);
+  EXPECT_EQ(NumChunks(0, 4, 4), 1);
+  EXPECT_EQ(NumChunks(0, 5, 4), 2);
+  EXPECT_EQ(NumChunks(10, 30, 7), 3);
+}
+
+TEST_F(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  for (int n : {1, 4}) {
+    SetNumThreads(n);
+    std::atomic<int> calls{0};
+    ParallelFor(0, 0, 8, [&](int64_t, int64_t) { calls.fetch_add(1); });
+    ParallelFor(9, 3, 8, [&](int64_t, int64_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+  }
+}
+
+TEST_F(ThreadPoolTest, SingleElementRange) {
+  for (int n : {1, 4}) {
+    SetNumThreads(n);
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    std::mutex mu;
+    ParallelFor(41, 42, 8, [&](int64_t b, int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(b, e);
+    });
+    ASSERT_EQ(chunks.size(), 1u);
+    const std::pair<int64_t, int64_t> expected(41, 42);
+    EXPECT_EQ(chunks[0], expected);
+  }
+}
+
+TEST_F(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto chunk_set = [&](int num_threads) {
+    SetNumThreads(num_threads);
+    std::set<std::pair<int64_t, int64_t>> chunks;
+    std::mutex mu;
+    ParallelFor(3, 1000, 17, [&](int64_t b, int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace(b, e);
+    });
+    return chunks;
+  };
+  const auto serial = chunk_set(1);
+  EXPECT_EQ(serial.size(),
+            static_cast<size_t>(NumChunks(3, 1000, 17)));
+  EXPECT_EQ(chunk_set(2), serial);
+  EXPECT_EQ(chunk_set(7), serial);
+}
+
+TEST_F(ThreadPoolTest, ThreadsOneRunsOnCallerInOrder) {
+  SetNumThreads(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<int64_t> begins;
+  ParallelFor(0, 100, 16, [&](int64_t b, int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    begins.push_back(b);  // safe: serial execution
+  });
+  const std::vector<int64_t> expected = {0, 16, 32, 48, 64, 80, 96};
+  EXPECT_EQ(begins, expected);
+}
+
+TEST_F(ThreadPoolTest, ExceptionPropagatesFromAnyThreadCount) {
+  for (int n : {1, 2, 4}) {
+    SetNumThreads(n);
+    EXPECT_THROW(
+        ParallelFor(0, 200, 8,
+                    [&](int64_t b, int64_t) {
+                      if (b == 96) throw std::runtime_error("chunk failed");
+                    }),
+        std::runtime_error);
+    // The pool must stay usable after an exceptional region.
+    std::atomic<int64_t> sum{0};
+    ParallelFor(0, 100, 8, [&](int64_t b, int64_t e) {
+      sum.fetch_add(e - b);
+    });
+    EXPECT_EQ(sum.load(), 100);
+  }
+}
+
+TEST_F(ThreadPoolTest, NestedCallsRunSeriallyWithoutDeadlock) {
+  SetNumThreads(4);
+  std::vector<int64_t> totals(8, 0);
+  ParallelFor(0, 8, 1, [&](int64_t ob, int64_t oe) {
+    for (int64_t i = ob; i < oe; ++i) {
+      int64_t local = 0;
+      // Inner region must degrade to serial execution on this thread.
+      ParallelFor(0, 1000, 32, [&](int64_t b, int64_t e) {
+        for (int64_t j = b; j < e; ++j) local += j;
+      });
+      totals[static_cast<size_t>(i)] = local;
+    }
+  });
+  for (int64_t t : totals) EXPECT_EQ(t, 1000 * 999 / 2);
+}
+
+TEST_F(ThreadPoolTest, ConcurrentExternalCallersFallBackSafely) {
+  SetNumThreads(4);
+  // Several unrelated threads hammer the shared pool at once; regions that
+  // find it busy must run serially on their caller and still be correct.
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> grand_total{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int iter = 0; iter < 50; ++iter) {
+        std::atomic<int64_t> local{0};
+        ParallelFor(0, 512, 16, [&](int64_t b, int64_t e) {
+          local.fetch_add(e - b);
+        });
+        grand_total.fetch_add(local.load());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(grand_total.load(), 4 * 50 * 512);
+}
+
+TEST_F(ThreadPoolTest, StressManySmallRegions) {
+  SetNumThreads(4);
+  std::vector<int64_t> out(257);
+  for (int iter = 0; iter < 2000; ++iter) {
+    ParallelFor(0, static_cast<int64_t>(out.size()), 3,
+                [&](int64_t b, int64_t e) {
+                  for (int64_t i = b; i < e; ++i) out[static_cast<size_t>(i)] = i + iter;
+                });
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int64_t>(i) + 1999);
+  }
+}
+
+TEST_F(ThreadPoolTest, SetNumThreadsTakesEffect) {
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  SetNumThreads(1);
+  EXPECT_EQ(NumThreads(), 1);
+}
+
+}  // namespace
+}  // namespace dgnn::util
