@@ -6,6 +6,7 @@
 #define DGNN_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,8 +17,60 @@
 #include "util/flags.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 namespace dgnn::bench {
+
+// Shared --metrics-out=F / --trace-out=F support: every bench that builds
+// its options through BenchOptions::FromFlags gets telemetry-enabled runs
+// whose metrics/trace JSON is flushed at process exit, so any bench run
+// can emit a machine-readable payload next to its printed table.
+namespace internal {
+inline std::string& MetricsOutPath() {
+  static std::string path;
+  return path;
+}
+inline std::string& TraceOutPath() {
+  static std::string path;
+  return path;
+}
+inline void FlushTelemetryOutputs() {
+  const std::string& metrics = MetricsOutPath();
+  if (!metrics.empty()) {
+    util::Status s = telemetry::WriteMetricsJson(metrics);
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n", s.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "[bench] metrics written to %s\n",
+                   metrics.c_str());
+    }
+  }
+  const std::string& trace = TraceOutPath();
+  if (!trace.empty()) {
+    util::Status s = telemetry::WriteTraceJson(trace);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", s.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "[bench] trace written to %s\n", trace.c_str());
+    }
+  }
+}
+}  // namespace internal
+
+inline void SetupTelemetryFromFlags(const util::Flags& flags) {
+  internal::MetricsOutPath() = flags.GetString("metrics-out", "");
+  internal::TraceOutPath() = flags.GetString("trace-out", "");
+  if (internal::MetricsOutPath().empty() &&
+      internal::TraceOutPath().empty()) {
+    return;
+  }
+  telemetry::SetEnabled(true);
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(internal::FlushTelemetryOutputs);
+  }
+}
 
 struct BenchOptions {
   int epochs = 25;
@@ -40,8 +93,10 @@ struct BenchOptions {
   bool verbose = false;
 
   // Common flags: --epochs, --batch, --dim, --layers, --memory, --seed,
-  // --verbose.
+  // --verbose, plus --metrics-out / --trace-out (telemetry JSON flushed
+  // at exit; see SetupTelemetryFromFlags).
   static BenchOptions FromFlags(const util::Flags& flags) {
+    SetupTelemetryFromFlags(flags);
     BenchOptions o;
     o.epochs = static_cast<int>(flags.GetInt("epochs", o.epochs));
     o.batch_size = static_cast<int>(flags.GetInt("batch", o.batch_size));

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Telemetry smoke job: run dgnn_cli end-to-end with --metrics-out and
+# --trace-out and verify both emitted files are valid JSON with the
+# expected top-level structure (counters/timers/histograms for metrics,
+# traceEvents for the chrome://tracing payload).
+#
+# Usage: ci/check_trace.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/dgnn_cli"
+
+if [[ ! -x "$CLI" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target dgnn_cli
+fi
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+"$CLI" --mode=generate --data_dir="$WORK_DIR/data" --preset=tiny
+"$CLI" --mode=train --data_dir="$WORK_DIR/data" --epochs=2 --threads=2 \
+  --params="$WORK_DIR/model.bin" \
+  --metrics-out="$WORK_DIR/metrics.json" \
+  --trace-out="$WORK_DIR/trace.json"
+"$CLI" --mode=recommend --data_dir="$WORK_DIR/data" \
+  --params="$WORK_DIR/model.bin" --user=0 \
+  --metrics-out="$WORK_DIR/serve_metrics.json"
+
+# json.tool exits non-zero on any syntax error.
+for f in metrics.json trace.json serve_metrics.json; do
+  python3 -m json.tool "$WORK_DIR/$f" > /dev/null
+done
+
+# Structural spot-checks: the payloads must actually carry the per-epoch
+# timers, kernel counters and recommender latency histograms.
+python3 - "$WORK_DIR" <<'EOF'
+import json, sys
+work = sys.argv[1]
+
+metrics = json.load(open(f"{work}/metrics.json"))
+for section in ("counters", "gauges", "timers", "histograms"):
+    assert section in metrics, f"metrics.json missing '{section}'"
+assert metrics["timers"]["train.epoch"]["count"] == 2, "expected 2 epochs"
+assert metrics["timers"]["ag.gemm"]["count"] > 0, "no GEMM calls recorded"
+assert metrics["counters"]["train.batches"] > 0, "no batches recorded"
+
+trace = json.load(open(f"{work}/trace.json"))
+events = trace["traceEvents"]
+assert events, "trace has no spans"
+names = {e["name"] for e in events}
+assert "epoch" in names, f"no epoch span in {sorted(names)}"
+for e in events:
+    for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+        assert key in e, f"span missing '{key}': {e}"
+
+serve = json.load(open(f"{work}/serve_metrics.json"))
+topk = serve["histograms"]["serve.topk_seconds"]
+assert topk["count"] > 0, "no TopK latency recorded"
+assert topk["buckets"], "TopK histogram has no buckets"
+print("check_trace: metrics + trace JSON valid")
+EOF
+
+echo "Trace check passed."

@@ -22,11 +22,15 @@ cmake -B "$BUILD_DIR" -S . \
   -DDGNN_SANITIZE=thread
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target thread_pool_test parallel_equivalence_test serving_test
+  --target thread_pool_test parallel_equivalence_test serving_test \
+           telemetry_test failure_test
 
 # halt_on_error: fail fast on the first race instead of drowning in reports.
+# telemetry_test has the concurrent-increment test (8 threads hammering one
+# counter/histogram/timer plus the span buffer); failure_test exercises the
+# sampler fallback and checkpoint staging paths.
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'thread_pool_test|parallel_equivalence_test|serving_test'
+    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test'
 
 echo "TSan job passed: no data races detected."

@@ -36,6 +36,7 @@
 #include "train/recommender.h"
 #include "train/trainer.h"
 #include "util/flags.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -194,18 +195,47 @@ int main(int argc, char** argv) {
     }
     util::SetNumThreads(threads);
   }
+  // --metrics-out=F / --trace-out=F turn telemetry on for the run and
+  // write the JSON snapshots (metrics registry / chrome://tracing trace)
+  // on exit. See README "Telemetry" for the schemas.
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    telemetry::SetEnabled(true);
+  }
   const std::string mode = flags.GetString("mode", "");
   const std::string data_dir = flags.GetString("data_dir", "");
   if (data_dir.empty()) {
     std::fprintf(stderr,
                  "usage: dgnn_cli --mode=generate|train|evaluate|recommend "
-                 "--data_dir=DIR [--threads=N] [options]\n");
+                 "--data_dir=DIR [--threads=N] [--metrics-out=F] "
+                 "[--trace-out=F] [options]\n");
     return 2;
   }
-  if (mode == "generate") return Generate(flags, data_dir);
-  if (mode == "train") return Train(flags, data_dir);
-  if (mode == "evaluate") return Evaluate(flags, data_dir);
-  if (mode == "recommend") return Recommend(flags, data_dir);
-  std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
-  return 2;
+  int code;
+  if (mode == "generate") {
+    code = Generate(flags, data_dir);
+  } else if (mode == "train") {
+    code = Train(flags, data_dir);
+  } else if (mode == "evaluate") {
+    code = Evaluate(flags, data_dir);
+  } else if (mode == "recommend") {
+    code = Recommend(flags, data_dir);
+  } else {
+    std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  if (!metrics_out.empty()) {
+    util::Status s = telemetry::WriteMetricsJson(metrics_out);
+    if (!s.ok()) return Fail(s);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    util::Status s = telemetry::WriteTraceJson(trace_out);
+    if (!s.ok()) return Fail(s);
+    std::printf("trace written to %s (%lld spans; open in "
+                "chrome://tracing)\n",
+                trace_out.c_str(), (long long)telemetry::NumTraceEvents());
+  }
+  return code;
 }

@@ -1,8 +1,12 @@
 #include "ag/serialize.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
+#include <utility>
+#include <vector>
 
 namespace dgnn::ag {
 namespace {
@@ -25,22 +29,37 @@ bool ReadPod(std::ifstream& in, T* value) {
 }  // namespace
 
 Status SaveParameters(const ParamStore& store, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::NotFound("cannot open for writing: " + path);
+  // Write-to-temp + atomic rename: a crash mid-save leaves the previous
+  // checkpoint at `path` intact; the half-written temp file is inert and
+  // overwritten by the next save.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::NotFound("cannot open for writing: " + tmp_path);
+    }
+    out.write(kMagic, sizeof(kMagic));
+    WritePod<uint64_t>(out, store.params().size());
+    for (const auto& p : store.params()) {
+      WritePod<uint32_t>(out, static_cast<uint32_t>(p->name.size()));
+      out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+      WritePod<int64_t>(out, p->value.rows());
+      WritePod<int64_t>(out, p->value.cols());
+      out.write(reinterpret_cast<const char*>(p->value.data()),
+                static_cast<std::streamsize>(p->value.size() *
+                                             sizeof(float)));
+    }
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("write failed: " + tmp_path);
+    }
   }
-  out.write(kMagic, sizeof(kMagic));
-  WritePod<uint64_t>(out, store.params().size());
-  for (const auto& p : store.params()) {
-    WritePod<uint32_t>(out, static_cast<uint32_t>(p->name.size()));
-    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
-    WritePod<int64_t>(out, p->value.rows());
-    WritePod<int64_t>(out, p->value.cols());
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() *
-                                           sizeof(float)));
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename " + tmp_path + " to " + path);
   }
-  if (!out.good()) return Status::Internal("write failed: " + path);
   return Status::Ok();
 }
 
@@ -56,6 +75,16 @@ Status LoadParameters(ParamStore& store, const std::string& path) {
   if (!ReadPod(in, &count)) {
     return Status::InvalidArgument("truncated header in " + path);
   }
+  // Stage every record into scratch buffers first; `store` is only
+  // touched after the whole file validated, so a truncated or corrupt
+  // checkpoint never leaves a half-loaded model behind.
+  struct StagedRecord {
+    Parameter* param;
+    std::vector<float> values;
+  };
+  std::vector<StagedRecord> staged;
+  staged.reserve(count);
+  std::set<std::string> seen_names;
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
     if (!ReadPod(in, &name_len) || name_len > 4096) {
@@ -70,6 +99,10 @@ Status LoadParameters(ParamStore& store, const std::string& path) {
       return Status::InvalidArgument("truncated parameter record for '" +
                                      name + "'");
     }
+    if (!seen_names.insert(name).second) {
+      return Status::InvalidArgument("duplicate parameter record for '" +
+                                     name + "' in " + path);
+    }
     Parameter* p = store.Find(name);
     if (p == nullptr) {
       return Status::InvalidArgument("unknown parameter in file: '" + name +
@@ -81,11 +114,25 @@ Status LoadParameters(ParamStore& store, const std::string& path) {
           std::to_string(rows) + "x" + std::to_string(cols) +
           ", model has " + p->value.ShapeString());
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    StagedRecord rec;
+    rec.param = p;
+    rec.values.resize(static_cast<size_t>(p->value.size()));
+    in.read(reinterpret_cast<char*>(rec.values.data()),
+            static_cast<std::streamsize>(rec.values.size() * sizeof(float)));
     if (!in.good()) {
       return Status::InvalidArgument("truncated values for '" + name + "'");
     }
+    staged.push_back(std::move(rec));
+  }
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return Status::InvalidArgument(
+        "trailing garbage after " + std::to_string(count) +
+        " parameter records in " + path);
+  }
+  // Commit: the file is fully validated, now mutate the live store.
+  for (StagedRecord& rec : staged) {
+    std::memcpy(rec.param->value.data(), rec.values.data(),
+                rec.values.size() * sizeof(float));
   }
   return Status::Ok();
 }

@@ -11,6 +11,17 @@
 //
 // Optimizer state (Adam moments) is not persisted — loading yields a
 // model ready for inference or fresh fine-tuning.
+//
+// Durability guarantees:
+//  - SaveParameters writes to "<path>.tmp" and atomically rename(2)s it
+//    over `path`, so a crash mid-save never destroys the previous good
+//    checkpoint — `path` always holds either the old or the new file,
+//    never a torn mix.
+//  - LoadParameters validates the ENTIRE file (magic, every record's
+//    name/shape/values, no duplicate parameter names, no trailing bytes
+//    after the declared record count) into scratch buffers before
+//    mutating the store; a failed load leaves the model exactly as it
+//    was.
 
 #ifndef DGNN_AG_SERIALIZE_H_
 #define DGNN_AG_SERIALIZE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace dgnn::ag {
@@ -22,6 +23,8 @@ constexpr int64_t kEltGrain = 4096;   // chunks of flat elements
 // is not worth the complexity.
 void GemmAcc(const Tensor& a, bool ta, const Tensor& b, bool tb,
              Tensor& out) {
+  static telemetry::Timer* gemm_timer = telemetry::GetTimer("ag.gemm");
+  telemetry::ScopedTimer timer(gemm_timer);
   const int64_t m = ta ? a.cols() : a.rows();
   const int64_t k = ta ? a.rows() : a.cols();
   const int64_t k2 = tb ? b.cols() : b.rows();
@@ -614,10 +617,14 @@ VarId Tape::Dropout(VarId a, float rate, util::Rng& rng, bool training) {
 VarId Tape::SpMM(const graph::CsrMatrix* adj, const graph::CsrMatrix* adj_t,
                  VarId b) {
   DGNN_CHECK(adj != nullptr);
+  static telemetry::Timer* spmm_timer = telemetry::GetTimer("ag.spmm");
   const Tensor& bv = val(b);
   DGNN_CHECK_EQ(adj->cols(), bv.rows());
   Tensor out(adj->rows(), bv.cols());
-  adj->Multiply(bv.data(), bv.cols(), out.data());
+  {
+    telemetry::ScopedTimer timer(spmm_timer);
+    adj->Multiply(bv.data(), bv.cols(), out.data());
+  }
   bool rg = requires_grad(b);
   VarId id = Emit(std::move(out), rg, nullptr);
   if (rg) {
@@ -628,7 +635,10 @@ VarId Tape::SpMM(const graph::CsrMatrix* adj, const graph::CsrMatrix* adj_t,
     node(id).backward = [this, id, adj_t, b]() {
       const Tensor& g = node(id).grad;
       Tensor tmp(adj_t->rows(), g.cols());
-      adj_t->Multiply(g.data(), g.cols(), tmp.data());
+      {
+        telemetry::ScopedTimer timer(spmm_timer);
+        adj_t->Multiply(g.data(), g.cols(), tmp.data());
+      }
       grad_buf(b).Add(tmp);
     };
   }

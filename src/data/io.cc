@@ -35,19 +35,49 @@ StatusOr<std::string> ReadFile(const std::string& path) {
   return buf.str();
 }
 
-// Parses "a \t b [\t c]" integer rows, skipping blank lines.
+// Parses "a \t b [\t c]" integer rows, skipping blank lines. `fn` receives
+// the fields and the 1-based row number (counting every line, so the
+// number matches what an editor shows for the offending row).
 Status ForEachRow(const std::string& content, size_t min_fields,
-                  const std::function<Status(const std::vector<std::string>&)>&
-                      fn) {
+                  const std::function<Status(const std::vector<std::string>&,
+                                             int64_t)>& fn) {
+  int64_t row = 0;
   for (const std::string& line : Split(content, '\n')) {
+    ++row;
     if (util::Trim(line).empty()) continue;
     auto fields = Split(line, '\t');
     if (fields.size() < min_fields) {
       return Status::InvalidArgument("short row: '" + line + "'");
     }
-    DGNN_RETURN_IF_ERROR(fn(fields));
+    DGNN_RETURN_IF_ERROR(fn(fields, row));
   }
   return Status::Ok();
+}
+
+// "<file> row <row>: <what> id <id> out of range [0, <bound>)". Every id
+// loaded from disk is validated against the meta.tsv bounds before it can
+// reach vector indexing or CSR construction.
+Status IdOutOfRange(const std::string& file, int64_t row, const char* what,
+                    int64_t id, int64_t bound) {
+  return Status::InvalidArgument(util::StrFormat(
+      "%s row %lld: %s id %lld out of range [0, %lld)", file.c_str(),
+      static_cast<long long>(row), what, static_cast<long long>(id),
+      static_cast<long long>(bound)));
+}
+
+// Parses field `f` as an id and range-checks it against [0, bound).
+StatusOr<int32_t> ParseId(const std::string& file, int64_t row,
+                          const char* what, const std::string& field,
+                          int64_t bound) {
+  auto v = ParseInt(field);
+  if (!v.ok()) {
+    return Status::InvalidArgument(file + " row " + std::to_string(row) +
+                                   ": " + v.status().message());
+  }
+  if (v.value() < 0 || v.value() >= bound) {
+    return IdOutOfRange(file, row, what, v.value(), bound);
+  }
+  return static_cast<int32_t>(v.value());
 }
 
 }  // namespace
@@ -116,6 +146,10 @@ StatusOr<Dataset> LoadDataset(const std::string& dir) {
     if (!u.ok()) return u.status();
     if (!i.ok()) return i.status();
     if (!r.ok()) return r.status();
+    if (u.value() < 0 || i.value() < 0 || r.value() < 0) {
+      return Status::InvalidArgument("meta.tsv in " + dir +
+                                     ": negative entity count");
+    }
     ds.num_users = static_cast<int32_t>(u.value());
     ds.num_items = static_cast<int32_t>(i.value());
     ds.num_relations = static_cast<int32_t>(r.value());
@@ -126,15 +160,14 @@ StatusOr<Dataset> LoadDataset(const std::string& dir) {
     if (!content.ok()) return content.status();
     return ForEachRow(
         content.value(), 3,
-        [&](const std::vector<std::string>& f) -> Status {
-          auto u = ParseInt(f[0]);
-          auto i = ParseInt(f[1]);
-          auto t = ParseInt(f[2]);
+        [&](const std::vector<std::string>& f, int64_t row) -> Status {
+          auto u = ParseId(file, row, "user", f[0], ds.num_users);
           if (!u.ok()) return u.status();
+          auto i = ParseId(file, row, "item", f[1], ds.num_items);
           if (!i.ok()) return i.status();
+          auto t = ParseInt(f[2]);
           if (!t.ok()) return t.status();
-          out->push_back(Interaction{static_cast<int32_t>(u.value()),
-                                     static_cast<int32_t>(i.value()),
+          out->push_back(Interaction{u.value(), i.value(),
                                      static_cast<int32_t>(t.value())});
           return Status::Ok();
         });
@@ -145,13 +178,13 @@ StatusOr<Dataset> LoadDataset(const std::string& dir) {
     auto content = ReadFile(dir + "/social.tsv");
     if (!content.ok()) return content.status();
     DGNN_RETURN_IF_ERROR(ForEachRow(
-        content.value(), 2, [&](const std::vector<std::string>& f) -> Status {
-          auto u = ParseInt(f[0]);
-          auto v = ParseInt(f[1]);
+        content.value(), 2,
+        [&](const std::vector<std::string>& f, int64_t row) -> Status {
+          auto u = ParseId("social.tsv", row, "user", f[0], ds.num_users);
           if (!u.ok()) return u.status();
+          auto v = ParseId("social.tsv", row, "user", f[1], ds.num_users);
           if (!v.ok()) return v.status();
-          ds.social.emplace_back(static_cast<int32_t>(u.value()),
-                                 static_cast<int32_t>(v.value()));
+          ds.social.emplace_back(u.value(), v.value());
           return Status::Ok();
         }));
   }
@@ -159,13 +192,15 @@ StatusOr<Dataset> LoadDataset(const std::string& dir) {
     auto content = ReadFile(dir + "/item_relations.tsv");
     if (!content.ok()) return content.status();
     DGNN_RETURN_IF_ERROR(ForEachRow(
-        content.value(), 2, [&](const std::vector<std::string>& f) -> Status {
-          auto i = ParseInt(f[0]);
-          auto r = ParseInt(f[1]);
+        content.value(), 2,
+        [&](const std::vector<std::string>& f, int64_t row) -> Status {
+          auto i =
+              ParseId("item_relations.tsv", row, "item", f[0], ds.num_items);
           if (!i.ok()) return i.status();
+          auto r = ParseId("item_relations.tsv", row, "relation", f[1],
+                           ds.num_relations);
           if (!r.ok()) return r.status();
-          ds.item_relations.emplace_back(static_cast<int32_t>(i.value()),
-                                         static_cast<int32_t>(r.value()));
+          ds.item_relations.emplace_back(i.value(), r.value());
           return Status::Ok();
         }));
   }
@@ -173,13 +208,15 @@ StatusOr<Dataset> LoadDataset(const std::string& dir) {
     auto content = ReadFile(dir + "/eval_negatives.tsv");
     if (!content.ok()) return content.status();
     DGNN_RETURN_IF_ERROR(ForEachRow(
-        content.value(), 1, [&](const std::vector<std::string>& f) -> Status {
+        content.value(), 1,
+        [&](const std::vector<std::string>& f, int64_t row) -> Status {
           std::vector<int32_t> negs;
           negs.reserve(f.size());
           for (const auto& field : f) {
-            auto v = ParseInt(field);
+            auto v = ParseId("eval_negatives.tsv", row, "item", field,
+                             ds.num_items);
             if (!v.ok()) return v.status();
-            negs.push_back(static_cast<int32_t>(v.value()));
+            negs.push_back(v.value());
           }
           ds.eval_negatives.push_back(std::move(negs));
           return Status::Ok();

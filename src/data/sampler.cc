@@ -16,12 +16,34 @@ BprSampler::BprSampler(const Dataset& dataset, uint64_t seed)
 
 int32_t BprSampler::SampleNegative(int32_t user) {
   const auto& seen = items_by_user_[static_cast<size_t>(user)];
-  DGNN_DCHECK_LT(static_cast<int64_t>(seen.size()), dataset_->num_items)
-      << "user interacted with every item; cannot sample a negative";
-  while (true) {
-    int32_t cand = static_cast<int32_t>(rng_.UniformInt(dataset_->num_items));
+  const int64_t num_items = dataset_->num_items;
+  // Hard error (also in release builds): a user who interacted with every
+  // item has no negative to sample, and looping forever — what the old
+  // DCHECK-only guard did under NDEBUG — is strictly worse than failing.
+  DGNN_CHECK_LT(static_cast<int64_t>(seen.size()), num_items)
+      << "user " << user
+      << " interacted with every item; cannot sample a negative";
+  // Rejection sampling terminates quickly for typical (sparse) users but
+  // degenerates as seen/num_items -> 1, so it is bounded: after
+  // kMaxRejectionDraws misses fall through to an exact draw over the
+  // unseen set.
+  constexpr int kMaxRejectionDraws = 64;
+  for (int draw = 0; draw < kMaxRejectionDraws; ++draw) {
+    int32_t cand = static_cast<int32_t>(rng_.UniformInt(num_items));
     if (!std::binary_search(seen.begin(), seen.end(), cand)) return cand;
   }
+  // Exact fallback: pick the k-th smallest unseen item uniformly. `seen`
+  // is sorted, so walking it converts the rank k into an item id.
+  int64_t k = rng_.UniformInt(num_items - static_cast<int64_t>(seen.size()));
+  int32_t cand = static_cast<int32_t>(k);
+  for (int32_t s : seen) {
+    if (s <= cand) {
+      ++cand;
+    } else {
+      break;
+    }
+  }
+  return cand;
 }
 
 std::vector<BprBatch> BprSampler::SampleEpoch(int batch_size) {

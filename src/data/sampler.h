@@ -35,6 +35,10 @@ class BprSampler {
   }
 
  private:
+  // Uniform over the items `user` never interacted with: bounded rejection
+  // sampling with an exact order-statistic fallback for near-saturated
+  // users, so it always terminates. CHECK-fails (in release builds too)
+  // when the user interacted with every item.
   int32_t SampleNegative(int32_t user);
 
   const Dataset* dataset_;

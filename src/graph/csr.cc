@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace dgnn::graph {
@@ -216,6 +217,13 @@ void CsrMatrix::RemoveDiagonal() {
 }
 
 void CsrMatrix::Multiply(const float* x, int64_t d, float* y) const {
+  // Edge-level work counter for the telemetry payloads: ag.spmm times the
+  // calls, this counts the multiply-adds actually performed.
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* edges =
+        telemetry::GetCounter("graph.spmm_edges_processed");
+    edges->Add(nnz());
+  }
   // Per-target-node parallelism: each chunk owns a contiguous row range of
   // y, and every output row is accumulated by exactly one thread in CSR
   // edge order, so the result is bit-identical to the serial kernel.

@@ -1,6 +1,7 @@
 #include "train/evaluator.h"
 
 #include "util/check.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace dgnn::train {
@@ -21,6 +22,12 @@ std::vector<int> Evaluator::Ranks(const ag::Tensor& user_emb,
   DGNN_CHECK_EQ(user_emb.rows(), dataset_->num_users);
   DGNN_CHECK_EQ(item_emb.rows(), dataset_->num_items);
   DGNN_CHECK_EQ(user_emb.cols(), item_emb.cols());
+  static telemetry::Timer* rank_timer = telemetry::GetTimer("eval.rank_scan");
+  telemetry::ScopedSpan span("rank_scan", "eval", rank_timer);
+  if (telemetry::Enabled()) {
+    telemetry::GetCounter("eval.users_evaluated")
+        ->Add(static_cast<int64_t>(dataset_->test.size()));
+  }
   const int64_t d = user_emb.cols();
   // One independent ranking task per test instance; every ranks[t] slot is
   // written by exactly one chunk, so output is thread-count independent.

@@ -5,6 +5,7 @@
 
 #include "ag/tape.h"
 #include "util/check.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace dgnn::train {
@@ -51,6 +52,10 @@ std::vector<ScoredItem> Recommender::TopK(int32_t user, int k) const {
   DGNN_CHECK_GE(user, 0);
   DGNN_CHECK_LT(user, users_.rows());
   DGNN_CHECK_GT(k, 0);
+  static telemetry::Histogram* latency =
+      telemetry::GetHistogram("serve.topk_seconds");
+  telemetry::ScopedLatency record_latency(latency);
+  telemetry::ScopedSpan span("topk", "serve");
   const auto& seen = seen_[static_cast<size_t>(user)];
   const float* u = users_.row(user);
   // Score the whole catalog in parallel (disjoint slots), then filter and
@@ -80,6 +85,10 @@ std::vector<ScoredItem> Recommender::SimilarUsers(int32_t user,
                                                   int k) const {
   DGNN_CHECK_GE(user, 0);
   DGNN_CHECK_LT(user, users_.rows());
+  static telemetry::Histogram* latency =
+      telemetry::GetHistogram("serve.similar_users_seconds");
+  telemetry::ScopedLatency record_latency(latency);
+  telemetry::ScopedSpan span("similar_users", "serve");
   const float* u = users_.row(user);
   const float u_norm = std::sqrt(Dot(u, u, users_.cols()));
   std::vector<float> scores(static_cast<size_t>(users_.rows()));

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/stopwatch.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace dgnn::train {
@@ -62,13 +63,30 @@ double Trainer::TrainBatch(const data::BprBatch& batch) {
 }
 
 double Trainer::TrainEpoch() {
+  static telemetry::Timer* epoch_timer = telemetry::GetTimer("train.epoch");
+  static telemetry::Timer* sampler_timer =
+      telemetry::GetTimer("train.sampler");
+  static telemetry::Timer* batch_timer = telemetry::GetTimer("train.batch");
+  telemetry::ScopedSpan epoch_span("epoch", "train", epoch_timer);
   double loss_sum = 0.0;
   int batches = 0;
-  for (const auto& batch : sampler_.SampleEpoch(config_.batch_size)) {
+  std::vector<data::BprBatch> epoch_batches;
+  {
+    telemetry::ScopedSpan span("sample_epoch", "train", sampler_timer);
+    epoch_batches = sampler_.SampleEpoch(config_.batch_size);
+  }
+  for (const auto& batch : epoch_batches) {
+    telemetry::ScopedTimer timer(batch_timer);
     loss_sum += TrainBatch(batch);
     ++batches;
   }
-  return batches > 0 ? loss_sum / batches : 0.0;
+  const double mean_loss = batches > 0 ? loss_sum / batches : 0.0;
+  if (telemetry::Enabled()) {
+    telemetry::GetCounter("train.epochs")->Add(1);
+    telemetry::GetCounter("train.batches")->Add(batches);
+    telemetry::GetGauge("train.last_loss")->Set(mean_loss);
+  }
+  return mean_loss;
 }
 
 TrainResult Trainer::Fit() {
@@ -91,6 +109,7 @@ TrainResult Trainer::Fit() {
         config_.eval_every > 0 && epoch % config_.eval_every == 0;
     if (eval_now) {
       util::Stopwatch esw;
+      telemetry::ScopedSpan span("evaluate", "eval");
       trace.metrics = evaluator_.EvaluateModel(*model_, config_.eval_cutoffs);
       trace.eval_seconds = esw.ElapsedSeconds();
       trace.evaluated = true;
@@ -118,8 +137,11 @@ TrainResult Trainer::Fit() {
     }
   }
   util::Stopwatch esw;
-  result.final_metrics =
-      evaluator_.EvaluateModel(*model_, config_.eval_cutoffs);
+  {
+    telemetry::ScopedSpan span("final_evaluate", "eval");
+    result.final_metrics =
+        evaluator_.EvaluateModel(*model_, config_.eval_cutoffs);
+  }
   result.final_eval_seconds = esw.ElapsedSeconds();
   if (!result.epochs.empty()) {
     result.mean_epoch_train_seconds =

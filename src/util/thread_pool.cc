@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/check.h"
+#include "util/telemetry.h"
 
 namespace dgnn::util {
 namespace {
@@ -15,6 +16,26 @@ namespace {
 // calls see it and degrade to serial chunk execution instead of trying to
 // re-enter the pool (which would deadlock the region they are part of).
 thread_local bool tls_in_parallel_region = false;
+
+// Pool telemetry. Counted per region (not per chunk) so the disabled-path
+// cost on the hot submit path is one relaxed load.
+struct PoolMetrics {
+  telemetry::Counter* regions = telemetry::GetCounter("threadpool.regions");
+  telemetry::Counter* chunks = telemetry::GetCounter("threadpool.chunks_run");
+  // Regions that could have gone parallel but fell back to serial because
+  // another thread already held the pool (submit contention) — the pool's
+  // "queue stall" signal.
+  telemetry::Counter* stalls =
+      telemetry::GetCounter("threadpool.submit_stalls");
+  // Regions executed serially inside an already-parallel region.
+  telemetry::Counter* nested =
+      telemetry::GetCounter("threadpool.nested_serial");
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
 
 }  // namespace
 
@@ -102,6 +123,13 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
                              void (*fn)(void*, int64_t, int64_t), void* ctx) {
   const int64_t num_chunks = NumChunks(begin, end, grain);
   if (num_chunks == 0) return;
+  const bool telemetry_on = telemetry::Enabled();
+  if (telemetry_on) {
+    PoolMetrics& m = GetPoolMetrics();
+    m.regions->Add(1);
+    m.chunks->Add(num_chunks);
+    if (tls_in_parallel_region) m.nested->Add(1);
+  }
   const bool can_go_parallel =
       num_threads_ > 1 && num_chunks > 1 && !tls_in_parallel_region;
   if (can_go_parallel && submit_mu_.try_lock()) {
@@ -137,6 +165,9 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // Serial execution on the caller: same chunk boundaries, in chunk order.
   // Covers num_threads == 1, nested calls, single-chunk ranges, and a pool
   // already busy with a region submitted by another thread.
+  if (telemetry_on && can_go_parallel) {
+    GetPoolMetrics().stalls->Add(1);  // lost the submit race
+  }
   for (int64_t c = 0; c < num_chunks; ++c) {
     const int64_t chunk_begin = begin + c * grain;
     const int64_t chunk_end = std::min(end, chunk_begin + grain);

@@ -174,6 +174,20 @@ TEST(IoTest, LoadMissingDirectoryFails) {
   EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
 }
 
+// Ids exactly at the meta.tsv bounds minus one are valid — the range
+// validation must reject num_users/num_items, not num_users - 1.
+TEST(IoTest, BoundaryIdsAreAccepted) {
+  Dataset ds = GenerateSynthetic(SyntheticConfig::Tiny());
+  ds.train.push_back({ds.num_users - 1, ds.num_items - 1, 0});
+  const std::string dir = ::testing::TempDir() + "/dgnn_io_boundary";
+  ASSERT_TRUE(SaveDataset(ds, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Interaction& last = loaded.value().train.back();
+  EXPECT_EQ(last.user, ds.num_users - 1);
+  EXPECT_EQ(last.item, ds.num_items - 1);
+}
+
 TEST(DatasetTest, StatsCountInteractionsAcrossSplits) {
   Dataset ds = GenerateSynthetic(SyntheticConfig::Tiny());
   auto stats = ds.ComputeStats();
