@@ -15,16 +15,19 @@
 #include "graph/hetero_graph.h"
 #include "train/trainer.h"
 #include "util/flags.h"
+#include "util/run_log.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/telemetry.h"
 
 namespace dgnn::bench {
 
-// Shared --metrics-out=F / --trace-out=F support: every bench that builds
-// its options through BenchOptions::FromFlags gets telemetry-enabled runs
-// whose metrics/trace JSON is flushed at process exit, so any bench run
-// can emit a machine-readable payload next to its printed table.
+// Shared --metrics-out=F / --trace-out=F / --run-log=F support: every
+// bench that builds its options through BenchOptions::FromFlags gets
+// telemetry-enabled runs whose metrics/trace JSON is flushed at process
+// exit, plus a structured JSONL run log covering every Fit the bench
+// performs — so any bench run can emit machine-readable payloads next to
+// its printed table (inspect the run log with dgnn_inspect).
 namespace internal {
 inline std::string& MetricsOutPath() {
   static std::string path;
@@ -54,17 +57,34 @@ inline void FlushTelemetryOutputs() {
       std::fprintf(stderr, "[bench] trace written to %s\n", trace.c_str());
     }
   }
+  if (runlog::Active()) {
+    std::fprintf(stderr, "[bench] run log written to %s (%lld events)\n",
+                 runlog::CurrentPath().c_str(),
+                 (long long)runlog::NumEvents());
+    runlog::Close();
+  }
 }
 }  // namespace internal
 
 inline void SetupTelemetryFromFlags(const util::Flags& flags) {
   internal::MetricsOutPath() = flags.GetString("metrics-out", "");
   internal::TraceOutPath() = flags.GetString("trace-out", "");
+  const std::string run_log = flags.GetString("run-log", "");
+  if (!run_log.empty()) {
+    util::Status s = runlog::Open(run_log);
+    if (!s.ok()) {
+      std::fprintf(stderr, "run-log: %s\n", s.ToString().c_str());
+      std::exit(2);
+    }
+  }
   if (internal::MetricsOutPath().empty() &&
-      internal::TraceOutPath().empty()) {
+      internal::TraceOutPath().empty() && run_log.empty()) {
     return;
   }
-  telemetry::SetEnabled(true);
+  if (!internal::MetricsOutPath().empty() ||
+      !internal::TraceOutPath().empty()) {
+    telemetry::SetEnabled(true);
+  }
   static bool registered = false;
   if (!registered) {
     registered = true;
@@ -91,10 +111,15 @@ struct BenchOptions {
   int eval_every = 0;
   int early_stop_patience = 0;
   bool verbose = false;
+  // Run-log diagnostics, forwarded into every TrainConfig the bench
+  // builds (see train::TrainConfig).
+  int grad_stats_every = 0;
+  bool check_numerics = false;
 
   // Common flags: --epochs, --batch, --dim, --layers, --memory, --seed,
-  // --verbose, plus --metrics-out / --trace-out (telemetry JSON flushed
-  // at exit; see SetupTelemetryFromFlags).
+  // --verbose, plus --metrics-out / --trace-out / --run-log (telemetry
+  // JSON and run log flushed at exit; see SetupTelemetryFromFlags) and
+  // --grad-stats-every / --check-numerics (run-log diagnostics).
   static BenchOptions FromFlags(const util::Flags& flags) {
     SetupTelemetryFromFlags(flags);
     BenchOptions o;
@@ -113,6 +138,9 @@ struct BenchOptions {
     o.early_stop_patience =
         static_cast<int>(flags.GetInt("patience", o.early_stop_patience));
     o.verbose = flags.GetBool("verbose", false);
+    o.grad_stats_every =
+        static_cast<int>(flags.GetInt("grad-stats-every", 0));
+    o.check_numerics = flags.GetBool("check-numerics", false);
     return o;
   }
 
@@ -128,6 +156,8 @@ struct BenchOptions {
     tc.early_stop_patience = early_stop_patience;
     tc.verbose = verbose;
     tc.seed = zoo.seed;
+    tc.grad_stats_every = grad_stats_every;
+    tc.check_numerics = check_numerics;
     return tc;
   }
 };

@@ -3,6 +3,12 @@
 // and HGT climbs faster than DGCF early on.
 //
 //   ./bench_fig8_convergence [--datasets=ciao,epinions,yelp] [--epochs=20]
+//
+// With --run-log=F the same per-epoch curve is captured as structured
+// `epoch` events (one run_start/run_end pair per dataset x model x seed),
+// so the printed table is derivable from the log afterwards:
+// `dgnn_inspect summarize F` renders it, and EXPERIMENTS.md documents how
+// to regenerate the Fig. 8 CSV from run logs alone.
 
 #include "bench_common.h"
 

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Run-log gate: exercise the structured-run-log pipeline end-to-end and
+# fail on any schema or tooling regression.
+#
+#   1. dgnn_cli trains on a synthetic dataset with --run-log,
+#      --grad-stats-every and a checkpoint save, then evaluates with the
+#      saved parameters (standalone eval events + checkpoint load).
+#   2. Every emitted line must parse as JSON with the v1 envelope; the
+#      event stream must have the documented shape (run_start first,
+#      run_end last, one epoch event per epoch, finite grad stats).
+#   3. dgnn_inspect summarize must render the log (exit 0).
+#   4. dgnn_inspect diff log log (self-diff) must pass; a copy with the
+#      final HR@10 perturbed downward must FAIL the directional check
+#      (exit 1), proving the gate can actually catch regressions.
+#
+# Usage: ci/check_runlog.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/dgnn_cli"
+INSPECT="$BUILD_DIR/examples/dgnn_inspect"
+
+if [[ ! -x "$CLI" || ! -x "$INSPECT" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target dgnn_cli dgnn_inspect
+fi
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+"$CLI" --mode=generate --data_dir="$WORK_DIR/data" --preset=tiny
+"$CLI" --mode=train --data_dir="$WORK_DIR/data" --epochs=3 --eval_every=1 \
+  --batch=128 --grad-stats-every=2 --check-numerics \
+  --run-log="$WORK_DIR/train.jsonl" --params="$WORK_DIR/model.bin"
+"$CLI" --mode=evaluate --data_dir="$WORK_DIR/data" \
+  --params="$WORK_DIR/model.bin" --run-log="$WORK_DIR/eval.jsonl"
+
+# Schema validation with a real JSON parser: envelope on every line,
+# documented ordering and event counts, finite gradient statistics.
+python3 - "$WORK_DIR" <<'EOF'
+import json, math, sys
+work = sys.argv[1]
+
+def load(path):
+    events = []
+    for i, line in enumerate(open(path), 1):
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)  # raises on any malformed line
+        assert obj.get("v") == 1, f"{path}:{i}: schema version {obj.get('v')}"
+        assert "event" in obj, f"{path}:{i}: missing event"
+        assert obj.get("elapsed_s", -1) >= 0, f"{path}:{i}: bad elapsed_s"
+        events.append(obj)
+    return events
+
+train = load(f"{work}/train.jsonl")
+kinds = [e["event"] for e in train]
+assert kinds[0] == "run_start", f"first event is {kinds[0]}"
+assert "run_end" in kinds, "no run_end"
+assert kinds.count("epoch") == 3, f"expected 3 epoch events, got {kinds.count('epoch')}"
+assert kinds.count("grad_stats") >= 1, "no grad_stats events"
+assert kinds.count("checkpoint") == 1, "expected exactly one checkpoint (save)"
+# 3 periodic evals + the final one.
+assert kinds.count("eval") == 4, f"expected 4 eval events, got {kinds.count('eval')}"
+
+start = train[0]
+assert start["model"] and start["dataset"] == "tiny"
+assert start["config"]["grad_stats_every"] == 2
+assert start["config"]["check_numerics"] is True
+assert start["dataset_stats"]["num_users"] > 0
+
+for e in train:
+    if e["event"] == "epoch":
+        assert math.isfinite(e["loss"]), f"non-finite loss: {e}"
+        if e["evaluated"]:
+            assert "10" in e["metrics"]["hr"], f"no HR@10: {e}"
+    if e["event"] == "grad_stats":
+        assert e["params"], "empty grad_stats params"
+        for p in e["params"]:
+            assert p["finite"], f"non-finite grads for {p['name']}"
+            assert math.isfinite(p["grad_l2"]), p["name"]
+
+end = next(e for e in train if e["event"] == "run_end")
+assert end["epochs_run"] == 3
+assert 1 <= end["best_epoch"] <= 3, f"bad best_epoch {end['best_epoch']}"
+assert "hr" in end["final_metrics"]
+
+ckpt = next(e for e in train if e["event"] == "checkpoint")
+assert ckpt["action"] == "save" and ckpt["ok"] is True
+
+# The standalone evaluation run: checkpoint load + eval, no run_start.
+ev = load(f"{work}/eval.jsonl")
+ev_kinds = [e["event"] for e in ev]
+assert "checkpoint" in ev_kinds and "eval" in ev_kinds, ev_kinds
+load_ev = next(e for e in ev if e["event"] == "checkpoint")
+assert load_ev["action"] == "load" and load_ev["ok"] is True
+
+# Perturb the final HR@10 downward for the must-fail diff below.
+bad = []
+for e in train:
+    if e["event"] == "run_end":
+        e["final_metrics"]["hr"]["10"] -= 0.2
+    bad.append(json.dumps(e))
+open(f"{work}/train_bad.jsonl", "w").write("\n".join(bad) + "\n")
+print("check_runlog: schema valid")
+EOF
+
+# The inspector must render both logs.
+"$INSPECT" summarize "$WORK_DIR/train.jsonl" > /dev/null
+"$INSPECT" summarize "$WORK_DIR/eval.jsonl" > /dev/null
+
+# Self-diff passes at zero tolerance.
+"$INSPECT" diff "$WORK_DIR/train.jsonl" "$WORK_DIR/train.jsonl" > /dev/null
+
+# The perturbed log must fail the directional check (exit 1, not a crash).
+if "$INSPECT" diff "$WORK_DIR/train.jsonl" "$WORK_DIR/train_bad.jsonl" \
+    --hr-tol=0.05 > /dev/null; then
+  echo "check_runlog: perturbed diff unexpectedly passed" >&2
+  exit 1
+fi
+rc=0
+"$INSPECT" diff "$WORK_DIR/train.jsonl" "$WORK_DIR/train_bad.jsonl" \
+  --hr-tol=0.05 > /dev/null || rc=$?
+if [[ "$rc" -ne 1 ]]; then
+  echo "check_runlog: expected exit 1 from regressed diff, got $rc" >&2
+  exit 1
+fi
+# A tolerance wider than the perturbation accepts it.
+"$INSPECT" diff "$WORK_DIR/train.jsonl" "$WORK_DIR/train_bad.jsonl" \
+  --hr-tol=0.5 > /dev/null
+
+echo "Run-log check passed."

@@ -18,6 +18,15 @@
 // DGNN_NUM_THREADS environment variable, else hardware concurrency).
 // Outputs are bit-identical for every thread count.
 //
+// Observability (see README "Run logs & inspection"):
+//   --run-log=F           write a structured JSONL run log (run_start /
+//                         epoch / eval / grad_stats / checkpoint /
+//                         run_end events); inspect with dgnn_inspect.
+//   --grad-stats-every=K  sample per-parameter gradient diagnostics
+//                         every K training batches (train mode).
+//   --check-numerics      fail fast on the first non-finite value or
+//                         gradient, naming the producing tape op.
+//
 // Examples:
 //   dgnn_cli --mode=generate --data_dir=/tmp/d
 //   dgnn_cli --mode=train --data_dir=/tmp/d --params=/tmp/d/dgnn.bin
@@ -26,6 +35,7 @@
 
 #include <cstdio>
 
+#include "ag/diagnostics.h"
 #include "ag/serialize.h"
 #include "core/dgnn_model.h"
 #include "core/model_zoo.h"
@@ -36,6 +46,7 @@
 #include "train/recommender.h"
 #include "train/trainer.h"
 #include "util/flags.h"
+#include "util/run_log.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -122,6 +133,9 @@ int Train(const util::Flags& flags, const std::string& data_dir) {
   tc.eval_every = static_cast<int>(flags.GetInt("eval_every", 0));
   tc.eval_cutoffs = {5, 10, 20};
   tc.verbose = true;
+  tc.grad_stats_every =
+      static_cast<int>(flags.GetInt("grad-stats-every", 0));
+  tc.check_numerics = flags.GetBool("check-numerics", false);
   train::Trainer trainer(l.model.get(), l.dataset, tc);
   auto result = trainer.Fit();
   std::printf("final: %s (%.2fs train%s)\n",
@@ -203,13 +217,25 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty() || !trace_out.empty()) {
     telemetry::SetEnabled(true);
   }
+  // --run-log=F opens the structured JSONL run log for the whole process;
+  // trainer / evaluator / checkpoint code emit into it. --check-numerics
+  // applies to every mode (evaluate-only runs fail fast too).
+  const std::string run_log = flags.GetString("run-log", "");
+  if (!run_log.empty()) {
+    util::Status s = runlog::Open(run_log);
+    if (!s.ok()) return Fail(s);
+  }
+  if (flags.GetBool("check-numerics", false)) {
+    ag::SetCheckNumerics(true);
+  }
   const std::string mode = flags.GetString("mode", "");
   const std::string data_dir = flags.GetString("data_dir", "");
   if (data_dir.empty()) {
     std::fprintf(stderr,
                  "usage: dgnn_cli --mode=generate|train|evaluate|recommend "
                  "--data_dir=DIR [--threads=N] [--metrics-out=F] "
-                 "[--trace-out=F] [options]\n");
+                 "[--trace-out=F] [--run-log=F] [--grad-stats-every=K] "
+                 "[--check-numerics] [options]\n");
     return 2;
   }
   int code;
@@ -236,6 +262,11 @@ int main(int argc, char** argv) {
     std::printf("trace written to %s (%lld spans; open in "
                 "chrome://tracing)\n",
                 trace_out.c_str(), (long long)telemetry::NumTraceEvents());
+  }
+  if (!run_log.empty()) {
+    std::printf("run log written to %s (%lld events)\n", run_log.c_str(),
+                (long long)runlog::NumEvents());
+    runlog::Close();
   }
   return code;
 }

@@ -1,0 +1,420 @@
+// dgnn_inspect — offline reader for the structured JSONL run logs that
+// dgnn_cli / the bench harnesses write via --run-log (schema: see
+// src/util/run_log.h, version 1).
+//
+// Subcommands:
+//   dgnn_inspect summarize LOG
+//       Render every run in the log: config header, per-epoch loss and
+//       metric curves, the latest gradient-statistics table, anomalies,
+//       checkpoints, and the run_end summary. A log whose final run has
+//       no run_end is reported as "run died" — a crashed run leaves a
+//       valid prefix, not corruption.
+//   dgnn_inspect diff BASELINE CANDIDATE [--hr-tol=X] [--ndcg-tol=X]
+//                     [--loss-tol=X]
+//       Compare runs pairwise (run i vs run i). Directional check:
+//       metrics regress when candidate < baseline - tol; loss regresses
+//       when candidate > baseline + tol. Improvements never fail.
+//       Tolerances default to 0 (bit-exact runs diff clean).
+//
+// Exit codes: 0 = ok, 1 = diff found a regression, 2 = usage error,
+// unreadable file, unparseable line, or structurally incomparable logs.
+// ci/check_runlog.sh gates on exactly these.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using dgnn::util::JsonValue;
+using dgnn::util::ParseJson;
+using dgnn::util::StrFormat;
+
+// One training/evaluation run reconstructed from the event stream: the
+// slice from a run_start up to (and including) its run_end. Events seen
+// before any run_start (e.g. `eval`/`checkpoint` from dgnn_cli
+// --mode=evaluate, which never calls Trainer::Fit) form an implicit
+// headerless run.
+struct Run {
+  JsonValue run_start;  // kNull when the run is headerless
+  JsonValue run_end;    // kNull when the run died before run_end
+  bool has_start = false;
+  bool has_end = false;
+  std::vector<JsonValue> epochs;
+  std::vector<JsonValue> evals;
+  std::vector<JsonValue> grad_stats;
+  std::vector<JsonValue> anomalies;
+  std::vector<JsonValue> checkpoints;
+};
+
+struct RunLogFile {
+  std::string path;
+  int64_t num_lines = 0;
+  std::vector<Run> runs;
+};
+
+// Parses the JSONL file into runs. Returns false (with a message on
+// stderr) when the file is unreadable or any line fails to parse — a
+// complete line that does not parse is corruption, unlike a missing
+// run_end.
+bool LoadRunLog(const std::string& path, RunLogFile* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "dgnn_inspect: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out->path = path;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "dgnn_inspect: %s:%lld: %s\n", path.c_str(),
+                   (long long)line_no,
+                   parsed.status().ToString().c_str());
+      return false;
+    }
+    JsonValue v = std::move(parsed).value();
+    const std::string event = v.StringOr("event", "");
+    if (event.empty()) {
+      std::fprintf(stderr, "dgnn_inspect: %s:%lld: missing \"event\"\n",
+                   path.c_str(), (long long)line_no);
+      return false;
+    }
+    ++out->num_lines;
+    // A run begins at each run_start; events before the first run_start
+    // form an implicit headerless run. Events after a run_end (e.g. the
+    // checkpoint dgnn_cli saves after Fit) attach to the closed run.
+    if (event == "run_start" || out->runs.empty()) {
+      out->runs.push_back(Run{});
+    }
+    Run& run = out->runs.back();
+    if (event == "run_start") {
+      run.run_start = std::move(v);
+      run.has_start = true;
+    } else if (event == "run_end") {
+      run.run_end = std::move(v);
+      run.has_end = true;
+    } else if (event == "epoch") {
+      run.epochs.push_back(std::move(v));
+    } else if (event == "eval") {
+      run.evals.push_back(std::move(v));
+    } else if (event == "grad_stats") {
+      run.grad_stats.push_back(std::move(v));
+    } else if (event == "anomaly") {
+      run.anomalies.push_back(std::move(v));
+    } else if (event == "checkpoint") {
+      run.checkpoints.push_back(std::move(v));
+    }
+    // Unknown events are skipped by design (forward compatibility).
+  }
+  return true;
+}
+
+// Cutoffs present in a metrics object's "hr" member, as sorted ints.
+std::vector<int> MetricCutoffs(const JsonValue* metrics) {
+  std::vector<int> out;
+  if (metrics == nullptr) return out;
+  const JsonValue* hr = metrics->Find("hr");
+  if (hr == nullptr || !hr->is_object()) return out;
+  for (const auto& [key, unused] : hr->object) {
+    out.push_back(std::atoi(key.c_str()));
+  }
+  return out;
+}
+
+double MetricAt(const JsonValue* metrics, const char* family, int cutoff,
+                double def) {
+  if (metrics == nullptr) return def;
+  const JsonValue* fam = metrics->Find(family);
+  if (fam == nullptr) return def;
+  return fam->NumberOr(std::to_string(cutoff), def);
+}
+
+void PrintRunHeader(const Run& run, size_t index) {
+  if (!run.has_start) {
+    std::printf("== run %zu (headerless: evaluation-only or pre-run "
+                "events) ==\n",
+                index + 1);
+    return;
+  }
+  const JsonValue& s = run.run_start;
+  std::printf("== run %zu: %s on %s (seed %lld, %lld threads) ==\n",
+              index + 1, s.StringOr("model", "?").c_str(),
+              s.StringOr("dataset", "?").c_str(),
+              (long long)s.NumberOr("seed", 0),
+              (long long)s.NumberOr("num_threads", 0));
+  const JsonValue* ds = s.Find("dataset_stats");
+  if (ds != nullptr) {
+    std::printf("   dataset: %lld users, %lld items, %lld interactions, "
+                "%lld social ties\n",
+                (long long)ds->NumberOr("num_users", 0),
+                (long long)ds->NumberOr("num_items", 0),
+                (long long)ds->NumberOr("num_interactions", 0),
+                (long long)ds->NumberOr("num_social_ties", 0));
+  }
+}
+
+void PrintEpochTable(const Run& run) {
+  if (run.epochs.empty()) return;
+  // Metric columns come from the first evaluated epoch's cutoffs.
+  std::vector<int> cutoffs;
+  for (const auto& e : run.epochs) {
+    if (e.BoolOr("evaluated", false)) {
+      cutoffs = MetricCutoffs(e.Find("metrics"));
+      break;
+    }
+  }
+  std::vector<std::string> header = {"Epoch", "Loss", "Train s"};
+  for (int n : cutoffs) header.push_back(StrFormat("HR@%d", n));
+  for (int n : cutoffs) header.push_back(StrFormat("NDCG@%d", n));
+  header.push_back("Eval s");
+  dgnn::util::Table table(header);
+  for (const auto& e : run.epochs) {
+    std::vector<std::string> row = {
+        StrFormat("%lld", (long long)e.NumberOr("epoch", 0)),
+        StrFormat("%.4f", e.NumberOr("loss", 0.0)),
+        StrFormat("%.2f", e.NumberOr("train_seconds", 0.0))};
+    const bool evaluated = e.BoolOr("evaluated", false);
+    const JsonValue* m = evaluated ? e.Find("metrics") : nullptr;
+    for (int n : cutoffs) {
+      row.push_back(m != nullptr
+                        ? StrFormat("%.4f", MetricAt(m, "hr", n, 0.0))
+                        : "-");
+    }
+    for (int n : cutoffs) {
+      row.push_back(m != nullptr
+                        ? StrFormat("%.4f", MetricAt(m, "ndcg", n, 0.0))
+                        : "-");
+    }
+    row.push_back(evaluated
+                      ? StrFormat("%.2f", e.NumberOr("eval_seconds", 0.0))
+                      : "-");
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+void PrintGradStats(const Run& run) {
+  if (run.grad_stats.empty()) return;
+  const JsonValue& last = run.grad_stats.back();
+  std::printf("gradient stats (batch %lld, %zu samples in log):\n",
+              (long long)last.NumberOr("batch", 0),
+              run.grad_stats.size());
+  const JsonValue* params = last.Find("params");
+  if (params == nullptr || !params->is_array()) return;
+  dgnn::util::Table table({"Parameter", "Size", "||g||", "max|g|",
+                           "zero frac", "upd/param", "Finite"});
+  for (const auto& p : params->array) {
+    table.AddRow({p.StringOr("name", "?"),
+                  StrFormat("%lld", (long long)p.NumberOr("size", 0)),
+                  StrFormat("%.3e", p.NumberOr("grad_l2", 0.0)),
+                  StrFormat("%.3e", p.NumberOr("grad_max_abs", 0.0)),
+                  StrFormat("%.3f", p.NumberOr("grad_zero_frac", 0.0)),
+                  StrFormat("%.3e", p.NumberOr("update_ratio", 0.0)),
+                  p.BoolOr("finite", true) ? "yes" : "NO"});
+  }
+  table.Print();
+}
+
+void PrintRunFooter(const Run& run) {
+  for (const auto& a : run.anomalies) {
+    std::printf("ANOMALY: %s in op %s%s\n",
+                a.StringOr("kind", "?").c_str(),
+                a.StringOr("op", "?").c_str(),
+                a.Find("param") != nullptr
+                    ? StrFormat(" (parameter '%s')",
+                                a.StringOr("param", "").c_str())
+                        .c_str()
+                    : "");
+  }
+  for (const auto& c : run.checkpoints) {
+    std::printf("checkpoint: %s %s (%s)\n",
+                c.StringOr("action", "?").c_str(),
+                c.StringOr("path", "?").c_str(),
+                c.BoolOr("ok", false)
+                    ? "ok"
+                    : ("FAILED: " + c.StringOr("error", "?")).c_str());
+  }
+  for (const auto& e : run.evals) {
+    if (!run.epochs.empty()) break;  // epoch table already shows these
+    const JsonValue* m = e.Find("metrics");
+    std::string metrics_str;
+    for (int n : MetricCutoffs(m)) {
+      metrics_str += StrFormat("HR@%d=%.4f NDCG@%d=%.4f ", n,
+                               MetricAt(m, "hr", n, 0.0), n,
+                               MetricAt(m, "ndcg", n, 0.0));
+    }
+    std::printf("eval: %s(%.2fs)\n", metrics_str.c_str(),
+                e.NumberOr("seconds", 0.0));
+  }
+  if (run.has_end) {
+    const JsonValue& r = run.run_end;
+    std::printf("run_end: %lld epochs%s, best epoch %lld "
+                "(metric %.4f), total train %.2fs\n",
+                (long long)r.NumberOr("epochs_run", 0),
+                r.BoolOr("stopped_early", false) ? " (stopped early)" : "",
+                (long long)r.NumberOr("best_epoch", 0),
+                r.NumberOr("best_metric", 0.0),
+                r.NumberOr("total_train_seconds", 0.0));
+  } else if (run.has_start) {
+    std::printf("run died before run_end (crashed or still running)\n");
+  }
+}
+
+int Summarize(const std::string& path) {
+  RunLogFile log;
+  if (!LoadRunLog(path, &log)) return 2;
+  std::printf("run log %s: %lld events, %zu run(s)\n", path.c_str(),
+              (long long)log.num_lines, log.runs.size());
+  for (size_t i = 0; i < log.runs.size(); ++i) {
+    const Run& run = log.runs[i];
+    PrintRunHeader(run, i);
+    PrintEpochTable(run);
+    PrintGradStats(run);
+    PrintRunFooter(run);
+  }
+  return 0;
+}
+
+struct DiffTolerances {
+  double hr = 0.0;
+  double ndcg = 0.0;
+  double loss = 0.0;
+};
+
+// Final metrics of a run: run_end.final_metrics.
+const JsonValue* FinalMetrics(const Run& run) {
+  return run.has_end ? run.run_end.Find("final_metrics") : nullptr;
+}
+
+int Diff(const std::string& base_path, const std::string& cand_path,
+         const DiffTolerances& tol) {
+  RunLogFile base, cand;
+  if (!LoadRunLog(base_path, &base) || !LoadRunLog(cand_path, &cand)) {
+    return 2;
+  }
+  if (base.runs.size() != cand.runs.size()) {
+    std::fprintf(stderr,
+                 "dgnn_inspect: run count mismatch: %zu vs %zu — logs are "
+                 "not comparable\n",
+                 base.runs.size(), cand.runs.size());
+    return 2;
+  }
+  dgnn::util::Table table(
+      {"Run", "Quantity", "Baseline", "Candidate", "Delta", "Status"});
+  int regressions = 0;
+  for (size_t i = 0; i < base.runs.size(); ++i) {
+    const Run& b = base.runs[i];
+    const Run& c = cand.runs[i];
+    if (b.has_start && c.has_start) {
+      const std::string bm = b.run_start.StringOr("model", "?");
+      const std::string cm = c.run_start.StringOr("model", "?");
+      if (bm != cm) {
+        std::fprintf(stderr,
+                     "dgnn_inspect: run %zu trains different models "
+                     "(%s vs %s) — logs are not comparable\n",
+                     i + 1, bm.c_str(), cm.c_str());
+        return 2;
+      }
+    }
+    if (!b.has_end || !c.has_end) {
+      std::fprintf(stderr,
+                   "dgnn_inspect: run %zu has no run_end in %s — cannot "
+                   "diff a dead run\n",
+                   i + 1, b.has_end ? cand_path.c_str() : base_path.c_str());
+      return 2;
+    }
+    const std::string run_label = StrFormat("%zu", i + 1);
+    const JsonValue* bmet = FinalMetrics(b);
+    const JsonValue* cmet = FinalMetrics(c);
+    // Metrics: higher is better; regression when candidate drops by more
+    // than the tolerance.
+    for (const char* family : {"hr", "ndcg"}) {
+      const double family_tol =
+          std::strcmp(family, "hr") == 0 ? tol.hr : tol.ndcg;
+      for (int n : MetricCutoffs(bmet)) {
+        const double bv = MetricAt(bmet, family, n, 0.0);
+        const double cv = MetricAt(cmet, family, n, bv);
+        const bool regressed = cv < bv - family_tol;
+        regressions += regressed ? 1 : 0;
+        table.AddRow({run_label,
+                      StrFormat("%s@%d", family[0] == 'h' ? "HR" : "NDCG",
+                                n),
+                      StrFormat("%.4f", bv), StrFormat("%.4f", cv),
+                      StrFormat("%+.4f", cv - bv),
+                      regressed ? "REGRESSION" : "ok"});
+      }
+    }
+    // Loss: lower is better; compare the last epoch's loss.
+    if (!b.epochs.empty() && !c.epochs.empty()) {
+      const double bl = b.epochs.back().NumberOr("loss", 0.0);
+      const double cl = c.epochs.back().NumberOr("loss", 0.0);
+      const bool regressed = cl > bl + tol.loss;
+      regressions += regressed ? 1 : 0;
+      table.AddRow({run_label, "final loss", StrFormat("%.4f", bl),
+                    StrFormat("%.4f", cl), StrFormat("%+.4f", cl - bl),
+                    regressed ? "REGRESSION" : "ok"});
+    }
+  }
+  table.Print();
+  if (regressions > 0) {
+    std::printf("%d regression(s) beyond tolerance (hr %.4g, ndcg %.4g, "
+                "loss %.4g)\n",
+                regressions, tol.hr, tol.ndcg, tol.loss);
+    return 1;
+  }
+  std::printf("no regressions\n");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  dgnn_inspect summarize LOG\n"
+      "  dgnn_inspect diff BASELINE CANDIDATE [--hr-tol=X] [--ndcg-tol=X]"
+      " [--loss-tol=X]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Hand-rolled argv handling: this tool takes positional paths, which
+  // util::Flags rejects by design.
+  std::vector<std::string> positional;
+  DiffTolerances tol;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--hr-tol=", 0) == 0) {
+      tol.hr = std::atof(arg.c_str() + 9);
+    } else if (arg.rfind("--ndcg-tol=", 0) == 0) {
+      tol.ndcg = std::atof(arg.c_str() + 11);
+    } else if (arg.rfind("--loss-tol=", 0) == 0) {
+      tol.loss = std::atof(arg.c_str() + 11);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "dgnn_inspect: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() == 2 && positional[0] == "summarize") {
+    return Summarize(positional[1]);
+  }
+  if (positional.size() == 3 && positional[0] == "diff") {
+    return Diff(positional[1], positional[2], tol);
+  }
+  return Usage();
+}

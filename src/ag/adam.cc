@@ -18,12 +18,16 @@ AdamOptimizer::AdamOptimizer(ParamStore* store, AdamConfig config)
   DGNN_CHECK(store != nullptr);
 }
 
-void AdamOptimizer::Step() {
+void AdamOptimizer::Step(std::vector<ParamUpdateStats>* stats) {
   ++step_;
   const float b1 = config_.beta1;
   const float b2 = config_.beta2;
   const float bias1 = 1.0f - std::pow(b1, static_cast<float>(step_));
   const float bias2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  if (stats != nullptr) {
+    stats->clear();
+    stats->reserve(store_->params().size());
+  }
   for (auto& p : store_->params()) {
     if (p->adam_m.empty()) {
       p->adam_m = Tensor(p->value.rows(), p->value.cols());
@@ -36,19 +40,42 @@ void AdamOptimizer::Step() {
     const float* anchor = p->anchor.empty() ? nullptr : p->anchor.data();
     const float lr = config_.learning_rate * p->lr_scale;
     const int64_t n = p->value.size();
-    util::ParallelFor(0, n, kAdamGrain, [&](int64_t ib, int64_t ie) {
-      for (int64_t i = ib; i < ie; ++i) {
+    if (stats == nullptr) {
+      util::ParallelFor(0, n, kAdamGrain, [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          const float g = grad[i];
+          m[i] = b1 * m[i] + (1.0f - b1) * g;
+          v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+          const float mhat = m[i] / bias1;
+          const float vhat = v[i] / bias2;
+          // Decoupled weight decay, toward the L2-SP anchor when present.
+          const float decay_target = anchor != nullptr ? anchor[i] : 0.0f;
+          val[i] -= lr * (mhat / (std::sqrt(vhat) + config_.epsilon) +
+                          config_.weight_decay * (val[i] - decay_target));
+        }
+      });
+    } else {
+      // Instrumented pass: same elementwise formula (the applied delta is
+      // bit-identical to the parallel path), plus double-precision norm
+      // accumulation of the update and the pre-update value.
+      double upd_sq = 0.0;
+      double val_sq = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
         const float g = grad[i];
         m[i] = b1 * m[i] + (1.0f - b1) * g;
         v[i] = b2 * v[i] + (1.0f - b2) * g * g;
         const float mhat = m[i] / bias1;
         const float vhat = v[i] / bias2;
-        // Decoupled weight decay, toward the L2-SP anchor when present.
         const float decay_target = anchor != nullptr ? anchor[i] : 0.0f;
-        val[i] -= lr * (mhat / (std::sqrt(vhat) + config_.epsilon) +
-                        config_.weight_decay * (val[i] - decay_target));
+        const float delta =
+            lr * (mhat / (std::sqrt(vhat) + config_.epsilon) +
+                  config_.weight_decay * (val[i] - decay_target));
+        val_sq += static_cast<double>(val[i]) * static_cast<double>(val[i]);
+        upd_sq += static_cast<double>(delta) * static_cast<double>(delta);
+        val[i] -= delta;
       }
-    });
+      stats->push_back({std::sqrt(upd_sq), std::sqrt(val_sq)});
+    }
   }
   store_->ZeroGrad();
 }

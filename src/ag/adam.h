@@ -3,6 +3,9 @@
 #ifndef DGNN_AG_ADAM_H_
 #define DGNN_AG_ADAM_H_
 
+#include <vector>
+
+#include "ag/diagnostics.h"
 #include "ag/tape.h"
 
 namespace dgnn::ag {
@@ -22,7 +25,13 @@ class AdamOptimizer {
   AdamOptimizer(ParamStore* store, AdamConfig config);
 
   // Applies one update from the accumulated gradients, then zeroes them.
-  void Step();
+  // When `stats` is non-null it receives, per parameter in store order,
+  // the L2 norm of the applied update and of the value before the update
+  // (the run log's update/param ratio diagnostic). The instrumented pass
+  // runs serially but computes bit-identical values to the parallel one,
+  // so sampling it every grad_stats_every batches never perturbs
+  // training.
+  void Step(std::vector<ParamUpdateStats>* stats = nullptr);
 
   int64_t step_count() const { return step_; }
   AdamConfig& config() { return config_; }

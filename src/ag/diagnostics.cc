@@ -1,0 +1,90 @@
+#include "ag/diagnostics.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "util/json.h"
+
+namespace dgnn::ag {
+namespace {
+
+std::atomic<bool> g_check_numerics{false};
+
+}  // namespace
+
+bool CheckNumericsEnabled() {
+  return g_check_numerics.load(std::memory_order_relaxed);
+}
+
+void SetCheckNumerics(bool on) {
+  g_check_numerics.store(on, std::memory_order_relaxed);
+}
+
+int64_t FirstNonFinite(const Tensor& t) {
+  const float* data = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    if (!std::isfinite(data[i])) return i;
+  }
+  return -1;
+}
+
+std::vector<GradStats> CollectGradStats(const ParamStore& store) {
+  std::vector<GradStats> out;
+  out.reserve(store.params().size());
+  for (const auto& p : store.params()) {
+    GradStats s;
+    s.name = p->name;
+    s.size = p->grad.size();
+    double sum_sq = 0.0;
+    double max_abs = 0.0;
+    int64_t zeros = 0;
+    bool finite = true;
+    const float* g = p->grad.data();
+    for (int64_t i = 0; i < p->grad.size(); ++i) {
+      const double gi = static_cast<double>(g[i]);
+      if (!std::isfinite(gi)) finite = false;
+      sum_sq += gi * gi;
+      const double a = std::fabs(gi);
+      if (a > max_abs) max_abs = a;
+      if (g[i] == 0.0f) ++zeros;
+    }
+    s.grad_l2 = std::sqrt(sum_sq);
+    s.grad_max_abs = max_abs;
+    s.grad_zero_frac =
+        s.size > 0 ? static_cast<double>(zeros) / static_cast<double>(s.size)
+                   : 0.0;
+    s.finite = finite && std::isfinite(s.grad_l2);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void AttachUpdateRatios(std::vector<GradStats>* stats,
+                        const std::vector<ParamUpdateStats>& updates) {
+  if (stats == nullptr || stats->size() != updates.size()) return;
+  constexpr double kEps = 1e-12;
+  for (size_t i = 0; i < updates.size(); ++i) {
+    (*stats)[i].update_ratio =
+        updates[i].update_l2 / (updates[i].value_l2 + kEps);
+  }
+}
+
+std::string GradStatsJsonArray(const std::vector<GradStats>& stats) {
+  std::string out = "[";
+  for (const GradStats& s : stats) {
+    if (out.size() > 1) out += ',';
+    util::JsonObject o;
+    o.Set("name", s.name)
+        .Set("size", s.size)
+        .Set("grad_l2", s.grad_l2)
+        .Set("grad_max_abs", s.grad_max_abs)
+        .Set("grad_zero_frac", s.grad_zero_frac)
+        .Set("update_ratio", s.update_ratio)
+        .Set("finite", s.finite);
+    out += o.Build();
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace dgnn::ag

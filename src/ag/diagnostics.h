@@ -1,0 +1,74 @@
+// Numerics diagnostics for the autodiff layer: per-named-parameter
+// gradient statistics (the payload of the run log's `grad_stats` event)
+// and the opt-in non-finite fail-fast mode the tape consults.
+//
+// Both features follow the telemetry cost discipline: disabled by
+// default, and the only cost a disabled run pays is one relaxed atomic
+// load per tape op (check-numerics) or nothing at all (grad stats are
+// collected only when the trainer's grad_stats_every fires).
+//
+// Check-numerics semantics: with SetCheckNumerics(true), every tape op
+// scans its freshly computed value, and Backward scans each node's
+// accumulated gradient before propagating through it. The first NaN/Inf
+// found emits a run-log `anomaly` event naming the producing op (and the
+// parameter, for leaves) and then CHECK-fails with the same message —
+// the run dies at the op that corrupted it instead of diverging epochs
+// later.
+
+#ifndef DGNN_AG_DIAGNOSTICS_H_
+#define DGNN_AG_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "ag/tape.h"
+
+namespace dgnn::ag {
+
+// Global fail-fast switch; reads are a single relaxed atomic load.
+bool CheckNumericsEnabled();
+void SetCheckNumerics(bool on);
+
+// Index of the first non-finite element of `t`, or -1 when all elements
+// are finite (or the tensor is empty).
+int64_t FirstNonFinite(const Tensor& t);
+
+// Per-parameter gradient health, computed from the accumulated grads
+// after Backward and BEFORE the optimizer step zeroes them.
+struct GradStats {
+  std::string name;
+  int64_t size = 0;          // element count
+  double grad_l2 = 0.0;      // ||g||_2
+  double grad_max_abs = 0.0; // max_i |g_i|
+  double grad_zero_frac = 0.0;  // fraction of exactly-zero entries
+  // ||Adam update|| / (||param|| + eps): the classic "are my steps a
+  // sane fraction of the weights" signal (~1e-3 is healthy; ~1 means
+  // the parameter is being rewritten every step). Filled in by
+  // AttachUpdateRatios after the optimizer step; 0 until then.
+  double update_ratio = 0.0;
+  // False when the gradient contains NaN/Inf.
+  bool finite = true;
+};
+
+// One entry per parameter, in store order.
+std::vector<GradStats> CollectGradStats(const ParamStore& store);
+
+// Result of one optimizer step, parallel to the store's parameter order:
+// L2 norms of the applied update and of the parameter value before it.
+struct ParamUpdateStats {
+  double update_l2 = 0.0;
+  double value_l2 = 0.0;
+};
+
+// Fills stats[i].update_ratio from updates[i]; the two vectors must both
+// be in store order (CollectGradStats + AdamOptimizer::Step(&updates)).
+void AttachUpdateRatios(std::vector<GradStats>* stats,
+                        const std::vector<ParamUpdateStats>& updates);
+
+// Serializes stats as a JSON array of objects (the `params` field of the
+// `grad_stats` run-log event).
+std::string GradStatsJsonArray(const std::vector<GradStats>& stats);
+
+}  // namespace dgnn::ag
+
+#endif  // DGNN_AG_DIAGNOSTICS_H_

@@ -8,12 +8,31 @@
 #include <utility>
 #include <vector>
 
+#include "util/json.h"
+#include "util/run_log.h"
+
 namespace dgnn::ag {
 namespace {
 
 constexpr char kMagic[8] = {'D', 'G', 'N', 'N', 'P', 'A', 'R', '1'};
 
 using util::Status;
+
+// `checkpoint` run-log event: one per save/load attempt, success or not,
+// so a run's log records exactly which parameter files it produced and
+// consumed (and how a restore failed, if it did).
+void LogCheckpointEvent(const char* action, const std::string& path,
+                        const ParamStore& store, const Status& status) {
+  if (!runlog::Active()) return;
+  util::JsonObject o;
+  o.Set("action", action)
+      .Set("path", path)
+      .Set("num_params", static_cast<int64_t>(store.params().size()))
+      .Set("total_values", store.TotalParameterCount())
+      .Set("ok", status.ok());
+  if (!status.ok()) o.Set("error", status.ToString());
+  runlog::Emit("checkpoint", o);
+}
 
 template <typename T>
 void WritePod(std::ofstream& out, T value) {
@@ -26,9 +45,7 @@ bool ReadPod(std::ifstream& in, T* value) {
   return in.good();
 }
 
-}  // namespace
-
-Status SaveParameters(const ParamStore& store, const std::string& path) {
+Status SaveParametersImpl(const ParamStore& store, const std::string& path) {
   // Write-to-temp + atomic rename: a crash mid-save leaves the previous
   // checkpoint at `path` intact; the half-written temp file is inert and
   // overwritten by the next save.
@@ -63,7 +80,7 @@ Status SaveParameters(const ParamStore& store, const std::string& path) {
   return Status::Ok();
 }
 
-Status LoadParameters(ParamStore& store, const std::string& path) {
+Status LoadParametersImpl(ParamStore& store, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("cannot open: " + path);
   char magic[8];
@@ -135,6 +152,20 @@ Status LoadParameters(ParamStore& store, const std::string& path) {
                 rec.values.size() * sizeof(float));
   }
   return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveParameters(const ParamStore& store, const std::string& path) {
+  Status status = SaveParametersImpl(store, path);
+  LogCheckpointEvent("save", path, store, status);
+  return status;
+}
+
+Status LoadParameters(ParamStore& store, const std::string& path) {
+  Status status = LoadParametersImpl(store, path);
+  LogCheckpointEvent("load", path, store, status);
+  return status;
 }
 
 }  // namespace dgnn::ag

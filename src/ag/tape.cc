@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "ag/diagnostics.h"
+#include "util/json.h"
+#include "util/run_log.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -133,13 +136,38 @@ Parameter* ParamStore::Find(const std::string& name) {
 // ---------------------------------------------------------------------------
 
 VarId Tape::Emit(Tensor value, bool requires_grad,
-                 std::function<void()> backward) {
+                 std::function<void()> backward, const char* op) {
   auto n = std::make_unique<Node>();
   n->value = std::move(value);
   n->requires_grad = requires_grad;
   n->backward = std::move(backward);
+  n->op = op;
   nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  const VarId id = static_cast<VarId>(nodes_.size() - 1);
+  if (CheckNumericsEnabled()) CheckFinite(id, /*gradient=*/false);
+  return id;
+}
+
+void Tape::CheckFinite(VarId id, bool gradient) const {
+  const Node& n = node(id);
+  const Tensor& t = gradient ? n.grad : n.value;
+  const int64_t bad = FirstNonFinite(t);
+  if (bad < 0) return;
+  std::string where = n.op;
+  if (n.param != nullptr) where += " ('" + n.param->name + "')";
+  const char* what = gradient ? "gradient" : "value";
+  if (runlog::Active()) {
+    util::JsonObject o;
+    o.Set("kind", gradient ? "nonfinite_gradient" : "nonfinite_value")
+        .Set("op", n.op)
+        .Set("param", n.param != nullptr ? n.param->name : std::string())
+        .Set("node", static_cast<int64_t>(id))
+        .Set("index", bad);
+    runlog::Emit("anomaly", o);
+  }
+  DGNN_CHECK(false) << "check-numerics: non-finite " << what
+                    << " produced by tape op " << where << " (node " << id
+                    << ", element " << bad << ")";
 }
 
 Tape::Node& Tape::node(VarId id) {
@@ -169,14 +197,34 @@ const Tensor& Tape::grad(VarId id) const {
 
 bool Tape::requires_grad(VarId id) const { return node(id).requires_grad; }
 
+const char* Tape::op_name(VarId id) const { return node(id).op; }
+
 VarId Tape::Constant(Tensor value) {
-  return Emit(std::move(value), /*requires_grad=*/false, nullptr);
+  return Emit(std::move(value), /*requires_grad=*/false, nullptr, "Constant");
 }
 
 VarId Tape::Param(Parameter* p) {
   DGNN_CHECK(p != nullptr);
+  if (CheckNumericsEnabled()) {
+    // Pre-check the live parameter so a value corrupted by a previous
+    // optimizer step is attributed to the parameter, not to the first op
+    // that consumes it.
+    const int64_t bad = FirstNonFinite(p->value);
+    if (bad >= 0) {
+      if (runlog::Active()) {
+        util::JsonObject o;
+        o.Set("kind", "nonfinite_param")
+            .Set("op", "Param")
+            .Set("param", p->name)
+            .Set("index", bad);
+        runlog::Emit("anomaly", o);
+      }
+      DGNN_CHECK(false) << "check-numerics: non-finite value in parameter '"
+                        << p->name << "' (element " << bad << ")";
+    }
+  }
   Tensor copy = p->value;
-  VarId id = Emit(std::move(copy), /*requires_grad=*/true, nullptr);
+  VarId id = Emit(std::move(copy), /*requires_grad=*/true, nullptr, "Param");
   node(id).param = p;
   node(id).backward = [this, id, p]() {
     DGNN_CHECK(p->grad.SameShape(node(id).grad));
@@ -190,9 +238,14 @@ void Tape::Backward(VarId root) {
   DGNN_CHECK_EQ(r.value.size(), 1) << "Backward root must be scalar";
   DGNN_CHECK(r.requires_grad) << "Backward root does not depend on params";
   grad_buf(root).Fill(1.0f);
+  const bool check = CheckNumericsEnabled();
   for (VarId id = root; id >= 0; --id) {
     Node& n = node(id);
     if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
+    // By the time a node's backward runs, its own gradient is fully
+    // accumulated — the first non-finite entry names the op whose
+    // cotangent corrupted the chain.
+    if (check) CheckFinite(id, /*gradient=*/true);
     n.backward();
   }
 }
@@ -211,7 +264,7 @@ VarId Tape::MatMul(VarId a, VarId b, bool trans_a, bool trans_b) {
   Tensor out(m, n);
   GemmAcc(av, trans_a, bv, trans_b, out);
   bool rg = requires_grad(a) || requires_grad(b);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "MatMul");
   if (rg) {
     node(id).backward = [this, id, a, b, trans_a, trans_b]() {
       const Tensor& g = node(id).grad;
@@ -243,7 +296,7 @@ VarId Tape::Sub(VarId a, VarId b) {
   Tensor out = av;
   out.Axpy(-1.0f, bv);
   bool rg = requires_grad(a) || requires_grad(b);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "Sub");
   if (rg) {
     node(id).backward = [this, id, a, b]() {
       const Tensor& g = node(id).grad;
@@ -271,7 +324,7 @@ VarId Tape::AddN(const std::vector<VarId>& xs) {
       }
     });
   }
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "AddN");
   if (rg) {
     std::vector<VarId> inputs = xs;
     node(id).backward = [this, id, inputs]() {
@@ -300,7 +353,7 @@ VarId Tape::AddRowBroadcast(VarId a, VarId b) {
     for (int64_t c = 0; c < out.cols(); ++c) orow[c] += brow[c];
   }
   bool rg = requires_grad(a) || requires_grad(b);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "AddRowBroadcast");
   if (rg) {
     node(id).backward = [this, id, a, b]() {
       const Tensor& g = node(id).grad;
@@ -325,7 +378,7 @@ VarId Tape::Mul(VarId a, VarId b) {
   Tensor out = av;
   for (int64_t i = 0; i < out.size(); ++i) out.data()[i] *= bv.data()[i];
   bool rg = requires_grad(a) || requires_grad(b);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "Mul");
   if (rg) {
     node(id).backward = [this, id, a, b]() {
       const Tensor& g = node(id).grad;
@@ -360,7 +413,7 @@ VarId Tape::MulRowBroadcast(VarId a, VarId b) {
     for (int64_t c = 0; c < out.cols(); ++c) orow[c] *= brow[c];
   }
   bool rg = requires_grad(a) || requires_grad(b);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "MulRowBroadcast");
   if (rg) {
     node(id).backward = [this, id, a, b]() {
       const Tensor& g = node(id).grad;
@@ -401,7 +454,7 @@ VarId Tape::RowScale(VarId a, VarId s) {
     for (int64_t c = 0; c < out.cols(); ++c) orow[c] *= f;
   }
   bool rg = requires_grad(a) || requires_grad(s);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "RowScale");
   if (rg) {
     node(id).backward = [this, id, a, s]() {
       const Tensor& g = node(id).grad;
@@ -435,7 +488,7 @@ VarId Tape::ScalarMul(VarId a, float c) {
   Tensor out = val(a);
   out.Scale(c);
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "ScalarMul");
   if (rg) {
     node(id).backward = [this, id, a, c]() {
       grad_buf(a).Axpy(c, node(id).grad);
@@ -451,7 +504,7 @@ VarId Tape::MulScalarVar(VarId a, VarId s) {
   Tensor out = av;
   out.Scale(sv.scalar());
   bool rg = requires_grad(a) || requires_grad(s);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "MulScalarVar");
   if (rg) {
     node(id).backward = [this, id, a, s]() {
       const Tensor& g = node(id).grad;
@@ -478,7 +531,7 @@ VarId Tape::LeakyRelu(VarId a, float negative_slope) {
     }
   });
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "LeakyRelu");
   if (rg) {
     node(id).backward = [this, id, a, negative_slope]() {
       const Tensor& g = node(id).grad;
@@ -504,7 +557,7 @@ VarId Tape::Sigmoid(VarId a) {
     out.data()[i] = SigmoidF(av.data()[i]);
   }
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "Sigmoid");
   if (rg) {
     node(id).backward = [this, id, a]() {
       const Tensor& g = node(id).grad;
@@ -526,7 +579,7 @@ VarId Tape::Tanh(VarId a) {
     out.data()[i] = std::tanh(av.data()[i]);
   }
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "Tanh");
   if (rg) {
     node(id).backward = [this, id, a]() {
       const Tensor& g = node(id).grad;
@@ -548,7 +601,7 @@ VarId Tape::Exp(VarId a) {
     out.data()[i] = std::exp(av.data()[i]);
   }
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "Exp");
   if (rg) {
     node(id).backward = [this, id, a]() {
       const Tensor& g = node(id).grad;
@@ -569,7 +622,7 @@ VarId Tape::Log(VarId a, float eps) {
     out.data()[i] = std::log(av.data()[i] + eps);
   }
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "Log");
   if (rg) {
     node(id).backward = [this, id, a, eps]() {
       const Tensor& g = node(id).grad;
@@ -597,7 +650,7 @@ VarId Tape::Dropout(VarId a, float rate, util::Rng& rng, bool training) {
     out.data()[i] *= keep;
   }
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "Dropout");
   if (rg) {
     node(id).backward = [this, id, a, mask]() {
       const Tensor& g = node(id).grad;
@@ -626,7 +679,7 @@ VarId Tape::SpMM(const graph::CsrMatrix* adj, const graph::CsrMatrix* adj_t,
     adj->Multiply(bv.data(), bv.cols(), out.data());
   }
   bool rg = requires_grad(b);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "SpMM");
   if (rg) {
     DGNN_CHECK(adj_t != nullptr)
         << "SpMM over a differentiable input needs the transposed CSR";
@@ -659,7 +712,7 @@ VarId Tape::GatherRows(VarId a, std::vector<int32_t> index) {
         }
       });
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "GatherRows");
   if (rg) {
     auto idx = std::make_shared<std::vector<int32_t>>(std::move(index));
     node(id).backward = [this, id, a, idx]() {
@@ -710,7 +763,7 @@ VarId Tape::SegmentSum(VarId a, std::vector<int32_t> segment_ids,
     for (int64_t c = 0; c < av.cols(); ++c) orow[c] += arow[c];
   }
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "SegmentSum");
   if (rg) {
     auto seg = std::make_shared<std::vector<int32_t>>(std::move(segment_ids));
     node(id).backward = [this, id, a, seg]() {
@@ -755,7 +808,7 @@ VarId Tape::SegmentSoftmax(VarId scores, std::vector<int32_t> segment_ids,
     out.at(static_cast<int64_t>(e), 0) /= seg_sum[static_cast<size_t>(s)];
   }
   bool rg = requires_grad(scores);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "SegmentSoftmax");
   if (rg) {
     auto seg = std::make_shared<std::vector<int32_t>>(std::move(segment_ids));
     node(id).backward = [this, id, scores, seg, num_segments]() {
@@ -801,7 +854,7 @@ VarId Tape::ConcatCols(const std::vector<VarId>& xs) {
     }
     offset += xv.cols();
   }
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "ConcatCols");
   if (rg) {
     std::vector<VarId> inputs = xs;
     node(id).backward = [this, id, inputs]() {
@@ -841,7 +894,7 @@ VarId Tape::ConcatRows(const std::vector<VarId>& xs) {
     std::copy(xv.data(), xv.data() + xv.size(), out.row(offset));
     offset += xv.rows();
   }
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "ConcatRows");
   if (rg) {
     std::vector<VarId> inputs = xs;
     node(id).backward = [this, id, inputs]() {
@@ -869,7 +922,7 @@ VarId Tape::Col(VarId a, int64_t c) {
   Tensor out(av.rows(), 1);
   for (int64_t r = 0; r < av.rows(); ++r) out.at(r, 0) = av.at(r, c);
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "Col");
   if (rg) {
     node(id).backward = [this, id, a, c]() {
       const Tensor& g = node(id).grad;
@@ -887,7 +940,7 @@ VarId Tape::SliceRows(VarId a, int64_t begin, int64_t count) {
   Tensor out(count, av.cols());
   std::copy(av.row(begin), av.row(begin) + count * av.cols(), out.data());
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "SliceRows");
   if (rg) {
     node(id).backward = [this, id, a, begin]() {
       const Tensor& g = node(id).grad;
@@ -940,7 +993,7 @@ VarId Tape::LayerNorm(VarId a, VarId gamma, VarId beta, float eps) {
     }
   });
   bool rg = requires_grad(a) || requires_grad(gamma) || requires_grad(beta);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "LayerNorm");
   if (rg) {
     node(id).backward = [this, id, a, gamma, beta, xhat, inv_std]() {
       const Tensor& g = node(id).grad;
@@ -1024,7 +1077,7 @@ VarId Tape::FeatureNorm(VarId a, VarId gamma, VarId beta, float eps) {
     }
   }
   bool rg = requires_grad(a) || requires_grad(gamma) || requires_grad(beta);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "FeatureNorm");
   if (rg) {
     node(id).backward = [this, id, a, gamma, beta, xhat, inv_std]() {
       const Tensor& g = node(id).grad;
@@ -1074,7 +1127,7 @@ VarId Tape::RowL2Normalize(VarId a, float eps) {
     for (int64_t c = 0; c < d; ++c) orow[c] = xr[c] * inv;
   }
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "RowL2Normalize");
   if (rg) {
     node(id).backward = [this, id, a, inv_norm]() {
       const Tensor& g = node(id).grad;
@@ -1111,7 +1164,7 @@ VarId Tape::RowDot(VarId a, VarId b) {
     }
   });
   bool rg = requires_grad(a) || requires_grad(b);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "RowDot");
   if (rg) {
     node(id).backward = [this, id, a, b]() {
       const Tensor& g = node(id).grad;
@@ -1159,7 +1212,7 @@ VarId Tape::RowSoftmax(VarId a) {
     for (int64_t c = 0; c < x.cols(); ++c) orow[c] /= sum;
   }
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "RowSoftmax");
   if (rg) {
     node(id).backward = [this, id, a]() {
       const Tensor& g = node(id).grad;
@@ -1185,7 +1238,7 @@ VarId Tape::SumAll(VarId a) {
   float s = 0.0f;
   for (int64_t i = 0; i < av.size(); ++i) s += av.data()[i];
   bool rg = requires_grad(a);
-  VarId id = Emit(Tensor::Scalar(s), rg, nullptr);
+  VarId id = Emit(Tensor::Scalar(s), rg, nullptr, "SumAll");
   if (rg) {
     node(id).backward = [this, id, a]() {
       const float g = node(id).grad.scalar();
@@ -1213,7 +1266,7 @@ VarId Tape::MeanRows(VarId a) {
   const float inv = 1.0f / static_cast<float>(av.rows());
   out.Scale(inv);
   bool rg = requires_grad(a);
-  VarId id = Emit(std::move(out), rg, nullptr);
+  VarId id = Emit(std::move(out), rg, nullptr, "MeanRows");
   if (rg) {
     node(id).backward = [this, id, a, inv]() {
       const Tensor& g = node(id).grad;
@@ -1232,7 +1285,7 @@ VarId Tape::MeanRows(VarId a) {
 VarId Tape::L2(VarId a) {
   const Tensor& av = val(a);
   bool rg = requires_grad(a);
-  VarId id = Emit(Tensor::Scalar(av.SquaredL2()), rg, nullptr);
+  VarId id = Emit(Tensor::Scalar(av.SquaredL2()), rg, nullptr, "L2");
   if (rg) {
     node(id).backward = [this, id, a]() {
       const float g = node(id).grad.scalar();
@@ -1259,7 +1312,7 @@ VarId Tape::BprLoss(VarId pos, VarId neg) {
   }
   loss /= static_cast<float>(n);
   bool rg = requires_grad(pos) || requires_grad(neg);
-  VarId id = Emit(Tensor::Scalar(loss), rg, nullptr);
+  VarId id = Emit(Tensor::Scalar(loss), rg, nullptr, "BprLoss");
   if (rg) {
     node(id).backward = [this, id, pos, neg, n]() {
       const float g = node(id).grad.scalar() / static_cast<float>(n);

@@ -95,6 +95,10 @@ class Tape {
   // Gradient of a node (zeros until Backward has run through it).
   const Tensor& grad(VarId id) const;
   bool requires_grad(VarId id) const;
+  // Name of the op that produced the node ("MatMul", "SpMM", ...); used
+  // by the non-finite fail-fast diagnostics (ag/diagnostics.h) to
+  // pinpoint the first op that emitted a NaN/Inf.
+  const char* op_name(VarId id) const;
   int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
 
   // Runs reverse-mode accumulation from a 1x1 root.
@@ -187,13 +191,21 @@ class Tape {
     bool requires_grad = false;
     Parameter* param = nullptr;
     std::function<void()> backward;  // may be empty for leaves
+    // Producing op; string literals only (never freed).
+    const char* op = "leaf";
   };
 
-  VarId Emit(Tensor value, bool requires_grad, std::function<void()> backward);
+  VarId Emit(Tensor value, bool requires_grad, std::function<void()> backward,
+             const char* op);
   Node& node(VarId id);
   const Node& node(VarId id) const;
   // Gradient accumulator of `id`, allocated on first use.
   Tensor& grad_buf(VarId id);
+  // Fail-fast numerics check (ag::CheckNumericsEnabled): scans the
+  // node's value (gradient=false) or accumulated gradient
+  // (gradient=true); on the first NaN/Inf, emits a run-log `anomaly`
+  // event naming the producing op and CHECK-fails with the same message.
+  void CheckFinite(VarId id, bool gradient) const;
 
   std::vector<std::unique_ptr<Node>> nodes_;
 };

@@ -1,6 +1,8 @@
 #include "train/evaluator.h"
 
+#include "train/train_log.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -60,9 +62,14 @@ Metrics Evaluator::Evaluate(const ag::Tensor& user_emb,
 
 Metrics Evaluator::EvaluateModel(models::RecModel& model,
                                  const std::vector<int>& cutoffs) const {
+  util::Stopwatch sw;
   ag::Tape tape;
   models::ForwardResult fwd = model.Forward(tape, /*training=*/false);
-  return Evaluate(tape.val(fwd.users), tape.val(fwd.items), cutoffs);
+  Metrics m = Evaluate(tape.val(fwd.users), tape.val(fwd.items), cutoffs);
+  // Emitted here rather than by the trainer so standalone evaluation
+  // (dgnn_cli --mode=evaluate) produces `eval` events too.
+  LogEvalEvent(m, sw.ElapsedSeconds());
+  return m;
 }
 
 std::vector<Metrics> Evaluator::EvaluateGroups(

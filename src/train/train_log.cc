@@ -1,0 +1,64 @@
+#include "train/train_log.h"
+
+#include <cstdio>
+#include <string>
+
+#include "util/run_log.h"
+#include "util/strings.h"
+
+namespace dgnn::train {
+namespace {
+
+std::string CutoffMapJson(const std::map<int, double>& by_cutoff) {
+  util::JsonObject o;
+  for (const auto& [n, v] : by_cutoff) o.Set(std::to_string(n), v);
+  return o.Build();
+}
+
+}  // namespace
+
+util::JsonObject MetricsJson(const Metrics& metrics) {
+  util::JsonObject o;
+  o.SetRaw("hr", CutoffMapJson(metrics.hr))
+      .SetRaw("ndcg", CutoffMapJson(metrics.ndcg))
+      .Set("num_users", metrics.num_users);
+  return o;
+}
+
+void LogEpochProgress(const std::string& model_name, const EpochTrace& trace,
+                      bool verbose) {
+  if (verbose) {
+    std::string eval_part;
+    if (trace.evaluated) {
+      eval_part = util::StrFormat(" %s (eval %.2fs)",
+                                  trace.metrics.ToString().c_str(),
+                                  trace.eval_seconds);
+    }
+    std::printf("[%s] epoch %3d loss %.4f (%.2fs)%s\n", model_name.c_str(),
+                trace.epoch, trace.loss, trace.train_seconds,
+                eval_part.c_str());
+    std::fflush(stdout);
+  }
+  if (runlog::Active()) {
+    util::JsonObject o;
+    o.Set("epoch", trace.epoch)
+        .Set("loss", trace.loss)
+        .Set("train_seconds", trace.train_seconds)
+        .Set("evaluated", trace.evaluated);
+    if (trace.evaluated) {
+      o.SetRaw("metrics", MetricsJson(trace.metrics).Build())
+          .Set("eval_seconds", trace.eval_seconds);
+    }
+    runlog::Emit("epoch", o);
+  }
+}
+
+void LogEvalEvent(const Metrics& metrics, double seconds) {
+  if (!runlog::Active()) return;
+  util::JsonObject o;
+  o.Set("seconds", seconds)
+      .SetRaw("metrics", MetricsJson(metrics).Build());
+  runlog::Emit("eval", o);
+}
+
+}  // namespace dgnn::train

@@ -1,0 +1,35 @@
+// Shared reporting for the training loop. Every progress signal is
+// rendered from one source struct and fanned out to both channels — the
+// verbose console line and the structured run log — so the two can never
+// drift apart (the console line is a projection of exactly the fields
+// the `epoch` event carries).
+
+#ifndef DGNN_TRAIN_TRAIN_LOG_H_
+#define DGNN_TRAIN_TRAIN_LOG_H_
+
+#include <string>
+
+#include "train/trainer.h"
+#include "util/json.h"
+
+namespace dgnn::train {
+
+// Metrics as a JSON object: {"hr":{"10":0.41,...},"ndcg":{...},
+// "num_users":N}. Cutoffs become object keys (stringified ints).
+util::JsonObject MetricsJson(const Metrics& metrics);
+
+// Reports one finished epoch through both channels: a `[model] epoch ...`
+// console line when `verbose`, and an `epoch` run-log event when a log is
+// open. Either channel may independently be off. The console line carries
+// eval wall time whenever the epoch was evaluated, same as the event.
+void LogEpochProgress(const std::string& model_name, const EpochTrace& trace,
+                      bool verbose);
+
+// `eval` run-log event for one evaluation pass (no-op when no log is
+// open). Emitted by the evaluator itself so standalone evaluation runs
+// are logged, not just trainer-driven ones.
+void LogEvalEvent(const Metrics& metrics, double seconds);
+
+}  // namespace dgnn::train
+
+#endif  // DGNN_TRAIN_TRAIN_LOG_H_

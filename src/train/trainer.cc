@@ -1,7 +1,12 @@
 #include "train/trainer.h"
 
-#include <cstdio>
+#include <utility>
+#include <vector>
 
+#include "ag/diagnostics.h"
+#include "train/train_log.h"
+#include "util/json.h"
+#include "util/run_log.h"
 #include "util/stopwatch.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
@@ -14,6 +19,54 @@ ag::AdamConfig MakeAdamConfig(const TrainConfig& c) {
   a.learning_rate = c.learning_rate;
   a.weight_decay = c.weight_decay;
   return a;
+}
+
+// `run_start` event: everything needed to reproduce or interpret the run
+// — config, model, seed, parallelism, and the dataset's shape/density.
+void LogRunStart(const models::RecModel& model, const data::Dataset& dataset,
+                 const TrainConfig& c, int num_threads) {
+  if (!runlog::Active()) return;
+  util::JsonObject cfg;
+  cfg.Set("epochs", c.epochs)
+      .Set("batch_size", c.batch_size)
+      .Set("learning_rate", static_cast<double>(c.learning_rate))
+      .Set("l2_reg", static_cast<double>(c.l2_reg))
+      .Set("weight_decay", static_cast<double>(c.weight_decay))
+      .Set("eval_every", c.eval_every)
+      .Set("early_stop_patience", c.early_stop_patience)
+      .Set("grad_stats_every", c.grad_stats_every)
+      .Set("check_numerics", c.check_numerics);
+  const data::DatasetStats ds = dataset.ComputeStats();
+  util::JsonObject stats;
+  stats.Set("num_users", ds.num_users)
+      .Set("num_items", ds.num_items)
+      .Set("num_interactions", ds.num_interactions)
+      .Set("num_social_ties", ds.num_social_ties)
+      .Set("num_item_relation_links", ds.num_item_relation_links)
+      .Set("interaction_density", ds.interaction_density)
+      .Set("social_density", ds.social_density);
+  util::JsonObject o;
+  o.Set("model", model.name())
+      .Set("dataset", dataset.name)
+      .Set("seed", static_cast<int64_t>(c.seed))
+      .Set("num_threads", num_threads)
+      .SetRaw("config", cfg.Build())
+      .SetRaw("dataset_stats", stats.Build());
+  runlog::Emit("run_start", o);
+}
+
+void LogRunEnd(const TrainResult& r) {
+  if (!runlog::Active()) return;
+  util::JsonObject o;
+  o.Set("epochs_run", static_cast<int64_t>(r.epochs.size()))
+      .Set("stopped_early", r.stopped_early)
+      .Set("best_epoch", r.best_epoch)
+      .Set("best_metric", r.best_metric)
+      .Set("total_train_seconds", r.total_train_seconds)
+      .Set("mean_epoch_train_seconds", r.mean_epoch_train_seconds)
+      .Set("final_eval_seconds", r.final_eval_seconds)
+      .SetRaw("final_metrics", MetricsJson(r.final_metrics).Build());
+  runlog::Emit("run_end", o);
 }
 
 }  // namespace
@@ -58,7 +111,25 @@ double Trainer::TrainBatch(const data::BprBatch& batch) {
 
   const double loss_value = tape.val(loss).scalar();
   tape.Backward(loss);
-  optimizer_.Step();
+  ++batch_counter_;
+  const bool sample_stats = config_.grad_stats_every > 0 &&
+                            batch_counter_ % config_.grad_stats_every == 0;
+  if (sample_stats) {
+    // Gradients must be read here: Step zeroes them. Update ratios come
+    // from the instrumented (bit-identical) optimizer pass.
+    last_grad_stats_ = ag::CollectGradStats(model_->params());
+    std::vector<ag::ParamUpdateStats> updates;
+    optimizer_.Step(&updates);
+    ag::AttachUpdateRatios(&last_grad_stats_, updates);
+    if (runlog::Active()) {
+      util::JsonObject o;
+      o.Set("batch", batch_counter_).Set("loss", loss_value);
+      o.SetRaw("params", ag::GradStatsJsonArray(last_grad_stats_));
+      runlog::Emit("grad_stats", o);
+    }
+  } else {
+    optimizer_.Step();
+  }
   return loss_value;
 }
 
@@ -92,11 +163,13 @@ double Trainer::TrainEpoch() {
 TrainResult Trainer::Fit() {
   TrainResult result;
   result.num_threads = util::NumThreads();
+  if (config_.check_numerics) ag::SetCheckNumerics(true);
+  LogRunStart(*model_, *dataset_, config_, result.num_threads);
   util::Stopwatch total;
-  double best_metric = -1.0;
   int evals_without_improvement = 0;
   const int primary_cutoff =
       config_.eval_cutoffs.empty() ? 10 : config_.eval_cutoffs.front();
+  bool any_eval = false;
   for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
     EpochTrace trace;
     trace.epoch = epoch;
@@ -114,23 +187,25 @@ TrainResult Trainer::Fit() {
       trace.eval_seconds = esw.ElapsedSeconds();
       trace.evaluated = true;
     }
-    if (config_.verbose) {
-      std::printf("[%s] epoch %3d loss %.4f (%.2fs)%s%s\n",
-                  model_->name().c_str(), epoch, trace.loss,
-                  trace.train_seconds, trace.evaluated ? " " : "",
-                  trace.evaluated ? trace.metrics.ToString().c_str() : "");
-      std::fflush(stdout);
-    }
+    LogEpochProgress(model_->name(), trace, config_.verbose);
     const bool evaluated = trace.evaluated;
     const double metric =
         evaluated ? trace.metrics.hr[primary_cutoff] : 0.0;
     result.epochs.push_back(std::move(trace));
-    if (evaluated && config_.early_stop_patience > 0) {
-      if (metric > best_metric) {
-        best_metric = metric;
+    if (evaluated) {
+      // Track the best evaluated epoch for run_end / TrainResult; the
+      // same comparison drives early stopping (strict improvement, same
+      // semantics as before: ties count as no improvement).
+      if (!any_eval || metric > result.best_metric) {
+        result.best_metric = metric;
+        result.best_epoch = epoch;
         evals_without_improvement = 0;
-      } else if (++evals_without_improvement >=
-                 config_.early_stop_patience) {
+      } else {
+        ++evals_without_improvement;
+      }
+      any_eval = true;
+      if (config_.early_stop_patience > 0 &&
+          evals_without_improvement >= config_.early_stop_patience) {
         result.stopped_early = true;
         break;
       }
@@ -143,11 +218,21 @@ TrainResult Trainer::Fit() {
         evaluator_.EvaluateModel(*model_, config_.eval_cutoffs);
   }
   result.final_eval_seconds = esw.ElapsedSeconds();
+  // The final evaluation competes for best too — it reflects the last
+  // trained epoch, which periodic evaluation may not have covered.
+  const double final_metric = result.final_metrics.hr[primary_cutoff];
+  const int final_epoch =
+      result.epochs.empty() ? 0 : result.epochs.back().epoch;
+  if (!any_eval || final_metric > result.best_metric) {
+    result.best_metric = final_metric;
+    result.best_epoch = final_epoch;
+  }
   if (!result.epochs.empty()) {
     result.mean_epoch_train_seconds =
         result.total_train_seconds /
         static_cast<double>(result.epochs.size());
   }
+  LogRunEnd(result);
   return result;
 }
 

@@ -35,6 +35,14 @@ struct TrainConfig {
   // eval_every > 0.
   int early_stop_patience = 0;
   bool verbose = false;
+  // Collect per-named-parameter gradient diagnostics every k batches
+  // (0 = never) and emit them as `grad_stats` run-log events; the sampled
+  // batch also records Adam update/param ratios. See ag/diagnostics.h.
+  int grad_stats_every = 0;
+  // Fail fast on the first non-finite value or gradient any tape op
+  // produces, naming the op (ag::SetCheckNumerics). Global and sticky:
+  // Fit turns it on when set but never turns it off for other trainers.
+  bool check_numerics = false;
 };
 
 struct EpochTrace {
@@ -59,6 +67,12 @@ struct TrainResult {
   // Thread-pool width the run executed with (util::NumThreads()); recorded
   // so runtime tables can report timings alongside their parallelism.
   int num_threads = 1;
+  // Best evaluation seen across the run, by HR at the first cutoff; the
+  // final evaluation participates, attributed to the last trained epoch.
+  // best_epoch is 1-based; 0 means the best score came from the final
+  // evaluation of a run that trained zero epochs.
+  int best_epoch = 0;
+  double best_metric = 0.0;
 };
 
 class Trainer {
@@ -75,6 +89,13 @@ class Trainer {
 
   const TrainConfig& config() const { return config_; }
 
+  // Most recent grad_stats sample; empty until the first sampled batch
+  // (config().grad_stats_every > 0). Exposed for tests and tools that
+  // want the diagnostics without parsing the run log.
+  const std::vector<ag::GradStats>& last_grad_stats() const {
+    return last_grad_stats_;
+  }
+
  private:
   double TrainBatch(const data::BprBatch& batch);
 
@@ -84,6 +105,9 @@ class Trainer {
   data::BprSampler sampler_;
   ag::AdamOptimizer optimizer_;
   Evaluator evaluator_;
+  // Batches trained over the trainer's lifetime; drives grad_stats_every.
+  int64_t batch_counter_ = 0;
+  std::vector<ag::GradStats> last_grad_stats_;
 };
 
 }  // namespace dgnn::train

@@ -1,0 +1,336 @@
+#include "util/json.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace dgnn::util {
+namespace {
+
+// Protects the recursive parser from stack exhaustion on adversarial
+// inputs; run-log payloads nest 3-4 levels deep.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  return StrFormat("%.17g", v);
+}
+
+// ---------------------------------------------------------------------------
+// JsonObject
+// ---------------------------------------------------------------------------
+
+void JsonObject::Key(std::string_view key) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += JsonEscape(key);
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::Set(std::string_view key, std::string_view value) {
+  Key(key);
+  body_ += '"';
+  body_ += JsonEscape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::Set(std::string_view key, const char* value) {
+  return Set(key, std::string_view(value));
+}
+
+JsonObject& JsonObject::Set(std::string_view key, const std::string& value) {
+  return Set(key, std::string_view(value));
+}
+
+JsonObject& JsonObject::Set(std::string_view key, int64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::Set(std::string_view key, int value) {
+  return Set(key, static_cast<int64_t>(value));
+}
+
+JsonObject& JsonObject::Set(std::string_view key, double value) {
+  Key(key);
+  body_ += JsonDouble(value);
+  return *this;
+}
+
+JsonObject& JsonObject::Set(std::string_view key, bool value) {
+  Key(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::SetRaw(std::string_view key, std::string_view json) {
+  Key(key);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonObject::Build() const { return "{" + body_ + "}"; }
+
+// ---------------------------------------------------------------------------
+// JsonValue
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number : def;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string_view def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_value : std::string(def);
+}
+
+bool JsonValue::BoolOr(std::string_view key, bool def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kBool ? v->bool_value : def;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue v;
+    DGNN_RETURN_IF_ERROR(Value(&v, 0));
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Err("trailing content after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  int Peek() const {
+    return pos_ < s_.size() ? static_cast<unsigned char>(s_[pos_]) : -1;
+  }
+
+  Status Value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    switch (Peek()) {
+      case '{': return Object(out, depth);
+      case '[': return Array(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return String(&out->string_value);
+      case 't': return Literal("true", out, JsonValue::Kind::kBool, true);
+      case 'f': return Literal("false", out, JsonValue::Kind::kBool, false);
+      case 'n': return Literal("null", out, JsonValue::Kind::kNull, false);
+      case -1: return Err("unexpected end of input");
+      default: return Number(out);
+    }
+  }
+
+  Status Literal(std::string_view word, JsonValue* out, JsonValue::Kind kind,
+                 bool b) {
+    if (s_.substr(pos_, word.size()) != word) {
+      return Err("invalid literal");
+    }
+    pos_ += word.size();
+    out->kind = kind;
+    out->bool_value = b;
+    return Status::Ok();
+  }
+
+  Status Number(JsonValue* out) {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (Peek() >= '0' && Peek() <= '9') ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (pos_ == start) return Err("expected a value");
+    auto parsed = ParseDouble(s_.substr(start, pos_ - start));
+    if (!parsed.ok()) return Err("invalid number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = parsed.value();
+    return Status::Ok();
+  }
+
+  Status String(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (pos_ >= s_.size()) return Err("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Err("raw control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return Err("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Err("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Err("invalid \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs not recombined; the run log
+          // never emits them).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return Err("invalid escape");
+      }
+    }
+  }
+
+  Status Array(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue elem;
+      DGNN_RETURN_IF_ERROR(Value(&elem, depth + 1));
+      out->array.push_back(std::move(elem));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  Status Object(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      if (Peek() != '"') return Err("expected object key");
+      std::string key;
+      DGNN_RETURN_IF_ERROR(String(&key));
+      SkipWs();
+      if (Peek() != ':') return Err("expected ':' after object key");
+      ++pos_;
+      JsonValue member;
+      DGNN_RETURN_IF_ERROR(Value(&member, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(member));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace dgnn::util

@@ -1,0 +1,96 @@
+#include "util/run_log.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+
+namespace dgnn::runlog {
+namespace {
+
+std::atomic<bool> g_active{false};
+
+struct State {
+  std::mutex mu;
+  std::ofstream out;
+  std::string path;
+  int64_t num_events = 0;
+  std::chrono::steady_clock::time_point start;
+};
+
+State& GetState() {
+  static State* state = new State();  // never destroyed (atexit-safe)
+  return *state;
+}
+
+}  // namespace
+
+bool Active() { return g_active.load(std::memory_order_relaxed); }
+
+util::Status Open(const std::string& path) {
+  State& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.out.is_open()) s.out.close();
+  s.out.open(path, std::ios::trunc);
+  if (!s.out.is_open()) {
+    g_active.store(false, std::memory_order_relaxed);
+    return util::Status::NotFound("cannot open run log for writing: " + path);
+  }
+  s.path = path;
+  s.num_events = 0;
+  s.start = std::chrono::steady_clock::now();
+  g_active.store(true, std::memory_order_relaxed);
+  return util::Status::Ok();
+}
+
+void Close() {
+  State& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  g_active.store(false, std::memory_order_relaxed);
+  if (s.out.is_open()) {
+    s.out.flush();
+    s.out.close();
+  }
+  s.path.clear();
+}
+
+std::string CurrentPath() {
+  State& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.path;
+}
+
+void Emit(std::string_view event, const util::JsonObject& fields) {
+  if (!Active()) return;
+  State& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.out.is_open()) return;  // closed between the Active() check and here
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    s.start)
+          .count();
+  // The envelope fields lead every line so stream consumers can dispatch
+  // on a prefix; the event's own fields follow verbatim.
+  util::JsonObject envelope;
+  envelope.Set("event", event)
+      .Set("v", kSchemaVersion)
+      .Set("elapsed_s", elapsed);
+  std::string line = envelope.Build();
+  const std::string body = fields.Build();
+  if (body.size() > 2) {  // not "{}"
+    line.pop_back();  // '}'
+    line += ',';
+    line.append(body, 1, body.size() - 1);  // skip '{'
+  }
+  s.out << line << '\n';
+  s.out.flush();
+  ++s.num_events;
+}
+
+int64_t NumEvents() {
+  State& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.num_events;
+}
+
+}  // namespace dgnn::runlog

@@ -1,0 +1,67 @@
+// Structured run log: a thread-safe, schema-versioned JSONL record of one
+// training/evaluation run. Each line is a self-contained JSON object:
+//
+//   {"event":"epoch","v":1,"elapsed_s":1.234,"epoch":3,"loss":0.61,...}
+//
+// Event vocabulary (schema version dgnn.runlog v1):
+//   run_start   config, model name, seed, thread count, dataset stats
+//   epoch       per-epoch loss / wall time (+ metrics when evaluated)
+//   eval        one evaluation pass: HR/NDCG per cutoff, seconds, users
+//   grad_stats  per-named-parameter gradient diagnostics (see ag/diagnostics)
+//   anomaly     numerics failure — names the producing tape op/parameter
+//   checkpoint  parameter save/load with path and status
+//   run_end     totals, final metrics, best epoch, early-stop flag
+//
+// Like telemetry, the log is process-global and DISABLED by default:
+// every emit site guards on Active(), a single relaxed atomic load, so
+// instrumented paths cost nothing when no --run-log flag was given.
+// Emission itself takes a mutex (events are rare — per epoch / per eval /
+// every grad_stats_every batches — never per tape op).
+//
+// The writer appends and flushes line-by-line, so a crashed run leaves a
+// valid prefix: every complete line still parses. Consumers
+// (examples/dgnn_inspect.cpp, ci/check_runlog.sh) must treat missing
+// trailing events (no run_end) as "run died", not as corruption.
+
+#ifndef DGNN_UTIL_RUN_LOG_H_
+#define DGNN_UTIL_RUN_LOG_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace dgnn::runlog {
+
+// Version stamped into every line's "v" field. Bump when an existing
+// field changes meaning; adding fields is backward compatible.
+inline constexpr int kSchemaVersion = 1;
+
+// True when a log file is open; single relaxed atomic load. Guard event
+// construction with this so disabled runs never pay for field formatting.
+bool Active();
+
+// Opens (truncating) the global run log. Replaces any previously open
+// log. Thread-safe.
+util::Status Open(const std::string& path);
+
+// Flushes and closes; subsequent Emit calls are no-ops. Safe to call
+// when no log is open.
+void Close();
+
+// Path of the open log, empty when inactive.
+std::string CurrentPath();
+
+// Appends one event line {"event":<event>,"v":1,"elapsed_s":...,<fields>}
+// and flushes it. No-op when inactive. `event` should be one of the
+// vocabulary names above; unknown events are written as-is (consumers
+// must skip events they do not understand).
+void Emit(std::string_view event, const util::JsonObject& fields);
+
+// Lines written since Open (0 when inactive); exposed for tests.
+int64_t NumEvents();
+
+}  // namespace dgnn::runlog
+
+#endif  // DGNN_UTIL_RUN_LOG_H_

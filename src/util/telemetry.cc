@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace dgnn::telemetry {
@@ -100,35 +101,11 @@ Metric& GetMetric(std::string_view name, MetricKind kind) {
   return it->second;
 }
 
-// Minimal JSON string escaping; metric/span names are plain identifiers
-// but a hostile name must not produce invalid JSON.
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += util::StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// %.17g round-trips doubles exactly; also guard the values JSON cannot
-// represent (NaN/Inf serialize as 0 rather than emitting invalid tokens).
-std::string JsonDouble(double v) {
-  if (!std::isfinite(v)) return "0";
-  return util::StrFormat("%.17g", v);
-}
+// Escaping and double formatting come from util/json.h (shared with the
+// run log); metric/span names are plain identifiers but a hostile name
+// must not produce invalid JSON.
+using util::JsonDouble;
+using util::JsonEscape;
 
 util::Status WriteStringToFile(const std::string& path,
                                const std::string& content) {

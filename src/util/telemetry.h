@@ -20,8 +20,11 @@
 //
 // All metric objects are created on first use, live for the process
 // lifetime (pointers remain valid forever), and are safe to record into
-// from any number of threads concurrently. Reset() zeroes values but
-// keeps registrations.
+// from any number of threads concurrently. Reset() zeroes every metric
+// value (including the "telemetry.dropped_spans" overflow counter),
+// clears the buffered trace-span vector, and restarts the trace epoch —
+// registrations survive, so back-to-back bench iterations can Reset()
+// between runs without leaking spans or counts across them.
 //
 // Export:
 //   WriteMetricsJson(path)  — {"counters":{...},"gauges":{...},
@@ -46,8 +49,9 @@ namespace dgnn::telemetry {
 bool Enabled();
 void SetEnabled(bool on);
 
-// Zeroes every metric and drops buffered trace events. Registered metric
-// pointers stay valid.
+// Zeroes every metric (counters — "telemetry.dropped_spans" included —
+// gauges, timers, histograms), drops all buffered trace events, and
+// restarts the trace epoch. Registered metric pointers stay valid.
 void Reset();
 
 // Monotonically increasing integer (events, calls, items processed).

@@ -1,0 +1,238 @@
+// Tests for ag/diagnostics: gradient statistics over every model in the
+// zoo (one training batch each must produce finite, sensible stats) and
+// the check-numerics fail-fast mode, including the injection test proving
+// the detector names the offending tape op in both the CHECK message and
+// the run log's anomaly event.
+
+#include "ag/diagnostics.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_zoo.h"
+#include "data/synthetic.h"
+#include "graph/hetero_graph.h"
+#include "train/trainer.h"
+#include "util/json.h"
+#include "util/run_log.h"
+
+namespace dgnn::ag {
+namespace {
+
+TEST(FirstNonFiniteTest, FindsFirstBadElement) {
+  EXPECT_EQ(FirstNonFinite(Tensor()), -1);
+  EXPECT_EQ(FirstNonFinite(Tensor::FromVector(1, 3, {1, 2, 3})), -1);
+  Tensor t = Tensor::FromVector(1, 4, {1, 2, 3, 4});
+  t.data()[2] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(FirstNonFinite(t), 2);
+  t.data()[1] = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(FirstNonFinite(t), 1);
+}
+
+TEST(GradStatsTest, CollectsNormsAndZeroFraction) {
+  ParamStore store;
+  Parameter* a = store.Create("a", Tensor::FromVector(1, 4, {1, 1, 1, 1}));
+  store.Create("b", Tensor::FromVector(1, 2, {1, 1}));
+  a->grad = Tensor::FromVector(1, 4, {3, 0, -4, 0});
+  std::vector<GradStats> stats = CollectGradStats(store);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "a");
+  EXPECT_EQ(stats[0].size, 4);
+  EXPECT_NEAR(stats[0].grad_l2, 5.0, 1e-12);
+  EXPECT_NEAR(stats[0].grad_max_abs, 4.0, 1e-12);
+  EXPECT_NEAR(stats[0].grad_zero_frac, 0.5, 1e-12);
+  EXPECT_TRUE(stats[0].finite);
+  // "b" never accumulated a gradient this step.
+  EXPECT_EQ(stats[1].name, "b");
+  EXPECT_NEAR(stats[1].grad_zero_frac, 1.0, 1e-12);
+}
+
+TEST(GradStatsTest, FlagsNonFiniteGradient) {
+  ParamStore store;
+  Parameter* a = store.Create("a", Tensor::FromVector(1, 2, {1, 1}));
+  a->grad = Tensor::FromVector(1, 2, {1, 1});
+  a->grad.data()[1] = std::numeric_limits<float>::quiet_NaN();
+  std::vector<GradStats> stats = CollectGradStats(store);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_FALSE(stats[0].finite);
+}
+
+TEST(GradStatsTest, UpdateRatiosAttachInStoreOrder) {
+  std::vector<GradStats> stats(2);
+  stats[0].name = "a";
+  stats[1].name = "b";
+  std::vector<ParamUpdateStats> updates = {{0.5, 10.0}, {0.0, 0.0}};
+  AttachUpdateRatios(&stats, updates);
+  EXPECT_NEAR(stats[0].update_ratio, 0.05, 1e-9);
+  // Zero-norm parameter: ratio stays finite thanks to the epsilon.
+  EXPECT_GE(stats[1].update_ratio, 0.0);
+  EXPECT_TRUE(std::isfinite(stats[1].update_ratio));
+}
+
+TEST(GradStatsTest, JsonArrayParsesBack) {
+  std::vector<GradStats> stats(1);
+  stats[0].name = "emb";
+  stats[0].size = 8;
+  stats[0].grad_l2 = 0.25;
+  stats[0].finite = true;
+  auto parsed = util::ParseJson(GradStatsJsonArray(stats));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed.value().is_array());
+  ASSERT_EQ(parsed.value().array.size(), 1u);
+  const util::JsonValue& p = parsed.value().array[0];
+  EXPECT_EQ(p.StringOr("name", ""), "emb");
+  EXPECT_EQ(p.NumberOr("size", 0), 8);
+  EXPECT_NEAR(p.NumberOr("grad_l2", 0), 0.25, 1e-12);
+  EXPECT_TRUE(p.BoolOr("finite", false));
+}
+
+// ----- Model-zoo smoke test -------------------------------------------------
+
+// Every model in Table II (plus the extra references) must survive one
+// training epoch with grad-stats sampling on and produce finite
+// statistics for every parameter, with at least one parameter actually
+// receiving gradient. Catches models whose backward silently produces
+// NaN or leaves all parameters untouched.
+TEST(ModelZooGradStatsTest, OneBatchFiniteStatsForEveryModel) {
+  data::Dataset dataset = data::GenerateSynthetic(data::SyntheticConfig::Tiny());
+  graph::HeteroGraph graph(dataset);
+  std::vector<std::string> names = core::TableIIModelNames();
+  names.push_back("BPR-MF");
+  names.push_back("LightGCN");
+  core::ZooConfig zoo;
+  zoo.embedding_dim = 8;
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    auto model = core::CreateModelByName(name, dataset, graph, zoo);
+    train::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 512;
+    tc.grad_stats_every = 1;
+    train::Trainer trainer(model.get(), dataset, tc);
+    trainer.TrainEpoch();
+    const std::vector<GradStats>& stats = trainer.last_grad_stats();
+    ASSERT_FALSE(stats.empty());
+    bool any_nonzero = false;
+    for (const GradStats& s : stats) {
+      EXPECT_TRUE(s.finite) << s.name;
+      EXPECT_TRUE(std::isfinite(s.grad_l2)) << s.name;
+      EXPECT_TRUE(std::isfinite(s.grad_max_abs)) << s.name;
+      EXPECT_TRUE(std::isfinite(s.update_ratio)) << s.name;
+      EXPECT_GE(s.grad_l2, 0.0) << s.name;
+      EXPECT_GE(s.grad_zero_frac, 0.0) << s.name;
+      EXPECT_LE(s.grad_zero_frac, 1.0) << s.name;
+      EXPECT_GT(s.size, 0) << s.name;
+      any_nonzero = any_nonzero || s.grad_l2 > 0.0;
+    }
+    EXPECT_TRUE(any_nonzero) << name << ": no parameter received gradient";
+  }
+}
+
+// ----- Check-numerics fail-fast ---------------------------------------------
+
+TEST(CheckNumericsDeathTest, NamesProducingOpOnNonFiniteValue) {
+  // log(0) = -inf; the forward-value check must name the op that
+  // produced it, not some op epochs later.
+  EXPECT_DEATH(
+      {
+        SetCheckNumerics(true);
+        Tape tape;
+        VarId zero = tape.Constant(Tensor::FromVector(1, 1, {0.0f}));
+        tape.Log(zero);
+      },
+      "check-numerics: non-finite value produced by tape op Log");
+}
+
+TEST(CheckNumericsDeathTest, NamesParameterOnNonFiniteGradient) {
+  // Finite forward values, non-finite cotangent: d/dx log(x) at a
+  // denormal x overflows float. Backward's per-node gradient check fires
+  // at the parameter leaf and names it.
+  EXPECT_DEATH(
+      {
+        SetCheckNumerics(true);
+        ParamStore store;
+        Parameter* p =
+            store.Create("emb", Tensor::FromVector(1, 1, {1e-45f}));
+        Tape tape;
+        tape.Backward(tape.SumAll(tape.Log(tape.Param(p))));
+      },
+      "check-numerics: non-finite gradient produced by tape op "
+      "Param \\('emb'\\)");
+}
+
+TEST(CheckNumericsDeathTest, NamesPoisonedParameterValue) {
+  EXPECT_DEATH(
+      {
+        SetCheckNumerics(true);
+        ParamStore store;
+        Parameter* p = store.Create(
+            "bad", Tensor::FromVector(
+                       1, 1, {std::numeric_limits<float>::quiet_NaN()}));
+        Tape tape;
+        tape.Param(p);
+      },
+      "check-numerics: non-finite value in parameter 'bad'");
+}
+
+// The detector must also record the anomaly in the run log before dying:
+// the death-test child opens a log, trips the check, and aborts; the
+// parent then reads the child's flushed anomaly line back with the real
+// parser and verifies it names op "Log".
+TEST(CheckNumericsDeathTest, AnomalyEventNamesOpInRunLog) {
+  const std::string log_path =
+      testing::TempDir() + "/check_numerics_anomaly.jsonl";
+  std::remove(log_path.c_str());
+  EXPECT_DEATH(
+      {
+        ASSERT_TRUE(runlog::Open(log_path).ok());
+        SetCheckNumerics(true);
+        Tape tape;
+        VarId zero = tape.Constant(Tensor::FromVector(1, 1, {0.0f}));
+        tape.Log(zero);
+      },
+      "non-finite value produced by tape op Log");
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open()) << "death-test child left no run log";
+  std::string line;
+  bool found = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = util::ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const util::JsonValue& v = parsed.value();
+    if (v.StringOr("event", "") != "anomaly") continue;
+    found = true;
+    EXPECT_EQ(v.StringOr("kind", ""), "nonfinite_value");
+    EXPECT_EQ(v.StringOr("op", ""), "Log");
+  }
+  EXPECT_TRUE(found) << "no anomaly event in " << log_path;
+  std::remove(log_path.c_str());
+}
+
+// Disabled is the default, and disabled runs tolerate non-finite values
+// (the pre-existing behavior this feature must not change).
+TEST(CheckNumericsTest, DisabledByDefaultAndTolerant) {
+  ASSERT_FALSE(CheckNumericsEnabled());
+  Tape tape;
+  VarId zero = tape.Constant(Tensor::FromVector(1, 1, {0.0f}));
+  VarId log0 = tape.Log(zero);
+  EXPECT_TRUE(std::isinf(tape.val(log0).scalar()));
+}
+
+TEST(CheckNumericsTest, OpNamesAreRecorded) {
+  Tape tape;
+  VarId c = tape.Constant(Tensor::FromVector(1, 2, {1, 2}));
+  EXPECT_STREQ(tape.op_name(c), "Constant");
+  // Relu delegates to LeakyRelu, so the recorded op is the emitting one.
+  EXPECT_STREQ(tape.op_name(tape.Relu(c)), "LeakyRelu");
+  EXPECT_STREQ(tape.op_name(tape.Sigmoid(c)), "Sigmoid");
+  EXPECT_STREQ(tape.op_name(tape.L2(c)), "L2");
+}
+
+}  // namespace
+}  // namespace dgnn::ag

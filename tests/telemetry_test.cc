@@ -280,10 +280,17 @@ TEST_F(TelemetryTest, ResetZeroesValuesButKeepsRegistrations) {
   Counter* c = GetCounter("test.reset");
   c->Add(5);
   { ScopedSpan span("gone", "test"); }
+  // The span-overflow counter is registry-managed like any other metric;
+  // Reset must zero it too (documented in telemetry.h), or a long-lived
+  // process would report drops from runs before the Reset.
+  Counter* dropped = GetCounter("telemetry.dropped_spans");
+  dropped->Add(7);
   Reset();
   EXPECT_EQ(c->value(), 0);
   EXPECT_EQ(GetCounter("test.reset"), c);
   EXPECT_EQ(NumTraceEvents(), 0);
+  EXPECT_EQ(dropped->value(), 0);
+  EXPECT_EQ(GetCounter("telemetry.dropped_spans"), dropped);
 }
 
 // ----- concurrency (TSan-covered via ci/run_tsan.sh) ------------------------
