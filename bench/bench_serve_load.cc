@@ -1,0 +1,229 @@
+// bench_serve_load — closed-loop load generator for the online serving
+// engine (src/serve/engine.h): N client threads issue back-to-back
+// requests against one ServingEngine and the harness reports QPS and
+// p50/p95/p99 latency (telemetry histogram serve.request_seconds) per
+// client-thread count, the standard closed-loop serving benchmark shape.
+//
+// Setup: a synthetic dataset + model is built in-process, exported
+// through the real snapshot writer, and loaded back through the real
+// reader — so the measured path is exactly what dgnn_serve runs. The mix
+// is mostly TopK with some Score / SimilarUsers, plus a slice of
+// unknown-user (degraded) traffic; concurrent clients exercise the
+// engine's micro-batching.
+//
+// Flags:
+//   --preset=tiny|ciao|epinions|yelp   dataset scale (default tiny)
+//   --dim=16 --k=10                    embedding dim / top-k size
+//   --requests=200                     requests per client per run
+//   --clients=1,2,4,8                  client-thread sweep
+//   --cache=4096                       engine LRU capacity (0 disables)
+//   --social-alpha=0                   serve-time social recalibration
+//   --hot-fraction=0.8                 share of traffic on 1/8 of users
+//   --metrics-out / --trace-out / --run-log   (see bench_common.h)
+//
+// CI runs this at a small scale via ci/check_serve.sh.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/model_zoo.h"
+#include "data/synthetic.h"
+#include "graph/hetero_graph.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+#include "train/recommender.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dgnn;
+
+std::string TempSnapshotPath() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string dir = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  return dir + "/dgnn_bench_serve_snapshot.bin";
+}
+
+struct SweepResult {
+  int clients = 0;
+  int64_t requests = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  int64_t batches = 0;
+};
+
+SweepResult RunSweepPoint(serve::ServingEngine& engine, int clients,
+                          int requests_per_client, int32_t num_users,
+                          int k, double hot_fraction) {
+  telemetry::Reset();
+  telemetry::Histogram* latency =
+      telemetry::GetHistogram("serve.request_seconds");
+  const serve::EngineStats before = engine.stats();
+
+  // Closed loop: every client issues its next request as soon as the
+  // previous one returns. The request mix is deterministic per (client,
+  // iteration) so sweep points are comparable.
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      util::Rng rng(0x5eedbeef + static_cast<uint64_t>(c));
+      const int32_t hot_users = std::max<int32_t>(1, num_users / 8);
+      for (int i = 0; i < requests_per_client; ++i) {
+        serve::Request req;
+        const int mix = i % 10;
+        // 7/10 TopK, 1/10 Score, 1/10 SimilarUsers, 1/10 unknown user
+        // (degraded popularity path).
+        if (mix < 7) {
+          req.type = serve::Request::Type::kTopK;
+          req.k = k;
+        } else if (mix == 7) {
+          req.type = serve::Request::Type::kScore;
+        } else if (mix == 8) {
+          req.type = serve::Request::Type::kSimilarUsers;
+          req.k = 5;
+        } else {
+          req.type = serve::Request::Type::kTopK;
+          req.k = k;
+          req.user = num_users + static_cast<int32_t>(rng.UniformInt(100));
+        }
+        if (mix != 9) {
+          const bool hot =
+              rng.UniformInt(1000) < static_cast<int64_t>(hot_fraction * 1000);
+          req.user = hot ? static_cast<int32_t>(rng.UniformInt(hot_users))
+                         : static_cast<int32_t>(rng.UniformInt(num_users));
+        }
+        if (req.type == serve::Request::Type::kScore) {
+          req.item = static_cast<int32_t>(
+              rng.UniformInt(engine.snapshot()->items.rows()));
+        }
+        const serve::Response resp = engine.Handle(req);
+        if (!resp.ok) {
+          std::fprintf(stderr, "request failed: %s\n", resp.error.c_str());
+          std::abort();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const serve::EngineStats after = engine.stats();
+  SweepResult r;
+  r.clients = clients;
+  r.requests = after.requests - before.requests;
+  r.seconds = seconds;
+  r.qps = seconds > 0 ? static_cast<double>(r.requests) / seconds : 0.0;
+  r.p50_ms = latency->ApproxQuantileSeconds(0.50) * 1e3;
+  r.p95_ms = latency->ApproxQuantileSeconds(0.95) * 1e3;
+  r.p99_ms = latency->ApproxQuantileSeconds(0.99) * 1e3;
+  const int64_t lookups = (after.cache_hits - before.cache_hits) +
+                          (after.cache_misses - before.cache_misses);
+  r.cache_hit_rate =
+      lookups > 0
+          ? static_cast<double>(after.cache_hits - before.cache_hits) /
+                static_cast<double>(lookups)
+          : 0.0;
+  r.batches = after.batches - before.batches;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  bench::SetupTelemetryFromFlags(flags);
+  // The latency histogram drives the report, so telemetry is always on
+  // here (unlike the training benches, where it is opt-in).
+  telemetry::SetEnabled(true);
+  if (flags.Has("threads")) {
+    util::SetNumThreads(
+        static_cast<int>(flags.GetInt("threads", util::NumThreads())));
+  }
+
+  auto config =
+      data::SyntheticConfig::Preset(flags.GetString("preset", "tiny"));
+  data::Dataset dataset = data::GenerateSynthetic(config);
+  graph::HeteroGraph graph(dataset);
+  core::ZooConfig zoo;
+  zoo.embedding_dim = flags.GetInt("dim", 16);
+  auto model = core::CreateModelByName("BPR-MF", dataset, graph, zoo);
+  train::Recommender recommender(*model, dataset);
+
+  // Export through the real writer and load through the real reader so
+  // the benched engine serves exactly what dgnn_serve would.
+  const std::string snapshot_path = TempSnapshotPath();
+  serve::Snapshot snapshot = serve::BuildSnapshot(
+      recommender, dataset, "BPR-MF", "bench_serve_load");
+  util::Status written = serve::WriteSnapshot(snapshot, snapshot_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  serve::EngineConfig engine_config;
+  engine_config.cache_capacity =
+      static_cast<int>(flags.GetInt("cache", 4096));
+  engine_config.social_alpha =
+      static_cast<float>(flags.GetDouble("social-alpha", 0.0));
+  serve::ServingEngine engine(engine_config);
+  util::Status loaded = engine.Load(snapshot_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+
+  const int k = static_cast<int>(flags.GetInt("k", 10));
+  const int requests_per_client =
+      static_cast<int>(flags.GetInt("requests", 200));
+  const double hot_fraction = flags.GetDouble("hot-fraction", 0.8);
+  std::vector<int> client_sweep;
+  for (const std::string& tok :
+       util::Split(flags.GetString("clients", "1,2,4,8"), ',')) {
+    auto parsed = util::ParseInt(util::Trim(tok));
+    if (!parsed.ok() || parsed.value() < 1) {
+      std::fprintf(stderr, "bad --clients entry '%s'\n", tok.c_str());
+      return 2;
+    }
+    client_sweep.push_back(static_cast<int>(parsed.value()));
+  }
+
+  std::printf("serving load test: %s (%d users, %d items, dim %lld), "
+              "k=%d, %d requests/client, pool threads=%d, cache=%d\n\n",
+              dataset.name.c_str(), dataset.num_users, dataset.num_items,
+              (long long)zoo.embedding_dim, k, requests_per_client,
+              util::NumThreads(), engine_config.cache_capacity);
+
+  util::Table table({"clients", "requests", "seconds", "qps", "p50_ms",
+                     "p95_ms", "p99_ms", "cache_hit", "batches"});
+  for (int clients : client_sweep) {
+    // Warm-up pass so first-touch costs (page faults, cache fill) don't
+    // skew the smallest sweep point.
+    RunSweepPoint(engine, clients, std::min(requests_per_client, 32),
+                  dataset.num_users, k, hot_fraction);
+    SweepResult r = RunSweepPoint(engine, clients, requests_per_client,
+                                  dataset.num_users, k, hot_fraction);
+    table.AddRow({std::to_string(r.clients), std::to_string(r.requests),
+                  bench::Fmt4(r.seconds), util::StrFormat("%.0f", r.qps),
+                  bench::Fmt4(r.p50_ms), bench::Fmt4(r.p95_ms),
+                  bench::Fmt4(r.p99_ms), bench::Fmt4(r.cache_hit_rate),
+                  std::to_string(r.batches)});
+  }
+  table.Print();
+  std::remove(snapshot_path.c_str());
+  return 0;
+}

@@ -13,6 +13,11 @@
 //   --mode=recommend --data_dir=D [--model=DGNN] --params=P --user=U
 //                    [--topk=10]
 //       Print the top-K items (and most similar users) for one user.
+//   --mode=export    --data_dir=D [--model=DGNN] --params=P --snapshot=S
+//                    [--tag=T]
+//       Export a serving snapshot (final embeddings, seen lists, social
+//       adjacency, popularity counts) for dgnn_serve. See README
+//       "Serving".
 //
 // All modes accept --threads=N to size the worker pool (default: the
 // DGNN_NUM_THREADS environment variable, else hardware concurrency).
@@ -42,6 +47,7 @@
 #include "core/pretrain.h"
 #include "data/io.h"
 #include "data/synthetic.h"
+#include "serve/snapshot.h"
 #include "train/beyond_accuracy.h"
 #include "train/recommender.h"
 #include "train/trainer.h"
@@ -194,6 +200,29 @@ int Recommend(const util::Flags& flags, const std::string& data_dir) {
   return 0;
 }
 
+int Export(const util::Flags& flags, const std::string& data_dir) {
+  auto loaded = LoadModel(flags, data_dir, /*load_params=*/true);
+  if (!loaded.ok()) return Fail(loaded.status());
+  Loaded l = std::move(loaded).value();
+  const std::string snapshot_path = flags.GetString("snapshot", "");
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr, "--snapshot is required for --mode=export\n");
+    return 2;
+  }
+  train::Recommender recommender(*l.model, l.dataset);
+  serve::Snapshot snapshot = serve::BuildSnapshot(
+      recommender, l.dataset, flags.GetString("model", "DGNN"),
+      flags.GetString("tag", ""));
+  util::Status written = serve::WriteSnapshot(snapshot, snapshot_path);
+  if (!written.ok()) return Fail(written);
+  std::printf("snapshot written to %s (%lld users x %lld items, dim "
+              "%lld)\n",
+              snapshot_path.c_str(), (long long)snapshot.meta.num_users,
+              (long long)snapshot.meta.num_items,
+              (long long)snapshot.meta.embedding_dim);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,7 +261,8 @@ int main(int argc, char** argv) {
   const std::string data_dir = flags.GetString("data_dir", "");
   if (data_dir.empty()) {
     std::fprintf(stderr,
-                 "usage: dgnn_cli --mode=generate|train|evaluate|recommend "
+                 "usage: dgnn_cli "
+                 "--mode=generate|train|evaluate|recommend|export "
                  "--data_dir=DIR [--threads=N] [--metrics-out=F] "
                  "[--trace-out=F] [--run-log=F] [--grad-stats-every=K] "
                  "[--check-numerics] [options]\n");
@@ -247,6 +277,8 @@ int main(int argc, char** argv) {
     code = Evaluate(flags, data_dir);
   } else if (mode == "recommend") {
     code = Recommend(flags, data_dir);
+  } else if (mode == "export") {
+    code = Export(flags, data_dir);
   } else {
     std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
     return 2;

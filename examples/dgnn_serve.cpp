@@ -1,0 +1,294 @@
+// dgnn_serve — online serving frontend over serve::ServingEngine: loads an
+// embedding snapshot (exported with `dgnn_cli --mode=export`) and answers
+// newline-delimited JSON requests on stdin with one JSON response line on
+// stdout each (NDJSON in, NDJSON out).
+//
+// Requests:
+//   {"op":"topk","user":3,"k":10}
+//   {"op":"score","user":3,"item":7}
+//   {"op":"similar_users","user":3,"k":5}
+//   {"op":"reload"}                        re-read --snapshot from disk
+//   {"op":"swap","snapshot":"other.snap"}  hot-swap to another file
+//   {"op":"stats"}                         engine counters
+//   {"op":"quit"}                          acknowledge and exit 0
+//
+// Responses always carry "ok"; successful scoring responses carry
+// "degraded" (true when an unknown/cold user fell back to the popularity
+// ranking) and "snapshot_version" (bumps on every hot swap — in-flight
+// requests finish on the snapshot they started with).
+//
+//   {"ok":true,"op":"topk","user":3,"degraded":false,
+//    "snapshot_version":1,"items":[{"item":5,"score":1.25}, ...]}
+//   {"ok":false,"error":"..."}
+//
+// SIGHUP requests a reload of --snapshot before the next request is
+// served (the conventional "re-read your config" signal); the scripted
+// equivalent is the "reload" op. A failed reload/swap keeps the engine on
+// its current snapshot and reports the error in-band.
+//
+// Flags: --snapshot=F (required), --threads=N, --cache=N,
+// --social-alpha=A, --metrics-out=F, --trace-out=F, --run-log=F.
+
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/run_log.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace dgnn;
+
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+void OnSighup(int) { g_reload_requested = 1; }
+
+void PrintLine(const std::string& json) {
+  std::fputs(json.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+void RespondError(const std::string& message) {
+  util::JsonObject o;
+  o.Set("ok", false).Set("error", message);
+  PrintLine(o.Build());
+}
+
+std::string ItemsJson(const std::vector<serve::ScoredItem>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    util::JsonObject o;
+    o.Set("item", static_cast<int64_t>(items[i].item))
+        .Set("score", static_cast<double>(items[i].score));
+    out += o.Build();
+  }
+  out += "]";
+  return out;
+}
+
+void LogSwapEvent(const char* trigger, const std::string& path,
+                  int64_t version, const util::Status& status) {
+  if (!runlog::Active()) return;
+  util::JsonObject o;
+  o.Set("trigger", trigger)
+      .Set("path", path)
+      .Set("snapshot_version", version)
+      .Set("ok", status.ok());
+  if (!status.ok()) o.Set("error", status.ToString());
+  runlog::Emit("snapshot_swap", o);
+}
+
+// Serves one parsed request line; returns false once "quit" was handled.
+bool Dispatch(serve::ServingEngine& engine, const util::JsonValue& req,
+              const std::string& snapshot_path) {
+  const std::string op = req.StringOr("op", "");
+  if (op == "quit") {
+    util::JsonObject o;
+    o.Set("ok", true).Set("op", op);
+    PrintLine(o.Build());
+    return false;
+  }
+  if (op == "reload" || op == "swap") {
+    const std::string path =
+        op == "swap" ? req.StringOr("snapshot", "") : snapshot_path;
+    if (path.empty()) {
+      RespondError("swap requires a \"snapshot\" path");
+      return true;
+    }
+    util::Status loaded = engine.Load(path);
+    LogSwapEvent(op.c_str(), path, engine.swap_count(), loaded);
+    if (!loaded.ok()) {
+      RespondError(loaded.ToString());
+      return true;
+    }
+    util::JsonObject o;
+    o.Set("ok", true).Set("op", op).Set("snapshot_version",
+                                        engine.swap_count());
+    PrintLine(o.Build());
+    return true;
+  }
+  if (op == "stats") {
+    const serve::EngineStats s = engine.stats();
+    util::JsonObject o;
+    o.Set("ok", true)
+        .Set("op", op)
+        .Set("requests", s.requests)
+        .Set("batches", s.batches)
+        .Set("cache_hits", s.cache_hits)
+        .Set("cache_misses", s.cache_misses)
+        .Set("snapshot_swaps", s.snapshot_swaps)
+        .Set("degraded_requests", s.degraded_requests);
+    PrintLine(o.Build());
+    return true;
+  }
+
+  serve::Request request;
+  if (op == "topk") {
+    request.type = serve::Request::Type::kTopK;
+  } else if (op == "score") {
+    request.type = serve::Request::Type::kScore;
+  } else if (op == "similar_users") {
+    request.type = serve::Request::Type::kSimilarUsers;
+  } else {
+    RespondError("unknown op '" + op + "'");
+    return true;
+  }
+  request.user = static_cast<int32_t>(req.NumberOr("user", -1));
+  request.item = static_cast<int32_t>(req.NumberOr("item", -1));
+  request.k = static_cast<int>(req.NumberOr("k", 10));
+
+  const serve::Response resp = engine.Handle(request);
+  if (!resp.ok) {
+    RespondError(resp.error);
+    return true;
+  }
+  util::JsonObject o;
+  o.Set("ok", true)
+      .Set("op", op)
+      .Set("user", static_cast<int64_t>(request.user))
+      .Set("degraded", resp.degraded)
+      .Set("snapshot_version", resp.snapshot_version);
+  if (request.type == serve::Request::Type::kScore) {
+    o.Set("item", static_cast<int64_t>(request.item))
+        .Set("score", static_cast<double>(resp.score));
+  } else {
+    o.Set("k", static_cast<int64_t>(request.k))
+        .SetRaw("items", ItemsJson(resp.items));
+  }
+  PrintLine(o.Build());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string snapshot_path = flags.GetString("snapshot", "");
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: dgnn_serve --snapshot=FILE [--threads=N] "
+                 "[--cache=N] [--social-alpha=A] [--metrics-out=F] "
+                 "[--trace-out=F] [--run-log=F]\n"
+                 "reads NDJSON requests on stdin; SIGHUP re-reads the "
+                 "snapshot file\n");
+    return 2;
+  }
+  if (flags.Has("threads")) {
+    const int threads = static_cast<int>(flags.GetInt("threads", 0));
+    if (threads < 1) {
+      std::fprintf(stderr, "--threads must be >= 1\n");
+      return 2;
+    }
+    util::SetNumThreads(threads);
+  }
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    telemetry::SetEnabled(true);
+  }
+  const std::string run_log = flags.GetString("run-log", "");
+  if (!run_log.empty()) {
+    util::Status s = runlog::Open(run_log);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  serve::EngineConfig config;
+  config.cache_capacity = static_cast<int>(flags.GetInt("cache", 4096));
+  config.social_alpha =
+      static_cast<float>(flags.GetDouble("social-alpha", 0.0));
+  serve::ServingEngine engine(config);
+  util::Status loaded = engine.Load(snapshot_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  const auto snap = engine.snapshot();
+  std::fprintf(stderr,
+               "dgnn_serve: serving '%s' (%s) — %lld users, %lld items, "
+               "dim %lld\n",
+               snap->meta.model_name.c_str(), snapshot_path.c_str(),
+               (long long)snap->meta.num_users,
+               (long long)snap->meta.num_items,
+               (long long)snap->meta.embedding_dim);
+  if (runlog::Active()) {
+    util::JsonObject o;
+    o.Set("snapshot", snapshot_path)
+        .Set("model", snap->meta.model_name)
+        .Set("dataset", snap->meta.dataset_name)
+        .Set("num_users", snap->meta.num_users)
+        .Set("num_items", snap->meta.num_items)
+        .Set("dim", snap->meta.embedding_dim)
+        .Set("cache_capacity", static_cast<int64_t>(config.cache_capacity))
+        .Set("social_alpha", static_cast<double>(config.social_alpha));
+    runlog::Emit("serve_start", o);
+  }
+  std::signal(SIGHUP, OnSighup);
+
+  std::string line;
+  bool running = true;
+  while (running && std::getline(std::cin, line)) {
+    if (g_reload_requested) {
+      g_reload_requested = 0;
+      util::Status s = engine.Load(snapshot_path);
+      LogSwapEvent("SIGHUP", snapshot_path, engine.swap_count(), s);
+      if (!s.ok()) {
+        std::fprintf(stderr, "reload failed (still serving previous "
+                             "snapshot): %s\n",
+                     s.ToString().c_str());
+      }
+    }
+    if (line.empty()) continue;
+    auto parsed = util::ParseJson(line);
+    if (!parsed.ok()) {
+      RespondError("request is not valid JSON: " +
+                   parsed.status().message());
+      continue;
+    }
+    running = Dispatch(engine, parsed.value(), snapshot_path);
+  }
+
+  const serve::EngineStats s = engine.stats();
+  if (runlog::Active()) {
+    util::JsonObject o;
+    o.Set("requests", s.requests)
+        .Set("batches", s.batches)
+        .Set("cache_hits", s.cache_hits)
+        .Set("cache_misses", s.cache_misses)
+        .Set("snapshot_swaps", s.snapshot_swaps)
+        .Set("degraded_requests", s.degraded_requests);
+    runlog::Emit("serve_end", o);
+    runlog::Close();
+  }
+  if (!metrics_out.empty()) {
+    util::Status st = telemetry::WriteMetricsJson(metrics_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    util::Status st = telemetry::WriteTraceJson(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "dgnn_serve: %lld requests in %lld batches, %lld swaps, "
+               "%lld degraded\n",
+               (long long)s.requests, (long long)s.batches,
+               (long long)s.snapshot_swaps, (long long)s.degraded_requests);
+  return 0;
+}

@@ -1,0 +1,325 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+namespace dgnn::serve {
+namespace {
+
+// Registered once; Add() calls are guarded by telemetry::Enabled() per
+// the repo convention (engine-internal atomics track totals regardless).
+struct ServeMetrics {
+  telemetry::Counter* requests = telemetry::GetCounter("serve.requests");
+  telemetry::Counter* batches = telemetry::GetCounter("serve.batches");
+  telemetry::Counter* cache_hits =
+      telemetry::GetCounter("serve.cache_hits");
+  telemetry::Counter* cache_misses =
+      telemetry::GetCounter("serve.cache_misses");
+  telemetry::Counter* swaps =
+      telemetry::GetCounter("serve.snapshot_swaps");
+  telemetry::Counter* degraded =
+      telemetry::GetCounter("serve.degraded_requests");
+  telemetry::Histogram* latency =
+      telemetry::GetHistogram("serve.request_seconds");
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics* m = new ServeMetrics();
+  return *m;
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(EngineConfig config) : config_(config) {}
+
+util::Status ServingEngine::Load(const std::string& path) {
+  auto snapshot = ReadSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+  Swap(std::make_shared<const Snapshot>(std::move(snapshot).value()));
+  return util::Status::Ok();
+}
+
+void ServingEngine::Swap(std::shared_ptr<const Snapshot> snapshot) {
+  DGNN_CHECK(snapshot != nullptr);
+  auto state = std::make_shared<State>();
+  state->user_norms = ComputeRowNorms(snapshot->users);
+  state->popularity.reserve(snapshot->item_counts.size());
+  for (size_t i = 0; i < snapshot->item_counts.size(); ++i) {
+    state->popularity.push_back(
+        {static_cast<int32_t>(i),
+         static_cast<float>(snapshot->item_counts[i])});
+  }
+  std::sort(state->popularity.begin(), state->popularity.end(),
+            ScoreGreater);
+  state->snap = std::move(snapshot);
+  state->version = swap_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    // Concurrent swaps publish in version order; a racing older build
+    // never clobbers a newer snapshot.
+    if (state_ == nullptr || state->version > state_->version) {
+      state_ = std::move(state);
+    }
+  }
+  {
+    // Invalidate eagerly so stale vectors don't pin the old snapshot's
+    // memory; UserVector also re-checks the version lazily.
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    lru_.clear();
+    cache_index_.clear();
+    cache_version_ = swap_count_.load(std::memory_order_relaxed);
+  }
+  if (telemetry::Enabled()) Metrics().swaps->Add(1);
+}
+
+std::shared_ptr<const Snapshot> ServingEngine::snapshot() const {
+  auto state = AcquireState();
+  return state == nullptr ? nullptr : state->snap;
+}
+
+int64_t ServingEngine::swap_count() const {
+  return swap_count_.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<const ServingEngine::State> ServingEngine::AcquireState()
+    const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+Response ServingEngine::Handle(const Request& request) {
+  telemetry::ScopedLatency record_latency(Metrics().latency);
+  Slot slot;
+  slot.request = &request;
+  std::unique_lock<std::mutex> lock(batch_mu_);
+  queue_.push_back(&slot);
+  if (leader_active_) {
+    // A leader is already draining the queue; it will execute our slot
+    // in one of its batches. Wait for completion.
+    batch_cv_.wait(lock, [&] { return slot.done; });
+    return std::move(slot.response);
+  }
+  // Become the leader: repeatedly swap out whatever has queued up
+  // (including our own slot) and execute it as one parallel batch.
+  // Requests arriving meanwhile queue behind us and form the next batch —
+  // micro-batching driven purely by concurrency, no timers.
+  leader_active_ = true;
+  while (!queue_.empty()) {
+    std::vector<Slot*> batch;
+    batch.swap(queue_);
+    lock.unlock();
+    auto state = AcquireState();
+    ExecuteBatch(state.get(), batch.data(), batch.size());
+    lock.lock();
+    for (Slot* s : batch) s->done = true;
+    batch_cv_.notify_all();
+  }
+  leader_active_ = false;
+  return std::move(slot.response);
+}
+
+std::vector<Response> ServingEngine::HandleBatch(
+    const std::vector<Request>& requests) {
+  auto state = AcquireState();
+  std::vector<Slot> slots(requests.size());
+  std::vector<Slot*> ptrs(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    slots[i].request = &requests[i];
+    ptrs[i] = &slots[i];
+  }
+  ExecuteBatch(state.get(), ptrs.data(), ptrs.size());
+  std::vector<Response> out;
+  out.reserve(slots.size());
+  for (Slot& s : slots) out.push_back(std::move(s.response));
+  return out;
+}
+
+void ServingEngine::ExecuteBatch(const State* state, Slot** slots,
+                                 size_t n) {
+  if (n == 0) return;
+  n_requests_.fetch_add(static_cast<int64_t>(n),
+                        std::memory_order_relaxed);
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::Enabled()) {
+    Metrics().requests->Add(static_cast<int64_t>(n));
+    Metrics().batches->Add(1);
+  }
+  if (n == 1) {
+    slots[0]->response = Execute(state, *slots[0]->request);
+    return;
+  }
+  // Responses land in disjoint slots; per-request work is independent, so
+  // results are identical whether the batch runs serially or fanned out
+  // (inner ranking ParallelFors degrade to serial when nested — same
+  // chunk boundaries, same arithmetic).
+  util::ParallelFor(0, static_cast<int64_t>(n), 1,
+                    [&](int64_t b, int64_t e) {
+                      for (int64_t i = b; i < e; ++i) {
+                        slots[i]->response =
+                            Execute(state, *slots[i]->request);
+                      }
+                    });
+}
+
+std::vector<float> ServingEngine::ComputeUserVector(const State& state,
+                                                    int32_t user) const {
+  const ag::Tensor& users = state.snap->users;
+  const float* u = users.row(user);
+  const int64_t d = users.cols();
+  std::vector<float> vec(u, u + d);
+  const float alpha = config_.social_alpha;
+  const auto& neighbors =
+      state.snap->social[static_cast<size_t>(user)];
+  // alpha == 0 keeps the raw row bit-for-bit (no arithmetic applied), the
+  // Recommender-parity path.
+  if (alpha == 0.0f || neighbors.empty()) return vec;
+  std::vector<float> mean(static_cast<size_t>(d), 0.0f);
+  for (int32_t v : neighbors) {
+    const float* w = users.row(v);
+    for (int64_t c = 0; c < d; ++c) mean[static_cast<size_t>(c)] += w[c];
+  }
+  const float inv = 1.0f / static_cast<float>(neighbors.size());
+  for (int64_t c = 0; c < d; ++c) {
+    vec[static_cast<size_t>(c)] =
+        (1.0f - alpha) * vec[static_cast<size_t>(c)] +
+        alpha * mean[static_cast<size_t>(c)] * inv;
+  }
+  return vec;
+}
+
+std::vector<float> ServingEngine::UserVector(const State& state,
+                                             int32_t user) {
+  if (config_.cache_capacity <= 0) return ComputeUserVector(state, user);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_version_ == state.version) {
+      auto it = cache_index_.find(user);
+      if (it != cache_index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        n_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry::Enabled()) Metrics().cache_hits->Add(1);
+        return it->second->second;  // copy out under the lock
+      }
+    }
+  }
+  // Miss: compute outside the lock, then insert (last writer wins; a
+  // racing duplicate insert for the same user computes the same vector).
+  std::vector<float> vec = ComputeUserVector(state, user);
+  n_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::Enabled()) Metrics().cache_misses->Add(1);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_version_ != state.version) {
+      // A swap happened while computing; don't poison the new cache with
+      // an old-snapshot vector.
+      if (cache_version_ < state.version) {
+        lru_.clear();
+        cache_index_.clear();
+        cache_version_ = state.version;
+      } else {
+        return vec;
+      }
+    }
+    auto it = cache_index_.find(user);
+    if (it != cache_index_.end()) {
+      lru_.erase(it->second);
+      cache_index_.erase(it);
+    }
+    lru_.emplace_front(user, vec);
+    cache_index_[user] = lru_.begin();
+    while (lru_.size() > static_cast<size_t>(config_.cache_capacity)) {
+      cache_index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+  return vec;
+}
+
+void ServingEngine::CountDegraded() {
+  n_degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::Enabled()) Metrics().degraded->Add(1);
+}
+
+Response ServingEngine::Execute(const State* state,
+                                const Request& request) {
+  Response resp;
+  if (state == nullptr) {
+    resp.error = "no snapshot loaded";
+    return resp;
+  }
+  const Snapshot& snap = *state->snap;
+  resp.snapshot_version = state->version;
+  const bool known_user =
+      request.user >= 0 && request.user < snap.users.rows();
+  switch (request.type) {
+    case Request::Type::kTopK: {
+      if (request.k <= 0) {
+        resp.error = "k must be positive";
+        return resp;
+      }
+      if (!known_user) {
+        // Cold/unknown user: popularity ranking (count desc, id asc),
+        // scores are raw train counts.
+        const size_t keep = std::min<size_t>(
+            static_cast<size_t>(request.k), state->popularity.size());
+        resp.items.assign(state->popularity.begin(),
+                          state->popularity.begin() +
+                              static_cast<int64_t>(keep));
+        resp.degraded = true;
+        CountDegraded();
+        break;
+      }
+      const std::vector<float> vec = UserVector(*state, request.user);
+      resp.items = TopKUnseenItems(
+          vec.data(), snap.items,
+          snap.seen[static_cast<size_t>(request.user)], request.k);
+      break;
+    }
+    case Request::Type::kScore: {
+      const bool known_item =
+          request.item >= 0 && request.item < snap.items.rows();
+      if (!known_user || !known_item) {
+        resp.score = 0.0f;
+        resp.degraded = true;
+        CountDegraded();
+        break;
+      }
+      const std::vector<float> vec = UserVector(*state, request.user);
+      resp.score =
+          Dot(vec.data(), snap.items.row(request.item), snap.items.cols());
+      break;
+    }
+    case Request::Type::kSimilarUsers: {
+      if (request.k <= 0) {
+        resp.error = "k must be positive";
+        return resp;
+      }
+      if (!known_user) {
+        resp.degraded = true;
+        CountDegraded();
+        break;
+      }
+      resp.items = SimilarUsersByCosine(request.user, snap.users,
+                                        state->user_norms, request.k);
+      break;
+    }
+  }
+  resp.ok = true;
+  return resp;
+}
+
+EngineStats ServingEngine::stats() const {
+  EngineStats s;
+  s.requests = n_requests_.load(std::memory_order_relaxed);
+  s.batches = n_batches_.load(std::memory_order_relaxed);
+  s.cache_hits = n_cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = n_cache_misses_.load(std::memory_order_relaxed);
+  s.snapshot_swaps = swap_count_.load(std::memory_order_relaxed);
+  s.degraded_requests = n_degraded_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dgnn::serve

@@ -1,0 +1,182 @@
+// ServingEngine — the online half of the serving split: loads embedding
+// snapshots (serve/snapshot.h) and answers TopK / Score / SimilarUsers
+// requests from many threads at once.
+//
+// Properties:
+//  - Zero-downtime hot swap. The active snapshot (plus state derived
+//    from it: per-user norms, the popularity ranking) lives behind a
+//    shared_ptr that Swap()/Load() replace atomically; in-flight
+//    requests finish on the snapshot they started with, new requests see
+//    the new one. Nothing blocks on a swap.
+//  - Micro-batching. Handle() coalesces requests that arrive while a
+//    batch is being executed: the first caller becomes the batch leader
+//    and drains the queue through the shared util::ThreadPool; followers
+//    wait for their slot to complete. Under concurrent load this turns N
+//    single-request calls into a few parallel batches with no timers.
+//  - LRU cache of the per-user scoring vector (the social-recalibrated
+//    user embedding when social_alpha > 0, the raw row otherwise),
+//    invalidated wholesale on snapshot swap.
+//  - Graceful degradation. Unknown/cold users get the popularity ranking
+//    (train interaction counts from the snapshot) instead of an error;
+//    responses carry a `degraded` flag. Malformed requests (k <= 0,
+//    unknown op) yield ok=false responses, never a crash.
+//  - Determinism. With social_alpha == 0 (the default) results are
+//    bit-identical to a direct train::Recommender over the same
+//    parameters for any thread count and any batching — both rank
+//    through serve/ranking.h.
+//
+// Telemetry (when telemetry::Enabled()): counters serve.cache_hits,
+// serve.cache_misses, serve.snapshot_swaps, serve.degraded_requests,
+// serve.requests, serve.batches; histogram serve.request_seconds.
+// The same values are always available programmatically via stats().
+
+#ifndef DGNN_SERVE_ENGINE_H_
+#define DGNN_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/ranking.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace dgnn::serve {
+
+struct EngineConfig {
+  // LRU entries for per-user scoring vectors; <= 0 disables the cache.
+  int cache_capacity = 4096;
+  // Serve-time social recalibration (DiffNet-style influence smoothing
+  // without re-running the encoder): the scoring vector becomes
+  // (1 - alpha) * e_u + alpha * mean(e_v for social neighbors v). 0 keeps
+  // the raw embedding and bit-identical parity with train::Recommender.
+  float social_alpha = 0.0f;
+};
+
+struct Request {
+  enum class Type { kTopK, kScore, kSimilarUsers };
+  Type type = Type::kTopK;
+  int32_t user = 0;
+  int32_t item = 0;  // kScore only
+  int k = 10;        // kTopK / kSimilarUsers
+};
+
+struct Response {
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::vector<ScoredItem> items;  // kTopK / kSimilarUsers
+  float score = 0.0f;             // kScore
+  // True when the engine fell back (unknown user/item -> popularity or
+  // neutral score) instead of failing the request.
+  bool degraded = false;
+  // Swap count of the snapshot that served this request (1 = first
+  // loaded snapshot); lets clients observe hot swaps.
+  int64_t snapshot_version = 0;
+};
+
+// Monotonic totals since construction (independent of telemetry being
+// enabled); hit/miss only move when the cache is enabled.
+struct EngineStats {
+  int64_t requests = 0;
+  int64_t batches = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t snapshot_swaps = 0;
+  int64_t degraded_requests = 0;
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(EngineConfig config = {});
+
+  // Reads and fully validates the snapshot file, then swaps it in. On
+  // error the engine keeps serving its current snapshot.
+  util::Status Load(const std::string& path);
+
+  // Swaps in an already-built snapshot. In-flight requests complete on
+  // the old one; the user-vector cache is invalidated.
+  void Swap(std::shared_ptr<const Snapshot> snapshot);
+
+  // Snapshot currently being served (nullptr before the first Load/Swap).
+  std::shared_ptr<const Snapshot> snapshot() const;
+  // Number of successful Load/Swap calls so far.
+  int64_t swap_count() const;
+
+  // Serves one request, micro-batched with concurrent Handle() callers.
+  // Never CHECK-fails on request content: errors come back as ok=false.
+  Response Handle(const Request& request);
+
+  // Serves a batch directly (parallel across requests, one snapshot
+  // acquisition). Response i answers request i.
+  std::vector<Response> HandleBatch(const std::vector<Request>& requests);
+
+  EngineStats stats() const;
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  // Everything derived from one snapshot, immutable once published.
+  struct State {
+    std::shared_ptr<const Snapshot> snap;
+    std::vector<float> user_norms;
+    // Item ids sorted by (train count desc, id asc) — the degraded-path
+    // ranking for unknown users.
+    std::vector<ScoredItem> popularity;
+    int64_t version = 0;
+  };
+
+  struct Slot {
+    const Request* request = nullptr;
+    Response response;
+    bool done = false;
+  };
+
+  std::shared_ptr<const State> AcquireState() const;
+  void ExecuteBatch(const State* state, Slot** slots, size_t n);
+  Response Execute(const State* state, const Request& request);
+  // The (possibly recalibrated) vector used to score for `user`, served
+  // from the LRU cache when enabled.
+  std::vector<float> UserVector(const State& state, int32_t user);
+  std::vector<float> ComputeUserVector(const State& state,
+                                       int32_t user) const;
+  void CountDegraded();
+
+  const EngineConfig config_;
+
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const State> state_;
+  std::atomic<int64_t> swap_count_{0};
+
+  // Micro-batch queue (leader/follower; see Handle() in the .cc).
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::vector<Slot*> queue_;
+  bool leader_active_ = false;
+
+  // LRU: most-recently-used at the front. Guarded by cache_mu_; the
+  // cached vectors belong to snapshot version cache_version_ and are
+  // dropped wholesale when it trails the active state.
+  mutable std::mutex cache_mu_;
+  std::list<std::pair<int32_t, std::vector<float>>> lru_;
+  std::unordered_map<int32_t,
+                     std::list<std::pair<int32_t, std::vector<float>>>::
+                         iterator>
+      cache_index_;
+  int64_t cache_version_ = 0;
+
+  std::atomic<int64_t> n_requests_{0};
+  std::atomic<int64_t> n_batches_{0};
+  std::atomic<int64_t> n_cache_hits_{0};
+  std::atomic<int64_t> n_cache_misses_{0};
+  std::atomic<int64_t> n_degraded_{0};
+};
+
+}  // namespace dgnn::serve
+
+#endif  // DGNN_SERVE_ENGINE_H_

@@ -1,0 +1,121 @@
+// Shared ranking primitives for the two scoring surfaces — the in-process
+// train::Recommender and the online serve::ServingEngine. Both rank with
+// the SAME comparator and the SAME scan helpers defined here, so their
+// top-K output is bit-identical by construction (the serving acceptance
+// bar), not by coincidence of two copies staying in sync.
+//
+// Determinism: every helper scores candidates with a sequential
+// per-candidate dot product inside a fixed-grain ParallelFor (disjoint
+// output slots), then filters and selects serially — results are
+// bit-identical for any thread count (see src/util/thread_pool.h).
+
+#ifndef DGNN_SERVE_RANKING_H_
+#define DGNN_SERVE_RANKING_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "ag/tensor.h"
+#include "util/thread_pool.h"
+
+namespace dgnn::serve {
+
+struct ScoredItem {
+  int32_t item = 0;
+  float score = 0.0f;
+};
+
+// Candidate rows scored per ParallelFor chunk in the catalog scans; fixed
+// so scores are computed identically for any thread count.
+inline constexpr int64_t kScanGrain = 256;
+
+// Deterministic ordering: score descending, ties broken by lower id.
+inline bool ScoreGreater(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+inline float Dot(const float* a, const float* b, int64_t d) {
+  float acc = 0.0f;
+  for (int64_t c = 0; c < d; ++c) acc += a[c] * b[c];
+  return acc;
+}
+
+// Keeps the k best entries of `scored` under ScoreGreater (k clamped to
+// the candidate count), sorted descending.
+inline void SelectTopK(std::vector<ScoredItem>& scored, int k) {
+  const size_t keep =
+      std::min<size_t>(static_cast<size_t>(std::max(k, 0)), scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<int64_t>(keep),
+                    scored.end(), ScoreGreater);
+  scored.resize(keep);
+}
+
+// Top-k rows of `items` by dot product with `u` (length items.cols()),
+// excluding ids present in the sorted `seen` list.
+inline std::vector<ScoredItem> TopKUnseenItems(
+    const float* u, const ag::Tensor& items,
+    const std::vector<int32_t>& seen, int k) {
+  // Score the whole catalog in parallel (disjoint slots), then filter and
+  // select serially — same scores and ordering as the serial scan.
+  std::vector<float> scores(static_cast<size_t>(items.rows()));
+  util::ParallelFor(0, items.rows(), kScanGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      scores[static_cast<size_t>(i)] = Dot(u, items.row(i), items.cols());
+    }
+  });
+  std::vector<ScoredItem> scored;
+  scored.reserve(static_cast<size_t>(items.rows()));
+  for (int32_t i = 0; i < items.rows(); ++i) {
+    if (std::binary_search(seen.begin(), seen.end(), i)) continue;
+    scored.push_back({i, scores[static_cast<size_t>(i)]});
+  }
+  SelectTopK(scored, k);
+  return scored;
+}
+
+// Per-row L2 norms of `m` — precomputed once by both scoring surfaces so
+// SimilarUsers never re-derives norms inside the scan.
+inline std::vector<float> ComputeRowNorms(const ag::Tensor& m) {
+  std::vector<float> norms(static_cast<size_t>(m.rows()));
+  util::ParallelFor(0, m.rows(), kScanGrain, [&](int64_t b, int64_t e) {
+    for (int64_t r = b; r < e; ++r) {
+      const float* row = m.row(r);
+      norms[static_cast<size_t>(r)] = std::sqrt(Dot(row, row, m.cols()));
+    }
+  });
+  return norms;
+}
+
+// Top-k users most similar to `user` by cosine over `users` rows
+// (excluding `user` itself), with `norms` the precomputed per-row L2
+// norms from ComputeRowNorms.
+inline std::vector<ScoredItem> SimilarUsersByCosine(
+    int32_t user, const ag::Tensor& users, const std::vector<float>& norms,
+    int k) {
+  const float* u = users.row(user);
+  const float u_norm = norms[static_cast<size_t>(user)];
+  std::vector<float> scores(static_cast<size_t>(users.rows()));
+  util::ParallelFor(0, users.rows(), kScanGrain, [&](int64_t b, int64_t e) {
+    for (int64_t v = b; v < e; ++v) {
+      const float denom = u_norm * norms[static_cast<size_t>(v)];
+      scores[static_cast<size_t>(v)] =
+          denom > 1e-12f ? Dot(u, users.row(v), users.cols()) / denom : 0.0f;
+    }
+  });
+  std::vector<ScoredItem> scored;
+  scored.reserve(static_cast<size_t>(users.rows()) - 1);
+  for (int32_t v = 0; v < users.rows(); ++v) {
+    if (v == user) continue;
+    scored.push_back({v, scores[static_cast<size_t>(v)]});
+  }
+  SelectTopK(scored, k);
+  return scored;
+}
+
+}  // namespace dgnn::serve
+
+#endif  // DGNN_SERVE_RANKING_H_

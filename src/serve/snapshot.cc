@@ -1,0 +1,431 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "data/dataset.h"
+#include "train/recommender.h"
+#include "util/json.h"
+
+namespace dgnn::serve {
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+constexpr char kMagic[8] = {'D', 'G', 'N', 'N', 'S', 'N', 'P', '1'};
+
+// ----- serialization helpers (append to an in-memory buffer) -------------
+
+template <typename T>
+void AppendPod(std::string& out, T value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void AppendTensor(std::string& out, const ag::Tensor& t) {
+  AppendPod<int64_t>(out, t.rows());
+  AppendPod<int64_t>(out, t.cols());
+  out.append(reinterpret_cast<const char*>(t.data()),
+             static_cast<size_t>(t.size()) * sizeof(float));
+}
+
+void AppendIdLists(std::string& out,
+                   const std::vector<std::vector<int32_t>>& lists) {
+  AppendPod<uint64_t>(out, lists.size());
+  for (const auto& list : lists) {
+    AppendPod<uint32_t>(out, static_cast<uint32_t>(list.size()));
+    out.append(reinterpret_cast<const char*>(list.data()),
+               list.size() * sizeof(int32_t));
+  }
+}
+
+void AppendSection(std::string& out, uint32_t id,
+                   const std::string& payload) {
+  AppendPod<uint32_t>(out, id);
+  AppendPod<uint64_t>(out, payload.size());
+  out.append(payload);
+}
+
+// ----- parsing helpers (cursor over the file image) ----------------------
+
+struct Cursor {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool Read(void* out, size_t n) {
+    if (size - pos < n) return false;
+    std::memcpy(out, data + pos, n);
+    pos += n;
+    return true;
+  }
+  template <typename T>
+  bool ReadPod(T* out) {
+    return Read(out, sizeof(T));
+  }
+  bool exhausted() const { return pos == size; }
+};
+
+Status Truncated(const std::string& where) {
+  return Status::InvalidArgument("truncated snapshot: short read in " +
+                                 where);
+}
+
+Status ParseTensor(Cursor& c, const std::string& what, ag::Tensor* out) {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (!c.ReadPod(&rows) || !c.ReadPod(&cols)) return Truncated(what);
+  if (rows < 0 || cols <= 0 || rows > (1LL << 32) || cols > (1LL << 20)) {
+    return Status::InvalidArgument("implausible " + what + " shape " +
+                                   std::to_string(rows) + "x" +
+                                   std::to_string(cols));
+  }
+  ag::Tensor t(rows, cols);
+  if (!c.Read(t.data(), static_cast<size_t>(t.size()) * sizeof(float))) {
+    return Truncated(what + " values");
+  }
+  *out = std::move(t);
+  return Status::Ok();
+}
+
+Status ParseIdLists(Cursor& c, const std::string& what, int64_t max_id,
+                    bool require_sorted,
+                    std::vector<std::vector<int32_t>>* out) {
+  uint64_t count = 0;
+  if (!c.ReadPod(&count)) return Truncated(what);
+  if (count > (1ULL << 32)) {
+    return Status::InvalidArgument("implausible " + what + " list count");
+  }
+  std::vector<std::vector<int32_t>> lists;
+  lists.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!c.ReadPod(&len)) return Truncated(what);
+    std::vector<int32_t> list(len);
+    if (!c.Read(list.data(), static_cast<size_t>(len) * sizeof(int32_t))) {
+      return Truncated(what + " entries");
+    }
+    for (size_t j = 0; j < list.size(); ++j) {
+      if (list[j] < 0 || list[j] >= max_id) {
+        return Status::InvalidArgument(
+            what + " list " + std::to_string(i) + " has out-of-range id " +
+            std::to_string(list[j]));
+      }
+      if (require_sorted && j > 0 && list[j] <= list[j - 1]) {
+        return Status::InvalidArgument(what + " list " + std::to_string(i) +
+                                       " is not strictly sorted");
+      }
+    }
+    lists.push_back(std::move(list));
+  }
+  *out = std::move(lists);
+  return Status::Ok();
+}
+
+std::string MetaJson(const SnapshotMeta& meta) {
+  util::JsonObject o;
+  o.Set("format", "dgnn.snapshot")
+      .Set("format_version", 1)
+      .Set("model", meta.model_name)
+      .Set("dataset", meta.dataset_name)
+      .Set("tag", meta.tag)
+      .Set("num_users", meta.num_users)
+      .Set("num_items", meta.num_items)
+      .Set("dim", meta.embedding_dim);
+  return o.Build();
+}
+
+Status ParseMeta(const std::string& payload, SnapshotMeta* out) {
+  auto parsed = util::ParseJson(payload);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("snapshot meta is not valid JSON: " +
+                                   parsed.status().message());
+  }
+  const util::JsonValue& v = parsed.value();
+  if (!v.is_object() || v.StringOr("format", "") != "dgnn.snapshot") {
+    return Status::InvalidArgument("snapshot meta missing format marker");
+  }
+  if (v.NumberOr("format_version", 0) != 1) {
+    return Status::InvalidArgument("unsupported snapshot format_version");
+  }
+  out->model_name = v.StringOr("model", "");
+  out->dataset_name = v.StringOr("dataset", "");
+  out->tag = v.StringOr("tag", "");
+  out->num_users = static_cast<int64_t>(v.NumberOr("num_users", -1));
+  out->num_items = static_cast<int64_t>(v.NumberOr("num_items", -1));
+  out->embedding_dim = static_cast<int64_t>(v.NumberOr("dim", -1));
+  if (out->num_users < 0 || out->num_items < 0 || out->embedding_dim <= 0) {
+    return Status::InvalidArgument("snapshot meta has invalid dimensions");
+  }
+  return Status::Ok();
+}
+
+// Cross-section consistency: every count in the meta record must match
+// the payloads it describes.
+Status ValidateAssembled(const Snapshot& s) {
+  const SnapshotMeta& m = s.meta;
+  if (s.users.rows() != m.num_users || s.users.cols() != m.embedding_dim) {
+    return Status::InvalidArgument("user embedding shape disagrees with meta");
+  }
+  if (s.items.rows() != m.num_items || s.items.cols() != m.embedding_dim) {
+    return Status::InvalidArgument("item embedding shape disagrees with meta");
+  }
+  if (static_cast<int64_t>(s.seen.size()) != m.num_users) {
+    return Status::InvalidArgument("seen-list count disagrees with meta");
+  }
+  if (static_cast<int64_t>(s.social.size()) != m.num_users) {
+    return Status::InvalidArgument("social-list count disagrees with meta");
+  }
+  if (static_cast<int64_t>(s.item_counts.size()) != m.num_items) {
+    return Status::InvalidArgument("item-count length disagrees with meta");
+  }
+  for (int64_t c : s.item_counts) {
+    if (c < 0) return Status::InvalidArgument("negative item count");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+namespace internal {
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace internal
+
+Snapshot BuildSnapshot(const train::Recommender& recommender,
+                       const data::Dataset& dataset,
+                       const std::string& model_name,
+                       const std::string& tag) {
+  Snapshot s;
+  s.users = recommender.user_embeddings();
+  s.items = recommender.item_embeddings();
+  s.seen = dataset.TrainItemsByUser();
+  for (auto& list : s.seen) {
+    // A user can interact with the same item repeatedly; the snapshot
+    // stores the strictly-sorted distinct set (exclusion semantics and
+    // popularity counts are per distinct pair).
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  s.social = dataset.SocialNeighbors();
+  s.item_counts.assign(static_cast<size_t>(dataset.num_items), 0);
+  for (const auto& inter : s.seen) {
+    for (int32_t item : inter) {
+      // seen lists are deduplicated per user; popularity counts distinct
+      // (user, item) train pairs.
+      s.item_counts[static_cast<size_t>(item)] += 1;
+    }
+  }
+  s.meta.model_name = model_name;
+  s.meta.dataset_name = dataset.name;
+  s.meta.tag = tag;
+  s.meta.num_users = s.users.rows();
+  s.meta.num_items = s.items.rows();
+  s.meta.embedding_dim = s.users.cols();
+  return s;
+}
+
+Status WriteSnapshot(const Snapshot& snapshot, const std::string& path) {
+  // Serialize everything into memory first so the checksum covers the
+  // exact bytes written and the file hits disk in one pass.
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  AppendPod<uint32_t>(buf, 6);  // section count
+
+  std::string payload = MetaJson(snapshot.meta);
+  AppendSection(buf, internal::kSectionMeta, payload);
+
+  payload.clear();
+  AppendTensor(payload, snapshot.users);
+  AppendSection(buf, internal::kSectionUsers, payload);
+
+  payload.clear();
+  AppendTensor(payload, snapshot.items);
+  AppendSection(buf, internal::kSectionItems, payload);
+
+  payload.clear();
+  AppendIdLists(payload, snapshot.seen);
+  AppendSection(buf, internal::kSectionSeen, payload);
+
+  payload.clear();
+  AppendIdLists(payload, snapshot.social);
+  AppendSection(buf, internal::kSectionSocial, payload);
+
+  payload.clear();
+  AppendPod<uint64_t>(payload, snapshot.item_counts.size());
+  payload.append(reinterpret_cast<const char*>(snapshot.item_counts.data()),
+                 snapshot.item_counts.size() * sizeof(int64_t));
+  AppendSection(buf, internal::kSectionItemCounts, payload);
+
+  AppendPod<uint64_t>(buf, internal::Fnv1a64(buf.data(), buf.size()));
+
+  // Temp + atomic rename, same durability story as SaveParameters: a
+  // crash mid-export leaves the previous snapshot at `path` intact.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::NotFound("cannot open for writing: " + tmp_path);
+    }
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("write failed: " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Snapshot> ReadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("read failed: " + path);
+  }
+
+  // Envelope: magic up front, checksum over everything before the trailing
+  // 8 checksum bytes. Both checks run before any payload parsing so a
+  // torn or bit-flipped file is rejected wholesale.
+  if (buf.size() < sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t)) {
+    return Status::InvalidArgument("truncated snapshot (too small): " + path);
+  }
+  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  const size_t body_size = buf.size() - sizeof(uint64_t);
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, buf.data() + body_size, sizeof(uint64_t));
+  const uint64_t actual_checksum = internal::Fnv1a64(buf.data(), body_size);
+  if (stored_checksum != actual_checksum) {
+    return Status::InvalidArgument("checksum mismatch in " + path +
+                                   " (file corrupt or truncated)");
+  }
+
+  Cursor c{buf.data(), body_size, sizeof(kMagic)};
+  uint32_t section_count = 0;
+  if (!c.ReadPod(&section_count)) return Truncated("section table");
+
+  Snapshot out;
+  std::set<uint32_t> seen_sections;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t id = 0;
+    uint64_t payload_bytes = 0;
+    if (!c.ReadPod(&id) || !c.ReadPod(&payload_bytes)) {
+      return Truncated("section header");
+    }
+    if (payload_bytes > c.size - c.pos) {
+      return Truncated("section " + std::to_string(id) + " payload");
+    }
+    if (!seen_sections.insert(id).second) {
+      return Status::InvalidArgument("duplicate section " +
+                                     std::to_string(id) + " in " + path);
+    }
+    // Sub-cursor pinned to the declared payload span; a section whose
+    // parser consumes fewer/more bytes than declared is a format error.
+    Cursor sc{c.data + c.pos, static_cast<size_t>(payload_bytes), 0};
+    c.pos += payload_bytes;
+    Status st = Status::Ok();
+    switch (id) {
+      case internal::kSectionMeta: {
+        std::string payload(sc.data, sc.size);
+        sc.pos = sc.size;
+        st = ParseMeta(payload, &out.meta);
+        break;
+      }
+      case internal::kSectionUsers:
+        st = ParseTensor(sc, "user embeddings", &out.users);
+        break;
+      case internal::kSectionItems:
+        st = ParseTensor(sc, "item embeddings", &out.items);
+        break;
+      case internal::kSectionSeen:
+        st = ParseIdLists(sc, "seen", INT32_MAX, /*require_sorted=*/true,
+                          &out.seen);
+        break;
+      case internal::kSectionSocial:
+        st = ParseIdLists(sc, "social", INT32_MAX, /*require_sorted=*/true,
+                          &out.social);
+        break;
+      case internal::kSectionItemCounts: {
+        uint64_t n = 0;
+        if (!sc.ReadPod(&n) || n > (1ULL << 32)) {
+          st = Truncated("item counts");
+          break;
+        }
+        out.item_counts.resize(n);
+        if (!sc.Read(out.item_counts.data(), n * sizeof(int64_t))) {
+          st = Truncated("item counts");
+        }
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unknown section " +
+                                       std::to_string(id) + " in " + path);
+    }
+    if (!st.ok()) return st;
+    if (!sc.exhausted()) {
+      return Status::InvalidArgument("section " + std::to_string(id) +
+                                     " has trailing bytes in " + path);
+    }
+  }
+  if (!c.exhausted()) {
+    return Status::InvalidArgument("trailing garbage after " +
+                                   std::to_string(section_count) +
+                                   " sections in " + path);
+  }
+  for (uint32_t required :
+       {internal::kSectionMeta, internal::kSectionUsers,
+        internal::kSectionItems, internal::kSectionSeen,
+        internal::kSectionSocial, internal::kSectionItemCounts}) {
+    if (seen_sections.count(required) == 0) {
+      return Status::InvalidArgument("missing section " +
+                                     std::to_string(required) + " in " +
+                                     path);
+    }
+  }
+
+  // Payloads are individually well-formed; now check they agree with each
+  // other (meta counts vs tensor shapes vs list lengths, id ranges).
+  DGNN_RETURN_IF_ERROR(ValidateAssembled(out));
+  for (const auto& list : out.seen) {
+    for (int32_t item : list) {
+      if (item >= out.meta.num_items) {
+        return Status::InvalidArgument("seen list references item " +
+                                       std::to_string(item) +
+                                       " beyond catalog");
+      }
+    }
+  }
+  for (const auto& list : out.social) {
+    for (int32_t user : list) {
+      if (user >= out.meta.num_users) {
+        return Status::InvalidArgument("social list references user " +
+                                       std::to_string(user) +
+                                       " beyond user count");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dgnn::serve

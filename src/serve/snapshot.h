@@ -1,0 +1,103 @@
+// Embedding snapshot — the offline-artifact half of the serving split:
+// everything the online ServingEngine needs to answer TopK / Score /
+// SimilarUsers requests, exported once after training and loaded (or
+// hot-swapped) by any number of serving processes.
+//
+// Contents: final user/item embeddings, per-user sorted seen-item lists
+// (for exclusion), the social adjacency (for serve-time recalibration of
+// user vectors), per-item train interaction counts (the popularity
+// fallback for unknown/cold users), and a JSON metadata record.
+//
+// File format (little-endian), magic "DGNNSNP1":
+//
+//   magic (8 bytes)
+//   uint32 section_count
+//   per section:
+//     uint32 section_id        (see kSection* below; duplicates rejected)
+//     uint64 payload_bytes
+//     payload
+//   uint64 FNV-1a checksum of every byte above
+//
+// Durability / validation mirror ag::SaveParameters / LoadParameters:
+//  - WriteSnapshot writes "<path>.tmp" and atomically rename(2)s it over
+//    `path`, so a crash mid-export never destroys the previous snapshot.
+//  - ReadSnapshot validates the ENTIRE file — magic, checksum, section
+//    table (every required section exactly once, no unknown sections, no
+//    trailing bytes), payload shapes, id ranges, sortedness — before
+//    returning; a corrupt, truncated, or duplicate-section file yields an
+//    error and never a half-built snapshot.
+
+#ifndef DGNN_SERVE_SNAPSHOT_H_
+#define DGNN_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ag/tensor.h"
+#include "util/status.h"
+
+namespace dgnn::data {
+struct Dataset;
+}  // namespace dgnn::data
+namespace dgnn::train {
+class Recommender;
+}  // namespace dgnn::train
+
+namespace dgnn::serve {
+
+struct SnapshotMeta {
+  std::string model_name;
+  std::string dataset_name;
+  // Free-form producer tag (e.g. an export label); surfaced in serving
+  // responses' provenance, never interpreted.
+  std::string tag;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t embedding_dim = 0;
+};
+
+struct Snapshot {
+  SnapshotMeta meta;
+  ag::Tensor users;  // num_users x dim
+  ag::Tensor items;  // num_items x dim
+  // Per-user train items, sorted ascending (TopK exclusion lists).
+  std::vector<std::vector<int32_t>> seen;
+  // Symmetric social neighbor lists, sorted ascending.
+  std::vector<std::vector<int32_t>> social;
+  // Train interaction count per item — the popularity ranking used for
+  // degraded (unknown-user) requests.
+  std::vector<int64_t> item_counts;
+};
+
+// Builds a snapshot from a fitted recommender (final embeddings) and its
+// dataset (seen lists, social adjacency, popularity counts).
+Snapshot BuildSnapshot(const train::Recommender& recommender,
+                       const data::Dataset& dataset,
+                       const std::string& model_name,
+                       const std::string& tag);
+
+// Atomic write (temp + rename) with trailing checksum.
+util::Status WriteSnapshot(const Snapshot& snapshot,
+                           const std::string& path);
+
+// Fully-validating read; see the header comment for what is rejected.
+util::StatusOr<Snapshot> ReadSnapshot(const std::string& path);
+
+namespace internal {
+// Section ids of the on-disk format, exposed for corruption tests.
+inline constexpr uint32_t kSectionMeta = 1;
+inline constexpr uint32_t kSectionUsers = 2;
+inline constexpr uint32_t kSectionItems = 3;
+inline constexpr uint32_t kSectionSeen = 4;
+inline constexpr uint32_t kSectionSocial = 5;
+inline constexpr uint32_t kSectionItemCounts = 6;
+
+// FNV-1a 64-bit over `size` bytes — the snapshot checksum, exposed so
+// tests can craft structurally-valid-but-tampered files.
+uint64_t Fnv1a64(const void* data, size_t size);
+}  // namespace internal
+
+}  // namespace dgnn::serve
+
+#endif  // DGNN_SERVE_SNAPSHOT_H_

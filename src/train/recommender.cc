@@ -1,32 +1,11 @@
 #include "train/recommender.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "ag/tape.h"
+#include "serve/ranking.h"
 #include "util/check.h"
 #include "util/telemetry.h"
-#include "util/thread_pool.h"
 
 namespace dgnn::train {
-namespace {
-
-// Candidate rows scored per ParallelFor chunk in the TopK/SimilarUsers
-// scans; fixed so scores are computed identically for any thread count.
-constexpr int64_t kScanGrain = 256;
-
-float Dot(const float* a, const float* b, int64_t d) {
-  float acc = 0.0f;
-  for (int64_t c = 0; c < d; ++c) acc += a[c] * b[c];
-  return acc;
-}
-
-bool ScoreGreater(const ScoredItem& a, const ScoredItem& b) {
-  if (a.score != b.score) return a.score > b.score;
-  return a.item < b.item;
-}
-
-}  // namespace
 
 Recommender::Recommender(models::RecModel& model,
                          const data::Dataset& dataset)
@@ -38,6 +17,8 @@ Recommender::Recommender(models::RecModel& model,
   DGNN_CHECK_EQ(users_.rows(), dataset.num_users);
   DGNN_CHECK_EQ(items_.rows(), dataset.num_items);
   seen_ = dataset.TrainItemsByUser();
+  // Precomputed once so SimilarUsers never re-derives norms per call.
+  user_norms_ = serve::ComputeRowNorms(users_);
 }
 
 float Recommender::Score(int32_t user, int32_t item) const {
@@ -45,7 +26,7 @@ float Recommender::Score(int32_t user, int32_t item) const {
   DGNN_CHECK_LT(user, users_.rows());
   DGNN_CHECK_GE(item, 0);
   DGNN_CHECK_LT(item, items_.rows());
-  return Dot(users_.row(user), items_.row(item), users_.cols());
+  return serve::Dot(users_.row(user), items_.row(item), users_.cols());
 }
 
 std::vector<ScoredItem> Recommender::TopK(int32_t user, int k) const {
@@ -56,29 +37,8 @@ std::vector<ScoredItem> Recommender::TopK(int32_t user, int k) const {
       telemetry::GetHistogram("serve.topk_seconds");
   telemetry::ScopedLatency record_latency(latency);
   telemetry::ScopedSpan span("topk", "serve");
-  const auto& seen = seen_[static_cast<size_t>(user)];
-  const float* u = users_.row(user);
-  // Score the whole catalog in parallel (disjoint slots), then filter and
-  // select serially — same scores and ordering as the serial scan.
-  std::vector<float> scores(static_cast<size_t>(items_.rows()));
-  util::ParallelFor(0, items_.rows(), kScanGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) {
-      scores[static_cast<size_t>(i)] = Dot(u, items_.row(i), users_.cols());
-    }
-  });
-  std::vector<ScoredItem> scored;
-  scored.reserve(static_cast<size_t>(items_.rows()));
-  for (int32_t i = 0; i < items_.rows(); ++i) {
-    if (std::binary_search(seen.begin(), seen.end(), i)) continue;
-    scored.push_back({i, scores[static_cast<size_t>(i)]});
-  }
-  const size_t keep = std::min<size_t>(static_cast<size_t>(k),
-                                       scored.size());
-  std::partial_sort(scored.begin(),
-                    scored.begin() + static_cast<int64_t>(keep),
-                    scored.end(), ScoreGreater);
-  scored.resize(keep);
-  return scored;
+  return serve::TopKUnseenItems(users_.row(user), items_,
+                                seen_[static_cast<size_t>(user)], k);
 }
 
 std::vector<ScoredItem> Recommender::SimilarUsers(int32_t user,
@@ -89,31 +49,7 @@ std::vector<ScoredItem> Recommender::SimilarUsers(int32_t user,
       telemetry::GetHistogram("serve.similar_users_seconds");
   telemetry::ScopedLatency record_latency(latency);
   telemetry::ScopedSpan span("similar_users", "serve");
-  const float* u = users_.row(user);
-  const float u_norm = std::sqrt(Dot(u, u, users_.cols()));
-  std::vector<float> scores(static_cast<size_t>(users_.rows()));
-  util::ParallelFor(0, users_.rows(), kScanGrain, [&](int64_t b, int64_t e) {
-    for (int64_t v = b; v < e; ++v) {
-      const float* w = users_.row(v);
-      const float w_norm = std::sqrt(Dot(w, w, users_.cols()));
-      const float denom = u_norm * w_norm;
-      scores[static_cast<size_t>(v)] =
-          denom > 1e-12f ? Dot(u, w, users_.cols()) / denom : 0.0f;
-    }
-  });
-  std::vector<ScoredItem> scored;
-  scored.reserve(static_cast<size_t>(users_.rows()) - 1);
-  for (int32_t v = 0; v < users_.rows(); ++v) {
-    if (v == user) continue;
-    scored.push_back({v, scores[static_cast<size_t>(v)]});
-  }
-  const size_t keep = std::min<size_t>(static_cast<size_t>(k),
-                                       scored.size());
-  std::partial_sort(scored.begin(),
-                    scored.begin() + static_cast<int64_t>(keep),
-                    scored.end(), ScoreGreater);
-  scored.resize(keep);
-  return scored;
+  return serve::SimilarUsersByCosine(user, users_, user_norms_, k);
 }
 
 }  // namespace dgnn::train

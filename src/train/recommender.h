@@ -1,6 +1,8 @@
-// Recommender — the serving-side API: computes final embeddings once and
-// answers top-K queries, excluding items the user already interacted with.
-// This is what a downstream application uses after Trainer::Fit().
+// Recommender — the in-process serving API: computes final embeddings once
+// and answers top-K queries, excluding items the user already interacted
+// with. This is what a downstream application uses after Trainer::Fit().
+// For the out-of-process path (snapshot export, batched online serving),
+// see src/serve/.
 
 #ifndef DGNN_TRAIN_RECOMMENDER_H_
 #define DGNN_TRAIN_RECOMMENDER_H_
@@ -10,13 +12,13 @@
 #include "ag/tensor.h"
 #include "data/dataset.h"
 #include "models/rec_model.h"
+#include "serve/ranking.h"
 
 namespace dgnn::train {
 
-struct ScoredItem {
-  int32_t item = 0;
-  float score = 0.0f;
-};
+// Ranking types are shared with the serving engine (serve/ranking.h) so
+// both surfaces order candidates identically by construction.
+using serve::ScoredItem;
 
 class Recommender {
  public:
@@ -34,7 +36,8 @@ class Recommender {
 
   // Users most similar to `user` by cosine of final embeddings (excluding
   // the user itself) — handy for "people like you" surfaces and for
-  // debugging social effects.
+  // debugging social effects. Uses per-user L2 norms precomputed at
+  // construction, so each call is a single pass over the user table.
   std::vector<ScoredItem> SimilarUsers(int32_t user, int k) const;
 
   const ag::Tensor& user_embeddings() const { return users_; }
@@ -45,6 +48,7 @@ class Recommender {
   ag::Tensor users_;
   ag::Tensor items_;
   std::vector<std::vector<int32_t>> seen_;  // sorted per user
+  std::vector<float> user_norms_;           // L2 norm of each user row
 };
 
 }  // namespace dgnn::train

@@ -190,6 +190,28 @@ double Histogram::max_seconds() const {
   return v == INT64_MIN ? 0.0 : static_cast<double>(v) * 1e-9;
 }
 
+double Histogram::ApproxQuantileSeconds(double q) const {
+  const int64_t n = count();
+  if (n <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th value (1-based, ceil), walked over the cumulative
+  // bucket counts. The answer is that bucket's upper bound, clamped into
+  // the observed [min, max] so q=0/q=1 stay faithful.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * static_cast<double>(n))));
+  int64_t cumulative = 0;
+  double value = max_seconds();
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += bucket_count(i);
+    if (cumulative >= rank) {
+      value = BucketUpperBound(i);
+      break;
+    }
+  }
+  return std::min(std::max(value, min_seconds()), max_seconds());
+}
+
 void Histogram::Zero() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

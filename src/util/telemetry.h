@@ -113,6 +113,13 @@ class Histogram {
 
   void Record(double seconds);
 
+  // Approximate quantile (q in [0, 1], clamped) read off the cumulative
+  // bucket counts: the upper bound of the bucket holding the q-th
+  // recorded value, clamped into [min_seconds, max_seconds]. Resolution
+  // is one power-of-two bucket — adequate for p50/p95/p99 latency
+  // reporting (bench_serve_load). 0 when nothing was recorded.
+  double ApproxQuantileSeconds(double q) const;
+
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum_seconds() const;
   // Min/max of recorded values; 0 when count() == 0.

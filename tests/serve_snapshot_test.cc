@@ -1,0 +1,268 @@
+// Tests for the embedding snapshot format: build/write/read round-trips
+// bit-identically, and every corruption mode — truncation at any point,
+// bit flips (checksum), trailing garbage, duplicate sections — is
+// rejected with an error instead of a half-built snapshot.
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "graph/hetero_graph.h"
+#include "models/bpr_mf.h"
+#include "serve/snapshot.h"
+#include "train/recommender.h"
+
+namespace dgnn {
+namespace {
+
+using serve::ReadSnapshot;
+using serve::Snapshot;
+using serve::WriteSnapshot;
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Re-stamps the trailing checksum so tampered files stay
+// structurally-consistent and the deeper validation layer (not the
+// checksum) must catch them.
+std::string WithFixedChecksum(std::string bytes) {
+  const size_t body = bytes.size() - sizeof(uint64_t);
+  const uint64_t checksum =
+      serve::internal::Fnv1a64(bytes.data(), body);
+  std::memcpy(bytes.data() + body, &checksum, sizeof(uint64_t));
+  return bytes;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest()
+      : dataset_(data::GenerateSynthetic(data::SyntheticConfig::Tiny())),
+        graph_(dataset_),
+        model_(graph_, 8, 5),
+        recommender_(model_, dataset_),
+        snapshot_(serve::BuildSnapshot(recommender_, dataset_, "BPR-MF",
+                                       "unit-test")) {}
+
+  data::Dataset dataset_;
+  graph::HeteroGraph graph_;
+  models::BprMf model_;
+  train::Recommender recommender_;
+  Snapshot snapshot_;
+};
+
+TEST_F(SnapshotTest, BuildCapturesRecommenderAndDataset) {
+  EXPECT_EQ(snapshot_.meta.num_users, dataset_.num_users);
+  EXPECT_EQ(snapshot_.meta.num_items, dataset_.num_items);
+  EXPECT_EQ(snapshot_.meta.model_name, "BPR-MF");
+  EXPECT_EQ(snapshot_.meta.dataset_name, dataset_.name);
+  EXPECT_EQ(snapshot_.meta.tag, "unit-test");
+  EXPECT_EQ(snapshot_.users.MaxAbsDiff(recommender_.user_embeddings()),
+            0.0f);
+  EXPECT_EQ(snapshot_.items.MaxAbsDiff(recommender_.item_embeddings()),
+            0.0f);
+  // Popularity counts sum to the number of distinct train pairs.
+  int64_t total = 0;
+  for (int64_t c : snapshot_.item_counts) total += c;
+  int64_t expected = 0;
+  for (const auto& list : snapshot_.seen) {
+    expected += static_cast<int64_t>(list.size());
+  }
+  EXPECT_EQ(total, expected);
+  EXPECT_GT(total, 0);
+}
+
+TEST_F(SnapshotTest, RoundTripsBitIdentically) {
+  const std::string path = TestPath("snap_roundtrip.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Snapshot& s = loaded.value();
+
+  EXPECT_EQ(s.meta.model_name, snapshot_.meta.model_name);
+  EXPECT_EQ(s.meta.dataset_name, snapshot_.meta.dataset_name);
+  EXPECT_EQ(s.meta.tag, snapshot_.meta.tag);
+  EXPECT_EQ(s.meta.num_users, snapshot_.meta.num_users);
+  EXPECT_EQ(s.meta.num_items, snapshot_.meta.num_items);
+  EXPECT_EQ(s.meta.embedding_dim, snapshot_.meta.embedding_dim);
+
+  ASSERT_TRUE(s.users.SameShape(snapshot_.users));
+  ASSERT_TRUE(s.items.SameShape(snapshot_.items));
+  // Bit-identical embeddings, not merely close.
+  EXPECT_EQ(std::memcmp(s.users.data(), snapshot_.users.data(),
+                        static_cast<size_t>(s.users.size()) *
+                            sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(s.items.data(), snapshot_.items.data(),
+                        static_cast<size_t>(s.items.size()) *
+                            sizeof(float)),
+            0);
+  EXPECT_EQ(s.seen, snapshot_.seen);
+  EXPECT_EQ(s.social, snapshot_.social);
+  EXPECT_EQ(s.item_counts, snapshot_.item_counts);
+}
+
+TEST_F(SnapshotTest, WriteLeavesNoTempFile) {
+  const std::string path = TestPath("snap_notmp.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.is_open());
+}
+
+TEST_F(SnapshotTest, MissingFileIsNotFound) {
+  auto loaded = ReadSnapshot(TestPath("does_not_exist.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, RejectsBadMagic) {
+  const std::string path = TestPath("snap_badmagic.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[0] = 'X';
+  WriteFileBytes(path, bytes);
+  auto loaded = ReadSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, RejectsTruncationAtEveryRegion) {
+  const std::string path = TestPath("snap_full.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  // Representative cut points: inside the magic, the section table, the
+  // middle of the payload, and just shy of the checksum.
+  const std::vector<size_t> cuts = {
+      0, 4, sizeof(uint64_t) + 2, bytes.size() / 3, bytes.size() / 2,
+      bytes.size() - sizeof(uint64_t), bytes.size() - 1};
+  const std::string trunc_path = TestPath("snap_trunc.bin");
+  for (size_t cut : cuts) {
+    WriteFileBytes(trunc_path, bytes.substr(0, cut));
+    auto loaded = ReadSnapshot(trunc_path);
+    EXPECT_FALSE(loaded.ok()) << "accepted truncation to " << cut
+                              << " bytes";
+  }
+}
+
+TEST_F(SnapshotTest, RejectsBitFlipViaChecksum) {
+  const std::string path = TestPath("snap_bitflip.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Flip one bit in the middle of the payload (embedding bytes).
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  WriteFileBytes(path, bytes);
+  auto loaded = ReadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsTrailingGarbage) {
+  const std::string path = TestPath("snap_trailing.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Plain appended garbage breaks the checksum...
+  WriteFileBytes(path, bytes + "extra garbage");
+  EXPECT_FALSE(ReadSnapshot(path).ok());
+  // ...and garbage spliced in before a re-stamped checksum must still be
+  // rejected by the structural trailing-bytes check.
+  std::string spliced = bytes.substr(0, bytes.size() - sizeof(uint64_t)) +
+                        std::string("XXXXXXXX") +
+                        bytes.substr(bytes.size() - sizeof(uint64_t));
+  WriteFileBytes(path, WithFixedChecksum(spliced));
+  auto loaded = ReadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsDuplicateSection) {
+  const std::string path = TestPath("snap_dup.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  std::string bytes = ReadFileBytes(path);
+
+  // Locate the first section (the meta record, directly after magic +
+  // section count) and append a byte-for-byte copy of it, bumping the
+  // section count and re-stamping the checksum — a structurally valid
+  // file whose only defect is the duplicate record.
+  const size_t table_pos = 8;  // section count, after 8-byte magic
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + table_pos, sizeof(uint32_t));
+  ASSERT_EQ(section_count, 6u);
+  const size_t first_header = table_pos + sizeof(uint32_t);
+  uint64_t payload_bytes = 0;
+  std::memcpy(&payload_bytes,
+              bytes.data() + first_header + sizeof(uint32_t),
+              sizeof(uint64_t));
+  const size_t first_section_size =
+      sizeof(uint32_t) + sizeof(uint64_t) + payload_bytes;
+  const std::string first_section =
+      bytes.substr(first_header, first_section_size);
+
+  std::string dup = bytes.substr(0, bytes.size() - sizeof(uint64_t)) +
+                    first_section +
+                    bytes.substr(bytes.size() - sizeof(uint64_t));
+  const uint32_t new_count = section_count + 1;
+  std::memcpy(dup.data() + table_pos, &new_count, sizeof(uint32_t));
+  WriteFileBytes(path, WithFixedChecksum(dup));
+
+  auto loaded = ReadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("duplicate"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, RejectsMetaPayloadDisagreement) {
+  // Shrink the user count in the meta record: every payload stays
+  // well-formed but the cross-section consistency check must fire.
+  Snapshot tampered = snapshot_;
+  tampered.meta.num_users -= 1;
+  const std::string path = TestPath("snap_meta_mismatch.bin");
+  ASSERT_TRUE(WriteSnapshot(tampered, path).ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, RejectsOutOfRangeIds) {
+  Snapshot tampered = snapshot_;
+  tampered.seen[0] = {0, dataset_.num_items + 5};  // beyond the catalog
+  const std::string path = TestPath("snap_bad_ids.bin");
+  ASSERT_TRUE(WriteSnapshot(tampered, path).ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("beyond catalog"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, AtomicWriteKeepsPreviousSnapshotOnOverwrite) {
+  const std::string path = TestPath("snap_overwrite.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  Snapshot second = snapshot_;
+  second.meta.tag = "v2";
+  ASSERT_TRUE(WriteSnapshot(second, path).ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().meta.tag, "v2");
+}
+
+}  // namespace
+}  // namespace dgnn

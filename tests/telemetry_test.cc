@@ -219,6 +219,29 @@ TEST_F(TelemetryTest, HistogramEmptyReportsZeros) {
   EXPECT_EQ(h->count(), 0);
   EXPECT_DOUBLE_EQ(h->min_seconds(), 0.0);
   EXPECT_DOUBLE_EQ(h->max_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h->ApproxQuantileSeconds(0.5), 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramApproxQuantiles) {
+  Histogram* h = GetHistogram("test.hist_quantiles");
+  // 100 values in the 0.001-second bucket, 1 outlier at ~0.1 s: p50/p95
+  // read the common bucket's upper bound, p99+ reaches the outlier's.
+  for (int i = 0; i < 100; ++i) h->Record(0.0009);
+  h->Record(0.09);
+  const double common = Histogram::BucketUpperBound(Histogram::BucketIndex(0.0009));
+  const double tail = Histogram::BucketUpperBound(Histogram::BucketIndex(0.09));
+  EXPECT_DOUBLE_EQ(h->ApproxQuantileSeconds(0.50), common);
+  EXPECT_DOUBLE_EQ(h->ApproxQuantileSeconds(0.95), common);
+  EXPECT_DOUBLE_EQ(h->ApproxQuantileSeconds(1.0), h->max_seconds());
+  EXPECT_GE(h->ApproxQuantileSeconds(0.999), common);
+  EXPECT_LE(h->ApproxQuantileSeconds(0.999), tail);
+  // Quantiles are monotone in q and clamped into [min, max].
+  EXPECT_LE(h->ApproxQuantileSeconds(0.5), h->ApproxQuantileSeconds(0.999));
+  EXPECT_GE(h->ApproxQuantileSeconds(0.0), h->min_seconds());
+  // A single-value histogram reports that value's bucket, clamped to max.
+  Histogram* one = GetHistogram("test.hist_one");
+  one->Record(0.003);
+  EXPECT_DOUBLE_EQ(one->ApproxQuantileSeconds(0.5), one->max_seconds());
 }
 
 // ----- disabled path is a no-op ---------------------------------------------
