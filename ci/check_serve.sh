@@ -19,6 +19,13 @@
 #      version.
 #   6. bench_serve_load runs at a small scale and must report qps and
 #      p50/p95/p99 columns.
+#   7. Overload control, on a FRESH server instance so the exact-count
+#      stats assertions above stay untouched: with --max-queue small and
+#      a DGNN_FAILPOINTS="serve.execute=delay:..." slowdown, a burst of
+#      concurrent requests must be partially SHED (fast "overloaded"
+#      errors, never a hang); a burst with a tiny deadline_ms must
+#      produce "deadline exceeded" expiries; and SIGTERM must drain
+#      in-flight work, write serve_end reason=signal, and exit 0.
 #
 # Usage: ci/check_serve.sh [build-dir]   (default: build)
 
@@ -152,6 +159,65 @@ assert kinds[0] == "serve_start" and kinds[-1] == "serve_end", kinds
 assert kinds.count("snapshot_swap") == 3, kinds  # incl. the failed one
 assert any(e["event"] == "snapshot_swap" and not e["ok"] for e in events)
 print("check_serve: NDJSON session valid")
+EOF
+
+# ---- overload control: shedding, deadlines, graceful SIGTERM drain --------
+# Fresh server instance: a slow execute (injected via failpoint) plus a
+# small admission queue forces load shedding under a concurrent burst.
+python3 - "$SERVE" "$WORK_DIR" <<'EOF'
+import json, os, signal, subprocess, sys
+
+serve, work = sys.argv[1], sys.argv[2]
+env = dict(os.environ, DGNN_FAILPOINTS="serve.execute=delay:60")
+proc = subprocess.Popen(
+    [serve, f"--snapshot={work}/snap_a.bin", "--max-queue=2",
+     f"--run-log={work}/serve_overload.jsonl"],
+    stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True, env=env)
+
+def ask(obj):
+    proc.stdin.write(json.dumps(obj) + "\n")
+    proc.stdin.flush()
+    line = proc.stdout.readline()
+    assert line, f"no response for {obj} (server died?)"
+    return json.loads(line)
+
+# Burst of 32 concurrent requests against a 60ms execute and a 2-slot
+# queue: one leader + at most a couple of followers get in, the rest must
+# be shed immediately instead of queuing unboundedly.
+r = ask({"op": "burst", "n": 32, "user": 3, "k": 5})
+assert r["ok"], r
+assert r["completed"] >= 1, f"no request completed: {r}"
+assert r["shed"] >= 1, f"nothing shed under overload: {r}"
+assert r["failed"] == 0, r
+assert r["completed"] + r["shed"] + r["expired"] == 32, r
+shed_so_far = r["shed"]
+
+# Tiny per-request deadline: followers queued behind the slow leader
+# batch expire ("deadline exceeded") instead of burning execute capacity.
+r = ask({"op": "burst", "n": 32, "user": 3, "k": 5, "deadline_ms": 5})
+assert r["ok"], r
+assert r["expired"] >= 1, f"no deadline expiry under overload: {r}"
+assert r["failed"] == 0, r
+
+# The engine's own counters agree with what the bursts reported.
+r = ask({"op": "stats"})
+assert r["ok"] and r["shed_requests"] >= shed_so_far, r
+assert r["expired_requests"] >= 1, r
+
+# Graceful drain: SIGTERM interrupts the blocking stdin read, in-flight
+# batches finish, serve_end is written with reason=signal, exit code 0.
+proc.send_signal(signal.SIGTERM)
+rc = proc.wait(timeout=30)
+assert rc == 0, f"SIGTERM drain exited {rc}, want 0"
+
+events = [json.loads(l)
+          for l in open(f"{work}/serve_overload.jsonl") if l.strip()]
+end = [e for e in events if e["event"] == "serve_end"]
+assert len(end) == 1, events
+assert end[0]["reason"] == "signal", end[0]
+assert end[0]["shed_requests"] >= shed_so_far, end[0]
+assert end[0]["expired_requests"] >= 1, end[0]
+print("check_serve: overload shedding + SIGTERM drain OK")
 EOF
 
 # ---- load bench smoke: must report qps and tail latencies -----------------

@@ -24,7 +24,8 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target thread_pool_test parallel_equivalence_test serving_test \
            telemetry_test failure_test run_log_test diagnostics_test \
-           serve_engine_test serve_snapshot_test
+           serve_engine_test serve_snapshot_test failpoint_test \
+           resume_test
 
 # halt_on_error: fail fast on the first race instead of drowning in reports.
 # telemetry_test has the concurrent-increment test (8 threads hammering one
@@ -33,9 +34,12 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
 # run-log writer from 8 threads (every line must stay valid JSON);
 # diagnostics_test covers the check-numerics flag read by every tape op;
 # serve_engine_test runs hot snapshot swaps under 8 concurrent reader
-# threads plus the micro-batching leader/follower handoff.
+# threads plus the micro-batching leader/follower handoff; failpoint_test
+# hammers the injection registry from concurrent threads (the 1in<n>
+# determinism contract is exactly a race-freedom claim); resume_test
+# checks kill/resume bit-identity across thread counts.
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test|run_log_test|diagnostics_test|serve_engine_test|serve_snapshot_test'
+    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test|run_log_test|diagnostics_test|serve_engine_test|serve_snapshot_test|failpoint_test|resume_test'
 
 echo "TSan job passed: no data races detected."

@@ -7,7 +7,13 @@
 //       Write a synthetic dataset to D in the TSV layout.
 //   --mode=train     --data_dir=D [--model=DGNN] [--epochs=25]
 //                    [--params=P] [--pretrain]
+//                    [--checkpoint=C --checkpoint-every=K] [--resume=C]
 //       Train on the dataset in D; save parameters to P when given.
+//       With --checkpoint + --checkpoint-every=K an atomic training
+//       checkpoint (parameters, Adam moments, sampler state, cursor) is
+//       written every K batches; SIGTERM/SIGINT checkpoint and exit
+//       cleanly. --resume=C continues a killed run from its checkpoint
+//       with bit-identical final parameters (same flags required).
 //   --mode=evaluate  --data_dir=D [--model=DGNN] --params=P [--topk=10]
 //       Load parameters and report HR/NDCG plus coverage/novelty/Gini.
 //   --mode=recommend --data_dir=D [--model=DGNN] --params=P --user=U
@@ -38,6 +44,7 @@
 //   dgnn_cli --mode=recommend --data_dir=/tmp/d --params=/tmp/d/dgnn.bin
 //            --user=3
 
+#include <csignal>
 #include <cstdio>
 
 #include "ag/diagnostics.h"
@@ -51,6 +58,7 @@
 #include "train/beyond_accuracy.h"
 #include "train/recommender.h"
 #include "train/trainer.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/run_log.h"
 #include "util/telemetry.h"
@@ -64,6 +72,12 @@ int Fail(const util::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
+
+// SIGTERM/SIGINT during training request a cooperative interrupt: the
+// trainer finishes the in-flight batch, writes a final checkpoint (when
+// configured), emits run_end status=interrupted, and exits 0. The store
+// inside RequestInterrupt is a lock-free atomic — async-signal-safe.
+extern "C" void OnTrainSignal(int) { train::RequestInterrupt(); }
 
 int Generate(const util::Flags& flags, const std::string& data_dir) {
   auto config = data::SyntheticConfig::Preset(
@@ -142,8 +156,38 @@ int Train(const util::Flags& flags, const std::string& data_dir) {
   tc.grad_stats_every =
       static_cast<int>(flags.GetInt("grad-stats-every", 0));
   tc.check_numerics = flags.GetBool("check-numerics", false);
+  tc.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  tc.checkpoint_path = flags.GetString("checkpoint", "");
+  tc.checkpoint_every = flags.GetInt("checkpoint-every", 0);
+  tc.max_batches = flags.GetInt("max-batches", 0);
+  const std::string resume_from = flags.GetString("resume", "");
+  if (!resume_from.empty() && tc.checkpoint_path.empty()) {
+    // A resumed run keeps checkpointing to the file it came from unless
+    // told otherwise, so a second crash is also recoverable.
+    tc.checkpoint_path = resume_from;
+  }
   train::Trainer trainer(l.model.get(), l.dataset, tc);
+  if (!resume_from.empty()) {
+    util::Status resumed = trainer.Resume(resume_from);
+    if (!resumed.ok()) return Fail(resumed);
+    std::printf("resumed from %s\n", resume_from.c_str());
+  }
+  train::ClearInterrupt();
+  std::signal(SIGTERM, OnTrainSignal);
+  std::signal(SIGINT, OnTrainSignal);
   auto result = trainer.Fit();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  if (result.interrupted) {
+    std::printf("interrupted after %zu epoch(s)%s; resume with "
+                "--resume=%s\n",
+                result.epochs.size(),
+                tc.checkpoint_path.empty() ? " (no checkpoint configured)"
+                                           : "",
+                tc.checkpoint_path.empty() ? "<checkpoint>"
+                                           : tc.checkpoint_path.c_str());
+    return 0;
+  }
   std::printf("final: %s (%.2fs train%s)\n",
               result.final_metrics.ToString().c_str(),
               result.total_train_seconds,
@@ -257,6 +301,9 @@ int main(int argc, char** argv) {
   if (flags.GetBool("check-numerics", false)) {
     ag::SetCheckNumerics(true);
   }
+  // The run seed also seeds deterministic 1in<n> failpoints, so injected
+  // failure schedules reproduce run-to-run (see util/failpoint.h).
+  failpoint::SetSeed(static_cast<uint64_t>(flags.GetInt("seed", 42)));
   const std::string mode = flags.GetString("mode", "");
   const std::string data_dir = flags.GetString("data_dir", "");
   if (data_dir.empty()) {

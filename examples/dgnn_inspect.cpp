@@ -3,12 +3,15 @@
 // src/util/run_log.h, version 1).
 //
 // Subcommands:
-//   dgnn_inspect summarize LOG
-//       Render every run in the log: config header, per-epoch loss and
+//   dgnn_inspect summarize LOG [LOG...]
+//       Render every run in each log: config header, per-epoch loss and
 //       metric curves, the latest gradient-statistics table, anomalies,
-//       checkpoints, and the run_end summary. A log whose final run has
-//       no run_end is reported as "run died" — a crashed run leaves a
-//       valid prefix, not corruption.
+//       checkpoints, and the run_end summary (status completed vs
+//       interrupted). A log whose final run has no run_end is reported as
+//       "run died" — a crashed run leaves a valid prefix, not corruption.
+//       With several logs (e.g. a killed run's log plus its resumed
+//       continuation's), a "resume lineage" section chains runs through
+//       the checkpoint files they saved and resumed from.
 //   dgnn_inspect diff BASELINE CANDIDATE [--hr-tol=X] [--ndcg-tol=X]
 //                     [--loss-tol=X]
 //       Compare runs pairwise (run i vs run i). Directional check:
@@ -154,6 +157,12 @@ void PrintRunHeader(const Run& run, size_t index) {
               s.StringOr("dataset", "?").c_str(),
               (long long)s.NumberOr("seed", 0),
               (long long)s.NumberOr("num_threads", 0));
+  const std::string resumed_from = s.StringOr("resumed_from", "");
+  if (!resumed_from.empty()) {
+    std::printf("   resumed from %s (continuing at epoch %lld)\n",
+                resumed_from.c_str(),
+                (long long)s.NumberOr("start_epoch", 0));
+  }
   const JsonValue* ds = s.Find("dataset_stats");
   if (ds != nullptr) {
     std::printf("   dataset: %lld users, %lld items, %lld interactions, "
@@ -260,10 +269,16 @@ void PrintRunFooter(const Run& run) {
   }
   if (run.has_end) {
     const JsonValue& r = run.run_end;
-    std::printf("run_end: %lld epochs%s, best epoch %lld "
+    // Logs written before the status field read as completed runs.
+    const std::string status = r.StringOr("status", "completed");
+    const std::string resumed_from = r.StringOr("resumed_from", "");
+    std::printf("run_end: %s, %lld epochs%s%s, best epoch %lld "
                 "(metric %.4f), total train %.2fs\n",
-                (long long)r.NumberOr("epochs_run", 0),
+                status.c_str(), (long long)r.NumberOr("epochs_run", 0),
                 r.BoolOr("stopped_early", false) ? " (stopped early)" : "",
+                resumed_from.empty()
+                    ? ""
+                    : (" (resumed from " + resumed_from + ")").c_str(),
                 (long long)r.NumberOr("best_epoch", 0),
                 r.NumberOr("best_metric", 0.0),
                 r.NumberOr("total_train_seconds", 0.0));
@@ -272,18 +287,77 @@ void PrintRunFooter(const Run& run) {
   }
 }
 
-int Summarize(const std::string& path) {
-  RunLogFile log;
-  if (!LoadRunLog(path, &log)) return 2;
-  std::printf("run log %s: %lld events, %zu run(s)\n", path.c_str(),
-              (long long)log.num_lines, log.runs.size());
-  for (size_t i = 0; i < log.runs.size(); ++i) {
-    const Run& run = log.runs[i];
-    PrintRunHeader(run, i);
-    PrintEpochTable(run);
-    PrintGradStats(run);
-    PrintRunFooter(run);
+// Short status tag for lineage lines: completed / interrupted / died.
+std::string RunStatus(const Run& run) {
+  if (run.has_end) return run.run_end.StringOr("status", "completed");
+  return "died";
+}
+
+// Chains runs (possibly across log files) through the checkpoint files
+// they saved and later resumed from: a run whose run_start carries
+// resumed_from=P links back to the most recent earlier run that logged a
+// successful save/save_checkpoint to P. Printed only when at least one
+// run resumed — single-shot logs stay unchanged.
+void PrintResumeLineage(const std::vector<RunLogFile>& logs) {
+  struct Labeled {
+    std::string label;
+    const Run* run;
+  };
+  std::vector<Labeled> all;
+  const bool multi = logs.size() > 1;
+  for (const auto& log : logs) {
+    for (size_t i = 0; i < log.runs.size(); ++i) {
+      std::string label = multi ? log.path + " run " : "run ";
+      label += StrFormat("%zu", i + 1);
+      all.push_back({std::move(label), &log.runs[i]});
+    }
   }
+  // Checkpoint path -> label of the latest earlier run that saved it.
+  std::map<std::string, std::string> saver;
+  std::vector<std::string> lines;
+  for (const auto& entry : all) {
+    const Run& run = *entry.run;
+    if (run.has_start) {
+      const std::string from = run.run_start.StringOr("resumed_from", "");
+      if (!from.empty()) {
+        auto it = saver.find(from);
+        lines.push_back(StrFormat(
+            "  %s --(%s)--> %s [%s]",
+            it != saver.end() ? it->second.c_str() : "<unknown run>",
+            from.c_str(), entry.label.c_str(), RunStatus(run).c_str()));
+      }
+    }
+    for (const auto& c : run.checkpoints) {
+      const std::string action = c.StringOr("action", "");
+      if ((action == "save_checkpoint" || action == "save") &&
+          c.BoolOr("ok", false)) {
+        saver[c.StringOr("path", "")] =
+            entry.label + " [" + RunStatus(run) + "]";
+      }
+    }
+  }
+  if (lines.empty()) return;
+  std::printf("resume lineage:\n");
+  for (const auto& line : lines) std::printf("%s\n", line.c_str());
+}
+
+int Summarize(const std::vector<std::string>& paths) {
+  std::vector<RunLogFile> logs(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (!LoadRunLog(paths[i], &logs[i])) return 2;
+  }
+  for (const auto& log : logs) {
+    std::printf("run log %s: %lld events, %zu run(s)\n", log.path.c_str(),
+                (long long)log.num_lines, log.runs.size());
+    for (size_t i = 0; i < log.runs.size(); ++i) {
+      const Run& run = log.runs[i];
+      PrintRunHeader(run, i);
+      PrintEpochTable(run);
+      PrintGradStats(run);
+      PrintRunFooter(run);
+    }
+  }
+  PrintResumeLineage(logs);
   return 0;
 }
 
@@ -382,7 +456,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  dgnn_inspect summarize LOG\n"
+      "  dgnn_inspect summarize LOG [LOG...]\n"
       "  dgnn_inspect diff BASELINE CANDIDATE [--hr-tol=X] [--ndcg-tol=X]"
       " [--loss-tol=X]\n");
   return 2;
@@ -410,8 +484,9 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
-  if (positional.size() == 2 && positional[0] == "summarize") {
-    return Summarize(positional[1]);
+  if (positional.size() >= 2 && positional[0] == "summarize") {
+    return Summarize(std::vector<std::string>(positional.begin() + 1,
+                                              positional.end()));
   }
   if (positional.size() == 3 && positional[0] == "diff") {
     return Diff(positional[1], positional[2], tol);

@@ -10,7 +10,14 @@
 //   {"op":"reload"}                        re-read --snapshot from disk
 //   {"op":"swap","snapshot":"other.snap"}  hot-swap to another file
 //   {"op":"stats"}                         engine counters
+//   {"op":"burst","n":64,"user":3,"k":10}  fire n concurrent topk calls
 //   {"op":"quit"}                          acknowledge and exit 0
+//
+// Scoring requests accept "deadline_ms" (admission deadline for that
+// request; -1 = explicitly none), overriding --deadline-ms. "burst" runs
+// n copies of a topk request from n threads at once — the way to exercise
+// --max-queue load shedding from a scripted client — and reports
+// {"completed":..,"shed":..,"expired":..,"failed":..}.
 //
 // Responses always carry "ok"; successful scoring responses carry
 // "degraded" (true when an unknown/cold user fell back to the popularity
@@ -26,13 +33,23 @@
 // equivalent is the "reload" op. A failed reload/swap keeps the engine on
 // its current snapshot and reports the error in-band.
 //
+// SIGTERM/SIGINT drain gracefully: the handler is installed WITHOUT
+// SA_RESTART so the blocking stdin read is interrupted, in-flight
+// micro-batches finish (Handle calls are synchronous), serve_end is
+// emitted with reason=signal, metrics/trace/run-log flush, and the
+// process exits 0.
+//
 // Flags: --snapshot=F (required), --threads=N, --cache=N,
-// --social-alpha=A, --metrics-out=F, --trace-out=F, --run-log=F.
+// --social-alpha=A, --max-queue=N, --deadline-ms=T, --metrics-out=F,
+// --trace-out=F, --run-log=F.
 
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "serve/engine.h"
 #include "serve/snapshot.h"
@@ -47,8 +64,10 @@ namespace {
 using namespace dgnn;
 
 volatile std::sig_atomic_t g_reload_requested = 0;
+volatile std::sig_atomic_t g_shutdown_requested = 0;
 
 void OnSighup(int) { g_reload_requested = 1; }
+void OnShutdown(int) { g_shutdown_requested = 1; }
 
 void PrintLine(const std::string& json) {
   std::fputs(json.c_str(), stdout);
@@ -126,7 +145,52 @@ bool Dispatch(serve::ServingEngine& engine, const util::JsonValue& req,
         .Set("cache_hits", s.cache_hits)
         .Set("cache_misses", s.cache_misses)
         .Set("snapshot_swaps", s.snapshot_swaps)
-        .Set("degraded_requests", s.degraded_requests);
+        .Set("degraded_requests", s.degraded_requests)
+        .Set("shed_requests", s.shed_requests)
+        .Set("expired_requests", s.expired_requests);
+    PrintLine(o.Build());
+    return true;
+  }
+  if (op == "burst") {
+    const int n = static_cast<int>(req.NumberOr("n", 0));
+    if (n <= 0 || n > 10000) {
+      RespondError("burst requires \"n\" in [1, 10000]");
+      return true;
+    }
+    serve::Request base;
+    base.type = serve::Request::Type::kTopK;
+    base.user = static_cast<int32_t>(req.NumberOr("user", 0));
+    base.k = static_cast<int>(req.NumberOr("k", 10));
+    base.timeout_ms = static_cast<int64_t>(req.NumberOr("deadline_ms", 0));
+    std::vector<serve::Response> responses(static_cast<size_t>(n));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([&engine, &responses, base, i] {
+        responses[static_cast<size_t>(i)] = engine.Handle(base);
+      });
+    }
+    for (auto& t : threads) t.join();
+    int64_t completed = 0, shed = 0, expired = 0, failed = 0;
+    for (const auto& r : responses) {
+      if (r.ok) {
+        ++completed;
+      } else if (r.error == "overloaded") {
+        ++shed;
+      } else if (r.error == "deadline exceeded") {
+        ++expired;
+      } else {
+        ++failed;
+      }
+    }
+    util::JsonObject o;
+    o.Set("ok", true)
+        .Set("op", op)
+        .Set("n", static_cast<int64_t>(n))
+        .Set("completed", completed)
+        .Set("shed", shed)
+        .Set("expired", expired)
+        .Set("failed", failed);
     PrintLine(o.Build());
     return true;
   }
@@ -145,6 +209,7 @@ bool Dispatch(serve::ServingEngine& engine, const util::JsonValue& req,
   request.user = static_cast<int32_t>(req.NumberOr("user", -1));
   request.item = static_cast<int32_t>(req.NumberOr("item", -1));
   request.k = static_cast<int>(req.NumberOr("k", 10));
+  request.timeout_ms = static_cast<int64_t>(req.NumberOr("deadline_ms", 0));
 
   const serve::Response resp = engine.Handle(request);
   if (!resp.ok) {
@@ -176,10 +241,11 @@ int main(int argc, char** argv) {
   if (snapshot_path.empty()) {
     std::fprintf(stderr,
                  "usage: dgnn_serve --snapshot=FILE [--threads=N] "
-                 "[--cache=N] [--social-alpha=A] [--metrics-out=F] "
+                 "[--cache=N] [--social-alpha=A] [--max-queue=N] "
+                 "[--deadline-ms=T] [--metrics-out=F] "
                  "[--trace-out=F] [--run-log=F]\n"
                  "reads NDJSON requests on stdin; SIGHUP re-reads the "
-                 "snapshot file\n");
+                 "snapshot file; SIGTERM/SIGINT drain and exit 0\n");
     return 2;
   }
   if (flags.Has("threads")) {
@@ -208,6 +274,8 @@ int main(int argc, char** argv) {
   config.cache_capacity = static_cast<int>(flags.GetInt("cache", 4096));
   config.social_alpha =
       static_cast<float>(flags.GetDouble("social-alpha", 0.0));
+  config.max_queue = static_cast<int>(flags.GetInt("max-queue", 0));
+  config.default_deadline_ms = flags.GetInt("deadline-ms", 0);
   serve::ServingEngine engine(config);
   util::Status loaded = engine.Load(snapshot_path);
   if (!loaded.ok()) {
@@ -231,14 +299,27 @@ int main(int argc, char** argv) {
         .Set("num_items", snap->meta.num_items)
         .Set("dim", snap->meta.embedding_dim)
         .Set("cache_capacity", static_cast<int64_t>(config.cache_capacity))
-        .Set("social_alpha", static_cast<double>(config.social_alpha));
+        .Set("social_alpha", static_cast<double>(config.social_alpha))
+        .Set("max_queue", static_cast<int64_t>(config.max_queue))
+        .Set("deadline_ms", config.default_deadline_ms);
     runlog::Emit("serve_start", o);
   }
   std::signal(SIGHUP, OnSighup);
+  // SIGTERM/SIGINT: sigaction without SA_RESTART, so a pending blocking
+  // getline fails with EINTR and the loop falls through to the drain path
+  // below instead of waiting for the next request line.
+  struct sigaction shutdown_action;
+  std::memset(&shutdown_action, 0, sizeof(shutdown_action));
+  shutdown_action.sa_handler = OnShutdown;
+  sigemptyset(&shutdown_action.sa_mask);
+  shutdown_action.sa_flags = 0;
+  sigaction(SIGTERM, &shutdown_action, nullptr);
+  sigaction(SIGINT, &shutdown_action, nullptr);
 
   std::string line;
   bool running = true;
-  while (running && std::getline(std::cin, line)) {
+  while (running && !g_shutdown_requested && std::getline(std::cin, line)) {
+    if (g_shutdown_requested) break;
     if (g_reload_requested) {
       g_reload_requested = 0;
       util::Status s = engine.Load(snapshot_path);
@@ -259,15 +340,22 @@ int main(int argc, char** argv) {
     running = Dispatch(engine, parsed.value(), snapshot_path);
   }
 
+  // Drain path: Handle calls are synchronous, so reaching this point means
+  // every admitted micro-batch has completed — flush and exit 0.
+  const char* exit_reason =
+      g_shutdown_requested ? "signal" : (running ? "eof" : "quit");
   const serve::EngineStats s = engine.stats();
   if (runlog::Active()) {
     util::JsonObject o;
-    o.Set("requests", s.requests)
+    o.Set("reason", exit_reason)
+        .Set("requests", s.requests)
         .Set("batches", s.batches)
         .Set("cache_hits", s.cache_hits)
         .Set("cache_misses", s.cache_misses)
         .Set("snapshot_swaps", s.snapshot_swaps)
-        .Set("degraded_requests", s.degraded_requests);
+        .Set("degraded_requests", s.degraded_requests)
+        .Set("shed_requests", s.shed_requests)
+        .Set("expired_requests", s.expired_requests);
     runlog::Emit("serve_end", o);
     runlog::Close();
   }
@@ -287,8 +375,10 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "dgnn_serve: %lld requests in %lld batches, %lld swaps, "
-               "%lld degraded\n",
+               "%lld degraded, %lld shed, %lld expired (%s)\n",
                (long long)s.requests, (long long)s.batches,
-               (long long)s.snapshot_swaps, (long long)s.degraded_requests);
+               (long long)s.snapshot_swaps, (long long)s.degraded_requests,
+               (long long)s.shed_requests, (long long)s.expired_requests,
+               exit_reason);
   return 0;
 }

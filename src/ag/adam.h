@@ -34,6 +34,9 @@ class AdamOptimizer {
   void Step(std::vector<ParamUpdateStats>* stats = nullptr);
 
   int64_t step_count() const { return step_; }
+  // Restores the bias-correction clock when resuming from a checkpoint;
+  // must match the step at which the saved moments were captured.
+  void set_step_count(int64_t step) { step_ = step; }
   AdamConfig& config() { return config_; }
 
  private:

@@ -1,31 +1,55 @@
 // Parameter persistence: save/load a ParamStore to a single binary file so
 // trained models survive process restarts (examples train once, serve
-// many times). Format (little-endian):
+// many times).
 //
-//   magic "DGNNPAR1"
-//   uint64 param_count
-//   per parameter:
-//     uint32 name_len, name bytes
-//     int64 rows, int64 cols
-//     float32 values (row-major)
+// Two on-disk formats, distinguished by magic:
 //
-// Optimizer state (Adam moments) is not persisted — loading yields a
-// model ready for inference or fresh fine-tuning.
+//   v1 "DGNNPAR1" — parameters only (SaveParameters writes this):
+//     magic "DGNNPAR1"
+//     uint64 param_count
+//     per parameter:
+//       uint32 name_len, name bytes
+//       int64 rows, int64 cols
+//       float32 values (row-major)
 //
-// Durability guarantees:
-//  - SaveParameters writes to "<path>.tmp" and atomically rename(2)s it
-//    over `path`, so a crash mid-save never destroys the previous good
-//    checkpoint — `path` always holds either the old or the new file,
-//    never a torn mix.
-//  - LoadParameters validates the ENTIRE file (magic, every record's
-//    name/shape/values, no duplicate parameter names, no trailing bytes
-//    after the declared record count) into scratch buffers before
-//    mutating the store; a failed load leaves the model exactly as it
-//    was.
+//   v2 "DGNNPAR2" — full training checkpoint (SaveCheckpoint writes this):
+//     magic "DGNNPAR2"
+//     uint32 flags                  (bit 0: per-parameter Adam moments)
+//     int64  adam_step              (optimizer bias-correction clock)
+//     uint64 trainer_state_len, trainer_state bytes
+//       — an opaque blob owned by the trainer (sampler RNG state, epoch /
+//         batch cursor, best-metric bookkeeping); serialize.cc does not
+//         interpret it, so the trainer can evolve it independently
+//     uint64 param_count
+//     per parameter:
+//       uint32 name_len, name bytes
+//       int64 rows, int64 cols
+//       float32 values
+//       [flags bit 0] float32 adam_m values, float32 adam_v values
+//     uint64 fnv1a checksum over every preceding byte
+//       — a torn or bit-flipped checkpoint is rejected up front instead
+//         of resuming training from silently wrong moments
+//
+// Back compatibility: LoadParameters accepts BOTH formats (a v2 file's
+// moments and trainer blob are simply ignored), so `dgnn_cli evaluate` /
+// `serve` work directly on checkpoints. LoadCheckpoint requires v2.
+//
+// Durability guarantees (both formats, via fs::AtomicWriteFile):
+//  - writes go to "<path>.tmp", are fsync'd, rename(2)'d over `path`, and
+//    the parent directory is fsync'd — a crash at any instant leaves
+//    `path` holding either the complete old file or the complete new one.
+//  - loads validate the ENTIRE file (magic, checksum for v2, every
+//    record's name/shape/values, no duplicate parameter names, no
+//    trailing bytes) into scratch buffers before mutating the store; a
+//    failed load leaves the model exactly as it was.
+//
+// Failpoint sites: params.save, params.load, checkpoint.save,
+// checkpoint.load (evaluated before any I/O).
 
 #ifndef DGNN_AG_SERIALIZE_H_
 #define DGNN_AG_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "ag/tape.h"
@@ -39,8 +63,31 @@ util::Status SaveParameters(const ParamStore& store,
 // Loads values into an ALREADY-CONSTRUCTED store: every parameter in the
 // file must exist in `store` with a matching shape (construct the model
 // with the same config first). Parameters missing from the file are left
-// untouched; unknown names in the file are an error.
+// untouched; unknown names in the file are an error. Accepts v1 and v2
+// files; v2 optimizer state is ignored.
 util::Status LoadParameters(ParamStore& store, const std::string& path);
+
+// Everything a v2 checkpoint carries beyond raw parameter values.
+struct CheckpointState {
+  // When true, per-parameter Adam moments are saved/restored and
+  // adam_step is meaningful.
+  bool has_optimizer = false;
+  int64_t adam_step = 0;
+  // Opaque trainer-owned blob (see trainer.cc for its layout).
+  std::string trainer_state;
+};
+
+// Writes a v2 checkpoint: parameters, Adam moments (when
+// state.has_optimizer and the moments exist), and the trainer blob.
+util::Status SaveCheckpoint(const ParamStore& store,
+                            const CheckpointState& state,
+                            const std::string& path);
+
+// Restores a v2 checkpoint into `store` (values + moments, fully
+// validated before commit) and fills `*state`. v1 files are rejected
+// with FailedPrecondition — they cannot resume training.
+util::Status LoadCheckpoint(ParamStore& store, CheckpointState* state,
+                            const std::string& path);
 
 }  // namespace dgnn::ag
 

@@ -2,11 +2,11 @@
 
 #include <sys/stat.h>
 
-#include <cstdio>
-#include <fstream>
+#include <cerrno>
 #include <functional>
-#include <sstream>
 
+#include "util/failpoint.h"
+#include "util/fs.h"
 #include "util/strings.h"
 
 namespace dgnn::data {
@@ -17,22 +17,15 @@ using util::Split;
 using util::Status;
 using util::StatusOr;
 
+// Thin aliases onto the durable fs helpers: dataset TSVs get the same
+// EINTR/short-I/O retries and atomic temp+fsync+rename writes as binary
+// checkpoints and snapshots.
 Status WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::NotFound("cannot open for writing: " + path);
-  }
-  out << content;
-  if (!out.good()) return Status::Internal("write failed: " + path);
-  return Status::Ok();
+  return fs::AtomicWriteFile(path, content);
 }
 
 StatusOr<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
+  return fs::ReadFileToString(path);
 }
 
 // Parses "a \t b [\t c]" integer rows, skipping blank lines. `fn` receives
@@ -83,6 +76,7 @@ StatusOr<int32_t> ParseId(const std::string& file, int64_t row,
 }  // namespace
 
 Status SaveDataset(const Dataset& ds, const std::string& dir) {
+  DGNN_FAILPOINT("data.save_dataset");
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return Status::Internal("cannot create directory: " + dir);
   }
@@ -131,6 +125,7 @@ Status SaveDataset(const Dataset& ds, const std::string& dir) {
 }
 
 StatusOr<Dataset> LoadDataset(const std::string& dir) {
+  DGNN_FAILPOINT("data.load_dataset");
   Dataset ds;
   {
     auto content = ReadFile(dir + "/meta.tsv");

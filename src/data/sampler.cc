@@ -69,4 +69,19 @@ std::vector<BprBatch> BprSampler::SampleEpoch(int batch_size) {
   return batches;
 }
 
+SamplerState BprSampler::state() const {
+  SamplerState st;
+  st.rng = rng_.state();
+  st.order = order_;
+  return st;
+}
+
+void BprSampler::set_state(const SamplerState& state) {
+  DGNN_CHECK_EQ(static_cast<int64_t>(state.order.size()),
+                static_cast<int64_t>(order_.size()))
+      << "sampler state is for a different dataset";
+  rng_.set_state(state.rng);
+  order_ = state.order;
+}
+
 }  // namespace dgnn::data

@@ -11,6 +11,16 @@
 
 namespace dgnn::data {
 
+// Complete serializable sampler state: the RNG plus the persistent
+// shuffle order. Because SampleEpoch draws ALL of an epoch's randomness
+// up front, capturing this at epoch start and replaying SampleEpoch
+// after a restore reproduces the epoch's batches exactly — which is how
+// checkpoint/resume re-derives the batch stream instead of storing it.
+struct SamplerState {
+  util::RngState rng;
+  std::vector<int32_t> order;
+};
+
 struct BprBatch {
   std::vector<int32_t> users;
   std::vector<int32_t> pos_items;
@@ -33,6 +43,10 @@ class BprSampler {
   int64_t num_train() const {
     return static_cast<int64_t>(dataset_->train.size());
   }
+
+  // Snapshot / restore everything SampleEpoch's output depends on.
+  SamplerState state() const;
+  void set_state(const SamplerState& state);
 
  private:
   // Uniform over the items `user` never interacted with: bounded rejection

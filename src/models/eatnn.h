@@ -38,6 +38,25 @@ class Eatnn : public RecModel {
   ag::ParamStore& params() override { return params_; }
   int64_t embedding_dim() const override { return config_.embedding_dim; }
 
+  // The social-negative sampling stream advances every training forward;
+  // resume must restore it or post-resume auxiliary negatives diverge.
+  std::string SaveStochasticState() const override {
+    std::string out;
+    util::AppendRngState(neg_rng_.state(), &out);
+    return out;
+  }
+  util::Status RestoreStochasticState(const std::string& blob) override {
+    util::RngState st;
+    size_t pos = 0;
+    DGNN_RETURN_IF_ERROR(util::ParseRngState(blob, &pos, &st));
+    if (pos != blob.size()) {
+      return util::Status::InvalidArgument(
+          "trailing bytes in EATNN stochastic state");
+    }
+    neg_rng_.set_state(st);
+    return util::Status::Ok();
+  }
+
  private:
   std::string name_ = "EATNN";
   EatnnConfig config_;

@@ -37,6 +37,25 @@ class Mhcn : public RecModel {
   ag::ParamStore& params() override { return params_; }
   int64_t embedding_dim() const override { return config_.embedding_dim; }
 
+  // The SSL row-shuffle stream advances every training forward; resume
+  // must restore it or post-resume corruption permutations diverge.
+  std::string SaveStochasticState() const override {
+    std::string out;
+    util::AppendRngState(shuffle_rng_.state(), &out);
+    return out;
+  }
+  util::Status RestoreStochasticState(const std::string& blob) override {
+    util::RngState st;
+    size_t pos = 0;
+    DGNN_RETURN_IF_ERROR(util::ParseRngState(blob, &pos, &st));
+    if (pos != blob.size()) {
+      return util::Status::InvalidArgument(
+          "trailing bytes in MHCN stochastic state");
+    }
+    shuffle_rng_.set_state(st);
+    return util::Status::Ok();
+  }
+
  private:
   std::string name_ = "MHCN";
   MhcnConfig config_;

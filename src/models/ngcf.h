@@ -39,6 +39,25 @@ class Ngcf : public RecModel {
     return config_.embedding_dim * (config_.num_layers + 1);
   }
 
+  // The node-dropout stream advances every training forward; resume must
+  // restore it or the post-resume dropout masks diverge.
+  std::string SaveStochasticState() const override {
+    std::string out;
+    util::AppendRngState(dropout_rng_.state(), &out);
+    return out;
+  }
+  util::Status RestoreStochasticState(const std::string& blob) override {
+    util::RngState st;
+    size_t pos = 0;
+    DGNN_RETURN_IF_ERROR(util::ParseRngState(blob, &pos, &st));
+    if (pos != blob.size()) {
+      return util::Status::InvalidArgument(
+          "trailing bytes in NGCF stochastic state");
+    }
+    dropout_rng_.set_state(st);
+    return util::Status::Ok();
+  }
+
  private:
   std::string name_ = "NGCF";
   NgcfConfig config_;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "ag/tape.h"
+#include "util/status.h"
 
 namespace dgnn::models {
 
@@ -40,6 +41,24 @@ class RecModel {
 
   // Embedding width of the final representations.
   virtual int64_t embedding_dim() const = 0;
+
+  // Serializable model-owned stochastic state consumed during TRAINING
+  // forwards (dropout RNG, shuffle RNG, auxiliary negative sampling) —
+  // everything beyond ParamStore that the next training batch depends
+  // on. Checkpoint/resume must round-trip it or resumed runs diverge
+  // from uninterrupted ones. Most models are stateless between batches
+  // and keep these defaults; RestoreStochasticState rejects a non-empty
+  // blob so a checkpoint from a stateful model cannot silently load into
+  // a build where that state vanished.
+  virtual std::string SaveStochasticState() const { return std::string(); }
+  virtual util::Status RestoreStochasticState(const std::string& blob) {
+    if (!blob.empty()) {
+      return util::Status::InvalidArgument(
+          "model '" + name() + "' has no stochastic state, but the "
+          "checkpoint carries " + std::to_string(blob.size()) + " bytes");
+    }
+    return util::Status::Ok();
+  }
 };
 
 }  // namespace dgnn::models

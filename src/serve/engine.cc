@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/failpoint.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -22,6 +23,10 @@ struct ServeMetrics {
       telemetry::GetCounter("serve.snapshot_swaps");
   telemetry::Counter* degraded =
       telemetry::GetCounter("serve.degraded_requests");
+  telemetry::Counter* shed = telemetry::GetCounter("serve.shed_requests");
+  telemetry::Counter* expired =
+      telemetry::GetCounter("serve.expired_requests");
+  telemetry::Gauge* queue_depth = telemetry::GetGauge("serve.queue_depth");
   telemetry::Histogram* latency =
       telemetry::GetHistogram("serve.request_seconds");
 };
@@ -90,18 +95,45 @@ std::shared_ptr<const ServingEngine::State> ServingEngine::AcquireState()
   return state_;
 }
 
+void ServingEngine::StampDeadline(Slot* slot) const {
+  const int64_t timeout_ms = slot->request->timeout_ms != 0
+                                 ? slot->request->timeout_ms
+                                 : config_.default_deadline_ms;
+  if (timeout_ms <= 0) return;
+  slot->has_deadline = true;
+  slot->deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(timeout_ms);
+}
+
 Response ServingEngine::Handle(const Request& request) {
   telemetry::ScopedLatency record_latency(Metrics().latency);
   Slot slot;
   slot.request = &request;
+  StampDeadline(&slot);
   std::unique_lock<std::mutex> lock(batch_mu_);
-  queue_.push_back(&slot);
   if (leader_active_) {
+    // Load shedding: a full follower queue means the leader is already
+    // saturated; refusing NOW costs the client one fast round-trip,
+    // while queueing would cost every queued request unbounded latency.
+    if (config_.max_queue > 0 &&
+        queue_.size() >= static_cast<size_t>(config_.max_queue)) {
+      lock.unlock();
+      n_shed_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::Enabled()) Metrics().shed->Add(1);
+      Response resp;
+      resp.error = "overloaded";
+      return resp;
+    }
+    queue_.push_back(&slot);
+    if (telemetry::Enabled()) {
+      Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+    }
     // A leader is already draining the queue; it will execute our slot
     // in one of its batches. Wait for completion.
     batch_cv_.wait(lock, [&] { return slot.done; });
     return std::move(slot.response);
   }
+  queue_.push_back(&slot);
   // Become the leader: repeatedly swap out whatever has queued up
   // (including our own slot) and execute it as one parallel batch.
   // Requests arriving meanwhile queue behind us and form the next batch —
@@ -110,6 +142,7 @@ Response ServingEngine::Handle(const Request& request) {
   while (!queue_.empty()) {
     std::vector<Slot*> batch;
     batch.swap(queue_);
+    if (telemetry::Enabled()) Metrics().queue_depth->Set(0.0);
     lock.unlock();
     auto state = AcquireState();
     ExecuteBatch(state.get(), batch.data(), batch.size());
@@ -128,6 +161,7 @@ std::vector<Response> ServingEngine::HandleBatch(
   std::vector<Slot*> ptrs(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     slots[i].request = &requests[i];
+    StampDeadline(&slots[i]);
     ptrs[i] = &slots[i];
   }
   ExecuteBatch(state.get(), ptrs.data(), ptrs.size());
@@ -147,8 +181,38 @@ void ServingEngine::ExecuteBatch(const State* state, Slot** slots,
     Metrics().requests->Add(static_cast<int64_t>(n));
     Metrics().batches->Add(1);
   }
+  // Failpoint "serve.execute": `delay:<ms>` simulates a slow batch (the
+  // overload tests use it to back up the follower queue); `error` fails
+  // the whole batch the way a poisoned snapshot would.
+  if (failpoint::Enabled()) {
+    util::Status fp = failpoint::Check("serve.execute");
+    if (!fp.ok()) {
+      for (size_t i = 0; i < n; ++i) {
+        slots[i]->response = Response{};
+        slots[i]->response.error = fp.ToString();
+      }
+      return;
+    }
+  }
+  // Requests that outlived their deadline while queued fail fast; the
+  // client has typically already given up, so executing them only delays
+  // the live ones behind them.
+  const auto now = std::chrono::steady_clock::now();
+  auto expired = [&](const Slot* s) {
+    return s->has_deadline && now > s->deadline;
+  };
+  auto expire = [&](Slot* s) {
+    s->response = Response{};
+    s->response.error = "deadline exceeded";
+    n_expired_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::Enabled()) Metrics().expired->Add(1);
+  };
   if (n == 1) {
-    slots[0]->response = Execute(state, *slots[0]->request);
+    if (expired(slots[0])) {
+      expire(slots[0]);
+    } else {
+      slots[0]->response = Execute(state, *slots[0]->request);
+    }
     return;
   }
   // Responses land in disjoint slots; per-request work is independent, so
@@ -158,8 +222,12 @@ void ServingEngine::ExecuteBatch(const State* state, Slot** slots,
   util::ParallelFor(0, static_cast<int64_t>(n), 1,
                     [&](int64_t b, int64_t e) {
                       for (int64_t i = b; i < e; ++i) {
-                        slots[i]->response =
-                            Execute(state, *slots[i]->request);
+                        if (expired(slots[i])) {
+                          expire(slots[i]);
+                        } else {
+                          slots[i]->response =
+                              Execute(state, *slots[i]->request);
+                        }
                       }
                     });
 }
@@ -319,6 +387,8 @@ EngineStats ServingEngine::stats() const {
   s.cache_misses = n_cache_misses_.load(std::memory_order_relaxed);
   s.snapshot_swaps = swap_count_.load(std::memory_order_relaxed);
   s.degraded_requests = n_degraded_.load(std::memory_order_relaxed);
+  s.shed_requests = n_shed_.load(std::memory_order_relaxed);
+  s.expired_requests = n_expired_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -20,6 +20,14 @@
 //    (train interaction counts from the snapshot) instead of an error;
 //    responses carry a `degraded` flag. Malformed requests (k <= 0,
 //    unknown op) yield ok=false responses, never a crash.
+//  - Overload control. With max_queue > 0, a request arriving while a
+//    leader is draining and the follower queue is full is SHED: it gets
+//    an immediate ok=false "overloaded" response instead of adding
+//    unbounded latency for everyone. Per-request deadlines (or the
+//    config default) are stamped at admission; a request whose deadline
+//    passed while it queued fails fast with "deadline exceeded" rather
+//    than burning batch capacity on an answer its client stopped
+//    waiting for.
 //  - Determinism. With social_alpha == 0 (the default) results are
 //    bit-identical to a direct train::Recommender over the same
 //    parameters for any thread count and any batching — both rank
@@ -27,13 +35,16 @@
 //
 // Telemetry (when telemetry::Enabled()): counters serve.cache_hits,
 // serve.cache_misses, serve.snapshot_swaps, serve.degraded_requests,
-// serve.requests, serve.batches; histogram serve.request_seconds.
-// The same values are always available programmatically via stats().
+// serve.requests, serve.batches, serve.shed_requests,
+// serve.expired_requests; gauge serve.queue_depth; histogram
+// serve.request_seconds. The same values are always available
+// programmatically via stats().
 
 #ifndef DGNN_SERVE_ENGINE_H_
 #define DGNN_SERVE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -58,6 +69,15 @@ struct EngineConfig {
   // (1 - alpha) * e_u + alpha * mean(e_v for social neighbors v). 0 keeps
   // the raw embedding and bit-identical parity with train::Recommender.
   float social_alpha = 0.0f;
+  // Admission bound for the micro-batch follower queue: a request that
+  // arrives while a leader is draining and max_queue followers are
+  // already waiting is shed with an ok=false "overloaded" response.
+  // <= 0 (default) keeps the queue unbounded.
+  int max_queue = 0;
+  // Default per-request deadline in milliseconds, stamped at admission;
+  // a request still queued past its deadline fails fast with "deadline
+  // exceeded". Request::timeout_ms overrides per request. <= 0 disables.
+  int64_t default_deadline_ms = 0;
 };
 
 struct Request {
@@ -66,6 +86,9 @@ struct Request {
   int32_t user = 0;
   int32_t item = 0;  // kScore only
   int k = 10;        // kTopK / kSimilarUsers
+  // Per-request deadline override in milliseconds (0 = use the config
+  // default; < 0 = explicitly no deadline).
+  int64_t timeout_ms = 0;
 };
 
 struct Response {
@@ -90,6 +113,10 @@ struct EngineStats {
   int64_t cache_misses = 0;
   int64_t snapshot_swaps = 0;
   int64_t degraded_requests = 0;
+  // Requests refused at admission because the follower queue was full.
+  int64_t shed_requests = 0;
+  // Requests whose deadline passed before execution started.
+  int64_t expired_requests = 0;
 };
 
 class ServingEngine {
@@ -135,9 +162,14 @@ class ServingEngine {
     const Request* request = nullptr;
     Response response;
     bool done = false;
+    // Deadline stamped at admission; checked immediately before Execute.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
   };
 
   std::shared_ptr<const State> AcquireState() const;
+  // Stamps Slot::deadline from request/config; no-op when both disable it.
+  void StampDeadline(Slot* slot) const;
   void ExecuteBatch(const State* state, Slot** slots, size_t n);
   Response Execute(const State* state, const Request& request);
   // The (possibly recalibrated) vector used to score for `user`, served
@@ -175,6 +207,8 @@ class ServingEngine {
   std::atomic<int64_t> n_cache_hits_{0};
   std::atomic<int64_t> n_cache_misses_{0};
   std::atomic<int64_t> n_degraded_{0};
+  std::atomic<int64_t> n_shed_{0};
+  std::atomic<int64_t> n_expired_{0};
 };
 
 }  // namespace dgnn::serve

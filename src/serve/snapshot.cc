@@ -1,14 +1,14 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <set>
 #include <utility>
 
 #include "data/dataset.h"
 #include "train/recommender.h"
+#include "util/failpoint.h"
+#include "util/fs.h"
 #include "util/json.h"
 
 namespace dgnn::serve {
@@ -238,6 +238,7 @@ Snapshot BuildSnapshot(const train::Recommender& recommender,
 }
 
 Status WriteSnapshot(const Snapshot& snapshot, const std::string& path) {
+  DGNN_FAILPOINT("snapshot.write");
   // Serialize everything into memory first so the checksum covers the
   // exact bytes written and the file hits disk in one pass.
   std::string buf;
@@ -271,37 +272,18 @@ Status WriteSnapshot(const Snapshot& snapshot, const std::string& path) {
 
   AppendPod<uint64_t>(buf, internal::Fnv1a64(buf.data(), buf.size()));
 
-  // Temp + atomic rename, same durability story as SaveParameters: a
-  // crash mid-export leaves the previous snapshot at `path` intact.
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) {
-      return Status::NotFound("cannot open for writing: " + tmp_path);
-    }
-    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-    out.flush();
-    if (!out.good()) {
-      out.close();
-      std::remove(tmp_path.c_str());
-      return Status::Internal("write failed: " + tmp_path);
-    }
-  }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::Internal("cannot rename " + tmp_path + " to " + path);
-  }
-  return Status::Ok();
+  // Temp + fsync + atomic rename + parent-dir fsync (fs helpers), same
+  // durability story as SaveParameters: a crash mid-export leaves the
+  // previous snapshot at `path` intact, and a completed export survives
+  // power loss.
+  return fs::AtomicWriteFile(path, buf);
 }
 
 StatusOr<Snapshot> ReadSnapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
-  std::string buf((std::istreambuf_iterator<char>(in)),
-                  std::istreambuf_iterator<char>());
-  if (!in.good() && !in.eof()) {
-    return Status::Internal("read failed: " + path);
-  }
+  DGNN_FAILPOINT("snapshot.read");
+  auto contents = fs::ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& buf = contents.value();
 
   // Envelope: magic up front, checksum over everything before the trailing
   // 8 checksum bytes. Both checks run before any payload parsing so a

@@ -43,6 +43,19 @@ struct TrainConfig {
   // produces, naming the op (ag::SetCheckNumerics). Global and sticky:
   // Fit turns it on when set but never turns it off for other trainers.
   bool check_numerics = false;
+  // Crash-safe checkpointing: when checkpoint_path is non-empty and
+  // checkpoint_every > 0, an atomic v2 checkpoint (parameters, Adam
+  // moments, sampler state, epoch/batch cursor, best-metric bookkeeping)
+  // is written every checkpoint_every trained batches, and once more on
+  // interrupt. Resume(checkpoint_path) then continues the run with
+  // bit-identical final parameters.
+  std::string checkpoint_path;
+  int64_t checkpoint_every = 0;
+  // Stop after this many batches trained IN THIS Fit CALL, as if
+  // interrupted (0 = no limit). Lets tests and controlled shutdowns cut
+  // training at an exact batch boundary; a checkpoint is written when
+  // checkpoint_path is set.
+  int64_t max_batches = 0;
 };
 
 struct EpochTrace {
@@ -60,6 +73,13 @@ struct TrainResult {
   Metrics final_metrics;
   // True when early stopping ended training before the full schedule.
   bool stopped_early = false;
+  // True when an interrupt request or max_batches cut training short;
+  // final_metrics is left empty (no final evaluation runs — the run is
+  // expected to be resumed, not reported).
+  bool interrupted = false;
+  // Set when this run continued from a checkpoint (see Resume).
+  bool resumed = false;
+  std::string resumed_from;
   double total_train_seconds = 0.0;
   double final_eval_seconds = 0.0;
   // Mean wall-clock per epoch — the quantity Table IV reports.
@@ -75,6 +95,15 @@ struct TrainResult {
   double best_metric = 0.0;
 };
 
+// Cooperative interrupt flag for graceful shutdown: a signal handler (or
+// any thread) calls RequestInterrupt(); the trainer polls it between
+// batches, writes a final checkpoint when configured, and returns with
+// TrainResult::interrupted set. Process-global because POSIX signal
+// handlers cannot carry a Trainer*.
+void RequestInterrupt();
+bool InterruptRequested();
+void ClearInterrupt();
+
 class Trainer {
  public:
   // Keeps references; model and dataset must outlive the trainer.
@@ -87,6 +116,15 @@ class Trainer {
   // One epoch over the training triples; returns the mean batch loss.
   double TrainEpoch();
 
+  // Restores a v2 checkpoint written by a previous run of the SAME model
+  // and config (epochs / batch size / rates / seed are fingerprinted in
+  // the checkpoint and must match — resuming under a different config
+  // would silently train a different run). After a successful Resume,
+  // Fit() continues from the recorded epoch/batch cursor and finishes
+  // with parameters bit-identical to the uninterrupted run. Call before
+  // Fit, at most once, on a freshly constructed trainer.
+  util::Status Resume(const std::string& path);
+
   const TrainConfig& config() const { return config_; }
 
   // Most recent grad_stats sample; empty until the first sampled batch
@@ -98,6 +136,15 @@ class Trainer {
 
  private:
   double TrainBatch(const data::BprBatch& batch);
+  // One epoch with checkpointing: skips the first `skip_batches` batches
+  // (already applied before a resume), checkpoints on the configured
+  // cadence, and stops early on interrupt/max_batches (`*interrupted`).
+  double TrainEpochImpl(int epoch, int64_t skip_batches, bool* interrupted);
+  // Serializes/parses the opaque trainer blob inside v2 checkpoints:
+  // config fingerprint, epoch/batch cursor, best-metric bookkeeping,
+  // epoch-start sampler state, model stochastic state.
+  std::string SerializeTrainerState(int epoch, int64_t batch_cursor) const;
+  util::Status SaveTrainingCheckpoint(int epoch, int64_t batch_cursor);
 
   models::RecModel* model_;
   const data::Dataset* dataset_;
@@ -108,6 +155,25 @@ class Trainer {
   // Batches trained over the trainer's lifetime; drives grad_stats_every.
   int64_t batch_counter_ = 0;
   std::vector<ag::GradStats> last_grad_stats_;
+  // Best-metric bookkeeping (members, not Fit locals, so checkpoints can
+  // carry them across a crash).
+  int best_epoch_ = 0;
+  double best_metric_ = 0.0;
+  int evals_without_improvement_ = 0;
+  bool any_eval_ = false;
+  // Resume cursor: Fit starts at start_epoch_, skipping the first
+  // start_batch_cursor_ batches of that epoch.
+  int start_epoch_ = 1;
+  int64_t start_batch_cursor_ = 0;
+  bool resumed_ = false;
+  std::string resumed_from_;
+  // Sampler state captured at the top of the epoch in progress. Because
+  // SampleEpoch draws ALL of an epoch's randomness up front, restoring
+  // this and replaying SampleEpoch reproduces the epoch's batch stream
+  // exactly; the cursor then tells the resumed run where to rejoin it.
+  data::SamplerState epoch_start_sampler_;
+  // Batches trained in the current Fit call; drives max_batches.
+  int64_t fit_batches_ = 0;
 };
 
 }  // namespace dgnn::train

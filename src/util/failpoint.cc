@@ -1,0 +1,244 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace dgnn::failpoint {
+namespace {
+
+using util::Status;
+
+enum class Action { kError, kOnce, kAbort, kDelay, kOneIn };
+
+struct Site {
+  Action action = Action::kError;
+  int64_t delay_ms = 0;
+  int64_t one_in = 0;
+  int64_t hits = 0;
+  int64_t triggers = 0;
+  bool fired = false;  // `once` latch
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+  uint64_t seed = 0;
+};
+
+// Set iff the registry holds at least one site; the fast-path gate.
+std::atomic<bool> g_enabled{false};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // never destroyed (atexit-safe)
+  return *r;
+}
+
+// splitmix64 over a mixed (seed, site, hit-index) key: the 1in<n>
+// decision for hit i is a pure function of those three, so it cannot
+// depend on thread interleaving.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSiteName(const std::string& name) {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Status ParseAction(const std::string& spec, Site* out) {
+  if (spec == "error") {
+    out->action = Action::kError;
+    return Status::Ok();
+  }
+  if (spec == "once") {
+    out->action = Action::kOnce;
+    return Status::Ok();
+  }
+  if (spec == "abort") {
+    out->action = Action::kAbort;
+    return Status::Ok();
+  }
+  if (spec.rfind("delay:", 0) == 0) {
+    auto ms = util::ParseInt(spec.substr(6));
+    if (!ms.ok() || ms.value() < 0) {
+      return Status::InvalidArgument("bad delay in failpoint action '" +
+                                     spec + "'");
+    }
+    out->action = Action::kDelay;
+    out->delay_ms = ms.value();
+    return Status::Ok();
+  }
+  if (spec.rfind("1in", 0) == 0) {
+    auto n = util::ParseInt(spec.substr(3));
+    if (!n.ok() || n.value() <= 0) {
+      return Status::InvalidArgument("bad denominator in failpoint action '" +
+                                     spec + "'");
+    }
+    out->action = Action::kOneIn;
+    out->one_in = n.value();
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown failpoint action '" + spec + "'");
+}
+
+// Parses the environment configuration once, before main runs (no
+// failpoint site is evaluated during static initialization in this
+// codebase). Keeping env parsing out of Enabled() preserves the
+// one-relaxed-load disabled-path contract.
+struct EnvInit {
+  EnvInit() {
+    if (const char* seed = std::getenv("DGNN_FAILPOINT_SEED")) {
+      SetSeed(static_cast<uint64_t>(std::strtoull(seed, nullptr, 10)));
+    }
+    if (const char* spec = std::getenv("DGNN_FAILPOINTS")) {
+      Status s = Configure(spec);
+      if (!s.ok()) {
+        std::fprintf(stderr, "DGNN_FAILPOINTS: %s\n", s.ToString().c_str());
+        std::abort();  // a typo'd injection spec must not silently no-op
+      }
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Status Configure(const std::string& spec) {
+  std::map<std::string, Site> parsed;
+  for (const std::string& clause : util::Split(spec, ',')) {
+    const std::string trimmed{util::Trim(clause)};
+    if (trimmed.empty()) continue;
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad failpoint clause '" + trimmed +
+                                     "' (want site=action)");
+    }
+    Site site;
+    DGNN_RETURN_IF_ERROR(ParseAction(trimmed.substr(eq + 1), &site));
+    parsed[trimmed.substr(0, eq)] = site;
+  }
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites = std::move(parsed);
+  g_enabled.store(!r.sites.empty(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void Clear() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.seed = seed;
+}
+
+Status Check(const char* site) {
+  if (!Enabled()) return Status::Ok();
+  Registry& r = GetRegistry();
+  int64_t delay_ms = -1;
+  bool do_abort = false;
+  bool inject = false;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return Status::Ok();
+    Site& s = it->second;
+    const int64_t hit = s.hits++;
+    switch (s.action) {
+      case Action::kError:
+        inject = true;
+        break;
+      case Action::kOnce:
+        if (!s.fired) {
+          s.fired = true;
+          inject = true;
+        }
+        break;
+      case Action::kAbort:
+        do_abort = true;
+        break;
+      case Action::kDelay:
+        delay_ms = s.delay_ms;
+        break;
+      case Action::kOneIn:
+        inject = Mix(r.seed ^ HashSiteName(it->first) ^
+                     static_cast<uint64_t>(hit)) %
+                     static_cast<uint64_t>(s.one_in) ==
+                 0;
+        break;
+    }
+    if (inject || do_abort || delay_ms >= 0) ++s.triggers;
+  }
+  if (do_abort) {
+    std::fprintf(stderr, "failpoint '%s': injected abort\n", site);
+    std::abort();
+  }
+  if (delay_ms >= 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return Status::Ok();
+  }
+  if (inject) {
+    return Status::Internal(std::string("failpoint '") + site +
+                            "' injected error");
+  }
+  return Status::Ok();
+}
+
+int64_t HitCount(const std::string& site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+int64_t TriggerCount(const std::string& site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.triggers;
+}
+
+Status RetryWithBackoff(const char* what, const RetryOptions& options,
+                        const std::function<util::Status()>& fn) {
+  DGNN_CHECK_GE(options.max_attempts, 1);
+  double backoff_ms = static_cast<double>(options.initial_backoff_ms);
+  Status last = Status::Ok();
+  for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    last = fn();
+    if (last.ok() || last.code() != util::StatusCode::kInternal) return last;
+    if (attempt == options.max_attempts) break;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::min(backoff_ms, static_cast<double>(options.max_backoff_ms))));
+    backoff_ms *= options.multiplier;
+  }
+  return Status::Internal(std::string(what) + ": " +
+                          std::to_string(options.max_attempts) +
+                          " attempts exhausted; last error: " +
+                          last.ToString());
+}
+
+}  // namespace dgnn::failpoint

@@ -1,0 +1,112 @@
+// Deterministic fault injection for failure testing.
+//
+// A failpoint is a named site compiled into production code at an I/O or
+// failure boundary (dataset load, checkpoint save/load, snapshot
+// write/read, run-log append, serving execute). Sites are inert by
+// default: the only cost on the disabled path is ONE relaxed atomic load
+// (the DGNN_FAILPOINT macro guards on Enabled() before anything else), so
+// they can stay in hot-ish paths permanently — the same contract as
+// telemetry::Enabled() and runlog::Active().
+//
+// Activation, from the environment or programmatically:
+//
+//   DGNN_FAILPOINTS="site=action[,site=action...]"   (read before main)
+//   failpoint::Configure("site=action,...")           (tests)
+//
+// Actions:
+//   error        every hit injects util::Status::Internal — the shape of
+//                a transient I/O failure (callers with RetryWithBackoff
+//                will retry it and, since it never stops, exhaust)
+//   once         inject `error` on the FIRST hit only; later hits pass.
+//                The canonical transient fault: one retry recovers.
+//   abort        std::abort() on hit — a simulated hard crash for
+//                kill-point testing (the process dies exactly at the
+//                site, like SIGKILL but placeable)
+//   delay:<ms>   sleep for <ms> milliseconds, then pass — latency
+//                injection for overload/timeout testing
+//   1in<n>       inject `error` on roughly 1/n of hits. Deterministic:
+//                the decision for hit number i depends only on
+//                (seed, site name, i), never on threads or timing, so a
+//                run with the same seed triggers the same TOTAL number of
+//                failures at any thread count. Seed via SetSeed (the
+//                CLI's --seed does this) or DGNN_FAILPOINT_SEED.
+//
+// Sites are plain strings; hitting a site that was never configured is a
+// no-op. HitCount/TriggerCount expose per-site counters for tests.
+//
+// The companion RetryWithBackoff helper is the sanctioned response to the
+// transient-error action: capped exponential backoff, retrying only
+// kInternal (transient) statuses — corruption (kInvalidArgument etc.)
+// fails immediately.
+
+#ifndef DGNN_UTIL_FAILPOINT_H_
+#define DGNN_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/status.h"
+
+namespace dgnn::failpoint {
+
+// True when at least one site is configured; a single relaxed atomic
+// load. Guard every Check call with this so disabled builds pay nothing.
+bool Enabled();
+
+// Replaces the active configuration with the parsed spec
+// "site=action[,site=action...]". An empty spec clears everything.
+// Returns InvalidArgument (and leaves the previous configuration in
+// place) when any clause fails to parse.
+util::Status Configure(const std::string& spec);
+
+// Removes every configured site and resets all counters.
+void Clear();
+
+// Seed for the 1in<n> action; defaults to DGNN_FAILPOINT_SEED or 0.
+// Setting the seed does not reset hit counters.
+void SetSeed(uint64_t seed);
+
+// Evaluates `site` against the active configuration: may sleep (delay),
+// abort the process (abort), or return a non-OK status to inject
+// (error / once / 1in<n>). Unconfigured sites return OK. Thread-safe;
+// prefer the DGNN_FAILPOINT macro, which skips the call entirely when
+// no failpoints are active.
+util::Status Check(const char* site);
+
+// Times `site` was evaluated / times it injected a failure (or slept,
+// for delay). Zero for unconfigured sites.
+int64_t HitCount(const std::string& site);
+int64_t TriggerCount(const std::string& site);
+
+struct RetryOptions {
+  int max_attempts = 3;
+  int initial_backoff_ms = 1;
+  int max_backoff_ms = 50;
+  double multiplier = 2.0;
+};
+
+// Runs `fn` up to max_attempts times, sleeping a capped exponential
+// backoff between attempts. Only kInternal statuses are retried — that
+// code means "transient environment failure" in this codebase (and is
+// what the failpoint error actions inject); any other code is a
+// deterministic failure (corruption, bad input) and is returned
+// immediately. `what` names the operation in the exhausted-retries
+// message.
+util::Status RetryWithBackoff(const char* what, const RetryOptions& options,
+                              const std::function<util::Status()>& fn);
+
+}  // namespace dgnn::failpoint
+
+// Evaluates a failpoint site and propagates an injected error to the
+// caller (works in functions returning Status or StatusOr<T>). Disabled
+// path: one relaxed atomic load.
+#define DGNN_FAILPOINT(site)                                             \
+  do {                                                                   \
+    if (::dgnn::failpoint::Enabled()) {                                  \
+      ::dgnn::util::Status _fp_status = ::dgnn::failpoint::Check(site);  \
+      if (!_fp_status.ok()) return _fp_status;                           \
+    }                                                                    \
+  } while (false)
+
+#endif  // DGNN_UTIL_FAILPOINT_H_

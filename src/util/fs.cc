@@ -1,0 +1,184 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/failpoint.h"
+
+namespace dgnn::fs {
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+// open(2) retrying EINTR; -1 with errno set on failure.
+int OpenRetry(const char* path, int flags, mode_t mode = 0) {
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+Status CloseRetry(int fd, const std::string& path) {
+  // POSIX leaves the fd state unspecified after EINTR from close; Linux
+  // guarantees the fd is released, so retrying would double-close. Treat
+  // EINTR as success, everything else as an error.
+  if (::close(fd) != 0 && errno != EINTR) return Errno("close", path);
+  return Status::Ok();
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  DGNN_FAILPOINT("fs.fsync");
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("fsync", path);
+  return Status::Ok();
+}
+
+// fsync the directory containing `path` so a completed rename survives a
+// crash. Directories opened read-only; failure is a real error (the
+// rename is not durable without it).
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = OpenRetry(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open directory", dir);
+  Status synced = FsyncFd(fd, dir);
+  Status closed = CloseRetry(fd, dir);
+  if (!synced.ok()) return synced;
+  return closed;
+}
+
+StatusOr<std::string> ReadFileOnce(const std::string& path) {
+  DGNN_FAILPOINT("fs.read");
+  const int fd = OpenRetry(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("cannot open: " + path);
+    return Errno("open", path);
+  }
+  std::string out;
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    out.reserve(static_cast<size_t>(st.st_size));
+  }
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted: retry the read
+      Status err = Errno("read", path);
+      (void)CloseRetry(fd, path);
+      return err;
+    }
+    if (n == 0) break;  // EOF; short reads just loop again
+    out.append(buf, static_cast<size_t>(n));
+  }
+  DGNN_RETURN_IF_ERROR(CloseRetry(fd, path));
+  return out;
+}
+
+Status WriteFileOnce(const std::string& path, std::string_view bytes) {
+  const std::string tmp_path = path + ".tmp";
+  DGNN_FAILPOINT("fs.open");
+  const int fd = OpenRetry(tmp_path.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      // Parent directory missing: deterministic, not transient.
+      return Status::NotFound("cannot open for writing: " + tmp_path);
+    }
+    return Errno("open", tmp_path);
+  }
+  auto fail = [&](Status status) {
+    (void)CloseRetry(fd, tmp_path);
+    std::remove(tmp_path.c_str());
+    return status;
+  };
+  // Full-write loop: EINTR restarts the call, short writes advance the
+  // cursor and continue.
+  size_t written = 0;
+  while (written < bytes.size()) {
+    if (failpoint::Enabled()) {
+      Status fp = failpoint::Check("fs.write");
+      if (!fp.ok()) return fail(fp);
+    }
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(Errno("write", tmp_path));
+    }
+    written += static_cast<size_t>(n);
+    if (bytes.empty()) break;
+  }
+  if (bytes.empty() && failpoint::Enabled()) {
+    Status fp = failpoint::Check("fs.write");
+    if (!fp.ok()) return fail(fp);
+  }
+  // fsync the file BEFORE rename: once the new name is visible it must
+  // point at complete data, or a crash between rename and writeback
+  // could expose a garbage file under the final name.
+  {
+    Status synced = FsyncFd(fd, tmp_path);
+    if (!synced.ok()) return fail(synced);
+  }
+  {
+    Status closed = CloseRetry(fd, tmp_path);
+    if (!closed.ok()) {
+      std::remove(tmp_path.c_str());
+      return closed;
+    }
+  }
+  if (failpoint::Enabled()) {
+    Status fp = failpoint::Check("fs.rename");
+    if (!fp.ok()) {
+      std::remove(tmp_path.c_str());
+      return fp;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    Status err = Errno("rename", tmp_path + " -> " + path);
+    std::remove(tmp_path.c_str());
+    return err;
+  }
+  // And fsync the parent directory so the rename itself is durable.
+  return FsyncParentDir(path);
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  StatusOr<std::string> result{std::string()};
+  Status st = failpoint::RetryWithBackoff(
+      "read", failpoint::RetryOptions{}, [&]() -> Status {
+        auto attempt = ReadFileOnce(path);
+        if (!attempt.ok()) return attempt.status();
+        result = std::move(attempt).value();
+        return Status::Ok();
+      });
+  if (!st.ok()) return st;
+  return result;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  return failpoint::RetryWithBackoff(
+      "atomic write", failpoint::RetryOptions{},
+      [&] { return WriteFileOnce(path, bytes); });
+}
+
+}  // namespace dgnn::fs

@@ -1,0 +1,50 @@
+// Durable, interruption-tolerant file primitives shared by every binary
+// artifact writer/reader in the library (parameter checkpoints, serving
+// snapshots, dataset TSVs).
+//
+// Why not iostreams: the previous writers used std::ofstream, which
+// cannot fsync and hides EINTR/short-write behavior. These helpers use
+// POSIX fds directly and give the durability story the checkpoints and
+// snapshots advertise:
+//
+//  - ReadFileToString: full-file read that retries EINTR and short reads
+//    until EOF; transient (kInternal) failures are retried with capped
+//    exponential backoff.
+//  - AtomicWriteFile: write "<path>.tmp", fsync the FILE, rename(2) over
+//    `path`, then fsync the PARENT DIRECTORY — without the directory
+//    fsync a crash after rename can lose the rename itself, leaving the
+//    old file, which is safe, but also possibly neither file on some
+//    filesystems. EINTR and short writes are retried at every step. On
+//    any failure the temp file is removed and `path` is untouched, so
+//    callers keep the previous artifact. Transient failures retry with
+//    backoff like reads.
+//
+// Both carry failpoint sites (fs.read / fs.open / fs.write / fs.fsync /
+// fs.rename) so failure tests inject faults at the real I/O boundary
+// instead of hand-corrupting files; the `once` action recovers through
+// the built-in retry, `error` exhausts it.
+
+#ifndef DGNN_UTIL_FS_H_
+#define DGNN_UTIL_FS_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dgnn::fs {
+
+// Reads the entire file. EINTR-safe, short-read-safe, retries transient
+// failures (capped exponential backoff, 3 attempts).
+util::StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Atomically replaces `path` with `bytes` (temp + fsync + rename +
+// parent-dir fsync). A crash at any point leaves either the complete old
+// file or the complete new file at `path`, and the rename is durable
+// once this returns OK. Retries transient failures.
+util::Status AtomicWriteFile(const std::string& path,
+                             std::string_view bytes);
+
+}  // namespace dgnn::fs
+
+#endif  // DGNN_UTIL_FS_H_

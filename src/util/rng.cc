@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstring>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -127,5 +128,45 @@ int64_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() { return Rng(NextUint64() ^ 0xd1b54a32d192ed03ULL); }
+
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_spare_gaussian = has_spare_gaussian_;
+  st.spare_gaussian = spare_gaussian_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_spare_gaussian_ = state.has_spare_gaussian;
+  spare_gaussian_ = state.spare_gaussian;
+}
+
+void AppendRngState(const RngState& state, std::string* out) {
+  for (uint64_t word : state.s) {
+    out->append(reinterpret_cast<const char*>(&word), sizeof(word));
+  }
+  out->push_back(state.has_spare_gaussian ? 1 : 0);
+  out->append(reinterpret_cast<const char*>(&state.spare_gaussian),
+              sizeof(double));
+}
+
+Status ParseRngState(std::string_view bytes, size_t* pos, RngState* out) {
+  constexpr size_t kEncoded = 4 * sizeof(uint64_t) + 1 + sizeof(double);
+  if (*pos > bytes.size() || bytes.size() - *pos < kEncoded) {
+    return Status::InvalidArgument("truncated rng state");
+  }
+  const char* p = bytes.data() + *pos;
+  for (auto& word : out->s) {
+    std::memcpy(&word, p, sizeof(word));
+    p += sizeof(word);
+  }
+  out->has_spare_gaussian = *p != 0;
+  ++p;
+  std::memcpy(&out->spare_gaussian, p, sizeof(double));
+  *pos += kEncoded;
+  return Status::Ok();
+}
 
 }  // namespace dgnn::util

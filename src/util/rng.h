@@ -10,10 +10,30 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+
 namespace dgnn::util {
+
+// Complete serializable generator state: the xoshiro256** words plus the
+// Box-Muller spare. Capturing and restoring this reproduces the exact
+// draw sequence — the foundation of checkpoint/resume determinism.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_spare_gaussian = false;
+  double spare_gaussian = 0.0;
+};
+
+// Fixed-width little-endian binary encoding of RngState (4x uint64 +
+// uint8 + double = 41 bytes), used inside checkpoint blobs. Append writes
+// at the end of `out`; Parse reads at `*pos` and advances it, returning
+// InvalidArgument on a short buffer.
+void AppendRngState(const RngState& state, std::string* out);
+Status ParseRngState(std::string_view bytes, size_t* pos, RngState* out);
 
 class Rng {
  public:
@@ -59,6 +79,10 @@ class Rng {
   // A new Rng whose stream is decorrelated from this one; use to hand
   // independent streams to sub-components.
   Rng Fork();
+
+  // Snapshot / restore the full generator state (see RngState).
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   uint64_t s_[4];

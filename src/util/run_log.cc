@@ -5,6 +5,8 @@
 #include <fstream>
 #include <mutex>
 
+#include "util/failpoint.h"
+
 namespace dgnn::runlog {
 namespace {
 
@@ -15,6 +17,7 @@ struct State {
   std::ofstream out;
   std::string path;
   int64_t num_events = 0;
+  int64_t num_dropped = 0;
   std::chrono::steady_clock::time_point start;
 };
 
@@ -38,6 +41,7 @@ util::Status Open(const std::string& path) {
   }
   s.path = path;
   s.num_events = 0;
+  s.num_dropped = 0;
   s.start = std::chrono::steady_clock::now();
   g_active.store(true, std::memory_order_relaxed);
   return util::Status::Ok();
@@ -65,6 +69,13 @@ void Emit(std::string_view event, const util::JsonObject& fields) {
   State& s = GetState();
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.out.is_open()) return;  // closed between the Active() check and here
+  // Failpoint: a failed append DROPS the line (counted) instead of
+  // aborting the run — logging is best-effort by design, and the failure
+  // tests assert the log still parses as a valid prefix afterwards.
+  if (failpoint::Enabled() && !failpoint::Check("runlog.append").ok()) {
+    ++s.num_dropped;
+    return;
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     s.start)
@@ -91,6 +102,12 @@ int64_t NumEvents() {
   State& s = GetState();
   std::lock_guard<std::mutex> lock(s.mu);
   return s.num_events;
+}
+
+int64_t NumDropped() {
+  State& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.num_dropped;
 }
 
 }  // namespace dgnn::runlog

@@ -62,6 +62,11 @@ void Emit(std::string_view event, const util::JsonObject& fields);
 // Lines written since Open (0 when inactive); exposed for tests.
 int64_t NumEvents();
 
+// Lines dropped by an injected append failure (failpoint
+// "runlog.append"). Appends are best-effort: a failed write drops the
+// line and counts it here rather than failing the run.
+int64_t NumDropped();
+
 }  // namespace dgnn::runlog
 
 #endif  // DGNN_UTIL_RUN_LOG_H_

@@ -1,0 +1,223 @@
+// Tests for the fault-injection registry (util/failpoint.h): activation
+// parsing, each action's semantics, determinism of 1in<n> across thread
+// counts, the disabled fast path, and RetryWithBackoff's retry policy.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace dgnn {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::Clear(); }
+  void TearDown() override { failpoint::Clear(); }
+};
+
+// ----- activation parsing --------------------------------------------------
+
+TEST_F(FailpointTest, DisabledByDefault) {
+  EXPECT_FALSE(failpoint::Enabled());
+  EXPECT_TRUE(failpoint::Check("anything").ok());
+  EXPECT_EQ(failpoint::HitCount("anything"), 0);
+}
+
+TEST_F(FailpointTest, ConfigureParsesMultipleClauses) {
+  ASSERT_TRUE(
+      failpoint::Configure("a=error,b=once,c=delay:5,d=1in3,e=abort").ok());
+  EXPECT_TRUE(failpoint::Enabled());
+  // Unconfigured sites stay no-ops even while enabled.
+  EXPECT_TRUE(failpoint::Check("unconfigured").ok());
+}
+
+TEST_F(FailpointTest, EmptySpecClears) {
+  ASSERT_TRUE(failpoint::Configure("a=error").ok());
+  ASSERT_TRUE(failpoint::Configure("").ok());
+  EXPECT_FALSE(failpoint::Enabled());
+  EXPECT_TRUE(failpoint::Check("a").ok());
+}
+
+TEST_F(FailpointTest, BadSpecsRejectedAndPreviousConfigKept) {
+  ASSERT_TRUE(failpoint::Configure("keep=error").ok());
+  for (const char* bad :
+       {"noequals", "site=", "=error", "site=bogus", "site=delay:",
+        "site=delay:xyz", "site=1in0", "site=1in", "site=1inx",
+        "site=delay:-4"}) {
+    util::Status s = failpoint::Configure(bad);
+    EXPECT_FALSE(s.ok()) << "spec accepted: " << bad;
+    EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument) << bad;
+  }
+  // The failed Configure calls left the previous configuration active.
+  EXPECT_TRUE(failpoint::Enabled());
+  EXPECT_FALSE(failpoint::Check("keep").ok());
+}
+
+// ----- action semantics ----------------------------------------------------
+
+TEST_F(FailpointTest, ErrorInjectsInternalEveryHit) {
+  ASSERT_TRUE(failpoint::Configure("io=error").ok());
+  for (int i = 0; i < 3; ++i) {
+    util::Status s = failpoint::Check("io");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), util::StatusCode::kInternal);
+    EXPECT_NE(s.message().find("io"), std::string::npos);
+  }
+  EXPECT_EQ(failpoint::HitCount("io"), 3);
+  EXPECT_EQ(failpoint::TriggerCount("io"), 3);
+}
+
+TEST_F(FailpointTest, OnceInjectsOnlyFirstHit) {
+  ASSERT_TRUE(failpoint::Configure("io=once").ok());
+  EXPECT_FALSE(failpoint::Check("io").ok());
+  EXPECT_TRUE(failpoint::Check("io").ok());
+  EXPECT_TRUE(failpoint::Check("io").ok());
+  EXPECT_EQ(failpoint::HitCount("io"), 3);
+  EXPECT_EQ(failpoint::TriggerCount("io"), 1);
+}
+
+TEST_F(FailpointTest, DelaySleepsThenPasses) {
+  ASSERT_TRUE(failpoint::Configure("slow=delay:20").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(failpoint::Check("slow").ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 15);  // allow scheduler slop below 20ms
+  EXPECT_EQ(failpoint::TriggerCount("slow"), 1);
+}
+
+TEST_F(FailpointTest, AbortDies) {
+  ASSERT_TRUE(failpoint::Configure("boom=abort").ok());
+  EXPECT_DEATH(static_cast<void>(failpoint::Check("boom")), "");
+}
+
+// ----- 1in<n> determinism --------------------------------------------------
+
+// The decision for hit i depends only on (seed, site, i) — so the same
+// seed and hit count produce the same TOTAL trigger count no matter how
+// the hits are spread over threads.
+int64_t RunHits(uint64_t seed, int hits, int threads) {
+  failpoint::Clear();
+  EXPECT_TRUE(failpoint::Configure("flaky=1in4").ok());
+  failpoint::SetSeed(seed);
+  if (threads <= 1) {
+    for (int i = 0; i < hits; ++i) {
+      static_cast<void>(failpoint::Check("flaky"));
+    }
+  } else {
+    std::vector<std::thread> pool;
+    std::atomic<int> remaining{hits};
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&remaining] {
+        while (remaining.fetch_sub(1) > 0) {
+          static_cast<void>(failpoint::Check("flaky"));
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  EXPECT_EQ(failpoint::HitCount("flaky"), hits);
+  return failpoint::TriggerCount("flaky");
+}
+
+TEST_F(FailpointTest, OneInNTriggersDeterministicallyAcrossThreadCounts) {
+  const int64_t solo = RunHits(/*seed=*/123, /*hits=*/1000, /*threads=*/1);
+  // Roughly 1/4 of hits trigger; "roughly" still means a healthy band.
+  EXPECT_GT(solo, 150);
+  EXPECT_LT(solo, 350);
+  EXPECT_EQ(RunHits(123, 1000, 1), solo) << "same seed, different schedule";
+  EXPECT_EQ(RunHits(123, 1000, 4), solo) << "thread count changed totals";
+  EXPECT_EQ(RunHits(123, 1000, 8), solo) << "thread count changed totals";
+}
+
+TEST_F(FailpointTest, OneInOneAlwaysTriggers) {
+  ASSERT_TRUE(failpoint::Configure("always=1in1").ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(failpoint::Check("always").ok());
+  }
+  EXPECT_EQ(failpoint::TriggerCount("always"), 10);
+}
+
+// ----- the DGNN_FAILPOINT macro --------------------------------------------
+
+util::Status GuardedOp(int* side_effect) {
+  DGNN_FAILPOINT("op.guarded");
+  ++*side_effect;
+  return util::Status::Ok();
+}
+
+TEST_F(FailpointTest, MacroPropagatesInjectedError) {
+  int ran = 0;
+  EXPECT_TRUE(GuardedOp(&ran).ok());
+  EXPECT_EQ(ran, 1);
+  ASSERT_TRUE(failpoint::Configure("op.guarded=error").ok());
+  EXPECT_FALSE(GuardedOp(&ran).ok());
+  EXPECT_EQ(ran, 1) << "body ran despite injected error";
+  failpoint::Clear();
+  EXPECT_TRUE(GuardedOp(&ran).ok());
+  EXPECT_EQ(ran, 2);
+  // With the registry disabled, the site is never even counted.
+  EXPECT_EQ(failpoint::HitCount("op.guarded"), 0);
+}
+
+// ----- RetryWithBackoff ----------------------------------------------------
+
+TEST_F(FailpointTest, RetryRecoversFromTransientFailure) {
+  ASSERT_TRUE(failpoint::Configure("io=once").ok());
+  int attempts = 0;
+  util::Status s = failpoint::RetryWithBackoff(
+      "test op", failpoint::RetryOptions{}, [&attempts] {
+        ++attempts;
+        return failpoint::Check("io");
+      });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(attempts, 2);  // first fails, retry succeeds
+}
+
+TEST_F(FailpointTest, RetryExhaustsOnPersistentFailure) {
+  ASSERT_TRUE(failpoint::Configure("io=error").ok());
+  failpoint::RetryOptions options;
+  options.max_attempts = 3;
+  int attempts = 0;
+  util::Status s =
+      failpoint::RetryWithBackoff("test op", options, [&attempts] {
+        ++attempts;
+        return failpoint::Check("io");
+      });
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kInternal);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_NE(s.message().find("test op"), std::string::npos);
+}
+
+TEST_F(FailpointTest, RetryDoesNotRetryDeterministicFailures) {
+  int attempts = 0;
+  util::Status s = failpoint::RetryWithBackoff(
+      "test op", failpoint::RetryOptions{}, [&attempts] {
+        ++attempts;
+        return util::Status::InvalidArgument("corrupt file");
+      });
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(attempts, 1) << "corruption must not be retried";
+}
+
+TEST_F(FailpointTest, RetryReturnsOkImmediatelyOnSuccess) {
+  int attempts = 0;
+  util::Status s = failpoint::RetryWithBackoff(
+      "test op", failpoint::RetryOptions{}, [&attempts] {
+        ++attempts;
+        return util::Status::Ok();
+      });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(attempts, 1);
+}
+
+}  // namespace
+}  // namespace dgnn

@@ -14,6 +14,7 @@
 #include "data/sampler.h"
 #include "data/synthetic.h"
 #include "train/metrics.h"
+#include "util/failpoint.h"
 
 namespace dgnn {
 namespace {
@@ -315,6 +316,105 @@ TEST_F(SerializeFailureTest, RoundTripStillWorks) {
   ASSERT_TRUE(ag::LoadParameters(store_, path_).ok());
   EXPECT_EQ(a_->value.data()[0], 3.5f);
   EXPECT_EQ(b_->value.data()[0], -0.25f);
+}
+
+// ----- failpoint-driven I/O faults -----------------------------------------
+// The tests above corrupt bytes on disk; these inject faults at the I/O
+// sites themselves (util/failpoint.h) and check that atomic writes and
+// retries keep the same no-partial-state guarantees under env failures.
+
+class FailpointIoTest : public SerializeFailureTest {
+ protected:
+  void SetUp() override {
+    failpoint::Clear();
+    SerializeFailureTest::SetUp();
+  }
+  void TearDown() override {
+    failpoint::Clear();
+    SerializeFailureTest::TearDown();
+  }
+};
+
+TEST_F(FailpointIoTest, TransientWriteFaultAbsorbedByRetry) {
+  ASSERT_TRUE(failpoint::Configure("fs.write=once").ok());
+  ASSERT_TRUE(ag::SaveParameters(store_, path_).ok());
+  EXPECT_EQ(failpoint::TriggerCount("fs.write"), 1);
+  failpoint::Clear();
+  EXPECT_TRUE(ag::LoadParameters(store_, path_).ok());
+}
+
+TEST_F(FailpointIoTest, PersistentWriteFaultPreservesOldCheckpoint) {
+  a_->value.Fill(1.5f);
+  ASSERT_TRUE(ag::SaveParameters(store_, path_).ok());
+  ASSERT_TRUE(failpoint::Configure("fs.write=error").ok());
+  a_->value.Fill(9.0f);
+  util::Status s = ag::SaveParameters(store_, path_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kInternal);
+  failpoint::Clear();
+  std::ifstream tmp(path_ + ".tmp");
+  EXPECT_FALSE(tmp.is_open()) << "failed save left its temp file behind";
+  ASSERT_TRUE(ag::LoadParameters(store_, path_).ok());
+  EXPECT_EQ(a_->value.data()[0], 1.5f) << "old checkpoint clobbered";
+}
+
+TEST_F(FailpointIoTest, RenameFaultPreservesOldCheckpoint) {
+  a_->value.Fill(2.5f);
+  ASSERT_TRUE(ag::SaveParameters(store_, path_).ok());
+  ASSERT_TRUE(failpoint::Configure("fs.rename=error").ok());
+  a_->value.Fill(-4.0f);
+  EXPECT_FALSE(ag::SaveParameters(store_, path_).ok());
+  failpoint::Clear();
+  ASSERT_TRUE(ag::LoadParameters(store_, path_).ok());
+  EXPECT_EQ(a_->value.data()[0], 2.5f);
+}
+
+TEST_F(FailpointIoTest, TransientReadFaultAbsorbedByRetry) {
+  ASSERT_TRUE(ag::SaveParameters(store_, path_).ok());
+  ASSERT_TRUE(failpoint::Configure("fs.read=once").ok());
+  EXPECT_TRUE(ag::LoadParameters(store_, path_).ok());
+  EXPECT_EQ(failpoint::TriggerCount("fs.read"), 1);
+}
+
+TEST_F(FailpointIoTest, SaveSiteInjectionFailsWholeSave) {
+  ASSERT_TRUE(failpoint::Configure("params.save=error").ok());
+  util::Status s = ag::SaveParameters(store_, path_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kInternal);
+  failpoint::Clear();
+  std::ifstream final_file(path_);
+  EXPECT_FALSE(final_file.is_open()) << "save wrote despite injection";
+}
+
+TEST_F(FailpointIoTest, LoadSiteInjectionLeavesStoreUntouched) {
+  ASSERT_TRUE(ag::SaveParameters(store_, path_).ok());
+  a_->value.Fill(-7.0f);
+  ASSERT_TRUE(failpoint::Configure("params.load=error").ok());
+  util::Status s = ag::LoadParameters(store_, path_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kInternal);
+  EXPECT_EQ(a_->value.data()[0], -7.0f) << "store mutated by failed load";
+}
+
+TEST_F(FailpointIoTest, DatasetLoadInjectionSurfacesAsInternal) {
+  const std::string dir = ::testing::TempDir() + "/dgnn_fp_dataset";
+  data::Dataset ds = data::GenerateSynthetic(data::SyntheticConfig::Tiny());
+  ASSERT_TRUE(data::SaveDataset(ds, dir).ok());
+  ASSERT_TRUE(failpoint::Configure("data.load_dataset=error").ok());
+  auto loaded = data::LoadDataset(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInternal);
+  failpoint::Clear();
+  EXPECT_TRUE(data::LoadDataset(dir).ok());
+}
+
+TEST_F(FailpointIoTest, DatasetSaveInjectionSurfacesAsInternal) {
+  const std::string dir = ::testing::TempDir() + "/dgnn_fp_dataset_save";
+  data::Dataset ds = data::GenerateSynthetic(data::SyntheticConfig::Tiny());
+  ASSERT_TRUE(failpoint::Configure("data.save_dataset=error").ok());
+  util::Status s = data::SaveDataset(ds, dir);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kInternal);
 }
 
 // ----- Validate() catches corrupted in-memory datasets --------------------

@@ -1,0 +1,246 @@
+// Crash-safe resume tests: a training run cut at ANY batch boundary and
+// resumed from its checkpoint must finish with parameters bit-identical
+// to the uninterrupted run — at any thread count, including for models
+// that hold their own training-time RNG (NGCF node dropout).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ag/serialize.h"
+#include "data/synthetic.h"
+#include "graph/hetero_graph.h"
+#include "models/bpr_mf.h"
+#include "models/ngcf.h"
+#include "train/trainer.h"
+#include "util/thread_pool.h"
+
+namespace dgnn::train {
+namespace {
+
+// Every parameter value concatenated as raw bytes — bitwise comparable.
+std::string ParamBytes(ag::ParamStore& store) {
+  std::string out;
+  for (const auto& p : store.params()) {
+    out.append(reinterpret_cast<const char*>(p->value.data()),
+               static_cast<size_t>(p->value.size()) * sizeof(float));
+  }
+  return out;
+}
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  ResumeTest()
+      : dataset_(data::GenerateSynthetic(data::SyntheticConfig::Tiny())),
+        graph_(dataset_) {
+    ckpt_ = ::testing::TempDir() + "/dgnn_resume.ckpt";
+    ::remove(ckpt_.c_str());
+  }
+  void TearDown() override {
+    ClearInterrupt();
+    ::remove(ckpt_.c_str());
+  }
+
+  TrainConfig BaseConfig() const {
+    TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 64;
+    tc.seed = 7;
+    return tc;
+  }
+
+  std::unique_ptr<models::RecModel> MakeModel(bool stochastic) const {
+    if (stochastic) {
+      models::NgcfConfig cfg;
+      cfg.embedding_dim = 8;
+      cfg.num_layers = 1;
+      cfg.node_dropout = 0.3f;  // exercises the model-owned dropout RNG
+      cfg.seed = 5;
+      return std::make_unique<models::Ngcf>(graph_, cfg);
+    }
+    return std::make_unique<models::BprMf>(graph_, 8, 5);
+  }
+
+  int64_t BatchesPerEpoch(const TrainConfig& tc) const {
+    return (static_cast<int64_t>(dataset_.train.size()) + tc.batch_size - 1) /
+           tc.batch_size;
+  }
+
+  // The ground truth: one uninterrupted run.
+  std::string UninterruptedRun(bool stochastic) {
+    auto model = MakeModel(stochastic);
+    Trainer trainer(model.get(), dataset_, BaseConfig());
+    auto result = trainer.Fit();
+    EXPECT_FALSE(result.interrupted);
+    return ParamBytes(model->params());
+  }
+
+  // Cut the run after `kill_after` batches (checkpointing on interrupt),
+  // then resume from the checkpoint and run to completion.
+  std::string KilledAndResumedRun(bool stochastic, int64_t kill_after) {
+    {
+      auto victim = MakeModel(stochastic);
+      TrainConfig tc = BaseConfig();
+      tc.checkpoint_path = ckpt_;
+      tc.max_batches = kill_after;
+      Trainer trainer(victim.get(), dataset_, tc);
+      auto result = trainer.Fit();
+      EXPECT_TRUE(result.interrupted) << "kill point " << kill_after;
+    }
+    auto survivor = MakeModel(stochastic);
+    TrainConfig tc = BaseConfig();
+    tc.checkpoint_path = ckpt_;
+    Trainer trainer(survivor.get(), dataset_, tc);
+    util::Status resumed = trainer.Resume(ckpt_);
+    EXPECT_TRUE(resumed.ok()) << resumed.ToString();
+    auto result = trainer.Fit();
+    EXPECT_FALSE(result.interrupted);
+    EXPECT_TRUE(result.resumed);
+    EXPECT_EQ(result.resumed_from, ckpt_);
+    return ParamBytes(survivor->params());
+  }
+
+  data::Dataset dataset_;
+  graph::HeteroGraph graph_;
+  std::string ckpt_;
+};
+
+TEST_F(ResumeTest, KillPointSweepBitIdentical) {
+  const int64_t per_epoch = BatchesPerEpoch(BaseConfig());
+  const int64_t total = per_epoch * BaseConfig().epochs;
+  ASSERT_GE(total, 3);
+  const std::string baseline = UninterruptedRun(/*stochastic=*/false);
+  // Every batch boundary: first/last batch of an epoch, mid-epoch, and
+  // the epoch boundaries themselves (cursor == batches per epoch).
+  for (int64_t kill = 1; kill < total; ++kill) {
+    const std::string resumed =
+        KilledAndResumedRun(/*stochastic=*/false, kill);
+    ASSERT_EQ(resumed.size(), baseline.size());
+    EXPECT_EQ(std::memcmp(resumed.data(), baseline.data(), baseline.size()),
+              0)
+        << "resume after batch " << kill << " diverged";
+  }
+}
+
+TEST_F(ResumeTest, KillPointSweepBitIdenticalAcrossThreadCounts) {
+  const int64_t per_epoch = BatchesPerEpoch(BaseConfig());
+  const int64_t total = per_epoch * BaseConfig().epochs;
+  const int saved_threads = util::NumThreads();
+  util::SetNumThreads(1);
+  const std::string baseline = UninterruptedRun(/*stochastic=*/false);
+  const std::vector<int64_t> kills = {1, per_epoch, total - 1};
+  for (int threads : {1, 4}) {
+    util::SetNumThreads(threads);
+    for (int64_t kill : kills) {
+      const std::string resumed =
+          KilledAndResumedRun(/*stochastic=*/false, kill);
+      EXPECT_EQ(resumed, baseline)
+          << "threads=" << threads << " kill=" << kill;
+    }
+  }
+  util::SetNumThreads(saved_threads);
+}
+
+TEST_F(ResumeTest, StochasticModelResumesBitIdentical) {
+  // NGCF holds a persistent dropout RNG; resume must restore it, not just
+  // the parameters, or the post-resume batches draw different masks.
+  const int64_t per_epoch = BatchesPerEpoch(BaseConfig());
+  const std::string baseline = UninterruptedRun(/*stochastic=*/true);
+  for (int64_t kill : {int64_t{1}, per_epoch + 1}) {
+    EXPECT_EQ(KilledAndResumedRun(/*stochastic=*/true, kill), baseline)
+        << "kill=" << kill;
+  }
+}
+
+TEST_F(ResumeTest, PeriodicCheckpointsAreResumable) {
+  // Checkpoint on a cadence (not just on interrupt), kill WITHOUT a final
+  // save by pointing the interrupt save at the same path — the last
+  // periodic checkpoint plus the interrupt one must both be resumable;
+  // here we resume from whatever the cadence left behind.
+  const std::string baseline = UninterruptedRun(/*stochastic=*/false);
+  {
+    auto victim = MakeModel(/*stochastic=*/false);
+    TrainConfig tc = BaseConfig();
+    tc.checkpoint_path = ckpt_;
+    tc.checkpoint_every = 2;
+    tc.max_batches = 5;
+    Trainer trainer(victim.get(), dataset_, tc);
+    EXPECT_TRUE(trainer.Fit().interrupted);
+  }
+  auto survivor = MakeModel(/*stochastic=*/false);
+  TrainConfig tc = BaseConfig();
+  tc.checkpoint_path = ckpt_;
+  tc.checkpoint_every = 2;
+  Trainer trainer(survivor.get(), dataset_, tc);
+  ASSERT_TRUE(trainer.Resume(ckpt_).ok());
+  trainer.Fit();
+  EXPECT_EQ(ParamBytes(survivor->params()), baseline);
+}
+
+TEST_F(ResumeTest, InterruptRequestStopsAndCheckpoints) {
+  auto model = MakeModel(/*stochastic=*/false);
+  TrainConfig tc = BaseConfig();
+  tc.checkpoint_path = ckpt_;
+  Trainer trainer(model.get(), dataset_, tc);
+  RequestInterrupt();
+  auto result = trainer.Fit();
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_TRUE(result.final_metrics.hr.empty());  // no final eval
+  // The interrupt left a resumable checkpoint behind.
+  auto survivor = MakeModel(/*stochastic=*/false);
+  Trainer resumer(survivor.get(), dataset_, BaseConfig());
+  EXPECT_TRUE(resumer.Resume(ckpt_).ok());
+}
+
+TEST_F(ResumeTest, ConfigMismatchRejected) {
+  {
+    auto victim = MakeModel(/*stochastic=*/false);
+    TrainConfig tc = BaseConfig();
+    tc.checkpoint_path = ckpt_;
+    tc.max_batches = 2;
+    Trainer trainer(victim.get(), dataset_, tc);
+    EXPECT_TRUE(trainer.Fit().interrupted);
+  }
+  TrainConfig changed = BaseConfig();
+  changed.batch_size = 32;  // not the run this checkpoint belongs to
+  auto model = MakeModel(/*stochastic=*/false);
+  Trainer trainer(model.get(), dataset_, changed);
+  util::Status s = trainer.Resume(ckpt_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ResumeTest, V1ParameterFileRejected) {
+  auto model = MakeModel(/*stochastic=*/false);
+  ASSERT_TRUE(ag::SaveParameters(model->params(), ckpt_).ok());
+  Trainer trainer(model.get(), dataset_, BaseConfig());
+  util::Status s = trainer.Resume(ckpt_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.ToString().find("v1"), std::string::npos);
+}
+
+TEST_F(ResumeTest, V2CheckpointLoadsAsPlainParameters) {
+  // LoadParameters accepts a v2 checkpoint (ignoring optimizer state), so
+  // a crash-era checkpoint still works for --mode=evaluate / export.
+  auto model = MakeModel(/*stochastic=*/false);
+  {
+    TrainConfig tc = BaseConfig();
+    tc.checkpoint_path = ckpt_;
+    tc.max_batches = 2;
+    Trainer trainer(model.get(), dataset_, tc);
+    EXPECT_TRUE(trainer.Fit().interrupted);
+  }
+  const std::string at_checkpoint = ParamBytes(model->params());
+  auto other = MakeModel(/*stochastic=*/false);
+  ASSERT_TRUE(ag::LoadParameters(other->params(), ckpt_).ok());
+  EXPECT_EQ(ParamBytes(other->params()), at_checkpoint);
+}
+
+}  // namespace
+}  // namespace dgnn::train

@@ -16,6 +16,7 @@
 #include "models/bpr_mf.h"
 #include "serve/snapshot.h"
 #include "train/recommender.h"
+#include "util/failpoint.h"
 
 namespace dgnn {
 namespace {
@@ -262,6 +263,92 @@ TEST_F(SnapshotTest, AtomicWriteKeepsPreviousSnapshotOnOverwrite) {
   auto loaded = ReadSnapshot(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded.value().meta.tag, "v2");
+}
+
+// ----- failpoint-driven I/O faults -----------------------------------------
+// The corruption tests above hand-craft bytes; these inject faults at the
+// real I/O boundaries (util/failpoint.h) and check the atomic-write /
+// retry machinery holds the same guarantees.
+
+class SnapshotFailpointTest : public SnapshotTest {
+ protected:
+  void SetUp() override { failpoint::Clear(); }
+  void TearDown() override { failpoint::Clear(); }
+};
+
+TEST_F(SnapshotFailpointTest, InjectedWriteFailureKeepsPreviousSnapshot) {
+  const std::string path = TestPath("snap_fp_write.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  Snapshot second = snapshot_;
+  second.meta.tag = "v2";
+  ASSERT_TRUE(failpoint::Configure("snapshot.write=error").ok());
+  util::Status s = WriteSnapshot(second, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kInternal);
+  failpoint::Clear();
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().meta.tag, "unit-test") << "old snapshot lost";
+}
+
+TEST_F(SnapshotFailpointTest, TransientFsWriteFaultIsRetriedToSuccess) {
+  const std::string path = TestPath("snap_fp_once.bin");
+  ASSERT_TRUE(failpoint::Configure("fs.write=once").ok());
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok())
+      << "one transient write fault must be absorbed by the retry";
+  EXPECT_EQ(failpoint::TriggerCount("fs.write"), 1);
+  failpoint::Clear();
+  EXPECT_TRUE(ReadSnapshot(path).ok());
+}
+
+TEST_F(SnapshotFailpointTest, PersistentFsWriteFaultLeavesNoTempFile) {
+  const std::string path = TestPath("snap_fp_persistent.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  ASSERT_TRUE(failpoint::Configure("fs.write=error").ok());
+  Snapshot second = snapshot_;
+  second.meta.tag = "v2";
+  util::Status s = WriteSnapshot(second, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kInternal);
+  failpoint::Clear();
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.is_open()) << "failed write left its temp file behind";
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().meta.tag, "unit-test");
+}
+
+TEST_F(SnapshotFailpointTest, InjectedRenameFaultKeepsPreviousSnapshot) {
+  const std::string path = TestPath("snap_fp_rename.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  ASSERT_TRUE(failpoint::Configure("fs.rename=error").ok());
+  Snapshot second = snapshot_;
+  second.meta.tag = "v2";
+  EXPECT_FALSE(WriteSnapshot(second, path).ok());
+  failpoint::Clear();
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().meta.tag, "unit-test");
+}
+
+TEST_F(SnapshotFailpointTest, InjectedReadFailureSurfacesAsInternal) {
+  const std::string path = TestPath("snap_fp_read.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  ASSERT_TRUE(failpoint::Configure("snapshot.read=error").ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInternal);
+  failpoint::Clear();
+  EXPECT_TRUE(ReadSnapshot(path).ok()) << "fault did not clear";
+}
+
+TEST_F(SnapshotFailpointTest, TransientFsReadFaultIsRetriedToSuccess) {
+  const std::string path = TestPath("snap_fp_read_once.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  ASSERT_TRUE(failpoint::Configure("fs.read=once").ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(failpoint::TriggerCount("fs.read"), 1);
 }
 
 }  // namespace
