@@ -1,33 +1,59 @@
-// bench_serve_load — closed-loop load generator for the online serving
-// engine (src/serve/engine.h): N client threads issue back-to-back
-// requests against one ServingEngine and the harness reports QPS and
-// p50/p95/p99 latency (telemetry histogram serve.request_seconds) per
-// client-thread count, the standard closed-loop serving benchmark shape.
+// bench_serve_load — load generator for the online serving engine
+// (src/serve/engine.h), with two measurement modes:
 //
-// Setup: a synthetic dataset + model is built in-process, exported
-// through the real snapshot writer, and loaded back through the real
-// reader — so the measured path is exactly what dgnn_serve runs. The mix
-// is mostly TopK with some Score / SimilarUsers, plus a slice of
-// unknown-user (degraded) traffic; concurrent clients exercise the
-// engine's micro-batching.
+//  * CLOSED LOOP (default): N client threads issue back-to-back requests
+//    and the harness reports QPS and p50/p95/p99 latency (telemetry
+//    histogram serve.request_seconds) per client-thread count. Simple
+//    and good for throughput ceilings, but its latency numbers suffer
+//    coordinated omission: a stalled server pauses the clients, so the
+//    stall is sampled once instead of once per request that would have
+//    arrived. CI runs this mode via ci/check_serve.sh.
+//
+//  * OPEN LOOP (--arrival=poisson|burst|diurnal): requests arrive on a
+//    schedule that does not care how fast the engine answers. A trace of
+//    (scheduled arrival, request) records is generated (or replayed from
+//    a file), dispatched by a fixed worker pool, and every latency is
+//    measured from the SCHEDULED arrival — queueing delay counts. See
+//    serve/trace.h and serve/replay.h. This is the mode whose numbers
+//    are published to bench/trajectory/BENCH_serve.json and gated by
+//    ci/check_bench.sh.
+//
+// Setup (both modes): a synthetic dataset + model is built in-process,
+// exported through the real snapshot writer, and loaded back through the
+// real reader — so the measured path is exactly what dgnn_serve runs.
+// The mix is mostly TopK with some Score / SimilarUsers, plus a slice of
+// unknown-user (degraded) traffic.
 //
 // Flags:
 //   --preset=tiny|ciao|epinions|yelp   dataset scale (default tiny)
 //   --dim=16 --k=10                    embedding dim / top-k size
-//   --requests=200                     requests per client per run
-//   --clients=1,2,4,8                  client-thread sweep
 //   --cache=4096                       engine LRU capacity (0 disables)
 //   --social-alpha=0                   serve-time social recalibration
 //   --hot-fraction=0.8                 share of traffic on 1/8 of users
+//   --max-queue=0 --deadline-ms=0      engine overload / deadline config
+//   closed loop:
+//     --requests=200                   requests per client per run
+//     --clients=1,2,4,8                client-thread sweep
+//   open loop:
+//     --arrival=poisson|burst|diurnal  arrival process (enables the mode)
+//     --qps=500,1000                   target-rate sweep
+//     --requests=200                   requests per sweep point
+//     --workers=4                      dispatch threads
+//     --trace-seed=1                   schedule seed
+//     --record-trace=F                 write the trace (single-rate only)
+//     --replay-trace=F                 replay a recorded trace instead
+//   --bench-json=F                     machine-readable results (both
+//                                      modes; schema_version 1, validated
+//                                      by `dgnn_inspect bench`)
 //   --metrics-out / --trace-out / --run-log   (see bench_common.h)
-//
-// CI runs this at a small scale via ci/check_serve.sh.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "bench_common.h"
@@ -35,8 +61,12 @@
 #include "data/synthetic.h"
 #include "graph/hetero_graph.h"
 #include "serve/engine.h"
+#include "serve/replay.h"
 #include "serve/snapshot.h"
+#include "serve/trace.h"
 #include "train/recommender.h"
+#include "util/fs.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -44,10 +74,22 @@ namespace {
 
 using namespace dgnn;
 
+// Unique per-process temp path: concurrent bench invocations (or a
+// previous crashed run's leftover file) must not collide on a fixed
+// name. mkstemp creates the file exclusively; we keep the name and let
+// the snapshot writer atomically replace it.
 std::string TempSnapshotPath() {
   const char* tmpdir = std::getenv("TMPDIR");
   std::string dir = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
-  return dir + "/dgnn_bench_serve_snapshot.bin";
+  std::string tmpl = dir + "/dgnn_bench_serve_snapshot.XXXXXX";
+  int fd = ::mkstemp(tmpl.data());
+  if (fd >= 0) {
+    ::close(fd);
+    return tmpl;
+  }
+  // mkstemp failing (exotic TMPDIR) falls back to a pid-unique name.
+  return dir + "/dgnn_bench_serve_snapshot." +
+         std::to_string(static_cast<long long>(::getpid())) + ".bin";
 }
 
 struct SweepResult {
@@ -127,9 +169,11 @@ SweepResult RunSweepPoint(serve::ServingEngine& engine, int clients,
   r.requests = after.requests - before.requests;
   r.seconds = seconds;
   r.qps = seconds > 0 ? static_cast<double>(r.requests) / seconds : 0.0;
-  r.p50_ms = latency->ApproxQuantileSeconds(0.50) * 1e3;
-  r.p95_ms = latency->ApproxQuantileSeconds(0.95) * 1e3;
-  r.p99_ms = latency->ApproxQuantileSeconds(0.99) * 1e3;
+  const std::vector<double> q =
+      latency->ApproxQuantilesSeconds({0.50, 0.95, 0.99});
+  r.p50_ms = q[0] * 1e3;
+  r.p95_ms = q[1] * 1e3;
+  r.p99_ms = q[2] * 1e3;
   const int64_t lookups = (after.cache_hits - before.cache_hits) +
                           (after.cache_misses - before.cache_misses);
   r.cache_hit_rate =
@@ -141,13 +185,82 @@ SweepResult RunSweepPoint(serve::ServingEngine& engine, int clients,
   return r;
 }
 
+// One open-loop point serialized for BENCH_serve.json.
+std::string OpenPointJson(double target_qps,
+                          const serve::ReplayResult& r) {
+  util::JsonObject o;
+  o.Set("target_qps", target_qps)
+      .Set("requests", r.requests)
+      .Set("seconds", r.seconds)
+      .Set("offered_qps", r.offered_qps)
+      .Set("achieved_qps", r.achieved_qps)
+      .Set("p50_ms", r.p50_ms)
+      .Set("p95_ms", r.p95_ms)
+      .Set("p99_ms", r.p99_ms)
+      .Set("max_ms", r.max_ms)
+      .Set("mean_ms", r.mean_ms)
+      .Set("ok", r.ok)
+      .Set("degraded", r.degraded)
+      .Set("shed", r.shed)
+      .Set("expired", r.expired)
+      .Set("failed", r.failed)
+      .Set("late_dispatches", r.late_dispatches)
+      .Set("max_lateness_ms", r.max_lateness_ms)
+      .Set("peak_rss_bytes", r.peak_rss_bytes);
+  return o.Build();
+}
+
+std::string ClosedPointJson(const SweepResult& r) {
+  util::JsonObject o;
+  o.Set("clients", r.clients)
+      .Set("requests", r.requests)
+      .Set("seconds", r.seconds)
+      .Set("qps", r.qps)
+      .Set("p50_ms", r.p50_ms)
+      .Set("p95_ms", r.p95_ms)
+      .Set("p99_ms", r.p99_ms)
+      .Set("cache_hit_rate", r.cache_hit_rate)
+      .Set("batches", r.batches);
+  return o.Build();
+}
+
+int WriteBenchJson(const std::string& path, const std::string& mode,
+                   const std::string& preset, int dim, int k,
+                   const std::string& arrival, int workers,
+                   const std::vector<std::string>& points) {
+  std::string arr = "[";
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) arr += ',';
+    arr += points[i];
+  }
+  arr += ']';
+  util::JsonObject o;
+  o.Set("schema_version", 1)
+      .Set("bench", "bench_serve_load")
+      .Set("mode", mode)
+      .Set("preset", preset)
+      .Set("dim", dim)
+      .Set("k", k);
+  if (mode == "open") {
+    o.Set("arrival", arrival).Set("workers", workers);
+  }
+  o.SetRaw("points", arr);
+  util::Status s = fs::AtomicWriteFile(path, o.Build() + "\n");
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench-json: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[bench] results written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   bench::SetupTelemetryFromFlags(flags);
-  // The latency histogram drives the report, so telemetry is always on
-  // here (unlike the training benches, where it is opt-in).
+  // The latency histogram drives the closed-loop report, so telemetry is
+  // always on here (unlike the training benches, where it is opt-in).
   telemetry::SetEnabled(true);
   if (flags.Has("threads")) {
     util::SetNumThreads(
@@ -172,6 +285,7 @@ int main(int argc, char** argv) {
   if (!written.ok()) {
     std::fprintf(stderr, "snapshot write failed: %s\n",
                  written.ToString().c_str());
+    std::remove(snapshot_path.c_str());
     return 1;
   }
   serve::EngineConfig engine_config;
@@ -179,8 +293,11 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("cache", 4096));
   engine_config.social_alpha =
       static_cast<float>(flags.GetDouble("social-alpha", 0.0));
+  engine_config.max_queue = static_cast<int>(flags.GetInt("max-queue", 0));
+  engine_config.default_deadline_ms = flags.GetInt("deadline-ms", 0);
   serve::ServingEngine engine(engine_config);
   util::Status loaded = engine.Load(snapshot_path);
+  std::remove(snapshot_path.c_str());
   if (!loaded.ok()) {
     std::fprintf(stderr, "snapshot load failed: %s\n",
                  loaded.ToString().c_str());
@@ -188,9 +305,116 @@ int main(int argc, char** argv) {
   }
 
   const int k = static_cast<int>(flags.GetInt("k", 10));
+  const double hot_fraction = flags.GetDouble("hot-fraction", 0.8);
+  const std::string bench_json = flags.GetString("bench-json", "");
+
+  // ---------------------------------------------------------------------
+  // Open loop: --arrival or --replay-trace selects it.
+  // ---------------------------------------------------------------------
+  if (flags.Has("arrival") || flags.Has("replay-trace")) {
+    serve::ReplayConfig replay_config;
+    replay_config.workers = static_cast<int>(flags.GetInt("workers", 4));
+    const std::string replay_path = flags.GetString("replay-trace", "");
+    const std::string record_path = flags.GetString("record-trace", "");
+
+    serve::ScheduleConfig schedule;
+    auto arrival =
+        serve::ParseArrivalProcess(flags.GetString("arrival", "poisson"));
+    if (!arrival.ok()) {
+      std::fprintf(stderr, "%s\n", arrival.status().ToString().c_str());
+      return 2;
+    }
+    schedule.arrival = arrival.value();
+    schedule.num_requests = flags.GetInt("requests", 200);
+    schedule.seed = static_cast<uint64_t>(flags.GetInt("trace-seed", 1));
+
+    std::vector<double> qps_sweep;
+    for (const std::string& tok :
+         util::Split(flags.GetString("qps", "500"), ',')) {
+      auto parsed = util::ParseInt(util::Trim(tok));
+      if (!parsed.ok() || parsed.value() < 1) {
+        std::fprintf(stderr, "bad --qps entry '%s'\n", tok.c_str());
+        return 2;
+      }
+      qps_sweep.push_back(static_cast<double>(parsed.value()));
+    }
+    if (!record_path.empty() && qps_sweep.size() != 1) {
+      std::fprintf(stderr,
+                   "--record-trace requires a single --qps value\n");
+      return 2;
+    }
+
+    std::printf(
+        "serving load test (open loop): %s (%d users, %d items, dim "
+        "%lld), k=%d, arrival=%s, %lld requests/point, workers=%d, "
+        "max_queue=%d, deadline_ms=%lld\n\n",
+        dataset.name.c_str(), dataset.num_users, dataset.num_items,
+        (long long)zoo.embedding_dim, k,
+        serve::ArrivalProcessName(schedule.arrival),
+        (long long)schedule.num_requests, replay_config.workers,
+        engine_config.max_queue,
+        (long long)engine_config.default_deadline_ms);
+
+    util::Table table({"target_qps", "requests", "achieved_qps", "p50_ms",
+                       "p95_ms", "p99_ms", "shed", "expired", "late",
+                       "rss_mb"});
+    std::vector<std::string> points;
+    for (double target : qps_sweep) {
+      serve::Trace trace;
+      if (!replay_path.empty()) {
+        auto read = serve::ReadTrace(replay_path);
+        if (!read.ok()) {
+          std::fprintf(stderr, "replay-trace: %s\n",
+                       read.status().ToString().c_str());
+          return 2;
+        }
+        trace = std::move(read).value();
+        // The trace fixes the schedule; report its own offered rate.
+        target = 0.0;
+      } else {
+        schedule.target_qps = target;
+        trace = serve::GenerateTrace(schedule, dataset.num_users,
+                                     dataset.num_items, k, hot_fraction);
+        if (!record_path.empty()) {
+          util::Status rec = serve::WriteTrace(trace, record_path);
+          if (!rec.ok()) {
+            std::fprintf(stderr, "record-trace: %s\n",
+                         rec.ToString().c_str());
+            return 2;
+          }
+          std::fprintf(stderr, "[bench] trace recorded to %s\n",
+                       record_path.c_str());
+        }
+      }
+      serve::ReplayResult r =
+          serve::ReplayTrace(engine, trace.records, replay_config);
+      if (target == 0.0) target = r.offered_qps;
+      table.AddRow({util::StrFormat("%.0f", target),
+                    std::to_string(r.requests),
+                    util::StrFormat("%.0f", r.achieved_qps),
+                    bench::Fmt4(r.p50_ms), bench::Fmt4(r.p95_ms),
+                    bench::Fmt4(r.p99_ms), std::to_string(r.shed),
+                    std::to_string(r.expired),
+                    std::to_string(r.late_dispatches),
+                    util::StrFormat("%.1f", r.peak_rss_bytes / 1e6)});
+      points.push_back(OpenPointJson(target, r));
+      if (!replay_path.empty()) break;  // a file trace is one point
+    }
+    table.Print();
+    if (!bench_json.empty()) {
+      return WriteBenchJson(bench_json, "open", dataset.name,
+                            (int)zoo.embedding_dim, k,
+                            serve::ArrivalProcessName(schedule.arrival),
+                            replay_config.workers, points);
+    }
+    return 0;
+  }
+
+  // ---------------------------------------------------------------------
+  // Closed loop (default; ci/check_serve.sh depends on this output).
+  // ---------------------------------------------------------------------
   const int requests_per_client =
       static_cast<int>(flags.GetInt("requests", 200));
-  const double hot_fraction = flags.GetDouble("hot-fraction", 0.8);
   std::vector<int> client_sweep;
   for (const std::string& tok :
        util::Split(flags.GetString("clients", "1,2,4,8"), ',')) {
@@ -210,6 +434,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"clients", "requests", "seconds", "qps", "p50_ms",
                      "p95_ms", "p99_ms", "cache_hit", "batches"});
+  std::vector<std::string> points;
   for (int clients : client_sweep) {
     // Warm-up pass so first-touch costs (page faults, cache fill) don't
     // skew the smallest sweep point.
@@ -222,8 +447,12 @@ int main(int argc, char** argv) {
                   bench::Fmt4(r.p50_ms), bench::Fmt4(r.p95_ms),
                   bench::Fmt4(r.p99_ms), bench::Fmt4(r.cache_hit_rate),
                   std::to_string(r.batches)});
+    points.push_back(ClosedPointJson(r));
   }
   table.Print();
-  std::remove(snapshot_path.c_str());
+  if (!bench_json.empty()) {
+    return WriteBenchJson(bench_json, "closed", dataset.name,
+                          (int)zoo.embedding_dim, k, "", 0, points);
+  }
   return 0;
 }

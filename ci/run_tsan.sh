@@ -25,7 +25,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target thread_pool_test parallel_equivalence_test serving_test \
            telemetry_test failure_test run_log_test diagnostics_test \
            serve_engine_test serve_snapshot_test failpoint_test \
-           resume_test
+           resume_test serve_trace_test
 
 # halt_on_error: fail fast on the first race instead of drowning in reports.
 # telemetry_test has the concurrent-increment test (8 threads hammering one
@@ -37,9 +37,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
 # threads plus the micro-batching leader/follower handoff; failpoint_test
 # hammers the injection registry from concurrent threads (the 1in<n>
 # determinism contract is exactly a race-freedom claim); resume_test
-# checks kill/resume bit-identity across thread counts.
+# checks kill/resume bit-identity across thread counts; serve_trace_test
+# replays the same trace at 1/2/4 workers and requires the re-recorded
+# bytes bit-identical (open-loop replay race-freedom claim).
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test|run_log_test|diagnostics_test|serve_engine_test|serve_snapshot_test|failpoint_test|resume_test'
+    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test|run_log_test|diagnostics_test|serve_engine_test|serve_snapshot_test|failpoint_test|resume_test|serve_trace_test'
 
 echo "TSan job passed: no data races detected."

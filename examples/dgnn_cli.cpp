@@ -3,7 +3,9 @@
 // (accuracy + beyond-accuracy), and serve top-K recommendations.
 //
 // Modes:
-//   --mode=generate  --data_dir=D [--preset=ciao]
+//   --mode=generate  --data_dir=D [--preset=ciao] [--stream=0|1]
+//     (the *-large presets default to --stream=1: interactions are
+//     written straight to disk with O(users) peak memory)
 //       Write a synthetic dataset to D in the TSV layout.
 //   --mode=train     --data_dir=D [--model=DGNN] [--epochs=25]
 //                    [--params=P] [--pretrain]
@@ -83,6 +85,24 @@ int Generate(const util::Flags& flags, const std::string& data_dir) {
   auto config = data::SyntheticConfig::Preset(
       flags.GetString("preset", "ciao"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", config.seed));
+  // The million-user presets (and --stream=1 on any preset) go through
+  // the streaming generator: interactions go straight to disk, peak
+  // memory stays O(users + items + social ties).
+  const bool large_preset = config.num_users >= 100000;
+  if (flags.GetInt("stream", large_preset ? 1 : 0) != 0) {
+    auto stats = data::GenerateSyntheticStream(config, data_dir);
+    if (!stats.ok()) return Fail(stats.status());
+    const auto& s = stats.value();
+    std::printf(
+        "streamed '%s' to %s: %d users, %d items, %lld train, %lld "
+        "test, %lld social ties, %lld item links\n"
+        "  %.1f MB on disk, %.1f MB peak resident, %.2f s\n",
+        config.name.c_str(), data_dir.c_str(), config.num_users,
+        config.num_items, (long long)s.num_train, (long long)s.num_test,
+        (long long)s.num_social, (long long)s.num_item_relations,
+        s.bytes_on_disk / 1e6, s.resident_bytes / 1e6, s.seconds);
+    return 0;
+  }
   data::Dataset ds = data::GenerateSynthetic(config);
   util::Status saved = data::SaveDataset(ds, data_dir);
   if (!saved.ok()) return Fail(saved);

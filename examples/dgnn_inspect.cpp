@@ -18,10 +18,15 @@
 //       metrics regress when candidate < baseline - tol; loss regresses
 //       when candidate > baseline + tol. Improvements never fail.
 //       Tolerances default to 0 (bit-exact runs diff clean).
+//   dgnn_inspect bench BENCH_serve.json
+//       Validate a bench_serve_load --bench-json result file (schema
+//       version 1): required fields per mode, quantile ordering,
+//       outcome-count consistency. ci/check_bench.sh gates on this.
 //
 // Exit codes: 0 = ok, 1 = diff found a regression, 2 = usage error,
-// unreadable file, unparseable line, or structurally incomparable logs.
-// ci/check_runlog.sh gates on exactly these.
+// unreadable file, unparseable line, invalid bench result, or
+// structurally incomparable logs. ci/check_runlog.sh and
+// ci/check_bench.sh gate on exactly these.
 
 #include <cstdio>
 #include <cstdlib>
@@ -452,13 +457,141 @@ int Diff(const std::string& base_path, const std::string& cand_path,
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// bench: validate a BENCH_serve.json emitted by bench_serve_load
+// --bench-json (schema_version 1). Parsed with the real JSON parser —
+// no substring checks — and verified structurally: required fields per
+// mode, quantile ordering p50 <= p95 <= p99, and outcome-count
+// consistency (ok + shed + expired + failed == requests, degraded a
+// subset of ok). ci/check_bench.sh gates on exit code 0 vs 2.
+// ---------------------------------------------------------------------
+
+bool BenchFail(const std::string& path, const std::string& what) {
+  std::fprintf(stderr, "dgnn_inspect: %s: %s\n", path.c_str(),
+               what.c_str());
+  return false;
+}
+
+// Fetches a required finite, nonnegative numeric member.
+bool BenchNumber(const std::string& path, const JsonValue& point,
+                 const char* key, double* out) {
+  const JsonValue* v = point.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return BenchFail(path, StrFormat("point missing numeric \"%s\"", key));
+  }
+  if (!(v->number >= 0.0)) {
+    return BenchFail(path, StrFormat("\"%s\" is negative or NaN", key));
+  }
+  *out = v->number;
+  return true;
+}
+
+bool ValidateBenchPoint(const std::string& path, const JsonValue& point,
+                        const std::string& mode) {
+  if (!point.is_object()) return BenchFail(path, "point is not an object");
+  double p50 = 0, p95 = 0, p99 = 0, requests = 0;
+  for (const char* key : {"requests", "seconds", "p50_ms", "p95_ms",
+                          "p99_ms"}) {
+    double v = 0;
+    if (!BenchNumber(path, point, key, &v)) return false;
+  }
+  BenchNumber(path, point, "requests", &requests);
+  BenchNumber(path, point, "p50_ms", &p50);
+  BenchNumber(path, point, "p95_ms", &p95);
+  BenchNumber(path, point, "p99_ms", &p99);
+  if (p50 > p95 || p95 > p99) {
+    return BenchFail(path,
+                     StrFormat("quantiles out of order: p50 %.4f p95 %.4f "
+                               "p99 %.4f",
+                               p50, p95, p99));
+  }
+  if (mode == "open") {
+    double ok = 0, shed = 0, expired = 0, failed = 0, degraded = 0;
+    for (auto [key, out] : {std::pair<const char*, double*>{"ok", &ok},
+                            {"shed", &shed},
+                            {"expired", &expired},
+                            {"failed", &failed},
+                            {"degraded", &degraded}}) {
+      if (!BenchNumber(path, point, key, out)) return false;
+    }
+    double target = 0, rss = 0, late = 0;
+    if (!BenchNumber(path, point, "target_qps", &target)) return false;
+    if (!BenchNumber(path, point, "peak_rss_bytes", &rss)) return false;
+    if (!BenchNumber(path, point, "late_dispatches", &late)) return false;
+    if (ok + shed + expired + failed != requests) {
+      return BenchFail(
+          path, StrFormat("outcome counts do not sum to requests: "
+                          "%g + %g + %g + %g != %g",
+                          ok, shed, expired, failed, requests));
+    }
+    if (degraded > ok) {
+      return BenchFail(path, "degraded exceeds ok");
+    }
+  } else {
+    double clients = 0, qps = 0;
+    if (!BenchNumber(path, point, "clients", &clients)) return false;
+    if (!BenchNumber(path, point, "qps", &qps)) return false;
+    if (clients < 1) return BenchFail(path, "clients < 1");
+  }
+  return true;
+}
+
+int BenchValidate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "dgnn_inspect: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  auto parsed = ParseJson(content);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "dgnn_inspect: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  const JsonValue root = std::move(parsed).value();
+  if (!root.is_object()) return BenchFail(path, "root is not an object"), 2;
+  if (root.NumberOr("schema_version", 0) != 1) {
+    return BenchFail(path, "schema_version must be 1"), 2;
+  }
+  if (root.StringOr("bench", "") != "bench_serve_load") {
+    return BenchFail(path, "\"bench\" must be \"bench_serve_load\""), 2;
+  }
+  const std::string mode = root.StringOr("mode", "");
+  if (mode != "open" && mode != "closed") {
+    return BenchFail(path, "\"mode\" must be \"open\" or \"closed\""), 2;
+  }
+  if (mode == "open") {
+    const JsonValue* arrival = root.Find("arrival");
+    if (arrival == nullptr || !arrival->is_string() ||
+        (arrival->string_value != "poisson" &&
+         arrival->string_value != "burst" &&
+         arrival->string_value != "diurnal")) {
+      return BenchFail(path, "open mode requires a valid \"arrival\""), 2;
+    }
+  }
+  const JsonValue* points = root.Find("points");
+  if (points == nullptr || !points->is_array() || points->array.empty()) {
+    return BenchFail(path, "\"points\" must be a non-empty array"), 2;
+  }
+  for (const JsonValue& point : points->array) {
+    if (!ValidateBenchPoint(path, point, mode)) return 2;
+  }
+  std::printf("%s: valid %s-loop bench result (%zu point(s), preset %s)\n",
+              path.c_str(), mode.c_str(), points->array.size(),
+              root.StringOr("preset", "?").c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
       "  dgnn_inspect summarize LOG [LOG...]\n"
       "  dgnn_inspect diff BASELINE CANDIDATE [--hr-tol=X] [--ndcg-tol=X]"
-      " [--loss-tol=X]\n");
+      " [--loss-tol=X]\n"
+      "  dgnn_inspect bench BENCH_serve.json\n");
   return 2;
 }
 
@@ -490,6 +623,9 @@ int main(int argc, char** argv) {
   }
   if (positional.size() == 3 && positional[0] == "diff") {
     return Diff(positional[1], positional[2], tol);
+  }
+  if (positional.size() == 2 && positional[0] == "bench") {
+    return BenchValidate(positional[1]);
   }
   return Usage();
 }

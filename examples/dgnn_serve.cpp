@@ -42,6 +42,11 @@
 // Flags: --snapshot=F (required), --threads=N, --cache=N,
 // --social-alpha=A, --max-queue=N, --deadline-ms=T, --metrics-out=F,
 // --trace-out=F, --run-log=F.
+//
+// --replay-trace=F [--workers=N] switches to batch mode: instead of
+// serving stdin, replay a recorded request trace (serve/trace.h)
+// open-loop against the loaded snapshot, print one JSON summary line
+// (coordinated-omission-safe latency; see serve/replay.h), and exit.
 
 #include <csignal>
 #include <cstdio>
@@ -52,7 +57,9 @@
 #include <vector>
 
 #include "serve/engine.h"
+#include "serve/replay.h"
 #include "serve/snapshot.h"
+#include "serve/trace.h"
 #include "util/flags.h"
 #include "util/json.h"
 #include "util/run_log.h"
@@ -304,6 +311,43 @@ int main(int argc, char** argv) {
         .Set("deadline_ms", config.default_deadline_ms);
     runlog::Emit("serve_start", o);
   }
+  // --replay-trace: instead of serving stdin, replay a recorded request
+  // trace (serve/trace.h) open-loop against the loaded snapshot and
+  // print one JSON result line — the production-binary counterpart of
+  // `bench_serve_load --replay-trace`, for replaying a captured schedule
+  // against a real exported snapshot.
+  if (flags.Has("replay-trace")) {
+    auto trace = serve::ReadTrace(flags.GetString("replay-trace", ""));
+    if (!trace.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+    serve::ReplayConfig replay_config;
+    replay_config.workers = static_cast<int>(flags.GetInt("workers", 4));
+    const serve::ReplayResult r =
+        serve::ReplayTrace(engine, trace.value().records, replay_config);
+    util::JsonObject o;
+    o.Set("ok", true)
+        .Set("op", "replay")
+        .Set("requests", r.requests)
+        .Set("seconds", r.seconds)
+        .Set("offered_qps", r.offered_qps)
+        .Set("achieved_qps", r.achieved_qps)
+        .Set("p50_ms", r.p50_ms)
+        .Set("p95_ms", r.p95_ms)
+        .Set("p99_ms", r.p99_ms)
+        .Set("completed", r.ok)
+        .Set("degraded", r.degraded)
+        .Set("shed", r.shed)
+        .Set("expired", r.expired)
+        .Set("failed", r.failed)
+        .Set("late_dispatches", r.late_dispatches)
+        .Set("peak_rss_bytes", r.peak_rss_bytes);
+    PrintLine(o.Build());
+    return 0;
+  }
+
   std::signal(SIGHUP, OnSighup);
   // SIGTERM/SIGINT: sigaction without SA_RESTART, so a pending blocking
   // getline fails with EINTR and the loop falls through to the drain path

@@ -49,7 +49,7 @@ std::vector<std::vector<int32_t>> Dataset::SocialNeighbors() const {
 }
 
 void Dataset::SplitLeaveOneOut(int min_train, int num_negatives,
-                               util::Rng& rng) {
+                               util::Rng& rng, double eval_fraction) {
   DGNN_CHECK(test.empty()) << "SplitLeaveOneOut called twice";
   // Bucket by user, keeping interaction order by time.
   std::vector<std::vector<Interaction>> by_user(
@@ -63,7 +63,8 @@ void Dataset::SplitLeaveOneOut(int min_train, int num_negatives,
                      [](const Interaction& a, const Interaction& b) {
                        return a.time < b.time;
                      });
-    if (static_cast<int>(list.size()) >= min_train + 1) {
+    if (static_cast<int>(list.size()) >= min_train + 1 &&
+        (eval_fraction >= 1.0 || rng.Bernoulli(eval_fraction))) {
       test.push_back(list.back());
       list.pop_back();
     }

@@ -73,8 +73,11 @@ struct Dataset {
   // `test` (users with fewer than `min_train` + 1 interactions keep all of
   // theirs for training) and samples `num_negatives` eval negatives per
   // test user. Call once, after `train` is fully populated and `test` is
-  // empty.
-  void SplitLeaveOneOut(int min_train, int num_negatives, util::Rng& rng);
+  // empty. `eval_fraction` < 1 holds out only that Bernoulli fraction of
+  // eligible users (large-scale worlds cap their eval footprint this
+  // way); 1.0 is the paper protocol.
+  void SplitLeaveOneOut(int min_train, int num_negatives, util::Rng& rng,
+                        double eval_fraction = 1.0);
 
   // Internal consistency (index ranges, no test leakage into train,
   // negatives truly negative). CHECK-fails on violation; cheap enough to

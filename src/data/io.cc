@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <functional>
 
+#include "util/check.h"
 #include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/strings.h"
@@ -222,6 +223,87 @@ StatusOr<Dataset> LoadDataset(const std::string& dir) {
         "eval_negatives.tsv row count does not match test.tsv");
   }
   return ds;
+}
+
+// ---------------------------------------------------------------------------
+// DatasetStreamWriter
+// ---------------------------------------------------------------------------
+
+Status DatasetStreamWriter::Open(const std::string& dir) {
+  DGNN_FAILPOINT("data.save_dataset");
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create directory: " + dir);
+  }
+  dir_ = dir;
+  DGNN_RETURN_IF_ERROR(train_.Open(dir + "/train.tsv"));
+  DGNN_RETURN_IF_ERROR(test_.Open(dir + "/test.tsv"));
+  DGNN_RETURN_IF_ERROR(social_.Open(dir + "/social.tsv"));
+  DGNN_RETURN_IF_ERROR(item_relations_.Open(dir + "/item_relations.tsv"));
+  DGNN_RETURN_IF_ERROR(eval_negatives_.Open(dir + "/eval_negatives.tsv"));
+  return Status::Ok();
+}
+
+Status DatasetStreamWriter::AppendTrain(int32_t user, int32_t item,
+                                        int32_t time) {
+  ++num_train_;
+  return train_.Append(util::StrFormat("%d\t%d\t%d\n", user, item, time));
+}
+
+Status DatasetStreamWriter::AppendTest(int32_t user, int32_t item,
+                                       int32_t time) {
+  ++num_test_;
+  return test_.Append(util::StrFormat("%d\t%d\t%d\n", user, item, time));
+}
+
+Status DatasetStreamWriter::AppendSocial(int32_t u, int32_t v) {
+  DGNN_CHECK_LT(u, v) << "social ties must be streamed with u < v";
+  ++num_social_;
+  return social_.Append(util::StrFormat("%d\t%d\n", u, v));
+}
+
+Status DatasetStreamWriter::AppendItemRelation(int32_t item,
+                                               int32_t relation) {
+  ++num_item_relations_;
+  return item_relations_.Append(
+      util::StrFormat("%d\t%d\n", item, relation));
+}
+
+Status DatasetStreamWriter::AppendEvalNegatives(
+    const std::vector<int32_t>& negatives) {
+  ++num_eval_rows_;
+  std::string row;
+  for (size_t i = 0; i < negatives.size(); ++i) {
+    if (i > 0) row += '\t';
+    row += std::to_string(negatives[i]);
+  }
+  row += '\n';
+  return eval_negatives_.Append(row);
+}
+
+int64_t DatasetStreamWriter::total_bytes() const {
+  return train_.bytes_written() + test_.bytes_written() +
+         social_.bytes_written() + item_relations_.bytes_written() +
+         eval_negatives_.bytes_written();
+}
+
+Status DatasetStreamWriter::Finish(const std::string& name,
+                                   int32_t num_users, int32_t num_items,
+                                   int32_t num_relations) {
+  if (num_test_ != num_eval_rows_) {
+    return Status::FailedPrecondition(util::StrFormat(
+        "test rows (%lld) and eval-negative rows (%lld) must match",
+        static_cast<long long>(num_test_),
+        static_cast<long long>(num_eval_rows_)));
+  }
+  DGNN_RETURN_IF_ERROR(train_.Close());
+  DGNN_RETURN_IF_ERROR(test_.Close());
+  DGNN_RETURN_IF_ERROR(social_.Close());
+  DGNN_RETURN_IF_ERROR(item_relations_.Close());
+  DGNN_RETURN_IF_ERROR(eval_negatives_.Close());
+  // meta.tsv last: its presence commits the dataset.
+  return WriteFile(dir_ + "/meta.tsv",
+                   util::StrFormat("%s\t%d\t%d\t%d\n", name.c_str(),
+                                   num_users, num_items, num_relations));
 }
 
 }  // namespace dgnn::data

@@ -13,14 +13,63 @@
 #define DGNN_DATA_IO_H_
 
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
+#include "util/fs.h"
 #include "util/status.h"
 
 namespace dgnn::data {
 
 util::Status SaveDataset(const Dataset& ds, const std::string& dir);
 util::StatusOr<Dataset> LoadDataset(const std::string& dir);
+
+// Streaming writer producing the exact SaveDataset on-disk layout for
+// datasets too large to materialize in memory (the million-user
+// synthetic worlds): rows are appended incrementally through buffered
+// fs::AppendWriter streams, and meta.tsv — which LoadDataset reads
+// first — is written LAST by Finish() as the commit marker. A
+// generation that crashes mid-stream leaves only *.tmp files and no
+// meta.tsv, so LoadDataset refuses the directory instead of seeing a
+// half-written dataset.
+//
+// Test rows and their eval-negative rows must be appended in the same
+// user order (the files are parallel arrays, as in SaveDataset).
+class DatasetStreamWriter {
+ public:
+  // Creates `dir` if needed and opens every component stream.
+  util::Status Open(const std::string& dir);
+
+  util::Status AppendTrain(int32_t user, int32_t item, int32_t time);
+  util::Status AppendTest(int32_t user, int32_t item, int32_t time);
+  util::Status AppendSocial(int32_t u, int32_t v);  // requires u < v
+  util::Status AppendItemRelation(int32_t item, int32_t relation);
+  util::Status AppendEvalNegatives(const std::vector<int32_t>& negatives);
+
+  // Closes every stream (fsync + atomic rename) and then writes meta.tsv,
+  // committing the dataset.
+  util::Status Finish(const std::string& name, int32_t num_users,
+                      int32_t num_items, int32_t num_relations);
+
+  int64_t num_train() const { return num_train_; }
+  int64_t num_test() const { return num_test_; }
+  int64_t num_social() const { return num_social_; }
+  int64_t num_item_relations() const { return num_item_relations_; }
+  int64_t total_bytes() const;
+
+ private:
+  std::string dir_;
+  fs::AppendWriter train_;
+  fs::AppendWriter test_;
+  fs::AppendWriter social_;
+  fs::AppendWriter item_relations_;
+  fs::AppendWriter eval_negatives_;
+  int64_t num_train_ = 0;
+  int64_t num_test_ = 0;
+  int64_t num_social_ = 0;
+  int64_t num_item_relations_ = 0;
+  int64_t num_eval_rows_ = 0;
+};
 
 }  // namespace dgnn::data
 

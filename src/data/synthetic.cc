@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 #include <set>
 #include <unordered_set>
 
+#include "data/io.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
 
 namespace dgnn::data {
 namespace {
@@ -23,6 +25,31 @@ int32_t PowerLawCount(double mean, int32_t min_v, double power,
   double x = xm / std::pow(u, 1.0 / power);
   x = std::min(x, mean * 12.0);
   return std::max<int32_t>(min_v, static_cast<int32_t>(std::lround(x)));
+}
+
+// `n` event timestamps in [0, horizon), sorted ascending, drawn under a
+// diurnal intensity (sinusoidal with ~30 cycles across the horizon) via
+// rejection sampling — interactions cluster into "daytime" waves the way
+// review-site events do.
+std::vector<int32_t> DrawEventTimes(int n, int64_t horizon,
+                                    util::Rng& rng) {
+  const double period =
+      std::max(1.0, static_cast<double>(horizon) / 30.0);
+  std::vector<int32_t> times;
+  times.reserve(static_cast<size_t>(n));
+  while (static_cast<int>(times.size()) < n) {
+    const int64_t t = rng.UniformInt(horizon);
+    const double intensity =
+        0.5 * (1.0 + std::sin(2.0 * M_PI * static_cast<double>(t) /
+                              period));
+    // Accept with probability in [0.1, 1]: the floor keeps night-time
+    // events possible (real traffic never drops to zero).
+    if (rng.UniformDouble() < 0.1 + 0.9 * intensity) {
+      times.push_back(static_cast<int32_t>(t));
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times;
 }
 
 }  // namespace
@@ -83,11 +110,67 @@ SyntheticConfig SyntheticConfig::Tiny() {
   return c;
 }
 
+// The large presets keep Table I's density ordering at million-user
+// scale: Ciao densest in both interactions-per-item and social degree,
+// Epinions in the middle, Yelp sparsest. Interaction density is
+// mean_interactions / num_items, so the ordering below is
+// 8.0e-6 > 4.6e-6 > 3.3e-6; social degree orders 14 > 7 > 3.5.
+SyntheticConfig SyntheticConfig::CiaoLarge() {
+  SyntheticConfig c;
+  c.name = "ciao-large";
+  c.num_users = 1000000;
+  c.num_items = 2000000;
+  c.num_relations = 64;
+  c.num_communities = 32;
+  c.mean_interactions_per_user = 16.0;
+  c.mean_social_degree = 14.0;
+  c.social_homophily = 0.85;
+  c.eval_fraction = 0.01;
+  c.time_horizon = 2592000;  // 30 days of seconds
+  c.seed = 21;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::EpinionsLarge() {
+  SyntheticConfig c;
+  c.name = "epinions-large";
+  c.num_users = 1200000;
+  c.num_items = 2600000;
+  c.num_relations = 96;
+  c.num_communities = 48;
+  c.mean_interactions_per_user = 12.0;
+  c.mean_social_degree = 7.0;
+  c.social_homophily = 0.8;
+  c.eval_fraction = 0.01;
+  c.time_horizon = 2592000;
+  c.seed = 22;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::YelpLarge() {
+  SyntheticConfig c;
+  c.name = "yelp-large";
+  c.num_users = 1500000;
+  c.num_items = 2400000;
+  c.num_relations = 96;
+  c.num_communities = 48;
+  c.mean_interactions_per_user = 8.0;
+  c.mean_social_degree = 3.5;
+  c.social_homophily = 0.8;
+  c.eval_fraction = 0.01;
+  c.time_horizon = 2592000;
+  c.seed = 23;
+  return c;
+}
+
 SyntheticConfig SyntheticConfig::Preset(const std::string& name) {
   if (name == "ciao") return CiaoSmall();
   if (name == "epinions") return EpinionsSmall();
   if (name == "yelp") return YelpSmall();
   if (name == "tiny") return Tiny();
+  if (name == "ciao-large") return CiaoLarge();
+  if (name == "epinions-large") return EpinionsLarge();
+  if (name == "yelp-large") return YelpLarge();
   DGNN_CHECK(false) << "unknown dataset preset: " << name;
   return SyntheticConfig();
 }
@@ -264,13 +347,22 @@ Dataset GenerateSynthetic(const SyntheticConfig& config) {
   }
 
   // Emit interactions in a per-user random order (the held-out last item
-  // is then a fair draw from the user's taste/social mixture).
+  // is then a fair draw from the user's taste/social mixture). With a
+  // time horizon, ordinal times become diurnal event timestamps (still
+  // ascending per user, so leave-one-out keeps holding out the
+  // chronologically-last pick).
   for (int32_t u = 0; u < config.num_users; ++u) {
     auto& items = picked[static_cast<size_t>(u)];
     rng.Shuffle(items);
-    int32_t t = 0;
-    for (int32_t item : items) {
-      ds.train.push_back(Interaction{u, item, t++});
+    std::vector<int32_t> times;
+    if (config.time_horizon > 0) {
+      times = DrawEventTimes(static_cast<int>(items.size()),
+                             config.time_horizon, rng);
+    }
+    for (size_t i = 0; i < items.size(); ++i) {
+      const int32_t t =
+          times.empty() ? static_cast<int32_t>(i) : times[i];
+      ds.train.push_back(Interaction{u, items[i], t});
     }
   }
 
@@ -296,9 +388,384 @@ Dataset GenerateSynthetic(const SyntheticConfig& config) {
   ds.item_relations.assign(links.begin(), links.end());
 
   ds.SplitLeaveOneOut(config.min_train_interactions,
-                      config.num_eval_negatives, rng);
+                      config.num_eval_negatives, rng,
+                      config.eval_fraction);
   ds.Validate();
   return ds;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming generation
+// ---------------------------------------------------------------------------
+//
+// The streaming path never materializes the interaction set: per-user
+// picks are generated, split, and flushed through a DatasetStreamWriter
+// one user at a time. Resident state is the per-user/per-item annotation
+// arrays, the deduplicated social edge list, and a CSR adjacency over it
+// — O(users + items + ties), independent of mean_interactions_per_user.
+//
+// Two deliberate deviations from the in-memory path, both because the
+// exact equivalents are O(total interactions) resident:
+//  * item popularity is sampled by inverse-CDF binary search over
+//    per-community Zipf prefix sums (identical distribution, O(log n)
+//    per draw instead of Rng::Categorical's O(n) scan);
+//  * socially-driven picks draw from the chosen friend's
+//    taste-community distribution instead of the friend's explicit
+//    pick history (same homophily signal, no resident histories).
+
+namespace {
+
+// Per-community Zipf item pools with prefix sums for O(log n)
+// inverse-CDF sampling. Pool order is a random shuffle; rank r has
+// weight 1/(r+1)^0.8, matching the in-memory generator's popularity law.
+struct CommunityPools {
+  std::vector<std::vector<int32_t>> items;  // [community][rank] -> item
+  std::vector<std::vector<double>> cum;     // prefix sums of rank weights
+
+  int64_t ResidentBytes() const {
+    int64_t bytes = 0;
+    for (const auto& v : items) {
+      bytes += static_cast<int64_t>(v.capacity()) * sizeof(int32_t);
+    }
+    for (const auto& v : cum) {
+      bytes += static_cast<int64_t>(v.capacity()) * sizeof(double);
+    }
+    return bytes;
+  }
+
+  // Item drawn Zipf-proportionally from community c; -1 when empty.
+  int32_t Sample(int32_t c, util::Rng& rng) const {
+    const auto& pool = items[static_cast<size_t>(c)];
+    if (pool.empty()) return -1;
+    const auto& sums = cum[static_cast<size_t>(c)];
+    const double x = rng.UniformDouble() * sums.back();
+    const auto it = std::upper_bound(sums.begin(), sums.end(), x);
+    size_t idx = static_cast<size_t>(it - sums.begin());
+    if (idx >= pool.size()) idx = pool.size() - 1;
+    return pool[idx];
+  }
+};
+
+template <typename T>
+int64_t VecBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.capacity()) * sizeof(T);
+}
+
+}  // namespace
+
+util::StatusOr<StreamStats> GenerateSyntheticStream(
+    const SyntheticConfig& config, const std::string& dir) {
+  DGNN_CHECK_GT(config.num_communities, 0);
+  DGNN_CHECK_GE(config.num_relations, config.num_communities);
+  DGNN_CHECK_GT(config.num_users, 0);
+  DGNN_CHECK_GT(config.num_items, 0);
+  util::Stopwatch watch;
+  util::Rng rng(config.seed);
+  const int32_t k = config.num_communities;
+
+  DatasetStreamWriter writer;
+  DGNN_RETURN_IF_ERROR(writer.Open(dir));
+
+  StreamStats stats;
+  int64_t resident = 0;
+  auto note_resident = [&](int64_t bytes) {
+    resident = std::max(resident, bytes);
+  };
+
+  // Latent factors (same draw semantics as the in-memory path).
+  std::vector<int32_t> user_community(
+      static_cast<size_t>(config.num_users));
+  for (auto& c : user_community) {
+    c = static_cast<int32_t>(rng.UniformInt(k));
+  }
+  std::vector<int32_t> item_community(
+      static_cast<size_t>(config.num_items));
+  for (auto& c : item_community) {
+    c = static_cast<int32_t>(rng.UniformInt(k));
+  }
+
+  CommunityPools pools;
+  pools.items.resize(static_cast<size_t>(k));
+  pools.cum.resize(static_cast<size_t>(k));
+  for (int32_t i = 0; i < config.num_items; ++i) {
+    pools.items[static_cast<size_t>(item_community[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+  for (int32_t c = 0; c < k; ++c) {
+    auto& pool = pools.items[static_cast<size_t>(c)];
+    rng.Shuffle(pool);
+    auto& cum = pools.cum[static_cast<size_t>(c)];
+    cum.reserve(pool.size());
+    double total = 0.0;
+    for (size_t rank = 0; rank < pool.size(); ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank + 1), 0.8);
+      cum.push_back(total);
+    }
+  }
+
+  std::vector<int32_t> user_social_group(
+      static_cast<size_t>(config.num_users));
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    user_social_group[static_cast<size_t>(u)] =
+        rng.UniformDouble() < config.social_taste_overlap
+            ? user_community[static_cast<size_t>(u)]
+            : static_cast<int32_t>(rng.UniformInt(k));
+  }
+  std::vector<float> user_social_influence(
+      static_cast<size_t>(config.num_users));
+  for (auto& b : user_social_influence) {
+    b = static_cast<float>(rng.UniformDouble() *
+                           config.max_social_influence);
+  }
+
+  // Social ties. Candidate edges are collected as packed (lo << 32 | hi)
+  // keys — per-user duplicates are filtered inline with a small scratch
+  // set, cross-user duplicates by one global sort+unique (cheaper and
+  // far smaller than a hash set over millions of pairs).
+  std::vector<std::vector<int32_t>> users_in_group(
+      static_cast<size_t>(k));
+  for (int32_t u = 0; u < config.num_users; ++u) {
+    users_in_group[static_cast<size_t>(
+                       user_social_group[static_cast<size_t>(u)])]
+        .push_back(u);
+  }
+  int64_t users_in_group_bytes = 0;
+  for (const auto& g : users_in_group) users_in_group_bytes += VecBytes(g);
+
+  std::vector<uint64_t> edges;
+  edges.reserve(static_cast<size_t>(
+      static_cast<double>(config.num_users) *
+      (config.mean_social_degree / 2.0 + 1.0)));
+  {
+    std::unordered_set<int32_t> mine;
+    for (int32_t u = 0; u < config.num_users; ++u) {
+      const int32_t gu = user_social_group[static_cast<size_t>(u)];
+      const int32_t want = PowerLawCount(config.mean_social_degree / 2.0,
+                                         1, config.degree_power, rng);
+      mine.clear();
+      int attempts = 0;
+      while (static_cast<int32_t>(mine.size()) < want &&
+             attempts < want * 20) {
+        ++attempts;
+        int32_t v;
+        if (rng.UniformDouble() < config.social_homophily &&
+            users_in_group[static_cast<size_t>(gu)].size() > 1) {
+          const auto& pool = users_in_group[static_cast<size_t>(gu)];
+          v = pool[static_cast<size_t>(
+              rng.UniformInt(static_cast<int64_t>(pool.size())))];
+        } else {
+          v = static_cast<int32_t>(rng.UniformInt(config.num_users));
+        }
+        if (v == u) continue;
+        if (!mine.insert(v).second) continue;
+        const auto key = std::minmax(u, v);
+        edges.push_back(
+            (static_cast<uint64_t>(static_cast<uint32_t>(key.first))
+             << 32) |
+            static_cast<uint64_t>(static_cast<uint32_t>(key.second)));
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  int64_t same_group_edges = 0;
+  for (const uint64_t e : edges) {
+    const int32_t a = static_cast<int32_t>(e >> 32);
+    const int32_t b = static_cast<int32_t>(e & 0xffffffffu);
+    if (user_social_group[static_cast<size_t>(a)] ==
+        user_social_group[static_cast<size_t>(b)]) {
+      ++same_group_edges;
+    }
+    DGNN_RETURN_IF_ERROR(writer.AppendSocial(a, b));
+  }
+  stats.social_same_group_fraction =
+      edges.empty() ? 0.0
+                    : static_cast<double>(same_group_edges) /
+                          static_cast<double>(edges.size());
+
+  // CSR adjacency over the deduplicated ties (both directions), used by
+  // the socially-driven interaction pass.
+  std::vector<int64_t> offsets(static_cast<size_t>(config.num_users) + 1,
+                               0);
+  for (const uint64_t e : edges) {
+    ++offsets[static_cast<size_t>(e >> 32) + 1];
+    ++offsets[static_cast<size_t>(e & 0xffffffffu) + 1];
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  std::vector<int32_t> neighbors(static_cast<size_t>(offsets.back()));
+  {
+    std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const uint64_t e : edges) {
+      const int32_t a = static_cast<int32_t>(e >> 32);
+      const int32_t b = static_cast<int32_t>(e & 0xffffffffu);
+      neighbors[static_cast<size_t>(cursor[static_cast<size_t>(a)]++)] = b;
+      neighbors[static_cast<size_t>(cursor[static_cast<size_t>(b)]++)] = a;
+    }
+    note_resident(VecBytes(user_community) + VecBytes(item_community) +
+                  pools.ResidentBytes() + VecBytes(user_social_group) +
+                  VecBytes(user_social_influence) + users_in_group_bytes +
+                  VecBytes(edges) + VecBytes(offsets) +
+                  VecBytes(neighbors) + VecBytes(cursor));
+  }
+  stats.num_social = static_cast<int64_t>(edges.size());
+  { std::vector<uint64_t>().swap(edges); }
+  { std::vector<std::vector<int32_t>>().swap(users_in_group); }
+
+  // Item-relation links, streamed per item (small scratch dedup).
+  const int32_t cats_per_community = config.num_relations / k;
+  DGNN_CHECK_GT(cats_per_community, 0);
+  {
+    std::vector<int32_t> links;
+    for (int32_t i = 0; i < config.num_items; ++i) {
+      const int32_t ci = item_community[static_cast<size_t>(i)];
+      const int32_t base = ci * cats_per_community;
+      links.clear();
+      links.push_back(base + static_cast<int32_t>(
+                                 rng.UniformInt(cats_per_community)));
+      double extra = config.extra_relations_per_item;
+      while (extra > 0 && rng.UniformDouble() < extra) {
+        links.push_back(
+            static_cast<int32_t>(rng.UniformInt(config.num_relations)));
+        extra -= 1.0;
+      }
+      std::sort(links.begin(), links.end());
+      links.erase(std::unique(links.begin(), links.end()), links.end());
+      for (const int32_t r : links) {
+        DGNN_RETURN_IF_ERROR(writer.AppendItemRelation(i, r));
+      }
+    }
+  }
+
+  // Interactions: generate, timestamp, split, and flush one user at a
+  // time. Scratch is bounded by the power-law cap, never by totals.
+  int64_t peak_scratch = 0;
+  {
+    std::vector<int32_t> picks;
+    std::vector<int32_t> sorted_seen;
+    std::vector<int32_t> negs;
+    std::unordered_set<int32_t> seen;
+    std::unordered_set<int32_t> chosen;
+    for (int32_t u = 0; u < config.num_users; ++u) {
+      const int32_t cu = user_community[static_cast<size_t>(u)];
+      const int32_t want = PowerLawCount(
+          config.mean_interactions_per_user,
+          config.min_interactions_per_user, config.degree_power, rng);
+      const float beta = user_social_influence[static_cast<size_t>(u)];
+      const int32_t social_want =
+          static_cast<int32_t>(std::lround(want * beta));
+      const int32_t taste_want = want - social_want;
+      picks.clear();
+      seen.clear();
+
+      int attempts = 0;
+      while (static_cast<int32_t>(picks.size()) < taste_want &&
+             attempts < want * 20) {
+        ++attempts;
+        int32_t item;
+        if (rng.UniformDouble() < config.preference_strength) {
+          item = pools.Sample(cu, rng);
+          if (item < 0) {
+            item = static_cast<int32_t>(rng.UniformInt(config.num_items));
+          }
+        } else {
+          item = static_cast<int32_t>(rng.UniformInt(config.num_items));
+        }
+        if (seen.insert(item).second) picks.push_back(item);
+      }
+
+      const int64_t nbr_begin = offsets[static_cast<size_t>(u)];
+      const int64_t nbr_end = offsets[static_cast<size_t>(u) + 1];
+      const int64_t degree = nbr_end - nbr_begin;
+      const int32_t total_want =
+          static_cast<int32_t>(picks.size()) + social_want;
+      attempts = 0;
+      while (static_cast<int32_t>(picks.size()) < total_want &&
+             attempts < want * 20 + 20) {
+        ++attempts;
+        int32_t source_community = cu;
+        if (degree > 0) {
+          const int32_t f = neighbors[static_cast<size_t>(
+              nbr_begin + rng.UniformInt(degree))];
+          source_community = user_community[static_cast<size_t>(f)];
+        }
+        int32_t item;
+        if (rng.UniformDouble() < config.preference_strength) {
+          item = pools.Sample(source_community, rng);
+          if (item < 0) {
+            item = static_cast<int32_t>(rng.UniformInt(config.num_items));
+          }
+        } else {
+          item = static_cast<int32_t>(rng.UniformInt(config.num_items));
+        }
+        if (seen.insert(item).second) picks.push_back(item);
+      }
+
+      rng.Shuffle(picks);
+      std::vector<int32_t> times;
+      if (config.time_horizon > 0) {
+        times = DrawEventTimes(static_cast<int>(picks.size()),
+                               config.time_horizon, rng);
+      }
+      const int32_t n = static_cast<int32_t>(picks.size());
+      const bool eligible = n >= config.min_train_interactions + 1;
+      const bool hold_out =
+          eligible && (config.eval_fraction >= 1.0 ||
+                       rng.Bernoulli(config.eval_fraction));
+
+      // The chronologically-last pick (highest timestamp == last index,
+      // since `times` is sorted) is the held-out test item.
+      for (int32_t i = 0; i < n - (hold_out ? 1 : 0); ++i) {
+        const int32_t t = times.empty() ? i : times[static_cast<size_t>(i)];
+        DGNN_RETURN_IF_ERROR(
+            writer.AppendTrain(u, picks[static_cast<size_t>(i)], t));
+      }
+      if (hold_out) {
+        const int32_t t =
+            times.empty() ? n - 1 : times[static_cast<size_t>(n - 1)];
+        DGNN_RETURN_IF_ERROR(
+            writer.AppendTest(u, picks[static_cast<size_t>(n - 1)], t));
+        sorted_seen.assign(picks.begin(), picks.end());
+        std::sort(sorted_seen.begin(), sorted_seen.end());
+        negs.clear();
+        chosen.clear();
+        const int64_t available = static_cast<int64_t>(config.num_items) -
+                                  static_cast<int64_t>(sorted_seen.size());
+        const int64_t want_negs = std::min<int64_t>(
+            config.num_eval_negatives, std::max<int64_t>(available, 0));
+        while (static_cast<int64_t>(negs.size()) < want_negs) {
+          const int32_t cand =
+              static_cast<int32_t>(rng.UniformInt(config.num_items));
+          if (std::binary_search(sorted_seen.begin(), sorted_seen.end(),
+                                 cand)) {
+            continue;
+          }
+          if (!chosen.insert(cand).second) continue;
+          negs.push_back(cand);
+        }
+        DGNN_RETURN_IF_ERROR(writer.AppendEvalNegatives(negs));
+      }
+
+      const int64_t scratch =
+          VecBytes(picks) + VecBytes(times) + VecBytes(sorted_seen) +
+          VecBytes(negs) +
+          static_cast<int64_t>(seen.bucket_count()) *
+              static_cast<int64_t>(sizeof(void*)) +
+          static_cast<int64_t>(seen.size() + chosen.size()) * 24;
+      peak_scratch = std::max(peak_scratch, scratch);
+    }
+  }
+
+  DGNN_RETURN_IF_ERROR(writer.Finish(config.name, config.num_users,
+                                     config.num_items,
+                                     config.num_relations));
+  stats.num_train = writer.num_train();
+  stats.num_test = writer.num_test();
+  stats.num_item_relations = writer.num_item_relations();
+  stats.bytes_on_disk = writer.total_bytes();
+  stats.resident_bytes = resident;
+  stats.peak_user_scratch_bytes = peak_scratch;
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
 }
 
 }  // namespace dgnn::data

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/check.h"
 #include "util/failpoint.h"
 
 namespace dgnn::fs {
@@ -179,6 +180,113 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
   return failpoint::RetryWithBackoff(
       "atomic write", failpoint::RetryOptions{},
       [&] { return WriteFileOnce(path, bytes); });
+}
+
+// ---------------------------------------------------------------------------
+// AppendWriter
+// ---------------------------------------------------------------------------
+
+namespace {
+// Flush threshold: large enough that TSV row appends amortize to one
+// write(2) per quarter megabyte, small enough to keep the writer's
+// resident footprint negligible next to the data it streams.
+constexpr size_t kAppendBufferBytes = 256 * 1024;
+}  // namespace
+
+Status AppendWriter::Fail(Status status) {
+  error_ = status;
+  if (fd_ >= 0) {
+    (void)CloseRetry(fd_, tmp_path_);
+    fd_ = -1;
+  }
+  if (!tmp_path_.empty()) std::remove(tmp_path_.c_str());
+  return error_;
+}
+
+Status AppendWriter::Open(const std::string& path) {
+  if (!error_.ok()) return error_;
+  DGNN_CHECK(fd_ < 0) << "AppendWriter::Open called twice";
+  path_ = path;
+  tmp_path_ = path + ".tmp";
+  DGNN_FAILPOINT("fs.open");
+  fd_ = OpenRetry(tmp_path_.c_str(),
+                  O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    if (errno == ENOENT) {
+      return Fail(
+          Status::NotFound("cannot open for writing: " + tmp_path_));
+    }
+    return Fail(Errno("open", tmp_path_));
+  }
+  buffer_.reserve(kAppendBufferBytes);
+  return Status::Ok();
+}
+
+Status AppendWriter::FlushBuffer() {
+  size_t written = 0;
+  while (written < buffer_.size()) {
+    if (failpoint::Enabled()) {
+      Status fp = failpoint::Check("fs.write");
+      if (!fp.ok()) return Fail(fp);
+    }
+    const ssize_t n =
+        ::write(fd_, buffer_.data() + written, buffer_.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail(Errno("write", tmp_path_));
+    }
+    written += static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status AppendWriter::Append(std::string_view bytes) {
+  if (!error_.ok()) return error_;
+  DGNN_CHECK_GE(fd_, 0) << "AppendWriter::Append before Open";
+  buffer_.append(bytes.data(), bytes.size());
+  bytes_written_ += static_cast<int64_t>(bytes.size());
+  if (buffer_.size() >= kAppendBufferBytes) return FlushBuffer();
+  return Status::Ok();
+}
+
+Status AppendWriter::Close() {
+  if (!error_.ok()) return error_;
+  DGNN_CHECK_GE(fd_, 0) << "AppendWriter::Close before Open";
+  DGNN_RETURN_IF_ERROR(FlushBuffer());
+  {
+    Status synced = FsyncFd(fd_, tmp_path_);
+    if (!synced.ok()) return Fail(synced);
+  }
+  {
+    Status closed = CloseRetry(fd_, tmp_path_);
+    fd_ = -1;
+    if (!closed.ok()) {
+      std::remove(tmp_path_.c_str());
+      error_ = closed;
+      return closed;
+    }
+  }
+  if (failpoint::Enabled()) {
+    Status fp = failpoint::Check("fs.rename");
+    if (!fp.ok()) return Fail(fp);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    return Fail(Errno("rename", tmp_path_ + " -> " + path_));
+  }
+  tmp_path_.clear();  // renamed away: nothing left to abandon
+  return FsyncParentDir(path_);
+}
+
+void AppendWriter::Abandon() {
+  if (fd_ >= 0) {
+    (void)CloseRetry(fd_, tmp_path_);
+    fd_ = -1;
+  }
+  if (!tmp_path_.empty()) {
+    std::remove(tmp_path_.c_str());
+    tmp_path_.clear();
+  }
 }
 
 }  // namespace dgnn::fs

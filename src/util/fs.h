@@ -45,6 +45,47 @@ util::StatusOr<std::string> ReadFileToString(const std::string& path);
 util::Status AtomicWriteFile(const std::string& path,
                              std::string_view bytes);
 
+// Streaming counterpart of AtomicWriteFile for artifacts too large to
+// build in memory (million-user dataset TSVs): Open() creates
+// "<path>.tmp", Append() buffers and writes through the same
+// EINTR/short-write-safe loop, and Close() flushes, fsyncs the file,
+// rename(2)s it over `path`, and fsyncs the parent directory — so the
+// final name only ever points at a complete file. Destruction without a
+// successful Close() (or an explicit Abandon()) removes the temp file
+// and leaves `path` untouched.
+//
+// Unlike AtomicWriteFile there is no retry-with-backoff: a stream cannot
+// be replayed from its start, so any failure is surfaced immediately and
+// the writer becomes unusable (every later call returns the same error).
+class AppendWriter {
+ public:
+  AppendWriter() = default;
+  ~AppendWriter() { Abandon(); }
+  AppendWriter(const AppendWriter&) = delete;
+  AppendWriter& operator=(const AppendWriter&) = delete;
+
+  util::Status Open(const std::string& path);
+  util::Status Append(std::string_view bytes);
+  util::Status Close();
+  // Removes the temp file (if any) without touching `path`. Idempotent.
+  void Abandon();
+
+  bool is_open() const { return fd_ >= 0; }
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  util::Status FlushBuffer();
+  util::Status Fail(util::Status status);
+
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  std::string buffer_;
+  int64_t bytes_written_ = 0;
+  // First error, replayed by every subsequent call.
+  util::Status error_;
+};
+
 }  // namespace dgnn::fs
 
 #endif  // DGNN_UTIL_FS_H_

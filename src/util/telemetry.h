@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 
@@ -119,6 +120,13 @@ class Histogram {
   // is one power-of-two bucket — adequate for p50/p95/p99 latency
   // reporting (bench_serve_load). 0 when nothing was recorded.
   double ApproxQuantileSeconds(double q) const;
+
+  // Several quantiles in one pass over the buckets (and one consistent
+  // read of the counts — concurrent Record calls cannot land between
+  // the per-quantile walks the way repeated ApproxQuantileSeconds calls
+  // allow). `qs` need not be sorted; result i answers qs[i].
+  std::vector<double> ApproxQuantilesSeconds(
+      const std::vector<double>& qs) const;
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum_seconds() const;

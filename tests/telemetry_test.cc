@@ -5,7 +5,10 @@
 
 #include "util/telemetry.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -242,6 +245,93 @@ TEST_F(TelemetryTest, HistogramApproxQuantiles) {
   Histogram* one = GetHistogram("test.hist_one");
   one->Record(0.003);
   EXPECT_DOUBLE_EQ(one->ApproxQuantileSeconds(0.5), one->max_seconds());
+}
+
+// Exact nearest-rank quantile of a sorted sample: sorted[ceil(q*n)-1]
+// with the same rank-1 floor the histogram uses.
+double ExactQuantile(const std::vector<double>& sorted, double q) {
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * n)));
+  return sorted[static_cast<size_t>(rank - 1)];
+}
+
+TEST_F(TelemetryTest, HistogramQuantileWithinBucketOfExact) {
+  // Against the exact sorted-sample quantile, the histogram answer is
+  // sandwiched by its own resolution guarantee: buckets double, so the
+  // reported upper bound is >= the exact value and < 2x it (clamping
+  // into [min, max] only ever moves it closer to the exact value).
+  Histogram* h = GetHistogram("test.hist_vs_exact");
+  std::vector<double> samples;
+  uint64_t lcg = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Spread across ~4 decades: 1e-5 .. 1e-1 seconds.
+    const double u = static_cast<double>(lcg >> 11) /
+                     static_cast<double>(1ULL << 53);
+    samples.push_back(1e-5 * std::pow(10.0, 4.0 * u));
+  }
+  for (double s : samples) h->Record(s);
+  std::sort(samples.begin(), samples.end());
+
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double exact = ExactQuantile(samples, q);
+    const double approx = h->ApproxQuantileSeconds(q);
+    // min/max are kept as integer nanoseconds, so the clamp can sit one
+    // nanosecond below the exact double value.
+    EXPECT_GE(approx, exact * (1.0 - 1e-9) - 1e-9) << "q=" << q;
+    EXPECT_LT(approx, 2.0 * exact) << "q=" << q;
+  }
+}
+
+TEST_F(TelemetryTest, HistogramQuantileEmptyAndSingleSample) {
+  Histogram* empty = GetHistogram("test.hist_q_empty");
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(empty->ApproxQuantileSeconds(q), 0.0);
+  }
+  const auto batch = empty->ApproxQuantilesSeconds({0.5, 0.99});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[0], 0.0);
+  EXPECT_DOUBLE_EQ(batch[1], 0.0);
+
+  // One sample: min == max == the value, so every quantile clamps to it
+  // exactly — no bucket rounding visible.
+  Histogram* single = GetHistogram("test.hist_q_single");
+  single->Record(0.0042);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(single->ApproxQuantileSeconds(q), 0.0042) << "q=" << q;
+  }
+}
+
+TEST_F(TelemetryTest, HistogramQuantileAllSamplesInOneBucket) {
+  // Values 1.5ms..1.9ms all land in the (1.024ms, 2.048ms] bucket; the
+  // bucket upper bound exceeds the observed max, so every quantile
+  // clamps to max_seconds() — the tightest answer the data supports.
+  Histogram* h = GetHistogram("test.hist_q_onebucket");
+  ASSERT_EQ(Histogram::BucketIndex(0.0015), Histogram::BucketIndex(0.0019));
+  for (int i = 0; i < 50; ++i) {
+    h->Record(0.0015 + 1e-5 * static_cast<double>(i % 5));
+  }
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h->ApproxQuantileSeconds(q), h->max_seconds())
+        << "q=" << q;
+  }
+}
+
+TEST_F(TelemetryTest, HistogramBatchQuantilesMatchSingleCalls) {
+  // The batched walk must agree with per-quantile calls on a quiescent
+  // histogram, for unsorted and duplicate q's alike.
+  Histogram* h = GetHistogram("test.hist_q_batch");
+  for (int i = 1; i <= 300; ++i) {
+    h->Record(1e-5 * static_cast<double>(i * i % 971 + 1));
+  }
+  const std::vector<double> qs = {0.99, 0.5, 0.0, 1.0, 0.25, 0.5};
+  const auto batch = h->ApproxQuantilesSeconds(qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], h->ApproxQuantileSeconds(qs[i]))
+        << "q=" << qs[i];
+  }
 }
 
 // ----- disabled path is a no-op ---------------------------------------------
