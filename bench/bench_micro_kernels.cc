@@ -1,19 +1,32 @@
 // Microbenchmarks of the kernels behind Section IV-D's complexity claims:
 // SpMM propagation (O(|E| d)), dense transforms (O(|V| d^2)), the memory
-// encoder (O(|V| |M| d^2 + |M| |E| d)) and segment softmax (O(|E|)).
+// encoder (O(|V| |M| d^2 + |M| |E| d)) and segment softmax (O(|E|)), plus
+// direct GEMM/SpMM kernel sweeps over transpose combination and numeric
+// mode (deterministic vs fast). All kernels dispatch to the active ISA
+// variant (shown in each benchmark's label); force a level with the
+// DGNN_SIMD env var to compare — e.g. DGNN_SIMD=off vs DGNN_SIMD=avx2 is
+// the speedup quoted in EXPERIMENTS.md.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "ag/tape.h"
 #include "core/memory_encoder.h"
 #include "data/synthetic.h"
 #include "graph/hetero_graph.h"
+#include "kernels/kernels.h"
 
 namespace {
 
 using dgnn::ag::ParamStore;
 using dgnn::ag::Tape;
 using dgnn::ag::Tensor;
+
+std::string ModeLabel(bool det) {
+  return std::string(dgnn::kernels::IsaName(dgnn::kernels::ActiveIsa())) +
+         (det ? "/det" : "/fast");
+}
 
 struct Fixture {
   Fixture() : dataset(dgnn::data::GenerateSynthetic(MakeConfig())),
@@ -114,6 +127,52 @@ void BM_MemoryEncoderTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MemoryEncoderTrainStep)->Arg(2)->Arg(8);
+
+// Raw dispatched GEMM, every transpose combination, deterministic and
+// fast mode. Shapes mirror the library's real call sites: tall-skinny
+// activations (nodes x d) against square d x d weights.
+void BM_GemmKernel(benchmark::State& state) {
+  const bool ta = state.range(0) != 0;
+  const bool tb = state.range(1) != 0;
+  const bool det = state.range(2) != 0;
+  const int64_t rows = 8192;
+  const int64_t d = 32;
+  dgnn::util::Rng rng(6);
+  // op(A): rows x d, op(B): d x d, out: rows x d.
+  Tensor a = ta ? Tensor::GaussianInit(d, rows, 0.1f, rng)
+                : Tensor::GaussianInit(rows, d, 0.1f, rng);
+  Tensor b = Tensor::GaussianInit(d, d, 0.1f, rng);
+  Tensor out(rows, d);
+  dgnn::kernels::SetDeterministic(det);
+  for (auto _ : state) {
+    dgnn::kernels::GemmAcc(a.data(), a.rows(), a.cols(), ta, b.data(),
+                           b.rows(), b.cols(), tb, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  dgnn::kernels::SetDeterministic(true);
+  state.SetLabel(ModeLabel(det));
+  state.SetItemsProcessed(state.iterations() * rows * d * d);
+}
+BENCHMARK(BM_GemmKernel)->ArgsProduct({{0, 1}, {0, 1}, {0, 1}});
+
+// Raw dispatched SpMM at serving/training feature widths, both modes.
+void BM_SpmmKernel(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const int64_t d = state.range(0);
+  const bool det = state.range(1) != 0;
+  dgnn::util::Rng rng(7);
+  Tensor x = Tensor::GaussianInit(f.adj.cols(), d, 0.1f, rng);
+  Tensor y(f.adj.rows(), d);
+  dgnn::kernels::SetDeterministic(det);
+  for (auto _ : state) {
+    f.adj.Multiply(x.data(), d, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  dgnn::kernels::SetDeterministic(true);
+  state.SetLabel(ModeLabel(det));
+  state.SetItemsProcessed(state.iterations() * f.adj.nnz() * d);
+}
+BENCHMARK(BM_SpmmKernel)->ArgsProduct({{8, 16, 32, 64}, {0, 1}});
 
 void BM_SegmentSoftmax(benchmark::State& state) {
   Fixture& f = GetFixture();

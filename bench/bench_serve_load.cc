@@ -51,6 +51,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fcntl.h>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -77,19 +78,44 @@ using namespace dgnn;
 // Unique per-process temp path: concurrent bench invocations (or a
 // previous crashed run's leftover file) must not collide on a fixed
 // name. mkstemp creates the file exclusively; we keep the name and let
-// the snapshot writer atomically replace it.
+// the snapshot writer atomically replace it. The path is unlinked at
+// process exit (atexit) so early-error returns don't strand the file —
+// main() still removes it eagerly once the engine has loaded.
+std::string& TempSnapshotSlot() {
+  static std::string path;
+  return path;
+}
+
+void RemoveTempSnapshot() {
+  const std::string& path = TempSnapshotSlot();
+  if (!path.empty()) std::remove(path.c_str());
+}
+
 std::string TempSnapshotPath() {
   const char* tmpdir = std::getenv("TMPDIR");
   std::string dir = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
   std::string tmpl = dir + "/dgnn_bench_serve_snapshot.XXXXXX";
   int fd = ::mkstemp(tmpl.data());
-  if (fd >= 0) {
-    ::close(fd);
-    return tmpl;
+  if (fd < 0) {
+    // mkstemp failing (exotic TMPDIR) falls back to pid+counter names,
+    // still created exclusively so a concurrent process can never be
+    // handed the same file.
+    for (int attempt = 0; attempt < 64 && fd < 0; ++attempt) {
+      tmpl = dir + "/dgnn_bench_serve_snapshot." +
+             std::to_string(static_cast<long long>(::getpid())) + "." +
+             std::to_string(attempt) + ".bin";
+      fd = ::open(tmpl.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0600);
+    }
+    if (fd < 0) {
+      std::fprintf(stderr, "cannot create temp snapshot under %s\n",
+                   dir.c_str());
+      std::exit(2);
+    }
   }
-  // mkstemp failing (exotic TMPDIR) falls back to a pid-unique name.
-  return dir + "/dgnn_bench_serve_snapshot." +
-         std::to_string(static_cast<long long>(::getpid())) + ".bin";
+  ::close(fd);
+  TempSnapshotSlot() = tmpl;
+  std::atexit(RemoveTempSnapshot);
+  return tmpl;
 }
 
 struct SweepResult {

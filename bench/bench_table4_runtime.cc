@@ -10,7 +10,12 @@
 // wall-clock, not a numerics trade.
 //
 //   ./bench_table4_runtime [--datasets=ciao,epinions,yelp] [--epochs=3]
-//                          [--threads=1,4]
+//                          [--threads=1,4] [--deterministic=0|1]
+//
+// --deterministic=1 (default) keeps the bit-identical serial accumulation
+// order; --deterministic=0 measures the relaxed fast kernels (FMA,
+// cache-blocked transposed GEMM). The active SIMD level is printed with
+// the table; force one with DGNN_SIMD=off|avx2|neon.
 
 #include <algorithm>
 #include <cstdlib>
@@ -98,6 +103,9 @@ int main(int argc, char** argv) {
   }
   util::SetNumThreads(saved_threads);
   std::printf("Table IV (running time per epoch, seconds):\n");
+  std::printf("kernels: isa=%s mode=%s\n",
+              kernels::IsaName(kernels::ActiveIsa()),
+              kernels::Deterministic() ? "deterministic" : "fast");
   table.Print();
   return 0;
 }

@@ -25,7 +25,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target thread_pool_test parallel_equivalence_test serving_test \
            telemetry_test failure_test run_log_test diagnostics_test \
            serve_engine_test serve_snapshot_test failpoint_test \
-           resume_test serve_trace_test
+           resume_test serve_trace_test kernel_parity_test
 
 # halt_on_error: fail fast on the first race instead of drowning in reports.
 # telemetry_test has the concurrent-increment test (8 threads hammering one
@@ -39,9 +39,12 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
 # determinism contract is exactly a race-freedom claim); resume_test
 # checks kill/resume bit-identity across thread counts; serve_trace_test
 # replays the same trace at 1/2/4 workers and requires the re-recorded
-# bytes bit-identical (open-loop replay race-freedom claim).
+# bytes bit-identical (open-loop replay race-freedom claim);
+# kernel_parity_test runs every dispatched SIMD variant across thread
+# counts 1/2/7 (row-blocked GEMM/SpMM chunks must write disjoint ranges
+# on every ISA).
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test|run_log_test|diagnostics_test|serve_engine_test|serve_snapshot_test|failpoint_test|resume_test|serve_trace_test'
+    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test|run_log_test|diagnostics_test|serve_engine_test|serve_snapshot_test|failpoint_test|resume_test|serve_trace_test|kernel_parity_test'
 
 echo "TSan job passed: no data races detected."

@@ -56,6 +56,7 @@
 #include "core/pretrain.h"
 #include "data/io.h"
 #include "data/synthetic.h"
+#include "kernels/kernels.h"
 #include "serve/snapshot.h"
 #include "train/beyond_accuracy.h"
 #include "train/recommender.h"
@@ -302,6 +303,12 @@ int main(int argc, char** argv) {
     }
     util::SetNumThreads(threads);
   }
+  // Kernel numeric mode: --deterministic=1 (default) keeps bit-identical
+  // serial accumulation on every ISA; --deterministic=0 lets the SIMD
+  // kernels relax accumulation order (FMA, cache-blocked GEMM) for
+  // throughput. SIMD level itself comes from runtime CPU detection
+  // (override: DGNN_SIMD env; see README "Kernels & CPU dispatch").
+  kernels::SetDeterministic(flags.GetBool("deterministic", true));
   // --metrics-out=F / --trace-out=F turn telemetry on for the run and
   // write the JSON snapshots (metrics registry / chrome://tracing trace)
   // on exit. See README "Telemetry" for the schemas.

@@ -22,6 +22,13 @@
 //       Validate a bench_serve_load --bench-json result file (schema
 //       version 1): required fields per mode, quantile ordering,
 //       outcome-count consistency. ci/check_bench.sh gates on this.
+//   dgnn_inspect kernels
+//       Report the kernel dispatch state of this build/host: the active
+//       SIMD level (after the DGNN_SIMD env override, if set), every
+//       level compiled in and supported by the CPU, and the numeric
+//       mode default. One "key: value" line each — ci/check_kernels.sh
+//       parses the "available:" line to decide which DGNN_SIMD values
+//       to sweep.
 //
 // Exit codes: 0 = ok, 1 = diff found a regression, 2 = usage error,
 // unreadable file, unparseable line, invalid bench result, or
@@ -36,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/kernels.h"
 #include "util/json.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -584,6 +592,22 @@ int BenchValidate(const std::string& path) {
   return 0;
 }
 
+// `dgnn_inspect kernels`: one "key: value" line per fact so shell gates
+// can grep without a JSON parser.
+int KernelsReport() {
+  std::printf("active: %s\n",
+              dgnn::kernels::IsaName(dgnn::kernels::ActiveIsa()));
+  std::printf("mode-default: %s\n",
+              dgnn::kernels::Deterministic() ? "deterministic" : "fast");
+  std::string available;
+  for (dgnn::kernels::Isa isa : dgnn::kernels::AvailableIsas()) {
+    if (!available.empty()) available += ' ';
+    available += dgnn::kernels::IsaName(isa);
+  }
+  std::printf("available: %s\n", available.c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -591,7 +615,8 @@ int Usage() {
       "  dgnn_inspect summarize LOG [LOG...]\n"
       "  dgnn_inspect diff BASELINE CANDIDATE [--hr-tol=X] [--ndcg-tol=X]"
       " [--loss-tol=X]\n"
-      "  dgnn_inspect bench BENCH_serve.json\n");
+      "  dgnn_inspect bench BENCH_serve.json\n"
+      "  dgnn_inspect kernels\n");
   return 2;
 }
 
@@ -626,6 +651,9 @@ int main(int argc, char** argv) {
   }
   if (positional.size() == 2 && positional[0] == "bench") {
     return BenchValidate(positional[1]);
+  }
+  if (positional.size() == 1 && positional[0] == "kernels") {
+    return KernelsReport();
   }
   return Usage();
 }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "ag/diagnostics.h"
+#include "kernels/kernels.h"
 #include "util/json.h"
 #include "util/run_log.h"
 #include "util/telemetry.h"
@@ -21,52 +22,22 @@ namespace {
 constexpr int64_t kRowGrain = 64;     // chunks of matrix rows
 constexpr int64_t kEltGrain = 4096;   // chunks of flat elements
 
-// out += op(A) @ op(B) where op optionally transposes. Naive kernel; the
-// matrices in this library are (nodes x d) with d <= 64, so cache blocking
-// is not worth the complexity.
+// out += op(A) @ op(B) where op optionally transposes. Dispatches to the
+// kernel layer (src/kernels/): the active ISA variant parallelizes over
+// output rows on the same fixed grain this file used before dispatch
+// existed, so deterministic-mode results stay bit-identical to the old
+// serial kernels for any thread count. Fast mode (--deterministic=0)
+// relaxes the accumulation order for FMA and cache-blocked panels.
 void GemmAcc(const Tensor& a, bool ta, const Tensor& b, bool tb,
              Tensor& out) {
   static telemetry::Timer* gemm_timer = telemetry::GetTimer("ag.gemm");
   telemetry::ScopedTimer timer(gemm_timer);
   const int64_t m = ta ? a.cols() : a.rows();
-  const int64_t k = ta ? a.rows() : a.cols();
-  const int64_t k2 = tb ? b.cols() : b.rows();
   const int64_t n = tb ? b.rows() : b.cols();
-  DGNN_CHECK_EQ(k, k2) << "GemmAcc inner dims";
   DGNN_CHECK_EQ(out.rows(), m);
   DGNN_CHECK_EQ(out.cols(), n);
-
-  // Both orderings parallelize over output rows: each row of `out` is
-  // accumulated by one thread in the serial p-order, so results match the
-  // single-threaded kernel bit for bit.
-  if (!ta && !tb) {
-    // ikj ordering: streams through b and out rows.
-    util::ParallelFor(0, m, kRowGrain, [&](int64_t ib, int64_t ie) {
-      for (int64_t i = ib; i < ie; ++i) {
-        const float* arow = a.row(i);
-        float* orow = out.row(i);
-        for (int64_t p = 0; p < k; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          const float* brow = b.row(p);
-          for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-        }
-      }
-    });
-    return;
-  }
-  auto a_at = [&](int64_t i, int64_t p) { return ta ? a.at(p, i) : a.at(i, p); };
-  auto b_at = [&](int64_t p, int64_t j) { return tb ? b.at(j, p) : b.at(p, j); };
-  util::ParallelFor(0, m, kRowGrain, [&](int64_t ib, int64_t ie) {
-    for (int64_t i = ib; i < ie; ++i) {
-      float* orow = out.row(i);
-      for (int64_t j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += a_at(i, p) * b_at(p, j);
-        orow[j] += acc;
-      }
-    }
-  });
+  kernels::GemmAcc(a.data(), a.rows(), a.cols(), ta, b.data(), b.rows(),
+                   b.cols(), tb, out.data());
 }
 
 float StableSoftplus(float z) {
@@ -319,8 +290,7 @@ VarId Tape::AddN(const std::vector<VarId>& xs) {
     util::ParallelFor(0, out.size(), kEltGrain, [&](int64_t b, int64_t e) {
       float* o = out.data();
       for (size_t i = 1; i < xs.size(); ++i) {
-        const float* x = val(xs[i]).data();
-        for (int64_t j = b; j < e; ++j) o[j] += x[j];
+        kernels::AddInto(o + b, val(xs[i]).data() + b, e - b);
       }
     });
   }
@@ -333,7 +303,7 @@ VarId Tape::AddN(const std::vector<VarId>& xs) {
         if (!requires_grad(x)) continue;
         Tensor& gx = grad_buf(x);
         util::ParallelFor(0, g.size(), kEltGrain, [&](int64_t b, int64_t e) {
-          for (int64_t j = b; j < e; ++j) gx.data()[j] += g.data()[j];
+          kernels::AddInto(gx.data() + b, g.data() + b, e - b);
         });
       }
     };
@@ -348,9 +318,7 @@ VarId Tape::AddRowBroadcast(VarId a, VarId b) {
   DGNN_CHECK_EQ(bv.cols(), av.cols());
   Tensor out = av;
   for (int64_t r = 0; r < out.rows(); ++r) {
-    float* orow = out.row(r);
-    const float* brow = bv.row(0);
-    for (int64_t c = 0; c < out.cols(); ++c) orow[c] += brow[c];
+    kernels::AddInto(out.row(r), bv.row(0), out.cols());
   }
   bool rg = requires_grad(a) || requires_grad(b);
   VarId id = Emit(std::move(out), rg, nullptr, "AddRowBroadcast");
@@ -361,9 +329,7 @@ VarId Tape::AddRowBroadcast(VarId a, VarId b) {
       if (requires_grad(b)) {
         Tensor& gb = grad_buf(b);
         for (int64_t r = 0; r < g.rows(); ++r) {
-          const float* grow = g.row(r);
-          float* brow = gb.row(0);
-          for (int64_t c = 0; c < g.cols(); ++c) brow[c] += grow[c];
+          kernels::AddInto(gb.row(0), g.row(r), g.cols());
         }
       }
     };
@@ -376,25 +342,19 @@ VarId Tape::Mul(VarId a, VarId b) {
   const Tensor& bv = val(b);
   DGNN_CHECK(av.SameShape(bv));
   Tensor out = av;
-  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] *= bv.data()[i];
+  kernels::MulInto(out.data(), bv.data(), out.size());
   bool rg = requires_grad(a) || requires_grad(b);
   VarId id = Emit(std::move(out), rg, nullptr, "Mul");
   if (rg) {
     node(id).backward = [this, id, a, b]() {
       const Tensor& g = node(id).grad;
       if (requires_grad(a)) {
-        Tensor& ga = grad_buf(a);
-        const Tensor& bv2 = val(b);
-        for (int64_t i = 0; i < g.size(); ++i) {
-          ga.data()[i] += g.data()[i] * bv2.data()[i];
-        }
+        kernels::MulAddInto(grad_buf(a).data(), g.data(), val(b).data(),
+                            g.size());
       }
       if (requires_grad(b)) {
-        Tensor& gb = grad_buf(b);
-        const Tensor& av2 = val(a);
-        for (int64_t i = 0; i < g.size(); ++i) {
-          gb.data()[i] += g.data()[i] * av2.data()[i];
-        }
+        kernels::MulAddInto(grad_buf(b).data(), g.data(), val(a).data(),
+                            g.size());
       }
     };
   }
@@ -408,9 +368,7 @@ VarId Tape::MulRowBroadcast(VarId a, VarId b) {
   DGNN_CHECK_EQ(bv.cols(), av.cols());
   Tensor out = av;
   for (int64_t r = 0; r < out.rows(); ++r) {
-    float* orow = out.row(r);
-    const float* brow = bv.row(0);
-    for (int64_t c = 0; c < out.cols(); ++c) orow[c] *= brow[c];
+    kernels::MulInto(out.row(r), bv.row(0), out.cols());
   }
   bool rg = requires_grad(a) || requires_grad(b);
   VarId id = Emit(std::move(out), rg, nullptr, "MulRowBroadcast");
@@ -422,19 +380,13 @@ VarId Tape::MulRowBroadcast(VarId a, VarId b) {
       if (requires_grad(a)) {
         Tensor& ga = grad_buf(a);
         for (int64_t r = 0; r < g.rows(); ++r) {
-          const float* grow = g.row(r);
-          const float* brow = bv2.row(0);
-          float* garow = ga.row(r);
-          for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c] * brow[c];
+          kernels::MulAddInto(ga.row(r), g.row(r), bv2.row(0), g.cols());
         }
       }
       if (requires_grad(b)) {
         Tensor& gb = grad_buf(b);
         for (int64_t r = 0; r < g.rows(); ++r) {
-          const float* grow = g.row(r);
-          const float* arow = av2.row(r);
-          float* gbrow = gb.row(0);
-          for (int64_t c = 0; c < g.cols(); ++c) gbrow[c] += grow[c] * arow[c];
+          kernels::MulAddInto(gb.row(0), g.row(r), av2.row(r), g.cols());
         }
       }
     };
@@ -449,9 +401,7 @@ VarId Tape::RowScale(VarId a, VarId s) {
   DGNN_CHECK_EQ(sv.cols(), 1);
   Tensor out = av;
   for (int64_t r = 0; r < out.rows(); ++r) {
-    const float f = sv.at(r, 0);
-    float* orow = out.row(r);
-    for (int64_t c = 0; c < out.cols(); ++c) orow[c] *= f;
+    kernels::ScaleInto(out.row(r), sv.at(r, 0), out.cols());
   }
   bool rg = requires_grad(a) || requires_grad(s);
   VarId id = Emit(std::move(out), rg, nullptr, "RowScale");
@@ -462,21 +412,14 @@ VarId Tape::RowScale(VarId a, VarId s) {
         Tensor& ga = grad_buf(a);
         const Tensor& sv2 = val(s);
         for (int64_t r = 0; r < g.rows(); ++r) {
-          const float f = sv2.at(r, 0);
-          const float* grow = g.row(r);
-          float* garow = ga.row(r);
-          for (int64_t c = 0; c < g.cols(); ++c) garow[c] += f * grow[c];
+          kernels::AxpyInto(ga.row(r), sv2.at(r, 0), g.row(r), g.cols());
         }
       }
       if (requires_grad(s)) {
         Tensor& gs = grad_buf(s);
         const Tensor& av2 = val(a);
         for (int64_t r = 0; r < g.rows(); ++r) {
-          const float* grow = g.row(r);
-          const float* arow = av2.row(r);
-          float acc = 0.0f;
-          for (int64_t c = 0; c < g.cols(); ++c) acc += grow[c] * arow[c];
-          gs.at(r, 0) += acc;
+          gs.at(r, 0) += kernels::Dot(g.row(r), av2.row(r), g.cols());
         }
       }
     };
@@ -510,12 +453,8 @@ VarId Tape::MulScalarVar(VarId a, VarId s) {
       const Tensor& g = node(id).grad;
       if (requires_grad(a)) grad_buf(a).Axpy(val(s).scalar(), g);
       if (requires_grad(s)) {
-        const Tensor& av2 = val(a);
-        float acc = 0.0f;
-        for (int64_t i = 0; i < g.size(); ++i) {
-          acc += g.data()[i] * av2.data()[i];
-        }
-        grad_buf(s).at(0, 0) += acc;
+        grad_buf(s).at(0, 0) += kernels::Dot(g.data(), val(a).data(),
+                                             g.size());
       }
     };
   }
@@ -526,9 +465,7 @@ VarId Tape::LeakyRelu(VarId a, float negative_slope) {
   const Tensor& av = val(a);
   Tensor out = av;
   util::ParallelFor(0, out.size(), kEltGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) {
-      if (out.data()[i] < 0.0f) out.data()[i] *= negative_slope;
-    }
+    kernels::LeakyReluForward(out.data() + b, e - b, negative_slope);
   });
   bool rg = requires_grad(a);
   VarId id = Emit(std::move(out), rg, nullptr, "LeakyRelu");
@@ -538,10 +475,8 @@ VarId Tape::LeakyRelu(VarId a, float negative_slope) {
       const Tensor& x = val(a);
       Tensor& ga = grad_buf(a);
       util::ParallelFor(0, g.size(), kEltGrain, [&](int64_t b, int64_t e) {
-        for (int64_t i = b; i < e; ++i) {
-          ga.data()[i] +=
-              g.data()[i] * (x.data()[i] >= 0.0f ? 1.0f : negative_slope);
-        }
+        kernels::LeakyReluBackward(ga.data() + b, g.data() + b, x.data() + b,
+                                   e - b, negative_slope);
       });
     };
   }
@@ -739,9 +674,8 @@ VarId Tape::GatherRows(VarId a, std::vector<int32_t> index) {
                            (*idx)[static_cast<size_t>(*it)] < re;
              ++it) {
           const int64_t i = static_cast<int64_t>(*it);
-          const float* grow = g.row(i);
-          float* garow = ga.row((*idx)[static_cast<size_t>(i)]);
-          for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c];
+          kernels::AddInto(ga.row((*idx)[static_cast<size_t>(i)]), g.row(i),
+                           g.cols());
         }
       });
     };
@@ -758,9 +692,7 @@ VarId Tape::SegmentSum(VarId a, std::vector<int32_t> segment_ids,
     const int32_t s = segment_ids[e];
     DGNN_DCHECK_GE(s, 0);
     DGNN_DCHECK_LT(s, num_segments);
-    const float* arow = av.row(static_cast<int64_t>(e));
-    float* orow = out.row(s);
-    for (int64_t c = 0; c < av.cols(); ++c) orow[c] += arow[c];
+    kernels::AddInto(out.row(s), av.row(static_cast<int64_t>(e)), av.cols());
   }
   bool rg = requires_grad(a);
   VarId id = Emit(std::move(out), rg, nullptr, "SegmentSum");
@@ -770,9 +702,8 @@ VarId Tape::SegmentSum(VarId a, std::vector<int32_t> segment_ids,
       const Tensor& g = node(id).grad;
       Tensor& ga = grad_buf(a);
       for (size_t e = 0; e < seg->size(); ++e) {
-        const float* grow = g.row((*seg)[e]);
-        float* garow = ga.row(static_cast<int64_t>(e));
-        for (int64_t c = 0; c < g.cols(); ++c) garow[c] += grow[c];
+        kernels::AddInto(ga.row(static_cast<int64_t>(e)), g.row((*seg)[e]),
+                         g.cols());
       }
     };
   }
@@ -865,9 +796,7 @@ VarId Tape::ConcatCols(const std::vector<VarId>& xs) {
         if (requires_grad(x)) {
           Tensor& gx = grad_buf(x);
           for (int64_t r = 0; r < g.rows(); ++r) {
-            const float* grow = g.row(r) + off;
-            float* xrow = gx.row(r);
-            for (int64_t j = 0; j < c; ++j) xrow[j] += grow[j];
+            kernels::AddInto(gx.row(r), g.row(r) + off, c);
           }
         }
         off += c;
@@ -903,10 +832,7 @@ VarId Tape::ConcatRows(const std::vector<VarId>& xs) {
       for (VarId x : inputs) {
         const int64_t r = val(x).rows();
         if (requires_grad(x)) {
-          Tensor& gx = grad_buf(x);
-          for (int64_t i = 0; i < r * g.cols(); ++i) {
-            gx.data()[i] += g.row(off)[i];
-          }
+          kernels::AddInto(grad_buf(x).data(), g.row(off), r * g.cols());
         }
         off += r;
       }
@@ -944,9 +870,7 @@ VarId Tape::SliceRows(VarId a, int64_t begin, int64_t count) {
   if (rg) {
     node(id).backward = [this, id, a, begin]() {
       const Tensor& g = node(id).grad;
-      Tensor& ga = grad_buf(a);
-      float* base = ga.row(begin);
-      for (int64_t i = 0; i < g.size(); ++i) base[i] += g.data()[i];
+      kernels::AddInto(grad_buf(a).row(begin), g.data(), g.size());
     };
   }
   return id;
@@ -1156,11 +1080,7 @@ VarId Tape::RowDot(VarId a, VarId b) {
   Tensor out(av.rows(), 1);
   util::ParallelFor(0, av.rows(), kRowGrain, [&](int64_t rb, int64_t re) {
     for (int64_t r = rb; r < re; ++r) {
-      const float* ar = av.row(r);
-      const float* br = bv.row(r);
-      float acc = 0.0f;
-      for (int64_t c = 0; c < av.cols(); ++c) acc += ar[c] * br[c];
-      out.at(r, 0) = acc;
+      out.at(r, 0) = kernels::Dot(av.row(r), bv.row(r), av.cols());
     }
   });
   bool rg = requires_grad(a) || requires_grad(b);
@@ -1175,19 +1095,15 @@ VarId Tape::RowDot(VarId a, VarId b) {
         if (ga != nullptr) {
           const Tensor& bv2 = val(b);
           for (int64_t r = rb; r < re; ++r) {
-            const float gr = g.at(r, 0);
-            const float* br = bv2.row(r);
-            float* gar = ga->row(r);
-            for (int64_t c = 0; c < ga->cols(); ++c) gar[c] += gr * br[c];
+            kernels::AxpyInto(ga->row(r), g.at(r, 0), bv2.row(r),
+                              ga->cols());
           }
         }
         if (gb != nullptr) {
           const Tensor& av2 = val(a);
           for (int64_t r = rb; r < re; ++r) {
-            const float gr = g.at(r, 0);
-            const float* ar = av2.row(r);
-            float* gbr = gb->row(r);
-            for (int64_t c = 0; c < gb->cols(); ++c) gbr[c] += gr * ar[c];
+            kernels::AxpyInto(gb->row(r), g.at(r, 0), av2.row(r),
+                              gb->cols());
           }
         }
       });

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "util/strings.h"
 
 namespace dgnn::ag {
@@ -50,18 +51,16 @@ void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 void Tensor::Add(const Tensor& other) {
   DGNN_CHECK(SameShape(other)) << ShapeString() << " vs "
                                << other.ShapeString();
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::AddInto(data_.data(), other.data_.data(), size());
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   DGNN_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  kernels::AxpyInto(data_.data(), alpha, other.data_.data(), size());
 }
 
 void Tensor::Scale(float alpha) {
-  for (float& v : data_) v *= alpha;
+  kernels::ScaleInto(data_.data(), alpha, size());
 }
 
 float Tensor::SquaredL2() const {

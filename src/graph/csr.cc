@@ -5,19 +5,12 @@
 #include <cstring>
 #include <numeric>
 
+#include "kernels/kernels.h"
 #include "util/check.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace dgnn::graph {
-namespace {
-
-// Rows per ParallelFor chunk in the dense SpMM kernel. Fixed (never a
-// function of the thread count) so the work decomposition — and with it
-// the floating-point result — is identical for any DGNN_NUM_THREADS.
-constexpr int64_t kSpmmRowGrain = 64;
-
-}  // namespace
 
 CsrMatrix CsrMatrix::FromCoo(const CooMatrix& coo) {
   CsrMatrix m;
@@ -224,22 +217,12 @@ void CsrMatrix::Multiply(const float* x, int64_t d, float* y) const {
         telemetry::GetCounter("graph.spmm_edges_processed");
     edges->Add(nnz());
   }
-  // Per-target-node parallelism: each chunk owns a contiguous row range of
-  // y, and every output row is accumulated by exactly one thread in CSR
-  // edge order, so the result is bit-identical to the serial kernel.
-  util::ParallelFor(0, rows_, kSpmmRowGrain, [&](int64_t rb, int64_t re) {
-    std::memset(y + rb * d, 0, sizeof(float) * static_cast<size_t>((re - rb) * d));
-    for (int64_t r = rb; r < re; ++r) {
-      float* yr = y + r * d;
-      for (int64_t i = indptr_[static_cast<size_t>(r)];
-           i < indptr_[static_cast<size_t>(r) + 1]; ++i) {
-        const float v = values_[static_cast<size_t>(i)];
-        const float* xr =
-            x + static_cast<int64_t>(indices_[static_cast<size_t>(i)]) * d;
-        for (int64_t c = 0; c < d; ++c) yr[c] += v * xr[c];
-      }
-    }
-  });
+  // Dispatched row-blocked kernel (src/kernels/): each fixed-grain chunk
+  // owns a contiguous row range of y, and every output row is accumulated
+  // by exactly one thread in CSR edge order, so deterministic-mode results
+  // are bit-identical to the serial scalar kernel on every ISA.
+  kernels::Spmm(indptr_.data(), indices_.data(), values_.data(), rows_, x, d,
+                y);
 }
 
 }  // namespace dgnn::graph

@@ -1,0 +1,177 @@
+// Kernel-dispatch layer: every dense/sparse hot loop in the library —
+// the tape GEMM behind the disentangled transforms, CSR SpMM message
+// passing, the memory-encoder gate elementwise math, and the serving
+// dot-product scans — funnels through the entry points declared here.
+// At first use the dispatcher picks the best instruction-set variant the
+// CPU supports (AVX2+FMA on x86-64, NEON on aarch64, scalar reference
+// everywhere); the DGNN_SIMD environment variable overrides the choice.
+//
+// Two numeric modes, switched process-wide:
+//
+//  * DETERMINISTIC (default): every output element is accumulated in
+//    exactly the serial reference order with separately rounded
+//    multiply and add (no FMA contraction). SIMD variants vectorize
+//    only across independent output elements, so results are
+//    bit-identical to the scalar kernels — and, combined with the
+//    thread pool's fixed-grain chunking (src/util/thread_pool.h), to
+//    any thread count. The row-parallel GEMM/SpMM entry points below
+//    split work on the same fixed grain as the serial kernels.
+//
+//  * FAST (SetDeterministic(false), CLI --deterministic=0): relaxes the
+//    accumulation order — FMA, multi-lane partial sums, cache-blocked
+//    panels for the transposed GEMM paths, and the sparse zero-skip in
+//    the A-stationary paths. Results agree with deterministic mode only
+//    to rounding tolerance.
+//
+// Non-finite contract: deterministic mode never skips zero operands, so
+// 0 * NaN / 0 * Inf propagate NaN through every path exactly as IEEE
+// arithmetic demands (this is what --check-numerics relies on). Only
+// fast mode may skip zero multiplier rows as a sparsity shortcut.
+
+#ifndef DGNN_KERNELS_KERNELS_H_
+#define DGNN_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dgnn::kernels {
+
+// Instruction-set variants a build can carry. kScalar is always
+// compiled; the SIMD variants exist only on their architectures (and
+// only when the compiler supports the flags), and are picked at runtime
+// only when the CPU reports the feature.
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,  // AVX2 + FMA, x86-64
+  kNeon = 2,  // NEON, aarch64
+};
+
+const char* IsaName(Isa isa);
+
+// The variant requests currently dispatch to.
+Isa ActiveIsa();
+
+// Variants this binary can run on this machine (always includes
+// kScalar; sorted ascending).
+std::vector<Isa> AvailableIsas();
+
+// Forces dispatch to `isa` (parity tests, CI). Aborts with a CHECK
+// failure if the variant is not available in this build / on this CPU.
+void ForceIsa(Isa isa);
+
+// Re-evaluates DGNN_SIMD and CPU detection, discarding any ForceIsa.
+// DGNN_SIMD accepts: "auto"/"" (best available), "off"/"scalar",
+// "avx2", "neon". Naming an unavailable level aborts — a CI job that
+// asks for AVX2 on a machine without it should fail loudly, not
+// silently measure scalar code.
+void ResetIsaFromEnv();
+
+// Process-wide numeric mode (see file comment). Default: deterministic.
+bool Deterministic();
+void SetDeterministic(bool deterministic);
+
+// ---------------------------------------------------------------------------
+// Kernel entry points
+// ---------------------------------------------------------------------------
+
+// out(m x n) += op(A) @ op(B), all row-major contiguous. A is stored
+// a_rows x a_cols (op(A) = A^T when ta), B likewise. Parallelized over
+// output rows on a fixed grain; each output row is produced by exactly
+// one chunk, preserving the thread pool's determinism contract.
+void GemmAcc(const float* a, int64_t a_rows, int64_t a_cols, bool ta,
+             const float* b, int64_t b_rows, int64_t b_cols, bool tb,
+             float* out);
+
+// y = A * x for CSR A (rows x anything) and dense row-major x
+// (A.cols x d); y (rows x d) is overwritten. Row-blocked and
+// parallelized on a fixed grain; per output row, edges accumulate in
+// CSR order (deterministic mode) so results match the serial kernel
+// bit for bit.
+void Spmm(const int64_t* indptr, const int32_t* indices,
+          const float* values, int64_t rows, const float* x, int64_t d,
+          float* y);
+
+// Elementwise kernels (serial over [0, n); callers parallelize by
+// chunking). All variants use separately rounded multiply and add, so
+// every ISA produces bit-identical results in BOTH modes.
+void AddInto(float* y, const float* x, int64_t n);            // y += x
+void AxpyInto(float* y, float a, const float* x, int64_t n);  // y += a*x
+void ScaleInto(float* y, float a, int64_t n);                 // y *= a
+void MulInto(float* y, const float* x, int64_t n);            // y *= x
+void MulAddInto(float* y, const float* g, const float* x,
+                int64_t n);                                   // y += g.*x
+void LeakyReluForward(float* y, int64_t n, float slope);
+// gx += g .* (x >= 0 ? 1 : slope)
+void LeakyReluBackward(float* gx, const float* g, const float* x,
+                       int64_t n, float slope);
+
+// sum_i a[i]*b[i]. Deterministic mode accumulates serially in index
+// order (bit-identical to the scalar loop); fast mode uses multi-lane
+// FMA partial sums.
+float Dot(const float* a, const float* b, int64_t n);
+
+// ---------------------------------------------------------------------------
+// Internals shared by the per-ISA translation units
+// ---------------------------------------------------------------------------
+
+// Row-major GEMM operand view. Stored a: (ta ? k x m : m x k) with row
+// stride lda; stored b: (tb ? n x k : k x n) with row stride ldb; out:
+// m x n contiguous.
+struct GemmView {
+  const float* a = nullptr;
+  const float* b = nullptr;
+  float* out = nullptr;
+  int64_t m = 0, n = 0, k = 0;
+  int64_t lda = 0, ldb = 0;
+  bool ta = false, tb = false;
+};
+
+struct SpmmView {
+  const int64_t* indptr = nullptr;
+  const int32_t* indices = nullptr;
+  const float* values = nullptr;
+  const float* x = nullptr;
+  float* y = nullptr;
+  int64_t d = 0;
+};
+
+// One dispatchable variant: row-range workers for the parallel kernels
+// plus the full elementwise set. `det` selects the deterministic or
+// relaxed accumulation path.
+struct KernelTable {
+  const char* name = "";
+  Isa isa = Isa::kScalar;
+  void (*gemm_rows)(const GemmView&, int64_t rb, int64_t re, bool det) =
+      nullptr;
+  void (*spmm_rows)(const SpmmView&, int64_t rb, int64_t re, bool det) =
+      nullptr;
+  void (*add_into)(float*, const float*, int64_t) = nullptr;
+  void (*axpy_into)(float*, float, const float*, int64_t) = nullptr;
+  void (*scale_into)(float*, float, int64_t) = nullptr;
+  void (*mul_into)(float*, const float*, int64_t) = nullptr;
+  void (*mul_add_into)(float*, const float*, const float*, int64_t) =
+      nullptr;
+  void (*leaky_relu_fwd)(float*, int64_t, float) = nullptr;
+  void (*leaky_relu_bwd)(float*, const float*, const float*, int64_t,
+                         float) = nullptr;
+  float (*dot)(const float*, const float*, int64_t, bool det) = nullptr;
+};
+
+// Per-ISA tables. The scalar table is the reference implementation and
+// always exists; SIMD tables are defined only in builds that compile
+// their translation unit (see src/kernels/CMakeLists.txt) and reuse the
+// scalar workers for paths where vectorization cannot preserve the
+// deterministic accumulation order.
+const KernelTable* ScalarKernelTable();
+const KernelTable* Avx2KernelTable();  // defined iff DGNN_KERNELS_HAVE_AVX2
+const KernelTable* NeonKernelTable();  // defined iff DGNN_KERNELS_HAVE_NEON
+
+// Scalar reference row workers, callable from SIMD tables as the
+// deterministic fallback for the inner-product GEMM paths.
+void ScalarGemmRows(const GemmView& g, int64_t rb, int64_t re, bool det);
+float ScalarDot(const float* a, const float* b, int64_t n, bool det);
+
+}  // namespace dgnn::kernels
+
+#endif  // DGNN_KERNELS_KERNELS_H_

@@ -1,0 +1,425 @@
+// AVX2 + FMA kernel variant. Compiled with -mavx2 -mfma
+// -ffp-contract=off (see src/kernels/CMakeLists.txt): contraction is
+// disabled so the deterministic paths' explicit mul-then-add sequences
+// are never silently fused into FMAs behind our back — only the fast
+// paths use _mm256_fmadd_ps, on purpose.
+//
+// Determinism: the vector paths below only ever vectorize ACROSS output
+// elements, never across a single element's accumulation chain, and use
+// separately rounded multiply/add. Each lane therefore performs exactly
+// the scalar reference's operation sequence, making deterministic-mode
+// results bit-identical to kernels_scalar.cc. The inner-product GEMM
+// paths (nt/tt) cannot be vectorized that way, so deterministic mode
+// routes them to the scalar reference and fast mode gets cache-blocked
+// FMA panels instead.
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "kernels/kernels.h"
+
+namespace dgnn::kernels {
+namespace {
+
+// Cache geometry for the blocked fast paths (ggml-cpu idiom: tile so a
+// B panel stays L1-resident while it is reused across output rows).
+#if defined(__cpp_lib_hardware_interference_size)
+constexpr size_t kCacheLine = std::hardware_destructive_interference_size;
+#else
+constexpr size_t kCacheLine = 64;
+#endif
+constexpr int64_t kCacheLineF32 = static_cast<int64_t>(kCacheLine / 4);
+// Rows of B per fast-path panel: kJTile * k floats <= ~16 KB for the
+// k <= 64 shapes this library runs, i.e. comfortably L1-resident.
+constexpr int64_t kJTile = 4 * kCacheLineF32;
+
+inline float Hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+// FMA dot with 4 independent accumulators — fast mode only (the
+// accumulation order is nothing like the serial sum).
+inline float DotFma(const float* a, const float* b, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+  }
+  float r = Hsum(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                               _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) r += a[i] * b[i];
+  return r;
+}
+
+// One register-blocked output-row tile of the B-rows-streamed GEMM:
+// kVecs accumulator vectors (8 floats each) live in ymm registers
+// across the entire p reduction, so the loop never round-trips the
+// output row through memory (the store-to-load chain is what limits
+// the naive form, especially with FMA's longer latency). Per output
+// element the operation sequence is exactly the naive/scalar order —
+// register residency does not reorder anything — so kDet stays
+// bit-identical to the scalar reference.
+template <bool kDet, bool kDirect, int kVecs>
+inline void GemmRowTile(const GemmView& g, int64_t i, int64_t j0,
+                        float* orow) {
+  __m256 acc[kVecs];
+  for (int t = 0; t < kVecs; ++t) {
+    acc[t] = kDirect ? _mm256_loadu_ps(orow + j0 + 8 * t)
+                     : _mm256_setzero_ps();
+  }
+  for (int64_t p = 0; p < g.k; ++p) {
+    const float av = g.ta ? g.a[p * g.lda + i] : g.a[i * g.lda + p];
+    if (!kDet && av == 0.0f) continue;
+    const __m256 av8 = _mm256_set1_ps(av);
+    const float* brow = g.b + p * g.ldb + j0;
+    for (int t = 0; t < kVecs; ++t) {
+      const __m256 bv = _mm256_loadu_ps(brow + 8 * t);
+      acc[t] = kDet ? _mm256_add_ps(acc[t], _mm256_mul_ps(av8, bv))
+                    : _mm256_fmadd_ps(av8, bv, acc[t]);
+    }
+  }
+  for (int t = 0; t < kVecs; ++t) {
+    if (kDirect) {
+      _mm256_storeu_ps(orow + j0 + 8 * t, acc[t]);
+    } else {
+      _mm256_storeu_ps(
+          orow + j0 + 8 * t,
+          _mm256_add_ps(_mm256_loadu_ps(orow + j0 + 8 * t), acc[t]));
+    }
+  }
+}
+
+// nn/tn: B-rows-streamed GEMM. kDirect distinguishes the nn ordering
+// (accumulate straight into out) from the tn ordering (fresh acc, one
+// final add). Output rows are processed in 32-float register tiles.
+template <bool kDet, bool kDirect>
+inline void GemmRowsStreamB(const GemmView& g, int64_t rb, int64_t re) {
+  for (int64_t i = rb; i < re; ++i) {
+    float* orow = g.out + i * g.n;
+    int64_t j = 0;
+    for (; j + 32 <= g.n; j += 32) {
+      GemmRowTile<kDet, kDirect, 4>(g, i, j, orow);
+    }
+    for (; j + 8 <= g.n; j += 8) {
+      GemmRowTile<kDet, kDirect, 1>(g, i, j, orow);
+    }
+    for (; j < g.n; ++j) {
+      float acc = kDirect ? orow[j] : 0.0f;
+      for (int64_t p = 0; p < g.k; ++p) {
+        const float av = g.ta ? g.a[p * g.lda + i] : g.a[i * g.lda + p];
+        if (!kDet && av == 0.0f) continue;
+        acc += av * g.b[p * g.ldb + j];
+      }
+      if (kDirect) {
+        orow[j] = acc;
+      } else {
+        orow[j] += acc;
+      }
+    }
+  }
+}
+
+// nt/tt fast path: inner-product GEMM, cache-blocked so each B panel of
+// kJTile rows is reused across every output row of the chunk while it
+// is still L1-resident. For tt the strided A columns are packed once
+// per chunk into a contiguous panel.
+void GemmRowsInnerFast(const GemmView& g, int64_t rb, int64_t re) {
+  const float* a_panel = nullptr;
+  int64_t a_stride = 0;
+  std::vector<float> packed;
+  if (!g.ta) {
+    a_panel = g.a + rb * g.lda;
+    a_stride = g.lda;
+  } else {
+    packed.resize(static_cast<size_t>((re - rb) * g.k));
+    for (int64_t i = rb; i < re; ++i) {
+      float* dst = packed.data() + (i - rb) * g.k;
+      for (int64_t p = 0; p < g.k; ++p) dst[p] = g.a[p * g.lda + i];
+    }
+    a_panel = packed.data();
+    a_stride = g.k;
+  }
+  for (int64_t jb = 0; jb < g.n; jb += kJTile) {
+    const int64_t je = jb + kJTile < g.n ? jb + kJTile : g.n;
+    for (int64_t i = rb; i < re; ++i) {
+      const float* arow = a_panel + (i - rb) * a_stride;
+      float* orow = g.out + i * g.n;
+      for (int64_t j = jb; j < je; ++j) {
+        orow[j] += DotFma(arow, g.b + j * g.ldb, g.k);
+      }
+    }
+  }
+}
+
+void GemmRows(const GemmView& g, int64_t rb, int64_t re, bool det) {
+  if (!g.tb) {
+    if (det) {
+      if (g.ta) {
+        GemmRowsStreamB<true, false>(g, rb, re);
+      } else {
+        GemmRowsStreamB<true, true>(g, rb, re);
+      }
+    } else {
+      if (g.ta) {
+        GemmRowsStreamB<false, false>(g, rb, re);
+      } else {
+        GemmRowsStreamB<false, true>(g, rb, re);
+      }
+    }
+    return;
+  }
+  // Inner-product paths: vector lanes would have to span a single
+  // element's accumulation chain, so deterministic mode keeps the
+  // scalar reference order.
+  if (det) {
+    ScalarGemmRows(g, rb, re, det);
+  } else {
+    GemmRowsInnerFast(g, rb, re);
+  }
+}
+
+// One register-blocked y-row tile of SpMM: kVecs accumulator vectors
+// stay in registers across the whole edge scan, so per edge the work is
+// one broadcast + kVecs load/fmadd pairs with no y round-trip. The
+// per-element accumulation order is still exactly CSR edge order, so
+// the deterministic flavor is bit-identical to the scalar reference
+// (which also starts each element at 0 and adds edges in order).
+template <bool kDet, int kVecs>
+inline void SpmmRowTile(const SpmmView& s, int64_t ib, int64_t ie,
+                        int64_t c0, float* yr) {
+  __m256 acc[kVecs];
+  for (int t = 0; t < kVecs; ++t) acc[t] = _mm256_setzero_ps();
+  for (int64_t i = ib; i < ie; ++i) {
+    const __m256 v8 = _mm256_set1_ps(s.values[i]);
+    const float* xr =
+        s.x + static_cast<int64_t>(s.indices[i]) * s.d + c0;
+    for (int t = 0; t < kVecs; ++t) {
+      const __m256 x8 = _mm256_loadu_ps(xr + 8 * t);
+      acc[t] = kDet ? _mm256_add_ps(acc[t], _mm256_mul_ps(v8, x8))
+                    : _mm256_fmadd_ps(v8, x8, acc[t]);
+    }
+  }
+  for (int t = 0; t < kVecs; ++t) _mm256_storeu_ps(yr + c0 + 8 * t, acc[t]);
+}
+
+// Fast-mode small-width tile: with one or two accumulator vectors the
+// edge loop is latency-bound on a single FMA chain, so split the edges
+// across four independent chains and combine at the end. Reorders the
+// accumulation (fast mode only).
+template <int kVecs>
+inline void SpmmRowTileFast4(const SpmmView& s, int64_t ib, int64_t ie,
+                             int64_t c0, float* yr) {
+  __m256 acc[kVecs][4];
+  for (int t = 0; t < kVecs; ++t) {
+    for (int e = 0; e < 4; ++e) acc[t][e] = _mm256_setzero_ps();
+  }
+  int64_t i = ib;
+  for (; i + 4 <= ie; i += 4) {
+    for (int e = 0; e < 4; ++e) {
+      const __m256 v8 = _mm256_set1_ps(s.values[i + e]);
+      const float* xr =
+          s.x + static_cast<int64_t>(s.indices[i + e]) * s.d + c0;
+      for (int t = 0; t < kVecs; ++t) {
+        acc[t][e] =
+            _mm256_fmadd_ps(v8, _mm256_loadu_ps(xr + 8 * t), acc[t][e]);
+      }
+    }
+  }
+  for (; i < ie; ++i) {
+    const __m256 v8 = _mm256_set1_ps(s.values[i]);
+    const float* xr =
+        s.x + static_cast<int64_t>(s.indices[i]) * s.d + c0;
+    for (int t = 0; t < kVecs; ++t) {
+      acc[t][0] =
+          _mm256_fmadd_ps(v8, _mm256_loadu_ps(xr + 8 * t), acc[t][0]);
+    }
+  }
+  for (int t = 0; t < kVecs; ++t) {
+    _mm256_storeu_ps(
+        yr + c0 + 8 * t,
+        _mm256_add_ps(_mm256_add_ps(acc[t][0], acc[t][1]),
+                      _mm256_add_ps(acc[t][2], acc[t][3])));
+  }
+}
+
+void SpmmRows(const SpmmView& s, int64_t rb, int64_t re, bool det) {
+  for (int64_t r = rb; r < re; ++r) {
+    float* yr = s.y + r * s.d;
+    const int64_t ib = s.indptr[r];
+    const int64_t ie = s.indptr[r + 1];
+    // 32-float register tiles over the feature dimension; wide rows
+    // re-scan the (L1-resident) edge slice once per tile.
+    int64_t c = 0;
+    while (c + 8 <= s.d) {
+      const int64_t rem = (s.d - c) / 8;
+      const int vecs = rem < 4 ? static_cast<int>(rem) : 4;
+      switch (vecs) {
+        case 4:
+          det ? SpmmRowTile<true, 4>(s, ib, ie, c, yr)
+              : SpmmRowTile<false, 4>(s, ib, ie, c, yr);
+          break;
+        case 3:
+          det ? SpmmRowTile<true, 3>(s, ib, ie, c, yr)
+              : SpmmRowTileFast4<3>(s, ib, ie, c, yr);
+          break;
+        case 2:
+          det ? SpmmRowTile<true, 2>(s, ib, ie, c, yr)
+              : SpmmRowTileFast4<2>(s, ib, ie, c, yr);
+          break;
+        default:
+          det ? SpmmRowTile<true, 1>(s, ib, ie, c, yr)
+              : SpmmRowTileFast4<1>(s, ib, ie, c, yr);
+          break;
+      }
+      c += vecs * 8;
+    }
+    // Scalar tail lanes, still per-element edge order.
+    for (; c < s.d; ++c) {
+      float acc = 0.0f;
+      for (int64_t i = ib; i < ie; ++i) {
+        acc += s.values[i] * s.x[static_cast<int64_t>(s.indices[i]) * s.d + c];
+      }
+      yr[c] = acc;
+    }
+  }
+}
+
+void AddIntoImpl(float* y, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                                          _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void AxpyIntoImpl(float* y, float a, const float* x, int64_t n) {
+  const __m256 a8 = _mm256_set1_ps(a);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                             _mm256_mul_ps(a8, _mm256_loadu_ps(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void ScaleIntoImpl(float* y, float a, int64_t n) {
+  const __m256 a8 = _mm256_set1_ps(a);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), a8));
+  }
+  for (; i < n; ++i) y[i] *= a;
+}
+
+void MulIntoImpl(float* y, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i),
+                                          _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void MulAddIntoImpl(float* y, const float* g, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i,
+        _mm256_add_ps(_mm256_loadu_ps(y + i),
+                      _mm256_mul_ps(_mm256_loadu_ps(g + i),
+                                    _mm256_loadu_ps(x + i))));
+  }
+  for (; i < n; ++i) y[i] += g[i] * x[i];
+}
+
+void LeakyReluFwdImpl(float* y, int64_t n, float slope) {
+  const __m256 s8 = _mm256_set1_ps(slope);
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(y + i);
+    // NaN compares false against 0, so NaN lanes keep their value —
+    // same as the scalar `if (v < 0)` branch.
+    const __m256 neg = _mm256_cmp_ps(v, zero, _CMP_LT_OQ);
+    _mm256_storeu_ps(y + i,
+                     _mm256_blendv_ps(v, _mm256_mul_ps(v, s8), neg));
+  }
+  for (; i < n; ++i) {
+    if (y[i] < 0.0f) y[i] *= slope;
+  }
+}
+
+void LeakyReluBwdImpl(float* gx, const float* g, const float* x, int64_t n,
+                      float slope) {
+  const __m256 s8 = _mm256_set1_ps(slope);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + i);
+    const __m256 ge = _mm256_cmp_ps(xv, zero, _CMP_GE_OQ);
+    const __m256 factor = _mm256_blendv_ps(s8, one, ge);
+    _mm256_storeu_ps(
+        gx + i,
+        _mm256_add_ps(_mm256_loadu_ps(gx + i),
+                      _mm256_mul_ps(_mm256_loadu_ps(g + i), factor)));
+  }
+  for (; i < n; ++i) {
+    gx[i] += g[i] * (x[i] >= 0.0f ? 1.0f : slope);
+  }
+}
+
+float DotImpl(const float* a, const float* b, int64_t n, bool det) {
+  if (det) return ScalarDot(a, b, n, det);
+  return DotFma(a, b, n);
+}
+
+}  // namespace
+
+const KernelTable* Avx2KernelTable() {
+  static const KernelTable table = {
+      /*name=*/"avx2",
+      /*isa=*/Isa::kAvx2,
+      /*gemm_rows=*/&GemmRows,
+      /*spmm_rows=*/&SpmmRows,
+      /*add_into=*/&AddIntoImpl,
+      /*axpy_into=*/&AxpyIntoImpl,
+      /*scale_into=*/&ScaleIntoImpl,
+      /*mul_into=*/&MulIntoImpl,
+      /*mul_add_into=*/&MulAddIntoImpl,
+      /*leaky_relu_fwd=*/&LeakyReluFwdImpl,
+      /*leaky_relu_bwd=*/&LeakyReluBwdImpl,
+      /*dot=*/&DotImpl,
+  };
+  return &table;
+}
+
+}  // namespace dgnn::kernels
+
+#endif  // __AVX2__ && __FMA__

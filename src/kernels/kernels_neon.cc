@@ -1,0 +1,261 @@
+// NEON kernel variant (aarch64). Compiled with -ffp-contract=off so the
+// deterministic paths' explicit mul-then-add sequences stay two rounded
+// operations; only the fast paths use vfmaq_f32 fused multiply-add.
+//
+// Mirrors kernels_avx2.cc: deterministic mode vectorizes only across
+// independent output elements (nn/tn GEMM over j, SpMM over the feature
+// dim, all elementwise ops) so results are bit-identical to the scalar
+// reference; the inner-product GEMM paths (nt/tt) fall back to the
+// scalar reference in deterministic mode and get FMA dots in fast mode.
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+#include <arm_neon.h>
+
+#include <cstring>
+#include <vector>
+
+#include "kernels/kernels.h"
+
+namespace dgnn::kernels {
+namespace {
+
+inline float Hsum(float32x4_t v) { return vaddvq_f32(v); }
+
+// FMA dot with 4 independent accumulators — fast mode only.
+inline float DotFma(const float* a, const float* b, int64_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f);
+  float32x4_t acc3 = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    acc2 = vfmaq_f32(acc2, vld1q_f32(a + i + 8), vld1q_f32(b + i + 8));
+    acc3 = vfmaq_f32(acc3, vld1q_f32(a + i + 12), vld1q_f32(b + i + 12));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+  }
+  float r = Hsum(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+  for (; i < n; ++i) r += a[i] * b[i];
+  return r;
+}
+
+template <bool kDet, bool kDirect>
+inline void GemmRowsStreamB(const GemmView& g, int64_t rb, int64_t re) {
+  for (int64_t i = rb; i < re; ++i) {
+    float* orow = g.out + i * g.n;
+    int64_t j = 0;
+    for (; j + 4 <= g.n; j += 4) {
+      float32x4_t acc = kDirect ? vld1q_f32(orow + j) : vdupq_n_f32(0.0f);
+      for (int64_t p = 0; p < g.k; ++p) {
+        const float av = g.ta ? g.a[p * g.lda + i] : g.a[i * g.lda + p];
+        if (!kDet && av == 0.0f) continue;
+        const float32x4_t bv = vld1q_f32(g.b + p * g.ldb + j);
+        if (kDet) {
+          acc = vaddq_f32(acc, vmulq_n_f32(bv, av));
+        } else {
+          acc = vfmaq_n_f32(acc, bv, av);
+        }
+      }
+      if (kDirect) {
+        vst1q_f32(orow + j, acc);
+      } else {
+        vst1q_f32(orow + j, vaddq_f32(vld1q_f32(orow + j), acc));
+      }
+    }
+    for (; j < g.n; ++j) {
+      float acc = kDirect ? orow[j] : 0.0f;
+      for (int64_t p = 0; p < g.k; ++p) {
+        const float av = g.ta ? g.a[p * g.lda + i] : g.a[i * g.lda + p];
+        if (!kDet && av == 0.0f) continue;
+        acc += av * g.b[p * g.ldb + j];
+      }
+      if (kDirect) {
+        orow[j] = acc;
+      } else {
+        orow[j] += acc;
+      }
+    }
+  }
+}
+
+void GemmRowsInnerFast(const GemmView& g, int64_t rb, int64_t re) {
+  const float* a_panel = nullptr;
+  int64_t a_stride = 0;
+  std::vector<float> packed;
+  if (!g.ta) {
+    a_panel = g.a + rb * g.lda;
+    a_stride = g.lda;
+  } else {
+    packed.resize(static_cast<size_t>((re - rb) * g.k));
+    for (int64_t i = rb; i < re; ++i) {
+      float* dst = packed.data() + (i - rb) * g.k;
+      for (int64_t p = 0; p < g.k; ++p) dst[p] = g.a[p * g.lda + i];
+    }
+    a_panel = packed.data();
+    a_stride = g.k;
+  }
+  constexpr int64_t kJTile = 64;
+  for (int64_t jb = 0; jb < g.n; jb += kJTile) {
+    const int64_t je = jb + kJTile < g.n ? jb + kJTile : g.n;
+    for (int64_t i = rb; i < re; ++i) {
+      const float* arow = a_panel + (i - rb) * a_stride;
+      float* orow = g.out + i * g.n;
+      for (int64_t j = jb; j < je; ++j) {
+        orow[j] += DotFma(arow, g.b + j * g.ldb, g.k);
+      }
+    }
+  }
+}
+
+void GemmRows(const GemmView& g, int64_t rb, int64_t re, bool det) {
+  if (!g.tb) {
+    if (det) {
+      if (g.ta) {
+        GemmRowsStreamB<true, false>(g, rb, re);
+      } else {
+        GemmRowsStreamB<true, true>(g, rb, re);
+      }
+    } else {
+      if (g.ta) {
+        GemmRowsStreamB<false, false>(g, rb, re);
+      } else {
+        GemmRowsStreamB<false, true>(g, rb, re);
+      }
+    }
+    return;
+  }
+  if (det) {
+    ScalarGemmRows(g, rb, re, det);
+  } else {
+    GemmRowsInnerFast(g, rb, re);
+  }
+}
+
+void SpmmRows(const SpmmView& s, int64_t rb, int64_t re, bool det) {
+  std::memset(s.y + rb * s.d, 0,
+              sizeof(float) * static_cast<size_t>((re - rb) * s.d));
+  const int64_t dv = s.d & ~int64_t{3};
+  for (int64_t r = rb; r < re; ++r) {
+    float* yr = s.y + r * s.d;
+    for (int64_t i = s.indptr[r]; i < s.indptr[r + 1]; ++i) {
+      const float v = s.values[i];
+      const float* xr = s.x + static_cast<int64_t>(s.indices[i]) * s.d;
+      int64_t c = 0;
+      for (; c < dv; c += 4) {
+        const float32x4_t y4 = vld1q_f32(yr + c);
+        const float32x4_t x4 = vld1q_f32(xr + c);
+        vst1q_f32(yr + c, det ? vaddq_f32(y4, vmulq_n_f32(x4, v))
+                              : vfmaq_n_f32(y4, x4, v));
+      }
+      for (; c < s.d; ++c) yr[c] += v * xr[c];
+    }
+  }
+}
+
+void AddIntoImpl(float* y, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void AxpyIntoImpl(float* y, float a, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i),
+                               vmulq_n_f32(vld1q_f32(x + i), a)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void ScaleIntoImpl(float* y, float a, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vmulq_n_f32(vld1q_f32(y + i), a));
+  }
+  for (; i < n; ++i) y[i] *= a;
+}
+
+void MulIntoImpl(float* y, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vmulq_f32(vld1q_f32(y + i), vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void MulAddIntoImpl(float* y, const float* g, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i,
+              vaddq_f32(vld1q_f32(y + i),
+                        vmulq_f32(vld1q_f32(g + i), vld1q_f32(x + i))));
+  }
+  for (; i < n; ++i) y[i] += g[i] * x[i];
+}
+
+void LeakyReluFwdImpl(float* y, int64_t n, float slope) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t v = vld1q_f32(y + i);
+    // NaN compares false against 0, so NaN lanes keep their value —
+    // same as the scalar `if (v < 0)` branch.
+    const uint32x4_t neg = vcltq_f32(v, zero);
+    vst1q_f32(y + i, vbslq_f32(neg, vmulq_n_f32(v, slope), v));
+  }
+  for (; i < n; ++i) {
+    if (y[i] < 0.0f) y[i] *= slope;
+  }
+}
+
+void LeakyReluBwdImpl(float* gx, const float* g, const float* x, int64_t n,
+                      float slope) {
+  const float32x4_t s4 = vdupq_n_f32(slope);
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t ge = vcgeq_f32(vld1q_f32(x + i), zero);
+    const float32x4_t factor = vbslq_f32(ge, one, s4);
+    vst1q_f32(gx + i, vaddq_f32(vld1q_f32(gx + i),
+                                vmulq_f32(vld1q_f32(g + i), factor)));
+  }
+  for (; i < n; ++i) {
+    gx[i] += g[i] * (x[i] >= 0.0f ? 1.0f : slope);
+  }
+}
+
+float DotImpl(const float* a, const float* b, int64_t n, bool det) {
+  if (det) return ScalarDot(a, b, n, det);
+  return DotFma(a, b, n);
+}
+
+}  // namespace
+
+const KernelTable* NeonKernelTable() {
+  static const KernelTable table = {
+      /*name=*/"neon",
+      /*isa=*/Isa::kNeon,
+      /*gemm_rows=*/&GemmRows,
+      /*spmm_rows=*/&SpmmRows,
+      /*add_into=*/&AddIntoImpl,
+      /*axpy_into=*/&AxpyIntoImpl,
+      /*scale_into=*/&ScaleIntoImpl,
+      /*mul_into=*/&MulIntoImpl,
+      /*mul_add_into=*/&MulAddIntoImpl,
+      /*leaky_relu_fwd=*/&LeakyReluFwdImpl,
+      /*leaky_relu_bwd=*/&LeakyReluBwdImpl,
+      /*dot=*/&DotImpl,
+  };
+  return &table;
+}
+
+}  // namespace dgnn::kernels
+
+#endif  // __ARM_NEON

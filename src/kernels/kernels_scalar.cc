@@ -1,0 +1,161 @@
+// Scalar reference kernels — the semantics every SIMD variant is tested
+// against. Deterministic mode IS this code; the parity suite asserts
+// the SIMD tables reproduce it bit for bit.
+
+#include <cstring>
+
+#include "kernels/kernels.h"
+
+namespace dgnn::kernels {
+namespace {
+
+// out += op(A) @ op(B) over output rows [rb, re).
+//
+// Accumulation-order contract (what "bit-identical" means everywhere
+// else in this library):
+//  * nn/tn (B-rows streamed): out[i][j] accumulates one rounded
+//    av * b[p][j] product per p, in ascending p order, directly into
+//    the existing out value.
+//  * nt/tt (inner-product shaped): a fresh acc starts at 0, sums the
+//    rounded products in ascending p order, and is added to out[i][j]
+//    with a single final add.
+//
+// The deterministic path never skips zero multipliers: 0 * NaN and
+// 0 * Inf must produce NaN so --check-numerics sees anomalies no matter
+// which GEMM path a gradient took. Fast mode restores the sparse skip
+// (dropout-style zeros in A) as an explicit accuracy/throughput trade.
+void GemmRows(const GemmView& g, int64_t rb, int64_t re, bool det) {
+  if (!g.ta && !g.tb) {
+    for (int64_t i = rb; i < re; ++i) {
+      const float* arow = g.a + i * g.lda;
+      float* orow = g.out + i * g.n;
+      for (int64_t p = 0; p < g.k; ++p) {
+        const float av = arow[p];
+        if (!det && av == 0.0f) continue;
+        const float* brow = g.b + p * g.ldb;
+        for (int64_t j = 0; j < g.n; ++j) orow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  if (g.ta && !g.tb) {
+    for (int64_t i = rb; i < re; ++i) {
+      float* orow = g.out + i * g.n;
+      for (int64_t j = 0; j < g.n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < g.k; ++p) {
+          acc += g.a[p * g.lda + i] * g.b[p * g.ldb + j];
+        }
+        orow[j] += acc;
+      }
+    }
+    return;
+  }
+  if (!g.ta && g.tb) {
+    for (int64_t i = rb; i < re; ++i) {
+      const float* arow = g.a + i * g.lda;
+      float* orow = g.out + i * g.n;
+      for (int64_t j = 0; j < g.n; ++j) {
+        const float* brow = g.b + j * g.ldb;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < g.k; ++p) acc += arow[p] * brow[p];
+        orow[j] += acc;
+      }
+    }
+    return;
+  }
+  // ta && tb
+  for (int64_t i = rb; i < re; ++i) {
+    float* orow = g.out + i * g.n;
+    for (int64_t j = 0; j < g.n; ++j) {
+      const float* brow = g.b + j * g.ldb;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < g.k; ++p) acc += g.a[p * g.lda + i] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+void SpmmRows(const SpmmView& s, int64_t rb, int64_t re, bool /*det*/) {
+  std::memset(s.y + rb * s.d, 0,
+              sizeof(float) * static_cast<size_t>((re - rb) * s.d));
+  for (int64_t r = rb; r < re; ++r) {
+    float* yr = s.y + r * s.d;
+    for (int64_t i = s.indptr[r]; i < s.indptr[r + 1]; ++i) {
+      const float v = s.values[i];
+      const float* xr = s.x + static_cast<int64_t>(s.indices[i]) * s.d;
+      for (int64_t c = 0; c < s.d; ++c) yr[c] += v * xr[c];
+    }
+  }
+}
+
+void AddIntoImpl(float* y, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void AxpyIntoImpl(float* y, float a, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void ScaleIntoImpl(float* y, float a, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] *= a;
+}
+
+void MulIntoImpl(float* y, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+void MulAddIntoImpl(float* y, const float* g, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += g[i] * x[i];
+}
+
+void LeakyReluFwdImpl(float* y, int64_t n, float slope) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (y[i] < 0.0f) y[i] *= slope;
+  }
+}
+
+void LeakyReluBwdImpl(float* gx, const float* g, const float* x, int64_t n,
+                      float slope) {
+  for (int64_t i = 0; i < n; ++i) {
+    gx[i] += g[i] * (x[i] >= 0.0f ? 1.0f : slope);
+  }
+}
+
+float DotImpl(const float* a, const float* b, int64_t n, bool /*det*/) {
+  // The serial index-order sum is the reference in both modes; only
+  // SIMD tables relax it under fast mode.
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+void ScalarGemmRows(const GemmView& g, int64_t rb, int64_t re, bool det) {
+  GemmRows(g, rb, re, det);
+}
+
+float ScalarDot(const float* a, const float* b, int64_t n, bool det) {
+  return DotImpl(a, b, n, det);
+}
+
+const KernelTable* ScalarKernelTable() {
+  static const KernelTable table = {
+      /*name=*/"scalar",
+      /*isa=*/Isa::kScalar,
+      /*gemm_rows=*/&GemmRows,
+      /*spmm_rows=*/&SpmmRows,
+      /*add_into=*/&AddIntoImpl,
+      /*axpy_into=*/&AxpyIntoImpl,
+      /*scale_into=*/&ScaleIntoImpl,
+      /*mul_into=*/&MulIntoImpl,
+      /*mul_add_into=*/&MulAddIntoImpl,
+      /*leaky_relu_fwd=*/&LeakyReluFwdImpl,
+      /*leaky_relu_bwd=*/&LeakyReluBwdImpl,
+      /*dot=*/&DotImpl,
+  };
+  return &table;
+}
+
+}  // namespace dgnn::kernels

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ag/tensor.h"
+#include "kernels/kernels.h"
 #include "util/thread_pool.h"
 
 namespace dgnn::serve {
@@ -37,10 +38,12 @@ inline bool ScoreGreater(const ScoredItem& a, const ScoredItem& b) {
   return a.item < b.item;
 }
 
+// Both scoring surfaces call the same dispatched kernel, so train-time
+// and serve-time scores stay bit-identical by construction in either
+// numeric mode (deterministic: serial index order on every ISA; fast:
+// the same multi-lane FMA sum on both surfaces).
 inline float Dot(const float* a, const float* b, int64_t d) {
-  float acc = 0.0f;
-  for (int64_t c = 0; c < d; ++c) acc += a[c] * b[c];
-  return acc;
+  return kernels::Dot(a, b, d);
 }
 
 // Keeps the k best entries of `scored` under ScoreGreater (k clamped to
