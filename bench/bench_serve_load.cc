@@ -16,7 +16,10 @@
 //    measured from the SCHEDULED arrival — queueing delay counts. See
 //    serve/trace.h and serve/replay.h. This is the mode whose numbers
 //    are published to bench/trajectory/BENCH_serve.json and gated by
-//    ci/check_bench.sh.
+//    ci/check_bench.sh. Each point also reports engine-side stage
+//    attribution (mean queue/recal/compute/rank/reply from the
+//    serve.stage.* histograms) and the distinct trace-id count, which
+//    must equal requests when per-request tracing is sound.
 //
 // Setup (both modes): a synthetic dataset + model is built in-process,
 // exported through the real snapshot writer, and loaded back through the
@@ -211,9 +214,36 @@ SweepResult RunSweepPoint(serve::ServingEngine& engine, int clients,
   return r;
 }
 
+// Per-stage mean latencies for one open-loop point, read from the
+// serve.stage.* registry histograms (telemetry::Reset() runs before each
+// point, so the totals are that point's alone).
+struct StageMeans {
+  double queue_ms = 0, recal_ms = 0, compute_ms = 0, rank_ms = 0,
+         reply_ms = 0, e2e_ms = 0;
+};
+
+double HistMeanMs(const char* name) {
+  const telemetry::Histogram::Counts c =
+      telemetry::GetHistogram(name)->SnapshotCounts();
+  return c.count > 0 ? static_cast<double>(c.sum_nanos) / 1e6 /
+                           static_cast<double>(c.count)
+                     : 0.0;
+}
+
+StageMeans ReadStageMeans() {
+  StageMeans m;
+  m.queue_ms = HistMeanMs("serve.stage.queue_seconds");
+  m.recal_ms = HistMeanMs("serve.stage.recal_seconds");
+  m.compute_ms = HistMeanMs("serve.stage.compute_seconds");
+  m.rank_ms = HistMeanMs("serve.stage.rank_seconds");
+  m.reply_ms = HistMeanMs("serve.stage.reply_seconds");
+  m.e2e_ms = HistMeanMs("serve.e2e_seconds");
+  return m;
+}
+
 // One open-loop point serialized for BENCH_serve.json.
-std::string OpenPointJson(double target_qps,
-                          const serve::ReplayResult& r) {
+std::string OpenPointJson(double target_qps, const serve::ReplayResult& r,
+                          const StageMeans& stages) {
   util::JsonObject o;
   o.Set("target_qps", target_qps)
       .Set("requests", r.requests)
@@ -232,7 +262,14 @@ std::string OpenPointJson(double target_qps,
       .Set("failed", r.failed)
       .Set("late_dispatches", r.late_dispatches)
       .Set("max_lateness_ms", r.max_lateness_ms)
-      .Set("peak_rss_bytes", r.peak_rss_bytes);
+      .Set("peak_rss_bytes", r.peak_rss_bytes)
+      .Set("distinct_trace_ids", r.distinct_trace_ids)
+      .Set("stage_queue_ms_mean", stages.queue_ms)
+      .Set("stage_recal_ms_mean", stages.recal_ms)
+      .Set("stage_compute_ms_mean", stages.compute_ms)
+      .Set("stage_rank_ms_mean", stages.rank_ms)
+      .Set("stage_reply_ms_mean", stages.reply_ms)
+      .Set("e2e_ms_mean", stages.e2e_ms);
   return o.Build();
 }
 
@@ -385,6 +422,7 @@ int main(int argc, char** argv) {
                        "p95_ms", "p99_ms", "shed", "expired", "late",
                        "rss_mb"});
     std::vector<std::string> points;
+    std::vector<std::string> stage_lines;
     for (double target : qps_sweep) {
       serve::Trace trace;
       if (!replay_path.empty()) {
@@ -412,8 +450,12 @@ int main(int argc, char** argv) {
                        record_path.c_str());
         }
       }
+      // Fresh telemetry per point so the stage histograms attribute to
+      // this point alone (the closed loop has always done this).
+      telemetry::Reset();
       serve::ReplayResult r =
           serve::ReplayTrace(engine, trace.records, replay_config);
+      const StageMeans stages = ReadStageMeans();
       if (target == 0.0) target = r.offered_qps;
       table.AddRow({util::StrFormat("%.0f", target),
                     std::to_string(r.requests),
@@ -423,10 +465,22 @@ int main(int argc, char** argv) {
                     std::to_string(r.expired),
                     std::to_string(r.late_dispatches),
                     util::StrFormat("%.1f", r.peak_rss_bytes / 1e6)});
-      points.push_back(OpenPointJson(target, r));
+      stage_lines.push_back(util::StrFormat(
+          "  qps %-6.0f stage means (ms): queue=%.4f recal=%.4f "
+          "compute=%.4f rank=%.4f reply=%.4f | e2e=%.4f "
+          "(distinct trace ids: %lld/%lld)",
+          target, stages.queue_ms, stages.recal_ms, stages.compute_ms,
+          stages.rank_ms, stages.reply_ms, stages.e2e_ms,
+          (long long)r.distinct_trace_ids, (long long)r.requests));
+      points.push_back(OpenPointJson(target, r, stages));
       if (!replay_path.empty()) break;  // a file trace is one point
     }
     table.Print();
+    std::printf("\nstage attribution (engine-side; queue starts at "
+                "admission, so worker dispatch lateness is excluded):\n");
+    for (const std::string& line : stage_lines) {
+      std::printf("%s\n", line.c_str());
+    }
     if (!bench_json.empty()) {
       return WriteBenchJson(bench_json, "open", dataset.name,
                             (int)zoo.embedding_dim, k,

@@ -25,7 +25,8 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target thread_pool_test parallel_equivalence_test serving_test \
            telemetry_test failure_test run_log_test diagnostics_test \
            serve_engine_test serve_snapshot_test failpoint_test \
-           resume_test serve_trace_test kernel_parity_test
+           resume_test serve_trace_test kernel_parity_test \
+           observability_test
 
 # halt_on_error: fail fast on the first race instead of drowning in reports.
 # telemetry_test has the concurrent-increment test (8 threads hammering one
@@ -42,9 +43,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
 # bytes bit-identical (open-loop replay race-freedom claim);
 # kernel_parity_test runs every dispatched SIMD variant across thread
 # counts 1/2/7 (row-blocked GEMM/SpMM chunks must write disjoint ranges
-# on every ISA).
+# on every ISA); observability_test hammers the per-request trace sink
+# and windowed-stats sampler from concurrent client threads (trace-id
+# uniqueness and stage-histogram recording are lock-free claims).
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test|run_log_test|diagnostics_test|serve_engine_test|serve_snapshot_test|failpoint_test|resume_test|serve_trace_test|kernel_parity_test'
+    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test|run_log_test|diagnostics_test|serve_engine_test|serve_snapshot_test|failpoint_test|resume_test|serve_trace_test|kernel_parity_test|observability_test'
 
 echo "TSan job passed: no data races detected."

@@ -22,6 +22,15 @@
 //       Validate a bench_serve_load --bench-json result file (schema
 //       version 1): required fields per mode, quantile ordering,
 //       outcome-count consistency. ci/check_bench.sh gates on this.
+//   dgnn_inspect stats STATS.jsonl [--prom]
+//       Validate a dgnn_serve --stats-out JSONL file (every line must be
+//       a complete stats snapshot; corruption is exit 2) and render the
+//       newest snapshot — counters, rolling windows, SLO burn — or, with
+//       --prom, emit it as Prometheus text exposition (identical to the
+//       live server's {"op":"stats","format":"prom"}).
+//   dgnn_inspect watch STATS.jsonl [--max-seconds=S]
+//       Tail the stats JSONL, one rendered line per snapshot; with S > 0
+//       keeps polling for new lines that long before exiting.
 //   dgnn_inspect kernels
 //       Report the kernel dispatch state of this build/host: the active
 //       SIMD level (after the DGNN_SIMD env override, if set), every
@@ -35,15 +44,18 @@
 // structurally incomparable logs. ci/check_runlog.sh and
 // ci/check_bench.sh gate on exactly these.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kernels/kernels.h"
+#include "serve/observe.h"
 #include "util/json.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -592,6 +604,153 @@ int BenchValidate(const std::string& path) {
   return 0;
 }
 
+// `dgnn_inspect stats FILE [--prom]`: validate every line of a
+// dgnn_serve --stats-out JSONL file (each line must be a full stats
+// snapshot — corruption anywhere is exit 2, the crash-valid-prefix
+// contract only tolerates a missing tail, not a mangled one) and render
+// the newest snapshot, as a human summary or (--prom) as Prometheus
+// text exposition — byte-identical to what the live server's
+// {"op":"stats","format":"prom"} returns for the same snapshot.
+
+void PrintStatsWindow(const char* name, const JsonValue& w) {
+  std::printf(
+      "  %-4s qps=%-9.1f p50=%-8.3fms p95=%-8.3fms p99=%-8.3fms "
+      "avail=%-7.4f cache=%-6.3f queue=%lld viol(p99=%lld avail=%lld)\n",
+      name, w.NumberOr("qps", 0), w.NumberOr("p50_ms", 0),
+      w.NumberOr("p95_ms", 0), w.NumberOr("p99_ms", 0),
+      w.NumberOr("availability", 0), w.NumberOr("cache_hit_rate", 0),
+      (long long)w.NumberOr("queue_depth", 0),
+      (long long)w.NumberOr("p99_violations", 0),
+      (long long)w.NumberOr("availability_violations", 0));
+}
+
+int StatsRender(const std::string& path, bool prom) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "dgnn_inspect: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::string line, last;
+  int64_t line_no = 0, lines = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    dgnn::util::Status valid =
+        dgnn::serve::observe::ValidateStatsJson(line);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "dgnn_inspect: %s:%lld: %s\n", path.c_str(),
+                   (long long)line_no, valid.ToString().c_str());
+      return 2;
+    }
+    last = line;
+    ++lines;
+  }
+  if (last.empty()) {
+    std::fprintf(stderr, "dgnn_inspect: %s: no stats snapshots\n",
+                 path.c_str());
+    return 2;
+  }
+  if (prom) {
+    auto text = dgnn::serve::observe::PromTextFromStatsJson(last);
+    if (!text.ok()) {
+      std::fprintf(stderr, "dgnn_inspect: %s: %s\n", path.c_str(),
+                   text.status().ToString().c_str());
+      return 2;
+    }
+    std::fputs(text.value().c_str(), stdout);
+    return 0;
+  }
+  auto parsed = ParseJson(last);  // validated above; cannot fail
+  const JsonValue& v = parsed.value();
+  std::printf("%s: %lld snapshot(s); newest:\n", path.c_str(),
+              (long long)lines);
+  std::printf(
+      "  totals: requests=%lld batches=%lld shed=%lld expired=%lld "
+      "failed=%lld degraded=%lld swaps=%lld cache(hit=%lld miss=%lld)\n",
+      (long long)v.NumberOr("requests", 0),
+      (long long)v.NumberOr("batches", 0),
+      (long long)v.NumberOr("shed_requests", 0),
+      (long long)v.NumberOr("expired_requests", 0),
+      (long long)v.NumberOr("failed_requests", 0),
+      (long long)v.NumberOr("degraded_requests", 0),
+      (long long)v.NumberOr("snapshot_swaps", 0),
+      (long long)v.NumberOr("cache_hits", 0),
+      (long long)v.NumberOr("cache_misses", 0));
+  const JsonValue* windows = v.Find("windows");
+  for (const char* name : {"1s", "10s", "60s"}) {
+    const JsonValue* w = windows->Find(name);
+    if (w != nullptr) PrintStatsWindow(name, *w);
+  }
+  const JsonValue* slo = v.Find("slo");
+  if (slo != nullptr) {
+    std::printf(
+        "  slo: p99<%gms avail>%g — ticks=%lld p99_viol=%lld "
+        "avail_viol=%lld\n",
+        slo->NumberOr("p99_ms", 0), slo->NumberOr("availability", 0),
+        (long long)slo->NumberOr("ticks", 0),
+        (long long)slo->NumberOr("p99_violation_ticks", 0),
+        (long long)slo->NumberOr("availability_violation_ticks", 0));
+  }
+  return 0;
+}
+
+// `dgnn_inspect watch FILE [--max-seconds=S]`: tail a --stats-out JSONL
+// file, rendering one line per snapshot as it lands. S <= 0 (default)
+// renders what is there and exits; S > 0 keeps polling for growth that
+// long — the CI-friendly substitute for an interactive `watch`.
+int WatchStats(const std::string& path, double max_seconds) {
+  using Clock = std::chrono::steady_clock;
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "dgnn_inspect: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             max_seconds > 0 ? max_seconds : 0));
+  std::string line;
+  int64_t line_no = 0, shown = 0;
+  for (;;) {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      dgnn::util::Status valid =
+          dgnn::serve::observe::ValidateStatsJson(line);
+      if (!valid.ok()) {
+        std::fprintf(stderr, "dgnn_inspect: %s:%lld: %s\n", path.c_str(),
+                     (long long)line_no, valid.ToString().c_str());
+        return 2;
+      }
+      auto parsed = ParseJson(line);
+      const JsonValue& v = parsed.value();
+      const JsonValue* windows = v.Find("windows");
+      const JsonValue* w1 = windows->Find("1s");
+      const JsonValue* w10 = windows->Find("10s");
+      std::printf(
+          "ts=%-12lld req=%-8lld 1s[qps=%-8.1f p99=%-8.3fms] "
+          "10s[qps=%-8.1f p99=%-8.3fms avail=%-7.4f] shed=%lld "
+          "swaps=%lld\n",
+          (long long)v.NumberOr("ts_us", 0),
+          (long long)v.NumberOr("requests", 0), w1->NumberOr("qps", 0),
+          w1->NumberOr("p99_ms", 0), w10->NumberOr("qps", 0),
+          w10->NumberOr("p99_ms", 0), w10->NumberOr("availability", 0),
+          (long long)v.NumberOr("shed_requests", 0),
+          (long long)v.NumberOr("snapshot_swaps", 0));
+      std::fflush(stdout);
+      ++shown;
+    }
+    // getline hit EOF; clear the state so appended lines are seen on the
+    // next pass.
+    in.clear();
+    if (max_seconds <= 0 || Clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::fprintf(stderr, "dgnn_inspect: watched %lld snapshot(s)\n",
+               (long long)shown);
+  return 0;
+}
+
 // `dgnn_inspect kernels`: one "key: value" line per fact so shell gates
 // can grep without a JSON parser.
 int KernelsReport() {
@@ -616,6 +775,8 @@ int Usage() {
       "  dgnn_inspect diff BASELINE CANDIDATE [--hr-tol=X] [--ndcg-tol=X]"
       " [--loss-tol=X]\n"
       "  dgnn_inspect bench BENCH_serve.json\n"
+      "  dgnn_inspect stats STATS.jsonl [--prom]\n"
+      "  dgnn_inspect watch STATS.jsonl [--max-seconds=S]\n"
       "  dgnn_inspect kernels\n");
   return 2;
 }
@@ -627,6 +788,8 @@ int main(int argc, char** argv) {
   // util::Flags rejects by design.
   std::vector<std::string> positional;
   DiffTolerances tol;
+  bool prom = false;
+  double max_seconds = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--hr-tol=", 0) == 0) {
@@ -635,6 +798,10 @@ int main(int argc, char** argv) {
       tol.ndcg = std::atof(arg.c_str() + 11);
     } else if (arg.rfind("--loss-tol=", 0) == 0) {
       tol.loss = std::atof(arg.c_str() + 11);
+    } else if (arg == "--prom") {
+      prom = true;
+    } else if (arg.rfind("--max-seconds=", 0) == 0) {
+      max_seconds = std::atof(arg.c_str() + 14);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "dgnn_inspect: unknown flag %s\n", arg.c_str());
       return Usage();
@@ -651,6 +818,12 @@ int main(int argc, char** argv) {
   }
   if (positional.size() == 2 && positional[0] == "bench") {
     return BenchValidate(positional[1]);
+  }
+  if (positional.size() == 2 && positional[0] == "stats") {
+    return StatsRender(positional[1], prom);
+  }
+  if (positional.size() == 2 && positional[0] == "watch") {
+    return WatchStats(positional[1], max_seconds);
   }
   if (positional.size() == 1 && positional[0] == "kernels") {
     return KernelsReport();

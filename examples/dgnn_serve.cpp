@@ -9,7 +9,8 @@
 //   {"op":"similar_users","user":3,"k":5}
 //   {"op":"reload"}                        re-read --snapshot from disk
 //   {"op":"swap","snapshot":"other.snap"}  hot-swap to another file
-//   {"op":"stats"}                         engine counters
+//   {"op":"stats"}                         counters + rolling windows
+//   {"op":"stats","format":"prom"}         Prometheus text (in "text")
 //   {"op":"burst","n":64,"user":3,"k":10}  fire n concurrent topk calls
 //   {"op":"quit"}                          acknowledge and exit 0
 //
@@ -43,21 +44,38 @@
 // --social-alpha=A, --max-queue=N, --deadline-ms=T, --metrics-out=F,
 // --trace-out=F, --run-log=F.
 //
+// Live observability (README "Live observability"): --stats-out=F
+// appends a timestamped stats snapshot (counters + rolling 1s/10s/60s
+// windows + SLO burn) as crash-safe JSONL every --stats-every-s seconds
+// (default 10); SIGUSR1 forces a dump immediately.
+// --metrics-flush-every-s=S periodically rewrites --metrics-out so a
+// SIGKILL'd server still leaves recent metrics. --request-log=F streams
+// sampled per-request stage traces (NDJSON; sampling controlled by
+// --trace-sample-rate, default 0.01, deterministic by trace id).
+// --slo-p99-ms / --slo-availability set the SLO thresholds behind the
+// burn counters in the stats snapshot. Render any of these offline with
+// `dgnn_inspect stats|watch`.
+//
 // --replay-trace=F [--workers=N] switches to batch mode: instead of
 // serving stdin, replay a recorded request trace (serve/trace.h)
 // open-loop against the loaded snapshot, print one JSON summary line
 // (coordinated-omission-safe latency; see serve/replay.h), and exit.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "kernels/kernels.h"
 #include "serve/engine.h"
+#include "serve/observe.h"
 #include "serve/replay.h"
 #include "serve/snapshot.h"
 #include "serve/trace.h"
@@ -73,9 +91,99 @@ using namespace dgnn;
 
 volatile std::sig_atomic_t g_reload_requested = 0;
 volatile std::sig_atomic_t g_shutdown_requested = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
 
 void OnSighup(int) { g_reload_requested = 1; }
 void OnShutdown(int) { g_shutdown_requested = 1; }
+void OnSigusr1(int) { g_dump_requested = 1; }
+
+// Background exposition: appends a timestamped stats snapshot to
+// --stats-out every stats_every_s seconds (SIGUSR1 forces one now) and
+// rewrites --metrics-out every metrics_flush_every_s seconds, so a
+// SIGKILL'd server still leaves recent state on disk. The thread wakes
+// every 200 ms to notice signals promptly without busy-waiting.
+class ExpositionLoop {
+ public:
+  ExpositionLoop(serve::ServingEngine& engine,
+                 serve::observe::JsonlAppender* stats_out,
+                 double stats_every_s, const std::string& metrics_out,
+                 double metrics_flush_every_s)
+      : engine_(engine),
+        stats_out_(stats_out),
+        stats_every_s_(stats_every_s),
+        metrics_out_(metrics_out),
+        metrics_flush_every_s_(metrics_flush_every_s) {}
+
+  void Start() {
+    const bool want_stats = stats_out_ != nullptr && stats_out_->active();
+    const bool want_metrics =
+        !metrics_out_.empty() && metrics_flush_every_s_ > 0;
+    if (!want_stats && !want_metrics) return;
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void AppendStatsNow() {
+    if (stats_out_ == nullptr || !stats_out_->active()) return;
+    util::JsonObject o;
+    o.Set("ts_us", telemetry::TraceNowMicros());
+    serve::observe::AppendStatsFields(engine_, &o);
+    stats_out_->Append(o.Build());
+  }
+
+ private:
+  void Run() {
+    using Clock = std::chrono::steady_clock;
+    auto last_stats = Clock::now();
+    auto last_metrics = last_stats;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(200),
+                   [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      const auto now = Clock::now();
+      const bool dump = g_dump_requested != 0;
+      if (dump) g_dump_requested = 0;
+      if (dump || (stats_every_s_ > 0 &&
+                   std::chrono::duration<double>(now - last_stats).count() >=
+                       stats_every_s_)) {
+        AppendStatsNow();
+        last_stats = now;
+      }
+      if (!metrics_out_.empty() && metrics_flush_every_s_ > 0 &&
+          (dump ||
+           std::chrono::duration<double>(now - last_metrics).count() >=
+               metrics_flush_every_s_)) {
+        util::Status st = telemetry::WriteMetricsJson(metrics_out_);
+        if (!st.ok()) {
+          std::fprintf(stderr, "metrics flush failed: %s\n",
+                       st.ToString().c_str());
+        }
+        last_metrics = now;
+      }
+      lock.lock();
+    }
+  }
+
+  serve::ServingEngine& engine_;
+  serve::observe::JsonlAppender* stats_out_;
+  const double stats_every_s_;
+  const std::string metrics_out_;
+  const double metrics_flush_every_s_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
 
 void PrintLine(const std::string& json) {
   std::fputs(json.c_str(), stdout);
@@ -144,18 +252,32 @@ bool Dispatch(serve::ServingEngine& engine, const util::JsonValue& req,
     return true;
   }
   if (op == "stats") {
-    const serve::EngineStats s = engine.stats();
+    // {"op":"stats"} returns the flat counters (wire-compatible with the
+    // pre-observability op) plus the rolling windows and SLO burn
+    // accounting; {"op":"stats","format":"prom"} wraps the Prometheus
+    // text exposition of the same snapshot in a single-line response
+    // (the NDJSON protocol cannot carry raw multi-line text).
+    const std::string format = req.StringOr("format", "json");
+    if (format == "prom") {
+      auto prom = serve::observe::PromTextFromStatsJson(
+          serve::observe::StatsJson(engine));
+      if (!prom.ok()) {
+        RespondError(prom.status().ToString());
+        return true;
+      }
+      util::JsonObject o;
+      o.Set("ok", true).Set("op", op).Set("format", format).Set(
+          "text", prom.value());
+      PrintLine(o.Build());
+      return true;
+    }
+    if (format != "json") {
+      RespondError("unknown stats format '" + format + "'");
+      return true;
+    }
     util::JsonObject o;
-    o.Set("ok", true)
-        .Set("op", op)
-        .Set("requests", s.requests)
-        .Set("batches", s.batches)
-        .Set("cache_hits", s.cache_hits)
-        .Set("cache_misses", s.cache_misses)
-        .Set("snapshot_swaps", s.snapshot_swaps)
-        .Set("degraded_requests", s.degraded_requests)
-        .Set("shed_requests", s.shed_requests)
-        .Set("expired_requests", s.expired_requests);
+    o.Set("ok", true).Set("op", op);
+    serve::observe::AppendStatsFields(engine, &o);
     PrintLine(o.Build());
     return true;
   }
@@ -221,13 +343,17 @@ bool Dispatch(serve::ServingEngine& engine, const util::JsonValue& req,
 
   const serve::Response resp = engine.Handle(request);
   if (!resp.ok) {
-    RespondError(resp.error);
+    util::JsonObject o;
+    o.Set("ok", false).Set("error", resp.error).Set("trace_id",
+                                                    resp.trace_id);
+    PrintLine(o.Build());
     return true;
   }
   util::JsonObject o;
   o.Set("ok", true)
       .Set("op", op)
       .Set("user", static_cast<int64_t>(request.user))
+      .Set("trace_id", resp.trace_id)
       .Set("degraded", resp.degraded)
       .Set("snapshot_version", resp.snapshot_version);
   if (request.type == serve::Request::Type::kScore) {
@@ -251,9 +377,13 @@ int main(int argc, char** argv) {
                  "usage: dgnn_serve --snapshot=FILE [--threads=N] "
                  "[--cache=N] [--social-alpha=A] [--max-queue=N] "
                  "[--deadline-ms=T] [--metrics-out=F] "
-                 "[--trace-out=F] [--run-log=F]\n"
+                 "[--metrics-flush-every-s=S] [--trace-out=F] "
+                 "[--run-log=F] [--stats-out=F] [--stats-every-s=S] "
+                 "[--request-log=F] [--trace-sample-rate=R] "
+                 "[--slo-p99-ms=T] [--slo-availability=A]\n"
                  "reads NDJSON requests on stdin; SIGHUP re-reads the "
-                 "snapshot file; SIGTERM/SIGINT drain and exit 0\n");
+                 "snapshot file; SIGUSR1 dumps stats/metrics now; "
+                 "SIGTERM/SIGINT drain and exit 0\n");
     return 2;
   }
   if (flags.Has("threads")) {
@@ -287,7 +417,37 @@ int main(int argc, char** argv) {
       static_cast<float>(flags.GetDouble("social-alpha", 0.0));
   config.max_queue = static_cast<int>(flags.GetInt("max-queue", 0));
   config.default_deadline_ms = flags.GetInt("deadline-ms", 0);
+  // The windowed sampler always runs in server mode: a long-lived server
+  // is exactly what rolling windows are for, and a 1 Hz tick is
+  // negligible next to any request.
+  config.sampler_period_ms = 1000;
+  config.trace_sample_rate = flags.GetDouble("trace-sample-rate", 0.01);
+  config.slo_p99_ms = flags.GetDouble("slo-p99-ms", 0.0);
+  config.slo_availability = flags.GetDouble("slo-availability", 0.0);
   serve::ServingEngine engine(config);
+
+  serve::observe::JsonlAppender request_log;
+  const std::string request_log_path = flags.GetString("request-log", "");
+  if (!request_log_path.empty()) {
+    util::Status s = request_log.Open(request_log_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    engine.SetTraceSink([&request_log](const serve::RequestTrace& t) {
+      request_log.Append(serve::observe::RequestTraceJson(t));
+    });
+  }
+  serve::observe::JsonlAppender stats_out;
+  const std::string stats_out_path = flags.GetString("stats-out", "");
+  if (!stats_out_path.empty()) {
+    util::Status s = stats_out.Open(stats_out_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
   util::Status loaded = engine.Load(snapshot_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.ToString().c_str());
@@ -347,12 +507,22 @@ int main(int argc, char** argv) {
         .Set("expired", r.expired)
         .Set("failed", r.failed)
         .Set("late_dispatches", r.late_dispatches)
+        .Set("distinct_trace_ids", r.distinct_trace_ids)
         .Set("peak_rss_bytes", r.peak_rss_bytes);
     PrintLine(o.Build());
     return 0;
   }
 
   std::signal(SIGHUP, OnSighup);
+  // SIGUSR1 asks the exposition loop for an immediate stats/metrics dump
+  // (SA_RESTART so it does NOT interrupt the blocking stdin read — the
+  // dump happens on the background thread, not the request loop).
+  struct sigaction dump_action;
+  std::memset(&dump_action, 0, sizeof(dump_action));
+  dump_action.sa_handler = OnSigusr1;
+  sigemptyset(&dump_action.sa_mask);
+  dump_action.sa_flags = SA_RESTART;
+  sigaction(SIGUSR1, &dump_action, nullptr);
   // SIGTERM/SIGINT: sigaction without SA_RESTART, so a pending blocking
   // getline fails with EINTR and the loop falls through to the drain path
   // below instead of waiting for the next request line.
@@ -363,6 +533,11 @@ int main(int argc, char** argv) {
   shutdown_action.sa_flags = 0;
   sigaction(SIGTERM, &shutdown_action, nullptr);
   sigaction(SIGINT, &shutdown_action, nullptr);
+
+  ExpositionLoop exposition(
+      engine, &stats_out, flags.GetDouble("stats-every-s", 10.0),
+      metrics_out, flags.GetDouble("metrics-flush-every-s", 0.0));
+  exposition.Start();
 
   std::string line;
   bool running = true;
@@ -389,9 +564,33 @@ int main(int argc, char** argv) {
   }
 
   // Drain path: Handle calls are synchronous, so reaching this point means
-  // every admitted micro-batch has completed — flush and exit 0.
+  // every admitted micro-batch has completed. Flush every observability
+  // output FIRST — metrics, chrome trace, the final stats snapshot and
+  // the request log — and only then emit serve_end: if any flush here
+  // crashes or is cut short, the run log's missing serve_end says so,
+  // instead of a clean-looking serve_end followed by silently lost
+  // metrics (the old atexit-ordering hazard).
   const char* exit_reason =
       g_shutdown_requested ? "signal" : (running ? "eof" : "quit");
+  exposition.Stop();
+  exposition.AppendStatsNow();  // final snapshot with the closing totals
+  stats_out.Close();
+  request_log.Close();
+  int exit_code = 0;
+  if (!metrics_out.empty()) {
+    util::Status st = telemetry::WriteMetricsJson(metrics_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    util::Status st = telemetry::WriteTraceJson(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      exit_code = 1;
+    }
+  }
   const serve::EngineStats s = engine.stats();
   if (runlog::Active()) {
     util::JsonObject o;
@@ -403,23 +602,10 @@ int main(int argc, char** argv) {
         .Set("snapshot_swaps", s.snapshot_swaps)
         .Set("degraded_requests", s.degraded_requests)
         .Set("shed_requests", s.shed_requests)
-        .Set("expired_requests", s.expired_requests);
+        .Set("expired_requests", s.expired_requests)
+        .Set("failed_requests", s.failed_requests);
     runlog::Emit("serve_end", o);
     runlog::Close();
-  }
-  if (!metrics_out.empty()) {
-    util::Status st = telemetry::WriteMetricsJson(metrics_out);
-    if (!st.ok()) {
-      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-      return 1;
-    }
-  }
-  if (!trace_out.empty()) {
-    util::Status st = telemetry::WriteTraceJson(trace_out);
-    if (!st.ok()) {
-      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-      return 1;
-    }
   }
   std::fprintf(stderr,
                "dgnn_serve: %lld requests in %lld batches, %lld swaps, "
@@ -428,5 +614,5 @@ int main(int argc, char** argv) {
                (long long)s.snapshot_swaps, (long long)s.degraded_requests,
                (long long)s.shed_requests, (long long)s.expired_requests,
                exit_reason);
-  return 0;
+  return exit_code;
 }

@@ -26,9 +26,22 @@ struct ServeMetrics {
   telemetry::Counter* shed = telemetry::GetCounter("serve.shed_requests");
   telemetry::Counter* expired =
       telemetry::GetCounter("serve.expired_requests");
+  telemetry::Counter* failed =
+      telemetry::GetCounter("serve.failed_requests");
   telemetry::Gauge* queue_depth = telemetry::GetGauge("serve.queue_depth");
   telemetry::Histogram* latency =
       telemetry::GetHistogram("serve.request_seconds");
+  telemetry::Histogram* e2e = telemetry::GetHistogram("serve.e2e_seconds");
+  telemetry::Histogram* stage_queue =
+      telemetry::GetHistogram("serve.stage.queue_seconds");
+  telemetry::Histogram* stage_recal =
+      telemetry::GetHistogram("serve.stage.recal_seconds");
+  telemetry::Histogram* stage_compute =
+      telemetry::GetHistogram("serve.stage.compute_seconds");
+  telemetry::Histogram* stage_rank =
+      telemetry::GetHistogram("serve.stage.rank_seconds");
+  telemetry::Histogram* stage_reply =
+      telemetry::GetHistogram("serve.stage.reply_seconds");
 };
 
 ServeMetrics& Metrics() {
@@ -36,9 +49,48 @@ ServeMetrics& Metrics() {
   return *m;
 }
 
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+// Deterministic finalizing hash: the trace-sampling decision depends only
+// on the trace id, so a replayed workload samples the same requests.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool TraceSampled(int64_t trace_id, double rate) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  const double threshold = rate * 18446744073709551616.0;  // rate * 2^64
+  return static_cast<double>(
+             SplitMix64(static_cast<uint64_t>(trace_id))) < threshold;
+}
+
+const char* RequestTypeName(Request::Type t) {
+  switch (t) {
+    case Request::Type::kTopK: return "topk";
+    case Request::Type::kScore: return "score";
+    case Request::Type::kSimilarUsers: return "similar_users";
+  }
+  return "?";
+}
+
 }  // namespace
 
-ServingEngine::ServingEngine(EngineConfig config) : config_(config) {}
+ServingEngine::ServingEngine(EngineConfig config) : config_(config) {
+  telemetry::WindowedStats::Config wcfg;
+  wcfg.slo_p99_ms = config_.slo_p99_ms;
+  wcfg.slo_availability = config_.slo_availability;
+  windows_ = std::make_unique<telemetry::WindowedStats>(wcfg);
+  if (config_.sampler_period_ms > 0) StartSampler();
+}
+
+ServingEngine::~ServingEngine() { StopSampler(); }
 
 util::Status ServingEngine::Load(const std::string& path) {
   auto snapshot = ReadSnapshot(path);
@@ -105,11 +157,84 @@ void ServingEngine::StampDeadline(Slot* slot) const {
                    std::chrono::milliseconds(timeout_ms);
 }
 
+bool ServingEngine::Observing() const {
+  return telemetry::Enabled() ||
+         sampler_running_.load(std::memory_order_relaxed) ||
+         has_sink_.load(std::memory_order_relaxed);
+}
+
+void ServingEngine::AdmitSlot(Slot* slot) {
+  slot->trace_id =
+      next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  slot->stages.active = Observing();
+  if (slot->stages.active) {
+    slot->stages.admit = std::chrono::steady_clock::now();
+  }
+  StampDeadline(slot);
+}
+
+void ServingEngine::FinishSlot(Slot* slot) {
+  slot->response.trace_id = slot->trace_id;
+  if (!slot->stages.active) return;
+  const auto t_done = std::chrono::steady_clock::now();
+  const double total = Seconds(slot->stages.admit, t_done);
+  double queue_s = total;
+  double reply_s = 0.0;
+  if (slot->outcome != Outcome::kShed) {
+    queue_s = Seconds(slot->stages.admit, slot->stages.exec_start);
+    reply_s = Seconds(slot->stages.exec_end, t_done);
+  }
+  e2e_hist_.Record(total);
+  stage_queue_.Record(queue_s);
+  stage_recal_.Record(slot->stages.recal_seconds);
+  stage_compute_.Record(slot->stages.compute_seconds);
+  stage_rank_.Record(slot->stages.rank_seconds);
+  stage_reply_.Record(reply_s);
+  if (telemetry::Enabled()) {
+    ServeMetrics& m = Metrics();
+    m.e2e->Record(total);
+    m.stage_queue->Record(queue_s);
+    m.stage_recal->Record(slot->stages.recal_seconds);
+    m.stage_compute->Record(slot->stages.compute_seconds);
+    m.stage_rank->Record(slot->stages.rank_seconds);
+    m.stage_reply->Record(reply_s);
+  }
+  if (has_sink_.load(std::memory_order_relaxed) &&
+      TraceSampled(slot->trace_id, config_.trace_sample_rate)) {
+    RequestTrace t;
+    t.trace_id = slot->trace_id;
+    // Admission timestamp on the trace-epoch clock, reconstructed from
+    // the measured total so only sampled requests pay the epoch lookup.
+    t.ts_us = telemetry::TraceNowMicros() -
+              static_cast<int64_t>(total * 1e6);
+    t.type = RequestTypeName(slot->request->type);
+    switch (slot->outcome) {
+      case Outcome::kOk: t.outcome = "ok"; break;
+      case Outcome::kShed: t.outcome = "shed"; break;
+      case Outcome::kExpired: t.outcome = "expired"; break;
+      case Outcome::kFailed: t.outcome = "failed"; break;
+    }
+    t.user = slot->request->user;
+    t.k = slot->request->k;
+    t.batch_size = slot->batch_size;
+    t.snapshot_version = slot->response.snapshot_version;
+    t.degraded = slot->response.degraded;
+    t.queue_seconds = queue_s;
+    t.recal_seconds = slot->stages.recal_seconds;
+    t.compute_seconds = slot->stages.compute_seconds;
+    t.rank_seconds = slot->stages.rank_seconds;
+    t.reply_seconds = reply_s;
+    t.total_seconds = total;
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    if (sink_) sink_(t);
+  }
+}
+
 Response ServingEngine::Handle(const Request& request) {
   telemetry::ScopedLatency record_latency(Metrics().latency);
   Slot slot;
   slot.request = &request;
-  StampDeadline(&slot);
+  AdmitSlot(&slot);
   std::unique_lock<std::mutex> lock(batch_mu_);
   if (leader_active_) {
     // Load shedding: a full follower queue means the leader is already
@@ -120,9 +245,11 @@ Response ServingEngine::Handle(const Request& request) {
       lock.unlock();
       n_shed_.fetch_add(1, std::memory_order_relaxed);
       if (telemetry::Enabled()) Metrics().shed->Add(1);
-      Response resp;
-      resp.error = "overloaded";
-      return resp;
+      slot.outcome = Outcome::kShed;
+      slot.response = Response{};
+      slot.response.error = "overloaded";
+      FinishSlot(&slot);
+      return std::move(slot.response);
     }
     queue_.push_back(&slot);
     if (telemetry::Enabled()) {
@@ -131,6 +258,8 @@ Response ServingEngine::Handle(const Request& request) {
     // A leader is already draining the queue; it will execute our slot
     // in one of its batches. Wait for completion.
     batch_cv_.wait(lock, [&] { return slot.done; });
+    lock.unlock();
+    FinishSlot(&slot);
     return std::move(slot.response);
   }
   queue_.push_back(&slot);
@@ -151,6 +280,10 @@ Response ServingEngine::Handle(const Request& request) {
     batch_cv_.notify_all();
   }
   leader_active_ = false;
+  lock.unlock();
+  // The leader's own reply stage covers the full drain (its caller does
+  // not get the response until every batch it led has completed).
+  FinishSlot(&slot);
   return std::move(slot.response);
 }
 
@@ -161,13 +294,16 @@ std::vector<Response> ServingEngine::HandleBatch(
   std::vector<Slot*> ptrs(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     slots[i].request = &requests[i];
-    StampDeadline(&slots[i]);
+    AdmitSlot(&slots[i]);
     ptrs[i] = &slots[i];
   }
   ExecuteBatch(state.get(), ptrs.data(), ptrs.size());
   std::vector<Response> out;
   out.reserve(slots.size());
-  for (Slot& s : slots) out.push_back(std::move(s.response));
+  for (Slot& s : slots) {
+    FinishSlot(&s);
+    out.push_back(std::move(s.response));
+  }
   return out;
 }
 
@@ -181,15 +317,31 @@ void ServingEngine::ExecuteBatch(const State* state, Slot** slots,
     Metrics().requests->Add(static_cast<int64_t>(n));
     Metrics().batches->Add(1);
   }
+  for (size_t i = 0; i < n; ++i) {
+    slots[i]->batch_size = static_cast<int>(n);
+  }
   // Failpoint "serve.execute": `delay:<ms>` simulates a slow batch (the
   // overload tests use it to back up the follower queue); `error` fails
-  // the whole batch the way a poisoned snapshot would.
+  // the whole batch the way a poisoned snapshot would. The delay runs
+  // BEFORE the exec_start stamp below, so injected stalls are attributed
+  // to the queue stage — exactly where a real pre-batch stall would land.
   if (failpoint::Enabled()) {
     util::Status fp = failpoint::Check("serve.execute");
     if (!fp.ok()) {
+      const auto t_fail = std::chrono::steady_clock::now();
       for (size_t i = 0; i < n; ++i) {
         slots[i]->response = Response{};
         slots[i]->response.error = fp.ToString();
+        slots[i]->outcome = Outcome::kFailed;
+        if (slots[i]->stages.active) {
+          slots[i]->stages.exec_start = t_fail;
+          slots[i]->stages.exec_end = t_fail;
+        }
+      }
+      n_failed_.fetch_add(static_cast<int64_t>(n),
+                          std::memory_order_relaxed);
+      if (telemetry::Enabled()) {
+        Metrics().failed->Add(static_cast<int64_t>(n));
       }
       return;
     }
@@ -198,21 +350,37 @@ void ServingEngine::ExecuteBatch(const State* state, Slot** slots,
   // client has typically already given up, so executing them only delays
   // the live ones behind them.
   const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    if (slots[i]->stages.active) slots[i]->stages.exec_start = now;
+  }
   auto expired = [&](const Slot* s) {
     return s->has_deadline && now > s->deadline;
   };
   auto expire = [&](Slot* s) {
     s->response = Response{};
     s->response.error = "deadline exceeded";
+    s->outcome = Outcome::kExpired;
     n_expired_.fetch_add(1, std::memory_order_relaxed);
     if (telemetry::Enabled()) Metrics().expired->Add(1);
   };
-  if (n == 1) {
-    if (expired(slots[0])) {
-      expire(slots[0]);
+  auto run_one = [&](Slot* s) {
+    if (expired(s)) {
+      expire(s);
     } else {
-      slots[0]->response = Execute(state, *slots[0]->request);
+      s->response = Execute(state, *s->request,
+                            s->stages.active ? &s->stages : nullptr);
+      s->outcome = s->response.ok ? Outcome::kOk : Outcome::kFailed;
+      if (!s->response.ok) {
+        n_failed_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry::Enabled()) Metrics().failed->Add(1);
+      }
     }
+    if (s->stages.active) {
+      s->stages.exec_end = std::chrono::steady_clock::now();
+    }
+  };
+  if (n == 1) {
+    run_one(slots[0]);
     return;
   }
   // Responses land in disjoint slots; per-request work is independent, so
@@ -221,14 +389,7 @@ void ServingEngine::ExecuteBatch(const State* state, Slot** slots,
   // chunk boundaries, same arithmetic).
   util::ParallelFor(0, static_cast<int64_t>(n), 1,
                     [&](int64_t b, int64_t e) {
-                      for (int64_t i = b; i < e; ++i) {
-                        if (expired(slots[i])) {
-                          expire(slots[i]);
-                        } else {
-                          slots[i]->response =
-                              Execute(state, *slots[i]->request);
-                        }
-                      }
+                      for (int64_t i = b; i < e; ++i) run_one(slots[i]);
                     });
 }
 
@@ -311,8 +472,9 @@ void ServingEngine::CountDegraded() {
   if (telemetry::Enabled()) Metrics().degraded->Add(1);
 }
 
-Response ServingEngine::Execute(const State* state,
-                                const Request& request) {
+Response ServingEngine::Execute(const State* state, const Request& request,
+                                StageTimes* stages) {
+  using Clock = std::chrono::steady_clock;
   Response resp;
   if (state == nullptr) {
     resp.error = "no snapshot loaded";
@@ -340,10 +502,17 @@ Response ServingEngine::Execute(const State* state,
         CountDegraded();
         break;
       }
+      Clock::time_point t0;
+      if (stages != nullptr) t0 = Clock::now();
       const std::vector<float> vec = UserVector(*state, request.user);
-      resp.items = TopKUnseenItems(
+      if (stages != nullptr) {
+        stages->recal_seconds = Seconds(t0, Clock::now());
+      }
+      resp.items = TopKUnseenItemsTimed(
           vec.data(), snap.items,
-          snap.seen[static_cast<size_t>(request.user)], request.k);
+          snap.seen[static_cast<size_t>(request.user)], request.k,
+          stages != nullptr ? &stages->compute_seconds : nullptr,
+          stages != nullptr ? &stages->rank_seconds : nullptr);
       break;
     }
     case Request::Type::kScore: {
@@ -355,9 +524,19 @@ Response ServingEngine::Execute(const State* state,
         CountDegraded();
         break;
       }
+      Clock::time_point t0;
+      if (stages != nullptr) t0 = Clock::now();
       const std::vector<float> vec = UserVector(*state, request.user);
+      Clock::time_point t1;
+      if (stages != nullptr) {
+        t1 = Clock::now();
+        stages->recal_seconds = Seconds(t0, t1);
+      }
       resp.score =
           Dot(vec.data(), snap.items.row(request.item), snap.items.cols());
+      if (stages != nullptr) {
+        stages->compute_seconds = Seconds(t1, Clock::now());
+      }
       break;
     }
     case Request::Type::kSimilarUsers: {
@@ -370,8 +549,14 @@ Response ServingEngine::Execute(const State* state,
         CountDegraded();
         break;
       }
+      // No recalibration path here; the whole cosine scan is "compute".
+      Clock::time_point t0;
+      if (stages != nullptr) t0 = Clock::now();
       resp.items = SimilarUsersByCosine(request.user, snap.users,
                                         state->user_norms, request.k);
+      if (stages != nullptr) {
+        stages->compute_seconds = Seconds(t0, Clock::now());
+      }
       break;
     }
   }
@@ -389,7 +574,95 @@ EngineStats ServingEngine::stats() const {
   s.degraded_requests = n_degraded_.load(std::memory_order_relaxed);
   s.shed_requests = n_shed_.load(std::memory_order_relaxed);
   s.expired_requests = n_expired_.load(std::memory_order_relaxed);
+  s.failed_requests = n_failed_.load(std::memory_order_relaxed);
   return s;
+}
+
+void ServingEngine::SetTraceSink(TraceSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  has_sink_.store(static_cast<bool>(sink), std::memory_order_relaxed);
+  sink_ = std::move(sink);
+}
+
+void ServingEngine::StartSampler(int period_ms) {
+  if (period_ms <= 0) period_ms = config_.sampler_period_ms;
+  if (period_ms <= 0) period_ms = 1000;
+  bool expected = false;
+  if (!sampler_running_.compare_exchange_strong(expected, true)) return;
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    sampler_stop_ = false;
+  }
+  sampler_thread_ = std::thread([this, period_ms] {
+    auto last = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(sampler_mu_);
+    while (!sampler_stop_) {
+      sampler_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                           [this] { return sampler_stop_; });
+      if (sampler_stop_) break;
+      lock.unlock();
+      const auto now = std::chrono::steady_clock::now();
+      SampleOnce(Seconds(last, now));
+      last = now;
+      lock.lock();
+    }
+  });
+}
+
+void ServingEngine::StopSampler() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  if (sampler_thread_.joinable()) sampler_thread_.join();
+  sampler_running_.store(false, std::memory_order_relaxed);
+}
+
+void ServingEngine::SampleOnceForTest(double seconds) {
+  SampleOnce(seconds);
+}
+
+void ServingEngine::SampleOnce(double seconds) {
+  std::lock_guard<std::mutex> lock(sample_mu_);
+  const int64_t requests = n_requests_.load(std::memory_order_relaxed);
+  const int64_t shed = n_shed_.load(std::memory_order_relaxed);
+  const int64_t expired = n_expired_.load(std::memory_order_relaxed);
+  const int64_t failed = n_failed_.load(std::memory_order_relaxed);
+  const int64_t degraded = n_degraded_.load(std::memory_order_relaxed);
+  const int64_t swaps = swap_count_.load(std::memory_order_relaxed);
+  const int64_t hits = n_cache_hits_.load(std::memory_order_relaxed);
+  const int64_t misses = n_cache_misses_.load(std::memory_order_relaxed);
+  telemetry::WindowedStats::Sample smp;
+  smp.seconds = seconds > 0.0 ? seconds : 1.0;
+  const int64_t d_exec = requests - cursor_.requests;
+  smp.shed = shed - cursor_.shed;
+  smp.expired = expired - cursor_.expired;
+  smp.failed = failed - cursor_.failed;
+  // "requests" in a window counts admitted attempts; executed requests
+  // that were neither expired nor failed are the ok ones. The counters
+  // are read independently, so a request landing mid-sample can skew one
+  // tick by a count — clamp rather than report a negative.
+  smp.requests = d_exec + smp.shed;
+  smp.ok = std::max<int64_t>(0, d_exec - smp.expired - smp.failed);
+  smp.degraded = degraded - cursor_.degraded;
+  smp.swaps = swaps - cursor_.swaps;
+  smp.cache_hits = hits - cursor_.cache_hits;
+  smp.cache_misses = misses - cursor_.cache_misses;
+  smp.latency = e2e_hist_.SnapshotDelta(&cursor_.latency);
+  {
+    std::lock_guard<std::mutex> qlock(batch_mu_);
+    smp.queue_depth = static_cast<int64_t>(queue_.size());
+  }
+  cursor_.requests = requests;
+  cursor_.shed = shed;
+  cursor_.expired = expired;
+  cursor_.failed = failed;
+  cursor_.degraded = degraded;
+  cursor_.swaps = swaps;
+  cursor_.cache_hits = hits;
+  cursor_.cache_misses = misses;
+  windows_->Push(smp);
 }
 
 }  // namespace dgnn::serve

@@ -36,9 +36,20 @@
 // Telemetry (when telemetry::Enabled()): counters serve.cache_hits,
 // serve.cache_misses, serve.snapshot_swaps, serve.degraded_requests,
 // serve.requests, serve.batches, serve.shed_requests,
-// serve.expired_requests; gauge serve.queue_depth; histogram
-// serve.request_seconds. The same values are always available
-// programmatically via stats().
+// serve.expired_requests, serve.failed_requests; gauge
+// serve.queue_depth; histograms serve.request_seconds (Handle() wall
+// time, shed included), serve.e2e_seconds (admission -> response
+// handoff for executed requests) and the per-stage breakdown
+// serve.stage.{queue,recal,compute,rank,reply}_seconds, whose per-stage
+// sums reconcile with serve.e2e_seconds. The same values are always
+// available programmatically via stats() / windows().
+//
+// Observability plane: every request gets a monotonic trace id at
+// admission (survives hot swaps; returned in Response::trace_id), stage
+// timestamps are kept per slot when anything is observing, a background
+// sampler (StartSampler) folds 1 s deltas into rolling windows
+// (telemetry::WindowedStats) with SLO burn accounting, and a TraceSink
+// receives sampled per-request RequestTrace records.
 
 #ifndef DGNN_SERVE_ENGINE_H_
 #define DGNN_SERVE_ENGINE_H_
@@ -47,10 +58,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -58,6 +71,7 @@
 #include "serve/ranking.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
+#include "util/windowed_stats.h"
 
 namespace dgnn::serve {
 
@@ -78,6 +92,21 @@ struct EngineConfig {
   // a request still queued past its deadline fails fast with "deadline
   // exceeded". Request::timeout_ms overrides per request. <= 0 disables.
   int64_t default_deadline_ms = 0;
+
+  // --- Observability plane (README "Live observability") ---
+  // Period of the background windowed-stats sampler thread; <= 0 leaves
+  // it stopped until StartSampler() is called explicitly.
+  int sampler_period_ms = 0;
+  // Fraction of requests emitted to the trace sink, decided
+  // deterministically from the trace id (a hash threshold, not a RNG) so
+  // replays sample the same requests. 1 = every request, 0 = none.
+  double trace_sample_rate = 1.0;
+  // SLO thresholds feeding the windowed burn-rate counters; <= 0
+  // disables the corresponding accounting. p99 is judged per 1 s-window
+  // against slo_p99_ms; availability (ok / admitted) against
+  // slo_availability.
+  double slo_p99_ms = 0.0;
+  double slo_availability = 0.0;
 };
 
 struct Request {
@@ -102,6 +131,37 @@ struct Response {
   // Swap count of the snapshot that served this request (1 = first
   // loaded snapshot); lets clients observe hot swaps.
   int64_t snapshot_version = 0;
+  // Engine-unique id assigned at admission (1-based, monotonic across
+  // snapshot swaps); keys the per-request trace record when sampled.
+  int64_t trace_id = 0;
+};
+
+// One sampled request's stage breakdown, pushed to the trace sink set by
+// SetTraceSink(). Stage seconds partition the request's lifetime:
+// queue (admission -> batch execution start, which includes batch
+// formation and any pre-batch stall), recal (user-vector recalibration /
+// cache lookup), compute (parallel catalog scan), rank (filter + top-k
+// select), reply (execution end -> response handoff). Their sum is <=
+// total_seconds by construction (per-slot bookkeeping inside the batch
+// is the remainder).
+struct RequestTrace {
+  int64_t trace_id = 0;
+  // Admission timestamp in microseconds on the telemetry trace-epoch
+  // clock (lines up with exported chrome://tracing spans).
+  int64_t ts_us = 0;
+  const char* type = "topk";     // "topk" | "score" | "similar_users"
+  const char* outcome = "ok";    // "ok" | "shed" | "expired" | "failed"
+  int32_t user = 0;
+  int k = 0;
+  int batch_size = 0;            // slots in the executing batch; 0 = shed
+  int64_t snapshot_version = 0;
+  bool degraded = false;
+  double queue_seconds = 0.0;
+  double recal_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double rank_seconds = 0.0;
+  double reply_seconds = 0.0;
+  double total_seconds = 0.0;
 };
 
 // Monotonic totals since construction (independent of telemetry being
@@ -117,11 +177,18 @@ struct EngineStats {
   int64_t shed_requests = 0;
   // Requests whose deadline passed before execution started.
   int64_t expired_requests = 0;
+  // Executed requests that came back ok=false for a reason other than an
+  // expired deadline (failpoint errors, no snapshot, malformed k).
+  int64_t failed_requests = 0;
 };
 
 class ServingEngine {
  public:
+  using TraceSink = std::function<void(const RequestTrace&)>;
+
   explicit ServingEngine(EngineConfig config = {});
+  // Stops and joins the sampler thread if it is running.
+  ~ServingEngine();
 
   // Reads and fully validates the snapshot file, then swaps it in. On
   // error the engine keeps serving its current snapshot.
@@ -147,6 +214,31 @@ class ServingEngine {
   EngineStats stats() const;
   const EngineConfig& config() const { return config_; }
 
+  // --- Observability plane ---
+
+  // Installs (or clears, with nullptr-like empty function) the sampled
+  // per-request trace sink. The sink is invoked inline on the serving
+  // thread for requests selected by trace_sample_rate — keep it cheap
+  // (an appending JSONL write is the intended shape). Thread-safe.
+  void SetTraceSink(TraceSink sink);
+
+  // Starts the background windowed-stats sampler (idempotent).
+  // period_ms <= 0 uses config().sampler_period_ms, or 1000 if that is
+  // also unset. StopSampler() joins the thread; the destructor calls it.
+  void StartSampler(int period_ms = 0);
+  void StopSampler();
+  bool sampler_running() const {
+    return sampler_running_.load(std::memory_order_relaxed);
+  }
+
+  // Takes one synchronous sampler tick of `seconds` nominal duration —
+  // the deterministic path tests use instead of racing the thread.
+  void SampleOnceForTest(double seconds = 1.0);
+
+  // Rolling 1 s/10 s/60 s windows fed by the sampler. Present from
+  // construction; empty until the sampler (or SampleOnceForTest) ticks.
+  const telemetry::WindowedStats& windows() const { return *windows_; }
+
  private:
   // Everything derived from one snapshot, immutable once published.
   struct State {
@@ -158,6 +250,21 @@ class ServingEngine {
     int64_t version = 0;
   };
 
+  // Per-slot stage timestamps; `active` is decided once at admission
+  // (false when nothing is observing, so the request path reads no
+  // clocks beyond what it always did).
+  struct StageTimes {
+    bool active = false;
+    std::chrono::steady_clock::time_point admit;
+    std::chrono::steady_clock::time_point exec_start;
+    std::chrono::steady_clock::time_point exec_end;
+    double recal_seconds = 0.0;
+    double compute_seconds = 0.0;
+    double rank_seconds = 0.0;
+  };
+
+  enum class Outcome { kOk, kShed, kExpired, kFailed };
+
   struct Slot {
     const Request* request = nullptr;
     Response response;
@@ -165,13 +272,30 @@ class ServingEngine {
     // Deadline stamped at admission; checked immediately before Execute.
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline;
+    int64_t trace_id = 0;
+    StageTimes stages;
+    Outcome outcome = Outcome::kOk;
+    int batch_size = 0;
   };
 
   std::shared_ptr<const State> AcquireState() const;
   // Stamps Slot::deadline from request/config; no-op when both disable it.
   void StampDeadline(Slot* slot) const;
+  // Admission bookkeeping shared by Handle/HandleBatch: trace id, stage
+  // activation + admit stamp, deadline.
+  void AdmitSlot(Slot* slot);
+  // True when some consumer (telemetry export, the windowed sampler, or
+  // a trace sink) will read stage timings.
+  bool Observing() const;
+  // Completion bookkeeping: records stage + end-to-end histograms and
+  // emits the sampled trace record. Sets Response::trace_id.
+  void FinishSlot(Slot* slot);
   void ExecuteBatch(const State* state, Slot** slots, size_t n);
-  Response Execute(const State* state, const Request& request);
+  Response Execute(const State* state, const Request& request,
+                   StageTimes* stages);
+  // One sampler tick: pushes the counter/latency deltas since the
+  // previous tick into windows_ as a sample of `seconds` duration.
+  void SampleOnce(double seconds);
   // The (possibly recalibrated) vector used to score for `user`, served
   // from the LRU cache when enabled.
   std::vector<float> UserVector(const State& state, int32_t user);
@@ -209,6 +333,42 @@ class ServingEngine {
   std::atomic<int64_t> n_degraded_{0};
   std::atomic<int64_t> n_shed_{0};
   std::atomic<int64_t> n_expired_{0};
+  std::atomic<int64_t> n_failed_{0};
+
+  // --- Observability plane ---
+  std::atomic<int64_t> next_trace_id_{0};
+
+  // Engine-owned stage/end-to-end histograms (instantiated directly, not
+  // through the global registry) so windowed stats work even when
+  // process-wide telemetry is disabled; mirrored into serve.stage.* /
+  // serve.e2e_seconds registry histograms when telemetry::Enabled().
+  telemetry::Histogram e2e_hist_;
+  telemetry::Histogram stage_queue_;
+  telemetry::Histogram stage_recal_;
+  telemetry::Histogram stage_compute_;
+  telemetry::Histogram stage_rank_;
+  telemetry::Histogram stage_reply_;
+
+  std::mutex sink_mu_;
+  TraceSink sink_;
+  std::atomic<bool> has_sink_{false};
+
+  std::unique_ptr<telemetry::WindowedStats> windows_;
+  // Cursor of "counts as of the previous tick" for delta samples; only
+  // SampleOnce touches it, serialized by sample_mu_.
+  struct SampleCursor {
+    int64_t requests = 0, shed = 0, expired = 0, failed = 0;
+    int64_t degraded = 0, swaps = 0, cache_hits = 0, cache_misses = 0;
+    telemetry::Histogram::Counts latency;
+  };
+  std::mutex sample_mu_;
+  SampleCursor cursor_;
+
+  std::thread sampler_thread_;
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  std::atomic<bool> sampler_running_{false};
 };
 
 }  // namespace dgnn::serve

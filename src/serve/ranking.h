@@ -13,6 +13,7 @@
 #define DGNN_SERVE_RANKING_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -58,10 +59,20 @@ inline void SelectTopK(std::vector<ScoredItem>& scored, int k) {
 }
 
 // Top-k rows of `items` by dot product with `u` (length items.cols()),
-// excluding ids present in the sorted `seen` list.
-inline std::vector<ScoredItem> TopKUnseenItems(
+// excluding ids present in the sorted `seen` list. The *Timed variant
+// additionally reports how the call split between the parallel catalog
+// scan (`compute_seconds`) and the serial filter + select
+// (`rank_seconds`) for per-stage serving attribution; either pointer may
+// be null, and when both are null no clock is read. The arithmetic is
+// identical in both variants — timing never changes scores or order.
+inline std::vector<ScoredItem> TopKUnseenItemsTimed(
     const float* u, const ag::Tensor& items,
-    const std::vector<int32_t>& seen, int k) {
+    const std::vector<int32_t>& seen, int k, double* compute_seconds,
+    double* rank_seconds) {
+  using Clock = std::chrono::steady_clock;
+  const bool timed = compute_seconds != nullptr || rank_seconds != nullptr;
+  Clock::time_point t0;
+  if (timed) t0 = Clock::now();
   // Score the whole catalog in parallel (disjoint slots), then filter and
   // select serially — same scores and ordering as the serial scan.
   std::vector<float> scores(static_cast<size_t>(items.rows()));
@@ -70,6 +81,8 @@ inline std::vector<ScoredItem> TopKUnseenItems(
       scores[static_cast<size_t>(i)] = Dot(u, items.row(i), items.cols());
     }
   });
+  Clock::time_point t1;
+  if (timed) t1 = Clock::now();
   std::vector<ScoredItem> scored;
   scored.reserve(static_cast<size_t>(items.rows()));
   for (int32_t i = 0; i < items.rows(); ++i) {
@@ -77,7 +90,22 @@ inline std::vector<ScoredItem> TopKUnseenItems(
     scored.push_back({i, scores[static_cast<size_t>(i)]});
   }
   SelectTopK(scored, k);
+  if (timed) {
+    const Clock::time_point t2 = Clock::now();
+    if (compute_seconds != nullptr) {
+      *compute_seconds = std::chrono::duration<double>(t1 - t0).count();
+    }
+    if (rank_seconds != nullptr) {
+      *rank_seconds = std::chrono::duration<double>(t2 - t1).count();
+    }
+  }
   return scored;
+}
+
+inline std::vector<ScoredItem> TopKUnseenItems(
+    const float* u, const ag::Tensor& items,
+    const std::vector<int32_t>& seen, int k) {
+  return TopKUnseenItemsTimed(u, items, seen, k, nullptr, nullptr);
 }
 
 // Per-row L2 norms of `m` — precomputed once by both scoring surfaces so

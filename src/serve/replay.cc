@@ -23,6 +23,7 @@ double QuantileMs(const std::vector<double>& sorted_ms, double q) {
 
 struct WorkerTally {
   std::vector<double> latencies_ms;
+  std::vector<int64_t> trace_ids;
   int64_t ok = 0;
   int64_t degraded = 0;
   int64_t shed = 0;
@@ -82,6 +83,7 @@ ReplayResult ReplayTrace(ServingEngine& engine,
         const Response resp = engine.Handle(rec.ToRequest());
         const Clock::time_point completed = Clock::now();
         tally.last_completion = completed;
+        tally.trace_ids.push_back(resp.trace_id);
         // Latency from the SCHEDULED arrival: queueing delay in the
         // harness counts against the engine, as it would for a real
         // client that issued the request on time.
@@ -105,10 +107,14 @@ ReplayResult ReplayTrace(ServingEngine& engine,
 
   std::vector<double> all_ms;
   all_ms.reserve(records.size());
+  std::vector<int64_t> all_ids;
+  all_ids.reserve(records.size());
   Clock::time_point last_completion = epoch;
   for (const WorkerTally& tally : tallies) {
     all_ms.insert(all_ms.end(), tally.latencies_ms.begin(),
                   tally.latencies_ms.end());
+    all_ids.insert(all_ids.end(), tally.trace_ids.begin(),
+                   tally.trace_ids.end());
     result.ok += tally.ok;
     result.degraded += tally.degraded;
     result.shed += tally.shed;
@@ -120,6 +126,9 @@ ReplayResult ReplayTrace(ServingEngine& engine,
     last_completion = std::max(last_completion, tally.last_completion);
   }
   std::sort(all_ms.begin(), all_ms.end());
+  std::sort(all_ids.begin(), all_ids.end());
+  result.distinct_trace_ids = static_cast<int64_t>(
+      std::unique(all_ids.begin(), all_ids.end()) - all_ids.begin());
 
   const Clock::time_point first_scheduled =
       epoch + std::chrono::nanoseconds(records.front().arrival_ns);

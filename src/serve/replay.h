@@ -71,6 +71,11 @@ struct ReplayResult {
   // Harness backlog accounting (see header comment).
   int64_t late_dispatches = 0;
   double max_lateness_ms = 0.0;
+  // Distinct Response::trace_id values observed across all responses
+  // (shed included — ids are assigned at admission). Equals `requests`
+  // when per-request tracing is sound; a smaller value means ids were
+  // reused or lost, e.g. across a hot swap.
+  int64_t distinct_trace_ids = 0;
   // ru_maxrss at the end of the replay, in bytes (process-wide peak).
   int64_t peak_rss_bytes = 0;
 };

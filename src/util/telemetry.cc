@@ -256,6 +256,43 @@ std::vector<double> Histogram::ApproxQuantilesSeconds(
   return out;
 }
 
+Histogram::Counts Histogram::SnapshotCounts() const {
+  Counts c;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    c.buckets[i] = bucket_count(i);
+    c.count += c.buckets[i];
+  }
+  c.sum_nanos = sum_nanos_.load(std::memory_order_relaxed);
+  return c;
+}
+
+Histogram::Counts Histogram::SnapshotDelta(Counts* cursor) const {
+  DGNN_CHECK(cursor != nullptr);
+  const Counts now = SnapshotCounts();
+  Counts delta;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    delta.buckets[i] = now.buckets[i] - cursor->buckets[i];
+    delta.count += delta.buckets[i];
+  }
+  delta.sum_nanos = now.sum_nanos - cursor->sum_nanos;
+  *cursor = now;
+  return delta;
+}
+
+double Histogram::QuantileFromCounts(const Counts& c, double q) {
+  if (c.count <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(c.count))));
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += c.buckets[i];
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
 void Histogram::Zero() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -333,6 +370,14 @@ int64_t NumTraceEvents() {
   State& s = GetState();
   std::lock_guard<std::mutex> lock(s.mu);
   return static_cast<int64_t>(s.spans.size());
+}
+
+int64_t TraceNowMicros() {
+  const auto now = std::chrono::steady_clock::now();
+  State& s = GetState();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return std::chrono::duration_cast<std::chrono::microseconds>(now - s.epoch)
+      .count();
 }
 
 // ---------------------------------------------------------------------------

@@ -107,6 +107,18 @@ class Histogram {
  public:
   static constexpr int kNumBuckets = 32;
 
+  // A plain copy of the bucket counts (shared fixed layout), mergeable by
+  // element-wise addition. `count` always equals the bucket sum, so the
+  // accounting identity survives delta arithmetic; `sum_nanos` is read
+  // separately and may drift by the few records that land between the
+  // bucket reads and the sum read — harmless for rate/mean reporting,
+  // never for the count identity.
+  struct Counts {
+    int64_t buckets[kNumBuckets] = {};
+    int64_t count = 0;
+    int64_t sum_nanos = 0;
+  };
+
   // Upper bound of bucket i in seconds: 1e-6 * 2^i.
   static double BucketUpperBound(int i);
   // Index of the bucket that counts `seconds` (clamped to the last).
@@ -127,6 +139,22 @@ class Histogram {
   // allow). `qs` need not be sorted; result i answers qs[i].
   std::vector<double> ApproxQuantilesSeconds(
       const std::vector<double>& qs) const;
+
+  // Copies the current bucket counts without blocking writers (32 relaxed
+  // loads; `count` is recomputed as the bucket sum so the identity holds).
+  Counts SnapshotCounts() const;
+
+  // Returns counts recorded since `*cursor` was last updated and advances
+  // the cursor to the current snapshot. Writers are never locked out; a
+  // record racing the snapshot lands in this delta or the next, never in
+  // both and never in neither. A default-constructed Counts cursor yields
+  // everything recorded so far.
+  Counts SnapshotDelta(Counts* cursor) const;
+
+  // Nearest-rank quantile over a detached Counts (same semantics as
+  // ApproxQuantileSeconds minus the min/max clamp, which Counts does not
+  // carry). 0 when the counts are empty.
+  static double QuantileFromCounts(const Counts& c, double q);
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum_seconds() const;
@@ -228,6 +256,12 @@ class ScopedSpan {
 // .cc — once full, further spans bump the "telemetry.dropped_spans"
 // counter instead).
 int64_t NumTraceEvents();
+
+// Microseconds since the current trace epoch (restarted by Reset()).
+// Matches the ts field of exported chrome://tracing span events, so
+// per-request NDJSON trace records stamped with this clock line up with
+// spans when both files are loaded side by side.
+int64_t TraceNowMicros();
 
 // JSON snapshots. Metrics with zero recorded activity are included (a
 // registered counter at 0 is information too); histograms serialize only

@@ -334,6 +334,52 @@ TEST_F(TelemetryTest, HistogramBatchQuantilesMatchSingleCalls) {
   }
 }
 
+TEST_F(TelemetryTest, HistogramSnapshotDeltaPartitionsRecords) {
+  Histogram* h = GetHistogram("test.hist_delta");
+  Histogram::Counts cursor;
+  // A fresh cursor yields everything recorded so far.
+  h->Record(1e-5);
+  h->Record(3e-5);
+  Histogram::Counts first = h->SnapshotDelta(&cursor);
+  EXPECT_EQ(first.count, 2);
+  // Nothing new: the delta is empty.
+  EXPECT_EQ(h->SnapshotDelta(&cursor).count, 0);
+  // Later records land in the next delta exactly once.
+  h->Record(2e-4);
+  Histogram::Counts second = h->SnapshotDelta(&cursor);
+  EXPECT_EQ(second.count, 1);
+  EXPECT_EQ(second.sum_nanos, 200000);
+  // Deltas partition the stream: merged, they equal the full snapshot.
+  const Histogram::Counts all = h->SnapshotCounts();
+  int64_t merged = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    merged += first.buckets[i] + second.buckets[i];
+  }
+  EXPECT_EQ(merged, all.count);
+  EXPECT_EQ(first.count + second.count, all.count);
+}
+
+TEST_F(TelemetryTest, QuantileFromCountsMatchesBucketContract) {
+  Histogram* h = GetHistogram("test.hist_counts_q");
+  std::vector<double> samples;
+  for (int i = 1; i <= 400; ++i) {
+    const double v = 1e-5 * static_cast<double>(i * i % 971 + 1);
+    samples.push_back(v);
+    h->Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const Histogram::Counts counts = h->SnapshotCounts();
+  EXPECT_EQ(counts.count, 400);
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = ExactQuantile(samples, q);
+    const double approx = Histogram::QuantileFromCounts(counts, q);
+    EXPECT_GE(approx, exact * (1.0 - 1e-9) - 1e-9) << "q=" << q;
+    EXPECT_LT(approx, 2.0 * exact) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(
+      Histogram::QuantileFromCounts(Histogram::Counts{}, 0.99), 0.0);
+}
+
 // ----- disabled path is a no-op ---------------------------------------------
 
 TEST_F(TelemetryTest, DisabledScopedHelpersRecordNothing) {
