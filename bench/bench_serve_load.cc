@@ -34,6 +34,17 @@
 //   --social-alpha=0                   serve-time social recalibration
 //   --hot-fraction=0.8                 share of traffic on 1/8 of users
 //   --max-queue=0 --deadline-ms=0      engine overload / deadline config
+//   quantization & retrieval (README "Quantization & retrieval index"):
+//     --quant=none|int8|fp16           embedding storage in the snapshot
+//     --index[=1] --clusters=N         attach an IVF index at export
+//     --nprobe=N --rerank=R            engine probe/rerank config
+//     --mix=default|topk               topk pins the trace to known-user
+//                                      TopK only (retrieval-path p99)
+//     --recall-users=256               sample size for recall@k vs the
+//                                      fp32 exact ranking (0 disables)
+//     --recall-floor=X                 exit nonzero if recall@k < X
+//     --max-rss-mb=N                   fail fast if the loaded snapshot's
+//                                      resident footprint exceeds N MB
 //   closed loop:
 //     --requests=200                   requests per client per run
 //     --clients=1,2,4,8                client-thread sweep
@@ -46,7 +57,7 @@
 //     --record-trace=F                 write the trace (single-rate only)
 //     --replay-trace=F                 replay a recorded trace instead
 //   --bench-json=F                     machine-readable results (both
-//                                      modes; schema_version 1, validated
+//                                      modes; schema_version 2, validated
 //                                      by `dgnn_inspect bench`)
 //   --metrics-out / --trace-out / --run-log   (see bench_common.h)
 
@@ -56,6 +67,7 @@
 #include <cstdlib>
 #include <fcntl.h>
 #include <string>
+#include <sys/stat.h>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -177,7 +189,7 @@ SweepResult RunSweepPoint(serve::ServingEngine& engine, int clients,
         }
         if (req.type == serve::Request::Type::kScore) {
           req.item = static_cast<int32_t>(
-              rng.UniformInt(engine.snapshot()->items.rows()));
+              rng.UniformInt(engine.snapshot()->meta.num_items));
         }
         const serve::Response resp = engine.Handle(req);
         if (!resp.ok) {
@@ -241,9 +253,11 @@ StageMeans ReadStageMeans() {
   return m;
 }
 
-// One open-loop point serialized for BENCH_serve.json.
+// One open-loop point serialized for BENCH_serve.json (schema v2:
+// snapshot_bytes always present, recall_at_k only when measured).
 std::string OpenPointJson(double target_qps, const serve::ReplayResult& r,
-                          const StageMeans& stages) {
+                          const StageMeans& stages, int64_t snapshot_bytes,
+                          double recall_at_k) {
   util::JsonObject o;
   o.Set("target_qps", target_qps)
       .Set("requests", r.requests)
@@ -269,7 +283,9 @@ std::string OpenPointJson(double target_qps, const serve::ReplayResult& r,
       .Set("stage_compute_ms_mean", stages.compute_ms)
       .Set("stage_rank_ms_mean", stages.rank_ms)
       .Set("stage_reply_ms_mean", stages.reply_ms)
-      .Set("e2e_ms_mean", stages.e2e_ms);
+      .Set("e2e_ms_mean", stages.e2e_ms)
+      .Set("snapshot_bytes", snapshot_bytes);
+  if (recall_at_k >= 0.0) o.Set("recall_at_k", recall_at_k);
   return o.Build();
 }
 
@@ -287,9 +303,21 @@ std::string ClosedPointJson(const SweepResult& r) {
   return o.Build();
 }
 
+// Snapshot storage / retrieval configuration stamped into the JSON
+// header so committed trajectory points are self-describing (an IVF
+// point and its brute-force baseline differ only here).
+struct StorageInfo {
+  std::string quant = "none";
+  bool index = false;
+  int nprobe = 0;
+  int rerank = 0;
+  std::string mix = "default";
+};
+
 int WriteBenchJson(const std::string& path, const std::string& mode,
                    const std::string& preset, int dim, int k,
                    const std::string& arrival, int workers,
+                   const StorageInfo& storage,
                    const std::vector<std::string>& points) {
   std::string arr = "[";
   for (size_t i = 0; i < points.size(); ++i) {
@@ -298,14 +326,19 @@ int WriteBenchJson(const std::string& path, const std::string& mode,
   }
   arr += ']';
   util::JsonObject o;
-  o.Set("schema_version", 1)
+  o.Set("schema_version", 2)
       .Set("bench", "bench_serve_load")
       .Set("mode", mode)
       .Set("preset", preset)
       .Set("dim", dim)
-      .Set("k", k);
+      .Set("k", k)
+      .Set("quant", storage.quant)
+      .Set("index", storage.index)
+      .Set("nprobe", storage.nprobe)
+      .Set("rerank", storage.rerank);
   if (mode == "open") {
-    o.Set("arrival", arrival).Set("workers", workers);
+    o.Set("arrival", arrival).Set("workers", workers)
+        .Set("mix", storage.mix);
   }
   o.SetRaw("points", arr);
   util::Status s = fs::AtomicWriteFile(path, o.Build() + "\n");
@@ -339,18 +372,10 @@ int main(int argc, char** argv) {
   auto model = core::CreateModelByName("BPR-MF", dataset, graph, zoo);
   train::Recommender recommender(*model, dataset);
 
-  // Export through the real writer and load through the real reader so
-  // the benched engine serves exactly what dgnn_serve would.
-  const std::string snapshot_path = TempSnapshotPath();
-  serve::Snapshot snapshot = serve::BuildSnapshot(
-      recommender, dataset, "BPR-MF", "bench_serve_load");
-  util::Status written = serve::WriteSnapshot(snapshot, snapshot_path);
-  if (!written.ok()) {
-    std::fprintf(stderr, "snapshot write failed: %s\n",
-                 written.ToString().c_str());
-    std::remove(snapshot_path.c_str());
-    return 1;
-  }
+  const int k = static_cast<int>(flags.GetInt("k", 10));
+  const double hot_fraction = flags.GetDouble("hot-fraction", 0.8);
+  const std::string bench_json = flags.GetString("bench-json", "");
+
   serve::EngineConfig engine_config;
   engine_config.cache_capacity =
       static_cast<int>(flags.GetInt("cache", 4096));
@@ -358,6 +383,97 @@ int main(int argc, char** argv) {
       static_cast<float>(flags.GetDouble("social-alpha", 0.0));
   engine_config.max_queue = static_cast<int>(flags.GetInt("max-queue", 0));
   engine_config.default_deadline_ms = flags.GetInt("deadline-ms", 0);
+  engine_config.nprobe = static_cast<int>(flags.GetInt("nprobe", 0));
+  engine_config.rerank = static_cast<int>(flags.GetInt("rerank", 0));
+
+  // Export through the real writer and load through the real reader so
+  // the benched engine serves exactly what dgnn_serve would.
+  const std::string snapshot_path = TempSnapshotPath();
+  serve::Snapshot snapshot = serve::BuildSnapshot(
+      recommender, dataset, "BPR-MF", "bench_serve_load");
+
+  // recall@k ground truth: exact fp32 top-k for a stratified user sample,
+  // computed from the snapshot BEFORE any quantization/indexing so it is
+  // the full-precision exact ranking the approximate path is judged
+  // against. Only meaningful when the serving path is approximate
+  // (quantized storage or IVF probing) and social_alpha is 0 (the engine
+  // then scores with exactly the raw user row used here).
+  const std::string quant_name = flags.GetString("quant", "none");
+  const bool build_index = flags.GetBool("index", false);
+  const bool approx_path =
+      quant_name != "none" || (build_index && engine_config.nprobe > 0);
+  StorageInfo storage;
+  storage.quant = quant_name;
+  storage.index = build_index;
+  storage.nprobe = engine_config.nprobe;
+  storage.rerank = engine_config.rerank;
+  const int recall_users =
+      static_cast<int>(flags.GetInt("recall-users", 256));
+  std::vector<int32_t> recall_user_ids;
+  std::vector<std::vector<int32_t>> recall_baseline;
+  if (approx_path && recall_users > 0 &&
+      engine_config.social_alpha == 0.0f) {
+    const int n = std::min<int>(recall_users, dataset.num_users);
+    for (int i = 0; i < n; ++i) {
+      const int32_t u = static_cast<int32_t>(
+          static_cast<int64_t>(i) * dataset.num_users / n);
+      if (!recall_user_ids.empty() && recall_user_ids.back() == u) continue;
+      recall_user_ids.push_back(u);
+    }
+    recall_baseline.reserve(recall_user_ids.size());
+    for (int32_t u : recall_user_ids) {
+      std::vector<int32_t> ids;
+      for (const serve::ScoredItem& s : serve::TopKUnseenItems(
+               snapshot.users.row(u), snapshot.items,
+               snapshot.seen[static_cast<size_t>(u)], k)) {
+        ids.push_back(s.item);
+      }
+      std::sort(ids.begin(), ids.end());
+      recall_baseline.push_back(std::move(ids));
+    }
+  }
+
+  if (build_index) {
+    index::IvfConfig ivf;
+    ivf.nlist = static_cast<int32_t>(flags.GetInt("clusters", 0));
+    util::Status built = serve::BuildSnapshotIndex(&snapshot, ivf);
+    if (!built.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n",
+                   built.ToString().c_str());
+      return 1;
+    }
+  }
+  if (quant_name != "none") {
+    auto codec = quant::ParseCodec(quant_name);
+    if (!codec.ok()) {
+      std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
+      return 2;
+    }
+    util::Status quantized =
+        serve::QuantizeSnapshot(&snapshot, codec.value());
+    if (!quantized.ok()) {
+      std::fprintf(stderr, "quantize failed: %s\n",
+                   quantized.ToString().c_str());
+      return 1;
+    }
+  }
+
+  util::Status written = serve::WriteSnapshot(snapshot, snapshot_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n",
+                 written.ToString().c_str());
+    std::remove(snapshot_path.c_str());
+    return 1;
+  }
+  int64_t snapshot_bytes = 0;
+  {
+    struct stat st;
+    if (::stat(snapshot_path.c_str(), &st) == 0) snapshot_bytes = st.st_size;
+  }
+  // Release the in-memory export copy before loading: the engine should
+  // be measured against its own resident footprint, not the exporter's.
+  snapshot = serve::Snapshot();
+
   serve::ServingEngine engine(engine_config);
   util::Status loaded = engine.Load(snapshot_path);
   std::remove(snapshot_path.c_str());
@@ -367,9 +483,65 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const int k = static_cast<int>(flags.GetInt("k", 10));
-  const double hot_fraction = flags.GetDouble("hot-fraction", 0.8);
-  const std::string bench_json = flags.GetString("bench-json", "");
+  // --max-rss-mb: fail fast, BEFORE any load is offered, when the loaded
+  // snapshot's resident footprint blows the stated memory budget — a
+  // serving fleet admission check, not a soft warning.
+  const int64_t resident_bytes =
+      serve::SnapshotResidentBytes(*engine.snapshot());
+  const double max_rss_mb = flags.GetDouble("max-rss-mb", 0.0);
+  if (max_rss_mb > 0 &&
+      static_cast<double>(resident_bytes) > max_rss_mb * 1024.0 * 1024.0) {
+    std::fprintf(stderr,
+                 "error: snapshot resident footprint %.1f MB exceeds "
+                 "--max-rss-mb=%.1f MB budget (quantize the snapshot, "
+                 "shrink the preset, or raise the budget)\n",
+                 static_cast<double>(resident_bytes) / (1024.0 * 1024.0),
+                 max_rss_mb);
+    return 3;
+  }
+  std::fprintf(stderr,
+               "[bench] snapshot: %.1f MB on disk, ~%.1f MB resident\n",
+               static_cast<double>(snapshot_bytes) / (1024.0 * 1024.0),
+               static_cast<double>(resident_bytes) / (1024.0 * 1024.0));
+
+  // Measured recall@k of the engine's (possibly approximate) TopK against
+  // the fp32 exact baseline.
+  double recall_at_k = -1.0;
+  if (!recall_user_ids.empty()) {
+    double total = 0.0;
+    for (size_t i = 0; i < recall_user_ids.size(); ++i) {
+      serve::Request req;
+      req.type = serve::Request::Type::kTopK;
+      req.user = recall_user_ids[i];
+      req.k = k;
+      const serve::Response resp = engine.Handle(req);
+      if (!resp.ok) {
+        std::fprintf(stderr, "recall probe failed: %s\n",
+                     resp.error.c_str());
+        return 1;
+      }
+      const std::vector<int32_t>& truth = recall_baseline[i];
+      int hits = 0;
+      for (const serve::ScoredItem& s : resp.items) {
+        if (std::binary_search(truth.begin(), truth.end(), s.item)) ++hits;
+      }
+      total += truth.empty()
+                   ? 1.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(truth.size());
+    }
+    recall_at_k = total / static_cast<double>(recall_user_ids.size());
+    std::fprintf(stderr, "[bench] recall@%d vs fp32 exact: %.4f (%zu "
+                 "users)\n",
+                 k, recall_at_k, recall_user_ids.size());
+    const double floor = flags.GetDouble("recall-floor", -1.0);
+    if (floor >= 0.0 && recall_at_k < floor) {
+      std::fprintf(stderr,
+                   "error: recall@%d %.4f below --recall-floor=%.4f\n", k,
+                   recall_at_k, floor);
+      return 4;
+    }
+  }
 
   // ---------------------------------------------------------------------
   // Open loop: --arrival or --replay-trace selects it.
@@ -390,6 +562,14 @@ int main(int argc, char** argv) {
     schedule.arrival = arrival.value();
     schedule.num_requests = flags.GetInt("requests", 200);
     schedule.seed = static_cast<uint64_t>(flags.GetInt("trace-seed", 1));
+    const std::string mix = flags.GetString("mix", "default");
+    if (mix == "topk") {
+      schedule.topk_only = true;
+    } else if (mix != "default") {
+      std::fprintf(stderr, "--mix must be default or topk\n");
+      return 2;
+    }
+    storage.mix = mix;
 
     std::vector<double> qps_sweep;
     for (const std::string& tok :
@@ -420,7 +600,7 @@ int main(int argc, char** argv) {
 
     util::Table table({"target_qps", "requests", "achieved_qps", "p50_ms",
                        "p95_ms", "p99_ms", "shed", "expired", "late",
-                       "rss_mb"});
+                       "rss_mb", "snap_mb", "recall"});
     std::vector<std::string> points;
     std::vector<std::string> stage_lines;
     for (double target : qps_sweep) {
@@ -464,7 +644,11 @@ int main(int argc, char** argv) {
                     bench::Fmt4(r.p99_ms), std::to_string(r.shed),
                     std::to_string(r.expired),
                     std::to_string(r.late_dispatches),
-                    util::StrFormat("%.1f", r.peak_rss_bytes / 1e6)});
+                    util::StrFormat("%.1f", r.peak_rss_bytes / 1e6),
+                    util::StrFormat("%.1f", snapshot_bytes / 1e6),
+                    recall_at_k >= 0.0
+                        ? util::StrFormat("%.4f", recall_at_k)
+                        : std::string("-")});
       stage_lines.push_back(util::StrFormat(
           "  qps %-6.0f stage means (ms): queue=%.4f recal=%.4f "
           "compute=%.4f rank=%.4f reply=%.4f | e2e=%.4f "
@@ -472,7 +656,8 @@ int main(int argc, char** argv) {
           target, stages.queue_ms, stages.recal_ms, stages.compute_ms,
           stages.rank_ms, stages.reply_ms, stages.e2e_ms,
           (long long)r.distinct_trace_ids, (long long)r.requests));
-      points.push_back(OpenPointJson(target, r, stages));
+      points.push_back(
+          OpenPointJson(target, r, stages, snapshot_bytes, recall_at_k));
       if (!replay_path.empty()) break;  // a file trace is one point
     }
     table.Print();
@@ -485,7 +670,7 @@ int main(int argc, char** argv) {
       return WriteBenchJson(bench_json, "open", dataset.name,
                             (int)zoo.embedding_dim, k,
                             serve::ArrivalProcessName(schedule.arrival),
-                            replay_config.workers, points);
+                            replay_config.workers, storage, points);
     }
     return 0;
   }
@@ -532,7 +717,8 @@ int main(int argc, char** argv) {
   table.Print();
   if (!bench_json.empty()) {
     return WriteBenchJson(bench_json, "closed", dataset.name,
-                          (int)zoo.embedding_dim, k, "", 0, points);
+                          (int)zoo.embedding_dim, k, "", 0, storage,
+                          points);
   }
   return 0;
 }

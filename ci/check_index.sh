@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Quantization + retrieval-index gate: every guarantee the snapshot
+# quant/IVF subsystem makes is exercised end-to-end and must be able to
+# FAIL, not just pass.
+#
+#   1. dgnn_cli trains on the tiny synthetic preset and exports three
+#      snapshots: plain fp32 (seed-compatible, no index), int8 + IVF,
+#      and fp16. `dgnn_inspect snapshot` must accept all three (exit 0),
+#      the fp32 section table must contain NO quant/ivf sections, and
+#      the indexed one must list quant_users / quant_items / ivf.
+#   2. Quantize round-trip tolerance and IVF build determinism run as
+#      unit suites: ctest -R 'quant_test|ivf_test'.
+#   3. recall@20 floor: bench_serve_load serves the int8+IVF snapshot
+#      open-loop on the TopK-only mix with --recall-floor=0.9; the bench
+#      measures recall@k against the exact fp32 ranking and exits 4 if
+#      the floor is violated. An unreachable floor must actually produce
+#      exit 4 — a gate that cannot fail gates nothing.
+#   4. Forcing an unavailable SIMD level (DGNN_SIMD=avx2/neon on a
+#      machine without it) must abort, never silently fall back — the
+#      quantized dot kernels are dispatched through the same table.
+#   5. Corrupt-section must-fail: a bit-flipped snapshot makes
+#      `dgnn_inspect snapshot` exit 1 (checksum MISMATCH, table still
+#      printed) and dgnn_serve refuse to start; a truncated file exits 2.
+#
+# Usage: ci/check_index.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/dgnn_cli"
+SERVE="$BUILD_DIR/examples/dgnn_serve"
+INSPECT="$BUILD_DIR/examples/dgnn_inspect"
+BENCH="$BUILD_DIR/bench/bench_serve_load"
+
+if [[ ! -x "$CLI" || ! -x "$SERVE" || ! -x "$INSPECT" || ! -x "$BENCH" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target dgnn_cli dgnn_serve dgnn_inspect bench_serve_load \
+             quant_test ivf_test
+fi
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+# ---- 1. export with and without the index ---------------------------------
+"$CLI" --mode=generate --data_dir="$WORK_DIR/data" --preset=tiny
+"$CLI" --mode=train --data_dir="$WORK_DIR/data" --epochs=2 --batch=128 \
+  --params="$WORK_DIR/model.bin" > /dev/null
+"$CLI" --mode=export --data_dir="$WORK_DIR/data" \
+  --params="$WORK_DIR/model.bin" --snapshot="$WORK_DIR/fp32.snap"
+"$CLI" --mode=export --data_dir="$WORK_DIR/data" \
+  --params="$WORK_DIR/model.bin" --snapshot="$WORK_DIR/q8_ivf.snap" \
+  --quant=int8 --index --clusters=16
+"$CLI" --mode=export --data_dir="$WORK_DIR/data" \
+  --params="$WORK_DIR/model.bin" --snapshot="$WORK_DIR/f16.snap" \
+  --quant=fp16
+
+for snap in fp32.snap q8_ivf.snap f16.snap; do
+  "$INSPECT" snapshot "$WORK_DIR/$snap" > "$WORK_DIR/$snap.txt" || {
+    echo "check_index: dgnn_inspect snapshot rejected valid $snap" >&2
+    exit 1
+  }
+done
+if grep -Eq 'quant_users|quant_items|ivf' "$WORK_DIR/fp32.snap.txt"; then
+  echo "check_index: fp32 export leaked quant/ivf sections" >&2
+  exit 1
+fi
+for section in quant_users quant_items ivf; do
+  grep -q "$section" "$WORK_DIR/q8_ivf.snap.txt" || {
+    echo "check_index: indexed export missing section $section" >&2
+    exit 1
+  }
+done
+echo "check_index: exports inspected (fp32 seed layout, int8+ivf, fp16)"
+
+# ---- 2. quantize round-trip tolerance + ivf determinism suites ------------
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'quant_test|ivf_test'
+echo "check_index: quant_test + ivf_test green"
+
+# ---- 3. recall@20 floor through the serving engine ------------------------
+"$BENCH" --preset=tiny --dim=16 --k=20 --quant=int8 --index --clusters=16 \
+  --nprobe=12 --mix=topk --arrival=poisson --qps=500 --requests=200 \
+  --workers=2 --recall-users=64 --recall-floor=0.9 \
+  --bench-json="$WORK_DIR/BENCH_index.json"
+"$INSPECT" bench "$WORK_DIR/BENCH_index.json" || {
+  echo "check_index: bench json failed validation" >&2
+  exit 1
+}
+# The floor must be enforceable: an unreachable floor exits 4.
+rc=0
+"$BENCH" --preset=tiny --dim=16 --k=20 --quant=int8 --index --clusters=16 \
+  --nprobe=1 --mix=topk --arrival=poisson --qps=500 --requests=50 \
+  --workers=2 --recall-users=64 --recall-floor=1.01 \
+  > /dev/null 2>&1 || rc=$?
+if [[ "$rc" -ne 4 ]]; then
+  echo "check_index: unreachable recall floor: expected exit 4, got $rc" >&2
+  exit 1
+fi
+echo "check_index: recall@20 floor enforced (pass at 0.9, fail at 1.01)"
+
+# ---- 4. unavailable ISA must abort, not fall back -------------------------
+AVAILABLE="$("$INSPECT" kernels | sed -n 's/^available: //p')"
+for level in avx2 neon; do
+  if [[ " $AVAILABLE " == *" $level "* ]]; then continue; fi
+  rc=0
+  DGNN_SIMD="$level" "$INSPECT" kernels > /dev/null 2>&1 || rc=$?
+  if [[ "$rc" -eq 0 ]]; then
+    echo "check_index: DGNN_SIMD=$level unavailable but did not fail" >&2
+    exit 1
+  fi
+  echo "check_index: DGNN_SIMD=$level correctly rejected (unavailable)"
+done
+
+# ---- 5. corrupt sections must fail ----------------------------------------
+cp "$WORK_DIR/q8_ivf.snap" "$WORK_DIR/flip.snap"
+python3 - "$WORK_DIR/flip.snap" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[len(data) // 2] ^= 0x10  # lands inside the quant_items payload
+open(path, "wb").write(data)
+EOF
+rc=0
+"$INSPECT" snapshot "$WORK_DIR/flip.snap" > /dev/null || rc=$?
+if [[ "$rc" -ne 1 ]]; then
+  echo "check_index: bit-flipped snapshot: expected inspect exit 1, got $rc" >&2
+  exit 1
+fi
+rc=0
+"$SERVE" --snapshot="$WORK_DIR/flip.snap" < /dev/null > /dev/null 2>&1 || rc=$?
+if [[ "$rc" -ne 1 ]]; then
+  echo "check_index: dgnn_serve accepted a bit-flipped snapshot (rc=$rc)" >&2
+  exit 1
+fi
+# A mid-payload truncation keeps the magic readable: the table prints
+# with a TRUNCATED marker and the checksum flags it (exit 1). Cutting
+# below the minimum header makes the file structurally unreadable (2).
+head -c 200 "$WORK_DIR/q8_ivf.snap" > "$WORK_DIR/trunc.snap"
+rc=0
+"$INSPECT" snapshot "$WORK_DIR/trunc.snap" > /dev/null 2>&1 || rc=$?
+if [[ "$rc" -ne 1 ]]; then
+  echo "check_index: truncated snapshot: expected inspect exit 1, got $rc" >&2
+  exit 1
+fi
+head -c 10 "$WORK_DIR/q8_ivf.snap" > "$WORK_DIR/stub.snap"
+rc=0
+"$INSPECT" snapshot "$WORK_DIR/stub.snap" > /dev/null 2>&1 || rc=$?
+if [[ "$rc" -ne 2 ]]; then
+  echo "check_index: header-less snapshot: expected inspect exit 2, got $rc" >&2
+  exit 1
+fi
+echo "check_index: corrupt sections rejected by inspect and serve"
+
+echo "check_index: all gates passed"

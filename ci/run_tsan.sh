@@ -26,7 +26,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
            telemetry_test failure_test run_log_test diagnostics_test \
            serve_engine_test serve_snapshot_test failpoint_test \
            resume_test serve_trace_test kernel_parity_test \
-           observability_test
+           observability_test quant_test ivf_test
 
 # halt_on_error: fail fast on the first race instead of drowning in reports.
 # telemetry_test has the concurrent-increment test (8 threads hammering one
@@ -45,9 +45,13 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
 # counts 1/2/7 (row-blocked GEMM/SpMM chunks must write disjoint ranges
 # on every ISA); observability_test hammers the per-request trace sink
 # and windowed-stats sampler from concurrent client threads (trace-id
-# uniqueness and stage-histogram recording are lock-free claims).
+# uniqueness and stage-histogram recording are lock-free claims);
+# quant_test exercises the quantized dot kernels across thread counts
+# and forced ISAs; ivf_test runs k-means index builds at thread counts
+# 1/7 and requires bit-identical serialized bytes (the disjoint-slot
+# assignment-scan claim).
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test|run_log_test|diagnostics_test|serve_engine_test|serve_snapshot_test|failpoint_test|resume_test|serve_trace_test|kernel_parity_test|observability_test'
+    -R 'thread_pool_test|parallel_equivalence_test|serving_test|telemetry_test|failure_test|run_log_test|diagnostics_test|serve_engine_test|serve_snapshot_test|failpoint_test|resume_test|serve_trace_test|kernel_parity_test|observability_test|quant_test|ivf_test'
 
 echo "TSan job passed: no data races detected."

@@ -22,10 +22,14 @@
 //                    [--topk=10]
 //       Print the top-K items (and most similar users) for one user.
 //   --mode=export    --data_dir=D [--model=DGNN] --params=P --snapshot=S
-//                    [--tag=T]
+//                    [--tag=T] [--quant=none|int8|fp16]
+//                    [--index[=1] [--clusters=N]]
 //       Export a serving snapshot (final embeddings, seen lists, social
-//       adjacency, popularity counts) for dgnn_serve. See README
-//       "Serving".
+//       adjacency, popularity counts) for dgnn_serve. --quant stores the
+//       embeddings as int8 (per-row scales) or fp16 instead of fp32;
+//       --index attaches an IVF retrieval index over the items
+//       (--clusters lists, default sqrt(num_items)) for sublinear top-K
+//       in dgnn_serve. See README "Quantization & retrieval index".
 //
 // All modes accept --threads=N to size the worker pool (default: the
 // DGNN_NUM_THREADS environment variable, else hardware concurrency).
@@ -207,13 +211,17 @@ int Train(const util::Flags& flags, const std::string& data_dir) {
                                            : "",
                 tc.checkpoint_path.empty() ? "<checkpoint>"
                                            : tc.checkpoint_path.c_str());
-    return 0;
+  } else {
+    std::printf("final: %s (%.2fs train%s)\n",
+                result.final_metrics.ToString().c_str(),
+                result.total_train_seconds,
+                result.stopped_early ? ", stopped early" : "");
   }
-  std::printf("final: %s (%.2fs train%s)\n",
-              result.final_metrics.ToString().c_str(),
-              result.total_train_seconds,
-              result.stopped_early ? ", stopped early" : "");
 
+  // Save whatever was trained even on an interrupted run: a --max-batches
+  // cap or a cooperative SIGTERM still leaves the parameters in a
+  // consistent post-batch state, and losing them forces a full redo when
+  // no checkpoint was configured.
   const std::string params = flags.GetString("params", "");
   if (!params.empty()) {
     util::Status saved = ag::SaveParameters(l.model->params(), params);
@@ -278,13 +286,37 @@ int Export(const util::Flags& flags, const std::string& data_dir) {
   serve::Snapshot snapshot = serve::BuildSnapshot(
       recommender, l.dataset, flags.GetString("model", "DGNN"),
       flags.GetString("tag", ""));
+  // --index builds the IVF retrieval index over the fp32 items BEFORE any
+  // quantization (k-means needs full precision); --clusters overrides the
+  // sqrt(num_items) default list count.
+  std::string extras;
+  if (flags.GetBool("index", false)) {
+    index::IvfConfig ivf;
+    ivf.nlist = static_cast<int32_t>(flags.GetInt("clusters", 0));
+    ivf.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    util::Status built = serve::BuildSnapshotIndex(&snapshot, ivf);
+    if (!built.ok()) return Fail(built);
+    extras += ", ivf nlist=" + std::to_string(snapshot.ivf.nlist);
+  }
+  // --quant=int8|fp16 replaces the fp32 embedding sections with quantized
+  // ones (int8: per-row scales; fp16: RNE-converted halves). "none"
+  // (default) keeps the seed-era byte-identical fp32 snapshot.
+  const std::string quant = flags.GetString("quant", "none");
+  if (quant != "none") {
+    auto codec = quant::ParseCodec(quant);
+    if (!codec.ok()) return Fail(codec.status());
+    util::Status quantized =
+        serve::QuantizeSnapshot(&snapshot, codec.value());
+    if (!quantized.ok()) return Fail(quantized);
+    extras += ", quant=" + quant;
+  }
   util::Status written = serve::WriteSnapshot(snapshot, snapshot_path);
   if (!written.ok()) return Fail(written);
   std::printf("snapshot written to %s (%lld users x %lld items, dim "
-              "%lld)\n",
+              "%lld%s)\n",
               snapshot_path.c_str(), (long long)snapshot.meta.num_users,
               (long long)snapshot.meta.num_items,
-              (long long)snapshot.meta.embedding_dim);
+              (long long)snapshot.meta.embedding_dim, extras.c_str());
   return 0;
 }
 

@@ -56,6 +56,7 @@
 
 #include "kernels/kernels.h"
 #include "serve/observe.h"
+#include "serve/snapshot.h"
 #include "util/json.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -507,7 +508,7 @@ bool BenchNumber(const std::string& path, const JsonValue& point,
 }
 
 bool ValidateBenchPoint(const std::string& path, const JsonValue& point,
-                        const std::string& mode) {
+                        const std::string& mode, int schema_version) {
   if (!point.is_object()) return BenchFail(path, "point is not an object");
   double p50 = 0, p95 = 0, p99 = 0, requests = 0;
   for (const char* key : {"requests", "seconds", "p50_ms", "p95_ms",
@@ -547,6 +548,21 @@ bool ValidateBenchPoint(const std::string& path, const JsonValue& point,
     if (degraded > ok) {
       return BenchFail(path, "degraded exceeds ok");
     }
+    if (schema_version >= 2) {
+      // v2 open points carry the snapshot footprint; recall_at_k is
+      // present when the run measured it and must then be a fraction.
+      double snapshot_bytes = 0;
+      if (!BenchNumber(path, point, "snapshot_bytes", &snapshot_bytes)) {
+        return false;
+      }
+      const JsonValue* recall = point.Find("recall_at_k");
+      if (recall != nullptr) {
+        if (!recall->is_number() || !(recall->number >= 0.0) ||
+            recall->number > 1.0) {
+          return BenchFail(path, "recall_at_k must be in [0, 1]");
+        }
+      }
+    }
   } else {
     double clients = 0, qps = 0;
     if (!BenchNumber(path, point, "clients", &clients)) return false;
@@ -572,8 +588,13 @@ int BenchValidate(const std::string& path) {
   }
   const JsonValue root = std::move(parsed).value();
   if (!root.is_object()) return BenchFail(path, "root is not an object"), 2;
-  if (root.NumberOr("schema_version", 0) != 1) {
-    return BenchFail(path, "schema_version must be 1"), 2;
+  // v1 = seed schema; v2 adds snapshot_bytes / recall_at_k to open-loop
+  // points. Both remain valid so committed v1 trajectory files keep
+  // validating.
+  const int schema_version =
+      static_cast<int>(root.NumberOr("schema_version", 0));
+  if (schema_version != 1 && schema_version != 2) {
+    return BenchFail(path, "schema_version must be 1 or 2"), 2;
   }
   if (root.StringOr("bench", "") != "bench_serve_load") {
     return BenchFail(path, "\"bench\" must be \"bench_serve_load\""), 2;
@@ -596,7 +617,7 @@ int BenchValidate(const std::string& path) {
     return BenchFail(path, "\"points\" must be a non-empty array"), 2;
   }
   for (const JsonValue& point : points->array) {
-    if (!ValidateBenchPoint(path, point, mode)) return 2;
+    if (!ValidateBenchPoint(path, point, mode, schema_version)) return 2;
   }
   std::printf("%s: valid %s-loop bench result (%zu point(s), preset %s)\n",
               path.c_str(), mode.c_str(), points->array.size(),
@@ -751,6 +772,39 @@ int WatchStats(const std::string& path, double max_seconds) {
   return 0;
 }
 
+// `dgnn_inspect snapshot FILE`: dump the snapshot's section table
+// (ids, names, payload sizes, per-section shape/codec/index metadata)
+// and verify the trailing checksum. Exit codes: 0 = checksum OK,
+// 1 = checksum mismatch (the section table still prints — it shows
+// WHICH section looks damaged), 2 = not a snapshot at all (unreadable,
+// too small, bad magic). ci/check_index.sh gates corrupt-snapshot
+// must-fail on the nonzero exits.
+int SnapshotReport(const std::string& path) {
+  auto inspected = dgnn::serve::InspectSnapshotFile(path);
+  if (!inspected.ok()) {
+    std::fprintf(stderr, "dgnn_inspect: %s\n",
+                 inspected.status().ToString().c_str());
+    return 2;
+  }
+  const dgnn::serve::SnapshotFileInfo& info = inspected.value();
+  std::printf("file: %s (%llu bytes)\n", path.c_str(),
+              (unsigned long long)info.file_bytes);
+  std::printf("checksum: stored=%016llx computed=%016llx %s\n",
+              (unsigned long long)info.stored_checksum,
+              (unsigned long long)info.computed_checksum,
+              info.checksum_ok ? "OK" : "MISMATCH");
+  std::printf("sections: %zu\n", info.sections.size());
+  for (const dgnn::serve::SnapshotSectionInfo& sec : info.sections) {
+    std::printf("  [%u] %-12s %14llu bytes%s%s\n", sec.id,
+                sec.name.c_str(), (unsigned long long)sec.bytes,
+                sec.detail.empty() ? "" : "  ", sec.detail.c_str());
+  }
+  if (!info.meta_json.empty()) {
+    std::printf("meta: %s\n", info.meta_json.c_str());
+  }
+  return info.checksum_ok ? 0 : 1;
+}
+
 // `dgnn_inspect kernels`: one "key: value" line per fact so shell gates
 // can grep without a JSON parser.
 int KernelsReport() {
@@ -775,6 +829,7 @@ int Usage() {
       "  dgnn_inspect diff BASELINE CANDIDATE [--hr-tol=X] [--ndcg-tol=X]"
       " [--loss-tol=X]\n"
       "  dgnn_inspect bench BENCH_serve.json\n"
+      "  dgnn_inspect snapshot SNAPSHOT\n"
       "  dgnn_inspect stats STATS.jsonl [--prom]\n"
       "  dgnn_inspect watch STATS.jsonl [--max-seconds=S]\n"
       "  dgnn_inspect kernels\n");
@@ -818,6 +873,9 @@ int main(int argc, char** argv) {
   }
   if (positional.size() == 2 && positional[0] == "bench") {
     return BenchValidate(positional[1]);
+  }
+  if (positional.size() == 2 && positional[0] == "snapshot") {
+    return SnapshotReport(positional[1]);
   }
   if (positional.size() == 2 && positional[0] == "stats") {
     return StatsRender(positional[1], prom);

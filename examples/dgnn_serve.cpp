@@ -44,6 +44,13 @@
 // --social-alpha=A, --max-queue=N, --deadline-ms=T, --metrics-out=F,
 // --trace-out=F, --run-log=F.
 //
+// Quantized snapshots (int8/fp16 embedding sections) load transparently.
+// When the snapshot carries an IVF index, --nprobe=N probes the top-N
+// coarse lists per topk request (sublinear candidate generation) with an
+// fp32 exact rerank of the top --rerank survivors (0 = max(4k, 64));
+// --nprobe=0 (default) keeps the exact brute-force scan. See README
+// "Quantization & retrieval index".
+//
 // Live observability (README "Live observability"): --stats-out=F
 // appends a timestamped stats snapshot (counters + rolling 1s/10s/60s
 // windows + SLO burn) as crash-safe JSONL every --stats-every-s seconds
@@ -424,6 +431,11 @@ int main(int argc, char** argv) {
   config.trace_sample_rate = flags.GetDouble("trace-sample-rate", 0.01);
   config.slo_p99_ms = flags.GetDouble("slo-p99-ms", 0.0);
   config.slo_availability = flags.GetDouble("slo-availability", 0.0);
+  // --nprobe=N probes the top-N IVF lists per TopK request when the
+  // snapshot carries an index (0 = brute-force scan, the exact default);
+  // --rerank=R sizes the fp32 exact-rerank shortlist (0 = max(4k, 64)).
+  config.nprobe = static_cast<int>(flags.GetInt("nprobe", 0));
+  config.rerank = static_cast<int>(flags.GetInt("rerank", 0));
   serve::ServingEngine engine(config);
 
   serve::observe::JsonlAppender request_log;
@@ -454,13 +466,26 @@ int main(int argc, char** argv) {
     return 1;
   }
   const auto snap = engine.snapshot();
+  const char* storage = snap->has_quant_items()
+                            ? quant::CodecName(snap->quant_items.codec)
+                            : "fp32";
+  std::string retrieval =
+      snap->ivf.empty()
+          ? "brute-force"
+          : (config.nprobe > 0
+                 ? "ivf nlist=" + std::to_string(snap->ivf.nlist) +
+                       " nprobe=" + std::to_string(config.nprobe)
+                 : "brute-force (ivf present, --nprobe=0)");
   std::fprintf(stderr,
                "dgnn_serve: serving '%s' (%s) — %lld users, %lld items, "
-               "dim %lld\n",
+               "dim %lld, %s embeddings, %s top-k, ~%.1f MB resident\n",
                snap->meta.model_name.c_str(), snapshot_path.c_str(),
                (long long)snap->meta.num_users,
                (long long)snap->meta.num_items,
-               (long long)snap->meta.embedding_dim);
+               (long long)snap->meta.embedding_dim, storage,
+               retrieval.c_str(),
+               static_cast<double>(serve::SnapshotResidentBytes(*snap)) /
+                   (1024.0 * 1024.0));
   if (runlog::Active()) {
     util::JsonObject o;
     o.Set("snapshot", snapshot_path)
@@ -472,7 +497,10 @@ int main(int argc, char** argv) {
         .Set("cache_capacity", static_cast<int64_t>(config.cache_capacity))
         .Set("social_alpha", static_cast<double>(config.social_alpha))
         .Set("max_queue", static_cast<int64_t>(config.max_queue))
-        .Set("deadline_ms", config.default_deadline_ms);
+        .Set("deadline_ms", config.default_deadline_ms)
+        .Set("storage", storage)
+        .Set("nprobe", static_cast<int64_t>(config.nprobe))
+        .Set("rerank", static_cast<int64_t>(config.rerank));
     runlog::Emit("serve_start", o);
   }
   // --replay-trace: instead of serving stdin, replay a recorded request

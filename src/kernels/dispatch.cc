@@ -216,4 +216,14 @@ float Dot(const float* a, const float* b, int64_t n) {
   return table->dot(a, b, n, Deterministic());
 }
 
+float DotQ8(const float* a, const int8_t* q, int64_t n) {
+  const KernelTable* table = ActiveTable();
+  return table->dot_q8(a, q, n, Deterministic());
+}
+
+float DotF16(const float* a, const uint16_t* h, int64_t n) {
+  const KernelTable* table = ActiveTable();
+  return table->dot_f16(a, h, n, Deterministic());
+}
+
 }  // namespace dgnn::kernels

@@ -111,6 +111,93 @@ void LeakyReluBackward(float* gx, const float* g, const float* x,
 // FMA partial sums.
 float Dot(const float* a, const float* b, int64_t n);
 
+// Quantized dots for the serving snapshot's int8 / fp16 embedding
+// sections (ggml-style storage: per-row scale outside the kernel).
+//
+//  * DotQ8 returns sum_i a[i] * float(q[i]) — the caller multiplies by
+//    the row's scale, so the kernel itself is codec-agnostic integer
+//    widening + the usual float accumulation.
+//  * DotF16 returns sum_i a[i] * Fp16ToFp32(h[i]).
+//
+// Deterministic mode is the serial scalar reference on every ISA (same
+// contract as Dot); fast mode may widen 8/16-bit lanes in SIMD and use
+// multi-lane FMA partial sums.
+float DotQ8(const float* a, const int8_t* q, int64_t n);
+float DotF16(const float* a, const uint16_t* h, int64_t n);
+
+// ---------------------------------------------------------------------------
+// IEEE binary16 conversion (software reference)
+// ---------------------------------------------------------------------------
+
+// Round-to-nearest-even float32 -> float16, handling subnormals,
+// overflow-to-inf and NaN payload truncation. Pure bit manipulation:
+// bit-identical on every ISA and compiler, which is what makes fp16
+// snapshot sections deterministic artifacts. Hardware converters (F16C)
+// are used only as a runtime-gated fast path inside the SIMD dots.
+inline uint16_t Fp32ToFp16(float v) {
+  uint32_t bits;
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const uint32_t exp = (bits >> 23) & 0xffu;
+  uint32_t mant = bits & 0x7fffffu;
+  if (exp == 0xffu) {  // inf / NaN (keep the top mantissa bits, force
+                       // quiet so a payload of all-truncated-zeros
+                       // cannot turn a NaN into an inf)
+    return static_cast<uint16_t>(
+        sign | 0x7c00u | (mant != 0 ? (0x200u | (mant >> 13)) : 0u));
+  }
+  const int32_t e = static_cast<int32_t>(exp) - 127 + 15;
+  if (e >= 0x1f) return static_cast<uint16_t>(sign | 0x7c00u);  // -> inf
+  if (e <= 0) {
+    if (e < -10) return static_cast<uint16_t>(sign);  // underflow -> 0
+    mant |= 0x800000u;  // implicit bit
+    const uint32_t shift = static_cast<uint32_t>(14 - e);  // 14..24
+    uint32_t half = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1u);
+    if (rem > halfway || (rem == halfway && (half & 1u))) ++half;
+    return static_cast<uint16_t>(sign | half);
+  }
+  uint32_t half = (static_cast<uint32_t>(e) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1fffu;
+  // Rounding may carry into the exponent; that correctly lands on the
+  // next binade (and on inf when the max normal rounds up).
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  return static_cast<uint16_t>(sign | half);
+}
+
+inline float Fp16ToFp32(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  uint32_t mant = h & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0x1fu) {  // inf / NaN
+    bits = sign | 0x7f800000u | (mant << 13);
+  } else if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Normalize the subnormal: shift until the implicit bit appears.
+      // value = mant * 2^-24 = 1.frac * 2^(-14 - shift), so the fp32
+      // biased exponent is 127 - 14 - shift (NOT -15: the subnormal
+      // scale is 2^-14, one binade above the half exponent bias).
+      int shift = 0;
+      while ((mant & 0x400u) == 0) {
+        mant <<= 1;
+        ++shift;
+      }
+      mant &= 0x3ffu;
+      bits = sign |
+             (static_cast<uint32_t>(127 - 14 - shift) << 23) | (mant << 13);
+    }
+  } else {
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float f;
+  __builtin_memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
 // ---------------------------------------------------------------------------
 // Internals shared by the per-ISA translation units
 // ---------------------------------------------------------------------------
@@ -156,6 +243,9 @@ struct KernelTable {
   void (*leaky_relu_bwd)(float*, const float*, const float*, int64_t,
                          float) = nullptr;
   float (*dot)(const float*, const float*, int64_t, bool det) = nullptr;
+  float (*dot_q8)(const float*, const int8_t*, int64_t, bool det) = nullptr;
+  float (*dot_f16)(const float*, const uint16_t*, int64_t, bool det) =
+      nullptr;
 };
 
 // Per-ISA tables. The scalar table is the reference implementation and
@@ -171,6 +261,8 @@ const KernelTable* NeonKernelTable();  // defined iff DGNN_KERNELS_HAVE_NEON
 // deterministic fallback for the inner-product GEMM paths.
 void ScalarGemmRows(const GemmView& g, int64_t rb, int64_t re, bool det);
 float ScalarDot(const float* a, const float* b, int64_t n, bool det);
+float ScalarDotQ8(const float* a, const int8_t* q, int64_t n, bool det);
+float ScalarDotF16(const float* a, const uint16_t* h, int64_t n, bool det);
 
 }  // namespace dgnn::kernels
 

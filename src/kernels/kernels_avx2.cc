@@ -75,6 +75,71 @@ inline float DotFma(const float* a, const float* b, int64_t n) {
   return r;
 }
 
+// 8 int8 values widened to an fp32 vector (sign-extend + convert).
+inline __m256 LoadQ8AsF32(const int8_t* q) {
+  const __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+}
+
+// FMA int8 dot, fast mode only: widen 8 lanes per step, 4 independent
+// accumulator chains. The widening conversion is exact (int8 fits fp32),
+// so fast/deterministic differ only by accumulation order — the same
+// contract as the float Dot.
+inline float DotQ8Fma(const float* a, const int8_t* q, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), LoadQ8AsF32(q + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           LoadQ8AsF32(q + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           LoadQ8AsF32(q + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           LoadQ8AsF32(q + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), LoadQ8AsF32(q + i),
+                           acc0);
+  }
+  float r = Hsum(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                               _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) r += a[i] * static_cast<float>(q[i]);
+  return r;
+}
+
+#if defined(__F16C__)
+// FMA fp16 dot via the hardware converter. Only reached behind a runtime
+// f16c check (the AVX2 table itself stays gated on avx2+fma alone).
+inline float DotF16Fma(const float* a, const uint16_t* h, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i h0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + i));
+    const __m128i h1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + i + 8));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_cvtph_ps(h0),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8), _mm256_cvtph_ps(h1),
+                           acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + i));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_cvtph_ps(h0),
+                           acc0);
+  }
+  float r = Hsum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) r += a[i] * Fp16ToFp32(h[i]);
+  return r;
+}
+#endif  // __F16C__
+
 // One register-blocked output-row tile of the B-rows-streamed GEMM:
 // kVecs accumulator vectors (8 floats each) live in ymm registers
 // across the entire p reduction, so the loop never round-trips the
@@ -400,6 +465,22 @@ float DotImpl(const float* a, const float* b, int64_t n, bool det) {
   return DotFma(a, b, n);
 }
 
+float DotQ8Impl(const float* a, const int8_t* q, int64_t n, bool det) {
+  if (det) return ScalarDotQ8(a, q, n, det);
+  return DotQ8Fma(a, q, n);
+}
+
+float DotF16Impl(const float* a, const uint16_t* h, int64_t n, bool det) {
+  if (det) return ScalarDotF16(a, h, n, det);
+#if defined(__F16C__)
+  // F16C shipped before AVX2 on every x86 line, but the table is gated
+  // on avx2+fma only — check at runtime rather than widening the gate.
+  static const bool have_f16c = __builtin_cpu_supports("f16c");
+  if (have_f16c) return DotF16Fma(a, h, n);
+#endif
+  return ScalarDotF16(a, h, n, /*det=*/false);
+}
+
 }  // namespace
 
 const KernelTable* Avx2KernelTable() {
@@ -416,6 +497,8 @@ const KernelTable* Avx2KernelTable() {
       /*leaky_relu_fwd=*/&LeakyReluFwdImpl,
       /*leaky_relu_bwd=*/&LeakyReluBwdImpl,
       /*dot=*/&DotImpl,
+      /*dot_q8=*/&DotQ8Impl,
+      /*dot_f16=*/&DotF16Impl,
   };
   return &table;
 }

@@ -43,6 +43,43 @@ inline float DotFma(const float* a, const float* b, int64_t n) {
   return r;
 }
 
+// FMA int8 dot, fast mode only: widen 4 lanes per step via
+// int8 -> int16 -> int32 -> fp32 (exact), 2 independent chains.
+inline float DotQ8Fma(const float* a, const int8_t* q, int64_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t w = vmovl_s8(vld1_s8(q + i));
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i),
+                     vcvtq_f32_s32(vmovl_s16(vget_low_s16(w))));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4),
+                     vcvtq_f32_s32(vmovl_s16(vget_high_s16(w))));
+  }
+  float r = Hsum(vaddq_f32(acc0, acc1));
+  for (; i < n; ++i) r += a[i] * static_cast<float>(q[i]);
+  return r;
+}
+
+// FMA fp16 dot, fast mode only. aarch64 guarantees the fp16 conversion
+// instructions (vcvt_f32_f16), so no runtime gate is needed.
+inline float DotF16Fma(const float* a, const uint16_t* h, int64_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const float16x8_t w =
+        vreinterpretq_f16_u16(vld1q_u16(h + i));
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i),
+                     vcvt_f32_f16(vget_low_f16(w)));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4),
+                     vcvt_f32_f16(vget_high_f16(w)));
+  }
+  float r = Hsum(vaddq_f32(acc0, acc1));
+  for (; i < n; ++i) r += a[i] * Fp16ToFp32(h[i]);
+  return r;
+}
+
 template <bool kDet, bool kDirect>
 inline void GemmRowsStreamB(const GemmView& g, int64_t rb, int64_t re) {
   for (int64_t i = rb; i < re; ++i) {
@@ -236,6 +273,16 @@ float DotImpl(const float* a, const float* b, int64_t n, bool det) {
   return DotFma(a, b, n);
 }
 
+float DotQ8Impl(const float* a, const int8_t* q, int64_t n, bool det) {
+  if (det) return ScalarDotQ8(a, q, n, det);
+  return DotQ8Fma(a, q, n);
+}
+
+float DotF16Impl(const float* a, const uint16_t* h, int64_t n, bool det) {
+  if (det) return ScalarDotF16(a, h, n, det);
+  return DotF16Fma(a, h, n);
+}
+
 }  // namespace
 
 const KernelTable* NeonKernelTable() {
@@ -252,6 +299,8 @@ const KernelTable* NeonKernelTable() {
       /*leaky_relu_fwd=*/&LeakyReluFwdImpl,
       /*leaky_relu_bwd=*/&LeakyReluBwdImpl,
       /*dot=*/&DotImpl,
+      /*dot_q8=*/&DotQ8Impl,
+      /*dot_f16=*/&DotF16Impl,
   };
   return &table;
 }

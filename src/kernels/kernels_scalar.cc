@@ -130,6 +130,19 @@ float DotImpl(const float* a, const float* b, int64_t n, bool /*det*/) {
   return acc;
 }
 
+float DotQ8Impl(const float* a, const int8_t* q, int64_t n, bool /*det*/) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * static_cast<float>(q[i]);
+  return acc;
+}
+
+float DotF16Impl(const float* a, const uint16_t* h, int64_t n,
+                 bool /*det*/) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * Fp16ToFp32(h[i]);
+  return acc;
+}
+
 }  // namespace
 
 void ScalarGemmRows(const GemmView& g, int64_t rb, int64_t re, bool det) {
@@ -138,6 +151,14 @@ void ScalarGemmRows(const GemmView& g, int64_t rb, int64_t re, bool det) {
 
 float ScalarDot(const float* a, const float* b, int64_t n, bool det) {
   return DotImpl(a, b, n, det);
+}
+
+float ScalarDotQ8(const float* a, const int8_t* q, int64_t n, bool det) {
+  return DotQ8Impl(a, q, n, det);
+}
+
+float ScalarDotF16(const float* a, const uint16_t* h, int64_t n, bool det) {
+  return DotF16Impl(a, h, n, det);
 }
 
 const KernelTable* ScalarKernelTable() {
@@ -154,6 +175,8 @@ const KernelTable* ScalarKernelTable() {
       /*leaky_relu_fwd=*/&LeakyReluFwdImpl,
       /*leaky_relu_bwd=*/&LeakyReluBwdImpl,
       /*dot=*/&DotImpl,
+      /*dot_q8=*/&DotQ8Impl,
+      /*dot_f16=*/&DotF16Impl,
   };
   return &table;
 }

@@ -1,0 +1,121 @@
+#include "quant/quant.h"
+
+#include <cmath>
+
+#include "kernels/kernels.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace dgnn::quant {
+namespace {
+
+// Same fixed grain as the serving catalog scans; quantization is a pure
+// per-element map, so the grain only affects scheduling, never bits.
+constexpr int64_t kRowGrain = 256;
+
+void QuantizeRowInt8(const float* row, int64_t cols, int8_t* q,
+                     float* scale) {
+  float maxabs = 0.0f;
+  for (int64_t c = 0; c < cols; ++c) {
+    const float a = std::fabs(row[c]);
+    if (a > maxabs) maxabs = a;
+  }
+  if (maxabs == 0.0f) {
+    *scale = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) q[c] = 0;
+    return;
+  }
+  const float s = maxabs / 127.0f;
+  const float inv = 127.0f / maxabs;
+  *scale = s;
+  for (int64_t c = 0; c < cols; ++c) {
+    // nearbyint under the default rounding mode = round-to-nearest-even,
+    // the same tie rule the fp16 converter uses.
+    float v = std::nearbyintf(row[c] * inv);
+    if (v > 127.0f) v = 127.0f;
+    if (v < -127.0f) v = -127.0f;
+    q[c] = static_cast<int8_t>(v);
+  }
+}
+
+}  // namespace
+
+const char* CodecName(Codec codec) {
+  switch (codec) {
+    case Codec::kInt8:
+      return "int8";
+    case Codec::kFp16:
+      return "fp16";
+  }
+  return "?";
+}
+
+util::StatusOr<Codec> ParseCodec(const std::string& name) {
+  if (name == "int8") return Codec::kInt8;
+  if (name == "fp16") return Codec::kFp16;
+  return util::Status::InvalidArgument("unknown quantization codec '" +
+                                       name + "' (expected int8 or fp16)");
+}
+
+int64_t QuantizedMatrix::ResidentBytes() const {
+  return static_cast<int64_t>(q8.size()) * sizeof(int8_t) +
+         static_cast<int64_t>(scales.size()) * sizeof(float) +
+         static_cast<int64_t>(f16.size()) * sizeof(uint16_t);
+}
+
+float QuantizedMatrix::Dot(const float* x, int64_t r) const {
+  if (codec == Codec::kInt8) {
+    return scales[static_cast<size_t>(r)] *
+           kernels::DotQ8(x, q8.data() + r * cols, cols);
+  }
+  return kernels::DotF16(x, f16.data() + r * cols, cols);
+}
+
+void QuantizedMatrix::DequantizeRow(int64_t r, float* out) const {
+  if (codec == Codec::kInt8) {
+    const float s = scales[static_cast<size_t>(r)];
+    const int8_t* q = q8.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      out[c] = s * static_cast<float>(q[c]);
+    }
+    return;
+  }
+  const uint16_t* h = f16.data() + r * cols;
+  for (int64_t c = 0; c < cols; ++c) out[c] = kernels::Fp16ToFp32(h[c]);
+}
+
+QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
+                         Codec codec) {
+  DGNN_CHECK_GE(rows, 0);
+  DGNN_CHECK_GT(cols, 0);
+  QuantizedMatrix out;
+  out.codec = codec;
+  out.rows = rows;
+  out.cols = cols;
+  if (codec == Codec::kInt8) {
+    out.q8.resize(static_cast<size_t>(rows * cols));
+    out.scales.resize(static_cast<size_t>(rows));
+    util::ParallelFor(0, rows, kRowGrain, [&](int64_t b, int64_t e) {
+      for (int64_t r = b; r < e; ++r) {
+        QuantizeRowInt8(data + r * cols, cols, out.q8.data() + r * cols,
+                        &out.scales[static_cast<size_t>(r)]);
+      }
+    });
+    return out;
+  }
+  out.f16.resize(static_cast<size_t>(rows * cols));
+  util::ParallelFor(0, rows, kRowGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b * cols; i < e * cols; ++i) {
+      out.f16[static_cast<size_t>(i)] = kernels::Fp32ToFp16(data[i]);
+    }
+  });
+  return out;
+}
+
+void Dequantize(const QuantizedMatrix& q, float* out) {
+  util::ParallelFor(0, q.rows, kRowGrain, [&](int64_t b, int64_t e) {
+    for (int64_t r = b; r < e; ++r) q.DequantizeRow(r, out + r * q.cols);
+  });
+}
+
+}  // namespace dgnn::quant

@@ -102,7 +102,15 @@ util::Status ServingEngine::Load(const std::string& path) {
 void ServingEngine::Swap(std::shared_ptr<const Snapshot> snapshot) {
   DGNN_CHECK(snapshot != nullptr);
   auto state = std::make_shared<State>();
-  state->user_norms = ComputeRowNorms(snapshot->users);
+  // Views point into *snapshot; state->snap keeps it alive for the
+  // state's lifetime.
+  state->users_view = snapshot->has_quant_users()
+                          ? EmbeddingView(&snapshot->quant_users)
+                          : EmbeddingView(&snapshot->users);
+  state->items_view = snapshot->has_quant_items()
+                          ? EmbeddingView(&snapshot->quant_items)
+                          : EmbeddingView(&snapshot->items);
+  state->user_norms = ComputeRowNorms(state->users_view);
   state->popularity.reserve(snapshot->item_counts.size());
   for (size_t i = 0; i < snapshot->item_counts.size(); ++i) {
     state->popularity.push_back(
@@ -395,20 +403,23 @@ void ServingEngine::ExecuteBatch(const State* state, Slot** slots,
 
 std::vector<float> ServingEngine::ComputeUserVector(const State& state,
                                                     int32_t user) const {
-  const ag::Tensor& users = state.snap->users;
-  const float* u = users.row(user);
+  const EmbeddingView& users = state.users_view;
   const int64_t d = users.cols();
-  std::vector<float> vec(u, u + d);
+  std::vector<float> vec(static_cast<size_t>(d));
+  users.DecodeRow(user, vec.data());
   const float alpha = config_.social_alpha;
   const auto& neighbors =
       state.snap->social[static_cast<size_t>(user)];
-  // alpha == 0 keeps the raw row bit-for-bit (no arithmetic applied), the
-  // Recommender-parity path.
+  // alpha == 0 keeps the (decoded) row bit-for-bit — no arithmetic
+  // applied — the Recommender-parity path for dense snapshots.
   if (alpha == 0.0f || neighbors.empty()) return vec;
   std::vector<float> mean(static_cast<size_t>(d), 0.0f);
+  std::vector<float> w(static_cast<size_t>(d));
   for (int32_t v : neighbors) {
-    const float* w = users.row(v);
-    for (int64_t c = 0; c < d; ++c) mean[static_cast<size_t>(c)] += w[c];
+    users.DecodeRow(v, w.data());
+    for (int64_t c = 0; c < d; ++c) {
+      mean[static_cast<size_t>(c)] += w[static_cast<size_t>(c)];
+    }
   }
   const float inv = 1.0f / static_cast<float>(neighbors.size());
   for (int64_t c = 0; c < d; ++c) {
@@ -483,7 +494,7 @@ Response ServingEngine::Execute(const State* state, const Request& request,
   const Snapshot& snap = *state->snap;
   resp.snapshot_version = state->version;
   const bool known_user =
-      request.user >= 0 && request.user < snap.users.rows();
+      request.user >= 0 && request.user < state->users_view.rows();
   switch (request.type) {
     case Request::Type::kTopK: {
       if (request.k <= 0) {
@@ -508,16 +519,52 @@ Response ServingEngine::Execute(const State* state, const Request& request,
       if (stages != nullptr) {
         stages->recal_seconds = Seconds(t0, Clock::now());
       }
-      resp.items = TopKUnseenItemsTimed(
-          vec.data(), snap.items,
-          snap.seen[static_cast<size_t>(request.user)], request.k,
-          stages != nullptr ? &stages->compute_seconds : nullptr,
-          stages != nullptr ? &stages->rank_seconds : nullptr);
+      const std::vector<int32_t>& seen =
+          snap.seen[static_cast<size_t>(request.user)];
+      double* compute_s =
+          stages != nullptr ? &stages->compute_seconds : nullptr;
+      double* rank_s = stages != nullptr ? &stages->rank_seconds : nullptr;
+      const bool use_ivf = !snap.ivf.empty() && config_.nprobe > 0;
+      if (!use_ivf && state->items_view.dense()) {
+        // Dense brute force stays on the seed-era path — bit-identical to
+        // train::Recommender by construction.
+        resp.items = TopKUnseenItemsTimed(vec.data(), snap.items, seen,
+                                          request.k, compute_s, rank_s);
+        break;
+      }
+      std::vector<int32_t> candidates;
+      const std::vector<int32_t>* cand_ptr = nullptr;
+      if (use_ivf) {
+        // Rank the coarse lists against the scoring vector and gather the
+        // top-nprobe lists' members as the candidate shortlist.
+        std::vector<int32_t> lists;
+        snap.ivf.RankLists(vec.data(), config_.nprobe, &lists);
+        int64_t total = 0;
+        for (int32_t l : lists) {
+          total += snap.ivf.list_offsets[static_cast<size_t>(l) + 1] -
+                   snap.ivf.list_offsets[static_cast<size_t>(l)];
+        }
+        candidates.reserve(static_cast<size_t>(total));
+        for (int32_t l : lists) {
+          const auto b = snap.ivf.list_offsets[static_cast<size_t>(l)];
+          const auto e = snap.ivf.list_offsets[static_cast<size_t>(l) + 1];
+          candidates.insert(candidates.end(),
+                            snap.ivf.list_items.begin() + b,
+                            snap.ivf.list_items.begin() + e);
+        }
+        cand_ptr = &candidates;
+      }
+      const int rerank = config_.rerank > 0
+                             ? config_.rerank
+                             : std::max(4 * request.k, 64);
+      resp.items =
+          TopKUnseenFromView(vec.data(), state->items_view, cand_ptr, seen,
+                             request.k, rerank, compute_s, rank_s);
       break;
     }
     case Request::Type::kScore: {
       const bool known_item =
-          request.item >= 0 && request.item < snap.items.rows();
+          request.item >= 0 && request.item < state->items_view.rows();
       if (!known_user || !known_item) {
         resp.score = 0.0f;
         resp.degraded = true;
@@ -532,8 +579,7 @@ Response ServingEngine::Execute(const State* state, const Request& request,
         t1 = Clock::now();
         stages->recal_seconds = Seconds(t0, t1);
       }
-      resp.score =
-          Dot(vec.data(), snap.items.row(request.item), snap.items.cols());
+      resp.score = state->items_view.Score(vec.data(), request.item);
       if (stages != nullptr) {
         stages->compute_seconds = Seconds(t1, Clock::now());
       }
@@ -552,7 +598,10 @@ Response ServingEngine::Execute(const State* state, const Request& request,
       // No recalibration path here; the whole cosine scan is "compute".
       Clock::time_point t0;
       if (stages != nullptr) t0 = Clock::now();
-      resp.items = SimilarUsersByCosine(request.user, snap.users,
+      std::vector<float> u(static_cast<size_t>(state->users_view.cols()));
+      state->users_view.DecodeRow(request.user, u.data());
+      resp.items = SimilarUsersByCosine(request.user, u.data(),
+                                        state->users_view,
                                         state->user_norms, request.k);
       if (stages != nullptr) {
         stages->compute_seconds = Seconds(t0, Clock::now());

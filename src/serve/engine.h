@@ -93,6 +93,16 @@ struct EngineConfig {
   // exceeded". Request::timeout_ms overrides per request. <= 0 disables.
   int64_t default_deadline_ms = 0;
 
+  // --- Quantized snapshots & IVF retrieval ---
+  // Coarse lists probed per TopK request when the snapshot carries an
+  // IVF index. <= 0 keeps the brute-force full-catalog scan even when an
+  // index is present (the safe default — identical results, linear cost).
+  int nprobe = 0;
+  // Shortlist size exact-reranked in fp32 after the quantized/IVF
+  // candidate scan; <= 0 picks max(4 * k, 64) per request. Larger values
+  // trade latency for recall.
+  int rerank = 0;
+
   // --- Observability plane (README "Live observability") ---
   // Period of the background windowed-stats sampler thread; <= 0 leaves
   // it stopped until StartSampler() is called explicitly.
@@ -243,6 +253,10 @@ class ServingEngine {
   // Everything derived from one snapshot, immutable once published.
   struct State {
     std::shared_ptr<const Snapshot> snap;
+    // Storage-generic views over the snapshot's embeddings (dense fp32 or
+    // quantized section); every scoring path ranks through these.
+    EmbeddingView users_view;
+    EmbeddingView items_view;
     std::vector<float> user_norms;
     // Item ids sorted by (train count desc, id asc) — the degraded-path
     // ranking for unknown users.

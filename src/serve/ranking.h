@@ -20,6 +20,7 @@
 
 #include "ag/tensor.h"
 #include "kernels/kernels.h"
+#include "quant/quant.h"
 #include "util/thread_pool.h"
 
 namespace dgnn::serve {
@@ -108,6 +109,119 @@ inline std::vector<ScoredItem> TopKUnseenItems(
   return TopKUnseenItemsTimed(u, items, seen, k, nullptr, nullptr);
 }
 
+// Read-only view over an embedding matrix that is EITHER a dense fp32
+// tensor or a quantized section — the one type the engine's scoring paths
+// rank against, so brute-force and IVF candidate scans share code across
+// both storage formats. Non-owning; the snapshot outlives the view.
+class EmbeddingView {
+ public:
+  EmbeddingView() = default;
+  explicit EmbeddingView(const ag::Tensor* dense) : dense_(dense) {}
+  explicit EmbeddingView(const quant::QuantizedMatrix* q) : quant_(q) {}
+
+  int64_t rows() const {
+    return dense_ != nullptr ? dense_->rows()
+           : quant_ != nullptr ? quant_->rows
+                               : 0;
+  }
+  int64_t cols() const {
+    return dense_ != nullptr ? dense_->cols()
+           : quant_ != nullptr ? quant_->cols
+                               : 0;
+  }
+  bool dense() const { return dense_ != nullptr; }
+  const ag::Tensor* dense_tensor() const { return dense_; }
+
+  // dot(u, row r) — exact for dense, approximate (codec precision) for
+  // quantized storage.
+  float Score(const float* u, int64_t r) const {
+    return dense_ != nullptr ? Dot(u, dense_->row(r), dense_->cols())
+                             : quant_->Dot(u, r);
+  }
+
+  // Materializes row r as fp32 into `out` (cols() floats) — the exact
+  // rerank path decodes shortlist rows through this.
+  void DecodeRow(int64_t r, float* out) const {
+    if (dense_ != nullptr) {
+      const float* row = dense_->row(r);
+      std::copy(row, row + dense_->cols(), out);
+    } else {
+      quant_->DequantizeRow(r, out);
+    }
+  }
+
+ private:
+  const ag::Tensor* dense_ = nullptr;
+  const quant::QuantizedMatrix* quant_ = nullptr;
+};
+
+// Top-k unseen items scored against `view` — the storage- and
+// candidate-generic variant of TopKUnseenItemsTimed. `candidates` null
+// scans the full catalog; non-null scans only those ids (the IVF
+// shortlist path). For quantized views a two-phase rank runs: the
+// (approximate) quantized scores select a shortlist of
+// max(rerank, k) survivors, whose rows are then decoded to fp32 and
+// re-scored exactly — so codec noise can demote items INTO the shortlist
+// boundary but never reorders the final top-k within it. Dense views skip
+// the rerank (their scores are already exact) and, on a full-catalog
+// scan, match TopKUnseenItemsTimed bit-for-bit.
+inline std::vector<ScoredItem> TopKUnseenFromView(
+    const float* u, const EmbeddingView& view,
+    const std::vector<int32_t>* candidates,
+    const std::vector<int32_t>& seen, int k, int rerank,
+    double* compute_seconds, double* rank_seconds) {
+  using Clock = std::chrono::steady_clock;
+  const bool timed = compute_seconds != nullptr || rank_seconds != nullptr;
+  Clock::time_point t0;
+  if (timed) t0 = Clock::now();
+  const int64_t n = candidates != nullptr
+                        ? static_cast<int64_t>(candidates->size())
+                        : view.rows();
+  std::vector<float> scores(static_cast<size_t>(n));
+  util::ParallelFor(0, n, kScanGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      const int64_t row =
+          candidates != nullptr ? (*candidates)[static_cast<size_t>(i)] : i;
+      scores[static_cast<size_t>(i)] = view.Score(u, row);
+    }
+  });
+  Clock::time_point t1;
+  if (timed) t1 = Clock::now();
+  std::vector<ScoredItem> scored;
+  scored.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t item = candidates != nullptr
+                             ? (*candidates)[static_cast<size_t>(i)]
+                             : static_cast<int32_t>(i);
+    if (std::binary_search(seen.begin(), seen.end(), item)) continue;
+    scored.push_back({item, scores[static_cast<size_t>(i)]});
+  }
+  if (view.dense()) {
+    SelectTopK(scored, k);
+  } else {
+    SelectTopK(scored, std::max(rerank, k));
+    // Exact rerank: decode each surviving row to fp32 and re-score with
+    // the same dispatched Dot both scoring surfaces use. Serial loop —
+    // deterministic for any thread count.
+    std::vector<float> row(static_cast<size_t>(view.cols()));
+    for (ScoredItem& s : scored) {
+      view.DecodeRow(s.item, row.data());
+      s.score = Dot(u, row.data(), view.cols());
+    }
+    SelectTopK(scored, k);
+  }
+  if (timed) {
+    const Clock::time_point t2 = Clock::now();
+    if (compute_seconds != nullptr) {
+      *compute_seconds = std::chrono::duration<double>(t1 - t0).count();
+    }
+    if (rank_seconds != nullptr) {
+      *rank_seconds = std::chrono::duration<double>(t2 - t1).count();
+    }
+  }
+  return scored;
+}
+
 // Per-row L2 norms of `m` — precomputed once by both scoring surfaces so
 // SimilarUsers never re-derives norms inside the scan.
 inline std::vector<float> ComputeRowNorms(const ag::Tensor& m) {
@@ -116,6 +230,24 @@ inline std::vector<float> ComputeRowNorms(const ag::Tensor& m) {
     for (int64_t r = b; r < e; ++r) {
       const float* row = m.row(r);
       norms[static_cast<size_t>(r)] = std::sqrt(Dot(row, row, m.cols()));
+    }
+  });
+  return norms;
+}
+
+// View overload: dense views delegate to the tensor variant (bit-parity
+// with the seed path); quantized views decode per chunk and take the
+// norm of the decoded fp32 row, matching what the exact-rerank path
+// scores against.
+inline std::vector<float> ComputeRowNorms(const EmbeddingView& m) {
+  if (m.dense()) return ComputeRowNorms(*m.dense_tensor());
+  std::vector<float> norms(static_cast<size_t>(m.rows()));
+  util::ParallelFor(0, m.rows(), kScanGrain, [&](int64_t b, int64_t e) {
+    std::vector<float> row(static_cast<size_t>(m.cols()));
+    for (int64_t r = b; r < e; ++r) {
+      m.DecodeRow(r, row.data());
+      norms[static_cast<size_t>(r)] =
+          std::sqrt(Dot(row.data(), row.data(), m.cols()));
     }
   });
   return norms;
@@ -135,6 +267,31 @@ inline std::vector<ScoredItem> SimilarUsersByCosine(
       const float denom = u_norm * norms[static_cast<size_t>(v)];
       scores[static_cast<size_t>(v)] =
           denom > 1e-12f ? Dot(u, users.row(v), users.cols()) / denom : 0.0f;
+    }
+  });
+  std::vector<ScoredItem> scored;
+  scored.reserve(static_cast<size_t>(users.rows()) - 1);
+  for (int32_t v = 0; v < users.rows(); ++v) {
+    if (v == user) continue;
+    scored.push_back({v, scores[static_cast<size_t>(v)]});
+  }
+  SelectTopK(scored, k);
+  return scored;
+}
+
+// View overload: `u` is the query user's fp32 row (callers decode it
+// once), scores are quantized-or-dense dots against every other user.
+// Dense views produce the same scores as the tensor variant.
+inline std::vector<ScoredItem> SimilarUsersByCosine(
+    int32_t user, const float* u, const EmbeddingView& users,
+    const std::vector<float>& norms, int k) {
+  const float u_norm = norms[static_cast<size_t>(user)];
+  std::vector<float> scores(static_cast<size_t>(users.rows()));
+  util::ParallelFor(0, users.rows(), kScanGrain, [&](int64_t b, int64_t e) {
+    for (int64_t v = b; v < e; ++v) {
+      const float denom = u_norm * norms[static_cast<size_t>(v)];
+      scores[static_cast<size_t>(v)] =
+          denom > 1e-12f ? users.Score(u, v) / denom : 0.0f;
     }
   });
   std::vector<ScoredItem> scored;

@@ -1,6 +1,7 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <set>
 #include <utility>
@@ -40,6 +41,20 @@ void AppendIdLists(std::string& out,
     AppendPod<uint32_t>(out, static_cast<uint32_t>(list.size()));
     out.append(reinterpret_cast<const char*>(list.data()),
                list.size() * sizeof(int32_t));
+  }
+}
+
+void AppendQuant(std::string& out, const quant::QuantizedMatrix& m) {
+  AppendPod<uint8_t>(out, static_cast<uint8_t>(m.codec));
+  AppendPod<int64_t>(out, m.rows);
+  AppendPod<int64_t>(out, m.cols);
+  if (m.codec == quant::Codec::kInt8) {
+    out.append(reinterpret_cast<const char*>(m.scales.data()),
+               m.scales.size() * sizeof(float));
+    out.append(reinterpret_cast<const char*>(m.q8.data()), m.q8.size());
+  } else {
+    out.append(reinterpret_cast<const char*>(m.f16.data()),
+               m.f16.size() * sizeof(uint16_t));
   }
 }
 
@@ -89,6 +104,52 @@ Status ParseTensor(Cursor& c, const std::string& what, ag::Tensor* out) {
     return Truncated(what + " values");
   }
   *out = std::move(t);
+  return Status::Ok();
+}
+
+Status ParseQuant(Cursor& c, const std::string& what,
+                  quant::QuantizedMatrix* out) {
+  uint8_t codec = 0;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (!c.ReadPod(&codec) || !c.ReadPod(&rows) || !c.ReadPod(&cols)) {
+    return Truncated(what);
+  }
+  if (codec != static_cast<uint8_t>(quant::Codec::kInt8) &&
+      codec != static_cast<uint8_t>(quant::Codec::kFp16)) {
+    return Status::InvalidArgument("unknown quantization codec " +
+                                   std::to_string(codec) + " in " + what);
+  }
+  if (rows < 0 || cols <= 0 || rows > (1LL << 32) || cols > (1LL << 20)) {
+    return Status::InvalidArgument("implausible " + what + " shape " +
+                                   std::to_string(rows) + "x" +
+                                   std::to_string(cols));
+  }
+  quant::QuantizedMatrix m;
+  m.codec = static_cast<quant::Codec>(codec);
+  m.rows = rows;
+  m.cols = cols;
+  const size_t n = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (m.codec == quant::Codec::kInt8) {
+    m.scales.resize(static_cast<size_t>(rows));
+    if (!c.Read(m.scales.data(), m.scales.size() * sizeof(float))) {
+      return Truncated(what + " scales");
+    }
+    for (float s : m.scales) {
+      if (!std::isfinite(s) || s < 0.0f) {
+        return Status::InvalidArgument(what +
+                                       " has a non-finite or negative scale");
+      }
+    }
+    m.q8.resize(n);
+    if (!c.Read(m.q8.data(), n)) return Truncated(what + " values");
+  } else {
+    m.f16.resize(n);
+    if (!c.Read(m.f16.data(), n * sizeof(uint16_t))) {
+      return Truncated(what + " values");
+    }
+  }
+  *out = std::move(m);
   return Status::Ok();
 }
 
@@ -168,11 +229,23 @@ Status ParseMeta(const std::string& payload, SnapshotMeta* out) {
 // the payloads it describes.
 Status ValidateAssembled(const Snapshot& s) {
   const SnapshotMeta& m = s.meta;
-  if (s.users.rows() != m.num_users || s.users.cols() != m.embedding_dim) {
+  const int64_t user_rows =
+      s.has_quant_users() ? s.quant_users.rows : s.users.rows();
+  const int64_t user_cols =
+      s.has_quant_users() ? s.quant_users.cols : s.users.cols();
+  if (user_rows != m.num_users || user_cols != m.embedding_dim) {
     return Status::InvalidArgument("user embedding shape disagrees with meta");
   }
-  if (s.items.rows() != m.num_items || s.items.cols() != m.embedding_dim) {
+  const int64_t item_rows =
+      s.has_quant_items() ? s.quant_items.rows : s.items.rows();
+  const int64_t item_cols =
+      s.has_quant_items() ? s.quant_items.cols : s.items.cols();
+  if (item_rows != m.num_items || item_cols != m.embedding_dim) {
     return Status::InvalidArgument("item embedding shape disagrees with meta");
+  }
+  if (!s.ivf.empty()) {
+    DGNN_RETURN_IF_ERROR(
+        index::ValidateIvfIndex(s.ivf, m.num_items, m.embedding_dim));
   }
   if (static_cast<int64_t>(s.seen.size()) != m.num_users) {
     return Status::InvalidArgument("seen-list count disagrees with meta");
@@ -241,20 +314,34 @@ Status WriteSnapshot(const Snapshot& snapshot, const std::string& path) {
   DGNN_FAILPOINT("snapshot.write");
   // Serialize everything into memory first so the checksum covers the
   // exact bytes written and the file hits disk in one pass.
+  // Quantized sections replace their fp32 tensors in the same table slot,
+  // and the IVF index (if any) rides at the end — so a snapshot with
+  // neither produces the exact byte stream the seed-era writer produced.
+  const bool has_ivf = !snapshot.ivf.empty();
   std::string buf;
   buf.append(kMagic, sizeof(kMagic));
-  AppendPod<uint32_t>(buf, 6);  // section count
+  AppendPod<uint32_t>(buf, 6 + (has_ivf ? 1u : 0u));  // section count
 
   std::string payload = MetaJson(snapshot.meta);
   AppendSection(buf, internal::kSectionMeta, payload);
 
   payload.clear();
-  AppendTensor(payload, snapshot.users);
-  AppendSection(buf, internal::kSectionUsers, payload);
+  if (snapshot.has_quant_users()) {
+    AppendQuant(payload, snapshot.quant_users);
+    AppendSection(buf, internal::kSectionQuantUsers, payload);
+  } else {
+    AppendTensor(payload, snapshot.users);
+    AppendSection(buf, internal::kSectionUsers, payload);
+  }
 
   payload.clear();
-  AppendTensor(payload, snapshot.items);
-  AppendSection(buf, internal::kSectionItems, payload);
+  if (snapshot.has_quant_items()) {
+    AppendQuant(payload, snapshot.quant_items);
+    AppendSection(buf, internal::kSectionQuantItems, payload);
+  } else {
+    AppendTensor(payload, snapshot.items);
+    AppendSection(buf, internal::kSectionItems, payload);
+  }
 
   payload.clear();
   AppendIdLists(payload, snapshot.seen);
@@ -269,6 +356,12 @@ Status WriteSnapshot(const Snapshot& snapshot, const std::string& path) {
   payload.append(reinterpret_cast<const char*>(snapshot.item_counts.data()),
                  snapshot.item_counts.size() * sizeof(int64_t));
   AppendSection(buf, internal::kSectionItemCounts, payload);
+
+  if (has_ivf) {
+    payload.clear();
+    snapshot.ivf.Serialize(&payload);
+    AppendSection(buf, internal::kSectionIvf, payload);
+  }
 
   AppendPod<uint64_t>(buf, internal::Fnv1a64(buf.data(), buf.size()));
 
@@ -360,6 +453,24 @@ StatusOr<Snapshot> ReadSnapshot(const std::string& path) {
         }
         break;
       }
+      case internal::kSectionQuantUsers:
+        st = ParseQuant(sc, "quantized user embeddings", &out.quant_users);
+        break;
+      case internal::kSectionQuantItems:
+        st = ParseQuant(sc, "quantized item embeddings", &out.quant_items);
+        break;
+      case internal::kSectionIvf: {
+        // ParseIvfIndex validates its own span end-to-end (including a
+        // trailing-bytes check), so consume the full payload here.
+        auto parsed = index::ParseIvfIndex(sc.data, sc.size);
+        if (!parsed.ok()) {
+          st = parsed.status();
+          break;
+        }
+        out.ivf = std::move(parsed.value());
+        sc.pos = sc.size;
+        break;
+      }
       default:
         return Status::InvalidArgument("unknown section " +
                                        std::to_string(id) + " in " + path);
@@ -376,14 +487,30 @@ StatusOr<Snapshot> ReadSnapshot(const std::string& path) {
                                    " sections in " + path);
   }
   for (uint32_t required :
-       {internal::kSectionMeta, internal::kSectionUsers,
-        internal::kSectionItems, internal::kSectionSeen,
+       {internal::kSectionMeta, internal::kSectionSeen,
         internal::kSectionSocial, internal::kSectionItemCounts}) {
     if (seen_sections.count(required) == 0) {
       return Status::InvalidArgument("missing section " +
                                      std::to_string(required) + " in " +
                                      path);
     }
+  }
+  // Embeddings arrive as fp32 XOR quantized — never both, never neither.
+  const bool has_users = seen_sections.count(internal::kSectionUsers) != 0;
+  const bool has_qusers =
+      seen_sections.count(internal::kSectionQuantUsers) != 0;
+  if (has_users == has_qusers) {
+    return Status::InvalidArgument(
+        has_users ? "snapshot has both fp32 and quantized user embeddings"
+                  : "missing user embeddings section in " + path);
+  }
+  const bool has_items = seen_sections.count(internal::kSectionItems) != 0;
+  const bool has_qitems =
+      seen_sections.count(internal::kSectionQuantItems) != 0;
+  if (has_items == has_qitems) {
+    return Status::InvalidArgument(
+        has_items ? "snapshot has both fp32 and quantized item embeddings"
+                  : "missing item embeddings section in " + path);
   }
 
   // Payloads are individually well-formed; now check they agree with each
@@ -408,6 +535,188 @@ StatusOr<Snapshot> ReadSnapshot(const std::string& path) {
     }
   }
   return out;
+}
+
+Status QuantizeSnapshot(Snapshot* snapshot, quant::Codec codec) {
+  if (snapshot->has_quant_users() || snapshot->has_quant_items()) {
+    return Status::InvalidArgument("snapshot is already quantized");
+  }
+  snapshot->quant_users = quant::Quantize(
+      snapshot->users.data(), snapshot->users.rows(), snapshot->users.cols(),
+      codec);
+  snapshot->quant_items = quant::Quantize(
+      snapshot->items.data(), snapshot->items.rows(), snapshot->items.cols(),
+      codec);
+  // Drop the fp32 tensors — the quantized sections replace them both in
+  // memory and on disk.
+  snapshot->users = ag::Tensor();
+  snapshot->items = ag::Tensor();
+  return Status::Ok();
+}
+
+Status BuildSnapshotIndex(Snapshot* snapshot,
+                          const index::IvfConfig& config) {
+  if (snapshot->has_quant_items()) {
+    return Status::InvalidArgument(
+        "cannot build index over quantized items: build the index before "
+        "quantizing the snapshot");
+  }
+  if (snapshot->items.rows() <= 0) {
+    return Status::InvalidArgument(
+        "cannot build index over an empty item catalog");
+  }
+  snapshot->ivf = index::BuildIvfIndex(
+      snapshot->items.data(), snapshot->items.rows(), snapshot->items.cols(),
+      config);
+  return Status::Ok();
+}
+
+int64_t SnapshotResidentBytes(const Snapshot& s) {
+  int64_t bytes = 0;
+  bytes += s.users.size() * static_cast<int64_t>(sizeof(float));
+  bytes += s.items.size() * static_cast<int64_t>(sizeof(float));
+  bytes += s.quant_users.ResidentBytes();
+  bytes += s.quant_items.ResidentBytes();
+  bytes += s.ivf.ResidentBytes();
+  const int64_t vec_overhead =
+      static_cast<int64_t>(sizeof(std::vector<int32_t>));
+  for (const auto& list : s.seen) {
+    bytes += vec_overhead +
+             static_cast<int64_t>(list.size()) * sizeof(int32_t);
+  }
+  for (const auto& list : s.social) {
+    bytes += vec_overhead +
+             static_cast<int64_t>(list.size()) * sizeof(int32_t);
+  }
+  bytes += static_cast<int64_t>(s.item_counts.size()) * sizeof(int64_t);
+  return bytes;
+}
+
+namespace {
+
+std::string SectionName(uint32_t id) {
+  switch (id) {
+    case internal::kSectionMeta: return "meta";
+    case internal::kSectionUsers: return "users";
+    case internal::kSectionItems: return "items";
+    case internal::kSectionSeen: return "seen";
+    case internal::kSectionSocial: return "social";
+    case internal::kSectionItemCounts: return "item_counts";
+    case internal::kSectionQuantUsers: return "quant_users";
+    case internal::kSectionQuantItems: return "quant_items";
+    case internal::kSectionIvf: return "ivf";
+    default: return "unknown";
+  }
+}
+
+// Best-effort one-line description of a section payload prefix; returns
+// "" when the payload is too short to describe.
+std::string SectionDetail(uint32_t id, const char* data, size_t size) {
+  Cursor c{data, size, 0};
+  switch (id) {
+    case internal::kSectionUsers:
+    case internal::kSectionItems: {
+      int64_t rows = 0, cols = 0;
+      if (!c.ReadPod(&rows) || !c.ReadPod(&cols)) return "";
+      return "fp32 " + std::to_string(rows) + "x" + std::to_string(cols);
+    }
+    case internal::kSectionQuantUsers:
+    case internal::kSectionQuantItems: {
+      uint8_t codec = 0;
+      int64_t rows = 0, cols = 0;
+      if (!c.ReadPod(&codec) || !c.ReadPod(&rows) || !c.ReadPod(&cols)) {
+        return "";
+      }
+      std::string name =
+          codec == static_cast<uint8_t>(quant::Codec::kInt8)   ? "int8"
+          : codec == static_cast<uint8_t>(quant::Codec::kFp16) ? "fp16"
+                                                               : "codec?";
+      std::string detail =
+          name + " " + std::to_string(rows) + "x" + std::to_string(cols);
+      if (codec == static_cast<uint8_t>(quant::Codec::kInt8)) {
+        detail += " (per-row scales)";
+      }
+      return detail;
+    }
+    case internal::kSectionSeen:
+    case internal::kSectionSocial: {
+      uint64_t count = 0;
+      if (!c.ReadPod(&count)) return "";
+      return std::to_string(count) + " lists";
+    }
+    case internal::kSectionItemCounts: {
+      uint64_t count = 0;
+      if (!c.ReadPod(&count)) return "";
+      return std::to_string(count) + " items";
+    }
+    case internal::kSectionIvf: {
+      int32_t nlist = 0;
+      int64_t dim = 0, items = 0;
+      if (!c.ReadPod(&nlist) || !c.ReadPod(&dim) || !c.ReadPod(&items)) {
+        return "";
+      }
+      return "nlist=" + std::to_string(nlist) +
+             " dim=" + std::to_string(dim) +
+             " items=" + std::to_string(items);
+    }
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+StatusOr<SnapshotFileInfo> InspectSnapshotFile(const std::string& path) {
+  auto contents = fs::ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& buf = contents.value();
+
+  SnapshotFileInfo info;
+  info.file_bytes = buf.size();
+  if (buf.size() < sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t)) {
+    return Status::InvalidArgument("truncated snapshot (too small): " + path);
+  }
+  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  const size_t body_size = buf.size() - sizeof(uint64_t);
+  std::memcpy(&info.stored_checksum, buf.data() + body_size,
+              sizeof(uint64_t));
+  info.computed_checksum = internal::Fnv1a64(buf.data(), body_size);
+  info.checksum_ok = info.stored_checksum == info.computed_checksum;
+
+  // Walk the section table best-effort — a checksum mismatch does not stop
+  // the walk (the caller wants to see WHICH section looks damaged), but a
+  // header that runs off the end of the file does.
+  Cursor c{buf.data(), body_size, sizeof(kMagic)};
+  uint32_t section_count = 0;
+  if (!c.ReadPod(&section_count)) return info;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t id = 0;
+    uint64_t payload_bytes = 0;
+    if (!c.ReadPod(&id) || !c.ReadPod(&payload_bytes)) break;
+    SnapshotSectionInfo sec;
+    sec.id = id;
+    sec.name = SectionName(id);
+    sec.bytes = payload_bytes;
+    const uint64_t avail = c.size - c.pos;
+    const size_t span = static_cast<size_t>(std::min(payload_bytes, avail));
+    sec.detail = SectionDetail(id, c.data + c.pos, span);
+    if (payload_bytes > avail) {
+      sec.detail += (sec.detail.empty() ? "" : ", ");
+      sec.detail += "TRUNCATED (declares " + std::to_string(payload_bytes) +
+                    " bytes, " + std::to_string(avail) + " remain)";
+      info.sections.push_back(std::move(sec));
+      break;
+    }
+    if (id == internal::kSectionMeta) {
+      info.meta_json.assign(c.data + c.pos,
+                            static_cast<size_t>(payload_bytes));
+    }
+    info.sections.push_back(std::move(sec));
+    c.pos += payload_bytes;
+  }
+  return info;
 }
 
 }  // namespace dgnn::serve

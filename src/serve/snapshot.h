@@ -3,10 +3,12 @@
 // SimilarUsers requests, exported once after training and loaded (or
 // hot-swapped) by any number of serving processes.
 //
-// Contents: final user/item embeddings, per-user sorted seen-item lists
-// (for exclusion), the social adjacency (for serve-time recalibration of
-// user vectors), per-item train interaction counts (the popularity
-// fallback for unknown/cold users), and a JSON metadata record.
+// Contents: final user/item embeddings (fp32, or quantized int8/fp16
+// sections that replace them), an optional IVF retrieval index over the
+// items, per-user sorted seen-item lists (for exclusion), the social
+// adjacency (for serve-time recalibration of user vectors), per-item
+// train interaction counts (the popularity fallback for unknown/cold
+// users), and a JSON metadata record.
 //
 // File format (little-endian), magic "DGNNSNP1":
 //
@@ -35,6 +37,8 @@
 #include <vector>
 
 #include "ag/tensor.h"
+#include "index/ivf.h"
+#include "quant/quant.h"
 #include "util/status.h"
 
 namespace dgnn::data {
@@ -59,8 +63,17 @@ struct SnapshotMeta {
 
 struct Snapshot {
   SnapshotMeta meta;
-  ag::Tensor users;  // num_users x dim
-  ag::Tensor items;  // num_items x dim
+  ag::Tensor users;  // num_users x dim (empty when quant_users present)
+  ag::Tensor items;  // num_items x dim (empty when quant_items present)
+  // Quantized embedding sections — each one replaces (never accompanies)
+  // its fp32 tensor on disk; a snapshot carries users XOR quant_users and
+  // items XOR quant_items.
+  quant::QuantizedMatrix quant_users;
+  quant::QuantizedMatrix quant_items;
+  // Optional IVF retrieval index over the item embeddings; empty() when
+  // the snapshot was exported without one (engine falls back to the
+  // brute-force scan).
+  index::IvfIndex ivf;
   // Per-user train items, sorted ascending (TopK exclusion lists).
   std::vector<std::vector<int32_t>> seen;
   // Symmetric social neighbor lists, sorted ascending.
@@ -68,6 +81,9 @@ struct Snapshot {
   // Train interaction count per item — the popularity ranking used for
   // degraded (unknown-user) requests.
   std::vector<int64_t> item_counts;
+
+  bool has_quant_users() const { return !quant_users.empty(); }
+  bool has_quant_items() const { return !quant_items.empty(); }
 };
 
 // Builds a snapshot from a fitted recommender (final embeddings) and its
@@ -84,6 +100,40 @@ util::Status WriteSnapshot(const Snapshot& snapshot,
 // Fully-validating read; see the header comment for what is rejected.
 util::StatusOr<Snapshot> ReadSnapshot(const std::string& path);
 
+// Replaces the fp32 user/item tensors with quantized sections (per-row
+// scales for int8, RNE-converted halves for fp16) and drops the fp32
+// data. Build the index BEFORE quantizing — it needs the fp32 items.
+util::Status QuantizeSnapshot(Snapshot* snapshot, quant::Codec codec);
+
+// Builds the IVF retrieval index over the snapshot's fp32 item
+// embeddings and attaches it. Fails if the items are already quantized.
+util::Status BuildSnapshotIndex(Snapshot* snapshot,
+                                const index::IvfConfig& config);
+
+// Approximate resident footprint of a loaded snapshot: embedding bytes
+// (quantized or fp32), index bytes, and the seen/social/count lists.
+int64_t SnapshotResidentBytes(const Snapshot& snapshot);
+
+// Section-table dump for `dgnn_inspect snapshot` — walks the headers
+// without assembling a Snapshot, so it can describe files whose payloads
+// would fail full validation. checksum_ok=false does not stop the walk.
+struct SnapshotSectionInfo {
+  uint32_t id = 0;
+  std::string name;    // "users", "quant_items", ... ("unknown" otherwise)
+  uint64_t bytes = 0;  // payload bytes
+  std::string detail;  // shape / codec / nlist summary, best-effort
+};
+struct SnapshotFileInfo {
+  uint64_t file_bytes = 0;
+  uint64_t stored_checksum = 0;
+  uint64_t computed_checksum = 0;
+  bool checksum_ok = false;
+  std::vector<SnapshotSectionInfo> sections;
+  std::string meta_json;  // raw meta payload if a meta section was found
+};
+util::StatusOr<SnapshotFileInfo> InspectSnapshotFile(
+    const std::string& path);
+
 namespace internal {
 // Section ids of the on-disk format, exposed for corruption tests.
 inline constexpr uint32_t kSectionMeta = 1;
@@ -92,6 +142,9 @@ inline constexpr uint32_t kSectionItems = 3;
 inline constexpr uint32_t kSectionSeen = 4;
 inline constexpr uint32_t kSectionSocial = 5;
 inline constexpr uint32_t kSectionItemCounts = 6;
+inline constexpr uint32_t kSectionQuantUsers = 7;
+inline constexpr uint32_t kSectionQuantItems = 8;
+inline constexpr uint32_t kSectionIvf = 9;
 
 // FNV-1a 64-bit over `size` bytes — the snapshot checksum, exposed so
 // tests can craft structurally-valid-but-tampered files.

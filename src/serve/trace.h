@@ -92,6 +92,10 @@ struct ScheduleConfig {
   double diurnal_period_s = 4.0;
   double diurnal_amplitude = 0.8;
   uint64_t seed = 1;
+  // Emit known-user TopK requests only (no Score / SimilarUsers /
+  // degraded slices) — isolates the retrieval path so brute-force vs IVF
+  // p99 comparisons aren't masked by the full-catalog SimilarUsers scan.
+  bool topk_only = false;
 };
 
 // Deterministically builds a trace: arrival times from the configured

@@ -351,5 +351,281 @@ TEST_F(SnapshotFailpointTest, TransientFsReadFaultIsRetriedToSuccess) {
   EXPECT_EQ(failpoint::TriggerCount("fs.read"), 1);
 }
 
+// ----- quantized sections and the IVF index --------------------------------
+// The fp32 writer must stay byte-compatible with seed-era snapshots;
+// quantized / indexed snapshots round-trip, and every new section id is
+// covered by the same corruption matrix as the originals.
+
+struct SectionSpan {
+  uint32_t id = 0;
+  size_t payload_pos = 0;  // offset of the payload within the file
+  uint64_t payload_bytes = 0;
+};
+
+// Walks the section table of a well-formed snapshot file.
+std::vector<SectionSpan> SectionTable(const std::string& bytes) {
+  std::vector<SectionSpan> table;
+  uint32_t count = 0;
+  std::memcpy(&count, bytes.data() + 8, sizeof(uint32_t));
+  size_t pos = 8 + sizeof(uint32_t);
+  for (uint32_t i = 0; i < count; ++i) {
+    SectionSpan s;
+    std::memcpy(&s.id, bytes.data() + pos, sizeof(uint32_t));
+    std::memcpy(&s.payload_bytes, bytes.data() + pos + sizeof(uint32_t),
+                sizeof(uint64_t));
+    s.payload_pos = pos + sizeof(uint32_t) + sizeof(uint64_t);
+    table.push_back(s);
+    pos = s.payload_pos + s.payload_bytes;
+  }
+  return table;
+}
+
+class QuantSnapshotTest : public SnapshotTest {};
+
+TEST_F(QuantSnapshotTest, Fp32WriterKeepsSeedSectionLayout) {
+  // Seed-era compatibility: a purely-fp32 snapshot still writes exactly
+  // six sections in the original order — no quant or ivf ids leak in, so
+  // old readers (and old files against this reader) keep working.
+  const std::string path = TestPath("snap_seed_layout.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  const std::vector<SectionSpan> table = SectionTable(bytes);
+  ASSERT_EQ(table.size(), 6u);
+  for (uint32_t i = 0; i < 6; ++i) EXPECT_EQ(table[i].id, i + 1);
+  // And the writer is deterministic: same snapshot, same bytes.
+  const std::string path2 = TestPath("snap_seed_layout2.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path2).ok());
+  EXPECT_EQ(ReadFileBytes(path2), bytes);
+}
+
+TEST_F(QuantSnapshotTest, QuantizedRoundTrip) {
+  for (quant::Codec codec : {quant::Codec::kInt8, quant::Codec::kFp16}) {
+    Snapshot snap = snapshot_;
+    ASSERT_TRUE(serve::QuantizeSnapshot(&snap, codec).ok());
+    EXPECT_TRUE(snap.users.empty());
+    EXPECT_TRUE(snap.items.empty());
+    ASSERT_TRUE(snap.has_quant_users());
+    ASSERT_TRUE(snap.has_quant_items());
+    const std::string path =
+        TestPath(std::string("snap_q_") + quant::CodecName(codec) + ".bin");
+    ASSERT_TRUE(WriteSnapshot(snap, path).ok());
+    auto loaded = ReadSnapshot(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    const Snapshot& s = loaded.value();
+    EXPECT_EQ(s.quant_users.codec, codec);
+    EXPECT_EQ(s.quant_users.rows, snap.quant_users.rows);
+    EXPECT_EQ(s.quant_users.q8, snap.quant_users.q8);
+    EXPECT_EQ(s.quant_users.scales, snap.quant_users.scales);
+    EXPECT_EQ(s.quant_users.f16, snap.quant_users.f16);
+    EXPECT_EQ(s.quant_items.q8, snap.quant_items.q8);
+    EXPECT_EQ(s.quant_items.f16, snap.quant_items.f16);
+    EXPECT_EQ(s.seen, snapshot_.seen);
+    EXPECT_EQ(s.item_counts, snapshot_.item_counts);
+    // Quant sections replace the dense slots — still six sections.
+    EXPECT_EQ(SectionTable(ReadFileBytes(path)).size(), 6u);
+  }
+}
+
+TEST_F(QuantSnapshotTest, QuantizeTwiceFails) {
+  Snapshot snap = snapshot_;
+  ASSERT_TRUE(serve::QuantizeSnapshot(&snap, quant::Codec::kInt8).ok());
+  EXPECT_FALSE(serve::QuantizeSnapshot(&snap, quant::Codec::kInt8).ok());
+  // And the index must be built from fp32 rows, i.e. before quantizing.
+  EXPECT_FALSE(serve::BuildSnapshotIndex(&snap, index::IvfConfig()).ok());
+}
+
+TEST_F(QuantSnapshotTest, IndexedQuantizedRoundTrip) {
+  Snapshot snap = snapshot_;
+  index::IvfConfig cfg;
+  cfg.nlist = 8;
+  ASSERT_TRUE(serve::BuildSnapshotIndex(&snap, cfg).ok());
+  ASSERT_TRUE(serve::QuantizeSnapshot(&snap, quant::Codec::kInt8).ok());
+  ASSERT_FALSE(snap.ivf.empty());
+  const std::string path = TestPath("snap_q_ivf.bin");
+  ASSERT_TRUE(WriteSnapshot(snap, path).ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Snapshot& s = loaded.value();
+  EXPECT_EQ(s.ivf.nlist, snap.ivf.nlist);
+  EXPECT_EQ(s.ivf.centroids, snap.ivf.centroids);
+  EXPECT_EQ(s.ivf.list_offsets, snap.ivf.list_offsets);
+  EXPECT_EQ(s.ivf.list_items, snap.ivf.list_items);
+  EXPECT_EQ(s.quant_items.q8, snap.quant_items.q8);
+  // Seven sections: the six slots plus the appended ivf record.
+  const std::vector<SectionSpan> table =
+      SectionTable(ReadFileBytes(path));
+  ASSERT_EQ(table.size(), 7u);
+  EXPECT_EQ(table.back().id, 9u);  // kSectionIvf
+}
+
+TEST_F(QuantSnapshotTest, ResidentBytesShrinkUnderQuantization) {
+  const int64_t fp32 = serve::SnapshotResidentBytes(snapshot_);
+  Snapshot snap = snapshot_;
+  ASSERT_TRUE(serve::QuantizeSnapshot(&snap, quant::Codec::kInt8).ok());
+  const int64_t q8 = serve::SnapshotResidentBytes(snap);
+  EXPECT_LT(q8, fp32);
+  // Embedding payload shrinks ~4x; the rest of the snapshot (seen lists,
+  // social, counts) is shared, so just require a strict drop plus the
+  // exact embedding arithmetic.
+  const int64_t dense_bytes =
+      (snapshot_.users.size() + snapshot_.items.size()) *
+      static_cast<int64_t>(sizeof(float));
+  const int64_t quant_bytes =
+      snap.quant_users.ResidentBytes() + snap.quant_items.ResidentBytes();
+  EXPECT_EQ(fp32 - q8, dense_bytes - quant_bytes);
+}
+
+TEST_F(QuantSnapshotTest, RejectsBothDenseAndQuantUsers) {
+  // Splice a quant_users section into an fp32 snapshot: structurally
+  // valid (checksum re-stamped), semantically contradictory.
+  Snapshot qsnap = snapshot_;
+  ASSERT_TRUE(serve::QuantizeSnapshot(&qsnap, quant::Codec::kInt8).ok());
+  const std::string qpath = TestPath("snap_conflict_src.bin");
+  ASSERT_TRUE(WriteSnapshot(qsnap, qpath).ok());
+  const std::string qbytes = ReadFileBytes(qpath);
+  const std::vector<SectionSpan> qtable = SectionTable(qbytes);
+  const SectionSpan* quant_users = nullptr;
+  for (const SectionSpan& s : qtable) {
+    if (s.id == 7) quant_users = &s;  // kSectionQuantUsers
+  }
+  ASSERT_NE(quant_users, nullptr);
+  const std::string record = qbytes.substr(
+      quant_users->payload_pos - sizeof(uint32_t) - sizeof(uint64_t),
+      sizeof(uint32_t) + sizeof(uint64_t) + quant_users->payload_bytes);
+
+  const std::string path = TestPath("snap_conflict.bin");
+  ASSERT_TRUE(WriteSnapshot(snapshot_, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  std::string merged = bytes.substr(0, bytes.size() - sizeof(uint64_t)) +
+                       record +
+                       bytes.substr(bytes.size() - sizeof(uint64_t));
+  uint32_t count = 0;
+  std::memcpy(&count, merged.data() + 8, sizeof(uint32_t));
+  ++count;
+  std::memcpy(merged.data() + 8, &count, sizeof(uint32_t));
+  WriteFileBytes(path, WithFixedChecksum(merged));
+
+  auto loaded = ReadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("both"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(QuantSnapshotTest, QuantizedFileCorruptionMatrix) {
+  Snapshot snap = snapshot_;
+  index::IvfConfig cfg;
+  cfg.nlist = 6;
+  ASSERT_TRUE(serve::BuildSnapshotIndex(&snap, cfg).ok());
+  ASSERT_TRUE(serve::QuantizeSnapshot(&snap, quant::Codec::kInt8).ok());
+  const std::string path = TestPath("snap_q_corrupt_src.bin");
+  ASSERT_TRUE(WriteSnapshot(snap, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  const std::vector<SectionSpan> table = SectionTable(bytes);
+  const SectionSpan* quant_items = nullptr;
+  const SectionSpan* ivf = nullptr;
+  for (const SectionSpan& s : table) {
+    if (s.id == 8) quant_items = &s;
+    if (s.id == 9) ivf = &s;
+  }
+  ASSERT_NE(quant_items, nullptr);
+  ASSERT_NE(ivf, nullptr);
+  const std::string target = TestPath("snap_q_corrupt.bin");
+
+  // Truncation inside the quant payload and inside the ivf payload.
+  for (size_t cut : {quant_items->payload_pos + 3,
+                     ivf->payload_pos + ivf->payload_bytes / 2}) {
+    WriteFileBytes(target, bytes.substr(0, cut));
+    EXPECT_FALSE(ReadSnapshot(target).ok()) << "cut=" << cut;
+  }
+
+  // Bit flip inside the quant payload -> checksum mismatch.
+  {
+    std::string bad = bytes;
+    bad[quant_items->payload_pos + quant_items->payload_bytes / 2] ^= 1;
+    WriteFileBytes(target, bad);
+    auto loaded = ReadSnapshot(target);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("checksum"),
+              std::string::npos);
+  }
+
+  // Invalid codec byte with a re-stamped checksum -> the structural
+  // ParseQuant validation must fire, not the checksum.
+  {
+    std::string bad = bytes;
+    bad[quant_items->payload_pos] = 0x7f;
+    WriteFileBytes(target, WithFixedChecksum(bad));
+    auto loaded = ReadSnapshot(target);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("codec"), std::string::npos)
+        << loaded.status().ToString();
+  }
+
+  // Negative nlist in the ivf payload with a re-stamped checksum -> the
+  // index's own parser rejects it.
+  {
+    std::string bad = bytes;
+    const int32_t neg = -1;
+    std::memcpy(bad.data() + ivf->payload_pos, &neg, sizeof(neg));
+    WriteFileBytes(target, WithFixedChecksum(bad));
+    EXPECT_FALSE(ReadSnapshot(target).ok());
+  }
+
+  // Duplicate ivf section with a bumped count and re-stamped checksum.
+  {
+    const std::string record = bytes.substr(
+        ivf->payload_pos - sizeof(uint32_t) - sizeof(uint64_t),
+        sizeof(uint32_t) + sizeof(uint64_t) + ivf->payload_bytes);
+    std::string dup = bytes.substr(0, bytes.size() - sizeof(uint64_t)) +
+                      record +
+                      bytes.substr(bytes.size() - sizeof(uint64_t));
+    uint32_t count = 0;
+    std::memcpy(&count, dup.data() + 8, sizeof(uint32_t));
+    ++count;
+    std::memcpy(dup.data() + 8, &count, sizeof(uint32_t));
+    WriteFileBytes(target, WithFixedChecksum(dup));
+    auto loaded = ReadSnapshot(target);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("duplicate"),
+              std::string::npos);
+  }
+}
+
+TEST_F(QuantSnapshotTest, InspectReportsSectionsAndChecksum) {
+  Snapshot snap = snapshot_;
+  index::IvfConfig cfg;
+  cfg.nlist = 5;
+  ASSERT_TRUE(serve::BuildSnapshotIndex(&snap, cfg).ok());
+  ASSERT_TRUE(serve::QuantizeSnapshot(&snap, quant::Codec::kFp16).ok());
+  const std::string path = TestPath("snap_inspect.bin");
+  ASSERT_TRUE(WriteSnapshot(snap, path).ok());
+
+  auto info = serve::InspectSnapshotFile(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info.value().checksum_ok);
+  EXPECT_EQ(info.value().stored_checksum, info.value().computed_checksum);
+  ASSERT_EQ(info.value().sections.size(), 7u);
+  std::vector<std::string> names;
+  for (const auto& s : info.value().sections) names.push_back(s.name);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "meta", "quant_users", "quant_items", "seen",
+                       "social", "item_counts", "ivf"}));
+  EXPECT_NE(info.value().meta_json.find("num_users"), std::string::npos);
+
+  // A bit flip keeps the table readable but flags the checksum.
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() / 2] ^= 1;
+  WriteFileBytes(path, bytes);
+  auto flipped = serve::InspectSnapshotFile(path);
+  ASSERT_TRUE(flipped.ok()) << flipped.status().ToString();
+  EXPECT_FALSE(flipped.value().checksum_ok);
+  EXPECT_EQ(flipped.value().sections.size(), 7u);
+
+  // Structurally-not-a-snapshot files are an error, not a report.
+  const std::string garbage = TestPath("snap_inspect_garbage.bin");
+  WriteFileBytes(garbage, "not a snapshot at all");
+  EXPECT_FALSE(serve::InspectSnapshotFile(garbage).ok());
+}
+
 }  // namespace
 }  // namespace dgnn
