@@ -24,12 +24,17 @@
 //   --mode=export    --data_dir=D [--model=DGNN] --params=P --snapshot=S
 //                    [--tag=T] [--quant=none|int8|fp16]
 //                    [--index[=1] [--clusters=N]]
+//                    [--shards=N [--shard-seed=S]]
 //       Export a serving snapshot (final embeddings, seen lists, social
 //       adjacency, popularity counts) for dgnn_serve. --quant stores the
 //       embeddings as int8 (per-row scales) or fp16 instead of fp32;
 //       --index attaches an IVF retrieval index over the items
 //       (--clusters lists, default sqrt(num_items)) for sublinear top-K
 //       in dgnn_serve. See README "Quantization & retrieval index".
+//       --shards=N also writes N shard slices "<S>.shard<i>of<N>"
+//       (consistent-hash user ownership, contiguous item ranges) for
+//       the dgnn_router fleet; incompatible with --quant/--index. See
+//       README "Sharded serving".
 //
 // All modes accept --threads=N to size the worker pool (default: the
 // DGNN_NUM_THREADS environment variable, else hardware concurrency).
@@ -62,6 +67,7 @@
 #include "data/synthetic.h"
 #include "kernels/kernels.h"
 #include "serve/snapshot.h"
+#include "shard/partition.h"
 #include "train/beyond_accuracy.h"
 #include "train/recommender.h"
 #include "train/trainer.h"
@@ -310,8 +316,28 @@ int Export(const util::Flags& flags, const std::string& data_dir) {
     if (!quantized.ok()) return Fail(quantized);
     extras += ", quant=" + quant;
   }
+  // --shards=N additionally writes N shard slices
+  // ("<snapshot>.shard<i>of<N>", shard manifest section 10) next to the
+  // full snapshot for the dgnn_serve/dgnn_router fleet. Sharding is
+  // fp32-dense only — the bit-identical scatter/gather merge depends on
+  // exact full scans, so it refuses quantized/indexed exports.
+  const int num_shards = static_cast<int>(flags.GetInt("shards", 0));
   util::Status written = serve::WriteSnapshot(snapshot, snapshot_path);
   if (!written.ok()) return Fail(written);
+  if (num_shards > 0) {
+    if (flags.GetBool("index", false) || quant != "none") {
+      std::fprintf(stderr,
+                   "--shards cannot combine with --quant/--index "
+                   "(shard before quantizing)\n");
+      return 2;
+    }
+    const uint64_t seed =
+        static_cast<uint64_t>(flags.GetInt("shard-seed", 42));
+    util::Status sharded = shard::WriteShardSnapshots(
+        snapshot, snapshot_path, num_shards, seed);
+    if (!sharded.ok()) return Fail(sharded);
+    extras += ", " + std::to_string(num_shards) + " shard slices";
+  }
   std::printf("snapshot written to %s (%lld users x %lld items, dim "
               "%lld%s)\n",
               snapshot_path.c_str(), (long long)snapshot.meta.num_users,

@@ -596,8 +596,15 @@ int BenchValidate(const std::string& path) {
   if (schema_version != 1 && schema_version != 2) {
     return BenchFail(path, "schema_version must be 1 or 2"), 2;
   }
-  if (root.StringOr("bench", "") != "bench_serve_load") {
-    return BenchFail(path, "\"bench\" must be \"bench_serve_load\""), 2;
+  // "bench_serve_load" = single-process engine bench; "dgnn_router" =
+  // the sharded router replaying the same trace format through a fleet
+  // (bench/trajectory/BENCH_serve_shard.json). Identical point schema.
+  const std::string bench = root.StringOr("bench", "");
+  if (bench != "bench_serve_load" && bench != "dgnn_router") {
+    return BenchFail(
+               path,
+               "\"bench\" must be \"bench_serve_load\" or \"dgnn_router\""),
+           2;
   }
   const std::string mode = root.StringOr("mode", "");
   if (mode != "open" && mode != "closed") {

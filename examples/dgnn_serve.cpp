@@ -67,6 +67,15 @@
 // serving stdin, replay a recorded request trace (serve/trace.h)
 // open-loop against the loaded snapshot, print one JSON summary line
 // (coordinated-omission-safe latency; see serve/replay.h), and exit.
+//
+// Sharded serving (README "Sharded serving"): --listen=SOCK additionally
+// serves the shard worker protocol (shard/shard_service.h: probe,
+// user_vector, topk_partial, similar_partial, score_item, two-phase
+// swap_prepare/commit/abort) on a Unix socket for dgnn_router; the same
+// ops also work on stdin. A sharded snapshot slice
+// ("snap.shard<i>of<N>", from `dgnn_cli --mode=export --shards=N`) loads
+// like any other snapshot. The SIGTERM drain aborts any
+// prepared-but-uncommitted two-phase swap before serve_end.
 
 #include <atomic>
 #include <chrono>
@@ -86,6 +95,8 @@
 #include "serve/replay.h"
 #include "serve/snapshot.h"
 #include "serve/trace.h"
+#include "shard/shard_service.h"
+#include "shard/transport.h"
 #include "util/flags.h"
 #include "util/json.h"
 #include "util/run_log.h"
@@ -230,9 +241,17 @@ void LogSwapEvent(const char* trigger, const std::string& path,
 }
 
 // Serves one parsed request line; returns false once "quit" was handled.
-bool Dispatch(serve::ServingEngine& engine, const util::JsonValue& req,
-              const std::string& snapshot_path) {
+bool Dispatch(serve::ServingEngine& engine, shard::ShardService& service,
+              const util::JsonValue& req, const std::string& snapshot_path) {
   const std::string op = req.StringOr("op", "");
+  // Shard-protocol ops (probe / user_vector / *_partial / score_item /
+  // swap_prepare|commit|abort) work on stdin too — same handler the
+  // --listen socket uses.
+  std::string shard_out;
+  if (service.HandleShardOp(req, op, &shard_out)) {
+    PrintLine(shard_out);
+    return true;
+  }
   if (op == "quit") {
     util::JsonObject o;
     o.Set("ok", true).Set("op", op);
@@ -387,7 +406,7 @@ int main(int argc, char** argv) {
                  "[--metrics-flush-every-s=S] [--trace-out=F] "
                  "[--run-log=F] [--stats-out=F] [--stats-every-s=S] "
                  "[--request-log=F] [--trace-sample-rate=R] "
-                 "[--slo-p99-ms=T] [--slo-availability=A]\n"
+                 "[--slo-p99-ms=T] [--slo-availability=A] [--listen=SOCK]\n"
                  "reads NDJSON requests on stdin; SIGHUP re-reads the "
                  "snapshot file; SIGUSR1 dumps stats/metrics now; "
                  "SIGTERM/SIGINT drain and exit 0\n");
@@ -465,7 +484,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", loaded.ToString().c_str());
     return 1;
   }
+  shard::ShardService service(engine, snapshot_path);
   const auto snap = engine.snapshot();
+  if (!snap->shard.empty()) {
+    std::fprintf(stderr,
+                 "dgnn_serve: shard %d/%d — items [%lld, %lld), %lld owned "
+                 "users\n",
+                 snap->shard.shard_index, snap->shard.num_shards,
+                 (long long)snap->shard.item_begin,
+                 (long long)snap->shard.item_end,
+                 (long long)snap->shard.num_owned_users);
+  }
   const char* storage = snap->has_quant_items()
                             ? quant::CodecName(snap->quant_items.codec)
                             : "fp32";
@@ -567,6 +596,23 @@ int main(int argc, char** argv) {
       metrics_out, flags.GetDouble("metrics-flush-every-s", 0.0));
   exposition.Start();
 
+  // --listen=PATH: additionally serve the shard protocol on a Unix
+  // socket (the dgnn_router transport). stdin stays live — the socket is
+  // a second front door over the same engine and ShardService.
+  shard::SocketServer socket_server;
+  const std::string listen_path = flags.GetString("listen", "");
+  if (!listen_path.empty()) {
+    util::Status s = socket_server.Start(
+        listen_path,
+        [&service](const std::string& l) { return service.HandleLine(l); });
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "dgnn_serve: listening on %s\n",
+                 listen_path.c_str());
+  }
+
   std::string line;
   bool running = true;
   while (running && !g_shutdown_requested && std::getline(std::cin, line)) {
@@ -588,7 +634,7 @@ int main(int argc, char** argv) {
                    parsed.status().message());
       continue;
     }
-    running = Dispatch(engine, parsed.value(), snapshot_path);
+    running = Dispatch(engine, service, parsed.value(), snapshot_path);
   }
 
   // Drain path: Handle calls are synchronous, so reaching this point means
@@ -600,6 +646,16 @@ int main(int argc, char** argv) {
   // metrics (the old atexit-ordering hazard).
   const char* exit_reason =
       g_shutdown_requested ? "signal" : (running ? "eof" : "quit");
+  // Stop the socket front door first (in-flight socket requests finish
+  // and get their responses), then abort any prepared-but-uncommitted
+  // two-phase swap: a drain mid-swap must leave the fleet on the old
+  // snapshot, not orphan a staged one.
+  socket_server.Stop();
+  if (service.AbortStagedSwap() && runlog::Active()) {
+    util::JsonObject o;
+    o.Set("trigger", "drain").Set("aborted", true);
+    runlog::Emit("swap_abort", o);
+  }
   exposition.Stop();
   exposition.AppendStatsNow();  // final snapshot with the closing totals
   stats_out.Close();

@@ -76,6 +76,10 @@ const char* RequestTypeName(Request::Type t) {
     case Request::Type::kTopK: return "topk";
     case Request::Type::kScore: return "score";
     case Request::Type::kSimilarUsers: return "similar_users";
+    case Request::Type::kUserVector: return "user_vector";
+    case Request::Type::kTopKPartial: return "topk_partial";
+    case Request::Type::kSimilarPartial: return "similar_partial";
+    case Request::Type::kScoreItem: return "score_item";
   }
   return "?";
 }
@@ -111,10 +115,25 @@ void ServingEngine::Swap(std::shared_ptr<const Snapshot> snapshot) {
                           ? EmbeddingView(&snapshot->quant_items)
                           : EmbeddingView(&snapshot->items);
   state->user_norms = ComputeRowNorms(state->users_view);
+  if (snapshot->shard.empty()) {
+    // Unsharded: global addressing is the identity over the tensors (the
+    // seed-era behavior, kept independent of whatever the meta says so
+    // hand-built test snapshots keep working).
+    state->num_users_global = state->users_view.rows();
+    state->num_items_global = state->items_view.rows();
+  } else {
+    state->num_users_global = snapshot->meta.num_users;
+    state->num_items_global = snapshot->meta.num_items;
+    state->item_offset = snapshot->shard.item_begin;
+    state->owned = OwnedUsers(snapshot->shard, snapshot->meta.num_users);
+  }
+  // Popularity carries GLOBAL item ids; for a shard this ranks only its
+  // own slice (the router merges slices into the global ranking).
+  const int32_t item_offset = static_cast<int32_t>(state->item_offset);
   state->popularity.reserve(snapshot->item_counts.size());
   for (size_t i = 0; i < snapshot->item_counts.size(); ++i) {
     state->popularity.push_back(
-        {static_cast<int32_t>(i),
+        {item_offset + static_cast<int32_t>(i),
          static_cast<float>(snapshot->item_counts[i])});
   }
   std::sort(state->popularity.begin(), state->popularity.end(),
@@ -406,7 +425,9 @@ std::vector<float> ServingEngine::ComputeUserVector(const State& state,
   const EmbeddingView& users = state.users_view;
   const int64_t d = users.cols();
   std::vector<float> vec(static_cast<size_t>(d));
-  users.DecodeRow(user, vec.data());
+  // Identity for unsharded snapshots; callers guarantee the user is held
+  // locally (LocalUserRow >= 0) before reaching here.
+  users.DecodeRow(state.LocalUserRow(user), vec.data());
   const float alpha = config_.social_alpha;
   const auto& neighbors =
       state.snap->social[static_cast<size_t>(user)];
@@ -493,8 +514,31 @@ Response ServingEngine::Execute(const State* state, const Request& request,
   }
   const Snapshot& snap = *state->snap;
   resp.snapshot_version = state->version;
-  const bool known_user =
-      request.user >= 0 && request.user < state->users_view.rows();
+  // A user is "known" when it is in the global id space AND held by this
+  // process (always, when unsharded; when sharded, only if owned). A
+  // globally-valid-but-unowned user degrades like an unknown one on the
+  // direct ops — the router never sends those here.
+  const bool user_in_range =
+      request.user >= 0 && request.user < state->num_users_global;
+  const int64_t local_user =
+      user_in_range ? state->LocalUserRow(request.user) : -1;
+  const bool known_user = local_user >= 0;
+  const int32_t item_offset = static_cast<int32_t>(state->item_offset);
+  // Sharded snapshots keep global ids in their seen lists; the dense scan
+  // filters by LOCAL row, so shift when the slice does not start at 0.
+  std::vector<int32_t> seen_local_storage;
+  auto local_seen = [&](int32_t user) -> const std::vector<int32_t>& {
+    const std::vector<int32_t>& g = snap.seen[static_cast<size_t>(user)];
+    if (item_offset == 0) return g;
+    seen_local_storage.clear();
+    seen_local_storage.reserve(g.size());
+    for (int32_t it : g) seen_local_storage.push_back(it - item_offset);
+    return seen_local_storage;
+  };
+  auto globalize_items = [&](std::vector<ScoredItem>& items) {
+    if (item_offset == 0) return;
+    for (ScoredItem& s : items) s.item += item_offset;
+  };
   switch (request.type) {
     case Request::Type::kTopK: {
       if (request.k <= 0) {
@@ -519,8 +563,7 @@ Response ServingEngine::Execute(const State* state, const Request& request,
       if (stages != nullptr) {
         stages->recal_seconds = Seconds(t0, Clock::now());
       }
-      const std::vector<int32_t>& seen =
-          snap.seen[static_cast<size_t>(request.user)];
+      const std::vector<int32_t>& seen = local_seen(request.user);
       double* compute_s =
           stages != nullptr ? &stages->compute_seconds : nullptr;
       double* rank_s = stages != nullptr ? &stages->rank_seconds : nullptr;
@@ -530,6 +573,7 @@ Response ServingEngine::Execute(const State* state, const Request& request,
         // train::Recommender by construction.
         resp.items = TopKUnseenItemsTimed(vec.data(), snap.items, seen,
                                           request.k, compute_s, rank_s);
+        globalize_items(resp.items);
         break;
       }
       std::vector<int32_t> candidates;
@@ -560,11 +604,16 @@ Response ServingEngine::Execute(const State* state, const Request& request,
       resp.items =
           TopKUnseenFromView(vec.data(), state->items_view, cand_ptr, seen,
                              request.k, rerank, compute_s, rank_s);
+      globalize_items(resp.items);
       break;
     }
     case Request::Type::kScore: {
-      const bool known_item =
-          request.item >= 0 && request.item < state->items_view.rows();
+      const int64_t local_item =
+          static_cast<int64_t>(request.item) - state->item_offset;
+      const bool known_item = request.item >= 0 &&
+                              request.item < state->num_items_global &&
+                              local_item >= 0 &&
+                              local_item < state->items_view.rows();
       if (!known_user || !known_item) {
         resp.score = 0.0f;
         resp.degraded = true;
@@ -579,7 +628,7 @@ Response ServingEngine::Execute(const State* state, const Request& request,
         t1 = Clock::now();
         stages->recal_seconds = Seconds(t0, t1);
       }
-      resp.score = state->items_view.Score(vec.data(), request.item);
+      resp.score = state->items_view.Score(vec.data(), local_item);
       if (stages != nullptr) {
         stages->compute_seconds = Seconds(t1, Clock::now());
       }
@@ -599,13 +648,121 @@ Response ServingEngine::Execute(const State* state, const Request& request,
       Clock::time_point t0;
       if (stages != nullptr) t0 = Clock::now();
       std::vector<float> u(static_cast<size_t>(state->users_view.cols()));
-      state->users_view.DecodeRow(request.user, u.data());
-      resp.items = SimilarUsersByCosine(request.user, u.data(),
-                                        state->users_view,
+      state->users_view.DecodeRow(local_user, u.data());
+      resp.items = SimilarUsersByCosine(static_cast<int32_t>(local_user),
+                                        u.data(), state->users_view,
                                         state->user_norms, request.k);
+      if (!state->owned.empty()) {
+        for (ScoredItem& s : resp.items) {
+          s.item = state->owned[static_cast<size_t>(s.item)];
+        }
+      }
       if (stages != nullptr) {
         stages->compute_seconds = Seconds(t0, Clock::now());
       }
+      break;
+    }
+    case Request::Type::kUserVector: {
+      if (!known_user) {
+        // Unknown (or unowned) user: empty vector, degraded — the router
+        // turns this into its popularity fallback.
+        resp.degraded = true;
+        CountDegraded();
+        break;
+      }
+      resp.vector = UserVector(*state, request.user);
+      resp.vector_norm =
+          state->user_norms[static_cast<size_t>(local_user)];
+      break;
+    }
+    case Request::Type::kTopKPartial: {
+      if (request.k <= 0) {
+        resp.error = "k must be positive";
+        return resp;
+      }
+      if (request.popularity) {
+        const size_t keep = std::min<size_t>(
+            static_cast<size_t>(request.k), state->popularity.size());
+        resp.items.assign(state->popularity.begin(),
+                          state->popularity.begin() +
+                              static_cast<int64_t>(keep));
+        resp.degraded = true;
+        CountDegraded();
+        break;
+      }
+      if (static_cast<int64_t>(request.query.size()) !=
+          state->items_view.cols()) {
+        resp.error = "query dimension mismatch";
+        return resp;
+      }
+      // Seen exclusion uses the GLOBAL user's list regardless of which
+      // shard owns the user — same filter the single-process scan
+      // applies, restricted to this slice.
+      static const std::vector<int32_t> kNoSeen;
+      const std::vector<int32_t>* seen = &kNoSeen;
+      if (user_in_range) seen = &local_seen(request.user);
+      double* compute_s =
+          stages != nullptr ? &stages->compute_seconds : nullptr;
+      double* rank_s =
+          stages != nullptr ? &stages->rank_seconds : nullptr;
+      if (state->items_view.dense()) {
+        resp.items =
+            TopKUnseenItemsTimed(request.query.data(), snap.items, *seen,
+                                 request.k, compute_s, rank_s);
+      } else {
+        resp.items = TopKUnseenFromView(
+            request.query.data(), state->items_view, nullptr, *seen,
+            request.k, request.k, compute_s, rank_s);
+      }
+      globalize_items(resp.items);
+      break;
+    }
+    case Request::Type::kSimilarPartial: {
+      if (request.k <= 0) {
+        resp.error = "k must be positive";
+        return resp;
+      }
+      if (static_cast<int64_t>(request.query.size()) !=
+          state->users_view.cols()) {
+        resp.error = "query dimension mismatch";
+        return resp;
+      }
+      Clock::time_point t0;
+      if (stages != nullptr) t0 = Clock::now();
+      // Exclude the query user's own row only if this shard holds it.
+      resp.items = SimilarUsersPartial(
+          request.query.data(), request.query_norm, state->users_view,
+          state->user_norms, known_user ? local_user : -1, request.k);
+      if (!state->owned.empty()) {
+        for (ScoredItem& s : resp.items) {
+          s.item = state->owned[static_cast<size_t>(s.item)];
+        }
+      }
+      if (stages != nullptr) {
+        stages->compute_seconds = Seconds(t0, Clock::now());
+      }
+      break;
+    }
+    case Request::Type::kScoreItem: {
+      if (static_cast<int64_t>(request.query.size()) !=
+          state->items_view.cols()) {
+        resp.error = "query dimension mismatch";
+        return resp;
+      }
+      const int64_t local_item =
+          static_cast<int64_t>(request.item) - state->item_offset;
+      if (request.item < 0 || request.item >= state->num_items_global) {
+        resp.score = 0.0f;
+        resp.degraded = true;
+        CountDegraded();
+        break;
+      }
+      if (local_item < 0 || local_item >= state->items_view.rows()) {
+        resp.error = "item not held by this shard";
+        return resp;
+      }
+      resp.score =
+          state->items_view.Score(request.query.data(), local_item);
       break;
     }
   }

@@ -54,6 +54,7 @@
 #ifndef DGNN_SERVE_ENGINE_H_
 #define DGNN_SERVE_ENGINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -120,14 +121,37 @@ struct EngineConfig {
 };
 
 struct Request {
-  enum class Type { kTopK, kScore, kSimilarUsers };
+  // kTopK/kScore/kSimilarUsers are the client-facing ops. The k*Partial
+  // and kUserVector/kScoreItem ops are the shard-worker vocabulary the
+  // router speaks (src/shard/): kUserVector fetches the owning shard's
+  // scoring vector, the partial ops rank THIS shard's item/user slice
+  // against a caller-supplied query vector, and kScoreItem scores one
+  // globally-addressed item. Item ids in partial responses are global.
+  enum class Type {
+    kTopK,
+    kScore,
+    kSimilarUsers,
+    kUserVector,
+    kTopKPartial,
+    kSimilarPartial,
+    kScoreItem,
+  };
   Type type = Type::kTopK;
   int32_t user = 0;
-  int32_t item = 0;  // kScore only
-  int k = 10;        // kTopK / kSimilarUsers
+  int32_t item = 0;  // kScore / kScoreItem
+  int k = 10;        // kTopK / kSimilarUsers / partials
   // Per-request deadline override in milliseconds (0 = use the config
   // default; < 0 = explicitly no deadline).
   int64_t timeout_ms = 0;
+  // Query vector for the partial / kScoreItem ops (the user's scoring
+  // vector, fetched from the owning shard). Must match the embedding dim.
+  std::vector<float> query;
+  // Precomputed norm of `query` (kSimilarPartial cosine denominator) —
+  // passed through so every shard divides by the exact same float.
+  float query_norm = 0.0f;
+  // kTopKPartial only: rank this shard's slice of the popularity
+  // fallback instead of scoring `query` (down/unknown user-shard path).
+  bool popularity = false;
 };
 
 struct Response {
@@ -144,6 +168,12 @@ struct Response {
   // Engine-unique id assigned at admission (1-based, monotonic across
   // snapshot swaps); keys the per-request trace record when sampled.
   int64_t trace_id = 0;
+  // kUserVector only: the scoring vector and its norm.
+  std::vector<float> vector;
+  float vector_norm = 0.0f;
+  // Router-filled on degraded scatter/gathers: indices of the shards
+  // whose slice is missing from (or substituted in) this answer.
+  std::vector<int32_t> missing_shards;
 };
 
 // One sampled request's stage breakdown, pushed to the trace sink set by
@@ -224,6 +254,13 @@ class ServingEngine {
   EngineStats stats() const;
   const EngineConfig& config() const { return config_; }
 
+  // Followers currently waiting in the micro-batch queue — the shard
+  // probe's instantaneous load signal.
+  int64_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    return static_cast<int64_t>(queue_.size());
+  }
+
   // --- Observability plane ---
 
   // Installs (or clears, with nullptr-like empty function) the sampled
@@ -259,9 +296,28 @@ class ServingEngine {
     EmbeddingView items_view;
     std::vector<float> user_norms;
     // Item ids sorted by (train count desc, id asc) — the degraded-path
-    // ranking for unknown users.
+    // ranking for unknown users. Ids are GLOBAL (offset applied for
+    // sharded snapshots).
     std::vector<ScoredItem> popularity;
     int64_t version = 0;
+
+    // Sharded-snapshot addressing. For ordinary snapshots these are the
+    // identity: global counts equal the tensor shapes, item_offset is 0
+    // and `owned` is empty (every user id is its own row).
+    int64_t num_users_global = 0;
+    int64_t num_items_global = 0;
+    int64_t item_offset = 0;
+    std::vector<int32_t> owned;  // global ids of locally-held users, asc
+
+    // Row of `user` in users_view, or -1 when this shard does not hold
+    // it. Caller must have bounds-checked user against num_users_global.
+    int64_t LocalUserRow(int32_t user) const {
+      if (owned.empty()) return user;
+      auto it = std::lower_bound(owned.begin(), owned.end(), user);
+      return (it != owned.end() && *it == user)
+                 ? static_cast<int64_t>(it - owned.begin())
+                 : -1;
+    }
   };
 
   // Per-slot stage timestamps; `active` is decided once at admission
@@ -324,7 +380,8 @@ class ServingEngine {
   std::atomic<int64_t> swap_count_{0};
 
   // Micro-batch queue (leader/follower; see Handle() in the .cc).
-  std::mutex batch_mu_;
+  // mutable so the const queue_depth() accessor can lock it.
+  mutable std::mutex batch_mu_;
   std::condition_variable batch_cv_;
   std::vector<Slot*> queue_;
   bool leader_active_ = false;

@@ -304,6 +304,34 @@ inline std::vector<ScoredItem> SimilarUsersByCosine(
   return scored;
 }
 
+// Partial-scan variant for sharded serving: the query vector and its
+// precomputed norm arrive from the caller (typically another shard via
+// the router), so every shard divides by the exact same float and the
+// scatter/gathered result merges bit-identically with the single-process
+// scan. `exclude_row` (-1 = none) skips the query user's own row when
+// this view happens to hold it. Returned items are ROW indices into
+// `users`; the caller maps them to global ids.
+inline std::vector<ScoredItem> SimilarUsersPartial(
+    const float* u, float u_norm, const EmbeddingView& users,
+    const std::vector<float>& norms, int64_t exclude_row, int k) {
+  std::vector<float> scores(static_cast<size_t>(users.rows()));
+  util::ParallelFor(0, users.rows(), kScanGrain, [&](int64_t b, int64_t e) {
+    for (int64_t v = b; v < e; ++v) {
+      const float denom = u_norm * norms[static_cast<size_t>(v)];
+      scores[static_cast<size_t>(v)] =
+          denom > 1e-12f ? users.Score(u, v) / denom : 0.0f;
+    }
+  });
+  std::vector<ScoredItem> scored;
+  scored.reserve(static_cast<size_t>(users.rows()));
+  for (int32_t v = 0; v < users.rows(); ++v) {
+    if (v == exclude_row) continue;
+    scored.push_back({v, scores[static_cast<size_t>(v)]});
+  }
+  SelectTopK(scored, k);
+  return scored;
+}
+
 }  // namespace dgnn::serve
 
 #endif  // DGNN_SERVE_RANKING_H_

@@ -46,6 +46,14 @@ int64_t PeakRssBytes() {
 ReplayResult ReplayTrace(ServingEngine& engine,
                          const std::vector<TraceRecord>& records,
                          const ReplayConfig& config) {
+  return ReplayTrace(
+      [&engine](const Request& req) { return engine.Handle(req); }, records,
+      config);
+}
+
+ReplayResult ReplayTrace(const ReplayHandler& handler,
+                         const std::vector<TraceRecord>& records,
+                         const ReplayConfig& config) {
   ReplayResult result;
   result.requests = static_cast<int64_t>(records.size());
   if (records.empty()) return result;
@@ -80,7 +88,7 @@ ReplayResult ReplayTrace(ServingEngine& engine,
               std::max(tally.max_lateness_ms, lateness_ms);
         }
 
-        const Response resp = engine.Handle(rec.ToRequest());
+        const Response resp = handler(rec.ToRequest());
         const Clock::time_point completed = Clock::now();
         tally.last_completion = completed;
         tally.trace_ids.push_back(resp.trace_id);

@@ -34,6 +34,7 @@
 #define DGNN_SERVE_REPLAY_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "serve/engine.h"
@@ -83,6 +84,16 @@ struct ReplayResult {
 // Replays `records` (arrival-sorted, as ReadTrace guarantees) against
 // the engine. Blocking: returns when every record has completed.
 ReplayResult ReplayTrace(ServingEngine& engine,
+                         const std::vector<TraceRecord>& records,
+                         const ReplayConfig& config);
+
+// Handler-generic overload: any Request -> Response function (must be
+// thread-safe — up to `workers` concurrent calls) can sit behind the
+// same coordinated-omission-safe schedule. The sharded router replays
+// traces through this, classifying outcomes by the identical error
+// contract ("overloaded" / "deadline exceeded" / other).
+using ReplayHandler = std::function<Response(const Request&)>;
+ReplayResult ReplayTrace(const ReplayHandler& handler,
                          const std::vector<TraceRecord>& records,
                          const ReplayConfig& config);
 

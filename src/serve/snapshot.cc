@@ -20,6 +20,17 @@ using util::StatusOr;
 
 constexpr char kMagic[8] = {'D', 'G', 'N', 'N', 'S', 'N', 'P', '1'};
 
+// SplitMix64 finalizer — the ring's hash. Fixed for all time: ownership
+// is part of the on-disk contract (the validator recomputes it).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr int kVnodesPerShard = 64;
+
 // ----- serialization helpers (append to an in-memory buffer) -------------
 
 template <typename T>
@@ -187,6 +198,51 @@ Status ParseIdLists(Cursor& c, const std::string& what, int64_t max_id,
   return Status::Ok();
 }
 
+// Shard manifest payload: fixed-width little-endian record, versioned so
+// later PRs can extend it without breaking old readers.
+constexpr uint32_t kShardSectionVersion = 1;
+
+void AppendShard(std::string& out, const ShardInfo& shard) {
+  AppendPod<uint32_t>(out, kShardSectionVersion);
+  AppendPod<int32_t>(out, shard.num_shards);
+  AppendPod<int32_t>(out, shard.shard_index);
+  AppendPod<int64_t>(out, shard.item_begin);
+  AppendPod<int64_t>(out, shard.item_end);
+  AppendPod<int64_t>(out, shard.num_owned_users);
+  AppendPod<uint64_t>(out, shard.hash_seed);
+}
+
+Status ParseShard(Cursor& c, ShardInfo* out) {
+  uint32_t version = 0;
+  if (!c.ReadPod(&version)) return Truncated("shard manifest");
+  if (version != kShardSectionVersion) {
+    return Status::InvalidArgument("unsupported shard manifest version " +
+                                   std::to_string(version));
+  }
+  ShardInfo s;
+  if (!c.ReadPod(&s.num_shards) || !c.ReadPod(&s.shard_index) ||
+      !c.ReadPod(&s.item_begin) || !c.ReadPod(&s.item_end) ||
+      !c.ReadPod(&s.num_owned_users) || !c.ReadPod(&s.hash_seed)) {
+    return Truncated("shard manifest");
+  }
+  if (s.num_shards <= 0 || s.num_shards > (1 << 16)) {
+    return Status::InvalidArgument("implausible shard count " +
+                                   std::to_string(s.num_shards));
+  }
+  if (s.shard_index < 0 || s.shard_index >= s.num_shards) {
+    return Status::InvalidArgument("shard index " +
+                                   std::to_string(s.shard_index) +
+                                   " out of range for " +
+                                   std::to_string(s.num_shards) + " shards");
+  }
+  if (s.item_begin < 0 || s.item_end < s.item_begin ||
+      s.num_owned_users < 0) {
+    return Status::InvalidArgument("shard manifest has invalid ranges");
+  }
+  *out = s;
+  return Status::Ok();
+}
+
 std::string MetaJson(const SnapshotMeta& meta) {
   util::JsonObject o;
   o.Set("format", "dgnn.snapshot")
@@ -226,35 +282,98 @@ Status ParseMeta(const std::string& payload, SnapshotMeta* out) {
 }
 
 // Cross-section consistency: every count in the meta record must match
-// the payloads it describes.
+// the payloads it describes. For sharded snapshots the meta keeps GLOBAL
+// counts while the tensors hold only the shard's slice, so the expected
+// shapes are re-derived from the manifest (including recomputing the
+// consistent-hash ownership — a manifest whose owned-user count does not
+// match the ring is rejected, not trusted).
 Status ValidateAssembled(const Snapshot& s) {
   const SnapshotMeta& m = s.meta;
   const int64_t user_rows =
       s.has_quant_users() ? s.quant_users.rows : s.users.rows();
   const int64_t user_cols =
       s.has_quant_users() ? s.quant_users.cols : s.users.cols();
-  if (user_rows != m.num_users || user_cols != m.embedding_dim) {
-    return Status::InvalidArgument("user embedding shape disagrees with meta");
-  }
   const int64_t item_rows =
       s.has_quant_items() ? s.quant_items.rows : s.items.rows();
   const int64_t item_cols =
       s.has_quant_items() ? s.quant_items.cols : s.items.cols();
-  if (item_rows != m.num_items || item_cols != m.embedding_dim) {
-    return Status::InvalidArgument("item embedding shape disagrees with meta");
+  if (user_cols != m.embedding_dim || item_cols != m.embedding_dim) {
+    return Status::InvalidArgument("embedding width disagrees with meta");
   }
-  if (!s.ivf.empty()) {
-    DGNN_RETURN_IF_ERROR(
-        index::ValidateIvfIndex(s.ivf, m.num_items, m.embedding_dim));
+
+  if (!s.shard.empty()) {
+    const ShardInfo& sh = s.shard;
+    // Bit-identical scatter/gather depends on exact fp32 scans; the
+    // exporter never shards quantized or indexed snapshots.
+    if (s.has_quant_users() || s.has_quant_items()) {
+      return Status::InvalidArgument(
+          "sharded snapshots must carry fp32 embeddings");
+    }
+    if (!s.ivf.empty()) {
+      return Status::InvalidArgument(
+          "sharded snapshots do not carry an IVF index");
+    }
+    int64_t want_begin = 0;
+    int64_t want_end = 0;
+    ShardItemRange(m.num_items, sh.num_shards, sh.shard_index, &want_begin,
+                   &want_end);
+    if (sh.item_begin != want_begin || sh.item_end != want_end) {
+      return Status::InvalidArgument(
+          "shard manifest item range disagrees with the canonical "
+          "assignment policy");
+    }
+    if (item_rows != sh.item_end - sh.item_begin) {
+      return Status::InvalidArgument(
+          "item embedding rows disagree with shard item range");
+    }
+    if (user_rows != sh.num_owned_users) {
+      return Status::InvalidArgument(
+          "user embedding rows disagree with shard owned-user count");
+    }
+    ShardRing ring(sh.num_shards, sh.hash_seed);
+    int64_t owned = 0;
+    for (int64_t u = 0; u < m.num_users; ++u) {
+      if (ring.Owner(static_cast<int32_t>(u)) == sh.shard_index) ++owned;
+    }
+    if (owned != sh.num_owned_users) {
+      return Status::InvalidArgument(
+          "shard manifest owned-user count disagrees with the "
+          "consistent-hash ring");
+    }
+    if (static_cast<int64_t>(s.item_counts.size()) !=
+        sh.item_end - sh.item_begin) {
+      return Status::InvalidArgument(
+          "item-count length disagrees with shard item range");
+    }
+    for (const auto& list : s.social) {
+      if (!list.empty()) {
+        return Status::InvalidArgument(
+            "sharded snapshots must carry empty social lists");
+      }
+    }
+  } else {
+    if (user_rows != m.num_users) {
+      return Status::InvalidArgument(
+          "user embedding shape disagrees with meta");
+    }
+    if (item_rows != m.num_items) {
+      return Status::InvalidArgument(
+          "item embedding shape disagrees with meta");
+    }
+    if (!s.ivf.empty()) {
+      DGNN_RETURN_IF_ERROR(
+          index::ValidateIvfIndex(s.ivf, m.num_items, m.embedding_dim));
+    }
+    if (static_cast<int64_t>(s.item_counts.size()) != m.num_items) {
+      return Status::InvalidArgument("item-count length disagrees with meta");
+    }
   }
+
   if (static_cast<int64_t>(s.seen.size()) != m.num_users) {
     return Status::InvalidArgument("seen-list count disagrees with meta");
   }
   if (static_cast<int64_t>(s.social.size()) != m.num_users) {
     return Status::InvalidArgument("social-list count disagrees with meta");
-  }
-  if (static_cast<int64_t>(s.item_counts.size()) != m.num_items) {
-    return Status::InvalidArgument("item-count length disagrees with meta");
   }
   for (int64_t c : s.item_counts) {
     if (c < 0) return Status::InvalidArgument("negative item count");
@@ -277,6 +396,61 @@ uint64_t Fnv1a64(const void* data, size_t size) {
 }
 
 }  // namespace internal
+
+ShardRing::ShardRing(int32_t num_shards, uint64_t seed)
+    : num_shards_(num_shards), seed_(seed) {
+  if (num_shards_ <= 0) return;
+  points_.reserve(static_cast<size_t>(num_shards_) * kVnodesPerShard);
+  for (int32_t shard = 0; shard < num_shards_; ++shard) {
+    for (int vnode = 0; vnode < kVnodesPerShard; ++vnode) {
+      const uint64_t key = seed_ ^ (static_cast<uint64_t>(shard) *
+                                        0x100000001b3ULL +
+                                    static_cast<uint64_t>(vnode) + 1);
+      points_.emplace_back(SplitMix64(key), shard);
+    }
+  }
+  // Sort by (hash, shard) so hash collisions between vnodes resolve
+  // deterministically everywhere.
+  std::sort(points_.begin(), points_.end());
+}
+
+int32_t ShardRing::Owner(int32_t user) const {
+  if (num_shards_ <= 1) return 0;
+  const uint64_t h =
+      SplitMix64(seed_ ^ 0x9e3779b97f4a7c15ULL ^
+                 static_cast<uint64_t>(static_cast<uint32_t>(user)));
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](uint64_t hash, const std::pair<uint64_t, int32_t>& p) {
+        return hash < p.first;
+      });
+  if (it == points_.end()) it = points_.begin();  // wrap around the ring
+  return it->second;
+}
+
+std::vector<int32_t> OwnedUsers(const ShardInfo& shard, int64_t num_users) {
+  std::vector<int32_t> owned;
+  if (shard.empty()) return owned;
+  ShardRing ring(shard.num_shards, shard.hash_seed);
+  for (int64_t u = 0; u < num_users; ++u) {
+    if (ring.Owner(static_cast<int32_t>(u)) == shard.shard_index) {
+      owned.push_back(static_cast<int32_t>(u));
+    }
+  }
+  return owned;
+}
+
+void ShardItemRange(int64_t num_items, int32_t num_shards,
+                    int32_t shard_index, int64_t* begin, int64_t* end) {
+  *begin = num_items * shard_index / num_shards;
+  *end = num_items * (shard_index + 1) / num_shards;
+}
+
+std::string ShardSnapshotPath(const std::string& base, int32_t shard_index,
+                              int32_t num_shards) {
+  return base + ".shard" + std::to_string(shard_index) + "of" +
+         std::to_string(num_shards);
+}
 
 Snapshot BuildSnapshot(const train::Recommender& recommender,
                        const data::Dataset& dataset,
@@ -318,9 +492,11 @@ Status WriteSnapshot(const Snapshot& snapshot, const std::string& path) {
   // and the IVF index (if any) rides at the end — so a snapshot with
   // neither produces the exact byte stream the seed-era writer produced.
   const bool has_ivf = !snapshot.ivf.empty();
+  const bool has_shard = !snapshot.shard.empty();
   std::string buf;
   buf.append(kMagic, sizeof(kMagic));
-  AppendPod<uint32_t>(buf, 6 + (has_ivf ? 1u : 0u));  // section count
+  AppendPod<uint32_t>(buf, 6 + (has_ivf ? 1u : 0u) +
+                               (has_shard ? 1u : 0u));  // section count
 
   std::string payload = MetaJson(snapshot.meta);
   AppendSection(buf, internal::kSectionMeta, payload);
@@ -361,6 +537,12 @@ Status WriteSnapshot(const Snapshot& snapshot, const std::string& path) {
     payload.clear();
     snapshot.ivf.Serialize(&payload);
     AppendSection(buf, internal::kSectionIvf, payload);
+  }
+
+  if (has_shard) {
+    payload.clear();
+    AppendShard(payload, snapshot.shard);
+    AppendSection(buf, internal::kSectionShard, payload);
   }
 
   AppendPod<uint64_t>(buf, internal::Fnv1a64(buf.data(), buf.size()));
@@ -471,6 +653,9 @@ StatusOr<Snapshot> ReadSnapshot(const std::string& path) {
         sc.pos = sc.size;
         break;
       }
+      case internal::kSectionShard:
+        st = ParseShard(sc, &out.shard);
+        break;
       default:
         return Status::InvalidArgument("unknown section " +
                                        std::to_string(id) + " in " + path);
@@ -516,12 +701,17 @@ StatusOr<Snapshot> ReadSnapshot(const std::string& path) {
   // Payloads are individually well-formed; now check they agree with each
   // other (meta counts vs tensor shapes vs list lengths, id ranges).
   DGNN_RETURN_IF_ERROR(ValidateAssembled(out));
+  // Sharded snapshots keep GLOBAL item ids in their seen lists but only
+  // ids inside the shard's item range (partitioning filtered the rest).
+  const int64_t seen_lo = out.shard.empty() ? 0 : out.shard.item_begin;
+  const int64_t seen_hi =
+      out.shard.empty() ? out.meta.num_items : out.shard.item_end;
   for (const auto& list : out.seen) {
     for (int32_t item : list) {
-      if (item >= out.meta.num_items) {
+      if (item < seen_lo || item >= seen_hi) {
         return Status::InvalidArgument("seen list references item " +
                                        std::to_string(item) +
-                                       " beyond catalog");
+                                       " beyond catalog slice");
       }
     }
   }
@@ -605,6 +795,7 @@ std::string SectionName(uint32_t id) {
     case internal::kSectionQuantUsers: return "quant_users";
     case internal::kSectionQuantItems: return "quant_items";
     case internal::kSectionIvf: return "ivf";
+    case internal::kSectionShard: return "shard";
     default: return "unknown";
   }
 }
@@ -658,6 +849,15 @@ std::string SectionDetail(uint32_t id, const char* data, size_t size) {
       return "nlist=" + std::to_string(nlist) +
              " dim=" + std::to_string(dim) +
              " items=" + std::to_string(items);
+    }
+    case internal::kSectionShard: {
+      ShardInfo sh;
+      if (!ParseShard(c, &sh).ok()) return "";
+      return "shard " + std::to_string(sh.shard_index) + "/" +
+             std::to_string(sh.num_shards) + " items [" +
+             std::to_string(sh.item_begin) + "," +
+             std::to_string(sh.item_end) + ") owned_users=" +
+             std::to_string(sh.num_owned_users);
     }
     default:
       return "";

@@ -61,6 +61,64 @@ struct SnapshotMeta {
   int64_t embedding_dim = 0;
 };
 
+// Shard manifest (section 10): identifies a snapshot as one slice of an
+// N-way sharded export. Users are assigned to shards by consistent
+// hashing (ShardRing below), items by contiguous range. A sharded
+// snapshot keeps the GLOBAL num_users/num_items in its meta; the user
+// tensor holds only the owned users' rows (ascending global id) and the
+// item tensor holds rows [item_begin, item_end). Seen lists stay
+// globally indexed (one per global user) but are restricted to the
+// shard's item range; social lists are present but empty (sharded
+// serving runs without serve-time recalibration). Shard snapshots are
+// always dense fp32 and never carry an IVF index — the bit-identical
+// scatter/gather merge contract depends on exact full scans.
+struct ShardInfo {
+  int32_t num_shards = 0;  // 0 = unsharded snapshot (no manifest section)
+  int32_t shard_index = 0;
+  int64_t item_begin = 0;  // global item range [item_begin, item_end)
+  int64_t item_end = 0;
+  // Rows of the user tensor; must equal the ring-derived owned count.
+  int64_t num_owned_users = 0;
+  // Seed of the consistent-hash ring; identical across the fleet.
+  uint64_t hash_seed = 0;
+
+  bool empty() const { return num_shards == 0; }
+};
+
+// Consistent-hash ring mapping user ids to shard indices. Deterministic
+// from (num_shards, seed) alone — every process that builds the ring
+// with the manifest's parameters agrees on ownership without any stored
+// assignment table. 64 virtual nodes per shard keep the split within a
+// few percent of even.
+class ShardRing {
+ public:
+  ShardRing() = default;
+  ShardRing(int32_t num_shards, uint64_t seed);
+
+  int32_t num_shards() const { return num_shards_; }
+  // Owning shard of `user`, in [0, num_shards). num_shards == 1 maps
+  // everything to shard 0.
+  int32_t Owner(int32_t user) const;
+
+ private:
+  int32_t num_shards_ = 0;
+  uint64_t seed_ = 0;
+  std::vector<std::pair<uint64_t, int32_t>> points_;  // sorted by hash
+};
+
+// Global ids of the users `shard` owns, ascending — row r of a shard
+// snapshot's user tensor is OwnedUsers(...)[r].
+std::vector<int32_t> OwnedUsers(const ShardInfo& shard, int64_t num_users);
+
+// Canonical contiguous item range of shard `shard_index`: balanced
+// blocks covering [0, num_items) exactly once across num_shards shards.
+void ShardItemRange(int64_t num_items, int32_t num_shards,
+                    int32_t shard_index, int64_t* begin, int64_t* end);
+
+// File naming convention for shard slices: "<base>.shard<i>of<N>".
+std::string ShardSnapshotPath(const std::string& base, int32_t shard_index,
+                              int32_t num_shards);
+
 struct Snapshot {
   SnapshotMeta meta;
   ag::Tensor users;  // num_users x dim (empty when quant_users present)
@@ -81,6 +139,8 @@ struct Snapshot {
   // Train interaction count per item — the popularity ranking used for
   // degraded (unknown-user) requests.
   std::vector<int64_t> item_counts;
+  // Shard manifest; empty() for ordinary (unsharded) snapshots.
+  ShardInfo shard;
 
   bool has_quant_users() const { return !quant_users.empty(); }
   bool has_quant_items() const { return !quant_items.empty(); }
@@ -145,6 +205,7 @@ inline constexpr uint32_t kSectionItemCounts = 6;
 inline constexpr uint32_t kSectionQuantUsers = 7;
 inline constexpr uint32_t kSectionQuantItems = 8;
 inline constexpr uint32_t kSectionIvf = 9;
+inline constexpr uint32_t kSectionShard = 10;
 
 // FNV-1a 64-bit over `size` bytes — the snapshot checksum, exposed so
 // tests can craft structurally-valid-but-tampered files.

@@ -1,0 +1,50 @@
+#include "shard/health.h"
+
+namespace dgnn::shard {
+
+const char* HealthStateName(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kDown: return "down";
+  }
+  return "?";
+}
+
+void ShardHealth::RecordProbe(bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    consecutive_probe_failures_ = 0;
+    if (state_ == HealthState::kDown) {
+      // Back from the dead: re-enter as degraded with the EWMA parked at
+      // the degrade threshold, so a run of clean outcomes (not just one
+      // lucky probe) is what restores full health.
+      state_ = HealthState::kDegraded;
+      ewma_ = config_.degrade_threshold;
+    }
+    return;
+  }
+  ++consecutive_probe_failures_;
+  if (consecutive_probe_failures_ >= config_.down_after_probe_failures) {
+    state_ = HealthState::kDown;
+  }
+}
+
+void ShardHealth::RecordOutcome(bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ewma_ = (1.0 - config_.ewma_alpha) * ewma_ +
+          config_.ewma_alpha * (ok ? 0.0 : 1.0);
+  if (state_ == HealthState::kDown) {
+    // Only probes resurrect a down shard; a stray late success must not.
+    return;
+  }
+  if (state_ == HealthState::kHealthy &&
+      ewma_ >= config_.degrade_threshold) {
+    state_ = HealthState::kDegraded;
+  } else if (state_ == HealthState::kDegraded &&
+             ewma_ <= config_.recover_threshold) {
+    state_ = HealthState::kHealthy;
+  }
+}
+
+}  // namespace dgnn::shard

@@ -1,0 +1,98 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dgnn::shard {
+
+using util::Status;
+using util::StatusOr;
+
+StatusOr<serve::Snapshot> BuildShardSnapshot(const serve::Snapshot& full,
+                                             int32_t shard_index,
+                                             int32_t num_shards,
+                                             uint64_t hash_seed) {
+  if (num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (shard_index < 0 || shard_index >= num_shards) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  if (!full.shard.empty()) {
+    return Status::InvalidArgument("snapshot is already a shard slice");
+  }
+  if (full.has_quant_users() || full.has_quant_items()) {
+    return Status::InvalidArgument(
+        "cannot shard a quantized snapshot: shard before quantizing (the "
+        "scatter/gather merge requires exact fp32 scans)");
+  }
+  if (!full.ivf.empty()) {
+    return Status::InvalidArgument(
+        "cannot shard an indexed snapshot: shards run exact scans over "
+        "their slice");
+  }
+
+  const int64_t num_users = full.users.rows();
+  const int64_t num_items = full.items.rows();
+  const int64_t dim = full.users.cols();
+
+  serve::Snapshot out;
+  out.meta = full.meta;  // GLOBAL counts stay in the meta
+  out.shard.num_shards = num_shards;
+  out.shard.shard_index = shard_index;
+  out.shard.hash_seed = hash_seed;
+  serve::ShardItemRange(num_items, num_shards, shard_index,
+                        &out.shard.item_begin, &out.shard.item_end);
+
+  const std::vector<int32_t> owned = serve::OwnedUsers(out.shard, num_users);
+  out.shard.num_owned_users = static_cast<int64_t>(owned.size());
+
+  out.users = ag::Tensor(static_cast<int64_t>(owned.size()), dim);
+  for (size_t r = 0; r < owned.size(); ++r) {
+    std::memcpy(out.users.row(static_cast<int64_t>(r)),
+                full.users.row(owned[r]),
+                static_cast<size_t>(dim) * sizeof(float));
+  }
+
+  const int64_t item_rows = out.shard.item_end - out.shard.item_begin;
+  out.items = ag::Tensor(item_rows, dim);
+  if (item_rows > 0) {
+    std::memcpy(out.items.data(), full.items.row(out.shard.item_begin),
+                static_cast<size_t>(item_rows * dim) * sizeof(float));
+  }
+
+  // Every global user keeps a seen list (filters apply on all item
+  // shards), restricted to this shard's item range, ids global.
+  out.seen.resize(full.seen.size());
+  const int32_t lo = static_cast<int32_t>(out.shard.item_begin);
+  const int32_t hi = static_cast<int32_t>(out.shard.item_end);
+  for (size_t u = 0; u < full.seen.size(); ++u) {
+    const std::vector<int32_t>& src = full.seen[u];
+    // Lists are sorted ascending, so the slice is a contiguous run.
+    auto b = std::lower_bound(src.begin(), src.end(), lo);
+    auto e = std::lower_bound(b, src.end(), hi);
+    out.seen[u].assign(b, e);
+  }
+
+  out.social.assign(full.social.size(), std::vector<int32_t>());
+
+  out.item_counts.assign(
+      full.item_counts.begin() + out.shard.item_begin,
+      full.item_counts.begin() + out.shard.item_end);
+  return out;
+}
+
+Status WriteShardSnapshots(const serve::Snapshot& full,
+                           const std::string& base_path, int32_t num_shards,
+                           uint64_t hash_seed) {
+  for (int32_t i = 0; i < num_shards; ++i) {
+    auto slice = BuildShardSnapshot(full, i, num_shards, hash_seed);
+    if (!slice.ok()) return slice.status();
+    DGNN_RETURN_IF_ERROR(serve::WriteSnapshot(
+        slice.value(),
+        serve::ShardSnapshotPath(base_path, i, num_shards)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dgnn::shard

@@ -1,0 +1,44 @@
+// Snapshot partitioning: slices one full (unsharded, fp32, unindexed)
+// snapshot into N shard snapshots carrying the section-10 manifest.
+//
+// Assignment policy (also enforced by the snapshot validator):
+//  - users: consistent hashing over user id (serve::ShardRing) — the
+//    shard keeps only its owned users' embedding rows, ascending by
+//    global id;
+//  - items: contiguous balanced ranges (serve::ShardItemRange) — the
+//    shard keeps item rows [begin, end), plus the matching slice of the
+//    popularity counts;
+//  - seen lists: all global users (exclusion filters must apply on every
+//    item shard, wherever the user lives), restricted to the shard's
+//    item range, ids kept GLOBAL;
+//  - social lists: emptied — sharded serving runs without serve-time
+//    social recalibration (the default social_alpha=0 path, which is
+//    also the bit-parity path).
+
+#ifndef DGNN_SHARD_PARTITION_H_
+#define DGNN_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace dgnn::shard {
+
+// Builds shard `shard_index` of `num_shards` from a full snapshot.
+// Fails on quantized / indexed / already-sharded inputs (sharding is
+// fp32-dense only; see the manifest comment in serve/snapshot.h).
+util::StatusOr<serve::Snapshot> BuildShardSnapshot(
+    const serve::Snapshot& full, int32_t shard_index, int32_t num_shards,
+    uint64_t hash_seed);
+
+// Writes all N slices next to `base_path` using the
+// serve::ShardSnapshotPath naming convention ("<base>.shard<i>of<N>").
+util::Status WriteShardSnapshots(const serve::Snapshot& full,
+                                 const std::string& base_path,
+                                 int32_t num_shards, uint64_t hash_seed);
+
+}  // namespace dgnn::shard
+
+#endif  // DGNN_SHARD_PARTITION_H_

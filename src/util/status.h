@@ -22,6 +22,10 @@ enum class StatusCode {
   kOutOfRange = 3,
   kFailedPrecondition = 4,
   kInternal = 5,
+  // A deadline expired before the operation finished. Distinct from
+  // kInternal so retry policies can tell "transient, try again" from
+  // "out of time" (retrying after the deadline only adds load).
+  kDeadlineExceeded = 6,
 };
 
 // Name of the code, e.g. "InvalidArgument".
@@ -49,6 +53,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

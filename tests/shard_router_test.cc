@@ -1,0 +1,520 @@
+// End-to-end tests for the fault-tolerant router: real ShardService
+// workers behind real Unix-socket SocketServers, a real Router
+// scatter/gathering across them. Covers full-fleet bit-parity with the
+// single-process engine, the kill-one-shard matrix (degraded:true with
+// correct missing-shard attribution, popularity failover for a down
+// user shard, hard failure only when every shard is gone, probe-driven
+// recovery after restart), retry/hedging behavior under failpoints, the
+// two-phase coordinated swap (commit everywhere / abort everywhere),
+// and the drain barrier.
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "graph/hetero_graph.h"
+#include "models/bpr_mf.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+#include "shard/partition.h"
+#include "shard/router.h"
+#include "shard/shard_service.h"
+#include "shard/transport.h"
+#include "train/recommender.h"
+#include "util/failpoint.h"
+
+namespace dgnn {
+namespace {
+
+using serve::Request;
+using serve::Response;
+using serve::ServingEngine;
+using serve::Snapshot;
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+constexpr int kNumShards = 3;
+
+// One in-process shard worker: engine + service + socket server, the
+// exact wiring dgnn_serve --listen uses.
+struct Worker {
+  std::unique_ptr<ServingEngine> engine;
+  std::unique_ptr<shard::ShardService> service;
+  std::unique_ptr<shard::SocketServer> server;
+  std::string snapshot_path;
+  std::string socket_path;
+
+  void Serve() {
+    server = std::make_unique<shard::SocketServer>();
+    ASSERT_TRUE(server
+                    ->Start(socket_path,
+                            [this](const std::string& line) {
+                              return service->HandleLine(line);
+                            })
+                    .ok());
+  }
+  void Kill() { server->Stop(); }
+};
+
+class ShardRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::Clear();
+    dataset_ = std::make_unique<data::Dataset>(
+        data::GenerateSynthetic(data::SyntheticConfig::Tiny()));
+    graph_ = std::make_unique<graph::HeteroGraph>(*dataset_);
+    model_ = std::make_unique<models::BprMf>(*graph_, 8, 5);
+    recommender_ =
+        std::make_unique<train::Recommender>(*model_, *dataset_);
+    full_ = serve::BuildSnapshot(*recommender_, *dataset_, "BPR-MF",
+                                 "router-test");
+    single_ = std::make_unique<ServingEngine>();
+    single_->Swap(std::make_shared<const Snapshot>(full_));
+
+    base_path_ = TestPath("router_fleet.snap");
+    ASSERT_TRUE(serve::WriteSnapshot(full_, base_path_).ok());
+    ASSERT_TRUE(
+        shard::WriteShardSnapshots(full_, base_path_, kNumShards, 42)
+            .ok());
+    for (int s = 0; s < kNumShards; ++s) {
+      auto w = std::make_unique<Worker>();
+      w->snapshot_path =
+          serve::ShardSnapshotPath(base_path_, s, kNumShards);
+      w->socket_path =
+          TestPath("router_s" + std::to_string(s) + ".sock");
+      w->engine = std::make_unique<ServingEngine>();
+      ASSERT_TRUE(w->engine->Load(w->snapshot_path).ok());
+      w->service = std::make_unique<shard::ShardService>(
+          *w->engine, w->snapshot_path);
+      w->Serve();
+      workers_.push_back(std::move(w));
+    }
+  }
+
+  void TearDown() override {
+    failpoint::Clear();
+    router_.reset();
+    for (auto& w : workers_) w->Kill();
+  }
+
+  shard::RouterConfig FastConfig() {
+    shard::RouterConfig c;
+    for (const auto& w : workers_) {
+      c.shard_paths.push_back(w->socket_path);
+    }
+    c.connect_timeout_ms = 250;
+    c.shard_timeout_ms = 2000;
+    c.probe_timeout_ms = 250;
+    c.probe_interval_ms = 20;
+    c.default_deadline_ms = 5000;
+    c.retries = 2;
+    return c;
+  }
+
+  void StartRouter(shard::RouterConfig config) {
+    router_ = std::make_unique<shard::Router>(std::move(config));
+    util::Status s = router_->Start();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  // First user the ring assigns to `shard` — every kill test needs a
+  // victim whose owner is (or is not) the dead worker.
+  int32_t UserOwnedBy(int shard) {
+    for (int32_t u = 0; u < full_.meta.num_users; ++u) {
+      if (router_->OwnerShard(u) == shard) return u;
+    }
+    ADD_FAILURE() << "no user owned by shard " << shard;
+    return 0;
+  }
+
+  void WaitForState(int shard, shard::HealthState want) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (router_->ShardStatuses()[static_cast<size_t>(shard)].state ==
+          want) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    FAIL() << "shard " << shard << " never reached state "
+           << shard::HealthStateName(want);
+  }
+
+  static void ExpectBitIdentical(const Response& want,
+                                 const Response& got) {
+    ASSERT_TRUE(want.ok);
+    ASSERT_TRUE(got.ok);
+    ASSERT_EQ(want.items.size(), got.items.size());
+    for (size_t i = 0; i < want.items.size(); ++i) {
+      EXPECT_EQ(want.items[i].item, got.items[i].item) << "rank " << i;
+      EXPECT_EQ(std::memcmp(&want.items[i].score, &got.items[i].score,
+                            sizeof(float)),
+                0)
+          << "rank " << i;
+    }
+  }
+
+  Response SingleTopK(int32_t user, int k) {
+    Request r;
+    r.type = Request::Type::kTopK;
+    r.user = user;
+    r.k = k;
+    return single_->Handle(r);
+  }
+
+  std::unique_ptr<data::Dataset> dataset_;
+  std::unique_ptr<graph::HeteroGraph> graph_;
+  std::unique_ptr<models::BprMf> model_;
+  std::unique_ptr<train::Recommender> recommender_;
+  Snapshot full_;
+  std::unique_ptr<ServingEngine> single_;
+  std::string base_path_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<shard::Router> router_;
+};
+
+// ----- fleet admission ------------------------------------------------------
+
+TEST_F(ShardRouterTest, StartRefusesSocketsOutOfShardOrder) {
+  shard::RouterConfig c = FastConfig();
+  std::swap(c.shard_paths[0], c.shard_paths[2]);
+  shard::Router router(std::move(c));
+  util::Status s = router.Start();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("shard-index order"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(ShardRouterTest, StartRefusesMissingWorker) {
+  shard::RouterConfig c = FastConfig();
+  c.shard_paths[1] = TestPath("router_nobody_home.sock");
+  c.connect_timeout_ms = 100;
+  shard::Router router(std::move(c));
+  EXPECT_FALSE(router.Start().ok());
+}
+
+// ----- full-fleet parity ----------------------------------------------------
+
+TEST_F(ShardRouterTest, TopKBitIdenticalToSingleProcess) {
+  StartRouter(FastConfig());
+  for (int32_t user = 0; user < full_.meta.num_users; ++user) {
+    const Response got = router_->TopK(user, 10);
+    EXPECT_TRUE(got.missing_shards.empty());
+    EXPECT_FALSE(got.degraded);
+    ExpectBitIdentical(SingleTopK(user, 10), got);
+  }
+}
+
+TEST_F(ShardRouterTest, ScoreAndSimilarUsersMatchSingleProcess) {
+  StartRouter(FastConfig());
+  for (int32_t user = 0; user < 8; ++user) {
+    Request sr;
+    sr.type = Request::Type::kScore;
+    sr.user = user;
+    sr.item = 42;
+    const Response want = single_->Handle(sr);
+    const Response got = router_->Score(user, 42);
+    ASSERT_TRUE(want.ok);
+    ASSERT_TRUE(got.ok);
+    EXPECT_EQ(std::memcmp(&want.score, &got.score, sizeof(float)), 0);
+
+    Request su;
+    su.type = Request::Type::kSimilarUsers;
+    su.user = user;
+    su.k = 5;
+    ExpectBitIdentical(single_->Handle(su),
+                       router_->SimilarUsers(user, 5));
+  }
+}
+
+TEST_F(ShardRouterTest, UnknownUserDegradesToPopularityEverywhere) {
+  StartRouter(FastConfig());
+  const auto unknown = static_cast<int32_t>(full_.meta.num_users + 3);
+  const Response want = SingleTopK(unknown, 10);
+  ASSERT_TRUE(want.degraded);
+  const Response got = router_->TopK(unknown, 10);
+  EXPECT_TRUE(got.degraded);
+  // A cold user is a degradation but NOT a shard failure: full fleet,
+  // nothing missing, and the exact popularity order of the single
+  // process.
+  EXPECT_TRUE(got.missing_shards.empty());
+  ExpectBitIdentical(want, got);
+}
+
+// ----- kill-one-shard matrix ------------------------------------------------
+
+TEST_F(ShardRouterTest, DeadItemShardYieldsDegradedWithAttribution) {
+  StartRouter(FastConfig());
+  // Victim shard 2 is an item shard for this user but not their owner.
+  const int32_t user = UserOwnedBy(0);
+  workers_[2]->Kill();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Response got = router_->TopK(user, 10);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 8.0) << "kill must degrade, not hang";
+
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_TRUE(got.degraded);
+  ASSERT_EQ(got.missing_shards.size(), 1u);
+  EXPECT_EQ(got.missing_shards[0], 2);
+  // Every returned item lives OUTSIDE the dead shard's range, and the
+  // surviving slices still rank bit-identically to the single process
+  // with shard 2's items deleted.
+  Response want = SingleTopK(user, 10);
+  const auto dead = workers_[2]->engine->snapshot()->shard;
+  std::vector<serve::ScoredItem> filtered;
+  Request full_req;
+  full_req.type = Request::Type::kTopK;
+  full_req.user = user;
+  full_req.k = 10 + static_cast<int>(dead.item_end - dead.item_begin);
+  const Response wide = single_->Handle(full_req);
+  for (const auto& it : wide.items) {
+    if (it.item < dead.item_begin || it.item >= dead.item_end) {
+      filtered.push_back(it);
+    }
+    if (filtered.size() == 10u) break;
+  }
+  ASSERT_EQ(got.items.size(), filtered.size());
+  for (size_t i = 0; i < filtered.size(); ++i) {
+    EXPECT_EQ(got.items[i].item, filtered[i].item);
+    EXPECT_EQ(std::memcmp(&got.items[i].score, &filtered[i].score,
+                          sizeof(float)),
+              0);
+  }
+  EXPECT_GE(router_->counters().degraded_responses, 1);
+}
+
+TEST_F(ShardRouterTest, DeadUserShardFailsOverToPopularity) {
+  StartRouter(FastConfig());
+  const int32_t user = UserOwnedBy(1);
+  workers_[1]->Kill();
+
+  const Response got = router_->TopK(user, 10);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_TRUE(got.degraded);
+  // The owner is named missing even though the answer substitutes
+  // popularity rather than dropping items.
+  ASSERT_FALSE(got.missing_shards.empty());
+  EXPECT_EQ(got.missing_shards[0], 1);
+  EXPECT_FALSE(got.items.empty());
+  EXPECT_GE(router_->counters().failovers, 1);
+}
+
+TEST_F(ShardRouterTest, DeadShardScoreDegradesToNeutral) {
+  StartRouter(FastConfig());
+  const int32_t user = UserOwnedBy(2);
+  workers_[2]->Kill();
+  const Response got = router_->Score(user, 3);
+  ASSERT_TRUE(got.ok);
+  EXPECT_TRUE(got.degraded);
+  EXPECT_EQ(got.score, 0.0f);
+  ASSERT_FALSE(got.missing_shards.empty());
+  EXPECT_EQ(got.missing_shards[0], 2);
+}
+
+TEST_F(ShardRouterTest, AllShardsDownFailsInsteadOfDegrading) {
+  shard::RouterConfig c = FastConfig();
+  c.default_deadline_ms = 1500;
+  StartRouter(std::move(c));
+  for (auto& w : workers_) w->Kill();
+  const Response got = router_->TopK(3, 10);
+  EXPECT_FALSE(got.ok);
+  EXPECT_FALSE(got.error.empty());
+}
+
+TEST_F(ShardRouterTest, ProbesTakeDeadShardDownAndRecoverAfterRestart) {
+  StartRouter(FastConfig());
+  workers_[2]->Kill();
+  WaitForState(2, shard::HealthState::kDown);
+
+  // While down, dispatches short-circuit: still degraded, still fast.
+  const Response during = router_->TopK(UserOwnedBy(0), 10);
+  ASSERT_TRUE(during.ok);
+  EXPECT_TRUE(during.degraded);
+
+  // Restart the worker on the same socket; the probe loop must re-admit
+  // it (down -> degraded on first good probe, never straight healthy)
+  // and full-fleet answers must be bit-identical again.
+  workers_[2]->Serve();
+  WaitForState(2, shard::HealthState::kDegraded);
+  const int32_t user = UserOwnedBy(0);
+  const Response after = router_->TopK(user, 10);
+  ASSERT_TRUE(after.ok);
+  EXPECT_TRUE(after.missing_shards.empty());
+  ExpectBitIdentical(SingleTopK(user, 10), after);
+}
+
+// ----- retries / hedging ----------------------------------------------------
+
+TEST_F(ShardRouterTest, TransientDispatchErrorIsRetried) {
+  StartRouter(FastConfig());
+  ASSERT_TRUE(failpoint::Configure("shard.dispatch=once").ok());
+  const int32_t user = UserOwnedBy(0);
+  const Response got = router_->TopK(user, 10);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_TRUE(got.missing_shards.empty());
+  ExpectBitIdentical(SingleTopK(user, 10), got);
+  EXPECT_GE(router_->counters().retries, 1);
+}
+
+TEST_F(ShardRouterTest, HedgedFleetStillBitIdentical) {
+  shard::RouterConfig c = FastConfig();
+  c.hedge_ms = 1;  // hedge aggressively; results must not change
+  StartRouter(std::move(c));
+  for (int32_t user = 0; user < 10; ++user) {
+    ExpectBitIdentical(SingleTopK(user, 10), router_->TopK(user, 10));
+  }
+}
+
+TEST_F(ShardRouterTest, MaxInflightShedsInsteadOfQueueing) {
+  shard::RouterConfig c = FastConfig();
+  c.max_inflight = 1;
+  StartRouter(std::move(c));
+  // Saturate the single slot from many threads; at least one op must be
+  // shed with the PR-5 "overloaded" contract (and none may hang).
+  std::vector<Response> responses(16);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 16; ++i) {
+    threads.emplace_back([this, &responses, i] {
+      responses[static_cast<size_t>(i)] = router_->TopK(i % 8, 10);
+    });
+  }
+  for (auto& t : threads) t.join();
+  int64_t shed = 0;
+  for (const auto& r : responses) {
+    if (!r.ok && r.error == "overloaded") ++shed;
+  }
+  EXPECT_EQ(shed, router_->counters().shed);
+}
+
+// ----- two-phase coordinated swap -------------------------------------------
+
+TEST_F(ShardRouterTest, CoordinatedSwapCommitsOnEveryShard) {
+  StartRouter(FastConfig());
+  // Second export under a different prefix (same content is fine — the
+  // point is the fleet-wide version bump).
+  const std::string next = TestPath("router_fleet_v2.snap");
+  ASSERT_TRUE(
+      shard::WriteShardSnapshots(full_, next, kNumShards, 42).ok());
+  auto version = router_->CoordinatedSwap(next);
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  for (const auto& w : workers_) {
+    EXPECT_EQ(w->engine->swap_count(), 2);  // initial load + commit
+    EXPECT_FALSE(w->service->has_staged());
+  }
+  // The fleet still answers bit-identically on the new snapshot.
+  const int32_t user = UserOwnedBy(0);
+  ExpectBitIdentical(SingleTopK(user, 10), router_->TopK(user, 10));
+}
+
+TEST_F(ShardRouterTest, PrepareFailureAbortsOnEveryShard) {
+  StartRouter(FastConfig());
+  const std::string next = TestPath("router_fleet_v3.snap");
+  ASSERT_TRUE(
+      shard::WriteShardSnapshots(full_, next, kNumShards, 42).ok());
+  // One prepare RPC fails -> the whole swap must abort everywhere: no
+  // staged snapshots anywhere, no engine swaps anywhere.
+  ASSERT_TRUE(failpoint::Configure("shard.swap=once").ok());
+  auto version = router_->CoordinatedSwap(next);
+  EXPECT_FALSE(version.ok());
+  EXPECT_NE(version.status().ToString().find("aborted"),
+            std::string::npos)
+      << version.status().ToString();
+  for (const auto& w : workers_) {
+    EXPECT_FALSE(w->service->has_staged());
+    EXPECT_EQ(w->engine->swap_count(), 1);
+  }
+}
+
+TEST_F(ShardRouterTest, PrepareRejectsCorruptSliceAndAbortsFleet) {
+  StartRouter(FastConfig());
+  const std::string next = TestPath("router_fleet_v4.snap");
+  ASSERT_TRUE(
+      shard::WriteShardSnapshots(full_, next, kNumShards, 42).ok());
+  // Truncate shard 1's slice: its prepare must fail validation, and the
+  // router must abort the stage on shards 0 and 2.
+  const std::string victim =
+      serve::ShardSnapshotPath(next, 1, kNumShards);
+  {
+    std::ofstream f(victim, std::ios::trunc | std::ios::binary);
+    f << "DGNNSNP1 but not really";
+  }
+  auto version = router_->CoordinatedSwap(next);
+  EXPECT_FALSE(version.ok());
+  for (const auto& w : workers_) {
+    EXPECT_FALSE(w->service->has_staged());
+    EXPECT_EQ(w->engine->swap_count(), 1);
+  }
+}
+
+// ----- drain ----------------------------------------------------------------
+
+TEST_F(ShardRouterTest, DrainWaitsOutInflightOpsThenStops) {
+  StartRouter(FastConfig());
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([this, &done, i] {
+      const Response r = router_->TopK(i, 10);
+      if (r.ok) done.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  router_->BeginDrain();
+  EXPECT_EQ(done.load(), 8);
+  router_->Stop();  // idempotent after drain
+}
+
+TEST_F(ShardRouterTest, WorkerDrainAbortsStagedSwap) {
+  StartRouter(FastConfig());
+  // Stage (prepare) directly on worker 0 without committing, then run
+  // the worker's drain path: the staged snapshot must be dropped — a
+  // SIGTERM mid-two-phase-swap leaves the fleet on the old version.
+  const std::string next = TestPath("router_fleet_v5.snap");
+  ASSERT_TRUE(
+      shard::WriteShardSnapshots(full_, next, kNumShards, 42).ok());
+  const std::string line =
+      "{\"op\":\"swap_prepare\",\"prefix\":\"" + next +
+      "\",\"token\":\"t1\"}";
+  const std::string resp = workers_[0]->service->HandleLine(line);
+  EXPECT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+  ASSERT_TRUE(workers_[0]->service->has_staged());
+  EXPECT_TRUE(workers_[0]->service->AbortStagedSwap());
+  EXPECT_FALSE(workers_[0]->service->has_staged());
+  EXPECT_EQ(workers_[0]->engine->swap_count(), 1);
+}
+
+// ----- stats ----------------------------------------------------------------
+
+TEST_F(ShardRouterTest, StatsJsonCarriesPerShardHealth) {
+  StartRouter(FastConfig());
+  (void)router_->TopK(0, 5);
+  const std::string stats = router_->StatsJson();
+  EXPECT_NE(stats.find("\"op\":\"stats\""), std::string::npos);
+  EXPECT_NE(stats.find("\"bench\":\"dgnn_router\""), std::string::npos);
+  EXPECT_NE(stats.find("serve.shard.retries"), std::string::npos);
+  EXPECT_NE(stats.find("serve.shard.failovers"), std::string::npos);
+  EXPECT_NE(stats.find("serve.shard.degraded_responses"),
+            std::string::npos);
+  for (int s = 0; s < kNumShards; ++s) {
+    EXPECT_NE(stats.find(workers_[static_cast<size_t>(s)]->socket_path),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dgnn
